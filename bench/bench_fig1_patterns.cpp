@@ -1,0 +1,33 @@
+// Fig 1 reproduction: one sample wafer map per defect pattern type.
+//
+// Prints each class as ASCII art and writes PGM images (the paper's
+// grey-scale encoding: 0 off-wafer, 127 pass, 255 fail) to ./fig1_<class>.pgm.
+#include <cstdio>
+
+#include "common/rng.hpp"
+#include "wafermap/io_pgm.hpp"
+#include "wafermap/synth/generator.hpp"
+
+using namespace wm;
+
+int main() {
+  std::printf("=== Fig 1: sample wafer map per defect pattern ===\n\n");
+  Rng rng(2020);
+  const int size = 24;
+  for (DefectType type : all_defect_types()) {
+    const WaferMap map = synth::generate(type, size, rng);
+    std::printf("--- %s (%d/%d dies failing, %.1f%%) ---\n",
+                to_string(type).c_str(), map.fail_count(), map.total_dies(),
+                100.0 * map.fail_fraction());
+    std::printf("%s\n", ascii_render(map).c_str());
+    std::string fname = "fig1_" + to_string(type) + ".pgm";
+    for (auto& c : fname) {
+      if (c == '-') c = '_';
+    }
+    write_pgm(fname, map);
+    std::printf("written: %s\n\n", fname.c_str());
+  }
+  std::printf("paper shape check: distinct, visually recognisable spatial\n"
+              "signatures per class on a 3-level disc support.\n");
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Fig 5 reproduction: selective accuracy and achieved test coverage as a
+// function of the coverage target c0 in {0.2, 0.5, 0.75, 1.0}.
+//
+// Prints the series as a table and writes fig5_tradeoff.csv.
+#include <cstdio>
+
+#include "common/csv.hpp"
+#include "common/rng.hpp"
+#include "eval/experiments.hpp"
+#include "eval/metrics.hpp"
+#include "eval/risk_coverage.hpp"
+#include "eval/tables.hpp"
+#include "selective/predictor.hpp"
+
+using namespace wm;
+
+int main() {
+  std::printf("=== Fig 5: risk/coverage trade-off vs c0 ===\n\n");
+  const eval::ExperimentConfig config = eval::ExperimentConfig::from_env();
+  const eval::ExperimentData data = eval::prepare_data(config);
+
+  std::vector<int> labels;
+  for (std::size_t i = 0; i < data.test.size(); ++i) {
+    labels.push_back(static_cast<int>(data.test[i].label));
+  }
+
+  CsvWriter csv("fig5_tradeoff.csv");
+  csv.write_row({"c0", "selective_accuracy", "achieved_coverage"});
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back({"c0", "selective accuracy", "achieved coverage"});
+
+  for (double c0 : {0.2, 0.5, 0.75, 1.0}) {
+    Rng rng(config.seed + static_cast<std::uint64_t>(c0 * 1000));
+    auto net = eval::train_selective_model(config, data.train_aug, c0, rng);
+    // c0 == 1 is the paper's CE-only run evaluated at full coverage; the
+    // selective runs use a threshold calibrated to the c0 budget on a
+    // held-out in-distribution set.
+    const float tau =
+        c0 >= 1.0 ? 0.0f : eval::calibrated_threshold(config, *net, c0);
+    selective::SelectivePredictor predictor(*net, tau);
+    const auto preds = predictor.predict(data.test);
+    const double acc = selective::selective_accuracy(preds, labels);
+    const double cov = selective::coverage_of(preds);
+    csv.write_row_numeric({c0, acc, cov});
+    char acc_s[32];
+    char cov_s[32];
+    std::snprintf(acc_s, sizeof acc_s, "%.3f", acc);
+    std::snprintf(cov_s, sizeof cov_s, "%.3f", cov);
+    rows.push_back({std::to_string(c0).substr(0, 4), acc_s, cov_s});
+    std::printf("c0=%.2f  ->  selective accuracy %.1f%%, coverage %.1f%%\n", c0,
+                100 * acc, 100 * cov);
+
+    if (c0 == 0.5) {
+      // Companion to the paper's figure: the *complete* post-hoc
+      // risk-coverage curve of the c0=0.5 model and its area (AURC).
+      const auto curve = eval::risk_coverage_curve(preds, labels);
+      std::printf("  risk-coverage curve (c0=0.5 model): AURC = %.4f\n",
+                  eval::aurc(curve));
+      for (double pc : {0.25, 0.5, 0.75, 1.0}) {
+        std::printf("    risk @ %.0f%% coverage: %.3f\n", 100 * pc,
+                    eval::risk_at_coverage(curve, pc));
+      }
+    }
+  }
+  std::printf("\n%s", eval::render_table(rows).c_str());
+  std::printf("written: fig5_tradeoff.csv\n");
+  std::printf("\npaper shape check: accuracy decreases monotonically-ish as\n"
+              "coverage rises toward 1; achieved coverage >= c0 throughout\n"
+              "(paper Fig 5: 99%% at c0=0.2 down to 94%% at c0=1).\n");
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Micro benchmarks of the augmentation pipeline (CAE + transforms).
+#include <benchmark/benchmark.h>
+
+#include "augment/cae.hpp"
+#include "common/rng.hpp"
+#include "wafermap/synth/patterns.hpp"
+#include "wafermap/transforms.hpp"
+
+namespace wm {
+namespace {
+
+void BM_CaeEncodeDecode(benchmark::State& state) {
+  Rng rng(1);
+  augment::ConvAutoencoder cae(
+      {.map_size = 24, .encoder_filters = {16, 8}, .kernel = 5}, rng);
+  const Tensor x = Tensor::uniform(Shape{state.range(0), 1, 24, 24}, rng);
+  for (auto _ : state) {
+    Tensor recon = cae.reconstruct(x);
+    benchmark::DoNotOptimize(recon.data());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_CaeEncodeDecode)->Arg(1)->Arg(16);
+
+void BM_CaeTrainStep(benchmark::State& state) {
+  Rng rng(2);
+  augment::ConvAutoencoder cae(
+      {.map_size = 24, .encoder_filters = {16, 8}, .kernel = 5}, rng);
+  const Tensor x = Tensor::uniform(Shape{16, 1, 24, 24}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cae.training_step(x));
+  }
+  state.SetItemsProcessed(state.iterations() * 16);
+}
+BENCHMARK(BM_CaeTrainStep);
+
+void BM_Rotate(benchmark::State& state) {
+  Rng rng(3);
+  const WaferMap map = synth::generate(DefectType::kScratch,
+                                       static_cast<int>(state.range(0)), rng);
+  double angle = 0.0;
+  for (auto _ : state) {
+    angle += 37.0;
+    WaferMap r = rotate(map, angle);
+    benchmark::DoNotOptimize(r.fail_count());
+  }
+}
+BENCHMARK(BM_Rotate)->Arg(24)->Arg(64);
+
+void BM_SaltAndPepper(benchmark::State& state) {
+  Rng rng(4);
+  const WaferMap map = synth::generate(DefectType::kDonut, 24, rng);
+  for (auto _ : state) {
+    WaferMap r = salt_and_pepper(map, 4, rng);
+    benchmark::DoNotOptimize(r.fail_count());
+  }
+}
+BENCHMARK(BM_SaltAndPepper);
+
+void BM_PatternGeneration(benchmark::State& state) {
+  Rng rng(5);
+  const DefectType type = defect_type_from_index(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    WaferMap map = synth::generate(type, 24, rng);
+    benchmark::DoNotOptimize(map.fail_count());
+  }
+  state.SetLabel(to_string(type));
+}
+BENCHMARK(BM_PatternGeneration)->DenseRange(0, 8);
+
+}  // namespace
+}  // namespace wm

@@ -1,0 +1,76 @@
+// Micro benchmarks of the Wu et al. baseline pipeline pieces.
+#include <benchmark/benchmark.h>
+
+#include "baseline/features.hpp"
+#include "baseline/radon.hpp"
+#include "baseline/svm.hpp"
+#include "common/rng.hpp"
+#include "wafermap/synth/patterns.hpp"
+
+namespace wm::baseline {
+namespace {
+
+void BM_RadonTransform(benchmark::State& state) {
+  Rng rng(1);
+  const WaferMap map = synth::generate(DefectType::kEdgeRing,
+                                       static_cast<int>(state.range(0)), rng);
+  for (auto _ : state) {
+    Tensor sino = radon_transform(map);
+    benchmark::DoNotOptimize(sino.data());
+  }
+}
+BENCHMARK(BM_RadonTransform)->Arg(24)->Arg(32)->Arg(64);
+
+void BM_FeatureExtraction(benchmark::State& state) {
+  Rng rng(2);
+  const WaferMap map = synth::generate(DefectType::kScratch,
+                                       static_cast<int>(state.range(0)), rng);
+  for (auto _ : state) {
+    auto f = extract_features(map);
+    benchmark::DoNotOptimize(f.data());
+  }
+}
+BENCHMARK(BM_FeatureExtraction)->Arg(24)->Arg(32);
+
+void BM_SvmTrain(benchmark::State& state) {
+  Rng rng(3);
+  const int n = static_cast<int>(state.range(0));
+  std::vector<std::vector<double>> x;
+  std::vector<int> y;
+  for (int i = 0; i < n; ++i) {
+    const int label = (i % 2 == 0) ? 1 : -1;
+    std::vector<double> row(20);
+    for (auto& v : row) v = rng.normal(label * 1.5, 1.0);
+    x.push_back(std::move(row));
+    y.push_back(label);
+  }
+  for (auto _ : state) {
+    BinarySvm svm({.kernel = KernelType::kRbf, .c = 1.0, .gamma = 0.05});
+    svm.fit(x, y, rng);
+    benchmark::DoNotOptimize(svm.support_vector_count());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_SvmTrain)->Arg(100)->Arg(400);
+
+void BM_SvmPredict(benchmark::State& state) {
+  Rng rng(4);
+  std::vector<std::vector<double>> x;
+  std::vector<int> y;
+  for (int i = 0; i < 200; ++i) {
+    const int label = (i % 2 == 0) ? 1 : -1;
+    std::vector<double> row(20);
+    for (auto& v : row) v = rng.normal(label * 1.5, 1.0);
+    x.push_back(std::move(row));
+    y.push_back(label);
+  }
+  BinarySvm svm({.kernel = KernelType::kRbf, .c = 1.0, .gamma = 0.05});
+  svm.fit(x, y, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(svm.predict(x[0]));
+  }
+}
+BENCHMARK(BM_SvmPredict);
+
+}  // namespace
+}  // namespace wm::baseline

@@ -1,0 +1,75 @@
+// Micro benchmarks of the NN layers and the Table I network.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "nn/layers/conv2d.hpp"
+#include "nn/loss/selective_loss.hpp"
+#include "selective/selective_net.hpp"
+
+namespace wm {
+namespace {
+
+void BM_Conv2dForward(benchmark::State& state) {
+  Rng rng(1);
+  nn::Conv2d conv({.in_channels = 1, .out_channels = 64, .kernel = 5,
+                   .stride = 1, .pad = 2},
+                  rng);
+  const Tensor x = Tensor::normal(Shape{8, 1, state.range(0), state.range(0)}, rng);
+  for (auto _ : state) {
+    Tensor y = conv.forward(x, false);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 8);
+}
+BENCHMARK(BM_Conv2dForward)->Arg(24)->Arg(32);
+
+void BM_SelectiveNetForward(benchmark::State& state) {
+  Rng rng(2);
+  selective::SelectiveNet net({.map_size = 24, .num_classes = 9}, rng);
+  const Tensor x = Tensor::normal(Shape{state.range(0), 1, 24, 24}, rng);
+  for (auto _ : state) {
+    auto out = net.forward(x, false);
+    benchmark::DoNotOptimize(out.logits.data());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SelectiveNetForward)->Arg(1)->Arg(16)->Arg(64);
+
+void BM_SelectiveNetTrainStep(benchmark::State& state) {
+  Rng rng(3);
+  selective::SelectiveNet net({.map_size = 24, .num_classes = 9}, rng);
+  const std::int64_t batch = state.range(0);
+  const Tensor x = Tensor::normal(Shape{batch, 1, 24, 24}, rng);
+  std::vector<int> labels;
+  for (std::int64_t i = 0; i < batch; ++i) labels.push_back(static_cast<int>(i % 9));
+  nn::SelectiveLoss loss({.target_coverage = 0.5, .lambda = 0.5, .alpha = 0.5});
+  for (auto _ : state) {
+    auto out = net.forward(x, true);
+    auto r = loss.compute(out.logits, out.g, labels);
+    net.zero_grad();
+    net.backward(r.grad_logits, r.grad_g);
+    benchmark::DoNotOptimize(r.value);
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_SelectiveNetTrainStep)->Arg(16)->Arg(64);
+
+void BM_SelectiveLoss(benchmark::State& state) {
+  Rng rng(4);
+  const std::int64_t n = state.range(0);
+  const Tensor logits = Tensor::normal(Shape{n, 9}, rng);
+  Rng rng2(5);
+  const Tensor g = Tensor::uniform(Shape{n, 1}, rng2, 0.05f, 0.95f);
+  std::vector<int> labels;
+  for (std::int64_t i = 0; i < n; ++i) labels.push_back(static_cast<int>(i % 9));
+  nn::SelectiveLoss loss({.target_coverage = 0.5, .lambda = 0.5, .alpha = 0.5});
+  for (auto _ : state) {
+    auto r = loss.compute(logits, g, labels);
+    benchmark::DoNotOptimize(r.value);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_SelectiveLoss)->Arg(64)->Arg(1024);
+
+}  // namespace
+}  // namespace wm

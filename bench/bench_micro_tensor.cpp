@@ -1,0 +1,67 @@
+// Micro benchmarks of the tensor substrate (GEMM, im2col, softmax).
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "tensor/gemm.hpp"
+#include "tensor/im2col.hpp"
+#include "tensor/tensor_ops.hpp"
+
+namespace wm {
+namespace {
+
+void BM_Gemm(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  Rng rng(1);
+  const Tensor a = Tensor::normal(Shape{n, n}, rng);
+  const Tensor b = Tensor::normal(Shape{n, n}, rng);
+  Tensor c(Shape{n, n});
+  for (auto _ : state) {
+    sgemm(n, n, n, 1.0f, a.data(), b.data(), 0.0f, c.data());
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_Gemm)->Arg(64)->Arg(128)->Arg(256)->Arg(512);
+
+void BM_GemmTransposedA(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  Rng rng(2);
+  const Tensor a = Tensor::normal(Shape{n, n}, rng);
+  const Tensor b = Tensor::normal(Shape{n, n}, rng);
+  Tensor c(Shape{n, n});
+  for (auto _ : state) {
+    sgemm_at(n, n, n, 1.0f, a.data(), b.data(), 0.0f, c.data());
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_GemmTransposedA)->Arg(128)->Arg(256);
+
+void BM_Im2Col(benchmark::State& state) {
+  const std::int64_t s = state.range(0);
+  ConvGeometry g{.channels = 32, .height = s, .width = s, .kernel_h = 3,
+                 .kernel_w = 3, .stride = 1, .pad = 1};
+  Rng rng(3);
+  const Tensor img = Tensor::normal(Shape{32, s, s}, rng);
+  std::vector<float> col(static_cast<std::size_t>(g.col_rows() * g.col_cols()));
+  for (auto _ : state) {
+    im2col(g, img.data(), col.data());
+    benchmark::DoNotOptimize(col.data());
+  }
+  state.SetItemsProcessed(state.iterations() * g.col_rows() * g.col_cols());
+}
+BENCHMARK(BM_Im2Col)->Arg(16)->Arg(32);
+
+void BM_SoftmaxRows(benchmark::State& state) {
+  Rng rng(4);
+  const Tensor logits = Tensor::normal(Shape{state.range(0), 9}, rng);
+  for (auto _ : state) {
+    Tensor p = softmax_rows(logits);
+    benchmark::DoNotOptimize(p.data());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SoftmaxRows)->Arg(64)->Arg(1024);
+
+}  // namespace
+}  // namespace wm

@@ -1,0 +1,37 @@
+#include "augment/cae_trainer.hpp"
+
+#include "common/error.hpp"
+#include "common/logging.hpp"
+#include "common/rng.hpp"
+#include "nn/optim/optimizer.hpp"
+
+namespace wm::augment {
+
+CaeTrainingLog train_cae(ConvAutoencoder& cae, const Dataset& data,
+                         const CaeTrainerOptions& opts, Rng& rng) {
+  WM_CHECK(!data.empty(), "cannot train CAE on empty dataset");
+  WM_CHECK(opts.epochs > 0 && opts.batch_size > 0 && opts.learning_rate > 0,
+           "bad CAE trainer options");
+  nn::Adam optimizer(cae.parameters(), {.lr = opts.learning_rate});
+
+  CaeTrainingLog log;
+  log.epoch_losses.reserve(static_cast<std::size_t>(opts.epochs));
+  for (int epoch = 0; epoch < opts.epochs; ++epoch) {
+    const auto batches = Dataset::batch_indices(
+        data.size(), static_cast<std::size_t>(opts.batch_size), rng);
+    double epoch_loss = 0.0;
+    for (const auto& indices : batches) {
+      const Batch batch = data.make_batch(indices);
+      optimizer.zero_grad();
+      const float loss = cae.training_step(batch.images);
+      optimizer.step();
+      epoch_loss += static_cast<double>(loss) * static_cast<double>(indices.size());
+    }
+    epoch_loss /= static_cast<double>(data.size());
+    log.epoch_losses.push_back(static_cast<float>(epoch_loss));
+    log_debug("CAE epoch ", epoch + 1, "/", opts.epochs, " mse=", epoch_loss);
+  }
+  return log;
+}
+
+}  // namespace wm::augment

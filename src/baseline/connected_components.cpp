@@ -1,0 +1,58 @@
+#include "baseline/connected_components.hpp"
+
+#include <algorithm>
+
+namespace wm::baseline {
+
+std::vector<Component> connected_components(const WaferMap& map) {
+  const int size = map.size();
+  std::vector<bool> visited(static_cast<std::size_t>(size) * size, false);
+  std::vector<Component> components;
+  std::vector<std::pair<int, int>> stack;
+
+  auto is_fail = [&](int r, int c) {
+    return map.on_wafer(r, c) && map.at(r, c) == Die::kFail;
+  };
+
+  for (int row = 0; row < size; ++row) {
+    for (int col = 0; col < size; ++col) {
+      const std::size_t idx = static_cast<std::size_t>(row) * size + col;
+      if (visited[idx] || !is_fail(row, col)) continue;
+      Component comp;
+      stack.clear();
+      stack.emplace_back(row, col);
+      visited[idx] = true;
+      while (!stack.empty()) {
+        const auto [r, c] = stack.back();
+        stack.pop_back();
+        comp.dies.emplace_back(r, c);
+        for (int dr = -1; dr <= 1; ++dr) {
+          for (int dc = -1; dc <= 1; ++dc) {
+            if (dr == 0 && dc == 0) continue;
+            const int nr = r + dr;
+            const int nc = c + dc;
+            if (nr < 0 || nr >= size || nc < 0 || nc >= size) continue;
+            const std::size_t nidx = static_cast<std::size_t>(nr) * size + nc;
+            if (!visited[nidx] && is_fail(nr, nc)) {
+              visited[nidx] = true;
+              stack.emplace_back(nr, nc);
+            }
+          }
+        }
+      }
+      components.push_back(std::move(comp));
+    }
+  }
+  std::sort(components.begin(), components.end(),
+            [](const Component& a, const Component& b) {
+              return a.size() > b.size();
+            });
+  return components;
+}
+
+Component largest_component(const WaferMap& map) {
+  auto comps = connected_components(map);
+  return comps.empty() ? Component{} : std::move(comps.front());
+}
+
+}  // namespace wm::baseline

@@ -1,0 +1,22 @@
+// Connected-component labelling of failing dies (8-connectivity).
+#pragma once
+
+#include <vector>
+
+#include "wafermap/wafer_map.hpp"
+
+namespace wm::baseline {
+
+struct Component {
+  std::vector<std::pair<int, int>> dies;  // (row, col) members
+
+  int size() const { return static_cast<int>(dies.size()); }
+};
+
+/// All 8-connected components of failing dies, largest first.
+std::vector<Component> connected_components(const WaferMap& map);
+
+/// The largest failing component, or an empty one when no die fails.
+Component largest_component(const WaferMap& map);
+
+}  // namespace wm::baseline

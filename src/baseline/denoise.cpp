@@ -1,0 +1,31 @@
+#include "baseline/denoise.hpp"
+
+namespace wm::baseline {
+
+WaferMap median_denoise(const WaferMap& map) {
+  WaferMap out = map;
+  for (int row = 0; row < map.size(); ++row) {
+    for (int col = 0; col < map.size(); ++col) {
+      if (!map.on_wafer(row, col)) continue;
+      int fails = 0;
+      int total = 0;
+      for (int dr = -1; dr <= 1; ++dr) {
+        for (int dc = -1; dc <= 1; ++dc) {
+          const int r = row + dr;
+          const int c = col + dc;
+          if (!map.on_wafer(r, c)) continue;
+          ++total;
+          fails += (map.at(r, c) == Die::kFail);
+        }
+      }
+      if (2 * fails > total) {
+        out.set(row, col, Die::kFail);
+      } else if (2 * fails < total) {
+        out.set(row, col, Die::kPass);
+      }  // exact tie keeps the original value
+    }
+  }
+  return out;
+}
+
+}  // namespace wm::baseline

@@ -1,0 +1,14 @@
+// Spatial filtering used by the Wu et al. (TSM'14) pipeline before feature
+// extraction: a 3x3 median (majority) filter over the binary fail map.
+#pragma once
+
+#include "wafermap/wafer_map.hpp"
+
+namespace wm::baseline {
+
+/// Replaces each on-wafer die by the majority pass/fail vote of its 3x3
+/// on-wafer neighbourhood (ties keep the original value). Removes isolated
+/// speckle failures while preserving coherent patterns.
+WaferMap median_denoise(const WaferMap& map);
+
+}  // namespace wm::baseline

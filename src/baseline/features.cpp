@@ -1,0 +1,78 @@
+#include "baseline/features.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "baseline/denoise.hpp"
+#include "baseline/geometry.hpp"
+#include "baseline/radon.hpp"
+#include "common/error.hpp"
+
+namespace wm::baseline {
+
+std::vector<double> zone_density_features(const WaferMap& map) {
+  // Zone 0: r < 0.25 R. Zones 1..12: rings [0.25,0.55), [0.55,0.85),
+  // [0.85, 1.0] R x four quadrants.
+  std::vector<double> fails(kNumZones, 0.0);
+  std::vector<double> totals(kNumZones, 0.0);
+  const double c = map.center();
+  const double radius = map.radius();
+  for (int row = 0; row < map.size(); ++row) {
+    for (int col = 0; col < map.size(); ++col) {
+      if (!map.on_wafer(row, col)) continue;
+      const double dr = row - c;
+      const double dc = col - c;
+      const double rel = std::sqrt(dr * dr + dc * dc) / radius;
+      int zone;
+      if (rel < 0.25) {
+        zone = 0;
+      } else {
+        int ring;
+        if (rel < 0.55) ring = 0;
+        else if (rel < 0.85) ring = 1;
+        else ring = 2;
+        const double angle = std::atan2(dr, dc);  // [-pi, pi]
+        const int quadrant = std::clamp(
+            static_cast<int>((angle + std::numbers::pi) /
+                             (std::numbers::pi / 2.0)),
+            0, 3);
+        zone = 1 + ring * 4 + quadrant;
+      }
+      totals[static_cast<std::size_t>(zone)] += 1.0;
+      fails[static_cast<std::size_t>(zone)] +=
+          (map.at(row, col) == Die::kFail) ? 1.0 : 0.0;
+    }
+  }
+  std::vector<double> density(kNumZones, 0.0);
+  for (int z = 0; z < kNumZones; ++z) {
+    const std::size_t sz = static_cast<std::size_t>(z);
+    density[sz] = totals[sz] > 0.0 ? fails[sz] / totals[sz] : 0.0;
+  }
+  return density;
+}
+
+std::vector<double> extract_features(const WaferMap& map) {
+  const WaferMap denoised = median_denoise(map);
+  std::vector<double> features = zone_density_features(denoised);
+  const std::vector<double> radon = radon_features(denoised, kRadonSamples);
+  features.insert(features.end(), radon.begin(), radon.end());
+  const auto geom = geometry_features(denoised).to_array();
+  features.insert(features.end(), geom.begin(), geom.end());
+  WM_ASSERT(static_cast<int>(features.size()) == kFeatureDim,
+            "feature dimension drifted");
+  return features;
+}
+
+FeatureMatrix extract_features(const Dataset& data) {
+  FeatureMatrix out;
+  out.rows.reserve(data.size());
+  out.labels.reserve(data.size());
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    out.rows.push_back(extract_features(data[i].map));
+    out.labels.push_back(static_cast<int>(data[i].label));
+  }
+  return out;
+}
+
+}  // namespace wm::baseline

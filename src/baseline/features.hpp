@@ -1,0 +1,31 @@
+// Full Wu et al. feature vector: 13 zone-density features + 2*20 Radon
+// features + 6 geometry features = 59 dimensions.
+#pragma once
+
+#include <vector>
+
+#include "wafermap/dataset.hpp"
+#include "wafermap/wafer_map.hpp"
+
+namespace wm::baseline {
+
+inline constexpr int kNumZones = 13;
+inline constexpr int kRadonSamples = 20;
+inline constexpr int kFeatureDim = kNumZones + 2 * kRadonSamples + 6;  // 59
+
+/// Failure density in 13 radial/angular zones: one central disc plus three
+/// rings split into four quadrants each.
+std::vector<double> zone_density_features(const WaferMap& map);
+
+/// The assembled 59-d feature vector. The map is median-denoised first
+/// (speckle removal), as in the original pipeline.
+std::vector<double> extract_features(const WaferMap& map);
+
+/// Feature matrix (N x 59) for a whole dataset, plus aligned labels.
+struct FeatureMatrix {
+  std::vector<std::vector<double>> rows;
+  std::vector<int> labels;
+};
+FeatureMatrix extract_features(const Dataset& data);
+
+}  // namespace wm::baseline

@@ -1,0 +1,87 @@
+#include "baseline/geometry.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+namespace wm::baseline {
+
+GeometryFeatures geometry_of_component(const Component& comp,
+                                       const WaferMap& map) {
+  GeometryFeatures f;
+  const int n = comp.size();
+  if (n == 0) return f;
+
+  const double total = std::max(1, map.total_dies());
+  f.area = static_cast<double>(n) / total;
+
+  // Perimeter: dies with at least one non-member 4-neighbour.
+  // Use a membership grid for O(1) lookups.
+  const int size = map.size();
+  std::vector<bool> member(static_cast<std::size_t>(size) * size, false);
+  for (const auto& [r, c] : comp.dies) {
+    member[static_cast<std::size_t>(r) * size + c] = true;
+  }
+  auto is_member = [&](int r, int c) {
+    return r >= 0 && r < size && c >= 0 && c < size &&
+           member[static_cast<std::size_t>(r) * size + c];
+  };
+  int boundary = 0;
+  int min_r = size;
+  int max_r = -1;
+  int min_c = size;
+  int max_c = -1;
+  double mr = 0.0;
+  double mc = 0.0;
+  for (const auto& [r, c] : comp.dies) {
+    if (!is_member(r - 1, c) || !is_member(r + 1, c) || !is_member(r, c - 1) ||
+        !is_member(r, c + 1)) {
+      ++boundary;
+    }
+    min_r = std::min(min_r, r);
+    max_r = std::max(max_r, r);
+    min_c = std::min(min_c, c);
+    max_c = std::max(max_c, c);
+    mr += r;
+    mc += c;
+  }
+  const double circumference = std::numbers::pi * map.size();
+  f.perimeter = boundary / circumference;
+
+  // Second moments -> equivalent-ellipse axes.
+  mr /= n;
+  mc /= n;
+  double srr = 0.0;
+  double scc = 0.0;
+  double src = 0.0;
+  for (const auto& [r, c] : comp.dies) {
+    srr += (r - mr) * (r - mr);
+    scc += (c - mc) * (c - mc);
+    src += (r - mr) * (c - mc);
+  }
+  // 1/12 term: each die is a unit square, not a point.
+  srr = srr / n + 1.0 / 12.0;
+  scc = scc / n + 1.0 / 12.0;
+  src = src / n;
+  const double tr = srr + scc;
+  const double det = std::sqrt(std::max(0.0, (srr - scc) * (srr - scc) / 4.0 +
+                                                 src * src));
+  const double l1 = tr / 2.0 + det;  // larger eigenvalue
+  const double l2 = std::max(1e-12, tr / 2.0 - det);
+  // Ellipse with matching moments has semi-axes 2*sqrt(lambda).
+  const double diameter = map.size();
+  f.major_axis = 4.0 * std::sqrt(l1) / diameter;
+  f.minor_axis = 4.0 * std::sqrt(l2) / diameter;
+  f.eccentricity = std::sqrt(std::max(0.0, 1.0 - l2 / l1));
+
+  const double bbox_area =
+      static_cast<double>(max_r - min_r + 1) * (max_c - min_c + 1);
+  f.solidity = static_cast<double>(n) / bbox_area;
+  return f;
+}
+
+GeometryFeatures geometry_features(const WaferMap& map) {
+  return geometry_of_component(largest_component(map), map);
+}
+
+}  // namespace wm::baseline

@@ -1,0 +1,34 @@
+// Geometry features of the most salient (largest) failure region, after
+// Wu et al.: area, perimeter, axis lengths and eccentricity from second
+// moments, and a solidity proxy.
+#pragma once
+
+#include <array>
+
+#include "baseline/connected_components.hpp"
+#include "wafermap/wafer_map.hpp"
+
+namespace wm::baseline {
+
+inline constexpr int kNumGeometryFeatures = 6;
+
+struct GeometryFeatures {
+  double area = 0.0;         // |region| / |wafer dies|
+  double perimeter = 0.0;    // boundary die count / wafer circumference
+  double major_axis = 0.0;   // normalised by wafer diameter
+  double minor_axis = 0.0;   // normalised by wafer diameter
+  double eccentricity = 0.0; // in [0, 1); 0 for a disc, -> 1 for a line
+  double solidity = 0.0;     // area / bounding-box area
+
+  std::array<double, kNumGeometryFeatures> to_array() const {
+    return {area, perimeter, major_axis, minor_axis, eccentricity, solidity};
+  }
+};
+
+/// Features of the largest failing component (all zeros when none fails).
+GeometryFeatures geometry_features(const WaferMap& map);
+
+/// Same from a precomputed component.
+GeometryFeatures geometry_of_component(const Component& comp, const WaferMap& map);
+
+}  // namespace wm::baseline

@@ -1,0 +1,69 @@
+#include "baseline/knn.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "common/error.hpp"
+
+namespace wm::baseline {
+
+KnnClassifier::KnnClassifier(const KnnOptions& opts) : opts_(opts) {
+  WM_CHECK(opts.k > 0, "k must be positive");
+}
+
+void KnnClassifier::fit(const std::vector<std::vector<double>>& x,
+                        const std::vector<int>& y) {
+  WM_CHECK(!x.empty() && x.size() == y.size(), "bad training data");
+  const std::size_t dim = x.front().size();
+  for (const auto& row : x) WM_CHECK(row.size() == dim, "ragged feature rows");
+  for (int label : y) WM_CHECK(label >= 0, "negative class label");
+  x_ = x;
+  y_ = y;
+}
+
+int KnnClassifier::predict(const std::vector<double>& x) const {
+  WM_CHECK(trained(), "kNN not trained");
+  WM_CHECK(x.size() == x_.front().size(), "feature dimension mismatch");
+  // Partial sort of squared distances to the k nearest neighbours.
+  std::vector<std::pair<double, int>> dist;
+  dist.reserve(x_.size());
+  for (std::size_t i = 0; i < x_.size(); ++i) {
+    double d2 = 0.0;
+    const auto& row = x_[i];
+    for (std::size_t d = 0; d < x.size(); ++d) {
+      const double diff = row[d] - x[d];
+      d2 += diff * diff;
+    }
+    dist.emplace_back(d2, y_[i]);
+  }
+  const std::size_t k = std::min<std::size_t>(
+      static_cast<std::size_t>(opts_.k), dist.size());
+  std::partial_sort(dist.begin(), dist.begin() + static_cast<std::ptrdiff_t>(k),
+                    dist.end());
+  std::map<int, double> votes;
+  for (std::size_t i = 0; i < k; ++i) {
+    const double w =
+        opts_.distance_weighted ? 1.0 / (std::sqrt(dist[i].first) + 1e-9) : 1.0;
+    votes[dist[i].second] += w;
+  }
+  int best = dist.front().second;
+  double best_votes = -1.0;
+  for (const auto& [label, v] : votes) {
+    if (v > best_votes) {
+      best = label;
+      best_votes = v;
+    }
+  }
+  return best;
+}
+
+std::vector<int> KnnClassifier::predict(
+    const std::vector<std::vector<double>>& x) const {
+  std::vector<int> out;
+  out.reserve(x.size());
+  for (const auto& row : x) out.push_back(predict(row));
+  return out;
+}
+
+}  // namespace wm::baseline

@@ -1,0 +1,36 @@
+// k-nearest-neighbour classifier over the Wu feature space — the earlier
+// spatial-signature-analysis baseline of Tobin/Karnowski et al. that the
+// paper's related-work section cites ([6, 7]).
+#pragma once
+
+#include <vector>
+
+namespace wm::baseline {
+
+struct KnnOptions {
+  int k = 5;
+  /// Weight votes by inverse distance instead of uniformly.
+  bool distance_weighted = true;
+};
+
+class KnnClassifier {
+ public:
+  explicit KnnClassifier(const KnnOptions& opts);
+
+  /// Stores the training set (lazy learner). Labels are non-negative ids.
+  void fit(const std::vector<std::vector<double>>& x, const std::vector<int>& y);
+
+  bool trained() const { return !x_.empty(); }
+
+  int predict(const std::vector<double>& x) const;
+  std::vector<int> predict(const std::vector<std::vector<double>>& x) const;
+
+  const KnnOptions& options() const { return opts_; }
+
+ private:
+  KnnOptions opts_;
+  std::vector<std::vector<double>> x_;
+  std::vector<int> y_;
+};
+
+}  // namespace wm::baseline

@@ -1,0 +1,92 @@
+#include "baseline/multiclass_svm.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace wm::baseline {
+
+MulticlassSvm::MulticlassSvm(const MulticlassSvmOptions& opts) : opts_(opts) {
+  WM_CHECK(opts.max_samples_per_class >= 0, "bad per-class cap");
+}
+
+void MulticlassSvm::fit(const std::vector<std::vector<double>>& x,
+                        const std::vector<int>& y, Rng& rng) {
+  WM_CHECK(!x.empty() && x.size() == y.size(), "bad training data");
+  std::set<int> class_set;
+  for (int label : y) {
+    WM_CHECK(label >= 0, "negative class label");
+    class_set.insert(label);
+  }
+  WM_CHECK(class_set.size() >= 2, "need at least two classes");
+  classes_.assign(class_set.begin(), class_set.end());
+
+  // Index samples per class, optionally capped (shuffled first so the cap
+  // takes a random subset).
+  std::map<int, std::vector<std::size_t>> per_class;
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    per_class[y[i]].push_back(i);
+  }
+  for (auto& [label, indices] : per_class) {
+    rng.shuffle(indices);
+    if (opts_.max_samples_per_class > 0 &&
+        static_cast<int>(indices.size()) > opts_.max_samples_per_class) {
+      indices.resize(static_cast<std::size_t>(opts_.max_samples_per_class));
+    }
+  }
+
+  machines_.clear();
+  for (std::size_t a = 0; a < classes_.size(); ++a) {
+    for (std::size_t b = a + 1; b < classes_.size(); ++b) {
+      const int ca = classes_[a];
+      const int cb = classes_[b];
+      std::vector<std::vector<double>> pair_x;
+      std::vector<int> pair_y;
+      for (std::size_t i : per_class[ca]) {
+        pair_x.push_back(x[i]);
+        pair_y.push_back(+1);
+      }
+      for (std::size_t i : per_class[cb]) {
+        pair_x.push_back(x[i]);
+        pair_y.push_back(-1);
+      }
+      BinarySvm machine(opts_.binary);
+      machine.fit(pair_x, pair_y, rng);
+      machines_.emplace_back(std::make_pair(ca, cb), std::move(machine));
+    }
+  }
+}
+
+int MulticlassSvm::predict(const std::vector<double>& x) const {
+  WM_CHECK(trained(), "multiclass SVM not trained");
+  std::map<int, int> votes;
+  std::map<int, double> margin;
+  for (const auto& [pair, machine] : machines_) {
+    const double d = machine.decision(x);
+    const int winner = d >= 0.0 ? pair.first : pair.second;
+    votes[winner] += 1;
+    margin[winner] += std::fabs(d);
+  }
+  int best = classes_.front();
+  for (int cls : classes_) {
+    const int v = votes.count(cls) ? votes.at(cls) : 0;
+    const int bv = votes.count(best) ? votes.at(best) : 0;
+    const double m = margin.count(cls) ? margin.at(cls) : 0.0;
+    const double bm = margin.count(best) ? margin.at(best) : 0.0;
+    if (v > bv || (v == bv && m > bm)) best = cls;
+  }
+  return best;
+}
+
+std::vector<int> MulticlassSvm::predict(
+    const std::vector<std::vector<double>>& x) const {
+  std::vector<int> out;
+  out.reserve(x.size());
+  for (const auto& row : x) out.push_back(predict(row));
+  return out;
+}
+
+}  // namespace wm::baseline

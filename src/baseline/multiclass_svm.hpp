@@ -1,0 +1,44 @@
+// One-vs-one multiclass SVM with majority voting (ties broken by summed
+// decision values), as used by the Wu et al. wafer classifier.
+#pragma once
+
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "baseline/svm.hpp"
+
+namespace wm::baseline {
+
+struct MulticlassSvmOptions {
+  SvmOptions binary;
+  /// Caps the training samples per class per binary machine (keeps the
+  /// majority-class Gram matrices tractable); 0 disables the cap.
+  int max_samples_per_class = 2000;
+};
+
+class MulticlassSvm {
+ public:
+  explicit MulticlassSvm(const MulticlassSvmOptions& opts);
+
+  /// Labels are arbitrary non-negative class ids; one binary machine is
+  /// trained per unordered label pair that has samples on both sides.
+  void fit(const std::vector<std::vector<double>>& x,
+           const std::vector<int>& y, Rng& rng);
+
+  bool trained() const { return !machines_.empty(); }
+
+  int predict(const std::vector<double>& x) const;
+  std::vector<int> predict(const std::vector<std::vector<double>>& x) const;
+
+  int machine_count() const { return static_cast<int>(machines_.size()); }
+  const std::vector<int>& classes() const { return classes_; }
+
+ private:
+  MulticlassSvmOptions opts_;
+  std::vector<int> classes_;
+  /// (class_a, class_b) -> machine trained with a => +1, b => -1.
+  std::vector<std::pair<std::pair<int, int>, BinarySvm>> machines_;
+};
+
+}  // namespace wm::baseline

@@ -1,0 +1,95 @@
+#include "baseline/radon.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "common/error.hpp"
+
+namespace wm::baseline {
+
+Tensor radon_transform(const WaferMap& map, int angles, int bins) {
+  WM_CHECK(angles > 0 && bins > 1, "bad radon geometry: angles=", angles,
+           " bins=", bins);
+  Tensor sinogram(Shape{angles, bins});
+  const double c = map.center();
+  const double half_diag = map.size() / std::numbers::sqrt2;
+  for (int a = 0; a < angles; ++a) {
+    const double theta = std::numbers::pi * a / angles;
+    const double nx = std::cos(theta);
+    const double ny = std::sin(theta);
+    float* row = sinogram.data() + static_cast<std::int64_t>(a) * bins;
+    for (int r = 0; r < map.size(); ++r) {
+      for (int col = 0; col < map.size(); ++col) {
+        if (!map.on_wafer(r, col) || map.at(r, col) != Die::kFail) continue;
+        // Signed distance of the die centre to the line through the wafer
+        // centre with normal (nx, ny), mapped into [0, bins).
+        const double dist = (col - c) * nx + (r - c) * ny;
+        int bin = static_cast<int>(
+            std::floor((dist + half_diag) / (2 * half_diag) * bins));
+        bin = std::clamp(bin, 0, bins - 1);
+        row[bin] += 1.0f;
+      }
+    }
+  }
+  return sinogram;
+}
+
+std::vector<double> cubic_resample(const std::vector<double>& values,
+                                   int samples) {
+  WM_CHECK(samples > 0, "samples must be positive");
+  WM_CHECK(values.size() >= 2, "need at least two points to resample");
+  const int n = static_cast<int>(values.size());
+  // Ghost points extend linearly so straight data stays straight at the ends.
+  auto clamped = [&](int i) {
+    if (i < 0) return 2.0 * values[0] - values[1];
+    if (i >= n) {
+      return 2.0 * values[static_cast<std::size_t>(n - 1)] -
+             values[static_cast<std::size_t>(n - 2)];
+    }
+    return values[static_cast<std::size_t>(i)];
+  };
+  std::vector<double> out(static_cast<std::size_t>(samples));
+  for (int s = 0; s < samples; ++s) {
+    const double x = samples == 1
+                         ? 0.0
+                         : static_cast<double>(s) * (n - 1) / (samples - 1);
+    const int i = std::min(static_cast<int>(std::floor(x)), n - 2);
+    const double t = x - i;
+    // Catmull-Rom spline through p1=values[i], p2=values[i+1].
+    const double p0 = clamped(i - 1);
+    const double p1 = clamped(i);
+    const double p2 = clamped(i + 1);
+    const double p3 = clamped(i + 2);
+    out[static_cast<std::size_t>(s)] =
+        0.5 * ((2.0 * p1) + (-p0 + p2) * t +
+               (2.0 * p0 - 5.0 * p1 + 4.0 * p2 - p3) * t * t +
+               (-p0 + 3.0 * p1 - 3.0 * p2 + p3) * t * t * t);
+  }
+  return out;
+}
+
+std::vector<double> radon_features(const WaferMap& map, int samples, int angles,
+                                   int bins) {
+  const Tensor sino = radon_transform(map, angles, bins);
+  std::vector<double> means(static_cast<std::size_t>(bins), 0.0);
+  std::vector<double> stds(static_cast<std::size_t>(bins), 0.0);
+  for (int b = 0; b < bins; ++b) {
+    double mean = 0.0;
+    for (int a = 0; a < angles; ++a) mean += sino.at(a, b);
+    mean /= angles;
+    double var = 0.0;
+    for (int a = 0; a < angles; ++a) {
+      const double d = sino.at(a, b) - mean;
+      var += d * d;
+    }
+    means[static_cast<std::size_t>(b)] = mean;
+    stds[static_cast<std::size_t>(b)] = std::sqrt(var / angles);
+  }
+  std::vector<double> features = cubic_resample(means, samples);
+  const std::vector<double> std_part = cubic_resample(stds, samples);
+  features.insert(features.end(), std_part.begin(), std_part.end());
+  return features;
+}
+
+}  // namespace wm::baseline

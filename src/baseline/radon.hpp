@@ -1,0 +1,30 @@
+// Discrete Radon transform of the binary fail map and the Wu et al. feature
+// reduction: per-position mean/std across angles, cubic-interpolated to a
+// fixed length.
+#pragma once
+
+#include <vector>
+
+#include "tensor/tensor.hpp"
+#include "wafermap/wafer_map.hpp"
+
+namespace wm::baseline {
+
+/// Sinogram of the failing-die indicator: rows are projection angles
+/// (uniform in [0, pi)), columns are `bins` offsets across the wafer
+/// diameter. Each entry counts failing dies whose signed distance to the
+/// line direction falls into the bin.
+Tensor radon_transform(const WaferMap& map, int angles = 36, int bins = 32);
+
+/// Catmull-Rom cubic interpolation of `values` resampled at `samples`
+/// uniformly spaced positions over the full input range.
+std::vector<double> cubic_resample(const std::vector<double>& values,
+                                   int samples);
+
+/// The 2 * `samples` Radon features of Wu et al.: the per-bin mean across
+/// angles and the per-bin standard deviation across angles, each cubic-
+/// resampled to `samples` points.
+std::vector<double> radon_features(const WaferMap& map, int samples = 20,
+                                   int angles = 36, int bins = 32);
+
+}  // namespace wm::baseline

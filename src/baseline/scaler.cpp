@@ -1,0 +1,52 @@
+#include "baseline/scaler.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace wm::baseline {
+
+void StandardScaler::fit(const std::vector<std::vector<double>>& rows) {
+  WM_CHECK(!rows.empty(), "cannot fit scaler on empty data");
+  const std::size_t dim = rows.front().size();
+  WM_CHECK(dim > 0, "zero-dimensional features");
+  for (const auto& row : rows) {
+    WM_CHECK(row.size() == dim, "ragged feature rows");
+  }
+  mean_.assign(dim, 0.0);
+  std_.assign(dim, 0.0);
+  for (const auto& row : rows) {
+    for (std::size_t d = 0; d < dim; ++d) mean_[d] += row[d];
+  }
+  for (auto& m : mean_) m /= static_cast<double>(rows.size());
+  for (const auto& row : rows) {
+    for (std::size_t d = 0; d < dim; ++d) {
+      const double diff = row[d] - mean_[d];
+      std_[d] += diff * diff;
+    }
+  }
+  for (auto& s : std_) {
+    s = std::sqrt(s / static_cast<double>(rows.size()));
+    if (s < 1e-12) s = 1.0;  // constant feature
+  }
+}
+
+std::vector<double> StandardScaler::transform(const std::vector<double>& row) const {
+  WM_CHECK(fitted(), "scaler not fitted");
+  WM_CHECK(row.size() == mean_.size(), "feature dimension mismatch");
+  std::vector<double> out(row.size());
+  for (std::size_t d = 0; d < row.size(); ++d) {
+    out[d] = (row[d] - mean_[d]) / std_[d];
+  }
+  return out;
+}
+
+std::vector<std::vector<double>> StandardScaler::transform(
+    const std::vector<std::vector<double>>& rows) const {
+  std::vector<std::vector<double>> out;
+  out.reserve(rows.size());
+  for (const auto& row : rows) out.push_back(transform(row));
+  return out;
+}
+
+}  // namespace wm::baseline

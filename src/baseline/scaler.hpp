@@ -1,0 +1,29 @@
+// Z-score feature standardisation fit on training data.
+#pragma once
+
+#include <vector>
+
+namespace wm::baseline {
+
+class StandardScaler {
+ public:
+  /// Learns per-dimension mean and std. Dimensions with zero variance get
+  /// std 1 (they become constant zeros after transform).
+  void fit(const std::vector<std::vector<double>>& rows);
+
+  bool fitted() const { return !mean_.empty(); }
+  std::size_t dim() const { return mean_.size(); }
+
+  std::vector<double> transform(const std::vector<double>& row) const;
+  std::vector<std::vector<double>> transform(
+      const std::vector<std::vector<double>>& rows) const;
+
+  const std::vector<double>& mean() const { return mean_; }
+  const std::vector<double>& stddev() const { return std_; }
+
+ private:
+  std::vector<double> mean_;
+  std::vector<double> std_;
+};
+
+}  // namespace wm::baseline

@@ -1,0 +1,159 @@
+#include "baseline/svm.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace wm::baseline {
+
+BinarySvm::BinarySvm(const SvmOptions& opts) : opts_(opts) {
+  WM_CHECK(opts.c > 0.0, "C must be positive");
+  WM_CHECK(opts.gamma > 0.0, "gamma must be positive");
+  WM_CHECK(opts.tolerance > 0.0, "tolerance must be positive");
+  WM_CHECK(opts.max_passes > 0 && opts.max_iterations > 0, "bad SMO limits");
+}
+
+double BinarySvm::kernel(const std::vector<double>& a,
+                         const std::vector<double>& b) const {
+  WM_ASSERT(a.size() == b.size(), "kernel dimension mismatch");
+  if (opts_.kernel == KernelType::kLinear) {
+    double dot = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) dot += a[i] * b[i];
+    return dot;
+  }
+  double dist2 = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    dist2 += d * d;
+  }
+  return std::exp(-opts_.gamma * dist2);
+}
+
+void BinarySvm::fit(const std::vector<std::vector<double>>& x,
+                    const std::vector<int>& y, Rng& rng) {
+  const int n = static_cast<int>(x.size());
+  WM_CHECK(n >= 2, "need at least two samples");
+  WM_CHECK(y.size() == x.size(), "label count mismatch");
+  bool has_pos = false;
+  bool has_neg = false;
+  for (int label : y) {
+    WM_CHECK(label == 1 || label == -1, "labels must be +1/-1, got ", label);
+    has_pos |= (label == 1);
+    has_neg |= (label == -1);
+  }
+  WM_CHECK(has_pos && has_neg, "need both classes to train an SVM");
+
+  // Precompute the Gram matrix (float to halve memory; pairs in the wafer
+  // problem stay small enough after per-class caps).
+  std::vector<float> gram(static_cast<std::size_t>(n) * n);
+  for (int i = 0; i < n; ++i) {
+    for (int j = i; j < n; ++j) {
+      const float k = static_cast<float>(kernel(x[static_cast<std::size_t>(i)],
+                                                x[static_cast<std::size_t>(j)]));
+      gram[static_cast<std::size_t>(i) * n + j] = k;
+      gram[static_cast<std::size_t>(j) * n + i] = k;
+    }
+  }
+  auto k_at = [&](int i, int j) {
+    return static_cast<double>(gram[static_cast<std::size_t>(i) * n + j]);
+  };
+
+  std::vector<double> alpha(static_cast<std::size_t>(n), 0.0);
+  double b = 0.0;
+
+  auto f_of = [&](int i) {
+    double acc = b;
+    for (int j = 0; j < n; ++j) {
+      if (alpha[static_cast<std::size_t>(j)] != 0.0) {
+        acc += alpha[static_cast<std::size_t>(j)] * y[static_cast<std::size_t>(j)] *
+               k_at(j, i);
+      }
+    }
+    return acc;
+  };
+
+  // Simplified SMO (Platt; CS229 variant): sweep i, pick random j, optimise
+  // the (alpha_i, alpha_j) pair analytically.
+  const double c = opts_.c;
+  const double tol = opts_.tolerance;
+  int passes = 0;
+  int iterations = 0;
+  while (passes < opts_.max_passes && iterations < opts_.max_iterations) {
+    ++iterations;
+    int changed = 0;
+    for (int i = 0; i < n; ++i) {
+      const std::size_t si = static_cast<std::size_t>(i);
+      const double ei = f_of(i) - y[si];
+      if (!((y[si] * ei < -tol && alpha[si] < c) ||
+            (y[si] * ei > tol && alpha[si] > 0))) {
+        continue;
+      }
+      int j = rng.uniform_int(0, n - 2);
+      if (j >= i) ++j;
+      const std::size_t sj = static_cast<std::size_t>(j);
+      const double ej = f_of(j) - y[sj];
+      const double ai_old = alpha[si];
+      const double aj_old = alpha[sj];
+      double lo;
+      double hi;
+      if (y[si] != y[sj]) {
+        lo = std::max(0.0, aj_old - ai_old);
+        hi = std::min(c, c + aj_old - ai_old);
+      } else {
+        lo = std::max(0.0, ai_old + aj_old - c);
+        hi = std::min(c, ai_old + aj_old);
+      }
+      if (lo >= hi) continue;
+      const double eta = 2.0 * k_at(i, j) - k_at(i, i) - k_at(j, j);
+      if (eta >= 0.0) continue;
+      double aj = aj_old - y[sj] * (ei - ej) / eta;
+      aj = std::clamp(aj, lo, hi);
+      if (std::fabs(aj - aj_old) < 1e-5) continue;
+      const double ai = ai_old + y[si] * y[sj] * (aj_old - aj);
+      alpha[si] = ai;
+      alpha[sj] = aj;
+      const double b1 = b - ei - y[si] * (ai - ai_old) * k_at(i, i) -
+                        y[sj] * (aj - aj_old) * k_at(i, j);
+      const double b2 = b - ej - y[si] * (ai - ai_old) * k_at(i, j) -
+                        y[sj] * (aj - aj_old) * k_at(j, j);
+      if (ai > 0.0 && ai < c) {
+        b = b1;
+      } else if (aj > 0.0 && aj < c) {
+        b = b2;
+      } else {
+        b = (b1 + b2) / 2.0;
+      }
+      ++changed;
+    }
+    passes = (changed == 0) ? passes + 1 : 0;
+  }
+
+  // Keep support vectors only.
+  support_vectors_.clear();
+  coefficients_.clear();
+  for (int i = 0; i < n; ++i) {
+    const std::size_t si = static_cast<std::size_t>(i);
+    if (alpha[si] > 1e-8) {
+      support_vectors_.push_back(x[si]);
+      coefficients_.push_back(alpha[si] * y[si]);
+    }
+  }
+  bias_ = b;
+}
+
+double BinarySvm::decision(const std::vector<double>& x) const {
+  WM_CHECK(trained(), "SVM not trained");
+  double acc = bias_;
+  for (std::size_t i = 0; i < support_vectors_.size(); ++i) {
+    acc += coefficients_[i] * kernel(support_vectors_[i], x);
+  }
+  return acc;
+}
+
+int BinarySvm::predict(const std::vector<double>& x) const {
+  return decision(x) >= 0.0 ? 1 : -1;
+}
+
+}  // namespace wm::baseline

@@ -1,0 +1,57 @@
+// Binary soft-margin SVM trained with (simplified) SMO.
+//
+// Supports linear and RBF kernels. Training data is held by value; the
+// trained model keeps only support vectors.
+#pragma once
+
+#include <vector>
+
+namespace wm {
+class Rng;
+}
+
+namespace wm::baseline {
+
+enum class KernelType { kLinear, kRbf };
+
+struct SvmOptions {
+  KernelType kernel = KernelType::kRbf;
+  double c = 1.0;        // soft-margin penalty
+  double gamma = 0.05;   // RBF width
+  double tolerance = 1e-3;
+  int max_passes = 5;     // SMO convergence: passes without alpha changes
+  int max_iterations = 200;  // hard cap on full SMO sweeps
+};
+
+class BinarySvm {
+ public:
+  explicit BinarySvm(const SvmOptions& opts);
+
+  /// Labels must be +1 / -1. Requires at least one sample of each label.
+  void fit(const std::vector<std::vector<double>>& x,
+           const std::vector<int>& y, Rng& rng);
+
+  bool trained() const { return !support_vectors_.empty(); }
+
+  /// Signed decision value f(x) = sum alpha_i y_i K(x_i, x) + b.
+  double decision(const std::vector<double>& x) const;
+
+  /// +1 or -1.
+  int predict(const std::vector<double>& x) const;
+
+  int support_vector_count() const {
+    return static_cast<int>(support_vectors_.size());
+  }
+
+  const SvmOptions& options() const { return opts_; }
+
+ private:
+  double kernel(const std::vector<double>& a, const std::vector<double>& b) const;
+
+  SvmOptions opts_;
+  std::vector<std::vector<double>> support_vectors_;
+  std::vector<double> coefficients_;  // alpha_i * y_i
+  double bias_ = 0.0;
+};
+
+}  // namespace wm::baseline

@@ -1,0 +1,37 @@
+#include "baseline/wu_classifier.hpp"
+
+#include "baseline/features.hpp"
+#include "common/error.hpp"
+#include "common/logging.hpp"
+
+namespace wm::baseline {
+
+WuClassifier::WuClassifier(const WuClassifierOptions& opts)
+    : opts_(opts), svm_(opts.svm) {}
+
+void WuClassifier::fit(const Dataset& training, Rng& rng) {
+  WM_CHECK(!training.empty(), "cannot fit on empty dataset");
+  log_info("Wu baseline: extracting features for ", training.size(), " wafers");
+  const FeatureMatrix features = extract_features(training);
+  scaler_.fit(features.rows);
+  const auto scaled = scaler_.transform(features.rows);
+  log_info("Wu baseline: training one-vs-one SVM");
+  svm_.fit(scaled, features.labels, rng);
+}
+
+int WuClassifier::predict(const WaferMap& map) const {
+  WM_CHECK(trained(), "classifier not trained");
+  return svm_.predict(scaler_.transform(extract_features(map)));
+}
+
+std::vector<int> WuClassifier::predict(const Dataset& data) const {
+  WM_CHECK(trained(), "classifier not trained");
+  std::vector<int> out;
+  out.reserve(data.size());
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    out.push_back(predict(data[i].map));
+  }
+  return out;
+}
+
+}  // namespace wm::baseline

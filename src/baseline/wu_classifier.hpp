@@ -1,0 +1,37 @@
+// The assembled Wu et al. (TSM'14) wafer classifier: median denoise ->
+// 59-d features (zones + Radon + geometry) -> z-score -> one-vs-one RBF SVM.
+// This is the paper's comparison baseline ("SVM [2]"), reimplemented without
+// the human-in-the-loop relabelling step, exactly as the paper compares.
+#pragma once
+
+#include "baseline/multiclass_svm.hpp"
+#include "baseline/scaler.hpp"
+#include "wafermap/dataset.hpp"
+
+namespace wm::baseline {
+
+struct WuClassifierOptions {
+  MulticlassSvmOptions svm;
+};
+
+class WuClassifier {
+ public:
+  explicit WuClassifier(const WuClassifierOptions& opts = {});
+
+  void fit(const Dataset& training, Rng& rng);
+
+  bool trained() const { return svm_.trained(); }
+
+  /// Predicted class index for one wafer.
+  int predict(const WaferMap& map) const;
+
+  /// Predicted class indices for a dataset (order preserved).
+  std::vector<int> predict(const Dataset& data) const;
+
+ private:
+  WuClassifierOptions opts_;
+  StandardScaler scaler_;
+  MulticlassSvm svm_;
+};
+
+}  // namespace wm::baseline

@@ -1,0 +1,33 @@
+// Tiny CSV writer/reader used to dump experiment series (e.g. Fig 5 curves).
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace wm {
+
+/// Streams rows to a CSV file with RFC-4180 style quoting.
+class CsvWriter {
+ public:
+  explicit CsvWriter(const std::string& path);
+
+  /// Writes one row; quotes fields containing commas/quotes/newlines.
+  void write_row(const std::vector<std::string>& fields);
+
+  /// Convenience: formats doubles with 6 significant digits.
+  void write_row_numeric(const std::vector<double>& values);
+
+  void flush();
+
+ private:
+  std::ofstream out_;
+};
+
+/// Parses a whole CSV file into rows of fields (handles quoted fields).
+std::vector<std::vector<std::string>> read_csv(const std::string& path);
+
+/// Splits a single CSV line (no embedded newlines).
+std::vector<std::string> split_csv_line(const std::string& line);
+
+}  // namespace wm

@@ -1,0 +1,78 @@
+// Error handling primitives shared by every wm library.
+//
+// Errors that indicate a violated precondition or a corrupted invariant are
+// reported by throwing wm::Error. WM_CHECK is always on; WM_ASSERT compiles
+// out in NDEBUG builds and is reserved for internal invariants on hot paths.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace wm {
+
+/// Base exception for all library errors.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when user-supplied arguments violate a documented precondition.
+class InvalidArgument : public Error {
+ public:
+  explicit InvalidArgument(const std::string& what) : Error(what) {}
+};
+
+/// Thrown when tensor/layer shapes are incompatible.
+class ShapeError : public Error {
+ public:
+  explicit ShapeError(const std::string& what) : Error(what) {}
+};
+
+/// Thrown on file-format or I/O failures.
+class IoError : public Error {
+ public:
+  explicit IoError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+
+template <typename Err, typename... Parts>
+[[noreturn]] void throw_error(const char* file, int line, const char* expr,
+                              const Parts&... parts) {
+  std::ostringstream os;
+  os << file << ":" << line << ": check failed: " << expr;
+  if constexpr (sizeof...(parts) > 0) {
+    os << " — ";
+    (os << ... << parts);
+  }
+  throw Err(os.str());
+}
+
+}  // namespace detail
+}  // namespace wm
+
+/// Always-on contract check; throws wm::InvalidArgument with context.
+#define WM_CHECK(cond, ...)                                                  \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      ::wm::detail::throw_error<::wm::InvalidArgument>(__FILE__, __LINE__,   \
+                                                       #cond, ##__VA_ARGS__); \
+    }                                                                        \
+  } while (false)
+
+/// Always-on shape check; throws wm::ShapeError with context.
+#define WM_CHECK_SHAPE(cond, ...)                                           \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      ::wm::detail::throw_error<::wm::ShapeError>(__FILE__, __LINE__,       \
+                                                  #cond, ##__VA_ARGS__);    \
+    }                                                                       \
+  } while (false)
+
+/// Internal invariant check, compiled out in release (NDEBUG) builds.
+#ifdef NDEBUG
+#define WM_ASSERT(cond, ...) ((void)0)
+#else
+#define WM_ASSERT(cond, ...) WM_CHECK(cond, ##__VA_ARGS__)
+#endif

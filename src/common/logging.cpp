@@ -1,0 +1,58 @@
+#include "common/logging.hpp"
+
+#include <cstdlib>
+#include <iostream>
+#include <mutex>
+
+namespace wm {
+
+namespace {
+
+LogLevel parse_level(const char* s) {
+  const std::string v(s);
+  if (v == "debug") return LogLevel::Debug;
+  if (v == "info") return LogLevel::Info;
+  if (v == "warn") return LogLevel::Warn;
+  if (v == "error") return LogLevel::Error;
+  if (v == "off") return LogLevel::Off;
+  return LogLevel::Info;
+}
+
+LogLevel initial_level() {
+  if (const char* env = std::getenv("WM_LOG")) return parse_level(env);
+  return LogLevel::Info;
+}
+
+LogLevel& level_ref() {
+  static LogLevel level = initial_level();
+  return level;
+}
+
+const char* level_tag(LogLevel level) {
+  switch (level) {
+    case LogLevel::Debug: return "DEBUG";
+    case LogLevel::Info: return "INFO ";
+    case LogLevel::Warn: return "WARN ";
+    case LogLevel::Error: return "ERROR";
+    default: return "?????";
+  }
+}
+
+std::mutex& log_mutex() {
+  static std::mutex m;
+  return m;
+}
+
+}  // namespace
+
+LogLevel log_level() { return level_ref(); }
+void set_log_level(LogLevel level) { level_ref() = level; }
+
+namespace detail {
+void log_emit(LogLevel level, const std::string& message) {
+  const std::lock_guard<std::mutex> lock(log_mutex());
+  std::cerr << "[" << level_tag(level) << "] " << message << "\n";
+}
+}  // namespace detail
+
+}  // namespace wm

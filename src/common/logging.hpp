@@ -1,0 +1,40 @@
+// Minimal leveled logger writing to stderr.
+//
+// The experiment binaries use this for progress lines (epoch losses, phase
+// boundaries); tests run with the level raised to Warn to stay quiet.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace wm {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+/// Process-wide minimum level. Defaults to Info; honours WM_LOG env var
+/// (debug|info|warn|error|off) at first use.
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+namespace detail {
+void log_emit(LogLevel level, const std::string& message);
+}
+
+template <typename... Parts>
+void log(LogLevel level, const Parts&... parts) {
+  if (static_cast<int>(level) < static_cast<int>(log_level())) return;
+  std::ostringstream os;
+  (os << ... << parts);
+  detail::log_emit(level, os.str());
+}
+
+template <typename... Parts>
+void log_debug(const Parts&... parts) { log(LogLevel::Debug, parts...); }
+template <typename... Parts>
+void log_info(const Parts&... parts) { log(LogLevel::Info, parts...); }
+template <typename... Parts>
+void log_warn(const Parts&... parts) { log(LogLevel::Warn, parts...); }
+template <typename... Parts>
+void log_error(const Parts&... parts) { log(LogLevel::Error, parts...); }
+
+}  // namespace wm

@@ -1,0 +1,96 @@
+#include "common/threadpool.hpp"
+
+#include <atomic>
+#include <exception>
+
+namespace wm {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) {
+    const unsigned hc = std::thread::hardware_concurrency();
+    threads = hc > 1 ? hc - 1 : 0;
+  }
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      if (stop_ && tasks_.empty()) return;
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
+                              const std::function<void(std::size_t)>& fn) {
+  if (begin >= end) return;
+  const std::size_t n = end - begin;
+  if (workers_.empty() || n == 1) {
+    for (std::size_t i = begin; i < end; ++i) fn(i);
+    return;
+  }
+
+  const std::size_t chunks = std::min(n, workers_.size() + 1);
+  const std::size_t chunk_size = (n + chunks - 1) / chunks;
+
+  std::atomic<std::size_t> remaining(chunks);
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+  std::mutex done_mutex;
+  std::condition_variable done_cv;
+
+  auto run_chunk = [&](std::size_t c) {
+    const std::size_t lo = begin + c * chunk_size;
+    const std::size_t hi = std::min(end, lo + chunk_size);
+    try {
+      for (std::size_t i = lo; i < hi; ++i) fn(i);
+    } catch (...) {
+      const std::lock_guard<std::mutex> lock(error_mutex);
+      if (!first_error) first_error = std::current_exception();
+    }
+    if (remaining.fetch_sub(1) == 1) {
+      const std::lock_guard<std::mutex> lock(done_mutex);
+      done_cv.notify_one();
+    }
+  };
+
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (std::size_t c = 1; c < chunks; ++c) {
+      tasks_.push([run_chunk, c] { run_chunk(c); });
+    }
+  }
+  cv_.notify_all();
+  run_chunk(0);  // caller participates
+
+  {
+    std::unique_lock<std::mutex> lock(done_mutex);
+    done_cv.wait(lock, [&] { return remaining.load() == 0; });
+  }
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool;
+  return pool;
+}
+
+}  // namespace wm

@@ -1,0 +1,49 @@
+// Fixed-size thread pool with a blocking parallel_for.
+//
+// On the single-core evaluation machine the pool degenerates to serial
+// execution (zero worker threads -> run inline), so there is no scheduling
+// overhead; on multi-core machines conv/GEMM batch loops pick up the cores.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace wm {
+
+class ThreadPool {
+ public:
+  /// threads == 0 means "hardware_concurrency - 1" (inline execution when
+  /// that is zero, i.e. on a single-core host).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t worker_count() const { return workers_.size(); }
+
+  /// Runs fn(i) for i in [begin, end), partitioned into contiguous chunks,
+  /// and blocks until all iterations complete. Exceptions from fn propagate
+  /// (first one wins).
+  void parallel_for(std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t)>& fn);
+
+  /// Process-wide pool shared by the nn library.
+  static ThreadPool& global();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+}  // namespace wm

@@ -1,0 +1,120 @@
+#include "eval/tables.hpp"
+
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/string_util.hpp"
+#include "wafermap/defect_types.hpp"
+
+namespace wm::eval {
+
+std::vector<std::string> defect_class_names() {
+  std::vector<std::string> names;
+  names.reserve(kNumDefectTypes);
+  for (DefectType t : all_defect_types()) names.push_back(to_string(t));
+  return names;
+}
+
+std::string render_table(const std::vector<std::vector<std::string>>& rows) {
+  WM_CHECK(!rows.empty(), "empty table");
+  const std::size_t cols = rows.front().size();
+  for (const auto& row : rows) {
+    WM_CHECK(row.size() == cols, "ragged table rows");
+  }
+  std::vector<std::size_t> widths(cols, 0);
+  for (const auto& row : rows) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::ostringstream os;
+  auto rule = [&] {
+    os << '+';
+    for (std::size_t c = 0; c < cols; ++c) {
+      os << std::string(widths[c] + 2, '-') << '+';
+    }
+    os << '\n';
+  };
+  rule();
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    os << '|';
+    for (std::size_t c = 0; c < cols; ++c) {
+      os << ' ' << pad_left(rows[r][c], widths[c]) << " |";
+    }
+    os << '\n';
+    if (r == 0) rule();
+  }
+  rule();
+  return os.str();
+}
+
+std::string render_confusion(const ConfusionMatrix& cm,
+                             const std::vector<std::string>& class_names) {
+  WM_CHECK(static_cast<int>(class_names.size()) == cm.num_classes(),
+           "class name count mismatch");
+  std::vector<std::vector<std::string>> rows;
+  std::vector<std::string> header = {"true \\ pred"};
+  header.insert(header.end(), class_names.begin(), class_names.end());
+  rows.push_back(header);
+  for (int t = 0; t < cm.num_classes(); ++t) {
+    std::vector<std::string> row = {class_names[static_cast<std::size_t>(t)]};
+    for (int p = 0; p < cm.num_classes(); ++p) {
+      row.push_back(std::to_string(cm.at(t, p)));
+    }
+    rows.push_back(std::move(row));
+  }
+  return render_table(rows);
+}
+
+std::string render_selective_block(const SelectiveClassReport& report,
+                                   const std::vector<std::string>& class_names,
+                                   double c0) {
+  const int nc = static_cast<int>(class_names.size());
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back({"class", "Pre", "Rec", "f1", "Cov"});
+  for (int c = 0; c < nc; ++c) {
+    const std::size_t sc = static_cast<std::size_t>(c);
+    std::vector<std::string> row = {class_names[sc]};
+    if (report.covered[sc] == 0) {
+      row.insert(row.end(), {"-", "-", "-", "0"});
+    } else {
+      row.push_back(format_fixed(report.precision[sc], 2));
+      row.push_back(format_fixed(report.recall[sc], 2));
+      row.push_back(format_fixed(report.f1[sc], 2));
+      row.push_back(std::to_string(report.covered[sc]));
+    }
+    rows.push_back(std::move(row));
+  }
+  std::ostringstream os;
+  os << "c0 = " << format_fixed(c0, 2) << "\n" << render_table(rows);
+  os << "Overall: accuracy = " << format_percent(report.overall_accuracy)
+     << ", coverage = " << report.total_covered << " ("
+     << format_percent(report.coverage) << ")\n";
+  return os.str();
+}
+
+std::string render_newdefect_table(
+    const std::vector<std::string>& class_names,
+    const std::vector<double>& original_recall,
+    const std::vector<double>& selective_recall,
+    const std::vector<int>& covered, const std::vector<int>& support) {
+  const std::size_t nc = class_names.size();
+  WM_CHECK(original_recall.size() == nc && selective_recall.size() == nc &&
+               covered.size() == nc && support.size() == nc,
+           "table column size mismatch");
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back({"class", "Original Recall", "Selective Recall", "Coverage"});
+  for (std::size_t c = 0; c < nc; ++c) {
+    std::vector<std::string> row = {class_names[c]};
+    row.push_back(format_fixed(original_recall[c], 2));
+    row.push_back(covered[c] == 0 ? "-" : format_fixed(selective_recall[c], 2));
+    const double pct = support[c] == 0
+                           ? 0.0
+                           : static_cast<double>(covered[c]) / support[c];
+    row.push_back(std::to_string(covered[c]) + " (" + format_percent(pct) + ")");
+    rows.push_back(std::move(row));
+  }
+  return render_table(rows);
+}
+
+}  // namespace wm::eval

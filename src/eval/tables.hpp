@@ -1,0 +1,34 @@
+// ASCII table rendering matching the paper's result tables.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "eval/metrics.hpp"
+
+namespace wm::eval {
+
+/// Generic fixed-width table: first row is the header.
+std::string render_table(const std::vector<std::vector<std::string>>& rows);
+
+/// Confusion matrix with class names on both axes (Table III style).
+std::string render_confusion(const ConfusionMatrix& cm,
+                             const std::vector<std::string>& class_names);
+
+/// One Table II block: per-class Pre / Rec / f1 / Cov plus the overall
+/// accuracy/coverage footer for a single c0 setting.
+std::string render_selective_block(const SelectiveClassReport& report,
+                                   const std::vector<std::string>& class_names,
+                                   double c0);
+
+/// Table IV: original (full-coverage) recall vs selective recall vs coverage.
+std::string render_newdefect_table(
+    const std::vector<std::string>& class_names,
+    const std::vector<double>& original_recall,
+    const std::vector<double>& selective_recall,
+    const std::vector<int>& covered, const std::vector<int>& support);
+
+/// The nine wafer-class names in enum order.
+std::vector<std::string> defect_class_names();
+
+}  // namespace wm::eval

@@ -1,0 +1,81 @@
+#include "nn/layers/activations.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace wm::nn {
+
+Tensor ReLU::forward(const Tensor& input, bool /*training*/) {
+  input_ = input;
+  Tensor out(input.shape());
+  const float* in = input.data();
+  float* po = out.data();
+  const std::int64_t n = input.numel();
+  for (std::int64_t i = 0; i < n; ++i) po[i] = in[i] > 0.0f ? in[i] : 0.0f;
+  return out;
+}
+
+Tensor ReLU::backward(const Tensor& grad_output) {
+  WM_CHECK_SHAPE(grad_output.same_shape(input_), "ReLU backward shape mismatch");
+  Tensor grad(input_.shape());
+  const float* in = input_.data();
+  const float* go = grad_output.data();
+  float* g = grad.data();
+  const std::int64_t n = input_.numel();
+  for (std::int64_t i = 0; i < n; ++i) g[i] = in[i] > 0.0f ? go[i] : 0.0f;
+  return grad;
+}
+
+Tensor Sigmoid::forward(const Tensor& input, bool /*training*/) {
+  Tensor out(input.shape());
+  const float* in = input.data();
+  float* po = out.data();
+  const std::int64_t n = input.numel();
+  for (std::int64_t i = 0; i < n; ++i) {
+    // Split by sign for numerical stability at large |x|.
+    const float x = in[i];
+    if (x >= 0.0f) {
+      po[i] = 1.0f / (1.0f + std::exp(-x));
+    } else {
+      const float e = std::exp(x);
+      po[i] = e / (1.0f + e);
+    }
+  }
+  output_ = out;
+  return out;
+}
+
+Tensor Sigmoid::backward(const Tensor& grad_output) {
+  WM_CHECK_SHAPE(grad_output.same_shape(output_), "Sigmoid backward shape mismatch");
+  Tensor grad(output_.shape());
+  const float* s = output_.data();
+  const float* go = grad_output.data();
+  float* g = grad.data();
+  const std::int64_t n = output_.numel();
+  for (std::int64_t i = 0; i < n; ++i) g[i] = go[i] * s[i] * (1.0f - s[i]);
+  return grad;
+}
+
+Tensor Tanh::forward(const Tensor& input, bool /*training*/) {
+  Tensor out(input.shape());
+  const float* in = input.data();
+  float* po = out.data();
+  const std::int64_t n = input.numel();
+  for (std::int64_t i = 0; i < n; ++i) po[i] = std::tanh(in[i]);
+  output_ = out;
+  return out;
+}
+
+Tensor Tanh::backward(const Tensor& grad_output) {
+  WM_CHECK_SHAPE(grad_output.same_shape(output_), "Tanh backward shape mismatch");
+  Tensor grad(output_.shape());
+  const float* t = output_.data();
+  const float* go = grad_output.data();
+  float* g = grad.data();
+  const std::int64_t n = output_.numel();
+  for (std::int64_t i = 0; i < n; ++i) g[i] = go[i] * (1.0f - t[i] * t[i]);
+  return grad;
+}
+
+}  // namespace wm::nn

@@ -1,0 +1,38 @@
+// Element-wise activation layers: ReLU, Sigmoid, Tanh.
+#pragma once
+
+#include "nn/module.hpp"
+
+namespace wm::nn {
+
+class ReLU final : public Module {
+ public:
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::string name() const override { return "ReLU"; }
+
+ private:
+  Tensor input_;  // cached for the mask
+};
+
+class Sigmoid final : public Module {
+ public:
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::string name() const override { return "Sigmoid"; }
+
+ private:
+  Tensor output_;  // sigma(x); derivative is sigma*(1-sigma)
+};
+
+class Tanh final : public Module {
+ public:
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::string name() const override { return "Tanh"; }
+
+ private:
+  Tensor output_;
+};
+
+}  // namespace wm::nn

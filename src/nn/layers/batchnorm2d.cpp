@@ -1,0 +1,132 @@
+#include "nn/layers/batchnorm2d.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace wm::nn {
+
+BatchNorm2d::BatchNorm2d(const BatchNorm2dOptions& opts)
+    : opts_(opts),
+      gamma_("bn.gamma", Tensor::ones(Shape{opts.channels})),
+      beta_("bn.beta", Tensor(Shape{opts.channels})),
+      running_mean_(Shape{opts.channels}),
+      running_var_(Tensor::ones(Shape{opts.channels})) {
+  WM_CHECK(opts.channels > 0, "BatchNorm2d needs positive channel count");
+  WM_CHECK(opts.eps > 0.0, "BatchNorm2d eps must be positive");
+  WM_CHECK(opts.momentum > 0.0 && opts.momentum <= 1.0, "bad momentum");
+}
+
+Tensor BatchNorm2d::forward(const Tensor& input, bool training) {
+  WM_CHECK_SHAPE(input.rank() == 4 && input.dim(1) == opts_.channels,
+                 "BatchNorm2d expects (N,", opts_.channels, ",H,W), got ",
+                 input.shape().to_string());
+  const std::int64_t n = input.dim(0);
+  const std::int64_t c = input.dim(1);
+  const std::int64_t spatial = input.dim(2) * input.dim(3);
+  const std::int64_t per_channel = n * spatial;
+  WM_CHECK(per_channel > 0, "empty batch");
+
+  Tensor out(input.shape());
+  if (training) {
+    normalized_ = Tensor(input.shape());
+    inv_std_.assign(static_cast<std::size_t>(c), 0.0f);
+    trained_forward_ = true;
+  }
+
+  for (std::int64_t ch = 0; ch < c; ++ch) {
+    float mean;
+    float var;
+    if (training) {
+      double acc = 0.0;
+      for (std::int64_t i = 0; i < n; ++i) {
+        const float* p = input.data() + (i * c + ch) * spatial;
+        for (std::int64_t s = 0; s < spatial; ++s) acc += p[s];
+      }
+      mean = static_cast<float>(acc / static_cast<double>(per_channel));
+      double vacc = 0.0;
+      for (std::int64_t i = 0; i < n; ++i) {
+        const float* p = input.data() + (i * c + ch) * spatial;
+        for (std::int64_t s = 0; s < spatial; ++s) {
+          const double d = p[s] - mean;
+          vacc += d * d;
+        }
+      }
+      var = static_cast<float>(vacc / static_cast<double>(per_channel));
+      const float m = static_cast<float>(opts_.momentum);
+      running_mean_[ch] = (1.0f - m) * running_mean_[ch] + m * mean;
+      running_var_[ch] = (1.0f - m) * running_var_[ch] + m * var;
+    } else {
+      mean = running_mean_[ch];
+      var = running_var_[ch];
+    }
+    const float inv_std = 1.0f / std::sqrt(var + static_cast<float>(opts_.eps));
+    if (training) inv_std_[static_cast<std::size_t>(ch)] = inv_std;
+    const float g = gamma_.value[ch];
+    const float b = beta_.value[ch];
+    for (std::int64_t i = 0; i < n; ++i) {
+      const float* p = input.data() + (i * c + ch) * spatial;
+      float* o = out.data() + (i * c + ch) * spatial;
+      float* xh = training ? normalized_.data() + (i * c + ch) * spatial : nullptr;
+      for (std::int64_t s = 0; s < spatial; ++s) {
+        const float norm = (p[s] - mean) * inv_std;
+        if (xh != nullptr) xh[s] = norm;
+        o[s] = g * norm + b;
+      }
+    }
+  }
+  return out;
+}
+
+Tensor BatchNorm2d::backward(const Tensor& grad_output) {
+  WM_CHECK(trained_forward_, "BatchNorm2d backward without training forward");
+  WM_CHECK_SHAPE(grad_output.same_shape(normalized_),
+                 "BatchNorm2d backward shape mismatch");
+  const std::int64_t n = grad_output.dim(0);
+  const std::int64_t c = grad_output.dim(1);
+  const std::int64_t spatial = grad_output.dim(2) * grad_output.dim(3);
+  const std::int64_t per_channel = n * spatial;
+
+  Tensor grad_input(grad_output.shape());
+  for (std::int64_t ch = 0; ch < c; ++ch) {
+    // Accumulate dgamma, dbeta and the two reduction terms of the
+    // batch-norm backward formula.
+    double sum_dy = 0.0;
+    double sum_dy_xh = 0.0;
+    for (std::int64_t i = 0; i < n; ++i) {
+      const float* dy = grad_output.data() + (i * c + ch) * spatial;
+      const float* xh = normalized_.data() + (i * c + ch) * spatial;
+      for (std::int64_t s = 0; s < spatial; ++s) {
+        sum_dy += dy[s];
+        sum_dy_xh += static_cast<double>(dy[s]) * xh[s];
+      }
+    }
+    gamma_.grad[ch] += static_cast<float>(sum_dy_xh);
+    beta_.grad[ch] += static_cast<float>(sum_dy);
+
+    const float g = gamma_.value[ch];
+    const float inv_std = inv_std_[static_cast<std::size_t>(ch)];
+    const float k = g * inv_std / static_cast<float>(per_channel);
+    const float mean_dy = static_cast<float>(sum_dy);
+    const float mean_dy_xh = static_cast<float>(sum_dy_xh);
+    for (std::int64_t i = 0; i < n; ++i) {
+      const float* dy = grad_output.data() + (i * c + ch) * spatial;
+      const float* xh = normalized_.data() + (i * c + ch) * spatial;
+      float* dx = grad_input.data() + (i * c + ch) * spatial;
+      for (std::int64_t s = 0; s < spatial; ++s) {
+        dx[s] = k * (static_cast<float>(per_channel) * dy[s] - mean_dy -
+                     xh[s] * mean_dy_xh);
+      }
+    }
+  }
+  return grad_input;
+}
+
+std::string BatchNorm2d::name() const {
+  std::ostringstream os;
+  os << "BatchNorm2d(" << opts_.channels << ")";
+  return os.str();
+}
+
+}  // namespace wm::nn

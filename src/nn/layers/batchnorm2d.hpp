@@ -1,0 +1,44 @@
+// Batch normalisation over (N, C, H, W): per-channel statistics across the
+// batch and spatial dimensions, learnable scale/shift, running statistics
+// for inference.
+#pragma once
+
+#include "nn/module.hpp"
+
+namespace wm::nn {
+
+struct BatchNorm2dOptions {
+  std::int64_t channels = 0;
+  double eps = 1e-5;
+  double momentum = 0.1;  // running-stats update rate
+};
+
+class BatchNorm2d final : public Module {
+ public:
+  explicit BatchNorm2d(const BatchNorm2dOptions& opts);
+
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<Parameter*> parameters() override { return {&gamma_, &beta_}; }
+  std::vector<Tensor*> buffers() override {
+    return {&running_mean_, &running_var_};
+  }
+  std::string name() const override;
+
+  const Tensor& running_mean() const { return running_mean_; }
+  const Tensor& running_var() const { return running_var_; }
+
+ private:
+  BatchNorm2dOptions opts_;
+  Parameter gamma_;  // (C), initialised to 1
+  Parameter beta_;   // (C), initialised to 0
+  Tensor running_mean_;  // (C)
+  Tensor running_var_;   // (C)
+
+  // Caches from the last training forward.
+  Tensor normalized_;          // x_hat
+  std::vector<float> inv_std_; // per channel
+  bool trained_forward_ = false;
+};
+
+}  // namespace wm::nn

@@ -1,0 +1,109 @@
+#include "nn/layers/conv2d.hpp"
+
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "nn/init.hpp"
+#include "tensor/gemm.hpp"
+
+namespace wm::nn {
+
+Conv2d::Conv2d(const Conv2dOptions& opts, Rng& rng)
+    : opts_(opts),
+      weight_("conv.weight",
+              Tensor(Shape{opts.out_channels,
+                           opts.in_channels * opts.kernel * opts.kernel})),
+      bias_("conv.bias", Tensor(Shape{opts.out_channels})) {
+  WM_CHECK(opts.in_channels > 0 && opts.out_channels > 0 && opts.kernel > 0 &&
+               opts.stride > 0 && opts.pad >= 0,
+           "bad Conv2d options");
+  he_normal(weight_.value, opts.in_channels * opts.kernel * opts.kernel, rng);
+}
+
+ConvGeometry Conv2d::geometry(std::int64_t h, std::int64_t w) const {
+  ConvGeometry g{.channels = opts_.in_channels, .height = h, .width = w,
+                 .kernel_h = opts_.kernel, .kernel_w = opts_.kernel,
+                 .stride = opts_.stride, .pad = opts_.pad};
+  g.validate();
+  return g;
+}
+
+Tensor Conv2d::forward(const Tensor& input, bool /*training*/) {
+  WM_CHECK_SHAPE(input.rank() == 4 && input.dim(1) == opts_.in_channels,
+                 "Conv2d expects (N, ", opts_.in_channels, ", H, W), got ",
+                 input.shape().to_string());
+  input_ = input;
+  const std::int64_t n = input.dim(0);
+  const ConvGeometry g = geometry(input.dim(2), input.dim(3));
+  const std::int64_t oh = g.out_h();
+  const std::int64_t ow = g.out_w();
+  const std::int64_t spatial = oh * ow;
+  const std::int64_t in_image = input.dim(1) * input.dim(2) * input.dim(3);
+  const std::int64_t out_image = opts_.out_channels * spatial;
+
+  Tensor out(Shape{n, opts_.out_channels, oh, ow});
+  col_.resize(static_cast<std::size_t>(g.col_rows() * g.col_cols()));
+  for (std::int64_t i = 0; i < n; ++i) {
+    im2col(g, input.data() + i * in_image, col_.data());
+    // out_i (OC x spatial) = W (OC x IC*K*K) * col (IC*K*K x spatial)
+    sgemm(opts_.out_channels, spatial, g.col_rows(), 1.0f, weight_.value.data(),
+          col_.data(), 0.0f, out.data() + i * out_image);
+    float* oimg = out.data() + i * out_image;
+    const float* b = bias_.value.data();
+    for (std::int64_t oc = 0; oc < opts_.out_channels; ++oc) {
+      float* chan = oimg + oc * spatial;
+      for (std::int64_t s = 0; s < spatial; ++s) chan[s] += b[oc];
+    }
+  }
+  return out;
+}
+
+Tensor Conv2d::backward(const Tensor& grad_output) {
+  const std::int64_t n = input_.dim(0);
+  const ConvGeometry g = geometry(input_.dim(2), input_.dim(3));
+  const std::int64_t oh = g.out_h();
+  const std::int64_t ow = g.out_w();
+  const std::int64_t spatial = oh * ow;
+  WM_CHECK_SHAPE(grad_output.rank() == 4 && grad_output.dim(0) == n &&
+                     grad_output.dim(1) == opts_.out_channels &&
+                     grad_output.dim(2) == oh && grad_output.dim(3) == ow,
+                 "Conv2d backward shape mismatch: got ",
+                 grad_output.shape().to_string());
+
+  const std::int64_t in_image = input_.dim(1) * input_.dim(2) * input_.dim(3);
+  const std::int64_t out_image = opts_.out_channels * spatial;
+  Tensor grad_input(input_.shape());
+  std::vector<float> dcol(static_cast<std::size_t>(g.col_rows() * g.col_cols()));
+  col_.resize(static_cast<std::size_t>(g.col_rows() * g.col_cols()));
+
+  for (std::int64_t i = 0; i < n; ++i) {
+    const float* dy = grad_output.data() + i * out_image;
+    // dW (OC x R) += dY_i (OC x spatial) * col_i^T (spatial x R)
+    im2col(g, input_.data() + i * in_image, col_.data());
+    sgemm_bt(opts_.out_channels, g.col_rows(), spatial, 1.0f, dy, col_.data(),
+             1.0f, weight_.grad.data());
+    // db += per-channel sums of dY
+    float* db = bias_.grad.data();
+    for (std::int64_t oc = 0; oc < opts_.out_channels; ++oc) {
+      const float* chan = dy + oc * spatial;
+      float acc = 0.0f;
+      for (std::int64_t s = 0; s < spatial; ++s) acc += chan[s];
+      db[oc] += acc;
+    }
+    // dcol (R x spatial) = W^T (R x OC) * dY_i (OC x spatial)
+    sgemm_at(g.col_rows(), spatial, opts_.out_channels, 1.0f,
+             weight_.value.data(), dy, 0.0f, dcol.data());
+    col2im(g, dcol.data(), grad_input.data() + i * in_image);
+  }
+  return grad_input;
+}
+
+std::string Conv2d::name() const {
+  std::ostringstream os;
+  os << "Conv2d(" << opts_.in_channels << " -> " << opts_.out_channels << ", k="
+     << opts_.kernel << ", s=" << opts_.stride << ", p=" << opts_.pad << ")";
+  return os.str();
+}
+
+}  // namespace wm::nn

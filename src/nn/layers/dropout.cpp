@@ -1,0 +1,33 @@
+#include "nn/layers/dropout.hpp"
+
+#include "common/error.hpp"
+#include "tensor/tensor_ops.hpp"
+
+namespace wm::nn {
+
+Dropout::Dropout(double p, Rng& rng) : p_(p), rng_(rng.fork()) {
+  WM_CHECK(p >= 0.0 && p < 1.0, "dropout p must be in [0,1), got ", p);
+}
+
+Tensor Dropout::forward(const Tensor& input, bool training) {
+  if (!training || p_ == 0.0) {
+    used_mask_ = false;
+    return input;
+  }
+  used_mask_ = true;
+  mask_ = Tensor(input.shape());
+  const float keep_inv = static_cast<float>(1.0 / (1.0 - p_));
+  float* m = mask_.data();
+  for (std::int64_t i = 0; i < mask_.numel(); ++i) {
+    m[i] = rng_.bernoulli(p_) ? 0.0f : keep_inv;
+  }
+  return mul(input, mask_);
+}
+
+Tensor Dropout::backward(const Tensor& grad_output) {
+  if (!used_mask_) return grad_output;
+  WM_CHECK_SHAPE(grad_output.same_shape(mask_), "Dropout backward shape mismatch");
+  return mul(grad_output, mask_);
+}
+
+}  // namespace wm::nn

@@ -1,0 +1,22 @@
+#include "nn/layers/flatten.hpp"
+
+#include "common/error.hpp"
+
+namespace wm::nn {
+
+Tensor Flatten::forward(const Tensor& input, bool /*training*/) {
+  WM_CHECK_SHAPE(input.rank() >= 2, "Flatten needs rank >= 2, got ",
+                 input.shape().to_string());
+  input_shape_ = input.shape();
+  const std::int64_t n = input.dim(0);
+  const std::int64_t rest = n > 0 ? input.numel() / n : 0;
+  return input.reshape(Shape{n, rest});
+}
+
+Tensor Flatten::backward(const Tensor& grad_output) {
+  WM_CHECK_SHAPE(grad_output.numel() == input_shape_.numel(),
+                 "Flatten backward numel mismatch");
+  return grad_output.reshape(input_shape_);
+}
+
+}  // namespace wm::nn

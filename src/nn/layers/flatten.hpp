@@ -1,0 +1,18 @@
+// Flattens (N, C, H, W) (or any rank >= 2) into (N, rest).
+#pragma once
+
+#include "nn/module.hpp"
+
+namespace wm::nn {
+
+class Flatten final : public Module {
+ public:
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::string name() const override { return "Flatten"; }
+
+ private:
+  Shape input_shape_;
+};
+
+}  // namespace wm::nn

@@ -1,0 +1,66 @@
+#include "nn/layers/linear.hpp"
+
+#include <sstream>
+
+#include "common/error.hpp"
+#include "nn/init.hpp"
+#include "tensor/gemm.hpp"
+
+namespace wm::nn {
+
+Linear::Linear(std::int64_t in_features, std::int64_t out_features, Rng& rng)
+    : in_features_(in_features),
+      out_features_(out_features),
+      weight_("linear.weight", Tensor(Shape{out_features, in_features})),
+      bias_("linear.bias", Tensor(Shape{out_features})) {
+  WM_CHECK(in_features > 0 && out_features > 0, "Linear needs positive sizes");
+  he_normal(weight_.value, in_features, rng);
+}
+
+Tensor Linear::forward(const Tensor& input, bool /*training*/) {
+  WM_CHECK_SHAPE(input.rank() == 2 && input.dim(1) == in_features_,
+                 "Linear expects (N, ", in_features_, "), got ",
+                 input.shape().to_string());
+  input_ = input;
+  const std::int64_t n = input.dim(0);
+  Tensor out(Shape{n, out_features_});
+  // Y = X (N x in) * W^T (in x out)
+  sgemm_bt(n, out_features_, in_features_, 1.0f, input.data(),
+           weight_.value.data(), 0.0f, out.data());
+  const float* b = bias_.value.data();
+  for (std::int64_t i = 0; i < n; ++i) {
+    float* row = out.data() + i * out_features_;
+    for (std::int64_t j = 0; j < out_features_; ++j) row[j] += b[j];
+  }
+  return out;
+}
+
+Tensor Linear::backward(const Tensor& grad_output) {
+  const std::int64_t n = input_.dim(0);
+  WM_CHECK_SHAPE(grad_output.rank() == 2 && grad_output.dim(0) == n &&
+                     grad_output.dim(1) == out_features_,
+                 "Linear backward expects (N, ", out_features_, "), got ",
+                 grad_output.shape().to_string());
+  // dW (out x in) += dY^T (out x N) * X (N x in)
+  sgemm_at(out_features_, in_features_, n, 1.0f, grad_output.data(),
+           input_.data(), 1.0f, weight_.grad.data());
+  // db += column sums of dY
+  float* db = bias_.grad.data();
+  for (std::int64_t i = 0; i < n; ++i) {
+    const float* row = grad_output.data() + i * out_features_;
+    for (std::int64_t j = 0; j < out_features_; ++j) db[j] += row[j];
+  }
+  // dX (N x in) = dY (N x out) * W (out x in)
+  Tensor grad_input(Shape{n, in_features_});
+  sgemm(n, in_features_, out_features_, 1.0f, grad_output.data(),
+        weight_.value.data(), 0.0f, grad_input.data());
+  return grad_input;
+}
+
+std::string Linear::name() const {
+  std::ostringstream os;
+  os << "Linear(" << in_features_ << " -> " << out_features_ << ")";
+  return os.str();
+}
+
+}  // namespace wm::nn

@@ -1,0 +1,80 @@
+#include "nn/layers/maxpool2d.hpp"
+
+#include <limits>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace wm::nn {
+
+MaxPool2d::MaxPool2d(std::int64_t window) : window_(window) {
+  WM_CHECK(window > 0, "pool window must be positive");
+}
+
+Tensor MaxPool2d::forward(const Tensor& input, bool /*training*/) {
+  WM_CHECK_SHAPE(input.rank() == 4, "MaxPool2d expects (N,C,H,W), got ",
+                 input.shape().to_string());
+  const std::int64_t n = input.dim(0);
+  const std::int64_t c = input.dim(1);
+  const std::int64_t h = input.dim(2);
+  const std::int64_t w = input.dim(3);
+  WM_CHECK_SHAPE(h % window_ == 0 && w % window_ == 0,
+                 "MaxPool2d needs H, W divisible by ", window_, ", got ",
+                 input.shape().to_string());
+  input_shape_ = input.shape();
+  const std::int64_t oh = h / window_;
+  const std::int64_t ow = w / window_;
+
+  Tensor out(Shape{n, c, oh, ow});
+  argmax_.assign(static_cast<std::size_t>(out.numel()), 0);
+
+  const float* in = input.data();
+  float* po = out.data();
+  std::int64_t out_idx = 0;
+  for (std::int64_t i = 0; i < n; ++i) {
+    for (std::int64_t ch = 0; ch < c; ++ch) {
+      const std::int64_t plane = (i * c + ch) * h * w;
+      for (std::int64_t y = 0; y < oh; ++y) {
+        for (std::int64_t x = 0; x < ow; ++x, ++out_idx) {
+          float best = -std::numeric_limits<float>::infinity();
+          std::int64_t best_idx = -1;
+          for (std::int64_t dy = 0; dy < window_; ++dy) {
+            const std::int64_t iy = y * window_ + dy;
+            for (std::int64_t dx = 0; dx < window_; ++dx) {
+              const std::int64_t ix = x * window_ + dx;
+              const std::int64_t idx = plane + iy * w + ix;
+              if (in[idx] > best) {
+                best = in[idx];
+                best_idx = idx;
+              }
+            }
+          }
+          po[out_idx] = best;
+          argmax_[static_cast<std::size_t>(out_idx)] = best_idx;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor MaxPool2d::backward(const Tensor& grad_output) {
+  WM_CHECK_SHAPE(grad_output.numel() ==
+                     static_cast<std::int64_t>(argmax_.size()),
+                 "MaxPool2d backward called before forward or shape mismatch");
+  Tensor grad_input(input_shape_);
+  float* gi = grad_input.data();
+  const float* go = grad_output.data();
+  for (std::size_t o = 0; o < argmax_.size(); ++o) {
+    gi[argmax_[o]] += go[static_cast<std::int64_t>(o)];
+  }
+  return grad_input;
+}
+
+std::string MaxPool2d::name() const {
+  std::ostringstream os;
+  os << "MaxPool2d(" << window_ << "x" << window_ << ")";
+  return os.str();
+}
+
+}  // namespace wm::nn

@@ -1,0 +1,72 @@
+#include "nn/layers/upsample2d.hpp"
+
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace wm::nn {
+
+Upsample2d::Upsample2d(std::int64_t factor) : factor_(factor) {
+  WM_CHECK(factor > 0, "upsample factor must be positive");
+}
+
+Tensor Upsample2d::forward(const Tensor& input, bool /*training*/) {
+  WM_CHECK_SHAPE(input.rank() == 4, "Upsample2d expects (N,C,H,W), got ",
+                 input.shape().to_string());
+  input_shape_ = input.shape();
+  const std::int64_t n = input.dim(0);
+  const std::int64_t c = input.dim(1);
+  const std::int64_t h = input.dim(2);
+  const std::int64_t w = input.dim(3);
+  const std::int64_t oh = h * factor_;
+  const std::int64_t ow = w * factor_;
+  Tensor out(Shape{n, c, oh, ow});
+  const float* in = input.data();
+  float* po = out.data();
+  for (std::int64_t plane = 0; plane < n * c; ++plane) {
+    const float* ip = in + plane * h * w;
+    float* op = po + plane * oh * ow;
+    for (std::int64_t y = 0; y < oh; ++y) {
+      const float* irow = ip + (y / factor_) * w;
+      float* orow = op + y * ow;
+      for (std::int64_t x = 0; x < ow; ++x) orow[x] = irow[x / factor_];
+    }
+  }
+  return out;
+}
+
+Tensor Upsample2d::backward(const Tensor& grad_output) {
+  const std::int64_t n = input_shape_.dim(0);
+  const std::int64_t c = input_shape_.dim(1);
+  const std::int64_t h = input_shape_.dim(2);
+  const std::int64_t w = input_shape_.dim(3);
+  WM_CHECK_SHAPE(grad_output.rank() == 4 && grad_output.dim(0) == n &&
+                     grad_output.dim(1) == c &&
+                     grad_output.dim(2) == h * factor_ &&
+                     grad_output.dim(3) == w * factor_,
+                 "Upsample2d backward shape mismatch: got ",
+                 grad_output.shape().to_string());
+  Tensor grad_input(input_shape_);
+  const float* go = grad_output.data();
+  float* gi = grad_input.data();
+  const std::int64_t oh = h * factor_;
+  const std::int64_t ow = w * factor_;
+  for (std::int64_t plane = 0; plane < n * c; ++plane) {
+    const float* gp = go + plane * oh * ow;
+    float* ip = gi + plane * h * w;
+    for (std::int64_t y = 0; y < oh; ++y) {
+      const float* grow = gp + y * ow;
+      float* irow = ip + (y / factor_) * w;
+      for (std::int64_t x = 0; x < ow; ++x) irow[x / factor_] += grow[x];
+    }
+  }
+  return grad_input;
+}
+
+std::string Upsample2d::name() const {
+  std::ostringstream os;
+  os << "Upsample2d(x" << factor_ << ")";
+  return os.str();
+}
+
+}  // namespace wm::nn

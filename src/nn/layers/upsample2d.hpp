@@ -1,0 +1,22 @@
+// Nearest-neighbour upsampling by an integer factor; the decoder half of the
+// convolutional auto-encoder (Fig 3) uses this to mirror 2x2 max-pooling.
+#pragma once
+
+#include "nn/module.hpp"
+
+namespace wm::nn {
+
+class Upsample2d final : public Module {
+ public:
+  explicit Upsample2d(std::int64_t factor);
+
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::string name() const override;
+
+ private:
+  std::int64_t factor_;
+  Shape input_shape_;
+};
+
+}  // namespace wm::nn

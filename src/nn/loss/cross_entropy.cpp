@@ -1,0 +1,70 @@
+#include "nn/loss/cross_entropy.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "tensor/tensor_ops.hpp"
+
+namespace wm::nn {
+
+namespace {
+constexpr float kLogFloor = 1e-12f;  // clamp to avoid -inf on p == 0
+
+void check_inputs(const Tensor& logits, const std::vector<int>& labels,
+                  const std::vector<float>* weights) {
+  WM_CHECK_SHAPE(logits.rank() == 2, "cross-entropy expects (N, C) logits, got ",
+                 logits.shape().to_string());
+  WM_CHECK(static_cast<std::int64_t>(labels.size()) == logits.dim(0),
+           "labels size ", labels.size(), " != batch ", logits.dim(0));
+  if (weights != nullptr) {
+    WM_CHECK(weights->size() == labels.size(), "weights size mismatch");
+  }
+  const int nc = static_cast<int>(logits.dim(1));
+  for (int y : labels) WM_CHECK(y >= 0 && y < nc, "label ", y, " out of [0,", nc, ")");
+}
+}  // namespace
+
+LossResult SoftmaxCrossEntropy::compute(const Tensor& logits,
+                                        const std::vector<int>& labels,
+                                        const std::vector<float>* weights) {
+  check_inputs(logits, labels, weights);
+  const std::int64_t n = logits.dim(0);
+  const std::int64_t c = logits.dim(1);
+  WM_CHECK(n > 0, "cross-entropy over empty batch");
+
+  const Tensor probs = softmax_rows(logits);
+  LossResult result;
+  result.grad = Tensor(logits.shape());
+  double total = 0.0;
+  const float inv_n = 1.0f / static_cast<float>(n);
+  for (std::int64_t i = 0; i < n; ++i) {
+    const float w = weights != nullptr ? (*weights)[static_cast<std::size_t>(i)] : 1.0f;
+    const float* p = probs.data() + i * c;
+    float* g = result.grad.data() + i * c;
+    const int y = labels[static_cast<std::size_t>(i)];
+    total += -static_cast<double>(w) *
+             std::log(std::max(p[y], kLogFloor));
+    const float scale = w * inv_n;
+    for (std::int64_t k = 0; k < c; ++k) g[k] = scale * p[k];
+    g[y] -= scale;
+  }
+  result.value = static_cast<float>(total / static_cast<double>(n));
+  return result;
+}
+
+std::vector<float> SoftmaxCrossEntropy::per_sample(const Tensor& logits,
+                                                   const std::vector<int>& labels) {
+  check_inputs(logits, labels, nullptr);
+  const std::int64_t n = logits.dim(0);
+  const std::int64_t c = logits.dim(1);
+  const Tensor probs = softmax_rows(logits);
+  std::vector<float> out(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) {
+    const float* p = probs.data() + i * c;
+    const int y = labels[static_cast<std::size_t>(i)];
+    out[static_cast<std::size_t>(i)] = -std::log(std::max(p[y], kLogFloor));
+  }
+  return out;
+}
+
+}  // namespace wm::nn

@@ -1,0 +1,32 @@
+// Softmax cross-entropy loss with optional per-sample weights.
+//
+// The weights implement the paper's synthetic-sample down-weighting: a
+// synthetic sample carries weight w < 1 so that misclassifying an original
+// sample costs 1/w times more (Section III-B).
+#pragma once
+
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace wm::nn {
+
+struct LossResult {
+  float value = 0.0f;  // scalar loss
+  Tensor grad;         // d(loss)/d(logits), same shape as logits
+};
+
+class SoftmaxCrossEntropy {
+ public:
+  /// Mean weighted cross-entropy over the batch:
+  ///   L = (1/N) * sum_i w_i * (-log softmax(logits_i)[y_i])
+  /// `weights` may be null (all ones). Labels must be in [0, C).
+  static LossResult compute(const Tensor& logits, const std::vector<int>& labels,
+                            const std::vector<float>* weights = nullptr);
+
+  /// Per-sample unweighted cross-entropy values.
+  static std::vector<float> per_sample(const Tensor& logits,
+                                       const std::vector<int>& labels);
+};
+
+}  // namespace wm::nn

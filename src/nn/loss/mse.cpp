@@ -1,0 +1,28 @@
+#include "nn/loss/mse.hpp"
+
+#include "common/error.hpp"
+
+namespace wm::nn {
+
+LossResult MseLoss::compute(const Tensor& pred, const Tensor& target) {
+  WM_CHECK_SHAPE(pred.same_shape(target), "MSE shape mismatch: ",
+                 pred.shape().to_string(), " vs ", target.shape().to_string());
+  WM_CHECK(pred.numel() > 0, "MSE over empty tensors");
+  LossResult result;
+  result.grad = Tensor(pred.shape());
+  const float* pp = pred.data();
+  const float* pt = target.data();
+  float* g = result.grad.data();
+  const std::int64_t n = pred.numel();
+  const float inv_n = 1.0f / static_cast<float>(n);
+  double total = 0.0;
+  for (std::int64_t i = 0; i < n; ++i) {
+    const float d = pp[i] - pt[i];
+    total += static_cast<double>(d) * d;
+    g[i] = 2.0f * d * inv_n;
+  }
+  result.value = static_cast<float>(total * inv_n);
+  return result;
+}
+
+}  // namespace wm::nn

@@ -1,0 +1,15 @@
+// Mean-squared-error loss (auto-encoder reconstruction objective).
+#pragma once
+
+#include "nn/loss/cross_entropy.hpp"  // LossResult
+#include "tensor/tensor.hpp"
+
+namespace wm::nn {
+
+class MseLoss {
+ public:
+  /// L = mean((pred - target)^2) over all elements; grad w.r.t. pred.
+  static LossResult compute(const Tensor& pred, const Tensor& target);
+};
+
+}  // namespace wm::nn

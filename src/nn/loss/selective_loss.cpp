@@ -1,0 +1,100 @@
+#include "nn/loss/selective_loss.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "tensor/tensor_ops.hpp"
+
+namespace wm::nn {
+
+namespace {
+constexpr float kLogFloor = 1e-12f;
+constexpr double kCoverageFloor = 1e-8;  // guards sum(g) == 0
+}  // namespace
+
+SelectiveLoss::SelectiveLoss(const SelectiveLossOptions& opts) : opts_(opts) {
+  WM_CHECK(opts.target_coverage > 0.0 && opts.target_coverage <= 1.0,
+           "target coverage must be in (0,1], got ", opts.target_coverage);
+  WM_CHECK(opts.lambda >= 0.0, "lambda must be non-negative");
+  WM_CHECK(opts.alpha >= 0.0 && opts.alpha <= 1.0, "alpha must be in [0,1]");
+}
+
+SelectiveLossResult SelectiveLoss::compute(const Tensor& logits, const Tensor& g,
+                                           const std::vector<int>& labels,
+                                           const std::vector<float>* weights) const {
+  WM_CHECK_SHAPE(logits.rank() == 2, "selective loss expects (N,C) logits");
+  const std::int64_t n = logits.dim(0);
+  const std::int64_t c = logits.dim(1);
+  WM_CHECK(n > 0, "selective loss over empty batch");
+  WM_CHECK_SHAPE(g.rank() == 2 && g.dim(0) == n && g.dim(1) == 1,
+                 "selection scores must be (N,1), got ", g.shape().to_string());
+  WM_CHECK(static_cast<std::int64_t>(labels.size()) == n, "labels size mismatch");
+  if (weights != nullptr) WM_CHECK(weights->size() == labels.size(), "weights size mismatch");
+  for (int y : labels) WM_CHECK(y >= 0 && y < c, "label out of range: ", y);
+
+  const Tensor probs = softmax_rows(logits);
+
+  // Per-sample weighted losses l_i and aggregate statistics.
+  std::vector<float> l(static_cast<std::size_t>(n));
+  double sum_g = 0.0;
+  double sum_lg = 0.0;
+  double sum_l = 0.0;
+  for (std::int64_t i = 0; i < n; ++i) {
+    const std::size_t si = static_cast<std::size_t>(i);
+    const float w = weights != nullptr ? (*weights)[si] : 1.0f;
+    const float* p = probs.data() + i * c;
+    const float gi = g[i];
+    WM_CHECK(gi >= 0.0f && gi <= 1.0f, "selection score out of [0,1]: ", gi);
+    l[si] = -w * std::log(std::max(p[labels[si]], kLogFloor));
+    sum_g += gi;
+    sum_lg += static_cast<double>(l[si]) * gi;
+    sum_l += l[si];
+  }
+  const double inv_n = 1.0 / static_cast<double>(n);
+  const double coverage = sum_g * inv_n;
+  const double denom = std::max(sum_g, kCoverageFloor);
+  const double selective_risk = sum_lg / denom;
+  const double empirical_risk = sum_l * inv_n;
+  const double short_fall = std::max(0.0, opts_.target_coverage - coverage);
+  const double penalty = opts_.lambda * short_fall * short_fall;
+  const double total = opts_.alpha * (selective_risk + penalty) +
+                       (1.0 - opts_.alpha) * empirical_risk;
+
+  SelectiveLossResult result;
+  result.value = static_cast<float>(total);
+  result.selective_risk = static_cast<float>(selective_risk);
+  result.empirical_risk = static_cast<float>(empirical_risk);
+  result.coverage = static_cast<float>(coverage);
+  result.penalty = static_cast<float>(penalty);
+
+  // Gradient w.r.t. logits: dL/dl_i * dl_i/dlogits with
+  //   dL/dl_i = alpha * g_i / sum_g + (1-alpha) / N, scaled by w_i inside
+  //   dl_i/dlogits = w_i * (softmax - onehot).
+  result.grad_logits = Tensor(logits.shape());
+  for (std::int64_t i = 0; i < n; ++i) {
+    const std::size_t si = static_cast<std::size_t>(i);
+    const float w = weights != nullptr ? (*weights)[si] : 1.0f;
+    const float gi = g[i];
+    const double dl = opts_.alpha * gi / denom + (1.0 - opts_.alpha) * inv_n;
+    const float scale = static_cast<float>(dl) * w;
+    const float* p = probs.data() + i * c;
+    float* gr = result.grad_logits.data() + i * c;
+    for (std::int64_t k = 0; k < c; ++k) gr[k] = scale * p[k];
+    gr[labels[si]] -= scale;
+  }
+
+  // Gradient w.r.t. g_i:
+  //   d r(f,g)/dg_i = (l_i - r) / sum_g
+  //   d penalty/dg_i = -2 * lambda * max(0, c0 - c) / N
+  result.grad_g = Tensor(g.shape());
+  const double dpen = -2.0 * opts_.lambda * short_fall * inv_n;
+  for (std::int64_t i = 0; i < n; ++i) {
+    const std::size_t si = static_cast<std::size_t>(i);
+    const double drisk = (l[si] - selective_risk) / denom;
+    result.grad_g[i] = static_cast<float>(opts_.alpha * (drisk + dpen));
+  }
+  return result;
+}
+
+}  // namespace wm::nn

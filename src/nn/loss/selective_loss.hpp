@@ -1,0 +1,51 @@
+// SelectiveNet training objective (paper Eqs. 3-9).
+//
+// Given prediction logits f(x) and selection scores g(x) in (0,1):
+//   c(g)        = (1/N) sum_i g_i                       empirical coverage (6)
+//   r(f,g)      = sum_i l_i g_i / sum_i g_i             selective risk    (7)
+//   L_(f,g)     = r(f,g) + lambda * max(0, c0 - c)^2    coverage-constrained (8)
+//   L           = alpha * L_(f,g) + (1-alpha) * r(f)    overall objective (9)
+// where l_i is the (optionally weighted) cross-entropy of sample i. The
+// (1-alpha) empirical-risk term keeps every training instance visible to the
+// network, preventing it from over-fitting a c0-sized subset (Section III-A).
+#pragma once
+
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace wm::nn {
+
+struct SelectiveLossOptions {
+  double target_coverage = 0.5;  // c0
+  double lambda = 0.5;           // coverage-constraint weight (paper: 0.5)
+  double alpha = 0.5;            // selective vs empirical mix (paper: 0.5)
+};
+
+struct SelectiveLossResult {
+  float value = 0.0f;           // total loss L
+  float selective_risk = 0.0f;  // r(f,g|D)
+  float empirical_risk = 0.0f;  // r(f|D)
+  float coverage = 0.0f;        // c(g|D)
+  float penalty = 0.0f;         // lambda * Psi(c0 - c)
+  Tensor grad_logits;           // dL/d f_logits, (N, C)
+  Tensor grad_g;                // dL/d g, (N, 1)
+};
+
+class SelectiveLoss {
+ public:
+  explicit SelectiveLoss(const SelectiveLossOptions& opts);
+
+  /// logits: (N, C); g: (N, 1) selection probabilities in (0, 1); labels in
+  /// [0, C); weights (optional) multiply each sample's cross-entropy.
+  SelectiveLossResult compute(const Tensor& logits, const Tensor& g,
+                              const std::vector<int>& labels,
+                              const std::vector<float>* weights = nullptr) const;
+
+  const SelectiveLossOptions& options() const { return opts_; }
+
+ private:
+  SelectiveLossOptions opts_;
+};
+
+}  // namespace wm::nn

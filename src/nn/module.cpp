@@ -1,0 +1,19 @@
+#include "nn/module.hpp"
+
+namespace wm::nn {
+
+std::vector<Parameter*> collect_parameters(const std::vector<Module*>& modules) {
+  std::vector<Parameter*> out;
+  for (Module* m : modules) {
+    for (Parameter* p : m->parameters()) out.push_back(p);
+  }
+  return out;
+}
+
+std::int64_t parameter_count(const std::vector<Parameter*>& params) {
+  std::int64_t n = 0;
+  for (const Parameter* p : params) n += p->value.numel();
+  return n;
+}
+
+}  // namespace wm::nn

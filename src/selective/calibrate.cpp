@@ -1,0 +1,34 @@
+#include "selective/calibrate.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace wm::selective {
+
+float calibrate_threshold(SelectiveNet& net, const Dataset& validation,
+                          double target_coverage, int eval_batch) {
+  WM_CHECK(target_coverage > 0.0 && target_coverage <= 1.0,
+           "target coverage out of (0,1]");
+  WM_CHECK(!validation.empty(), "empty calibration set");
+
+  SelectivePredictor predictor(net, /*threshold=*/0.0f, eval_batch);
+  const auto preds = predictor.predict(validation);
+  std::vector<float> gs(preds.size());
+  for (std::size_t i = 0; i < preds.size(); ++i) gs[i] = preds[i].g;
+  std::sort(gs.begin(), gs.end(), std::greater<float>());
+
+  // Selecting the k highest-g samples gives coverage k/N; pick k for the
+  // target, then cut just below the k-th score so ties stay selected.
+  const std::size_t n = gs.size();
+  std::size_t k = static_cast<std::size_t>(
+      std::llround(target_coverage * static_cast<double>(n)));
+  k = std::clamp<std::size_t>(k, 1, n);
+  const float kth = gs[k - 1];
+  // Nudge below the k-th value; clamp into [0,1].
+  const float tau = std::clamp(kth - 1e-6f, 0.0f, 1.0f);
+  return tau;
+}
+
+}  // namespace wm::selective

@@ -1,0 +1,17 @@
+// Threshold calibration: choose the abstention cut on g so that a desired
+// fraction of a validation set is selected. This realises the paper's usage
+// where the engineer dials a coverage budget (Section IV-D, resource
+// allocation).
+#pragma once
+
+#include "selective/predictor.hpp"
+
+namespace wm::selective {
+
+/// Returns the threshold tau such that selecting {g >= tau} on `validation`
+/// yields coverage closest to (and at least) `target_coverage` where
+/// achievable. target_coverage in (0, 1].
+float calibrate_threshold(SelectiveNet& net, const Dataset& validation,
+                          double target_coverage, int eval_batch = 256);
+
+}  // namespace wm::selective

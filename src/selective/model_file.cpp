@@ -1,0 +1,80 @@
+#include "selective/model_file.hpp"
+
+#include <cstdint>
+#include <fstream>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "nn/model_io.hpp"
+#include "tensor/serialize.hpp"
+
+namespace wm::selective {
+
+namespace {
+constexpr char kMagic[4] = {'W', 'S', 'N', '1'};
+
+void write_i32(std::ostream& out, std::int32_t v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+std::int32_t read_i32(std::istream& in) {
+  std::int32_t v = 0;
+  in.read(reinterpret_cast<char*>(&v), sizeof(v));
+  if (!in) throw IoError("truncated model header");
+  return v;
+}
+}  // namespace
+
+void save_model(const std::string& path, SelectiveNet& net) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw IoError("cannot open model file for writing: " + path);
+  out.write(kMagic, 4);
+  const SelectiveNetOptions& o = net.options();
+  write_i32(out, o.map_size);
+  write_i32(out, o.num_classes);
+  write_i32(out, o.conv1_filters);
+  write_i32(out, o.conv2_filters);
+  write_i32(out, o.conv3_filters);
+  write_i32(out, o.fc_units);
+  write_i32(out, o.use_batchnorm ? 1 : 0);
+  nn::save_parameters(out, net.parameters());
+  const auto buffers = net.buffers();
+  write_i32(out, static_cast<std::int32_t>(buffers.size()));
+  for (const Tensor* b : buffers) write_tensor(out, *b);
+  if (!out) throw IoError("model write failed: " + path);
+}
+
+std::unique_ptr<SelectiveNet> load_model(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw IoError("cannot open model file for reading: " + path);
+  char magic[4];
+  in.read(magic, 4);
+  if (!in || std::string(magic, 4) != std::string(kMagic, 4)) {
+    throw IoError("bad model magic in " + path);
+  }
+  SelectiveNetOptions o;
+  o.map_size = read_i32(in);
+  o.num_classes = read_i32(in);
+  o.conv1_filters = read_i32(in);
+  o.conv2_filters = read_i32(in);
+  o.conv3_filters = read_i32(in);
+  o.fc_units = read_i32(in);
+  o.use_batchnorm = read_i32(in) != 0;
+  // Weight init is immediately overwritten; any seed works.
+  Rng rng(0);
+  auto net = std::make_unique<SelectiveNet>(o, rng);
+  nn::load_parameters(in, net->parameters());
+  const std::int32_t buffer_count = read_i32(in);
+  const auto buffers = net->buffers();
+  if (buffer_count != static_cast<std::int32_t>(buffers.size())) {
+    throw IoError("model buffer count mismatch in " + path);
+  }
+  for (Tensor* b : buffers) {
+    Tensor t = read_tensor(in);
+    if (t.shape() != b->shape()) throw IoError("buffer shape mismatch in " + path);
+    *b = std::move(t);
+  }
+  return net;
+}
+
+}  // namespace wm::selective

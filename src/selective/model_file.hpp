@@ -1,0 +1,19 @@
+// Self-describing model files: architecture options + parameters + buffers
+// in one artifact, so a trained selective classifier can be shipped and
+// reloaded without out-of-band configuration (used by the wm_tool CLI).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "selective/selective_net.hpp"
+
+namespace wm::selective {
+
+/// Writes options, parameters and BatchNorm running statistics.
+void save_model(const std::string& path, SelectiveNet& net);
+
+/// Reconstructs the network from a file written by save_model.
+std::unique_ptr<SelectiveNet> load_model(const std::string& path);
+
+}  // namespace wm::selective

@@ -1,0 +1,99 @@
+#include "selective/predictor.hpp"
+
+#include <numeric>
+
+#include "common/error.hpp"
+#include "tensor/tensor_ops.hpp"
+
+namespace wm::selective {
+
+SelectivePredictor::SelectivePredictor(SelectiveNet& net, float threshold,
+                                       int eval_batch)
+    : net_(net), threshold_(threshold), eval_batch_(eval_batch) {
+  WM_CHECK(threshold >= 0.0f && threshold <= 1.0f, "threshold out of [0,1]");
+  WM_CHECK(eval_batch > 0, "bad eval batch size");
+}
+
+void SelectivePredictor::set_threshold(float threshold) {
+  WM_CHECK(threshold >= 0.0f && threshold <= 1.0f, "threshold out of [0,1]");
+  threshold_ = threshold;
+}
+
+std::vector<SelectivePrediction> SelectivePredictor::predict(
+    const Batch& batch) const {
+  const SelectiveOutput out = net_.forward(batch.images, /*training=*/false);
+  const Tensor probs = softmax_rows(out.logits);
+  const auto arg = argmax_rows(out.logits);
+  std::vector<SelectivePrediction> preds(arg.size());
+  const std::int64_t nc = out.logits.dim(1);
+  for (std::size_t i = 0; i < arg.size(); ++i) {
+    const float g = out.g[static_cast<std::int64_t>(i)];
+    preds[i].label = static_cast<int>(arg[i]);
+    preds[i].g = g;
+    preds[i].selected = g >= threshold_;
+    preds[i].confidence =
+        probs[static_cast<std::int64_t>(i) * nc + arg[i]];
+  }
+  return preds;
+}
+
+std::vector<SelectivePrediction> SelectivePredictor::predict(
+    const Dataset& data) const {
+  std::vector<SelectivePrediction> all;
+  all.reserve(data.size());
+  std::vector<std::size_t> indices;
+  for (std::size_t start = 0; start < data.size();
+       start += static_cast<std::size_t>(eval_batch_)) {
+    const std::size_t end =
+        std::min(data.size(), start + static_cast<std::size_t>(eval_batch_));
+    indices.resize(end - start);
+    std::iota(indices.begin(), indices.end(), start);
+    const auto chunk = predict(data.make_batch(indices));
+    all.insert(all.end(), chunk.begin(), chunk.end());
+  }
+  return all;
+}
+
+SelectivePrediction SelectivePredictor::predict_one(const WaferMap& map) const {
+  Batch batch;
+  const int s = map.size();
+  batch.images = map.to_tensor().reshape(Shape{1, 1, s, s});
+  batch.labels = {0};
+  batch.weights = {1.0f};
+  return predict(batch).front();
+}
+
+double coverage_of(const std::vector<SelectivePrediction>& preds) {
+  if (preds.empty()) return 0.0;
+  std::size_t n = 0;
+  for (const auto& p : preds) n += p.selected;
+  return static_cast<double>(n) / static_cast<double>(preds.size());
+}
+
+double selective_accuracy(const std::vector<SelectivePrediction>& preds,
+                          const std::vector<int>& labels) {
+  WM_CHECK(preds.size() == labels.size(), "prediction/label size mismatch");
+  std::size_t selected = 0;
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < preds.size(); ++i) {
+    if (!preds[i].selected) continue;
+    ++selected;
+    correct += (preds[i].label == labels[i]);
+  }
+  return selected == 0 ? 1.0
+                       : static_cast<double>(correct) /
+                             static_cast<double>(selected);
+}
+
+double full_accuracy(const std::vector<SelectivePrediction>& preds,
+                     const std::vector<int>& labels) {
+  WM_CHECK(preds.size() == labels.size(), "prediction/label size mismatch");
+  WM_CHECK(!preds.empty(), "empty prediction set");
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < preds.size(); ++i) {
+    correct += (preds[i].label == labels[i]);
+  }
+  return static_cast<double>(correct) / static_cast<double>(preds.size());
+}
+
+}  // namespace wm::selective

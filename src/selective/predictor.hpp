@@ -1,0 +1,54 @@
+// Inference wrapper implementing the selective model (f, g) of Eq. 2:
+// predict f(x) when g(x) >= threshold, abstain otherwise.
+#pragma once
+
+#include <vector>
+
+#include "selective/selective_net.hpp"
+#include "wafermap/dataset.hpp"
+
+namespace wm::selective {
+
+struct SelectivePrediction {
+  int label = -1;          // argmax of f (always filled, even when rejected)
+  bool selected = false;   // g >= threshold
+  float g = 0.0f;          // selection score
+  float confidence = 0.0f; // softmax probability of the predicted class
+};
+
+class SelectivePredictor {
+ public:
+  /// threshold is the abstention cut on g; 0.5 matches the sigmoid decision
+  /// boundary the head was trained with. Use calibrate_threshold() to hit a
+  /// specific coverage instead.
+  explicit SelectivePredictor(SelectiveNet& net, float threshold = 0.5f,
+                              int eval_batch = 256);
+
+  SelectivePrediction predict_one(const WaferMap& map) const;
+
+  std::vector<SelectivePrediction> predict(const Dataset& data) const;
+  std::vector<SelectivePrediction> predict(const Batch& batch) const;
+
+  float threshold() const { return threshold_; }
+  void set_threshold(float threshold);
+
+ private:
+  SelectiveNet& net_;
+  float threshold_;
+  int eval_batch_;
+};
+
+/// Achieved coverage of a prediction set.
+double coverage_of(const std::vector<SelectivePrediction>& preds);
+
+/// Accuracy over the *selected* samples only (the paper's selective
+/// accuracy). Returns 1.0 when nothing is selected (zero risk by Eq. 7's
+/// convention of an empty selection).
+double selective_accuracy(const std::vector<SelectivePrediction>& preds,
+                          const std::vector<int>& labels);
+
+/// Accuracy over all samples, ignoring the reject option.
+double full_accuracy(const std::vector<SelectivePrediction>& preds,
+                     const std::vector<int>& labels);
+
+}  // namespace wm::selective

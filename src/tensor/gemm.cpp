@@ -1,0 +1,111 @@
+#include "tensor/gemm.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "tensor/tensor.hpp"
+
+namespace wm {
+
+namespace {
+
+// Block sizes sized for a ~32 KiB L1 / 256 KiB+ L2.
+constexpr std::int64_t kBlockM = 64;
+constexpr std::int64_t kBlockK = 256;
+
+void scale_c(std::int64_t m, std::int64_t n, float beta, float* c) {
+  if (beta == 1.0f) return;
+  const std::int64_t total = m * n;
+  if (beta == 0.0f) {
+    std::fill(c, c + total, 0.0f);
+  } else {
+    for (std::int64_t i = 0; i < total; ++i) c[i] *= beta;
+  }
+}
+
+}  // namespace
+
+void sgemm(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
+           const float* a, const float* b, float beta, float* c) {
+  scale_c(m, n, beta, c);
+  if (alpha == 0.0f || m == 0 || n == 0 || k == 0) return;
+  for (std::int64_t i0 = 0; i0 < m; i0 += kBlockM) {
+    const std::int64_t i1 = std::min(m, i0 + kBlockM);
+    for (std::int64_t k0 = 0; k0 < k; k0 += kBlockK) {
+      const std::int64_t k1 = std::min(k, k0 + kBlockK);
+      for (std::int64_t i = i0; i < i1; ++i) {
+        float* crow = c + i * n;
+        const float* arow = a + i * k;
+        for (std::int64_t kk = k0; kk < k1; ++kk) {
+          const float av = alpha * arow[kk];
+          const float* brow = b + kk * n;
+          for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+        }
+      }
+    }
+  }
+}
+
+void sgemm_at(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
+              const float* a, const float* b, float beta, float* c) {
+  scale_c(m, n, beta, c);
+  if (alpha == 0.0f || m == 0 || n == 0 || k == 0) return;
+  // C(i,j) += alpha * A(kk,i) * B(kk,j); walk kk outermost so both A and B
+  // rows are unit-stride.
+  for (std::int64_t kk = 0; kk < k; ++kk) {
+    const float* arow = a + kk * m;
+    const float* brow = b + kk * n;
+    for (std::int64_t i = 0; i < m; ++i) {
+      const float av = alpha * arow[i];
+      if (av == 0.0f) continue;
+      float* crow = c + i * n;
+      for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+void sgemm_bt(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
+              const float* a, const float* b, float beta, float* c) {
+  scale_c(m, n, beta, c);
+  if (alpha == 0.0f || m == 0 || n == 0 || k == 0) return;
+  // C(i,j) += alpha * dot(A.row(i), B.row(j)) — both unit-stride.
+  for (std::int64_t i = 0; i < m; ++i) {
+    const float* arow = a + i * k;
+    float* crow = c + i * n;
+    for (std::int64_t j = 0; j < n; ++j) {
+      const float* brow = b + j * k;
+      float acc = 0.0f;
+      for (std::int64_t kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
+      crow[j] += alpha * acc;
+    }
+  }
+}
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  WM_CHECK_SHAPE(a.rank() == 2 && b.rank() == 2, "matmul needs rank-2 operands");
+  WM_CHECK_SHAPE(a.dim(1) == b.dim(0), "matmul inner mismatch: ",
+                 a.shape().to_string(), " x ", b.shape().to_string());
+  Tensor c(Shape{a.dim(0), b.dim(1)});
+  sgemm(a.dim(0), b.dim(1), a.dim(1), 1.0f, a.data(), b.data(), 0.0f, c.data());
+  return c;
+}
+
+Tensor matmul_at(const Tensor& a, const Tensor& b) {
+  WM_CHECK_SHAPE(a.rank() == 2 && b.rank() == 2, "matmul_at needs rank-2 operands");
+  WM_CHECK_SHAPE(a.dim(0) == b.dim(0), "matmul_at inner mismatch: ",
+                 a.shape().to_string(), " x ", b.shape().to_string());
+  Tensor c(Shape{a.dim(1), b.dim(1)});
+  sgemm_at(a.dim(1), b.dim(1), a.dim(0), 1.0f, a.data(), b.data(), 0.0f, c.data());
+  return c;
+}
+
+Tensor matmul_bt(const Tensor& a, const Tensor& b) {
+  WM_CHECK_SHAPE(a.rank() == 2 && b.rank() == 2, "matmul_bt needs rank-2 operands");
+  WM_CHECK_SHAPE(a.dim(1) == b.dim(1), "matmul_bt inner mismatch: ",
+                 a.shape().to_string(), " x ", b.shape().to_string());
+  Tensor c(Shape{a.dim(0), b.dim(0)});
+  sgemm_bt(a.dim(0), b.dim(0), a.dim(1), 1.0f, a.data(), b.data(), 0.0f, c.data());
+  return c;
+}
+
+}  // namespace wm

@@ -1,0 +1,38 @@
+// Single-precision GEMM kernels for the NN and SVM substrates.
+//
+// All matrices are dense row-major. The kernel is a cache-blocked i-k-j loop
+// (unit-stride innermost) that GCC auto-vectorises with FMA under -O3
+// -march=native; it reaches several GFLOP/s on one core, which is what the
+// training benchmarks are budgeted against.
+#pragma once
+
+#include <cstdint>
+
+namespace wm {
+
+class Tensor;
+
+/// C = alpha * A(MxK) * B(KxN) + beta * C(MxN); raw pointer variant.
+void sgemm(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
+           const float* a, const float* b, float beta, float* c);
+
+/// C = alpha * A^T(KxM stored MxK? no: A is KxM stored row-major) * B(KxN) + beta*C.
+/// Concretely: C(MxN) += alpha * sum_k A[k*m + i] * B[k*n + j].
+void sgemm_at(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
+              const float* a, const float* b, float beta, float* c);
+
+/// C = alpha * A(MxK) * B^T (B is NxK row-major) + beta * C(MxN).
+void sgemm_bt(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
+              const float* a, const float* b, float beta, float* c);
+
+/// Tensor convenience wrappers; shapes are validated.
+/// Returns A(MxK) x B(KxN).
+Tensor matmul(const Tensor& a, const Tensor& b);
+
+/// Returns A^T x B where A is (KxM) and B is (KxN).
+Tensor matmul_at(const Tensor& a, const Tensor& b);
+
+/// Returns A x B^T where A is (MxK) and B is (NxK).
+Tensor matmul_bt(const Tensor& a, const Tensor& b);
+
+}  // namespace wm

@@ -1,0 +1,71 @@
+#include "tensor/im2col.hpp"
+
+#include "common/error.hpp"
+
+namespace wm {
+
+void ConvGeometry::validate() const {
+  WM_CHECK_SHAPE(channels > 0 && height > 0 && width > 0,
+                 "bad image geometry C=", channels, " H=", height, " W=", width);
+  WM_CHECK_SHAPE(kernel_h > 0 && kernel_w > 0, "bad kernel ", kernel_h, "x", kernel_w);
+  WM_CHECK_SHAPE(stride > 0, "bad stride ", stride);
+  WM_CHECK_SHAPE(pad >= 0, "negative pad ", pad);
+  WM_CHECK_SHAPE(out_h() > 0 && out_w() > 0, "empty conv output for H=", height,
+                 " W=", width, " k=", kernel_h, "x", kernel_w, " s=", stride,
+                 " p=", pad);
+}
+
+void im2col(const ConvGeometry& g, const float* image, float* col) {
+  const std::int64_t oh = g.out_h();
+  const std::int64_t ow = g.out_w();
+  const std::int64_t hw = g.height * g.width;
+  std::int64_t row = 0;
+  for (std::int64_t c = 0; c < g.channels; ++c) {
+    const float* chan = image + c * hw;
+    for (std::int64_t kh = 0; kh < g.kernel_h; ++kh) {
+      for (std::int64_t kw = 0; kw < g.kernel_w; ++kw, ++row) {
+        float* out_row = col + row * (oh * ow);
+        for (std::int64_t y = 0; y < oh; ++y) {
+          const std::int64_t iy = y * g.stride + kh - g.pad;
+          float* out = out_row + y * ow;
+          if (iy < 0 || iy >= g.height) {
+            for (std::int64_t x = 0; x < ow; ++x) out[x] = 0.0f;
+            continue;
+          }
+          const float* in_row = chan + iy * g.width;
+          for (std::int64_t x = 0; x < ow; ++x) {
+            const std::int64_t ix = x * g.stride + kw - g.pad;
+            out[x] = (ix >= 0 && ix < g.width) ? in_row[ix] : 0.0f;
+          }
+        }
+      }
+    }
+  }
+}
+
+void col2im(const ConvGeometry& g, const float* col, float* image) {
+  const std::int64_t oh = g.out_h();
+  const std::int64_t ow = g.out_w();
+  const std::int64_t hw = g.height * g.width;
+  std::int64_t row = 0;
+  for (std::int64_t c = 0; c < g.channels; ++c) {
+    float* chan = image + c * hw;
+    for (std::int64_t kh = 0; kh < g.kernel_h; ++kh) {
+      for (std::int64_t kw = 0; kw < g.kernel_w; ++kw, ++row) {
+        const float* in_row = col + row * (oh * ow);
+        for (std::int64_t y = 0; y < oh; ++y) {
+          const std::int64_t iy = y * g.stride + kh - g.pad;
+          if (iy < 0 || iy >= g.height) continue;
+          float* out_row = chan + iy * g.width;
+          const float* in = in_row + y * ow;
+          for (std::int64_t x = 0; x < ow; ++x) {
+            const std::int64_t ix = x * g.stride + kw - g.pad;
+            if (ix >= 0 && ix < g.width) out_row[ix] += in[x];
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace wm

@@ -1,0 +1,41 @@
+// im2col / col2im lowering for convolution as GEMM.
+//
+// Layout conventions (single image):
+//   image:  (C, H, W) row-major
+//   column: (C*KH*KW, OH*OW) row-major, where output pixel (oh, ow) maps to
+//           column oh*OW + ow and channel/kernel offset (c, kh, kw) maps to
+//           row (c*KH + kh)*KW + kw.
+// Convolution then is  weights(OC, C*KH*KW) x column  ->  (OC, OH*OW).
+#pragma once
+
+#include <cstdint>
+
+namespace wm {
+
+struct ConvGeometry {
+  std::int64_t channels = 0;
+  std::int64_t height = 0;
+  std::int64_t width = 0;
+  std::int64_t kernel_h = 0;
+  std::int64_t kernel_w = 0;
+  std::int64_t stride = 1;
+  std::int64_t pad = 0;
+
+  std::int64_t out_h() const { return (height + 2 * pad - kernel_h) / stride + 1; }
+  std::int64_t out_w() const { return (width + 2 * pad - kernel_w) / stride + 1; }
+  std::int64_t col_rows() const { return channels * kernel_h * kernel_w; }
+  std::int64_t col_cols() const { return out_h() * out_w(); }
+
+  /// Throws wm::ShapeError when the geometry is degenerate.
+  void validate() const;
+};
+
+/// Expands image (C,H,W) into col (col_rows x col_cols). Out-of-image taps
+/// (from padding) are written as 0.
+void im2col(const ConvGeometry& g, const float* image, float* col);
+
+/// Accumulates col back into image-gradient (C,H,W). The caller must
+/// zero-initialise `image` (contributions from overlapping windows add).
+void col2im(const ConvGeometry& g, const float* col, float* image);
+
+}  // namespace wm

@@ -1,0 +1,62 @@
+#include "tensor/serialize.hpp"
+
+#include <cstdint>
+#include <fstream>
+
+#include "common/error.hpp"
+
+namespace wm {
+
+namespace {
+constexpr char kMagic[4] = {'W', 'M', 'T', '1'};
+constexpr std::uint32_t kMaxRank = 8;
+}  // namespace
+
+void write_tensor(std::ostream& out, const Tensor& t) {
+  out.write(kMagic, 4);
+  const std::uint32_t rank = static_cast<std::uint32_t>(t.rank());
+  out.write(reinterpret_cast<const char*>(&rank), sizeof(rank));
+  for (std::size_t i = 0; i < t.rank(); ++i) {
+    const std::int64_t d = t.shape().dims()[i];
+    out.write(reinterpret_cast<const char*>(&d), sizeof(d));
+  }
+  out.write(reinterpret_cast<const char*>(t.data()),
+            static_cast<std::streamsize>(t.numel() * sizeof(float)));
+  if (!out) throw IoError("tensor write failed");
+}
+
+Tensor read_tensor(std::istream& in) {
+  char magic[4];
+  in.read(magic, 4);
+  if (!in || std::string(magic, 4) != std::string(kMagic, 4)) {
+    throw IoError("bad tensor magic");
+  }
+  std::uint32_t rank = 0;
+  in.read(reinterpret_cast<char*>(&rank), sizeof(rank));
+  if (!in || rank > kMaxRank) throw IoError("bad tensor rank");
+  std::vector<std::int64_t> dims(rank);
+  for (auto& d : dims) {
+    in.read(reinterpret_cast<char*>(&d), sizeof(d));
+    if (!in || d < 0) throw IoError("bad tensor dim");
+  }
+  Shape shape(dims);
+  Tensor t(shape);
+  in.read(reinterpret_cast<char*>(t.data()),
+          static_cast<std::streamsize>(t.numel() * sizeof(float)));
+  if (!in) throw IoError("tensor payload truncated");
+  return t;
+}
+
+void save_tensor(const std::string& path, const Tensor& t) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw IoError("cannot open for writing: " + path);
+  write_tensor(out, t);
+}
+
+Tensor load_tensor(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw IoError("cannot open for reading: " + path);
+  return read_tensor(in);
+}
+
+}  // namespace wm

@@ -1,0 +1,20 @@
+// Binary tensor (de)serialization used for model checkpoints.
+//
+// Format: magic "WMT1", u32 rank, i64 dims[rank], f32 data[numel],
+// little-endian throughout (the library targets little-endian hosts only).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "tensor/tensor.hpp"
+
+namespace wm {
+
+void write_tensor(std::ostream& out, const Tensor& t);
+Tensor read_tensor(std::istream& in);
+
+void save_tensor(const std::string& path, const Tensor& t);
+Tensor load_tensor(const std::string& path);
+
+}  // namespace wm

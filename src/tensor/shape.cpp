@@ -1,0 +1,50 @@
+#include "tensor/shape.hpp"
+
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace wm {
+
+Shape::Shape(std::initializer_list<std::int64_t> dims) : dims_(dims) {
+  for (auto d : dims_) WM_CHECK_SHAPE(d >= 0, "negative dimension in ", to_string());
+}
+
+Shape::Shape(std::vector<std::int64_t> dims) : dims_(std::move(dims)) {
+  for (auto d : dims_) WM_CHECK_SHAPE(d >= 0, "negative dimension in ", to_string());
+}
+
+std::int64_t Shape::dim(int i) const {
+  const int r = static_cast<int>(rank());
+  if (i < 0) i += r;
+  WM_CHECK_SHAPE(i >= 0 && i < r, "dim index ", i, " out of range for rank ", r);
+  return dims_[static_cast<std::size_t>(i)];
+}
+
+std::int64_t Shape::numel() const {
+  std::int64_t n = 1;
+  for (auto d : dims_) n *= d;
+  return n;
+}
+
+std::vector<std::int64_t> Shape::strides() const {
+  std::vector<std::int64_t> s(dims_.size(), 1);
+  for (int i = static_cast<int>(dims_.size()) - 2; i >= 0; --i) {
+    s[static_cast<std::size_t>(i)] =
+        s[static_cast<std::size_t>(i) + 1] * dims_[static_cast<std::size_t>(i) + 1];
+  }
+  return s;
+}
+
+std::string Shape::to_string() const {
+  std::ostringstream os;
+  os << "[";
+  for (std::size_t i = 0; i < dims_.size(); ++i) {
+    if (i) os << ", ";
+    os << dims_[i];
+  }
+  os << "]";
+  return os.str();
+}
+
+}  // namespace wm

@@ -1,0 +1,40 @@
+// Tensor shape: an ordered list of non-negative dimension extents.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace wm {
+
+class Shape {
+ public:
+  Shape() = default;
+  Shape(std::initializer_list<std::int64_t> dims);
+  explicit Shape(std::vector<std::int64_t> dims);
+
+  std::size_t rank() const { return dims_.size(); }
+
+  /// Extent of dimension i; negative i counts from the back (-1 == last).
+  std::int64_t dim(int i) const;
+
+  /// Total number of elements (1 for a rank-0 scalar shape).
+  std::int64_t numel() const;
+
+  const std::vector<std::int64_t>& dims() const { return dims_; }
+
+  /// Row-major strides in elements.
+  std::vector<std::int64_t> strides() const;
+
+  bool operator==(const Shape& other) const { return dims_ == other.dims_; }
+  bool operator!=(const Shape& other) const { return !(*this == other); }
+
+  /// e.g. "[2, 3, 32, 32]".
+  std::string to_string() const;
+
+ private:
+  std::vector<std::int64_t> dims_;
+};
+
+}  // namespace wm

@@ -1,0 +1,139 @@
+#include "tensor/tensor.hpp"
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace wm {
+
+Tensor::Tensor(Shape shape)
+    : shape_(std::move(shape)),
+      data_(static_cast<std::size_t>(shape_.numel()), 0.0f) {}
+
+Tensor::Tensor(Shape shape, std::vector<float> data)
+    : shape_(std::move(shape)), data_(std::move(data)) {
+  WM_CHECK_SHAPE(static_cast<std::int64_t>(data_.size()) == shape_.numel(),
+                 "data size ", data_.size(), " does not match shape ",
+                 shape_.to_string());
+}
+
+Tensor Tensor::full(Shape shape, float value) {
+  Tensor t(std::move(shape));
+  t.fill(value);
+  return t;
+}
+
+Tensor Tensor::arange(std::int64_t n) {
+  WM_CHECK(n >= 0, "arange length must be non-negative");
+  Tensor t(Shape{n});
+  for (std::int64_t i = 0; i < n; ++i) t.data_[static_cast<std::size_t>(i)] = static_cast<float>(i);
+  return t;
+}
+
+Tensor Tensor::uniform(Shape shape, Rng& rng, float lo, float hi) {
+  Tensor t(std::move(shape));
+  for (auto& v : t.data_) v = static_cast<float>(rng.uniform(lo, hi));
+  return t;
+}
+
+Tensor Tensor::normal(Shape shape, Rng& rng, float mean, float stddev) {
+  Tensor t(std::move(shape));
+  for (auto& v : t.data_) v = static_cast<float>(rng.normal(mean, stddev));
+  return t;
+}
+
+float& Tensor::operator[](std::int64_t i) {
+  WM_ASSERT(i >= 0 && i < numel(), "flat index ", i, " out of range ", numel());
+  return data_[static_cast<std::size_t>(i)];
+}
+
+float Tensor::operator[](std::int64_t i) const {
+  WM_ASSERT(i >= 0 && i < numel(), "flat index ", i, " out of range ", numel());
+  return data_[static_cast<std::size_t>(i)];
+}
+
+std::int64_t Tensor::flat_index(std::int64_t i0) const {
+  WM_ASSERT(rank() == 1, "rank-1 access on rank ", rank());
+  WM_ASSERT(i0 >= 0 && i0 < shape_.dim(0), "index out of range");
+  return i0;
+}
+
+std::int64_t Tensor::flat_index(std::int64_t i0, std::int64_t i1) const {
+  WM_ASSERT(rank() == 2, "rank-2 access on rank ", rank());
+  WM_ASSERT(i0 >= 0 && i0 < shape_.dim(0) && i1 >= 0 && i1 < shape_.dim(1),
+            "index out of range");
+  return i0 * shape_.dim(1) + i1;
+}
+
+std::int64_t Tensor::flat_index(std::int64_t i0, std::int64_t i1, std::int64_t i2) const {
+  WM_ASSERT(rank() == 3, "rank-3 access on rank ", rank());
+  WM_ASSERT(i0 >= 0 && i0 < shape_.dim(0) && i1 >= 0 && i1 < shape_.dim(1) &&
+                i2 >= 0 && i2 < shape_.dim(2),
+            "index out of range");
+  return (i0 * shape_.dim(1) + i1) * shape_.dim(2) + i2;
+}
+
+std::int64_t Tensor::flat_index(std::int64_t i0, std::int64_t i1, std::int64_t i2,
+                                std::int64_t i3) const {
+  WM_ASSERT(rank() == 4, "rank-4 access on rank ", rank());
+  WM_ASSERT(i0 >= 0 && i0 < shape_.dim(0) && i1 >= 0 && i1 < shape_.dim(1) &&
+                i2 >= 0 && i2 < shape_.dim(2) && i3 >= 0 && i3 < shape_.dim(3),
+            "index out of range");
+  return ((i0 * shape_.dim(1) + i1) * shape_.dim(2) + i2) * shape_.dim(3) + i3;
+}
+
+float& Tensor::at(std::int64_t i0) { return data_[static_cast<std::size_t>(flat_index(i0))]; }
+float& Tensor::at(std::int64_t i0, std::int64_t i1) {
+  return data_[static_cast<std::size_t>(flat_index(i0, i1))];
+}
+float& Tensor::at(std::int64_t i0, std::int64_t i1, std::int64_t i2) {
+  return data_[static_cast<std::size_t>(flat_index(i0, i1, i2))];
+}
+float& Tensor::at(std::int64_t i0, std::int64_t i1, std::int64_t i2, std::int64_t i3) {
+  return data_[static_cast<std::size_t>(flat_index(i0, i1, i2, i3))];
+}
+float Tensor::at(std::int64_t i0) const {
+  return data_[static_cast<std::size_t>(flat_index(i0))];
+}
+float Tensor::at(std::int64_t i0, std::int64_t i1) const {
+  return data_[static_cast<std::size_t>(flat_index(i0, i1))];
+}
+float Tensor::at(std::int64_t i0, std::int64_t i1, std::int64_t i2) const {
+  return data_[static_cast<std::size_t>(flat_index(i0, i1, i2))];
+}
+float Tensor::at(std::int64_t i0, std::int64_t i1, std::int64_t i2, std::int64_t i3) const {
+  return data_[static_cast<std::size_t>(flat_index(i0, i1, i2, i3))];
+}
+
+Tensor Tensor::reshape(Shape new_shape) const {
+  WM_CHECK_SHAPE(new_shape.numel() == numel(), "reshape ", shape_.to_string(),
+                 " -> ", new_shape.to_string(), " changes numel");
+  return Tensor(std::move(new_shape), data_);
+}
+
+void Tensor::fill(float value) {
+  for (auto& v : data_) v = value;
+}
+
+void Tensor::scale(float s) {
+  for (auto& v : data_) v *= s;
+}
+
+void Tensor::add_(const Tensor& other) {
+  WM_CHECK_SHAPE(same_shape(other), "add_ shape mismatch: ", shape_.to_string(),
+                 " vs ", other.shape_.to_string());
+  const float* src = other.data();
+  float* dst = data();
+  const std::int64_t n = numel();
+  for (std::int64_t i = 0; i < n; ++i) dst[i] += src[i];
+}
+
+void Tensor::axpy_(float alpha, const Tensor& other) {
+  WM_CHECK_SHAPE(same_shape(other), "axpy_ shape mismatch: ", shape_.to_string(),
+                 " vs ", other.shape_.to_string());
+  const float* src = other.data();
+  float* dst = data();
+  const std::int64_t n = numel();
+  for (std::int64_t i = 0; i < n; ++i) dst[i] += alpha * src[i];
+}
+
+}  // namespace wm

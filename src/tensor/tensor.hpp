@@ -1,0 +1,92 @@
+// Dense, owning, row-major float tensor.
+//
+// This is the numeric workhorse beneath the NN framework and the SVM
+// baseline. It is deliberately simple: contiguous float32 storage, value
+// semantics, bounds-checked multi-index accessors and unchecked flat data()
+// access for hot loops.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/shape.hpp"
+
+namespace wm {
+
+class Rng;
+
+class Tensor {
+ public:
+  /// Empty rank-1 tensor of zero elements.
+  Tensor() : shape_({0}) {}
+
+  /// Zero-initialised tensor of the given shape.
+  explicit Tensor(Shape shape);
+
+  /// Tensor of the given shape with explicit contents (size must match).
+  Tensor(Shape shape, std::vector<float> data);
+
+  static Tensor zeros(Shape shape) { return Tensor(std::move(shape)); }
+  static Tensor full(Shape shape, float value);
+  static Tensor ones(Shape shape) { return full(std::move(shape), 1.0f); }
+
+  /// [0, 1, 2, ...] of length n.
+  static Tensor arange(std::int64_t n);
+
+  /// I.i.d. uniform entries in [lo, hi).
+  static Tensor uniform(Shape shape, Rng& rng, float lo = 0.0f, float hi = 1.0f);
+
+  /// I.i.d. normal entries.
+  static Tensor normal(Shape shape, Rng& rng, float mean = 0.0f, float stddev = 1.0f);
+
+  const Shape& shape() const { return shape_; }
+  std::int64_t numel() const { return static_cast<std::int64_t>(data_.size()); }
+  std::size_t rank() const { return shape_.rank(); }
+  std::int64_t dim(int i) const { return shape_.dim(i); }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+
+  /// Bounds-checked flat element access.
+  float& operator[](std::int64_t i);
+  float operator[](std::int64_t i) const;
+
+  /// Bounds-checked multi-index access (rank must match argument count).
+  float& at(std::int64_t i0);
+  float& at(std::int64_t i0, std::int64_t i1);
+  float& at(std::int64_t i0, std::int64_t i1, std::int64_t i2);
+  float& at(std::int64_t i0, std::int64_t i1, std::int64_t i2, std::int64_t i3);
+  float at(std::int64_t i0) const;
+  float at(std::int64_t i0, std::int64_t i1) const;
+  float at(std::int64_t i0, std::int64_t i1, std::int64_t i2) const;
+  float at(std::int64_t i0, std::int64_t i1, std::int64_t i2, std::int64_t i3) const;
+
+  /// Returns a copy with a new shape of equal numel.
+  Tensor reshape(Shape new_shape) const;
+
+  /// In-place fill.
+  void fill(float value);
+
+  /// In-place scale: *this *= s.
+  void scale(float s);
+
+  /// Element-wise in-place accumulate: *this += other (same shape).
+  void add_(const Tensor& other);
+
+  /// *this += alpha * other (same shape); fused AXPY used by optimizers.
+  void axpy_(float alpha, const Tensor& other);
+
+  bool same_shape(const Tensor& other) const { return shape_ == other.shape_; }
+
+ private:
+  std::int64_t flat_index(std::int64_t i0) const;
+  std::int64_t flat_index(std::int64_t i0, std::int64_t i1) const;
+  std::int64_t flat_index(std::int64_t i0, std::int64_t i1, std::int64_t i2) const;
+  std::int64_t flat_index(std::int64_t i0, std::int64_t i1, std::int64_t i2,
+                          std::int64_t i3) const;
+
+  Shape shape_;
+  std::vector<float> data_;
+};
+
+}  // namespace wm

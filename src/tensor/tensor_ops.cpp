@@ -1,0 +1,163 @@
+#include "tensor/tensor_ops.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace wm {
+
+namespace {
+
+Tensor binary_op(const Tensor& a, const Tensor& b, float (*op)(float, float)) {
+  WM_CHECK_SHAPE(a.same_shape(b), "elementwise shape mismatch: ",
+                 a.shape().to_string(), " vs ", b.shape().to_string());
+  Tensor out(a.shape());
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out.data();
+  const std::int64_t n = a.numel();
+  for (std::int64_t i = 0; i < n; ++i) po[i] = op(pa[i], pb[i]);
+  return out;
+}
+
+}  // namespace
+
+Tensor add(const Tensor& a, const Tensor& b) {
+  return binary_op(a, b, [](float x, float y) { return x + y; });
+}
+Tensor sub(const Tensor& a, const Tensor& b) {
+  return binary_op(a, b, [](float x, float y) { return x - y; });
+}
+Tensor mul(const Tensor& a, const Tensor& b) {
+  return binary_op(a, b, [](float x, float y) { return x * y; });
+}
+
+Tensor add_scalar(const Tensor& a, float s) {
+  Tensor out = a;
+  float* p = out.data();
+  const std::int64_t n = out.numel();
+  for (std::int64_t i = 0; i < n; ++i) p[i] += s;
+  return out;
+}
+
+Tensor mul_scalar(const Tensor& a, float s) {
+  Tensor out = a;
+  out.scale(s);
+  return out;
+}
+
+Tensor map(const Tensor& a, const std::function<float(float)>& fn) {
+  Tensor out(a.shape());
+  const float* pa = a.data();
+  float* po = out.data();
+  const std::int64_t n = a.numel();
+  for (std::int64_t i = 0; i < n; ++i) po[i] = fn(pa[i]);
+  return out;
+}
+
+float sum(const Tensor& a) {
+  // Kahan summation: reductions feed loss values that tests compare tightly.
+  double acc = 0.0;
+  const float* p = a.data();
+  const std::int64_t n = a.numel();
+  for (std::int64_t i = 0; i < n; ++i) acc += p[i];
+  return static_cast<float>(acc);
+}
+
+float mean(const Tensor& a) {
+  WM_CHECK(a.numel() > 0, "mean of empty tensor");
+  return sum(a) / static_cast<float>(a.numel());
+}
+
+float max_value(const Tensor& a) {
+  WM_CHECK(a.numel() > 0, "max of empty tensor");
+  return *std::max_element(a.data(), a.data() + a.numel());
+}
+
+float min_value(const Tensor& a) {
+  WM_CHECK(a.numel() > 0, "min of empty tensor");
+  return *std::min_element(a.data(), a.data() + a.numel());
+}
+
+std::int64_t argmax(const Tensor& a) {
+  WM_CHECK(a.numel() > 0, "argmax of empty tensor");
+  return std::max_element(a.data(), a.data() + a.numel()) - a.data();
+}
+
+std::vector<std::int64_t> argmax_rows(const Tensor& a) {
+  WM_CHECK_SHAPE(a.rank() == 2, "argmax_rows needs rank-2, got ", a.shape().to_string());
+  const std::int64_t rows = a.dim(0);
+  const std::int64_t cols = a.dim(1);
+  WM_CHECK(cols > 0, "argmax_rows with zero columns");
+  std::vector<std::int64_t> out(static_cast<std::size_t>(rows));
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const float* row = a.data() + r * cols;
+    out[static_cast<std::size_t>(r)] = std::max_element(row, row + cols) - row;
+  }
+  return out;
+}
+
+Tensor softmax_rows(const Tensor& logits) {
+  WM_CHECK_SHAPE(logits.rank() == 2, "softmax_rows needs rank-2, got ",
+                 logits.shape().to_string());
+  const std::int64_t rows = logits.dim(0);
+  const std::int64_t cols = logits.dim(1);
+  WM_CHECK(cols > 0, "softmax over zero classes");
+  Tensor out(logits.shape());
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const float* in = logits.data() + r * cols;
+    float* po = out.data() + r * cols;
+    const float mx = *std::max_element(in, in + cols);
+    float denom = 0.0f;
+    for (std::int64_t c = 0; c < cols; ++c) {
+      po[c] = std::exp(in[c] - mx);
+      denom += po[c];
+    }
+    const float inv = 1.0f / denom;
+    for (std::int64_t c = 0; c < cols; ++c) po[c] *= inv;
+  }
+  return out;
+}
+
+Tensor transpose(const Tensor& a) {
+  WM_CHECK_SHAPE(a.rank() == 2, "transpose needs rank-2, got ", a.shape().to_string());
+  const std::int64_t rows = a.dim(0);
+  const std::int64_t cols = a.dim(1);
+  Tensor out(Shape{cols, rows});
+  for (std::int64_t r = 0; r < rows; ++r) {
+    for (std::int64_t c = 0; c < cols; ++c) {
+      out.data()[c * rows + r] = a.data()[r * cols + c];
+    }
+  }
+  return out;
+}
+
+float l2_norm(const Tensor& a) {
+  double acc = 0.0;
+  const float* p = a.data();
+  const std::int64_t n = a.numel();
+  for (std::int64_t i = 0; i < n; ++i) acc += static_cast<double>(p[i]) * p[i];
+  return static_cast<float>(std::sqrt(acc));
+}
+
+float max_abs_diff(const Tensor& a, const Tensor& b) {
+  WM_CHECK_SHAPE(a.same_shape(b), "max_abs_diff shape mismatch");
+  float mx = 0.0f;
+  const float* pa = a.data();
+  const float* pb = b.data();
+  const std::int64_t n = a.numel();
+  for (std::int64_t i = 0; i < n; ++i) mx = std::max(mx, std::fabs(pa[i] - pb[i]));
+  return mx;
+}
+
+bool all_finite(const Tensor& a) {
+  const float* p = a.data();
+  const std::int64_t n = a.numel();
+  for (std::int64_t i = 0; i < n; ++i) {
+    if (!std::isfinite(p[i])) return false;
+  }
+  return true;
+}
+
+}  // namespace wm

@@ -1,0 +1,50 @@
+// Element-wise and reduction operations on tensors.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "tensor/tensor.hpp"
+
+namespace wm {
+
+/// Out-of-place element-wise binary ops (shapes must match).
+Tensor add(const Tensor& a, const Tensor& b);
+Tensor sub(const Tensor& a, const Tensor& b);
+Tensor mul(const Tensor& a, const Tensor& b);
+
+/// Out-of-place scalar ops.
+Tensor add_scalar(const Tensor& a, float s);
+Tensor mul_scalar(const Tensor& a, float s);
+
+/// Applies fn to every element (out-of-place).
+Tensor map(const Tensor& a, const std::function<float(float)>& fn);
+
+/// Reductions over the whole tensor.
+float sum(const Tensor& a);
+float mean(const Tensor& a);
+float max_value(const Tensor& a);
+float min_value(const Tensor& a);
+
+/// Index of the maximum element (first on ties). Requires numel > 0.
+std::int64_t argmax(const Tensor& a);
+
+/// Row-wise argmax of a (N x C) matrix; returns N indices.
+std::vector<std::int64_t> argmax_rows(const Tensor& a);
+
+/// Numerically-stable row-wise softmax of a (N x C) matrix.
+Tensor softmax_rows(const Tensor& logits);
+
+/// Transpose of a rank-2 tensor.
+Tensor transpose(const Tensor& a);
+
+/// L2 norm of all elements.
+float l2_norm(const Tensor& a);
+
+/// Max |a - b| over all elements (shapes must match).
+float max_abs_diff(const Tensor& a, const Tensor& b);
+
+/// True when all elements are finite.
+bool all_finite(const Tensor& a);
+
+}  // namespace wm

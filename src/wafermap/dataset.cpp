@@ -1,0 +1,124 @@
+#include "wafermap/dataset.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <numeric>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace wm {
+
+void Dataset::add(Sample sample) { samples_.push_back(std::move(sample)); }
+
+const Sample& Dataset::operator[](std::size_t i) const {
+  WM_CHECK(i < samples_.size(), "sample index ", i, " out of range ",
+           samples_.size());
+  return samples_[i];
+}
+
+int Dataset::map_size() const {
+  WM_CHECK(!samples_.empty(), "map_size of empty dataset");
+  const int size = samples_.front().map.size();
+  for (const Sample& s : samples_) {
+    WM_CHECK(s.map.size() == size, "mixed map sizes in dataset: ", size,
+             " vs ", s.map.size());
+  }
+  return size;
+}
+
+std::array<int, kNumDefectTypes> Dataset::class_counts() const {
+  std::array<int, kNumDefectTypes> counts{};
+  for (const Sample& s : samples_) {
+    counts[static_cast<std::size_t>(s.label)]++;
+  }
+  return counts;
+}
+
+void Dataset::shuffle(Rng& rng) { rng.shuffle(samples_); }
+
+std::pair<Dataset, Dataset> Dataset::stratified_split(double fraction,
+                                                      Rng& rng) const {
+  WM_CHECK(fraction >= 0.0 && fraction <= 1.0, "split fraction out of [0,1]: ",
+           fraction);
+  // Shuffle indices per class, then cut each class at the fraction.
+  std::array<std::vector<std::size_t>, kNumDefectTypes> per_class;
+  for (std::size_t i = 0; i < samples_.size(); ++i) {
+    per_class[static_cast<std::size_t>(samples_[i].label)].push_back(i);
+  }
+  Dataset first;
+  Dataset second;
+  for (auto& indices : per_class) {
+    rng.shuffle(indices);
+    const std::size_t cut = static_cast<std::size_t>(
+        std::lround(fraction * static_cast<double>(indices.size())));
+    for (std::size_t k = 0; k < indices.size(); ++k) {
+      (k < cut ? first : second).add(samples_[indices[k]]);
+    }
+  }
+  return {std::move(first), std::move(second)};
+}
+
+Dataset Dataset::filter(DefectType label) const {
+  Dataset out;
+  for (const Sample& s : samples_) {
+    if (s.label == label) out.add(s);
+  }
+  return out;
+}
+
+Dataset Dataset::without(DefectType label) const {
+  Dataset out;
+  for (const Sample& s : samples_) {
+    if (s.label != label) out.add(s);
+  }
+  return out;
+}
+
+void Dataset::append(const Dataset& other) {
+  samples_.insert(samples_.end(), other.samples_.begin(), other.samples_.end());
+}
+
+Batch Dataset::make_batch(const std::vector<std::size_t>& indices) const {
+  WM_CHECK(!indices.empty(), "empty batch");
+  const int size = map_size();
+  Batch batch;
+  batch.images = Tensor(Shape{static_cast<std::int64_t>(indices.size()), 1,
+                              size, size});
+  batch.labels.reserve(indices.size());
+  batch.weights.reserve(indices.size());
+  const std::int64_t image_elems = static_cast<std::int64_t>(size) * size;
+  for (std::size_t k = 0; k < indices.size(); ++k) {
+    const Sample& s = (*this)[indices[k]];
+    const Tensor img = s.map.to_tensor();
+    std::memcpy(batch.images.data() + static_cast<std::int64_t>(k) * image_elems,
+                img.data(), static_cast<std::size_t>(image_elems) * sizeof(float));
+    batch.labels.push_back(static_cast<int>(s.label));
+    batch.weights.push_back(s.weight);
+  }
+  return batch;
+}
+
+Batch Dataset::full_batch() const {
+  std::vector<std::size_t> idx(samples_.size());
+  std::iota(idx.begin(), idx.end(), 0u);
+  return make_batch(idx);
+}
+
+std::vector<std::vector<std::size_t>> Dataset::batch_indices(
+    std::size_t dataset_size, std::size_t batch_size, Rng& rng) {
+  WM_CHECK(batch_size > 0, "batch size must be positive");
+  std::vector<std::size_t> order(dataset_size);
+  std::iota(order.begin(), order.end(), 0u);
+  rng.shuffle(order);
+  std::vector<std::vector<std::size_t>> batches;
+  for (std::size_t start = 0; start < dataset_size; start += batch_size) {
+    const std::size_t end = std::min(dataset_size, start + batch_size);
+    batches.emplace_back(order.begin() + static_cast<std::ptrdiff_t>(start),
+                         order.begin() + static_cast<std::ptrdiff_t>(end));
+  }
+  return batches;
+}
+
+}  // namespace wm

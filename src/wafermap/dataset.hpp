@@ -1,0 +1,82 @@
+// In-memory labelled wafer-map dataset with the batching utilities the
+// trainers need.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+#include "wafermap/defect_types.hpp"
+#include "wafermap/wafer_map.hpp"
+
+namespace wm {
+
+class Rng;
+
+struct Sample {
+  WaferMap map;
+  DefectType label;
+  float weight = 1.0f;     // < 1 for synthetic samples (Section III-B)
+  bool synthetic = false;  // produced by the augmentation pipeline
+};
+
+/// A (N,1,S,S) image batch plus aligned labels and weights.
+struct Batch {
+  Tensor images;
+  std::vector<int> labels;
+  std::vector<float> weights;
+
+  std::int64_t size() const { return images.dim(0); }
+};
+
+class Dataset {
+ public:
+  Dataset() = default;
+
+  void add(Sample sample);
+  void reserve(std::size_t n) { samples_.reserve(n); }
+
+  std::size_t size() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+  const Sample& operator[](std::size_t i) const;
+
+  /// All samples' map edge size; throws when mixed sizes were added.
+  int map_size() const;
+
+  /// Number of samples per class (enum order).
+  std::array<int, kNumDefectTypes> class_counts() const;
+
+  /// In-place Fisher-Yates shuffle.
+  void shuffle(Rng& rng);
+
+  /// Splits into (first, second) with `fraction` of each class (stratified,
+  /// rounded) going to `first`. Order within splits follows the dataset.
+  std::pair<Dataset, Dataset> stratified_split(double fraction, Rng& rng) const;
+
+  /// All samples of one class.
+  Dataset filter(DefectType label) const;
+
+  /// All samples except one class (for the Table IV hold-out experiment).
+  Dataset without(DefectType label) const;
+
+  /// Merges another dataset in (copies).
+  void append(const Dataset& other);
+
+  /// Materialises a batch for the given sample indices.
+  Batch make_batch(const std::vector<std::size_t>& indices) const;
+
+  /// Whole-dataset batch (useful for small test sets).
+  Batch full_batch() const;
+
+  /// Contiguous mini-batch index ranges of the given size over a shuffled
+  /// index vector (last batch may be smaller).
+  static std::vector<std::vector<std::size_t>> batch_indices(
+      std::size_t dataset_size, std::size_t batch_size, Rng& rng);
+
+ private:
+  std::vector<Sample> samples_;
+};
+
+}  // namespace wm

@@ -1,0 +1,42 @@
+#include "wafermap/defect_types.hpp"
+
+#include "common/error.hpp"
+
+namespace wm {
+
+namespace {
+const std::array<const char*, kNumDefectTypes> kNames = {
+    "Center", "Donut", "Edge-Loc", "Edge-Ring", "Location",
+    "Near-Full", "Random", "Scratch", "None"};
+}  // namespace
+
+const std::array<DefectType, kNumDefectTypes>& all_defect_types() {
+  static const std::array<DefectType, kNumDefectTypes> kAll = {
+      DefectType::kCenter,   DefectType::kDonut,  DefectType::kEdgeLoc,
+      DefectType::kEdgeRing, DefectType::kLocation, DefectType::kNearFull,
+      DefectType::kRandom,   DefectType::kScratch, DefectType::kNone};
+  return kAll;
+}
+
+std::string to_string(DefectType type) {
+  const int i = static_cast<int>(type);
+  WM_CHECK(i >= 0 && i < kNumDefectTypes, "bad DefectType value ", i);
+  return kNames[static_cast<std::size_t>(i)];
+}
+
+DefectType defect_type_from_string(const std::string& name) {
+  for (int i = 0; i < kNumDefectTypes; ++i) {
+    if (name == kNames[static_cast<std::size_t>(i)]) {
+      return static_cast<DefectType>(i);
+    }
+  }
+  throw InvalidArgument("unknown defect type name: " + name);
+}
+
+DefectType defect_type_from_index(int index) {
+  WM_CHECK(index >= 0 && index < kNumDefectTypes, "defect index out of range: ",
+           index);
+  return static_cast<DefectType>(index);
+}
+
+}  // namespace wm

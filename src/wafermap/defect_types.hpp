@@ -1,0 +1,35 @@
+// The nine WM-811K defect pattern classes (paper Fig 1).
+#pragma once
+
+#include <array>
+#include <string>
+
+namespace wm {
+
+enum class DefectType : int {
+  kCenter = 0,
+  kDonut = 1,
+  kEdgeLoc = 2,
+  kEdgeRing = 3,
+  kLocation = 4,
+  kNearFull = 5,
+  kRandom = 6,
+  kScratch = 7,
+  kNone = 8,
+};
+
+inline constexpr int kNumDefectTypes = 9;
+
+/// All classes in enum order (the row order used by the paper's tables).
+const std::array<DefectType, kNumDefectTypes>& all_defect_types();
+
+/// Human-readable name, e.g. "Edge-Ring".
+std::string to_string(DefectType type);
+
+/// Inverse of to_string; throws wm::InvalidArgument on unknown names.
+DefectType defect_type_from_string(const std::string& name);
+
+/// Bounds-checked int -> enum conversion.
+DefectType defect_type_from_index(int index);
+
+}  // namespace wm

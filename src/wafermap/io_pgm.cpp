@@ -1,0 +1,62 @@
+#include "wafermap/io_pgm.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace wm {
+
+void write_pgm(const std::string& path, const WaferMap& map) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw IoError("cannot open PGM for writing: " + path);
+  const auto px = map.to_pixels();
+  out << "P5\n" << map.size() << " " << map.size() << "\n255\n";
+  out.write(reinterpret_cast<const char*>(px.data()),
+            static_cast<std::streamsize>(px.size()));
+  if (!out) throw IoError("PGM write failed: " + path);
+}
+
+WaferMap read_pgm(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw IoError("cannot open PGM for reading: " + path);
+  std::string magic;
+  int width = 0;
+  int height = 0;
+  int maxval = 0;
+  in >> magic >> width >> height >> maxval;
+  if (!in || magic != "P5" || maxval != 255) throw IoError("bad PGM header: " + path);
+  if (width != height || width < 3) throw IoError("PGM is not a square wafer: " + path);
+  in.get();  // single whitespace after header
+  std::vector<std::uint8_t> px(static_cast<std::size_t>(width) * height);
+  in.read(reinterpret_cast<char*>(px.data()),
+          static_cast<std::streamsize>(px.size()));
+  if (!in) throw IoError("PGM payload truncated: " + path);
+
+  WaferMap map(width);
+  for (int row = 0; row < height; ++row) {
+    for (int col = 0; col < width; ++col) {
+      if (!map.on_wafer(row, col)) continue;
+      const std::uint8_t v = px[static_cast<std::size_t>(row) * width + col];
+      map.set(row, col, v >= 192 ? Die::kFail : Die::kPass);
+    }
+  }
+  return map;
+}
+
+std::string ascii_render(const WaferMap& map) {
+  std::ostringstream os;
+  for (int row = 0; row < map.size(); ++row) {
+    for (int col = 0; col < map.size(); ++col) {
+      if (!map.on_wafer(row, col)) {
+        os << ' ';
+      } else {
+        os << (map.at(row, col) == Die::kFail ? '#' : '.');
+      }
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace wm

@@ -1,0 +1,21 @@
+// Rendering helpers: binary PGM export (Fig 1 / Fig 4 artifacts) and a
+// terminal-friendly ASCII rendering.
+#pragma once
+
+#include <string>
+
+#include "wafermap/wafer_map.hpp"
+
+namespace wm {
+
+/// Writes the map as a binary (P5) PGM image with the paper's pixel levels.
+void write_pgm(const std::string& path, const WaferMap& map);
+
+/// Reads back a PGM written by write_pgm.
+WaferMap read_pgm(const std::string& path);
+
+/// Renders the map with ' ' off-wafer, '.' pass and '#' fail, one text row
+/// per die row.
+std::string ascii_render(const WaferMap& map);
+
+}  // namespace wm

@@ -1,0 +1,28 @@
+#include "wafermap/resize.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace wm {
+
+WaferMap resize_map(const WaferMap& map, int new_size) {
+  WM_CHECK(new_size >= 3, "target size must be >= 3, got ", new_size);
+  if (new_size == map.size()) return map;
+  WaferMap out(new_size);
+  const double scale = static_cast<double>(map.size()) / new_size;
+  // Sample at destination pixel centres mapped into the source grid.
+  for (int row = 0; row < new_size; ++row) {
+    for (int col = 0; col < new_size; ++col) {
+      if (!out.on_wafer(row, col)) continue;
+      const int src_row = static_cast<int>(std::floor((row + 0.5) * scale));
+      const int src_col = static_cast<int>(std::floor((col + 0.5) * scale));
+      if (map.on_wafer(src_row, src_col)) {
+        out.set(row, col, map.at(src_row, src_col));
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace wm

@@ -1,0 +1,15 @@
+// Wafer map resizing. WM-811K die grids come in many sizes (26x26 up to
+// 300x202); the paper rescales every map to one square resolution before
+// feeding the CNN. Nearest-neighbour sampling preserves the 3-level
+// encoding exactly.
+#pragma once
+
+#include "wafermap/wafer_map.hpp"
+
+namespace wm {
+
+/// Resamples the die pattern onto a `new_size` x `new_size` disc.
+/// Positions whose pre-image is off the source wafer become passes.
+WaferMap resize_map(const WaferMap& map, int new_size);
+
+}  // namespace wm

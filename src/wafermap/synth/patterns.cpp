@@ -1,0 +1,231 @@
+#include "wafermap/synth/patterns.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace wm::synth {
+
+namespace {
+
+/// Per-wafer effective pattern density with multiplicative jitter.
+double effective_density(Rng& rng, const MorphologyParams& p) {
+  return p.pattern_density * rng.uniform(1.0 - p.density_jitter, 1.0);
+}
+
+/// Disc of passing dies with i.i.d. background failures and, sometimes, a
+/// small unrelated secondary-damage blob.
+WaferMap background(int size, Rng& rng, const MorphologyParams& p) {
+  WaferMap map(size);
+  const double bg = rng.uniform(p.background_lo, p.background_hi);
+  for (int row = 0; row < size; ++row) {
+    for (int col = 0; col < size; ++col) {
+      if (map.on_wafer(row, col) && rng.bernoulli(bg)) {
+        map.mark_fail(row, col);
+      }
+    }
+  }
+  if (rng.bernoulli(p.distractor_prob)) {
+    const double c = map.center();
+    const double r = map.radius();
+    const double cy = c + rng.uniform(-0.7, 0.7) * r;
+    const double cx = c + rng.uniform(-0.7, 0.7) * r;
+    const double blob_r = rng.uniform(1.0, 2.2);
+    for (int row = 0; row < size; ++row) {
+      for (int col = 0; col < size; ++col) {
+        const double dr = row - cy;
+        const double dc = col - cx;
+        if (std::sqrt(dr * dr + dc * dc) <= blob_r && rng.bernoulli(0.8)) {
+          map.mark_fail(row, col);
+        }
+      }
+    }
+  }
+  return map;
+}
+
+double die_distance(const WaferMap& map, int row, int col) {
+  const double c = map.center();
+  const double dr = row - c;
+  const double dc = col - c;
+  return std::sqrt(dr * dr + dc * dc);
+}
+
+double die_angle(const WaferMap& map, int row, int col) {
+  const double c = map.center();
+  return std::atan2(row - c, col - c);  // [-pi, pi]
+}
+
+/// Smallest absolute angular difference, handling wrap-around.
+double angle_diff(double a, double b) {
+  double d = std::fmod(a - b + 3 * std::numbers::pi, 2 * std::numbers::pi) -
+             std::numbers::pi;
+  return std::fabs(d);
+}
+
+/// Fails every on-wafer die satisfying `pred` with the pattern density.
+template <typename Pred>
+void paint(WaferMap& map, Rng& rng, double density, Pred pred) {
+  for (int row = 0; row < map.size(); ++row) {
+    for (int col = 0; col < map.size(); ++col) {
+      if (!map.on_wafer(row, col)) continue;
+      if (pred(row, col) && rng.bernoulli(density)) map.mark_fail(row, col);
+    }
+  }
+}
+
+}  // namespace
+
+WaferMap generate_none(int size, Rng& rng, const MorphologyParams& p) {
+  return background(size, rng, p);
+}
+
+WaferMap generate_center(int size, Rng& rng, const MorphologyParams& p) {
+  WaferMap map = background(size, rng, p);
+  const double r = map.radius();
+  const double density = effective_density(rng, p);
+  const double cluster_r = rng.uniform(0.12, 0.38) * r * p.scale;
+  // Off-centre jitter keeps the class from being trivially templated.
+  const double jr = rng.normal(0.0, 0.07 * r);
+  const double jc = rng.normal(0.0, 0.07 * r);
+  const double cy = map.center() + jr;
+  const double cx = map.center() + jc;
+  paint(map, rng, density, [&](int row, int col) {
+    const double dr = row - cy;
+    const double dc = col - cx;
+    return std::sqrt(dr * dr + dc * dc) <= cluster_r;
+  });
+  // Soft fringe around the core.
+  paint(map, rng, 0.3 * density, [&](int row, int col) {
+    const double dr = row - cy;
+    const double dc = col - cx;
+    const double d = std::sqrt(dr * dr + dc * dc);
+    return d > cluster_r && d <= 1.5 * cluster_r;
+  });
+  return map;
+}
+
+WaferMap generate_donut(int size, Rng& rng, const MorphologyParams& p) {
+  WaferMap map = background(size, rng, p);
+  const double r = map.radius();
+  const double inner = rng.uniform(0.22, 0.48) * r * p.scale;
+  const double outer = inner + rng.uniform(0.13, 0.34) * r * p.scale;
+  paint(map, rng, effective_density(rng, p), [&](int row, int col) {
+    const double d = die_distance(map, row, col);
+    return d >= inner && d <= outer;
+  });
+  return map;
+}
+
+WaferMap generate_edge_loc(int size, Rng& rng, const MorphologyParams& p) {
+  WaferMap map = background(size, rng, p);
+  const double r = map.radius();
+  const double theta0 = rng.uniform(-std::numbers::pi, std::numbers::pi);
+  const double half_width =
+      rng.uniform(0.2, 1.0) * p.scale;  // radians, ~11-57 degrees
+  const double depth = std::max(1.5, rng.uniform(0.08, 0.3) * r * p.scale);
+  paint(map, rng, effective_density(rng, p), [&](int row, int col) {
+    const double d = die_distance(map, row, col);
+    if (d < r - depth) return false;
+    return angle_diff(die_angle(map, row, col), theta0) <= half_width;
+  });
+  return map;
+}
+
+WaferMap generate_edge_ring(int size, Rng& rng, const MorphologyParams& p) {
+  WaferMap map = background(size, rng, p);
+  const double r = map.radius();
+  const double width = std::max(1.2, rng.uniform(0.05, 0.17) * r * p.scale);
+  // Most rings are full; some leave a small gap.
+  const bool has_gap = rng.bernoulli(0.35);
+  const double gap_center = rng.uniform(-std::numbers::pi, std::numbers::pi);
+  const double gap_half = rng.uniform(0.1, 0.5);
+  paint(map, rng, effective_density(rng, p), [&](int row, int col) {
+    if (die_distance(map, row, col) < r - width) return false;
+    if (has_gap &&
+        angle_diff(die_angle(map, row, col), gap_center) <= gap_half) {
+      return false;
+    }
+    return true;
+  });
+  return map;
+}
+
+WaferMap generate_location(int size, Rng& rng, const MorphologyParams& p) {
+  WaferMap map = background(size, rng, p);
+  const double r = map.radius();
+  const double c = map.center();
+  const double dist = rng.uniform(0.28, 0.7) * r;
+  const double angle = rng.uniform(-std::numbers::pi, std::numbers::pi);
+  const double cy = c + dist * std::sin(angle);
+  const double cx = c + dist * std::cos(angle);
+  const double blob_r = rng.uniform(0.1, 0.27) * r * p.scale;
+  paint(map, rng, effective_density(rng, p), [&](int row, int col) {
+    const double dr = row - cy;
+    const double dc = col - cx;
+    return std::sqrt(dr * dr + dc * dc) <= blob_r;
+  });
+  return map;
+}
+
+WaferMap generate_near_full(int size, Rng& rng, const MorphologyParams& p) {
+  WaferMap map(size);
+  const double density = rng.uniform(0.82, 0.95) * std::min(1.0, p.pattern_density + 0.08);
+  paint(map, rng, density, [](int, int) { return true; });
+  return map;
+}
+
+WaferMap generate_random(int size, Rng& rng, const MorphologyParams& p) {
+  WaferMap map(size);
+  // Well above background noise, well below near-full.
+  const double density = rng.uniform(0.14, 0.28);
+  paint(map, rng, std::min(1.0, density / MorphologyParams::nominal().pattern_density *
+                                    p.pattern_density),
+        [](int, int) { return true; });
+  return map;
+}
+
+WaferMap generate_scratch(int size, Rng& rng, const MorphologyParams& p) {
+  WaferMap map = background(size, rng, p);
+  const double r = map.radius();
+  const double c = map.center();
+  // Random start within the inner 60% of the disc, random heading, slight
+  // curvature — a thin polyline of failing dies.
+  double y = c + rng.uniform(-0.6, 0.6) * r;
+  double x = c + rng.uniform(-0.6, 0.6) * r;
+  double heading = rng.uniform(-std::numbers::pi, std::numbers::pi);
+  const double length = rng.uniform(0.7, 1.7) * r * p.scale;
+  const double density = effective_density(rng, p);
+  const int steps = std::max(3, static_cast<int>(std::lround(length / 0.5)));
+  for (int i = 0; i < steps; ++i) {
+    const int row = static_cast<int>(std::lround(y));
+    const int col = static_cast<int>(std::lround(x));
+    if (rng.bernoulli(density)) map.mark_fail(row, col);
+    // Occasional 1-die widening keeps the scratch visible after rescaling.
+    if (rng.bernoulli(0.25)) map.mark_fail(row + 1, col);
+    heading += rng.normal(0.0, 0.08);
+    y += 0.5 * std::sin(heading);
+    x += 0.5 * std::cos(heading);
+  }
+  return map;
+}
+
+WaferMap generate(DefectType type, int size, Rng& rng,
+                  const MorphologyParams& params) {
+  switch (type) {
+    case DefectType::kCenter: return generate_center(size, rng, params);
+    case DefectType::kDonut: return generate_donut(size, rng, params);
+    case DefectType::kEdgeLoc: return generate_edge_loc(size, rng, params);
+    case DefectType::kEdgeRing: return generate_edge_ring(size, rng, params);
+    case DefectType::kLocation: return generate_location(size, rng, params);
+    case DefectType::kNearFull: return generate_near_full(size, rng, params);
+    case DefectType::kRandom: return generate_random(size, rng, params);
+    case DefectType::kScratch: return generate_scratch(size, rng, params);
+    case DefectType::kNone: return generate_none(size, rng, params);
+  }
+  throw InvalidArgument("bad DefectType in generate()");
+}
+
+}  // namespace wm::synth

@@ -1,0 +1,68 @@
+// Parametric synthetic generators for the nine WM-811K defect patterns.
+//
+// Each generator paints a spatially-coherent failure pattern onto a disc of
+// passing dies, on top of i.i.d. background failure noise — the structure the
+// paper's CNN exploits. MorphologyParams controls the "process corner": the
+// nominal corner stands in for WM-811K's "Train" distribution and the shifted
+// corner for its differently-distributed "Test" split (Section IV-A), which
+// the concept-shift experiment needs.
+#pragma once
+
+#include "wafermap/defect_types.hpp"
+#include "wafermap/wafer_map.hpp"
+
+namespace wm {
+class Rng;
+}
+
+namespace wm::synth {
+
+struct MorphologyParams {
+  /// Background (non-pattern) die failure probability range.
+  double background_lo = 0.005;
+  double background_hi = 0.05;
+  /// Failure probability inside the painted pattern (per-wafer jittered by
+  /// density_jitter below).
+  double pattern_density = 0.9;
+  /// Multiplier on pattern spatial extent.
+  double scale = 1.0;
+  /// Per-wafer multiplicative density jitter: density *= U(1-j, 1).
+  double density_jitter = 0.25;
+  /// Probability of painting one small unrelated failure blob on top of the
+  /// class pattern — real wafers routinely carry secondary damage, which is
+  /// what breaks fixed-zone hand-crafted features.
+  double distractor_prob = 0.3;
+
+  /// The data distribution all main experiments train and test on.
+  static MorphologyParams nominal() { return {}; }
+
+  /// A visibly different process corner: noisier background, weaker and
+  /// smaller patterns — but not so extreme that one class masquerades as
+  /// another (background stays below the Random class' density floor).
+  /// Used only by the concept-shift experiment.
+  static MorphologyParams shifted() {
+    return {.background_lo = 0.035,
+            .background_hi = 0.08,
+            .pattern_density = 0.6,
+            .scale = 0.7,
+            .density_jitter = 0.35,
+            .distractor_prob = 0.5};
+  }
+};
+
+/// Generates one wafer of the given class.
+WaferMap generate(DefectType type, int size, Rng& rng,
+                  const MorphologyParams& params = MorphologyParams::nominal());
+
+/// Per-class generators (all start from background noise).
+WaferMap generate_none(int size, Rng& rng, const MorphologyParams& params);
+WaferMap generate_center(int size, Rng& rng, const MorphologyParams& params);
+WaferMap generate_donut(int size, Rng& rng, const MorphologyParams& params);
+WaferMap generate_edge_loc(int size, Rng& rng, const MorphologyParams& params);
+WaferMap generate_edge_ring(int size, Rng& rng, const MorphologyParams& params);
+WaferMap generate_location(int size, Rng& rng, const MorphologyParams& params);
+WaferMap generate_near_full(int size, Rng& rng, const MorphologyParams& params);
+WaferMap generate_random(int size, Rng& rng, const MorphologyParams& params);
+WaferMap generate_scratch(int size, Rng& rng, const MorphologyParams& params);
+
+}  // namespace wm::synth

@@ -1,0 +1,100 @@
+#include "wafermap/transforms.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <utility>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace wm {
+
+WaferMap rotate(const WaferMap& map, double degrees) {
+  const int size = map.size();
+  WaferMap out(size);
+  const double c = map.center();
+  const double theta = -degrees * std::numbers::pi / 180.0;  // inverse map
+  const double ct = std::cos(theta);
+  const double st = std::sin(theta);
+  for (int row = 0; row < size; ++row) {
+    for (int col = 0; col < size; ++col) {
+      if (!out.on_wafer(row, col)) continue;
+      // Rotate the destination coordinate back into the source frame.
+      const double y = row - c;
+      const double x = col - c;
+      const int src_row = static_cast<int>(std::lround(c + y * ct - x * st));
+      const int src_col = static_cast<int>(std::lround(c + y * st + x * ct));
+      if (map.on_wafer(src_row, src_col)) {
+        out.set(row, col, map.at(src_row, src_col));
+      } else {
+        out.set(row, col, Die::kPass);
+      }
+    }
+  }
+  return out;
+}
+
+WaferMap flip_horizontal(const WaferMap& map) {
+  const int size = map.size();
+  WaferMap out(size);
+  for (int row = 0; row < size; ++row) {
+    for (int col = 0; col < size; ++col) {
+      if (!out.on_wafer(row, col)) continue;
+      const int src_col = size - 1 - col;
+      if (map.on_wafer(row, src_col)) {
+        out.set(row, col, map.at(row, src_col));
+      }
+    }
+  }
+  return out;
+}
+
+WaferMap salt_and_pepper(const WaferMap& map, int flips, Rng& rng) {
+  WM_CHECK(flips >= 0, "negative flip count");
+  // Collect on-wafer coordinates once, then flip a random subset.
+  std::vector<std::pair<int, int>> coords;
+  for (int row = 0; row < map.size(); ++row) {
+    for (int col = 0; col < map.size(); ++col) {
+      if (map.on_wafer(row, col)) coords.emplace_back(row, col);
+    }
+  }
+  WaferMap out = map;
+  if (coords.empty()) return out;
+  for (int i = 0; i < flips; ++i) {
+    const auto& [row, col] =
+        coords[static_cast<std::size_t>(rng.uniform_int(
+            0, static_cast<int>(coords.size()) - 1))];
+    out.set(row, col, out.at(row, col) == Die::kFail ? Die::kPass : Die::kFail);
+  }
+  return out;
+}
+
+WaferMap quantize_to_wafer(const Tensor& t) { return WaferMap::from_tensor(t); }
+
+WaferMap quantize_matching_density(const Tensor& t, int target_fails) {
+  WM_CHECK(target_fails >= 0, "negative fail target");
+  WM_CHECK_SHAPE(t.rank() == 3 && t.dim(0) == 1 && t.dim(1) == t.dim(2),
+                 "expected (1, S, S) tensor, got ", t.shape().to_string());
+  const int size = static_cast<int>(t.dim(1));
+  WaferMap map(size);
+  std::vector<std::pair<float, std::pair<int, int>>> on_disc;
+  for (int row = 0; row < size; ++row) {
+    for (int col = 0; col < size; ++col) {
+      if (map.on_wafer(row, col)) {
+        on_disc.push_back({t.at(0, row, col), {row, col}});
+      }
+    }
+  }
+  const int k = std::min<int>(target_fails, static_cast<int>(on_disc.size()));
+  std::partial_sort(on_disc.begin(), on_disc.begin() + k, on_disc.end(),
+                    [](const auto& a, const auto& b) { return a.first > b.first; });
+  for (int i = 0; i < k; ++i) {
+    map.set(on_disc[static_cast<std::size_t>(i)].second.first,
+            on_disc[static_cast<std::size_t>(i)].second.second, Die::kFail);
+  }
+  return map;
+}
+
+}  // namespace wm

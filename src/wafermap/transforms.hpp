@@ -1,0 +1,33 @@
+// Geometric and noise transforms on wafer maps (Algorithm 1 building blocks).
+#pragma once
+
+#include "wafermap/wafer_map.hpp"
+
+namespace wm {
+
+class Rng;
+
+/// Rotates the die pattern by `degrees` counter-clockwise about the wafer
+/// centre (nearest-neighbour sampling). The disc support is preserved; dies
+/// whose pre-image falls off the wafer become passes.
+WaferMap rotate(const WaferMap& map, double degrees);
+
+/// Mirrors the die pattern left-right.
+WaferMap flip_horizontal(const WaferMap& map);
+
+/// Flips the labels of `flips` randomly chosen on-wafer dies (pass <-> fail) —
+/// the paper's salt-and-pepper die noise (Algorithm 1, line 9).
+WaferMap salt_and_pepper(const WaferMap& map, int flips, Rng& rng);
+
+/// Quantises an arbitrary (1,S,S) tensor (e.g. a decoder output) to the three
+/// pixel levels and returns the wafer map (Algorithm 1, line 7).
+WaferMap quantize_to_wafer(const Tensor& t);
+
+/// Density-matched quantisation: marks the `target_fails` on-disc positions
+/// with the highest values as failing. Robust to decoders whose outputs are
+/// correctly *ranked* but not calibrated to the fixed 0.75 fail threshold —
+/// blurry reconstructions keep the class' failure density instead of
+/// collapsing to an all-pass wafer.
+WaferMap quantize_matching_density(const Tensor& t, int target_fails);
+
+}  // namespace wm

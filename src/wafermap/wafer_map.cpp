@@ -1,0 +1,125 @@
+#include "wafermap/wafer_map.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace wm {
+
+WaferMap::WaferMap(int size) : size_(size) {
+  WM_CHECK(size >= 3, "wafer size must be >= 3, got ", size);
+  dies_.assign(static_cast<std::size_t>(size) * static_cast<std::size_t>(size),
+               Die::kOffWafer);
+  const double c = center();
+  const double r = radius();
+  for (int row = 0; row < size_; ++row) {
+    for (int col = 0; col < size_; ++col) {
+      const double dr = row - c;
+      const double dc = col - c;
+      if (std::sqrt(dr * dr + dc * dc) <= r) {
+        dies_[index(row, col)] = Die::kPass;
+      }
+    }
+  }
+}
+
+std::size_t WaferMap::index(int row, int col) const {
+  WM_ASSERT(row >= 0 && row < size_ && col >= 0 && col < size_,
+            "die (", row, ",", col, ") outside grid of size ", size_);
+  return static_cast<std::size_t>(row) * static_cast<std::size_t>(size_) +
+         static_cast<std::size_t>(col);
+}
+
+bool WaferMap::on_wafer(int row, int col) const {
+  if (row < 0 || row >= size_ || col < 0 || col >= size_) return false;
+  return dies_[index(row, col)] != Die::kOffWafer;
+}
+
+Die WaferMap::at(int row, int col) const {
+  WM_CHECK(row >= 0 && row < size_ && col >= 0 && col < size_,
+           "die (", row, ",", col, ") outside grid of size ", size_);
+  return dies_[index(row, col)];
+}
+
+void WaferMap::set(int row, int col, Die die) {
+  WM_CHECK(row >= 0 && row < size_ && col >= 0 && col < size_,
+           "die (", row, ",", col, ") outside grid of size ", size_);
+  dies_[index(row, col)] = die;
+}
+
+void WaferMap::mark_fail(int row, int col) {
+  if (row < 0 || row >= size_ || col < 0 || col >= size_) return;
+  if (dies_[index(row, col)] != Die::kOffWafer) {
+    dies_[index(row, col)] = Die::kFail;
+  }
+}
+
+int WaferMap::total_dies() const {
+  int n = 0;
+  for (Die d : dies_) n += (d != Die::kOffWafer);
+  return n;
+}
+
+int WaferMap::fail_count() const {
+  int n = 0;
+  for (Die d : dies_) n += (d == Die::kFail);
+  return n;
+}
+
+int WaferMap::pass_count() const {
+  int n = 0;
+  for (Die d : dies_) n += (d == Die::kPass);
+  return n;
+}
+
+double WaferMap::fail_fraction() const {
+  const int total = total_dies();
+  return total > 0 ? static_cast<double>(fail_count()) / total : 0.0;
+}
+
+Tensor WaferMap::to_tensor() const {
+  Tensor t(Shape{1, size_, size_});
+  float* p = t.data();
+  for (std::size_t i = 0; i < dies_.size(); ++i) {
+    switch (dies_[i]) {
+      case Die::kOffWafer: p[i] = 0.0f; break;
+      case Die::kPass: p[i] = 0.5f; break;
+      case Die::kFail: p[i] = 1.0f; break;
+    }
+  }
+  return t;
+}
+
+WaferMap WaferMap::from_tensor(const Tensor& t) {
+  WM_CHECK_SHAPE(t.rank() == 3 && t.dim(0) == 1 && t.dim(1) == t.dim(2),
+                 "expected (1, S, S) tensor, got ", t.shape().to_string());
+  const int size = static_cast<int>(t.dim(1));
+  WaferMap map(size);
+  const float* p = t.data();
+  for (int row = 0; row < size; ++row) {
+    for (int col = 0; col < size; ++col) {
+      if (!map.on_wafer(row, col)) continue;  // disc support is structural
+      const float v = p[row * size + col];
+      map.set(row, col, v < 0.75f ? Die::kPass : Die::kFail);
+    }
+  }
+  return map;
+}
+
+std::vector<std::uint8_t> WaferMap::to_pixels() const {
+  std::vector<std::uint8_t> px(dies_.size(), 0);
+  for (std::size_t i = 0; i < dies_.size(); ++i) {
+    switch (dies_[i]) {
+      case Die::kOffWafer: px[i] = 0; break;
+      case Die::kPass: px[i] = 127; break;
+      case Die::kFail: px[i] = 255; break;
+    }
+  }
+  return px;
+}
+
+bool WaferMap::operator==(const WaferMap& other) const {
+  return size_ == other.size_ && dies_ == other.dies_;
+}
+
+}  // namespace wm

@@ -1,0 +1,72 @@
+// The wafer map data type: a square grid of die states on a disc support.
+//
+// Matches the paper's image encoding: pixel 0 = off-wafer, 127 = passing die,
+// 255 = failing die. to_tensor() normalises these to {0, 0.5, 1}.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace wm {
+
+enum class Die : std::uint8_t {
+  kOffWafer = 0,
+  kPass = 1,
+  kFail = 2,
+};
+
+class WaferMap {
+ public:
+  /// Wafer of the given edge size with all on-disc dies passing. The disc is
+  /// centred on the grid with radius size/2.
+  explicit WaferMap(int size);
+
+  int size() const { return size_; }
+
+  /// True when (row, col) lies on the wafer disc.
+  bool on_wafer(int row, int col) const;
+
+  /// Bounds-checked die accessors.
+  Die at(int row, int col) const;
+  void set(int row, int col, Die die);
+
+  /// Marks a die failed iff it is on the wafer (no-op off-disc/out of grid);
+  /// convenient for pattern painters.
+  void mark_fail(int row, int col);
+
+  int total_dies() const;  // on-wafer dies
+  int fail_count() const;
+  int pass_count() const;
+
+  /// Fraction of on-wafer dies that fail (0 when the wafer has no dies).
+  double fail_fraction() const;
+
+  /// (1, size, size) tensor with values 0 / 0.5 / 1.
+  Tensor to_tensor() const;
+
+  /// Inverse of to_tensor with threshold quantisation: values < 0.25 ->
+  /// off-wafer, < 0.75 -> pass, else fail. Off-disc positions are forced to
+  /// off-wafer regardless of pixel value (the disc support is structural).
+  static WaferMap from_tensor(const Tensor& t);
+
+  /// Raw pixel buffer (row-major, size*size) with the paper's levels
+  /// 0 / 127 / 255.
+  std::vector<std::uint8_t> to_pixels() const;
+
+  bool operator==(const WaferMap& other) const;
+  bool operator!=(const WaferMap& other) const { return !(*this == other); }
+
+  /// Centre coordinate and disc radius in die units.
+  double center() const { return (size_ - 1) / 2.0; }
+  double radius() const { return size_ / 2.0; }
+
+ private:
+  std::size_t index(int row, int col) const;
+
+  int size_;
+  std::vector<Die> dies_;
+};
+
+}  // namespace wm

@@ -1,0 +1,60 @@
+#include "wafermap/wm811k_loader.hpp"
+
+#include <filesystem>
+
+#include "common/csv.hpp"
+#include "common/error.hpp"
+#include "common/string_util.hpp"
+#include "wafermap/io_pgm.hpp"
+#include "wafermap/resize.hpp"
+
+namespace wm {
+
+namespace fs = std::filesystem;
+
+Dataset load_wafer_directory(const std::string& dir, const LoadOptions& options) {
+  WM_CHECK(options.target_size == 0 || options.target_size >= 3,
+           "bad target size ", options.target_size);
+  WM_CHECK(options.limit >= 0, "negative limit");
+  const fs::path root(dir);
+  const fs::path index = root / "index.csv";
+  if (!fs::exists(index)) {
+    throw IoError("no index.csv under " + dir);
+  }
+  const auto rows = read_csv(index.string());
+  Dataset out;
+  out.reserve(rows.size());
+  for (const auto& row : rows) {
+    if (row.size() == 1 && trim(row[0]).empty()) continue;
+    if (row.size() != 2) {
+      throw IoError("malformed index row in " + index.string() +
+                    " (want <path>,<class>)");
+    }
+    const std::string rel = trim(row[0]);
+    if (rel == "path") continue;  // optional header
+    const DefectType label = defect_type_from_string(trim(row[1]));
+    WaferMap map = read_pgm((root / rel).string());
+    if (options.target_size != 0 && map.size() != options.target_size) {
+      map = resize_map(map, options.target_size);
+    }
+    out.add(Sample{.map = std::move(map), .label = label});
+    if (options.limit > 0 && static_cast<int>(out.size()) >= options.limit) break;
+  }
+  WM_CHECK(!out.empty(), "no wafers loaded from ", dir);
+  return out;
+}
+
+void save_wafer_directory(const std::string& dir, const Dataset& data) {
+  WM_CHECK(!data.empty(), "refusing to save an empty dataset");
+  const fs::path root(dir);
+  fs::create_directories(root);
+  CsvWriter index((root / "index.csv").string());
+  index.write_row({"path", "class"});
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    const std::string name = "wafer_" + std::to_string(i) + ".pgm";
+    write_pgm((root / name).string(), data[i].map);
+    index.write_row({name, to_string(data[i].label)});
+  }
+}
+
+}  // namespace wm

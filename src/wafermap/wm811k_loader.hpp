@@ -1,0 +1,34 @@
+// Loader for real wafer-map datasets in the repository's interchange
+// layout: a directory containing `index.csv` with rows
+//     <relative-pgm-path>,<class-name>
+// (class names as in the paper: Center, Donut, Edge-Loc, Edge-Ring,
+// Location, Near-Full, Random, Scratch, None) and one binary PGM per wafer
+// using the 0/127/255 encoding. Convert the Kaggle WM-811K pickle to this
+// layout with any script; `wm_tool generate` produces the same layout for
+// synthetic data, so the whole pipeline can be exercised end-to-end.
+#pragma once
+
+#include <string>
+
+#include "wafermap/dataset.hpp"
+
+namespace wm {
+
+struct LoadOptions {
+  /// Resample every map to this size (0 keeps native sizes; note that a
+  /// Dataset used for training must be single-sized).
+  int target_size = 0;
+  /// Maximum wafers to load (0 = all); useful for smoke tests.
+  int limit = 0;
+};
+
+/// Loads `<dir>/index.csv` and the PGMs it references.
+/// Throws wm::IoError on missing/malformed files and wm::InvalidArgument on
+/// unknown class names.
+Dataset load_wafer_directory(const std::string& dir,
+                             const LoadOptions& options = {});
+
+/// Writes a dataset into the interchange layout (index.csv + PGMs).
+void save_wafer_directory(const std::string& dir, const Dataset& data);
+
+}  // namespace wm

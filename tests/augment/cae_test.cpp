@@ -1,0 +1,133 @@
+#include "augment/cae.hpp"
+
+#include <gtest/gtest.h>
+
+#include "augment/cae_trainer.hpp"
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "nn/loss/mse.hpp"
+#include "nn/optim/optimizer.hpp"
+#include "tensor/tensor_ops.hpp"
+#include "wafermap/synth/generator.hpp"
+
+namespace wm::augment {
+namespace {
+
+CaeOptions small_cae() {
+  return {.map_size = 16, .encoder_filters = {8, 4}, .kernel = 5};
+}
+
+TEST(CaeTest, ShapesThroughEncoderAndDecoder) {
+  Rng rng(1);
+  ConvAutoencoder cae(small_cae(), rng);
+  EXPECT_EQ(cae.latent_shape(), Shape({4, 4, 4}));
+  const Tensor x = Tensor::uniform(Shape{3, 1, 16, 16}, rng);
+  const Tensor z = cae.encode(x);
+  EXPECT_EQ(z.shape(), Shape({3, 4, 4, 4}));
+  const Tensor recon = cae.decode(z);
+  EXPECT_EQ(recon.shape(), x.shape());
+}
+
+TEST(CaeTest, DecoderOutputInUnitInterval) {
+  Rng rng(2);
+  ConvAutoencoder cae(small_cae(), rng);
+  const Tensor x = Tensor::uniform(Shape{2, 1, 16, 16}, rng);
+  const Tensor recon = cae.reconstruct(x);
+  for (std::int64_t i = 0; i < recon.numel(); ++i) {
+    EXPECT_GE(recon[i], 0.0f);
+    EXPECT_LE(recon[i], 1.0f);
+  }
+}
+
+TEST(CaeTest, RejectsWrongInputSize) {
+  Rng rng(3);
+  ConvAutoencoder cae(small_cae(), rng);
+  EXPECT_THROW(cae.encode(Tensor(Shape{1, 1, 32, 32})), ShapeError);
+  EXPECT_THROW(cae.encode(Tensor(Shape{1, 3, 16, 16})), ShapeError);
+}
+
+TEST(CaeTest, RejectsBadOptions) {
+  Rng rng(4);
+  EXPECT_THROW(ConvAutoencoder({.map_size = 16, .encoder_filters = {}, .kernel = 5}, rng),
+               InvalidArgument);
+  EXPECT_THROW(
+      ConvAutoencoder({.map_size = 16, .encoder_filters = {8}, .kernel = 4}, rng),
+      InvalidArgument);
+  // 5 pooling stages on a 16-wide map underflows.
+  EXPECT_THROW(ConvAutoencoder({.map_size = 16,
+                                .encoder_filters = {8, 8, 8, 8, 8},
+                                .kernel = 3},
+                               rng),
+               InvalidArgument);
+}
+
+TEST(CaeTest, TrainingStepReducesLoss) {
+  Rng rng(5);
+  ConvAutoencoder cae(small_cae(), rng);
+  nn::Adam opt(cae.parameters(), {.lr = 2e-3});
+  // A fixed small batch of donut wafers.
+  synth::DatasetSpec spec;
+  spec.map_size = 16;
+  spec.class_counts[static_cast<std::size_t>(DefectType::kDonut)] = 8;
+  const Dataset data = synth::generate_dataset(spec, rng);
+  const Batch batch = data.full_batch();
+
+  float first = 0.0f;
+  float last = 0.0f;
+  for (int step = 0; step < 40; ++step) {
+    opt.zero_grad();
+    const float loss = cae.training_step(batch.images);
+    opt.step();
+    if (step == 0) first = loss;
+    last = loss;
+  }
+  EXPECT_LT(last, 0.5f * first);
+}
+
+TEST(CaeTrainerTest, LossDecreasesOverEpochs) {
+  Rng rng(6);
+  synth::DatasetSpec spec;
+  spec.map_size = 16;
+  spec.class_counts[static_cast<std::size_t>(DefectType::kCenter)] = 24;
+  const Dataset data = synth::generate_dataset(spec, rng);
+
+  ConvAutoencoder cae(small_cae(), rng);
+  const auto log =
+      train_cae(cae, data, {.epochs = 8, .batch_size = 8, .learning_rate = 2e-3},
+                rng);
+  ASSERT_EQ(log.epoch_losses.size(), 8u);
+  EXPECT_LT(log.final_loss(), log.epoch_losses.front());
+}
+
+TEST(CaeTrainerTest, TrainedCaeReconstructsClassStructure) {
+  Rng rng(7);
+  synth::DatasetSpec spec;
+  spec.map_size = 16;
+  spec.class_counts[static_cast<std::size_t>(DefectType::kCenter)] = 32;
+  const Dataset data = synth::generate_dataset(spec, rng);
+
+  ConvAutoencoder cae(small_cae(), rng);
+  train_cae(cae, data, {.epochs = 25, .batch_size = 8, .learning_rate = 2e-3}, rng);
+
+  const Batch batch = data.make_batch({0, 1, 2, 3});
+  const Tensor recon = cae.reconstruct(batch.images);
+  const auto mse = nn::MseLoss::compute(recon, batch.images);
+  // Pixels live in {0, 0.5, 1}; an untrained decoder sits around 0.08-0.2 MSE.
+  EXPECT_LT(mse.value, 0.05f);
+}
+
+TEST(CaeTrainerTest, RejectsEmptyDatasetAndBadOptions) {
+  Rng rng(8);
+  ConvAutoencoder cae(small_cae(), rng);
+  const Dataset empty;
+  EXPECT_THROW(train_cae(cae, empty, {}, rng), InvalidArgument);
+
+  synth::DatasetSpec spec;
+  spec.map_size = 16;
+  spec.class_counts[0] = 2;
+  const Dataset data = synth::generate_dataset(spec, rng);
+  EXPECT_THROW(train_cae(cae, data, {.epochs = 0}, rng), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace wm::augment

@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include "baseline/connected_components.hpp"
+#include "baseline/denoise.hpp"
+#include "common/rng.hpp"
+#include "wafermap/synth/patterns.hpp"
+
+namespace wm::baseline {
+namespace {
+
+TEST(DenoiseTest, RemovesIsolatedSpeckle) {
+  WaferMap map(15);
+  map.set(7, 7, Die::kFail);  // lone failure surrounded by passes
+  const WaferMap clean = median_denoise(map);
+  EXPECT_EQ(clean.at(7, 7), Die::kPass);
+  EXPECT_EQ(clean.fail_count(), 0);
+}
+
+TEST(DenoiseTest, PreservesSolidBlock) {
+  WaferMap map(15);
+  for (int r = 5; r <= 9; ++r) {
+    for (int c = 5; c <= 9; ++c) map.set(r, c, Die::kFail);
+  }
+  const WaferMap clean = median_denoise(map);
+  // Interior of the block survives.
+  EXPECT_EQ(clean.at(7, 7), Die::kFail);
+  EXPECT_EQ(clean.at(6, 6), Die::kFail);
+}
+
+TEST(DenoiseTest, FillsSmallHoleInsideBlock) {
+  WaferMap map(15);
+  for (int r = 5; r <= 9; ++r) {
+    for (int c = 5; c <= 9; ++c) map.set(r, c, Die::kFail);
+  }
+  map.set(7, 7, Die::kPass);  // pinhole
+  const WaferMap clean = median_denoise(map);
+  EXPECT_EQ(clean.at(7, 7), Die::kFail);
+}
+
+TEST(DenoiseTest, ReducesBackgroundNoiseOnSyntheticWafer) {
+  Rng rng(1);
+  const WaferMap noisy = synth::generate_none(
+      32, rng,
+      {.background_lo = 0.05, .background_hi = 0.05, .pattern_density = 0.9,
+       .scale = 1.0});
+  const WaferMap clean = median_denoise(noisy);
+  EXPECT_LT(clean.fail_count(), noisy.fail_count());
+}
+
+TEST(ConnectedComponentsTest, EmptyMapHasNoComponents) {
+  EXPECT_TRUE(connected_components(WaferMap(9)).empty());
+  EXPECT_EQ(largest_component(WaferMap(9)).size(), 0);
+}
+
+TEST(ConnectedComponentsTest, SingleComponentFound) {
+  WaferMap map(15);
+  map.set(7, 7, Die::kFail);
+  map.set(7, 8, Die::kFail);
+  map.set(8, 7, Die::kFail);
+  const auto comps = connected_components(map);
+  ASSERT_EQ(comps.size(), 1u);
+  EXPECT_EQ(comps[0].size(), 3);
+}
+
+TEST(ConnectedComponentsTest, DiagonalTouchIsConnected) {
+  WaferMap map(15);
+  map.set(7, 7, Die::kFail);
+  map.set(8, 8, Die::kFail);  // 8-connectivity joins diagonals
+  EXPECT_EQ(connected_components(map).size(), 1u);
+}
+
+TEST(ConnectedComponentsTest, SeparateBlobsSortedBySize) {
+  WaferMap map(21);
+  // Blob A: 5 dies around (5,10); Blob B: 2 dies around (15,10).
+  for (int c = 8; c <= 12; ++c) map.set(5, c, Die::kFail);
+  map.set(15, 10, Die::kFail);
+  map.set(15, 11, Die::kFail);
+  const auto comps = connected_components(map);
+  ASSERT_EQ(comps.size(), 2u);
+  EXPECT_EQ(comps[0].size(), 5);
+  EXPECT_EQ(comps[1].size(), 2);
+  EXPECT_EQ(largest_component(map).size(), 5);
+}
+
+TEST(ConnectedComponentsTest, CountsMatchFailTotal) {
+  Rng rng(2);
+  const WaferMap map = synth::generate(DefectType::kScratch, 32, rng);
+  const auto comps = connected_components(map);
+  int total = 0;
+  for (const auto& c : comps) total += c.size();
+  EXPECT_EQ(total, map.fail_count());
+}
+
+}  // namespace
+}  // namespace wm::baseline

@@ -1,0 +1,101 @@
+// Invariance/robustness properties of the Wu feature pipeline.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "baseline/features.hpp"
+#include "baseline/radon.hpp"
+#include "common/rng.hpp"
+#include "wafermap/synth/patterns.hpp"
+#include "wafermap/transforms.hpp"
+
+namespace wm::baseline {
+namespace {
+
+double total_mass(const std::vector<double>& radon_feats) {
+  // First kRadonSamples entries are the per-bin means across angles.
+  return std::accumulate(radon_feats.begin(),
+                         radon_feats.begin() + kRadonSamples, 0.0);
+}
+
+TEST(RadonInvarianceTest, QuarterRotationPreservesMassProfile) {
+  Rng rng(1);
+  const WaferMap map = synth::generate(DefectType::kDonut, 33, rng);
+  const WaferMap rot = rotate(map, 90.0);
+  const auto f0 = radon_features(map);
+  const auto f1 = radon_features(rot);
+  // A 90-degree rotation permutes projection angles, so the across-angle
+  // mean profile (and hence its integral) is nearly unchanged.
+  EXPECT_NEAR(total_mass(f0), total_mass(f1),
+              0.15 * std::max(1.0, total_mass(f0)));
+}
+
+TEST(RadonInvarianceTest, ZoneDensitiesShiftUnderRotation) {
+  // Quadrant zone features are NOT rotation invariant for an angularly
+  // localised pattern — that is the point of keeping four quadrants.
+  Rng rng(2);
+  const synth::MorphologyParams quiet{.background_lo = 0.0,
+                                      .background_hi = 0.0,
+                                      .pattern_density = 0.95,
+                                      .scale = 1.0,
+                                      .density_jitter = 0.0,
+                                      .distractor_prob = 0.0};
+  const WaferMap map = synth::generate_edge_loc(33, rng, quiet);
+  const WaferMap rot = rotate(map, 90.0);
+  const auto z0 = zone_density_features(map);
+  const auto z1 = zone_density_features(rot);
+  double diff = 0.0;
+  for (int z = 0; z < kNumZones; ++z) {
+    diff += std::fabs(z0[static_cast<std::size_t>(z)] -
+                      z1[static_cast<std::size_t>(z)]);
+  }
+  EXPECT_GT(diff, 0.1);
+}
+
+TEST(FeatureRobustnessTest, SaltPepperNoiseBarelyMovesFeatures) {
+  // The median denoise step should make features robust to a few flipped
+  // dies — the failure mode Wu et al. designed it for.
+  Rng rng(3);
+  const WaferMap map = synth::generate(DefectType::kCenter, 33, rng);
+  const WaferMap noisy = salt_and_pepper(map, 5, rng);
+  const auto f0 = extract_features(map);
+  const auto f1 = extract_features(noisy);
+  double l2 = 0.0;
+  double ref = 1e-9;
+  for (std::size_t d = 0; d < f0.size(); ++d) {
+    l2 += (f0[d] - f1[d]) * (f0[d] - f1[d]);
+    ref += f0[d] * f0[d];
+  }
+  EXPECT_LT(std::sqrt(l2 / ref), 0.35);
+}
+
+TEST(FeatureRobustnessTest, DistinctClassesAreFarApart) {
+  // Class centroids in feature space should separate better than the
+  // intra-class spread for very distinct classes.
+  Rng rng(4);
+  auto centroid = [&](DefectType t) {
+    std::vector<double> mean(kFeatureDim, 0.0);
+    const int n = 6;
+    for (int i = 0; i < n; ++i) {
+      const auto f = extract_features(synth::generate(t, 33, rng));
+      for (int d = 0; d < kFeatureDim; ++d) mean[static_cast<std::size_t>(d)] += f[static_cast<std::size_t>(d)];
+    }
+    for (auto& v : mean) v /= n;
+    return mean;
+  };
+  const auto c_center = centroid(DefectType::kCenter);
+  const auto c_edge = centroid(DefectType::kEdgeRing);
+  const auto c_none = centroid(DefectType::kNone);
+  auto dist = [](const std::vector<double>& a, const std::vector<double>& b) {
+    double acc = 0.0;
+    for (std::size_t d = 0; d < a.size(); ++d) acc += (a[d] - b[d]) * (a[d] - b[d]);
+    return std::sqrt(acc);
+  };
+  EXPECT_GT(dist(c_center, c_edge), 1.0);
+  EXPECT_GT(dist(c_center, c_none), 0.5);
+  EXPECT_GT(dist(c_edge, c_none), 1.0);
+}
+
+}  // namespace
+}  // namespace wm::baseline

@@ -1,0 +1,82 @@
+#include "baseline/knn.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace wm::baseline {
+namespace {
+
+TEST(KnnTest, NearestNeighbourOnSeparatedBlobs) {
+  Rng rng(1);
+  std::vector<std::vector<double>> x;
+  std::vector<int> y;
+  for (int i = 0; i < 30; ++i) {
+    x.push_back({rng.normal(3.0, 0.3), rng.normal(3.0, 0.3)});
+    y.push_back(0);
+    x.push_back({rng.normal(-3.0, 0.3), rng.normal(-3.0, 0.3)});
+    y.push_back(1);
+  }
+  KnnClassifier knn({.k = 3});
+  knn.fit(x, y);
+  EXPECT_EQ(knn.predict(std::vector<double>{2.8, 3.1}), 0);
+  EXPECT_EQ(knn.predict(std::vector<double>{-3.2, -2.9}), 1);
+}
+
+TEST(KnnTest, KEqualOneMemorisesTrainingSet) {
+  KnnClassifier knn({.k = 1});
+  knn.fit({{0.0}, {1.0}, {2.0}}, {7, 8, 9});
+  EXPECT_EQ(knn.predict(std::vector<double>{0.1}), 7);
+  EXPECT_EQ(knn.predict(std::vector<double>{1.1}), 8);
+  EXPECT_EQ(knn.predict(std::vector<double>{5.0}), 9);
+}
+
+TEST(KnnTest, DistanceWeightingBreaksMajority) {
+  // Two far class-1 neighbours vs one very close class-0 neighbour: with
+  // k = 3, uniform voting picks 1, distance weighting picks 0.
+  const std::vector<std::vector<double>> x = {{0.0}, {5.0}, {5.2}};
+  const std::vector<int> y = {0, 1, 1};
+  KnnClassifier weighted({.k = 3, .distance_weighted = true});
+  weighted.fit(x, y);
+  EXPECT_EQ(weighted.predict(std::vector<double>{0.1}), 0);
+  KnnClassifier uniform({.k = 3, .distance_weighted = false});
+  uniform.fit(x, y);
+  EXPECT_EQ(uniform.predict(std::vector<double>{0.1}), 1);
+}
+
+TEST(KnnTest, BatchPredictionMatchesSingle) {
+  Rng rng(2);
+  std::vector<std::vector<double>> x;
+  std::vector<int> y;
+  for (int i = 0; i < 20; ++i) {
+    x.push_back({rng.normal(i % 2 ? 2.0 : -2.0, 0.4)});
+    y.push_back(i % 2);
+  }
+  KnnClassifier knn({.k = 5});
+  knn.fit(x, y);
+  const auto batch = knn.predict(x);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    EXPECT_EQ(batch[i], knn.predict(x[i]));
+  }
+}
+
+TEST(KnnTest, KLargerThanDatasetClamps) {
+  KnnClassifier knn({.k = 100});
+  knn.fit({{0.0}, {1.0}}, {0, 1});
+  EXPECT_NO_THROW(knn.predict(std::vector<double>{0.4}));
+}
+
+TEST(KnnTest, RejectsMisuse) {
+  EXPECT_THROW(KnnClassifier({.k = 0}), InvalidArgument);
+  KnnClassifier knn({.k = 1});
+  EXPECT_THROW(knn.predict(std::vector<double>{1.0}), InvalidArgument);  // untrained
+  EXPECT_THROW(knn.fit({}, {}), InvalidArgument);
+  EXPECT_THROW(knn.fit({{1.0}}, {-1}), InvalidArgument);
+  EXPECT_THROW(knn.fit({{1.0}, {1.0, 2.0}}, {0, 1}), InvalidArgument);
+  knn.fit({{0.0}, {1.0}}, {0, 1});
+  EXPECT_THROW(knn.predict(std::vector<double>{1.0, 2.0}), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace wm::baseline

@@ -1,0 +1,148 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baseline/geometry.hpp"
+#include "baseline/radon.hpp"
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "tensor/tensor_ops.hpp"
+#include "wafermap/synth/patterns.hpp"
+
+namespace wm::baseline {
+namespace {
+
+TEST(RadonTest, EmptyWaferGivesZeroSinogram) {
+  const Tensor sino = radon_transform(WaferMap(17), 18, 16);
+  EXPECT_EQ(sino.shape(), Shape({18, 16}));
+  EXPECT_FLOAT_EQ(sum(sino), 0.0f);
+}
+
+TEST(RadonTest, TotalMassPreservedPerAngle) {
+  Rng rng(1);
+  const WaferMap map = synth::generate(DefectType::kLocation, 32, rng);
+  const Tensor sino = radon_transform(map, 12, 24);
+  const float fails = static_cast<float>(map.fail_count());
+  for (int a = 0; a < 12; ++a) {
+    float row_sum = 0.0f;
+    for (int b = 0; b < 24; ++b) row_sum += sino.at(a, b);
+    EXPECT_FLOAT_EQ(row_sum, fails) << "angle " << a;
+  }
+}
+
+TEST(RadonTest, CentredBlobPeaksMidProfile) {
+  WaferMap map(33);
+  for (int r = 14; r <= 18; ++r) {
+    for (int c = 14; c <= 18; ++c) map.set(r, c, Die::kFail);
+  }
+  const Tensor sino = radon_transform(map, 8, 33);
+  // For every angle the mass should sit in the central third of the bins.
+  for (int a = 0; a < 8; ++a) {
+    std::int64_t best = 0;
+    for (int b = 1; b < 33; ++b) {
+      if (sino.at(a, b) > sino.at(a, best)) best = b;
+    }
+    EXPECT_GT(best, 33 / 3) << "angle " << a;
+    EXPECT_LT(best, 2 * 33 / 3) << "angle " << a;
+  }
+}
+
+TEST(RadonTest, LineHasAnisotropicProfiles) {
+  // A horizontal line: projected along its own direction it is compact
+  // (high peak); perpendicular it spreads flat. Std across angles per bin
+  // is therefore non-trivial — the signature Wu's features exploit.
+  WaferMap map(33);
+  for (int c = 6; c <= 26; ++c) map.set(16, c, Die::kFail);
+  const Tensor sino = radon_transform(map, 36, 33);
+  float peak = 0.0f;
+  for (std::int64_t i = 0; i < sino.numel(); ++i) peak = std::max(peak, sino[i]);
+  // Some projection concentrates (nearly) the whole line into few bins.
+  EXPECT_GE(peak, 15.0f);
+  const auto feats = radon_features(map, 20, 36, 33);
+  ASSERT_EQ(feats.size(), 40u);
+  double max_std = 0.0;
+  for (std::size_t i = 20; i < 40; ++i) max_std = std::max(max_std, feats[i]);
+  EXPECT_GT(max_std, 1.0);
+}
+
+TEST(RadonTest, RejectsBadGeometry) {
+  EXPECT_THROW(radon_transform(WaferMap(9), 0, 16), InvalidArgument);
+  EXPECT_THROW(radon_transform(WaferMap(9), 8, 1), InvalidArgument);
+}
+
+TEST(CubicResampleTest, ReproducesEndpointsAndLinearData) {
+  const std::vector<double> line = {0, 1, 2, 3, 4};
+  const auto out = cubic_resample(line, 9);
+  ASSERT_EQ(out.size(), 9u);
+  EXPECT_NEAR(out.front(), 0.0, 1e-9);
+  EXPECT_NEAR(out.back(), 4.0, 1e-9);
+  // Catmull-Rom reproduces linear data exactly.
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_NEAR(out[i], 0.5 * static_cast<double>(i), 1e-9);
+  }
+}
+
+TEST(CubicResampleTest, DownsampleKeepsRange) {
+  const std::vector<double> vals = {0, 10, 0, 10, 0, 10, 0, 10};
+  const auto out = cubic_resample(vals, 4);
+  ASSERT_EQ(out.size(), 4u);
+  for (double v : out) {
+    EXPECT_GT(v, -5.0);
+    EXPECT_LT(v, 15.0);
+  }
+}
+
+TEST(CubicResampleTest, RejectsDegenerateInput) {
+  EXPECT_THROW(cubic_resample({1.0}, 4), InvalidArgument);
+  EXPECT_THROW(cubic_resample({1.0, 2.0}, 0), InvalidArgument);
+}
+
+TEST(GeometryTest, EmptyWaferGivesZeros) {
+  const auto f = geometry_features(WaferMap(15));
+  EXPECT_EQ(f.area, 0.0);
+  EXPECT_EQ(f.major_axis, 0.0);
+}
+
+TEST(GeometryTest, SquareBlockProperties) {
+  WaferMap map(21);
+  for (int r = 8; r <= 12; ++r) {
+    for (int c = 8; c <= 12; ++c) map.set(r, c, Die::kFail);
+  }
+  const auto f = geometry_features(map);
+  EXPECT_NEAR(f.area, 25.0 / map.total_dies(), 1e-9);
+  EXPECT_NEAR(f.solidity, 1.0, 1e-9);            // fills its bbox
+  EXPECT_LT(f.eccentricity, 0.2);                // nearly isotropic
+  EXPECT_NEAR(f.major_axis, f.minor_axis, 0.02); // square
+}
+
+TEST(GeometryTest, LineIsEccentric) {
+  WaferMap map(21);
+  for (int c = 4; c <= 16; ++c) map.set(10, c, Die::kFail);
+  const auto f = geometry_features(map);
+  EXPECT_GT(f.eccentricity, 0.95);
+  EXPECT_GT(f.major_axis, 3.0 * f.minor_axis);
+}
+
+TEST(GeometryTest, ScratchMoreEccentricThanBlob) {
+  Rng rng(3);
+  const synth::MorphologyParams quiet{.background_lo = 0.0,
+                                      .background_hi = 0.0,
+                                      .pattern_density = 1.0,
+                                      .scale = 1.0};
+  double scratch_ecc = 0.0;
+  double blob_ecc = 0.0;
+  const int trials = 8;
+  for (int i = 0; i < trials; ++i) {
+    scratch_ecc += geometry_features(synth::generate_scratch(32, rng, quiet)).eccentricity;
+    blob_ecc += geometry_features(synth::generate_location(32, rng, quiet)).eccentricity;
+  }
+  EXPECT_GT(scratch_ecc / trials, blob_ecc / trials);
+}
+
+TEST(GeometryTest, FeatureArrayHasSixEntries) {
+  const auto arr = geometry_features(WaferMap(9)).to_array();
+  EXPECT_EQ(arr.size(), static_cast<std::size_t>(kNumGeometryFeatures));
+}
+
+}  // namespace
+}  // namespace wm::baseline

@@ -1,0 +1,182 @@
+#include "baseline/svm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baseline/multiclass_svm.hpp"
+#include "baseline/scaler.hpp"
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace wm::baseline {
+namespace {
+
+/// Two linearly separable Gaussian blobs in 2-D.
+void make_blobs(int n_per_class, Rng& rng, std::vector<std::vector<double>>& x,
+                std::vector<int>& y) {
+  for (int i = 0; i < n_per_class; ++i) {
+    x.push_back({rng.normal(2.0, 0.5), rng.normal(2.0, 0.5)});
+    y.push_back(+1);
+    x.push_back({rng.normal(-2.0, 0.5), rng.normal(-2.0, 0.5)});
+    y.push_back(-1);
+  }
+}
+
+TEST(BinarySvmTest, SeparatesLinearBlobs) {
+  Rng rng(1);
+  std::vector<std::vector<double>> x;
+  std::vector<int> y;
+  make_blobs(40, rng, x, y);
+  BinarySvm svm({.kernel = KernelType::kLinear, .c = 1.0});
+  svm.fit(x, y, rng);
+  ASSERT_TRUE(svm.trained());
+  int correct = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) correct += (svm.predict(x[i]) == y[i]);
+  EXPECT_EQ(correct, static_cast<int>(x.size()));
+}
+
+TEST(BinarySvmTest, DecisionSignMatchesPrediction) {
+  Rng rng(2);
+  std::vector<std::vector<double>> x;
+  std::vector<int> y;
+  make_blobs(20, rng, x, y);
+  BinarySvm svm({.kernel = KernelType::kLinear});
+  svm.fit(x, y, rng);
+  const std::vector<double> probe = {1.5, 1.5};
+  EXPECT_EQ(svm.predict(probe), svm.decision(probe) >= 0 ? 1 : -1);
+  EXPECT_EQ(svm.predict(probe), 1);
+  EXPECT_EQ(svm.predict({-1.5, -1.5}), -1);
+}
+
+TEST(BinarySvmTest, RbfSolvesCircleInsideOut) {
+  // Inner disc vs outer annulus — not linearly separable.
+  Rng rng(3);
+  std::vector<std::vector<double>> x;
+  std::vector<int> y;
+  for (int i = 0; i < 60; ++i) {
+    const double a = rng.uniform(0.0, 2.0 * 3.14159265);
+    const double r_in = rng.uniform(0.0, 0.8);
+    x.push_back({r_in * std::cos(a), r_in * std::sin(a)});
+    y.push_back(+1);
+    const double r_out = rng.uniform(1.6, 2.4);
+    x.push_back({r_out * std::cos(a), r_out * std::sin(a)});
+    y.push_back(-1);
+  }
+  BinarySvm svm({.kernel = KernelType::kRbf, .c = 10.0, .gamma = 1.0});
+  svm.fit(x, y, rng);
+  int correct = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) correct += (svm.predict(x[i]) == y[i]);
+  EXPECT_GT(static_cast<double>(correct) / x.size(), 0.97);
+  // A fresh inner point and a fresh outer point.
+  EXPECT_EQ(svm.predict({0.1, 0.1}), 1);
+  EXPECT_EQ(svm.predict({2.0, 0.0}), -1);
+}
+
+TEST(BinarySvmTest, SupportVectorsAreSubset) {
+  Rng rng(4);
+  std::vector<std::vector<double>> x;
+  std::vector<int> y;
+  make_blobs(50, rng, x, y);
+  BinarySvm svm({.kernel = KernelType::kLinear, .c = 1.0});
+  svm.fit(x, y, rng);
+  EXPECT_GT(svm.support_vector_count(), 0);
+  EXPECT_LT(svm.support_vector_count(), static_cast<int>(x.size()));
+}
+
+TEST(BinarySvmTest, RejectsBadInputs) {
+  Rng rng(5);
+  EXPECT_THROW(BinarySvm({.c = 0.0}), InvalidArgument);
+  EXPECT_THROW(BinarySvm({.gamma = -1.0}), InvalidArgument);
+  BinarySvm svm({});
+  EXPECT_THROW(svm.fit({{1.0}}, {1}, rng), InvalidArgument);      // one sample
+  EXPECT_THROW(svm.fit({{1.0}, {2.0}}, {1, 2}, rng), InvalidArgument);  // bad label
+  EXPECT_THROW(svm.fit({{1.0}, {2.0}}, {1, 1}, rng), InvalidArgument);  // one class
+  EXPECT_THROW(svm.decision({1.0}), InvalidArgument);  // untrained
+}
+
+TEST(MulticlassSvmTest, ThreeBlobVoting) {
+  Rng rng(6);
+  std::vector<std::vector<double>> x;
+  std::vector<int> y;
+  const std::vector<std::pair<double, double>> centres = {
+      {0.0, 3.0}, {3.0, -2.0}, {-3.0, -2.0}};
+  for (int cls = 0; cls < 3; ++cls) {
+    for (int i = 0; i < 30; ++i) {
+      x.push_back({rng.normal(centres[static_cast<std::size_t>(cls)].first, 0.4),
+                   rng.normal(centres[static_cast<std::size_t>(cls)].second, 0.4)});
+      y.push_back(cls);
+    }
+  }
+  MulticlassSvm svm({.binary = {.kernel = KernelType::kLinear, .c = 1.0}});
+  svm.fit(x, y, rng);
+  EXPECT_EQ(svm.machine_count(), 3);  // 3 choose 2
+  const auto preds = svm.predict(x);
+  int correct = 0;
+  for (std::size_t i = 0; i < preds.size(); ++i) correct += (preds[i] == y[i]);
+  EXPECT_GT(static_cast<double>(correct) / x.size(), 0.97);
+}
+
+TEST(MulticlassSvmTest, PerClassCapLimitsTraining) {
+  Rng rng(7);
+  std::vector<std::vector<double>> x;
+  std::vector<int> y;
+  make_blobs(200, rng, x, y);
+  // Relabel -1 as 0 for the multiclass interface.
+  for (auto& label : y) {
+    if (label == -1) label = 0;
+  }
+  MulticlassSvm svm({.binary = {.kernel = KernelType::kLinear},
+                     .max_samples_per_class = 20});
+  svm.fit(x, y, rng);
+  // With a cap of 20/class the machine can have at most 40 support vectors.
+  EXPECT_LE(svm.machine_count(), 1);
+  const auto preds = svm.predict(x);
+  int correct = 0;
+  for (std::size_t i = 0; i < preds.size(); ++i) correct += (preds[i] == y[i]);
+  EXPECT_GT(static_cast<double>(correct) / x.size(), 0.95);
+}
+
+TEST(MulticlassSvmTest, RejectsDegenerateData) {
+  Rng rng(8);
+  MulticlassSvm svm({});
+  EXPECT_THROW(svm.fit({}, {}, rng), InvalidArgument);
+  EXPECT_THROW(svm.fit({{1.0}, {2.0}}, {0, 0}, rng), InvalidArgument);
+  EXPECT_THROW(svm.fit({{1.0}, {2.0}}, {0, -1}, rng), InvalidArgument);
+  EXPECT_THROW(svm.predict(std::vector<double>{1.0}), InvalidArgument);
+}
+
+TEST(ScalerTest, StandardisesToZeroMeanUnitVar) {
+  StandardScaler scaler;
+  const std::vector<std::vector<double>> rows = {
+      {1.0, 100.0}, {2.0, 200.0}, {3.0, 300.0}, {4.0, 400.0}};
+  scaler.fit(rows);
+  const auto scaled = scaler.transform(rows);
+  for (std::size_t d = 0; d < 2; ++d) {
+    double mean = 0.0;
+    for (const auto& r : scaled) mean += r[d];
+    EXPECT_NEAR(mean / 4.0, 0.0, 1e-9);
+    double var = 0.0;
+    for (const auto& r : scaled) var += r[d] * r[d];
+    EXPECT_NEAR(var / 4.0, 1.0, 1e-9);
+  }
+}
+
+TEST(ScalerTest, ConstantFeatureMapsToZero) {
+  StandardScaler scaler;
+  scaler.fit({{5.0, 1.0}, {5.0, 2.0}});
+  const auto out = scaler.transform(std::vector<double>{5.0, 1.5});
+  EXPECT_NEAR(out[0], 0.0, 1e-9);
+}
+
+TEST(ScalerTest, RejectsMisuse) {
+  StandardScaler scaler;
+  EXPECT_THROW(scaler.transform(std::vector<double>{1.0}), InvalidArgument);
+  EXPECT_THROW(scaler.fit({}), InvalidArgument);
+  EXPECT_THROW(scaler.fit({{1.0}, {1.0, 2.0}}), InvalidArgument);
+  scaler.fit({{1.0}, {2.0}});
+  EXPECT_THROW(scaler.transform(std::vector<double>{1.0, 2.0}), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace wm::baseline

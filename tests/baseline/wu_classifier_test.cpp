@@ -1,0 +1,103 @@
+// End-to-end Wu et al. baseline on synthetic wafers.
+#include "baseline/wu_classifier.hpp"
+
+#include <gtest/gtest.h>
+
+#include "baseline/features.hpp"
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "wafermap/synth/generator.hpp"
+
+namespace wm::baseline {
+namespace {
+
+TEST(FeaturesTest, DimensionIs59) {
+  Rng rng(1);
+  const WaferMap map = synth::generate(DefectType::kCenter, 32, rng);
+  EXPECT_EQ(extract_features(map).size(), static_cast<std::size_t>(kFeatureDim));
+  EXPECT_EQ(kFeatureDim, 59);
+}
+
+TEST(FeaturesTest, ZoneFeaturesDistinguishCenterFromEdge) {
+  Rng rng(2);
+  const synth::MorphologyParams quiet{.background_lo = 0.0,
+                                      .background_hi = 0.0,
+                                      .pattern_density = 0.95,
+                                      .scale = 1.0};
+  const auto center_f = zone_density_features(
+      synth::generate_center(32, rng, quiet));
+  const auto edge = zone_density_features(
+      synth::generate_edge_ring(32, rng, quiet));
+  // Zone 0 is the wafer centre; zones 9-12 the outermost ring.
+  EXPECT_GT(center_f[0], 0.3);
+  EXPECT_LT(edge[0], 0.2);
+  double edge_outer = 0.0;
+  double center_outer = 0.0;
+  for (int z = 9; z < 13; ++z) {
+    edge_outer += edge[static_cast<std::size_t>(z)];
+    center_outer += center_f[static_cast<std::size_t>(z)];
+  }
+  EXPECT_GT(edge_outer, center_outer);
+}
+
+TEST(FeaturesTest, MatrixShapes) {
+  Rng rng(3);
+  synth::DatasetSpec spec;
+  spec.map_size = 24;
+  spec.class_counts[0] = 3;
+  spec.class_counts[8] = 2;
+  const Dataset data = synth::generate_dataset(spec, rng);
+  const FeatureMatrix fm = extract_features(data);
+  EXPECT_EQ(fm.rows.size(), 5u);
+  EXPECT_EQ(fm.labels.size(), 5u);
+  for (const auto& row : fm.rows) {
+    EXPECT_EQ(row.size(), static_cast<std::size_t>(kFeatureDim));
+  }
+}
+
+TEST(WuClassifierTest, LearnsDistinctClasses) {
+  Rng rng(4);
+  synth::DatasetSpec spec;
+  spec.map_size = 24;
+  // Four visually very distinct classes.
+  spec.class_counts[static_cast<std::size_t>(DefectType::kCenter)] = 25;
+  spec.class_counts[static_cast<std::size_t>(DefectType::kEdgeRing)] = 25;
+  spec.class_counts[static_cast<std::size_t>(DefectType::kNearFull)] = 25;
+  spec.class_counts[static_cast<std::size_t>(DefectType::kNone)] = 25;
+  Dataset data = synth::generate_dataset(spec, rng);
+  data.shuffle(rng);
+  const auto [train, test] = data.stratified_split(0.8, rng);
+
+  WuClassifier clf;
+  clf.fit(train, rng);
+  ASSERT_TRUE(clf.trained());
+  const auto preds = clf.predict(test);
+  int correct = 0;
+  for (std::size_t i = 0; i < preds.size(); ++i) {
+    correct += (preds[i] == static_cast<int>(test[i].label));
+  }
+  EXPECT_GT(static_cast<double>(correct) / preds.size(), 0.85);
+}
+
+TEST(WuClassifierTest, SinglePredictionMatchesBatch) {
+  Rng rng(5);
+  synth::DatasetSpec spec;
+  spec.map_size = 24;
+  spec.class_counts[0] = 10;
+  spec.class_counts[3] = 10;
+  const Dataset data = synth::generate_dataset(spec, rng);
+  WuClassifier clf;
+  clf.fit(data, rng);
+  const auto preds = clf.predict(data);
+  EXPECT_EQ(clf.predict(data[0].map), preds[0]);
+}
+
+TEST(WuClassifierTest, RejectsMisuse) {
+  Rng rng(6);
+  WuClassifier clf;
+  EXPECT_THROW(clf.fit(Dataset{}, rng), InvalidArgument);
+  EXPECT_THROW(clf.predict(WaferMap(9)), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace wm::baseline

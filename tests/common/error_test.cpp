@@ -1,0 +1,47 @@
+#include "common/error.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace wm {
+namespace {
+
+TEST(ErrorTest, CheckPassesOnTrue) {
+  EXPECT_NO_THROW(WM_CHECK(1 + 1 == 2));
+}
+
+TEST(ErrorTest, CheckThrowsWithContext) {
+  try {
+    WM_CHECK(false, "value was ", 42);
+    FAIL() << "expected throw";
+  } catch (const InvalidArgument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("check failed"), std::string::npos);
+    EXPECT_NE(msg.find("value was 42"), std::string::npos);
+  }
+}
+
+TEST(ErrorTest, ShapeCheckThrowsShapeError) {
+  EXPECT_THROW(WM_CHECK_SHAPE(false, "dims"), ShapeError);
+}
+
+TEST(ErrorTest, HierarchyRootsAtError) {
+  EXPECT_THROW(throw ShapeError("s"), Error);
+  EXPECT_THROW(throw InvalidArgument("i"), Error);
+  EXPECT_THROW(throw IoError("io"), Error);
+  EXPECT_THROW(throw Error("e"), std::runtime_error);
+}
+
+TEST(ErrorTest, CheckWithoutMessageStillNamesExpression) {
+  try {
+    const int x = 3;
+    WM_CHECK(x == 4);
+    FAIL() << "expected throw";
+  } catch (const InvalidArgument& e) {
+    EXPECT_NE(std::string(e.what()).find("x == 4"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace wm

@@ -1,0 +1,174 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+namespace wm {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += (a.next_u64() == b.next_u64());
+  EXPECT_LT(equal, 2);
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformRangeRespectsBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.5, 2.25);
+    EXPECT_GE(u, -3.5);
+    EXPECT_LT(u, 2.25);
+  }
+}
+
+TEST(RngTest, UniformMeanApproximatesHalf) {
+  Rng rng(11);
+  double acc = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) acc += rng.uniform();
+  EXPECT_NEAR(acc / n, 0.5, 0.01);
+}
+
+TEST(RngTest, UniformIntCoversInclusiveRange) {
+  Rng rng(3);
+  std::vector<int> counts(5, 0);
+  for (int i = 0; i < 5000; ++i) {
+    const int v = rng.uniform_int(10, 14);
+    ASSERT_GE(v, 10);
+    ASSERT_LE(v, 14);
+    counts[static_cast<std::size_t>(v - 10)]++;
+  }
+  for (int c : counts) EXPECT_GT(c, 0);
+}
+
+TEST(RngTest, UniformIntSingleValue) {
+  Rng rng(3);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.uniform_int(5, 5), 5);
+}
+
+TEST(RngTest, UniformIntRejectsInvertedBounds) {
+  Rng rng(3);
+  EXPECT_THROW(rng.uniform_int(2, 1), InvalidArgument);
+}
+
+TEST(RngTest, NormalMomentsMatchStandardNormal) {
+  Rng rng(19);
+  const int n = 200000;
+  double mean = 0.0;
+  double m2 = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    mean += x;
+    m2 += x * x;
+  }
+  mean /= n;
+  m2 /= n;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(m2 - mean * mean, 1.0, 0.03);
+}
+
+TEST(RngTest, NormalScaledMoments) {
+  Rng rng(23);
+  const int n = 100000;
+  double mean = 0.0;
+  for (int i = 0; i < n; ++i) mean += rng.normal(5.0, 0.5);
+  EXPECT_NEAR(mean / n, 5.0, 0.02);
+}
+
+TEST(RngTest, NormalRejectsNegativeStddev) {
+  Rng rng(1);
+  EXPECT_THROW(rng.normal(0.0, -1.0), InvalidArgument);
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(29);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(RngTest, BernoulliDegenerateProbabilities) {
+  Rng rng(29);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(RngTest, BernoulliRejectsOutOfRange) {
+  Rng rng(1);
+  EXPECT_THROW(rng.bernoulli(-0.1), InvalidArgument);
+  EXPECT_THROW(rng.bernoulli(1.1), InvalidArgument);
+}
+
+TEST(RngTest, CategoricalRespectsWeights) {
+  Rng rng(31);
+  const std::vector<double> w = {1.0, 0.0, 3.0};
+  std::vector<int> counts(3, 0);
+  const int n = 40000;
+  for (int i = 0; i < n; ++i) counts[rng.categorical(w)]++;
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[0]) / n, 0.25, 0.02);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / n, 0.75, 0.02);
+}
+
+TEST(RngTest, CategoricalRejectsDegenerateWeights) {
+  Rng rng(1);
+  EXPECT_THROW(rng.categorical({}), InvalidArgument);
+  EXPECT_THROW((rng.categorical({0.0, 0.0})), InvalidArgument);
+  EXPECT_THROW((rng.categorical({1.0, -1.0})), InvalidArgument);
+}
+
+TEST(RngTest, ShufflePreservesMultiset) {
+  Rng rng(37);
+  std::vector<int> v(100);
+  std::iota(v.begin(), v.end(), 0);
+  auto sorted = v;
+  rng.shuffle(v);
+  EXPECT_NE(v, sorted);  // astronomically unlikely to be identity
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng parent(41);
+  Rng child = parent.fork();
+  // Child stream should differ from the parent's continuation.
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += (parent.next_u64() == child.next_u64());
+  EXPECT_LT(equal, 2);
+}
+
+TEST(RngTest, SplitmixAdvancesState) {
+  std::uint64_t s = 123;
+  const std::uint64_t a = splitmix64(s);
+  const std::uint64_t b = splitmix64(s);
+  EXPECT_NE(a, b);
+}
+
+}  // namespace
+}  // namespace wm

@@ -1,0 +1,55 @@
+#include "common/string_util.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wm {
+namespace {
+
+TEST(StringUtilTest, FormatFixed) {
+  EXPECT_EQ(format_fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(format_fixed(-0.5, 1), "-0.5");
+  EXPECT_EQ(format_fixed(2.0, 0), "2");
+}
+
+TEST(StringUtilTest, FormatPercent) {
+  EXPECT_EQ(format_percent(0.941), "94.1%");
+  EXPECT_EQ(format_percent(1.0, 0), "100%");
+  EXPECT_EQ(format_percent(0.0555, 2), "5.55%");
+}
+
+TEST(StringUtilTest, Padding) {
+  EXPECT_EQ(pad_left("ab", 5), "   ab");
+  EXPECT_EQ(pad_right("ab", 5), "ab   ");
+  EXPECT_EQ(pad_left("abcdef", 3), "abcdef");  // no truncation
+}
+
+TEST(StringUtilTest, SplitKeepsEmptyFields) {
+  const auto parts = split("a::b:", ':');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(StringUtilTest, Trim) {
+  EXPECT_EQ(trim("  x y  "), "x y");
+  EXPECT_EQ(trim("\t\n z"), "z");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim(""), "");
+}
+
+TEST(StringUtilTest, Join) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+  EXPECT_EQ(join({"solo"}, ","), "solo");
+}
+
+TEST(StringUtilTest, StartsWith) {
+  EXPECT_TRUE(starts_with("wafer_map", "wafer"));
+  EXPECT_FALSE(starts_with("wafer", "wafer_map"));
+  EXPECT_TRUE(starts_with("x", ""));
+}
+
+}  // namespace
+}  // namespace wm

@@ -1,0 +1,69 @@
+#include "common/threadpool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace wm {
+namespace {
+
+TEST(ThreadPoolTest, ParallelForCoversAllIndicesSerial) {
+  ThreadPool pool(0);  // may be 0 workers on single-core host
+  std::vector<std::atomic<int>> hits(100);
+  pool.parallel_for(0, 100, [&](std::size_t i) { hits[i]++; });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversAllIndicesWithWorkers) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.worker_count(), 3u);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(0, 1000, [&](std::size_t i) { hits[i]++; });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, EmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  int calls = 0;
+  pool.parallel_for(5, 5, [&](std::size_t) { ++calls; });
+  pool.parallel_for(6, 5, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ThreadPoolTest, NonZeroBegin) {
+  ThreadPool pool(2);
+  std::atomic<std::size_t> total{0};
+  pool.parallel_for(10, 20, [&](std::size_t i) { total += i; });
+  EXPECT_EQ(total.load(), std::size_t(145));  // 10+...+19
+}
+
+TEST(ThreadPoolTest, ExceptionsPropagate) {
+  ThreadPool pool(2);
+  EXPECT_THROW(
+      pool.parallel_for(0, 10,
+                        [&](std::size_t i) {
+                          if (i == 7) throw std::runtime_error("boom");
+                        }),
+      std::runtime_error);
+}
+
+TEST(ThreadPoolTest, ReusableAcrossCalls) {
+  ThreadPool pool(2);
+  for (int round = 0; round < 20; ++round) {
+    std::atomic<int> count{0};
+    pool.parallel_for(0, 50, [&](std::size_t) { count++; });
+    EXPECT_EQ(count.load(), 50);
+  }
+}
+
+TEST(ThreadPoolTest, GlobalPoolSingleton) {
+  ThreadPool& a = ThreadPool::global();
+  ThreadPool& b = ThreadPool::global();
+  EXPECT_EQ(&a, &b);
+}
+
+}  // namespace
+}  // namespace wm

@@ -1,0 +1,69 @@
+#include "eval/tables.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace wm::eval {
+namespace {
+
+TEST(RenderTableTest, AlignsColumns) {
+  const std::string t = render_table({{"a", "long-header"}, {"bb", "1"}});
+  EXPECT_NE(t.find("| long-header |"), std::string::npos);
+  EXPECT_NE(t.find("|  a |"), std::string::npos);
+  // Header separator present.
+  EXPECT_GE(std::count(t.begin(), t.end(), '+'), 9);
+}
+
+TEST(RenderTableTest, RejectsRaggedRows) {
+  EXPECT_THROW(render_table({{"a", "b"}, {"c"}}), InvalidArgument);
+  EXPECT_THROW(render_table({}), InvalidArgument);
+}
+
+TEST(DefectClassNamesTest, NineNamesInEnumOrder) {
+  const auto names = defect_class_names();
+  ASSERT_EQ(names.size(), 9u);
+  EXPECT_EQ(names.front(), "Center");
+  EXPECT_EQ(names.back(), "None");
+}
+
+TEST(RenderConfusionTest, ContainsAllCounts) {
+  ConfusionMatrix cm(2);
+  cm.add(0, 0);
+  cm.add(0, 1);
+  cm.add(1, 1);
+  const std::string t = render_confusion(cm, {"A", "B"});
+  EXPECT_NE(t.find("true \\ pred"), std::string::npos);
+  EXPECT_NE(t.find("A"), std::string::npos);
+  EXPECT_THROW(render_confusion(cm, {"A"}), InvalidArgument);
+}
+
+TEST(RenderSelectiveBlockTest, ShowsDashesForUncoveredClasses) {
+  SelectiveClassReport report;
+  report.precision = {0.9, 0.0};
+  report.recall = {0.8, 0.0};
+  report.f1 = {0.85, 0.0};
+  report.covered = {10, 0};
+  report.support = {12, 5};
+  report.total_covered = 10;
+  report.coverage = 10.0 / 17.0;
+  report.overall_accuracy = 0.99;
+  const std::string t = render_selective_block(report, {"A", "B"}, 0.5);
+  EXPECT_NE(t.find("c0 = 0.50"), std::string::npos);
+  EXPECT_NE(t.find("0.90"), std::string::npos);
+  EXPECT_NE(t.find("-"), std::string::npos);
+  EXPECT_NE(t.find("99.0%"), std::string::npos);
+}
+
+TEST(RenderNewDefectTableTest, FormatsCoverageWithPercent) {
+  const std::string t = render_newdefect_table(
+      {"A", "B"}, {0.9, 0.0}, {0.95, 0.0}, {5, 0}, {10, 4});
+  EXPECT_NE(t.find("Original Recall"), std::string::npos);
+  EXPECT_NE(t.find("5 (50.0%)"), std::string::npos);
+  EXPECT_NE(t.find("0 (0.0%)"), std::string::npos);
+  EXPECT_THROW(render_newdefect_table({"A"}, {0.9, 0.1}, {0.1}, {1}, {1}),
+               InvalidArgument);
+}
+
+}  // namespace
+}  // namespace wm::eval

@@ -1,0 +1,96 @@
+#include "nn/layers/batchnorm2d.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "gradcheck.hpp"
+
+namespace wm::nn {
+namespace {
+
+TEST(BatchNormTest, NormalisesToZeroMeanUnitVarInTraining) {
+  BatchNorm2d bn({.channels = 2});
+  Rng rng(1);
+  const Tensor x = Tensor::normal(Shape{8, 2, 4, 4}, rng, 5.0f, 3.0f);
+  const Tensor y = bn.forward(x, true);
+  for (std::int64_t ch = 0; ch < 2; ++ch) {
+    double mean = 0.0;
+    double var = 0.0;
+    int count = 0;
+    for (std::int64_t i = 0; i < 8; ++i) {
+      for (std::int64_t s = 0; s < 16; ++s) {
+        mean += y.data()[(i * 2 + ch) * 16 + s];
+        ++count;
+      }
+    }
+    mean /= count;
+    for (std::int64_t i = 0; i < 8; ++i) {
+      for (std::int64_t s = 0; s < 16; ++s) {
+        const double d = y.data()[(i * 2 + ch) * 16 + s] - mean;
+        var += d * d;
+      }
+    }
+    var /= count;
+    EXPECT_NEAR(mean, 0.0, 1e-4);
+    EXPECT_NEAR(var, 1.0, 1e-2);
+  }
+}
+
+TEST(BatchNormTest, GammaBetaAffectOutput) {
+  BatchNorm2d bn({.channels = 1});
+  bn.parameters()[0]->value[0] = 2.0f;  // gamma
+  bn.parameters()[1]->value[0] = 3.0f;  // beta
+  Rng rng(2);
+  const Tensor x = Tensor::normal(Shape{4, 1, 3, 3}, rng);
+  const Tensor y = bn.forward(x, true);
+  double mean = 0.0;
+  for (std::int64_t i = 0; i < y.numel(); ++i) mean += y[i];
+  mean /= static_cast<double>(y.numel());
+  EXPECT_NEAR(mean, 3.0, 1e-4);  // beta shifts the normalised mean
+}
+
+TEST(BatchNormTest, RunningStatsConvergeToDataStats) {
+  BatchNorm2d bn({.channels = 1, .momentum = 0.3});
+  Rng rng(3);
+  for (int step = 0; step < 60; ++step) {
+    const Tensor x = Tensor::normal(Shape{16, 1, 4, 4}, rng, 2.0f, 0.5f);
+    bn.forward(x, true);
+  }
+  EXPECT_NEAR(bn.running_mean()[0], 2.0f, 0.1f);
+  EXPECT_NEAR(bn.running_var()[0], 0.25f, 0.08f);
+}
+
+TEST(BatchNormTest, InferenceUsesRunningStats) {
+  BatchNorm2d bn({.channels = 1, .momentum = 1.0});
+  // One training step fixes the running stats to that batch's stats.
+  const Tensor train_x(Shape{1, 1, 1, 2}, {0.0f, 2.0f});  // mean 1, var 1
+  bn.forward(train_x, true);
+  // Inference on different data must use those stats, not its own.
+  const Tensor test_x(Shape{1, 1, 1, 2}, {1.0f, 3.0f});
+  const Tensor y = bn.forward(test_x, false);
+  EXPECT_NEAR(y[0], 0.0f, 1e-2f);  // (1-1)/1
+  EXPECT_NEAR(y[1], 2.0f, 1e-2f);  // (3-1)/1
+}
+
+TEST(BatchNormTest, GradientsMatchFiniteDifferences) {
+  BatchNorm2d bn({.channels = 2});
+  Rng rng(4);
+  const Tensor x = Tensor::normal(Shape{3, 2, 2, 2}, rng, 0.0f, 1.0f);
+  const Tensor probe = Tensor::normal(Shape{3, 2, 2, 2}, rng, 0.0f, 0.5f);
+  test::check_layer_gradients(bn, x, probe);
+}
+
+TEST(BatchNormTest, RejectsBadOptionsAndShapes) {
+  EXPECT_THROW(BatchNorm2d({.channels = 0}), InvalidArgument);
+  EXPECT_THROW(BatchNorm2d({.channels = 2, .eps = 0.0}), InvalidArgument);
+  EXPECT_THROW(BatchNorm2d({.channels = 2, .momentum = 0.0}), InvalidArgument);
+  BatchNorm2d bn({.channels = 2});
+  EXPECT_THROW(bn.forward(Tensor(Shape{1, 3, 2, 2}), true), ShapeError);
+  EXPECT_THROW(bn.backward(Tensor(Shape{1, 2, 2, 2})), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace wm::nn

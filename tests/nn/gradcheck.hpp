@@ -1,0 +1,85 @@
+// Finite-difference gradient checking helpers for layer tests.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "nn/module.hpp"
+#include "tensor/tensor.hpp"
+#include "tensor/tensor_ops.hpp"
+
+namespace wm::nn::test {
+
+/// Central-difference numeric gradient of a scalar functional w.r.t. x.
+inline Tensor numeric_gradient(const std::function<double(const Tensor&)>& f,
+                               const Tensor& x, double eps = 1e-2) {
+  Tensor grad(x.shape());
+  Tensor probe = x;
+  for (std::int64_t i = 0; i < x.numel(); ++i) {
+    const float orig = probe[i];
+    probe[i] = orig + static_cast<float>(eps);
+    const double up = f(probe);
+    probe[i] = orig - static_cast<float>(eps);
+    const double down = f(probe);
+    probe[i] = orig;
+    grad[i] = static_cast<float>((up - down) / (2.0 * eps));
+  }
+  return grad;
+}
+
+/// Asserts two gradients agree element-wise within float-friendly bounds.
+inline void expect_close(const Tensor& analytic, const Tensor& numeric,
+                         double atol = 3e-3, double rtol = 5e-2) {
+  ASSERT_EQ(analytic.shape(), numeric.shape());
+  for (std::int64_t i = 0; i < analytic.numel(); ++i) {
+    const double a = analytic[i];
+    const double n = numeric[i];
+    const double tol = atol + rtol * std::max(std::fabs(a), std::fabs(n));
+    EXPECT_NEAR(a, n, tol) << "element " << i;
+  }
+}
+
+/// Checks d(sum(layer(x) * probe))/dx against the layer's backward, and the
+/// same for every parameter of the layer.
+inline void check_layer_gradients(Module& layer, const Tensor& x,
+                                  const Tensor& probe) {
+  // Analytic input gradient.
+  Tensor out = layer.forward(x, /*training=*/true);
+  ASSERT_EQ(out.shape(), probe.shape());
+  layer.zero_grad();
+  const Tensor dx = layer.backward(probe);
+
+  auto loss_at = [&](const Tensor& xp) {
+    const Tensor y = layer.forward(xp, true);
+    double acc = 0.0;
+    for (std::int64_t i = 0; i < y.numel(); ++i) acc += static_cast<double>(y[i]) * probe[i];
+    return acc;
+  };
+  expect_close(dx, numeric_gradient(loss_at, x));
+
+  // Parameter gradients: perturb each parameter tensor.
+  for (Parameter* p : layer.parameters()) {
+    // Re-run forward/backward to refresh caches & analytic grads.
+    layer.forward(x, true);
+    layer.zero_grad();
+    layer.backward(probe);
+    const Tensor analytic = p->grad;
+
+    auto loss_at_param = [&](const Tensor& wp) {
+      const Tensor saved = p->value;
+      p->value = wp;
+      const Tensor y = layer.forward(x, true);
+      p->value = saved;
+      double acc = 0.0;
+      for (std::int64_t i = 0; i < y.numel(); ++i) acc += static_cast<double>(y[i]) * probe[i];
+      return acc;
+    };
+    expect_close(analytic, numeric_gradient(loss_at_param, p->value));
+    // Restore caches to a consistent state.
+    layer.forward(x, true);
+  }
+}
+
+}  // namespace wm::nn::test

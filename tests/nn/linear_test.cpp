@@ -1,0 +1,96 @@
+#include "nn/layers/linear.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "gradcheck.hpp"
+
+namespace wm::nn {
+namespace {
+
+TEST(LinearTest, ForwardComputesAffineMap) {
+  Rng rng(1);
+  Linear fc(2, 3, rng);
+  // Overwrite weights with known values: W = [[1,2],[3,4],[5,6]], b = [1,1,1].
+  fc.weight().value = Tensor(Shape{3, 2}, {1, 2, 3, 4, 5, 6});
+  fc.bias().value = Tensor(Shape{3}, {1, 1, 1});
+  const Tensor x(Shape{1, 2}, {10, 20});
+  const Tensor y = fc.forward(x, true);
+  EXPECT_FLOAT_EQ(y.at(0, 0), 51.0f);   // 10+40+1
+  EXPECT_FLOAT_EQ(y.at(0, 1), 111.0f);  // 30+80+1
+  EXPECT_FLOAT_EQ(y.at(0, 2), 171.0f);  // 50+120+1
+}
+
+TEST(LinearTest, BatchedForward) {
+  Rng rng(2);
+  Linear fc(3, 2, rng);
+  const Tensor x = Tensor::normal(Shape{5, 3}, rng);
+  const Tensor y = fc.forward(x, true);
+  EXPECT_EQ(y.shape(), Shape({5, 2}));
+}
+
+TEST(LinearTest, RejectsWrongInputWidth) {
+  Rng rng(3);
+  Linear fc(4, 2, rng);
+  EXPECT_THROW(fc.forward(Tensor(Shape{1, 3}), true), ShapeError);
+  EXPECT_THROW(fc.forward(Tensor(Shape{4}), true), ShapeError);
+}
+
+TEST(LinearTest, HeInitScalesWithFanIn) {
+  Rng rng(4);
+  Linear narrow(10, 50, rng);
+  Linear wide(1000, 50, rng);
+  // Sample standard deviation should shrink roughly as 1/sqrt(fan_in).
+  auto stddev = [](const Tensor& t) {
+    double m = 0.0;
+    for (std::int64_t i = 0; i < t.numel(); ++i) m += t[i];
+    m /= static_cast<double>(t.numel());
+    double s2 = 0.0;
+    for (std::int64_t i = 0; i < t.numel(); ++i) {
+      s2 += (t[i] - m) * (t[i] - m);
+    }
+    return std::sqrt(s2 / static_cast<double>(t.numel()));
+  };
+  EXPECT_NEAR(stddev(narrow.weight().value), std::sqrt(2.0 / 10), 0.05);
+  EXPECT_NEAR(stddev(wide.weight().value), std::sqrt(2.0 / 1000), 0.01);
+  // Bias starts at zero.
+  for (std::int64_t i = 0; i < narrow.bias().value.numel(); ++i) {
+    EXPECT_EQ(narrow.bias().value[i], 0.0f);
+  }
+}
+
+TEST(LinearTest, GradientsMatchFiniteDifferences) {
+  Rng rng(5);
+  Linear fc(4, 3, rng);
+  const Tensor x = Tensor::normal(Shape{2, 4}, rng);
+  const Tensor probe = Tensor::normal(Shape{2, 3}, rng);
+  test::check_layer_gradients(fc, x, probe);
+}
+
+TEST(LinearTest, GradAccumulatesAcrossBackwardCalls) {
+  Rng rng(6);
+  Linear fc(2, 2, rng);
+  const Tensor x = Tensor::normal(Shape{1, 2}, rng);
+  const Tensor probe = Tensor::ones(Shape{1, 2});
+  fc.forward(x, true);
+  fc.zero_grad();
+  fc.backward(probe);
+  const Tensor once = fc.weight().grad;
+  fc.forward(x, true);
+  fc.backward(probe);
+  for (std::int64_t i = 0; i < once.numel(); ++i) {
+    EXPECT_NEAR(fc.weight().grad[i], 2.0f * once[i], 1e-5f);
+  }
+}
+
+TEST(LinearTest, ParameterCount) {
+  Rng rng(7);
+  Linear fc(256, 9, rng);
+  auto params = fc.parameters();
+  ASSERT_EQ(params.size(), 2u);
+  EXPECT_EQ(parameter_count(params), 256 * 9 + 9);
+}
+
+}  // namespace
+}  // namespace wm::nn

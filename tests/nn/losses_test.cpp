@@ -1,0 +1,265 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "gradcheck.hpp"
+#include "nn/loss/cross_entropy.hpp"
+#include "nn/loss/mse.hpp"
+#include "nn/loss/selective_loss.hpp"
+
+namespace wm::nn {
+namespace {
+
+// ---------------------------------------------------------------- CE loss
+
+TEST(CrossEntropyTest, PerfectPredictionHasLowLoss) {
+  Tensor logits(Shape{1, 3}, {20.0f, 0.0f, 0.0f});
+  const auto r = SoftmaxCrossEntropy::compute(logits, {0});
+  EXPECT_LT(r.value, 1e-4f);
+}
+
+TEST(CrossEntropyTest, UniformLogitsGiveLogC) {
+  Tensor logits(Shape{1, 4});
+  const auto r = SoftmaxCrossEntropy::compute(logits, {2});
+  EXPECT_NEAR(r.value, std::log(4.0f), 1e-5f);
+}
+
+TEST(CrossEntropyTest, GradientMatchesFiniteDifferences) {
+  Rng rng(1);
+  const Tensor logits = Tensor::normal(Shape{3, 4}, rng);
+  const std::vector<int> labels = {0, 2, 3};
+  const auto r = SoftmaxCrossEntropy::compute(logits, labels);
+  const Tensor numeric = test::numeric_gradient(
+      [&](const Tensor& l) {
+        return SoftmaxCrossEntropy::compute(l, labels).value;
+      },
+      logits, 1e-2);
+  test::expect_close(r.grad, numeric);
+}
+
+TEST(CrossEntropyTest, WeightsScaleLossAndGrad) {
+  Rng rng(2);
+  const Tensor logits = Tensor::normal(Shape{2, 3}, rng);
+  const std::vector<int> labels = {1, 2};
+  const std::vector<float> w = {0.5f, 0.5f};
+  const auto full = SoftmaxCrossEntropy::compute(logits, labels);
+  const auto half = SoftmaxCrossEntropy::compute(logits, labels, &w);
+  EXPECT_NEAR(half.value, 0.5f * full.value, 1e-5f);
+  for (std::int64_t i = 0; i < full.grad.numel(); ++i) {
+    EXPECT_NEAR(half.grad[i], 0.5f * full.grad[i], 1e-6f);
+  }
+}
+
+TEST(CrossEntropyTest, WeightedGradientMatchesFiniteDifferences) {
+  Rng rng(3);
+  const Tensor logits = Tensor::normal(Shape{3, 3}, rng);
+  const std::vector<int> labels = {0, 1, 2};
+  const std::vector<float> w = {1.0f, 0.25f, 2.0f};
+  const auto r = SoftmaxCrossEntropy::compute(logits, labels, &w);
+  const Tensor numeric = test::numeric_gradient(
+      [&](const Tensor& l) {
+        return SoftmaxCrossEntropy::compute(l, labels, &w).value;
+      },
+      logits, 1e-2);
+  test::expect_close(r.grad, numeric);
+}
+
+TEST(CrossEntropyTest, PerSampleValues) {
+  Tensor logits(Shape{2, 2}, {10.0f, 0.0f, 0.0f, 10.0f});
+  const auto l = SoftmaxCrossEntropy::per_sample(logits, {0, 0});
+  ASSERT_EQ(l.size(), 2u);
+  EXPECT_LT(l[0], 1e-3f);   // correct, confident
+  EXPECT_GT(l[1], 5.0f);    // wrong, confident
+}
+
+TEST(CrossEntropyTest, RejectsBadInputs) {
+  Tensor logits(Shape{2, 3});
+  EXPECT_THROW(SoftmaxCrossEntropy::compute(logits, {0}), InvalidArgument);
+  EXPECT_THROW(SoftmaxCrossEntropy::compute(logits, {0, 3}), InvalidArgument);
+  EXPECT_THROW(SoftmaxCrossEntropy::compute(logits, {0, -1}), InvalidArgument);
+  EXPECT_THROW(SoftmaxCrossEntropy::compute(Tensor(Shape{3}), {0}), ShapeError);
+}
+
+// ---------------------------------------------------------------- MSE loss
+
+TEST(MseTest, ZeroForIdenticalTensors) {
+  Rng rng(4);
+  const Tensor x = Tensor::normal(Shape{3, 3}, rng);
+  const auto r = MseLoss::compute(x, x);
+  EXPECT_FLOAT_EQ(r.value, 0.0f);
+  for (std::int64_t i = 0; i < r.grad.numel(); ++i) EXPECT_FLOAT_EQ(r.grad[i], 0.0f);
+}
+
+TEST(MseTest, KnownValue) {
+  const Tensor pred(Shape{2}, {1.0f, 3.0f});
+  const Tensor target(Shape{2}, {0.0f, 1.0f});
+  const auto r = MseLoss::compute(pred, target);
+  EXPECT_FLOAT_EQ(r.value, 2.5f);  // (1 + 4) / 2
+  EXPECT_FLOAT_EQ(r.grad[0], 1.0f);
+  EXPECT_FLOAT_EQ(r.grad[1], 2.0f);
+}
+
+TEST(MseTest, GradientMatchesFiniteDifferences) {
+  Rng rng(5);
+  const Tensor pred = Tensor::normal(Shape{2, 4}, rng);
+  const Tensor target = Tensor::normal(Shape{2, 4}, rng);
+  const auto r = MseLoss::compute(pred, target);
+  const Tensor numeric = test::numeric_gradient(
+      [&](const Tensor& p) { return MseLoss::compute(p, target).value; }, pred,
+      1e-3);
+  test::expect_close(r.grad, numeric);
+}
+
+TEST(MseTest, ShapeMismatchThrows) {
+  EXPECT_THROW(MseLoss::compute(Tensor(Shape{2}), Tensor(Shape{3})), ShapeError);
+}
+
+// ------------------------------------------------------------ selective loss
+
+SelectiveLossOptions paper_options(double c0) {
+  return {.target_coverage = c0, .lambda = 0.5, .alpha = 0.5};
+}
+
+TEST(SelectiveLossTest, FullSelectionMatchesCrossEntropyMix) {
+  // With g == 1 everywhere, coverage == 1 >= c0, so the penalty vanishes and
+  // L = alpha * r + (1-alpha) * r = plain mean cross-entropy.
+  Rng rng(6);
+  const Tensor logits = Tensor::normal(Shape{4, 3}, rng);
+  const std::vector<int> labels = {0, 1, 2, 0};
+  const Tensor g = Tensor::ones(Shape{4, 1});
+  SelectiveLoss loss(paper_options(0.5));
+  const auto r = loss.compute(logits, g, labels);
+  const auto ce = SoftmaxCrossEntropy::compute(logits, labels);
+  EXPECT_NEAR(r.value, ce.value, 1e-4f);
+  EXPECT_NEAR(r.coverage, 1.0f, 1e-6f);
+  EXPECT_FLOAT_EQ(r.penalty, 0.0f);
+}
+
+TEST(SelectiveLossTest, CoverageIsMeanOfG) {
+  Tensor logits(Shape{4, 2});
+  const std::vector<int> labels = {0, 0, 1, 1};
+  const Tensor g(Shape{4, 1}, {1.0f, 0.0f, 0.5f, 0.5f});
+  SelectiveLoss loss(paper_options(0.5));
+  const auto r = loss.compute(logits, g, labels);
+  EXPECT_NEAR(r.coverage, 0.5f, 1e-6f);
+}
+
+TEST(SelectiveLossTest, PenaltyIsQuadraticInShortfall) {
+  Tensor logits(Shape{2, 2});
+  const std::vector<int> labels = {0, 1};
+  const Tensor g(Shape{2, 1}, {0.2f, 0.2f});  // coverage 0.2
+  SelectiveLoss loss(paper_options(0.7));
+  const auto r = loss.compute(logits, g, labels);
+  EXPECT_NEAR(r.penalty, 0.5f * 0.25f, 1e-5f);  // lambda * (0.7-0.2)^2
+}
+
+TEST(SelectiveLossTest, NoPenaltyAboveTargetCoverage) {
+  Tensor logits(Shape{2, 2});
+  const std::vector<int> labels = {0, 1};
+  const Tensor g(Shape{2, 1}, {0.9f, 0.9f});
+  SelectiveLoss loss(paper_options(0.5));
+  EXPECT_FLOAT_EQ(loss.compute(logits, g, labels).penalty, 0.0f);
+}
+
+TEST(SelectiveLossTest, SelectiveRiskWeightsByG) {
+  // Sample 0 predicted perfectly, sample 1 predicted terribly. Selecting only
+  // sample 0 should give near-zero selective risk.
+  Tensor logits(Shape{2, 2}, {15.0f, 0.0f, 15.0f, 0.0f});
+  const std::vector<int> labels = {0, 1};
+  const Tensor g(Shape{2, 1}, {1.0f, 0.0f});
+  SelectiveLoss loss(paper_options(0.2));
+  const auto r = loss.compute(logits, g, labels);
+  EXPECT_LT(r.selective_risk, 1e-3f);
+  EXPECT_GT(r.empirical_risk, 5.0f);
+}
+
+TEST(SelectiveLossTest, LogitGradientMatchesFiniteDifferences) {
+  Rng rng(7);
+  const Tensor logits = Tensor::normal(Shape{3, 3}, rng);
+  const std::vector<int> labels = {0, 1, 2};
+  Rng rng2(8);
+  Tensor g = Tensor::uniform(Shape{3, 1}, rng2, 0.1f, 0.9f);
+  SelectiveLoss loss(paper_options(0.6));
+  const auto r = loss.compute(logits, g, labels);
+  const Tensor numeric = test::numeric_gradient(
+      [&](const Tensor& l) { return loss.compute(l, g, labels).value; }, logits,
+      1e-2);
+  test::expect_close(r.grad_logits, numeric);
+}
+
+TEST(SelectiveLossTest, SelectionGradientMatchesFiniteDifferences) {
+  Rng rng(9);
+  const Tensor logits = Tensor::normal(Shape{4, 3}, rng);
+  const std::vector<int> labels = {0, 1, 2, 1};
+  Rng rng2(10);
+  Tensor g = Tensor::uniform(Shape{4, 1}, rng2, 0.2f, 0.8f);
+  // Use a target above current coverage so the penalty branch is active too.
+  SelectiveLoss loss(paper_options(0.9));
+  const auto r = loss.compute(logits, g, labels);
+  const Tensor numeric = test::numeric_gradient(
+      [&](const Tensor& gp) { return loss.compute(logits, gp, labels).value; },
+      g, 1e-3);
+  test::expect_close(r.grad_g, numeric, 1e-3, 5e-2);
+}
+
+TEST(SelectiveLossTest, WeightedSamplesGradcheck) {
+  Rng rng(11);
+  const Tensor logits = Tensor::normal(Shape{3, 2}, rng);
+  const std::vector<int> labels = {0, 1, 0};
+  const std::vector<float> w = {1.0f, 0.3f, 0.3f};
+  Rng rng2(12);
+  Tensor g = Tensor::uniform(Shape{3, 1}, rng2, 0.2f, 0.8f);
+  SelectiveLoss loss(paper_options(0.5));
+  const auto r = loss.compute(logits, g, labels, &w);
+  const Tensor numeric_logits = test::numeric_gradient(
+      [&](const Tensor& l) { return loss.compute(l, g, labels, &w).value; },
+      logits, 1e-2);
+  test::expect_close(r.grad_logits, numeric_logits);
+  const Tensor numeric_g = test::numeric_gradient(
+      [&](const Tensor& gp) { return loss.compute(logits, gp, labels, &w).value; },
+      g, 1e-3);
+  test::expect_close(r.grad_g, numeric_g, 1e-3, 5e-2);
+}
+
+TEST(SelectiveLossTest, GradPushesGUpForEasySamplesDownForHard) {
+  // Easy (correct, confident) samples should see dL/dg < 0 (raise g);
+  // hard ones dL/dg > 0 (lower g) once coverage target is met.
+  Tensor logits(Shape{2, 2}, {12.0f, 0.0f, 12.0f, 0.0f});
+  const std::vector<int> labels = {0, 1};  // sample0 easy, sample1 wrong
+  const Tensor g(Shape{2, 1}, {0.8f, 0.8f});
+  SelectiveLoss loss(paper_options(0.2));
+  const auto r = loss.compute(logits, g, labels);
+  EXPECT_LT(r.grad_g[0], 0.0f);
+  EXPECT_GT(r.grad_g[1], 0.0f);
+}
+
+TEST(SelectiveLossTest, RejectsBadOptionsAndInputs) {
+  EXPECT_THROW(SelectiveLoss({.target_coverage = 0.0}), InvalidArgument);
+  EXPECT_THROW(SelectiveLoss({.target_coverage = 1.5}), InvalidArgument);
+  EXPECT_THROW(SelectiveLoss({.target_coverage = 0.5, .lambda = -1.0}),
+               InvalidArgument);
+  EXPECT_THROW(SelectiveLoss({.target_coverage = 0.5, .alpha = 2.0}),
+               InvalidArgument);
+
+  SelectiveLoss loss(paper_options(0.5));
+  Tensor logits(Shape{2, 2});
+  const Tensor bad_g(Shape{2, 1}, {0.5f, 1.5f});
+  EXPECT_THROW(loss.compute(logits, bad_g, {0, 1}), InvalidArgument);
+  const Tensor g(Shape{3, 1});
+  EXPECT_THROW(loss.compute(logits, g, {0, 1}), ShapeError);
+}
+
+TEST(SelectiveLossTest, AllRejectedIsFiniteAndPenalised) {
+  Tensor logits(Shape{2, 2});
+  const std::vector<int> labels = {0, 1};
+  const Tensor g = Tensor::zeros(Shape{2, 1});
+  SelectiveLoss loss(paper_options(0.5));
+  const auto r = loss.compute(logits, g, labels);
+  EXPECT_TRUE(std::isfinite(r.value));
+  EXPECT_GT(r.penalty, 0.0f);
+}
+
+}  // namespace
+}  // namespace wm::nn

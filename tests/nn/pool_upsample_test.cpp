@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "gradcheck.hpp"
+#include "nn/layers/maxpool2d.hpp"
+#include "nn/layers/upsample2d.hpp"
+
+namespace wm::nn {
+namespace {
+
+TEST(MaxPoolTest, ForwardPicksWindowMaxima) {
+  MaxPool2d pool(2);
+  const Tensor x(Shape{1, 1, 4, 4},
+                 {1, 2, 5, 6,
+                  3, 4, 7, 8,
+                  9, 10, 13, 14,
+                  11, 12, 15, 16});
+  const Tensor y = pool.forward(x, true);
+  ASSERT_EQ(y.shape(), Shape({1, 1, 2, 2}));
+  EXPECT_FLOAT_EQ(y.at(0, 0, 0, 0), 4.0f);
+  EXPECT_FLOAT_EQ(y.at(0, 0, 0, 1), 8.0f);
+  EXPECT_FLOAT_EQ(y.at(0, 0, 1, 0), 12.0f);
+  EXPECT_FLOAT_EQ(y.at(0, 0, 1, 1), 16.0f);
+}
+
+TEST(MaxPoolTest, BackwardRoutesToArgmaxOnly) {
+  MaxPool2d pool(2);
+  const Tensor x(Shape{1, 1, 2, 2}, {1, 9, 3, 4});
+  pool.forward(x, true);
+  const Tensor g = pool.backward(Tensor(Shape{1, 1, 1, 1}, {5.0f}));
+  EXPECT_FLOAT_EQ(g[0], 0.0f);
+  EXPECT_FLOAT_EQ(g[1], 5.0f);  // argmax position
+  EXPECT_FLOAT_EQ(g[2], 0.0f);
+  EXPECT_FLOAT_EQ(g[3], 0.0f);
+}
+
+TEST(MaxPoolTest, NegativeValuesHandled) {
+  MaxPool2d pool(2);
+  const Tensor x(Shape{1, 1, 2, 2}, {-5, -2, -9, -7});
+  const Tensor y = pool.forward(x, true);
+  EXPECT_FLOAT_EQ(y[0], -2.0f);
+}
+
+TEST(MaxPoolTest, RequiresDivisibleSpatialDims) {
+  MaxPool2d pool(2);
+  EXPECT_THROW(pool.forward(Tensor(Shape{1, 1, 3, 4}), true), ShapeError);
+  EXPECT_THROW(pool.forward(Tensor(Shape{1, 4, 4}), true), ShapeError);
+}
+
+TEST(MaxPoolTest, MultiChannelIndependence) {
+  MaxPool2d pool(2);
+  Tensor x(Shape{1, 2, 2, 2});
+  x.at(0, 0, 0, 0) = 10.0f;
+  x.at(0, 1, 1, 1) = 20.0f;
+  const Tensor y = pool.forward(x, true);
+  EXPECT_FLOAT_EQ(y.at(0, 0, 0, 0), 10.0f);
+  EXPECT_FLOAT_EQ(y.at(0, 1, 0, 0), 20.0f);
+}
+
+TEST(MaxPoolTest, GradientsMatchFiniteDifferences) {
+  Rng rng(9);
+  MaxPool2d pool(2);
+  // Distinct values avoid argmax ties that break finite differencing.
+  Tensor x(Shape{1, 2, 4, 4});
+  for (std::int64_t i = 0; i < x.numel(); ++i) {
+    x[i] = static_cast<float>(i % 7) + 0.1f * static_cast<float>(i);
+  }
+  const Tensor probe = Tensor::normal(Shape{1, 2, 2, 2}, rng);
+  test::check_layer_gradients(pool, x, probe);
+}
+
+TEST(UpsampleTest, NearestNeighbourForward) {
+  Upsample2d up(2);
+  const Tensor x(Shape{1, 1, 2, 2}, {1, 2, 3, 4});
+  const Tensor y = up.forward(x, true);
+  ASSERT_EQ(y.shape(), Shape({1, 1, 4, 4}));
+  EXPECT_FLOAT_EQ(y.at(0, 0, 0, 0), 1.0f);
+  EXPECT_FLOAT_EQ(y.at(0, 0, 0, 1), 1.0f);
+  EXPECT_FLOAT_EQ(y.at(0, 0, 1, 1), 1.0f);
+  EXPECT_FLOAT_EQ(y.at(0, 0, 0, 2), 2.0f);
+  EXPECT_FLOAT_EQ(y.at(0, 0, 3, 3), 4.0f);
+}
+
+TEST(UpsampleTest, BackwardSumsReplicas) {
+  Upsample2d up(2);
+  const Tensor x(Shape{1, 1, 1, 1}, {7.0f});
+  up.forward(x, true);
+  const Tensor g = up.backward(Tensor(Shape{1, 1, 2, 2}, {1, 2, 3, 4}));
+  EXPECT_FLOAT_EQ(g[0], 10.0f);
+}
+
+TEST(UpsampleTest, GradientsMatchFiniteDifferences) {
+  Rng rng(10);
+  Upsample2d up(3);
+  const Tensor x = Tensor::normal(Shape{2, 2, 2, 2}, rng);
+  const Tensor probe = Tensor::normal(Shape{2, 2, 6, 6}, rng);
+  test::check_layer_gradients(up, x, probe);
+}
+
+TEST(UpsampleTest, PoolThenUpsampleShapeRoundTrip) {
+  Rng rng(11);
+  MaxPool2d pool(2);
+  Upsample2d up(2);
+  const Tensor x = Tensor::normal(Shape{1, 3, 8, 8}, rng);
+  const Tensor y = up.forward(pool.forward(x, true), true);
+  EXPECT_EQ(y.shape(), x.shape());
+}
+
+}  // namespace
+}  // namespace wm::nn

@@ -1,0 +1,86 @@
+#include "selective/model_file.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "selective/trainer.hpp"
+#include "tensor/tensor_ops.hpp"
+#include "wafermap/synth/generator.hpp"
+
+namespace wm::selective {
+namespace {
+
+class ModelFileTest : public ::testing::Test {
+ protected:
+  std::string path_ = "/tmp/wm_model_file_test.wsn";
+  void TearDown() override { std::remove(path_.c_str()); }
+};
+
+TEST_F(ModelFileTest, RoundTripPreservesOptionsAndWeights) {
+  Rng rng(1);
+  SelectiveNet net({.map_size = 16, .num_classes = 9, .conv1_filters = 8,
+                    .conv2_filters = 8, .conv3_filters = 8, .fc_units = 32,
+                    .use_batchnorm = true},
+                   rng);
+  save_model(path_, net);
+  auto loaded = load_model(path_);
+  EXPECT_EQ(loaded->options().map_size, 16);
+  EXPECT_TRUE(loaded->options().use_batchnorm);
+  EXPECT_EQ(loaded->parameter_count(), net.parameter_count());
+}
+
+TEST_F(ModelFileTest, LoadedModelInfersIdentically) {
+  // Train briefly so BatchNorm running stats are non-trivial, then compare
+  // inference-mode outputs of the original and the reloaded model.
+  Rng rng(2);
+  SelectiveNet net({.map_size = 16, .num_classes = 9, .conv1_filters = 8,
+                    .conv2_filters = 8, .conv3_filters = 8, .fc_units = 32,
+                    .use_batchnorm = true},
+                   rng);
+  synth::DatasetSpec spec;
+  spec.map_size = 16;
+  spec.class_counts.fill(4);
+  const Dataset data = synth::generate_dataset(spec, rng);
+  SelectiveTrainer trainer({.epochs = 2, .batch_size = 8,
+                            .learning_rate = 1e-3, .target_coverage = 0.5});
+  trainer.train(net, data, nullptr, rng);
+
+  save_model(path_, net);
+  auto loaded = load_model(path_);
+  const Batch batch = data.full_batch();
+  const SelectiveOutput a = net.forward(batch.images, false);
+  const SelectiveOutput b = loaded->forward(batch.images, false);
+  EXPECT_FLOAT_EQ(max_abs_diff(a.logits, b.logits), 0.0f);
+  EXPECT_FLOAT_EQ(max_abs_diff(a.g, b.g), 0.0f);
+}
+
+TEST_F(ModelFileTest, PlainNetWithoutBuffersRoundTrips) {
+  Rng rng(3);
+  SelectiveNet net({.map_size = 16, .num_classes = 9, .conv1_filters = 8,
+                    .conv2_filters = 8, .conv3_filters = 8, .fc_units = 32,
+                    .use_batchnorm = false},
+                   rng);
+  save_model(path_, net);
+  auto loaded = load_model(path_);
+  EXPECT_FALSE(loaded->options().use_batchnorm);
+  Rng rng2(4);
+  const Tensor x = Tensor::uniform(Shape{2, 1, 16, 16}, rng2);
+  EXPECT_FLOAT_EQ(max_abs_diff(net.forward(x, false).logits,
+                               loaded->forward(x, false).logits),
+                  0.0f);
+}
+
+TEST_F(ModelFileTest, BadFilesThrow) {
+  EXPECT_THROW(load_model("/nonexistent/model.wsn"), IoError);
+  std::ofstream out(path_, std::ios::binary);
+  out << "garbage";
+  out.close();
+  EXPECT_THROW(load_model(path_), IoError);
+}
+
+}  // namespace
+}  // namespace wm::selective

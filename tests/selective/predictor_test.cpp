@@ -1,0 +1,149 @@
+#include "selective/predictor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "selective/calibrate.hpp"
+#include "wafermap/synth/generator.hpp"
+
+namespace wm::selective {
+namespace {
+
+SelectiveNetOptions tiny_net() {
+  return {.map_size = 16, .num_classes = 9, .conv1_filters = 8,
+          .conv2_filters = 8, .conv3_filters = 8, .fc_units = 32};
+}
+
+Dataset small_dataset(std::uint64_t seed, int per_class = 6) {
+  Rng rng(seed);
+  synth::DatasetSpec spec;
+  spec.map_size = 16;
+  spec.class_counts.fill(per_class);
+  return synth::generate_dataset(spec, rng);
+}
+
+TEST(PredictorTest, PredictionFieldsPopulated) {
+  Rng rng(1);
+  SelectiveNet net(tiny_net(), rng);
+  const Dataset data = small_dataset(2);
+  SelectivePredictor predictor(net, 0.5f);
+  const auto preds = predictor.predict(data);
+  ASSERT_EQ(preds.size(), data.size());
+  for (const auto& p : preds) {
+    EXPECT_GE(p.label, 0);
+    EXPECT_LT(p.label, 9);
+    EXPECT_GE(p.g, 0.0f);
+    EXPECT_LE(p.g, 1.0f);
+    EXPECT_GT(p.confidence, 0.0f);
+    EXPECT_LE(p.confidence, 1.0f);
+    EXPECT_EQ(p.selected, p.g >= 0.5f);
+  }
+}
+
+TEST(PredictorTest, ThresholdZeroSelectsAll) {
+  Rng rng(2);
+  SelectiveNet net(tiny_net(), rng);
+  const Dataset data = small_dataset(3);
+  SelectivePredictor predictor(net, 0.0f);
+  EXPECT_DOUBLE_EQ(coverage_of(predictor.predict(data)), 1.0);
+}
+
+TEST(PredictorTest, ThresholdOneSelectsNone) {
+  Rng rng(3);
+  SelectiveNet net(tiny_net(), rng);
+  const Dataset data = small_dataset(4);
+  SelectivePredictor predictor(net, 1.0f);
+  EXPECT_DOUBLE_EQ(coverage_of(predictor.predict(data)), 0.0);
+}
+
+TEST(PredictorTest, BatchedAndWholeSetAgree) {
+  Rng rng(4);
+  SelectiveNet net(tiny_net(), rng);
+  const Dataset data = small_dataset(5, 4);
+  SelectivePredictor small_batches(net, 0.5f, /*eval_batch=*/7);
+  SelectivePredictor one_batch(net, 0.5f, /*eval_batch=*/4096);
+  const auto a = small_batches.predict(data);
+  const auto b = one_batch.predict(data);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].label, b[i].label);
+    EXPECT_NEAR(a[i].g, b[i].g, 1e-6f);
+  }
+}
+
+TEST(PredictorTest, PredictOneMatchesBatch) {
+  Rng rng(5);
+  SelectiveNet net(tiny_net(), rng);
+  const Dataset data = small_dataset(6, 2);
+  SelectivePredictor predictor(net, 0.5f);
+  const auto preds = predictor.predict(data);
+  const auto single = predictor.predict_one(data[3].map);
+  EXPECT_EQ(single.label, preds[3].label);
+  EXPECT_NEAR(single.g, preds[3].g, 1e-6f);
+}
+
+TEST(PredictorTest, MetricsComputedCorrectly) {
+  std::vector<SelectivePrediction> preds(4);
+  preds[0] = {.label = 0, .selected = true};
+  preds[1] = {.label = 1, .selected = true};
+  preds[2] = {.label = 2, .selected = false};
+  preds[3] = {.label = 3, .selected = true};
+  const std::vector<int> labels = {0, 9, 2, 3};
+  EXPECT_DOUBLE_EQ(coverage_of(preds), 0.75);
+  EXPECT_DOUBLE_EQ(selective_accuracy(preds, labels), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(full_accuracy(preds, labels), 0.75);
+}
+
+TEST(PredictorTest, EmptySelectionConvention) {
+  std::vector<SelectivePrediction> preds(2);
+  preds[0].selected = false;
+  preds[1].selected = false;
+  EXPECT_DOUBLE_EQ(selective_accuracy(preds, {0, 1}), 1.0);
+  EXPECT_DOUBLE_EQ(coverage_of(preds), 0.0);
+}
+
+TEST(PredictorTest, RejectsBadArguments) {
+  Rng rng(6);
+  SelectiveNet net(tiny_net(), rng);
+  EXPECT_THROW(SelectivePredictor(net, -0.1f), InvalidArgument);
+  EXPECT_THROW(SelectivePredictor(net, 1.1f), InvalidArgument);
+  EXPECT_THROW(SelectivePredictor(net, 0.5f, 0), InvalidArgument);
+  SelectivePredictor p(net);
+  EXPECT_THROW(p.set_threshold(2.0f), InvalidArgument);
+  EXPECT_THROW(selective_accuracy({}, {0}), InvalidArgument);
+}
+
+TEST(CalibrateTest, HitsRequestedCoverage) {
+  Rng rng(7);
+  SelectiveNet net(tiny_net(), rng);
+  const Dataset data = small_dataset(8, 10);  // 90 samples
+  for (double target : {0.2, 0.5, 0.9}) {
+    const float tau = calibrate_threshold(net, data, target);
+    SelectivePredictor predictor(net, tau);
+    const double cov = coverage_of(predictor.predict(data));
+    EXPECT_NEAR(cov, target, 0.06) << "target " << target;
+    EXPECT_GE(cov, target - 1e-9) << "target " << target;
+  }
+}
+
+TEST(CalibrateTest, FullCoverageThresholdSelectsEverything) {
+  Rng rng(8);
+  SelectiveNet net(tiny_net(), rng);
+  const Dataset data = small_dataset(9, 4);
+  const float tau = calibrate_threshold(net, data, 1.0);
+  SelectivePredictor predictor(net, tau);
+  EXPECT_DOUBLE_EQ(coverage_of(predictor.predict(data)), 1.0);
+}
+
+TEST(CalibrateTest, RejectsBadInputs) {
+  Rng rng(9);
+  SelectiveNet net(tiny_net(), rng);
+  const Dataset data = small_dataset(10, 2);
+  EXPECT_THROW(calibrate_threshold(net, data, 0.0), InvalidArgument);
+  EXPECT_THROW(calibrate_threshold(net, data, 1.5), InvalidArgument);
+  EXPECT_THROW(calibrate_threshold(net, Dataset{}, 0.5), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace wm::selective

@@ -1,0 +1,117 @@
+#include "tensor/gemm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "tensor/tensor.hpp"
+#include "tensor/tensor_ops.hpp"
+
+namespace wm {
+namespace {
+
+/// Naive reference O(mnk) multiply used to validate the blocked kernels.
+Tensor reference_matmul(const Tensor& a, const Tensor& b) {
+  const std::int64_t m = a.dim(0);
+  const std::int64_t k = a.dim(1);
+  const std::int64_t n = b.dim(1);
+  Tensor c(Shape{m, n});
+  for (std::int64_t i = 0; i < m; ++i) {
+    for (std::int64_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (std::int64_t kk = 0; kk < k; ++kk) {
+        acc += static_cast<double>(a.at(i, kk)) * b.at(kk, j);
+      }
+      c.at(i, j) = static_cast<float>(acc);
+    }
+  }
+  return c;
+}
+
+TEST(GemmTest, SmallKnownProduct) {
+  const Tensor a(Shape{2, 3}, {1, 2, 3, 4, 5, 6});
+  const Tensor b(Shape{3, 2}, {7, 8, 9, 10, 11, 12});
+  const Tensor c = matmul(a, b);
+  EXPECT_FLOAT_EQ(c.at(0, 0), 58.0f);
+  EXPECT_FLOAT_EQ(c.at(0, 1), 64.0f);
+  EXPECT_FLOAT_EQ(c.at(1, 0), 139.0f);
+  EXPECT_FLOAT_EQ(c.at(1, 1), 154.0f);
+}
+
+TEST(GemmTest, IdentityIsNeutral) {
+  Rng rng(1);
+  const Tensor a = Tensor::normal(Shape{5, 5}, rng);
+  Tensor eye(Shape{5, 5});
+  for (std::int64_t i = 0; i < 5; ++i) eye.at(i, i) = 1.0f;
+  EXPECT_LT(max_abs_diff(matmul(a, eye), a), 1e-6f);
+  EXPECT_LT(max_abs_diff(matmul(eye, a), a), 1e-6f);
+}
+
+TEST(GemmTest, MatchesReferenceOnRandomSizes) {
+  Rng rng(2);
+  for (const auto& [m, k, n] : std::vector<std::tuple<int, int, int>>{
+           {1, 1, 1}, {3, 7, 5}, {64, 65, 63}, {100, 257, 33}, {17, 300, 2}}) {
+    const Tensor a = Tensor::normal(Shape{m, k}, rng);
+    const Tensor b = Tensor::normal(Shape{k, n}, rng);
+    const Tensor got = matmul(a, b);
+    const Tensor want = reference_matmul(a, b);
+    EXPECT_LT(max_abs_diff(got, want), 1e-3f) << m << "x" << k << "x" << n;
+  }
+}
+
+TEST(GemmTest, TransposedAVariantMatches) {
+  Rng rng(3);
+  const Tensor a = Tensor::normal(Shape{40, 30}, rng);  // (K x M)
+  const Tensor b = Tensor::normal(Shape{40, 20}, rng);  // (K x N)
+  const Tensor got = matmul_at(a, b);                   // (M x N)
+  const Tensor want = reference_matmul(transpose(a), b);
+  EXPECT_LT(max_abs_diff(got, want), 1e-3f);
+}
+
+TEST(GemmTest, TransposedBVariantMatches) {
+  Rng rng(4);
+  const Tensor a = Tensor::normal(Shape{25, 30}, rng);  // (M x K)
+  const Tensor b = Tensor::normal(Shape{35, 30}, rng);  // (N x K)
+  const Tensor got = matmul_bt(a, b);                   // (M x N)
+  const Tensor want = reference_matmul(a, transpose(b));
+  EXPECT_LT(max_abs_diff(got, want), 1e-3f);
+}
+
+TEST(GemmTest, AlphaBetaSemantics) {
+  const std::vector<float> a = {1, 2, 3, 4};  // 2x2
+  const std::vector<float> b = {1, 0, 0, 1};  // identity
+  std::vector<float> c = {10, 10, 10, 10};
+  sgemm(2, 2, 2, 2.0f, a.data(), b.data(), 0.5f, c.data());
+  // C = 2*A + 0.5*C0
+  EXPECT_FLOAT_EQ(c[0], 7.0f);
+  EXPECT_FLOAT_EQ(c[3], 13.0f);
+}
+
+TEST(GemmTest, BetaZeroOverwritesGarbage) {
+  const std::vector<float> a = {1.0f};
+  const std::vector<float> b = {2.0f};
+  std::vector<float> c = {std::numeric_limits<float>::quiet_NaN()};
+  sgemm(1, 1, 1, 1.0f, a.data(), b.data(), 0.0f, c.data());
+  EXPECT_FLOAT_EQ(c[0], 2.0f);
+}
+
+TEST(GemmTest, ShapeMismatchThrows) {
+  const Tensor a(Shape{2, 3});
+  const Tensor b(Shape{2, 2});
+  EXPECT_THROW(matmul(a, b), ShapeError);
+  EXPECT_THROW(matmul_at(a, Tensor(Shape{3, 2})), ShapeError);
+  EXPECT_THROW(matmul_bt(a, Tensor(Shape{2, 4})), ShapeError);
+}
+
+TEST(GemmTest, AccumulateWithBetaOne) {
+  const std::vector<float> a = {1, 1};  // 1x2
+  const std::vector<float> b = {3, 4};  // 2x1
+  std::vector<float> c = {1};
+  sgemm(1, 1, 2, 1.0f, a.data(), b.data(), 1.0f, c.data());
+  EXPECT_FLOAT_EQ(c[0], 8.0f);
+}
+
+}  // namespace
+}  // namespace wm

@@ -1,0 +1,67 @@
+#include "tensor/shape.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace wm {
+namespace {
+
+TEST(ShapeTest, BasicProperties) {
+  const Shape s{2, 3, 4};
+  EXPECT_EQ(s.rank(), 3u);
+  EXPECT_EQ(s.numel(), 24);
+  EXPECT_EQ(s.dim(0), 2);
+  EXPECT_EQ(s.dim(2), 4);
+}
+
+TEST(ShapeTest, NegativeIndexCountsFromBack) {
+  const Shape s{2, 3, 4};
+  EXPECT_EQ(s.dim(-1), 4);
+  EXPECT_EQ(s.dim(-3), 2);
+}
+
+TEST(ShapeTest, OutOfRangeDimThrows) {
+  const Shape s{2, 3};
+  EXPECT_THROW(s.dim(2), ShapeError);
+  EXPECT_THROW(s.dim(-3), ShapeError);
+}
+
+TEST(ShapeTest, NegativeDimensionRejected) {
+  EXPECT_THROW(Shape({2, -1}), ShapeError);
+  EXPECT_THROW(Shape(std::vector<std::int64_t>{-5}), ShapeError);
+}
+
+TEST(ShapeTest, ZeroDimensionGivesZeroNumel) {
+  const Shape s{3, 0, 2};
+  EXPECT_EQ(s.numel(), 0);
+}
+
+TEST(ShapeTest, EmptyShapeIsScalarLike) {
+  const Shape s;
+  EXPECT_EQ(s.rank(), 0u);
+  EXPECT_EQ(s.numel(), 1);
+}
+
+TEST(ShapeTest, RowMajorStrides) {
+  const Shape s{2, 3, 4};
+  const auto st = s.strides();
+  ASSERT_EQ(st.size(), 3u);
+  EXPECT_EQ(st[0], 12);
+  EXPECT_EQ(st[1], 4);
+  EXPECT_EQ(st[2], 1);
+}
+
+TEST(ShapeTest, Equality) {
+  EXPECT_EQ(Shape({2, 3}), Shape({2, 3}));
+  EXPECT_NE(Shape({2, 3}), Shape({3, 2}));
+  EXPECT_NE(Shape({2, 3}), Shape({2, 3, 1}));
+}
+
+TEST(ShapeTest, ToString) {
+  EXPECT_EQ(Shape({2, 3}).to_string(), "[2, 3]");
+  EXPECT_EQ(Shape({}).to_string(), "[]");
+}
+
+}  // namespace
+}  // namespace wm

@@ -1,0 +1,113 @@
+#include "tensor/tensor_ops.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace wm {
+namespace {
+
+TEST(TensorOpsTest, ElementwiseBinary) {
+  const Tensor a(Shape{3}, {1, 2, 3});
+  const Tensor b(Shape{3}, {4, 5, 6});
+  EXPECT_EQ(add(a, b)[1], 7.0f);
+  EXPECT_EQ(sub(b, a)[2], 3.0f);
+  EXPECT_EQ(mul(a, b)[0], 4.0f);
+  const Tensor c(Shape{2});
+  EXPECT_THROW(add(a, c), ShapeError);
+}
+
+TEST(TensorOpsTest, ScalarOps) {
+  const Tensor a(Shape{2}, {1, -2});
+  EXPECT_EQ(add_scalar(a, 3.0f)[1], 1.0f);
+  EXPECT_EQ(mul_scalar(a, -2.0f)[0], -2.0f);
+}
+
+TEST(TensorOpsTest, Map) {
+  const Tensor a(Shape{3}, {-1, 0, 2});
+  const Tensor r = map(a, [](float x) { return x > 0 ? x : 0.0f; });
+  EXPECT_EQ(r[0], 0.0f);
+  EXPECT_EQ(r[2], 2.0f);
+}
+
+TEST(TensorOpsTest, Reductions) {
+  const Tensor a(Shape{4}, {1, 2, 3, 4});
+  EXPECT_FLOAT_EQ(sum(a), 10.0f);
+  EXPECT_FLOAT_EQ(mean(a), 2.5f);
+  EXPECT_FLOAT_EQ(max_value(a), 4.0f);
+  EXPECT_FLOAT_EQ(min_value(a), 1.0f);
+  EXPECT_EQ(argmax(a), 3);
+}
+
+TEST(TensorOpsTest, EmptyReductionsThrow) {
+  const Tensor e(Shape{0});
+  EXPECT_THROW(mean(e), InvalidArgument);
+  EXPECT_THROW(max_value(e), InvalidArgument);
+  EXPECT_THROW(argmax(e), InvalidArgument);
+}
+
+TEST(TensorOpsTest, ArgmaxFirstOnTies) {
+  const Tensor a(Shape{4}, {1, 5, 5, 2});
+  EXPECT_EQ(argmax(a), 1);
+}
+
+TEST(TensorOpsTest, ArgmaxRows) {
+  const Tensor a(Shape{2, 3}, {0, 9, 1, 7, 2, 3});
+  const auto idx = argmax_rows(a);
+  ASSERT_EQ(idx.size(), 2u);
+  EXPECT_EQ(idx[0], 1);
+  EXPECT_EQ(idx[1], 0);
+}
+
+TEST(TensorOpsTest, SoftmaxRowsSumToOne) {
+  const Tensor logits(Shape{2, 3}, {1, 2, 3, -1, 0, 1});
+  const Tensor p = softmax_rows(logits);
+  for (std::int64_t r = 0; r < 2; ++r) {
+    float s = 0.0f;
+    for (std::int64_t c = 0; c < 3; ++c) {
+      EXPECT_GT(p.at(r, c), 0.0f);
+      s += p.at(r, c);
+    }
+    EXPECT_NEAR(s, 1.0f, 1e-6f);
+  }
+  // Monotone in logits.
+  EXPECT_GT(p.at(0, 2), p.at(0, 1));
+}
+
+TEST(TensorOpsTest, SoftmaxNumericallyStableForLargeLogits) {
+  const Tensor logits(Shape{1, 2}, {1000.0f, 999.0f});
+  const Tensor p = softmax_rows(logits);
+  EXPECT_TRUE(all_finite(p));
+  EXPECT_NEAR(p.at(0, 0) + p.at(0, 1), 1.0f, 1e-6f);
+  EXPECT_GT(p.at(0, 0), p.at(0, 1));
+}
+
+TEST(TensorOpsTest, Transpose) {
+  const Tensor a(Shape{2, 3}, {1, 2, 3, 4, 5, 6});
+  const Tensor t = transpose(a);
+  EXPECT_EQ(t.shape(), Shape({3, 2}));
+  EXPECT_EQ(t.at(0, 1), 4.0f);
+  EXPECT_EQ(t.at(2, 0), 3.0f);
+}
+
+TEST(TensorOpsTest, Norms) {
+  const Tensor a(Shape{2}, {3, 4});
+  EXPECT_FLOAT_EQ(l2_norm(a), 5.0f);
+  const Tensor b(Shape{2}, {3, 7});
+  EXPECT_FLOAT_EQ(max_abs_diff(a, b), 3.0f);
+}
+
+TEST(TensorOpsTest, AllFinite) {
+  Tensor a(Shape{3}, {1, 2, 3});
+  EXPECT_TRUE(all_finite(a));
+  a[1] = std::numeric_limits<float>::infinity();
+  EXPECT_FALSE(all_finite(a));
+  a[1] = std::numeric_limits<float>::quiet_NaN();
+  EXPECT_FALSE(all_finite(a));
+}
+
+}  // namespace
+}  // namespace wm

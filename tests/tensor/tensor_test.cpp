@@ -1,0 +1,109 @@
+#include "tensor/tensor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace wm {
+namespace {
+
+TEST(TensorTest, ZeroInitialised) {
+  const Tensor t(Shape{2, 3});
+  EXPECT_EQ(t.numel(), 6);
+  for (std::int64_t i = 0; i < t.numel(); ++i) EXPECT_EQ(t[i], 0.0f);
+}
+
+TEST(TensorTest, ConstructFromData) {
+  const Tensor t(Shape{2, 2}, {1, 2, 3, 4});
+  EXPECT_EQ(t.at(0, 0), 1.0f);
+  EXPECT_EQ(t.at(1, 1), 4.0f);
+}
+
+TEST(TensorTest, DataSizeMismatchThrows) {
+  EXPECT_THROW(Tensor(Shape{2, 2}, {1, 2, 3}), ShapeError);
+}
+
+TEST(TensorTest, FullAndOnes) {
+  const Tensor t = Tensor::full(Shape{3}, 2.5f);
+  EXPECT_EQ(t.at(2), 2.5f);
+  const Tensor o = Tensor::ones(Shape{2, 2});
+  EXPECT_EQ(o.at(1, 0), 1.0f);
+}
+
+TEST(TensorTest, Arange) {
+  const Tensor t = Tensor::arange(5);
+  for (std::int64_t i = 0; i < 5; ++i) EXPECT_EQ(t[i], static_cast<float>(i));
+}
+
+TEST(TensorTest, MultiIndexAccessorsRoundTrip) {
+  Tensor t(Shape{2, 3, 4, 5});
+  t.at(1, 2, 3, 4) = 7.0f;
+  EXPECT_EQ(t.at(1, 2, 3, 4), 7.0f);
+  // Row-major flat position: ((1*3+2)*4+3)*5+4 = 119.
+  EXPECT_EQ(t[119], 7.0f);
+}
+
+TEST(TensorTest, Rank3Access) {
+  Tensor t(Shape{2, 2, 2});
+  t.at(1, 0, 1) = 3.0f;
+  EXPECT_EQ(t[5], 3.0f);
+}
+
+TEST(TensorTest, ReshapePreservesData) {
+  Tensor t(Shape{2, 3}, {1, 2, 3, 4, 5, 6});
+  const Tensor r = t.reshape(Shape{3, 2});
+  EXPECT_EQ(r.at(2, 1), 6.0f);
+  EXPECT_THROW(t.reshape(Shape{4, 2}), ShapeError);
+}
+
+TEST(TensorTest, FillScale) {
+  Tensor t(Shape{4});
+  t.fill(2.0f);
+  t.scale(3.0f);
+  for (std::int64_t i = 0; i < 4; ++i) EXPECT_EQ(t[i], 6.0f);
+}
+
+TEST(TensorTest, AddInPlace) {
+  Tensor a(Shape{3}, {1, 2, 3});
+  const Tensor b(Shape{3}, {10, 20, 30});
+  a.add_(b);
+  EXPECT_EQ(a[0], 11.0f);
+  EXPECT_EQ(a[2], 33.0f);
+  const Tensor c(Shape{2});
+  EXPECT_THROW(a.add_(c), ShapeError);
+}
+
+TEST(TensorTest, Axpy) {
+  Tensor a(Shape{2}, {1, 1});
+  const Tensor b(Shape{2}, {2, 4});
+  a.axpy_(0.5f, b);
+  EXPECT_FLOAT_EQ(a[0], 2.0f);
+  EXPECT_FLOAT_EQ(a[1], 3.0f);
+}
+
+TEST(TensorTest, UniformWithinBounds) {
+  Rng rng(5);
+  const Tensor t = Tensor::uniform(Shape{1000}, rng, -1.0f, 1.0f);
+  for (std::int64_t i = 0; i < t.numel(); ++i) {
+    EXPECT_GE(t[i], -1.0f);
+    EXPECT_LT(t[i], 1.0f);
+  }
+}
+
+TEST(TensorTest, NormalHasRoughMoments) {
+  Rng rng(6);
+  const Tensor t = Tensor::normal(Shape{20000}, rng, 1.0f, 2.0f);
+  double mean = 0.0;
+  for (std::int64_t i = 0; i < t.numel(); ++i) mean += t[i];
+  mean /= static_cast<double>(t.numel());
+  EXPECT_NEAR(mean, 1.0, 0.1);
+}
+
+TEST(TensorTest, DefaultIsEmpty) {
+  const Tensor t;
+  EXPECT_EQ(t.numel(), 0);
+}
+
+}  // namespace
+}  // namespace wm

@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# End-to-end smoke test of the wm_tool CLI: generate -> train -> evaluate ->
+# classify -> render on a throwaway dataset.
+set -euo pipefail
+
+WM_TOOL="$1"
+WORK=$(mktemp -d)
+trap 'rm -rf "$WORK"' EXIT
+export WM_LOG=warn
+
+"$WM_TOOL" generate --out "$WORK/data" --per-class 6 --size 16 --seed 5 \
+  | grep -q "wrote 54 wafers"
+
+"$WM_TOOL" train --data "$WORK/data" --model "$WORK/m.wsn" \
+  --epochs 2 --size 16 --no-augment --seed 5 \
+  | grep -q "model written"
+
+"$WM_TOOL" evaluate --data "$WORK/data" --model "$WORK/m.wsn" \
+  | grep -q "Overall: accuracy"
+
+"$WM_TOOL" classify --model "$WORK/m.wsn" --wafer "$WORK/data/wafer_0.pgm" \
+  | grep -Eq "ABSTAIN|g="
+
+"$WM_TOOL" render --wafer "$WORK/data/wafer_0.pgm" | grep -q "dies"
+
+# Unknown command and missing flags must fail cleanly.
+if "$WM_TOOL" bogus >/dev/null 2>&1; then exit 1; fi
+if "$WM_TOOL" classify --model "$WORK/m.wsn" >/dev/null 2>&1; then exit 1; fi
+
+echo "wm_tool smoke OK"

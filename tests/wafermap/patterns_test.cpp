@@ -1,0 +1,177 @@
+// Property tests over the synthetic pattern generators: every class must
+// produce the spatial signature its classifier is supposed to pick up.
+#include "wafermap/synth/patterns.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace wm::synth {
+namespace {
+
+constexpr int kSize = 32;
+
+double mean_fail_distance(const WaferMap& map) {
+  const double c = map.center();
+  double acc = 0.0;
+  int n = 0;
+  for (int row = 0; row < map.size(); ++row) {
+    for (int col = 0; col < map.size(); ++col) {
+      if (map.on_wafer(row, col) && map.at(row, col) == Die::kFail) {
+        acc += std::sqrt((row - c) * (row - c) + (col - c) * (col - c));
+        ++n;
+      }
+    }
+  }
+  return n > 0 ? acc / n : 0.0;
+}
+
+class PatternTest : public ::testing::TestWithParam<DefectType> {};
+
+TEST_P(PatternTest, ProducesValidWafer) {
+  Rng rng(42);
+  for (int i = 0; i < 5; ++i) {
+    const WaferMap map = generate(GetParam(), kSize, rng);
+    EXPECT_EQ(map.size(), kSize);
+    EXPECT_GT(map.total_dies(), 0);
+  }
+}
+
+TEST_P(PatternTest, IsDeterministicGivenSeed) {
+  Rng a(7);
+  Rng b(7);
+  EXPECT_EQ(generate(GetParam(), kSize, a), generate(GetParam(), kSize, b));
+}
+
+TEST_P(PatternTest, VariesAcrossDraws) {
+  Rng rng(11);
+  const WaferMap m1 = generate(GetParam(), kSize, rng);
+  const WaferMap m2 = generate(GetParam(), kSize, rng);
+  EXPECT_NE(m1, m2);
+}
+
+TEST_P(PatternTest, DefectClassesFailMoreThanNone) {
+  if (GetParam() == DefectType::kNone) GTEST_SKIP();
+  Rng rng(13);
+  double defect_frac = 0.0;
+  double none_frac = 0.0;
+  const int trials = 10;
+  for (int i = 0; i < trials; ++i) {
+    defect_frac += generate(GetParam(), kSize, rng).fail_fraction();
+    none_frac += generate(DefectType::kNone, kSize, rng).fail_fraction();
+  }
+  EXPECT_GT(defect_frac / trials, none_frac / trials);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllClasses, PatternTest,
+                         ::testing::ValuesIn(all_defect_types()),
+                         [](const auto& info) {
+                           std::string n = to_string(info.param);
+                           n.erase(std::remove(n.begin(), n.end(), '-'), n.end());
+                           return n;
+                         });
+
+TEST(PatternSignatureTest, CenterFailsConcentrateNearCentre) {
+  Rng rng(17);
+  const WaferMap map = generate_center(kSize, rng, MorphologyParams::nominal());
+  EXPECT_LT(mean_fail_distance(map), 0.55 * map.radius());
+}
+
+TEST(PatternSignatureTest, EdgeRingFailsConcentrateAtEdge) {
+  Rng rng(19);
+  const WaferMap map =
+      generate_edge_ring(kSize, rng, MorphologyParams::nominal());
+  EXPECT_GT(mean_fail_distance(map), 0.75 * map.radius());
+}
+
+TEST(PatternSignatureTest, DonutAvoidsCentreAndEdge) {
+  Rng rng(23);
+  // Average over draws: donut failures live at mid radius.
+  double acc = 0.0;
+  for (int i = 0; i < 10; ++i) {
+    acc += mean_fail_distance(
+        generate_donut(kSize, rng, MorphologyParams::nominal()));
+  }
+  acc /= 10;
+  EXPECT_GT(acc, 0.3 * (kSize / 2.0));
+  EXPECT_LT(acc, 0.75 * (kSize / 2.0));
+}
+
+TEST(PatternSignatureTest, NearFullFailsAlmostEverywhere) {
+  Rng rng(29);
+  const WaferMap map =
+      generate_near_full(kSize, rng, MorphologyParams::nominal());
+  EXPECT_GT(map.fail_fraction(), 0.7);
+}
+
+TEST(PatternSignatureTest, RandomDensityBetweenNoiseAndNearFull) {
+  Rng rng(31);
+  for (int i = 0; i < 10; ++i) {
+    const double f =
+        generate_random(kSize, rng, MorphologyParams::nominal()).fail_fraction();
+    EXPECT_GT(f, 0.08);
+    EXPECT_LT(f, 0.4);
+  }
+}
+
+TEST(PatternSignatureTest, NoneHasLowFailureRate) {
+  Rng rng(37);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_LT(generate_none(kSize, rng, MorphologyParams::nominal()).fail_fraction(),
+              0.06);
+  }
+}
+
+TEST(PatternSignatureTest, ScratchIsSparseButPresent) {
+  Rng rng(41);
+  for (int i = 0; i < 10; ++i) {
+    const WaferMap map =
+        generate_scratch(kSize, rng, MorphologyParams::nominal());
+    EXPECT_GT(map.fail_count(), 4);
+    EXPECT_LT(map.fail_fraction(), 0.15);
+  }
+}
+
+TEST(PatternSignatureTest, EdgeLocIsAngularlyLocalised) {
+  Rng rng(43);
+  // The angular spread of edge-loc failures must be well below a full circle.
+  const WaferMap map =
+      generate_edge_loc(kSize, rng, MorphologyParams{.background_lo = 0.0,
+                                                     .background_hi = 0.0,
+                                                     .pattern_density = 0.95,
+                                                     .scale = 1.0});
+  const double c = map.center();
+  double sx = 0.0;
+  double sy = 0.0;
+  int n = 0;
+  for (int row = 0; row < map.size(); ++row) {
+    for (int col = 0; col < map.size(); ++col) {
+      if (map.on_wafer(row, col) && map.at(row, col) == Die::kFail) {
+        const double a = std::atan2(row - c, col - c);
+        sx += std::cos(a);
+        sy += std::sin(a);
+        ++n;
+      }
+    }
+  }
+  ASSERT_GT(n, 0);
+  // Mean resultant length near 1 => tight angular cluster.
+  const double resultant = std::sqrt(sx * sx + sy * sy) / n;
+  EXPECT_GT(resultant, 0.6);
+}
+
+TEST(MorphologyTest, ShiftedCornerIsNoisier) {
+  Rng rng(47);
+  double nominal = 0.0;
+  double shifted = 0.0;
+  for (int i = 0; i < 10; ++i) {
+    nominal += generate_none(kSize, rng, MorphologyParams::nominal()).fail_fraction();
+    shifted += generate_none(kSize, rng, MorphologyParams::shifted()).fail_fraction();
+  }
+  EXPECT_GT(shifted, 2.0 * nominal);
+}
+
+}  // namespace
+}  // namespace wm::synth

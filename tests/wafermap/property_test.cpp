@@ -1,0 +1,78 @@
+// Cross-cutting property tests over the wafer-map substrate: invariants
+// that must hold for every class, size and seed combination.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "baseline/features.hpp"
+#include "common/rng.hpp"
+#include "wafermap/synth/patterns.hpp"
+#include "wafermap/transforms.hpp"
+
+namespace wm {
+namespace {
+
+struct Combo {
+  DefectType type;
+  int size;
+};
+
+class WaferPropertyTest : public ::testing::TestWithParam<Combo> {};
+
+TEST_P(WaferPropertyTest, TensorRoundTripIsLossless) {
+  Rng rng(101);
+  const WaferMap map = synth::generate(GetParam().type, GetParam().size, rng);
+  EXPECT_EQ(WaferMap::from_tensor(map.to_tensor()), map);
+}
+
+TEST_P(WaferPropertyTest, RotationPreservesSupportAndRoughDensity) {
+  Rng rng(103);
+  const WaferMap map = synth::generate(GetParam().type, GetParam().size, rng);
+  const WaferMap rot = rotate(map, 30.0 + GetParam().size);
+  EXPECT_EQ(rot.total_dies(), map.total_dies());
+  // Nearest-neighbour resampling may merge/split some dies; density must
+  // stay in the same ballpark.
+  EXPECT_NEAR(rot.fail_fraction(), map.fail_fraction(),
+              0.25 * map.fail_fraction() + 0.03);
+}
+
+TEST_P(WaferPropertyTest, FeatureVectorIsFiniteAndFixedSize) {
+  Rng rng(107);
+  const WaferMap map = synth::generate(GetParam().type, GetParam().size, rng);
+  const auto f = baseline::extract_features(map);
+  ASSERT_EQ(f.size(), static_cast<std::size_t>(baseline::kFeatureDim));
+  for (double v : f) {
+    EXPECT_TRUE(std::isfinite(v));
+  }
+}
+
+TEST_P(WaferPropertyTest, PixelLevelsAreOnlyTheThreePaperValues) {
+  Rng rng(109);
+  const WaferMap map = synth::generate(GetParam().type, GetParam().size, rng);
+  for (std::uint8_t px : map.to_pixels()) {
+    EXPECT_TRUE(px == 0 || px == 127 || px == 255) << static_cast<int>(px);
+  }
+}
+
+std::vector<Combo> all_combos() {
+  std::vector<Combo> combos;
+  for (DefectType t : all_defect_types()) {
+    for (int size : {16, 24, 33}) {
+      combos.push_back({t, size});
+    }
+  }
+  return combos;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllClassesAndSizes, WaferPropertyTest,
+                         ::testing::ValuesIn(all_combos()),
+                         [](const auto& info) {
+                           std::string n = to_string(info.param.type) +
+                                           std::to_string(info.param.size);
+                           n.erase(std::remove(n.begin(), n.end(), '-'), n.end());
+                           return n;
+                         });
+
+}  // namespace
+}  // namespace wm

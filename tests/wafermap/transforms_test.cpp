@@ -1,0 +1,163 @@
+#include "wafermap/transforms.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace wm {
+namespace {
+
+TEST(RotateTest, ZeroRotationIsIdentity) {
+  WaferMap map(15);
+  map.set(3, 7, Die::kFail);
+  map.set(7, 2, Die::kFail);
+  EXPECT_EQ(rotate(map, 0.0), map);
+}
+
+TEST(RotateTest, QuarterTurnMovesDie) {
+  WaferMap map(15);
+  map.set(3, 7, Die::kFail);  // 4 above centre (7,7)
+  const WaferMap r = rotate(map, 90.0);
+  // CCW by 90 deg in (row, col) with row pointing down maps (dr,dc)=(-4,0)
+  // to one of the axis positions; the die count must be preserved and the
+  // original position vacated.
+  EXPECT_EQ(r.fail_count(), 1);
+  EXPECT_EQ(r.at(3, 7), Die::kPass);
+}
+
+TEST(RotateTest, FourQuarterTurnsRoundTrip) {
+  Rng rng(1);
+  WaferMap map(21);
+  for (int i = 0; i < 30; ++i) {
+    map.mark_fail(rng.uniform_int(0, 20), rng.uniform_int(0, 20));
+  }
+  WaferMap r = map;
+  for (int i = 0; i < 4; ++i) r = rotate(r, 90.0);
+  EXPECT_EQ(r, map);
+}
+
+TEST(RotateTest, PreservesApproximateFailCount) {
+  Rng rng(2);
+  WaferMap map(33);
+  for (int i = 0; i < 80; ++i) {
+    map.mark_fail(rng.uniform_int(8, 24), rng.uniform_int(8, 24));
+  }
+  const int before = map.fail_count();
+  const WaferMap r = rotate(map, 37.0);
+  // Nearest-neighbour rotation can merge/split a few dies but not many.
+  EXPECT_NEAR(r.fail_count(), before, before * 0.25 + 3);
+}
+
+TEST(RotateTest, PreservesDiscSupport) {
+  WaferMap map(15);
+  const WaferMap r = rotate(map, 45.0);
+  for (int row = 0; row < 15; ++row) {
+    for (int col = 0; col < 15; ++col) {
+      EXPECT_EQ(r.on_wafer(row, col), map.on_wafer(row, col));
+    }
+  }
+}
+
+TEST(FlipTest, HorizontalFlipMirrors) {
+  WaferMap map(9);
+  map.set(4, 1, Die::kFail);
+  const WaferMap f = flip_horizontal(map);
+  EXPECT_EQ(f.at(4, 7), Die::kFail);
+  EXPECT_EQ(f.at(4, 1), Die::kPass);
+}
+
+TEST(FlipTest, DoubleFlipIsIdentity) {
+  Rng rng(3);
+  WaferMap map(13);
+  for (int i = 0; i < 20; ++i) {
+    map.mark_fail(rng.uniform_int(0, 12), rng.uniform_int(0, 12));
+  }
+  EXPECT_EQ(flip_horizontal(flip_horizontal(map)), map);
+}
+
+TEST(SaltPepperTest, ZeroFlipsIsIdentity) {
+  Rng rng(4);
+  WaferMap map(9);
+  map.set(4, 4, Die::kFail);
+  EXPECT_EQ(salt_and_pepper(map, 0, rng), map);
+}
+
+TEST(SaltPepperTest, FlipsChangeBoundedNumberOfDies) {
+  Rng rng(5);
+  const WaferMap map(21);  // all passes
+  const WaferMap noisy = salt_and_pepper(map, 10, rng);
+  // Each flip toggles one die; toggling the same die twice cancels, so the
+  // changed count is <= 10 and has the same parity... just check bounds > 0.
+  EXPECT_GT(noisy.fail_count(), 0);
+  EXPECT_LE(noisy.fail_count(), 10);
+}
+
+TEST(SaltPepperTest, OnlyTouchesOnWaferDies) {
+  Rng rng(6);
+  const WaferMap map(15);
+  const WaferMap noisy = salt_and_pepper(map, 50, rng);
+  for (int row = 0; row < 15; ++row) {
+    for (int col = 0; col < 15; ++col) {
+      EXPECT_EQ(noisy.on_wafer(row, col), map.on_wafer(row, col));
+    }
+  }
+}
+
+TEST(SaltPepperTest, NegativeFlipsRejected) {
+  Rng rng(7);
+  EXPECT_THROW(salt_and_pepper(WaferMap(9), -1, rng), InvalidArgument);
+}
+
+TEST(QuantizeTest, MapsContinuousDecoderOutput) {
+  WaferMap ref(9);
+  Tensor t = ref.to_tensor();
+  t.at(0, 4, 4) = 0.83f;
+  t.at(0, 4, 5) = 0.42f;
+  const WaferMap map = quantize_to_wafer(t);
+  EXPECT_EQ(map.at(4, 4), Die::kFail);
+  EXPECT_EQ(map.at(4, 5), Die::kPass);
+}
+
+TEST(DensityQuantizeTest, PicksTopKByValue) {
+  WaferMap ref(9);
+  Tensor t = ref.to_tensor();
+  // Miscalibrated decoder: "fail" evidence peaks well below 0.75.
+  t.at(0, 4, 4) = 0.61f;
+  t.at(0, 4, 5) = 0.60f;
+  t.at(0, 3, 4) = 0.58f;
+  const WaferMap map = quantize_matching_density(t, 2);
+  EXPECT_EQ(map.fail_count(), 2);
+  EXPECT_EQ(map.at(4, 4), Die::kFail);
+  EXPECT_EQ(map.at(4, 5), Die::kFail);
+  EXPECT_EQ(map.at(3, 4), Die::kPass);
+}
+
+TEST(DensityQuantizeTest, PreservesSourceFailureMass) {
+  Rng rng(11);
+  const WaferMap src = [&] {
+    WaferMap m(15);
+    for (int i = 0; i < 12; ++i) {
+      m.mark_fail(rng.uniform_int(4, 10), rng.uniform_int(4, 10));
+    }
+    return m;
+  }();
+  // A decoder that only rescales intensities must reproduce the count.
+  Tensor t = src.to_tensor();
+  t.scale(0.6f);
+  const WaferMap out = quantize_matching_density(t, src.fail_count());
+  EXPECT_EQ(out.fail_count(), src.fail_count());
+}
+
+TEST(DensityQuantizeTest, ZeroTargetAndOversizedTarget) {
+  WaferMap ref(9);
+  const Tensor t = ref.to_tensor();
+  EXPECT_EQ(quantize_matching_density(t, 0).fail_count(), 0);
+  const WaferMap all = quantize_matching_density(t, 10000);
+  EXPECT_EQ(all.fail_count(), all.total_dies());
+  Rng rng(1);
+  EXPECT_THROW(quantize_matching_density(t, -1), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace wm

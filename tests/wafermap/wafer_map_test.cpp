@@ -1,0 +1,121 @@
+#include "wafermap/wafer_map.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace wm {
+namespace {
+
+TEST(WaferMapTest, DiscSupportGeometry) {
+  const WaferMap map(9);
+  // Centre on the wafer, corners off.
+  EXPECT_TRUE(map.on_wafer(4, 4));
+  EXPECT_FALSE(map.on_wafer(0, 0));
+  EXPECT_FALSE(map.on_wafer(8, 8));
+  // Edge midpoints are within the disc.
+  EXPECT_TRUE(map.on_wafer(0, 4));
+  EXPECT_TRUE(map.on_wafer(4, 0));
+}
+
+TEST(WaferMapTest, AllOnDiscDiesStartPassing) {
+  const WaferMap map(15);
+  EXPECT_EQ(map.fail_count(), 0);
+  EXPECT_GT(map.pass_count(), 0);
+  EXPECT_EQ(map.pass_count(), map.total_dies());
+}
+
+TEST(WaferMapTest, DiscCoversMostOfSquare) {
+  // Disc area / square area = pi/4 ~ 0.785.
+  const WaferMap map(64);
+  const double frac = static_cast<double>(map.total_dies()) / (64.0 * 64.0);
+  EXPECT_NEAR(frac, 0.785, 0.03);
+}
+
+TEST(WaferMapTest, SetAndGet) {
+  WaferMap map(9);
+  map.set(4, 4, Die::kFail);
+  EXPECT_EQ(map.at(4, 4), Die::kFail);
+  EXPECT_EQ(map.fail_count(), 1);
+  EXPECT_NEAR(map.fail_fraction(), 1.0 / map.total_dies(), 1e-12);
+}
+
+TEST(WaferMapTest, MarkFailIgnoresOffWaferAndOutOfGrid) {
+  WaferMap map(9);
+  map.mark_fail(0, 0);    // off-disc
+  map.mark_fail(-1, 4);   // out of grid
+  map.mark_fail(4, 100);  // out of grid
+  EXPECT_EQ(map.fail_count(), 0);
+  map.mark_fail(4, 4);
+  EXPECT_EQ(map.fail_count(), 1);
+}
+
+TEST(WaferMapTest, AccessorsBoundsChecked) {
+  WaferMap map(9);
+  EXPECT_THROW(map.at(9, 0), InvalidArgument);
+  EXPECT_THROW(map.set(0, -1, Die::kPass), InvalidArgument);
+}
+
+TEST(WaferMapTest, MinimumSizeEnforced) {
+  EXPECT_THROW(WaferMap(2), InvalidArgument);
+  EXPECT_NO_THROW(WaferMap(3));
+}
+
+TEST(WaferMapTest, TensorEncodingLevels) {
+  WaferMap map(9);
+  map.set(4, 4, Die::kFail);
+  const Tensor t = map.to_tensor();
+  EXPECT_EQ(t.shape(), Shape({1, 9, 9}));
+  EXPECT_FLOAT_EQ(t.at(0, 0, 0), 0.0f);  // off-wafer
+  EXPECT_FLOAT_EQ(t.at(0, 4, 4), 1.0f);  // fail
+  EXPECT_FLOAT_EQ(t.at(0, 4, 5), 0.5f);  // pass
+}
+
+TEST(WaferMapTest, TensorRoundTrip) {
+  WaferMap map(11);
+  map.set(5, 5, Die::kFail);
+  map.set(5, 6, Die::kFail);
+  const WaferMap back = WaferMap::from_tensor(map.to_tensor());
+  EXPECT_EQ(back, map);
+}
+
+TEST(WaferMapTest, FromTensorQuantisesIntermediateValues) {
+  WaferMap ref(9);
+  Tensor t = ref.to_tensor();
+  t.at(0, 4, 4) = 0.9f;   // -> fail
+  t.at(0, 4, 5) = 0.6f;   // -> pass
+  t.at(0, 4, 3) = 0.76f;  // -> fail
+  const WaferMap map = WaferMap::from_tensor(t);
+  EXPECT_EQ(map.at(4, 4), Die::kFail);
+  EXPECT_EQ(map.at(4, 5), Die::kPass);
+  EXPECT_EQ(map.at(4, 3), Die::kFail);
+}
+
+TEST(WaferMapTest, FromTensorPreservesDiscSupport) {
+  WaferMap ref(9);
+  Tensor t = ref.to_tensor();
+  t.at(0, 0, 0) = 1.0f;  // off-disc corner painted "fail"
+  const WaferMap map = WaferMap::from_tensor(t);
+  EXPECT_FALSE(map.on_wafer(0, 0));  // structural support wins
+}
+
+TEST(WaferMapTest, PixelLevelsMatchPaper) {
+  WaferMap map(9);
+  map.set(4, 4, Die::kFail);
+  const auto px = map.to_pixels();
+  EXPECT_EQ(px[0], 0);            // off-wafer
+  EXPECT_EQ(px[4 * 9 + 4], 255);  // fail
+  EXPECT_EQ(px[4 * 9 + 5], 127);  // pass
+}
+
+TEST(WaferMapTest, EqualityComparesDies) {
+  WaferMap a(9);
+  WaferMap b(9);
+  EXPECT_EQ(a, b);
+  b.set(4, 4, Die::kFail);
+  EXPECT_NE(a, b);
+  EXPECT_NE(a, WaferMap(11));
+}
+
+}  // namespace
+}  // namespace wm

@@ -1,0 +1,215 @@
+// wm_tool — command-line front end for the wafer selective-learning library.
+//
+//   wm_tool generate --out DIR [--per-class N] [--size S] [--seed K]
+//       Synthesise a labelled wafer dataset in the interchange layout
+//       (index.csv + PGMs). Use it to smoke-test the pipeline, or convert
+//       real WM-811K data into the same layout with your own script.
+//
+//   wm_tool train --data DIR --model FILE [--c0 C] [--epochs N]
+//                 [--size S] [--no-augment] [--seed K]
+//       Train a selective classifier on a dataset directory and write a
+//       self-describing model file.
+//
+//   wm_tool evaluate --data DIR --model FILE [--threshold T]
+//       Per-class metrics, confusion matrix, coverage and selective
+//       accuracy of a trained model on a dataset directory.
+//
+//   wm_tool classify --model FILE --wafer FILE.pgm [--threshold T]
+//       Classify one wafer; prints the label or an abstention.
+//
+//   wm_tool render --wafer FILE.pgm
+//       ASCII-render a wafer map.
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "augment/augmentor.hpp"
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "eval/metrics.hpp"
+#include "eval/tables.hpp"
+#include "selective/model_file.hpp"
+#include "selective/predictor.hpp"
+#include "selective/trainer.hpp"
+#include "wafermap/io_pgm.hpp"
+#include "wafermap/resize.hpp"
+#include "wafermap/synth/generator.hpp"
+#include "wafermap/wm811k_loader.hpp"
+
+using namespace wm;
+
+namespace {
+
+/// Minimal --flag/value parser; flags without a value map to "true".
+class Args {
+ public:
+  Args(int argc, char** argv, int first) {
+    for (int i = first; i < argc; ++i) {
+      std::string key = argv[i];
+      WM_CHECK(key.rfind("--", 0) == 0, "expected --flag, got '", key, "'");
+      key = key.substr(2);
+      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        values_[key] = argv[++i];
+      } else {
+        values_[key] = "true";
+      }
+    }
+  }
+
+  std::string get(const std::string& key) const {
+    auto it = values_.find(key);
+    WM_CHECK(it != values_.end(), "missing required flag --", key);
+    return it->second;
+  }
+  std::string get(const std::string& key, const std::string& fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+  int get_int(const std::string& key, int fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::stoi(it->second);
+  }
+  double get_double(const std::string& key, double fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::stod(it->second);
+  }
+  bool has(const std::string& key) const { return values_.count(key) > 0; }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+int cmd_generate(const Args& args) {
+  const std::string out = args.get("out");
+  const int per_class = args.get_int("per-class", 50);
+  const int size = args.get_int("size", 24);
+  Rng rng(static_cast<std::uint64_t>(args.get_int("seed", 1)));
+  synth::DatasetSpec spec;
+  spec.map_size = size;
+  spec.class_counts.fill(per_class);
+  Dataset data = synth::generate_dataset(spec, rng);
+  data.shuffle(rng);
+  save_wafer_directory(out, data);
+  std::printf("wrote %zu wafers (%d per class, %dx%d) to %s\n", data.size(),
+              per_class, size, size, out.c_str());
+  return 0;
+}
+
+int cmd_train(const Args& args) {
+  const int size = args.get_int("size", 24);
+  Dataset data = load_wafer_directory(args.get("data"), {.target_size = size});
+  Rng rng(static_cast<std::uint64_t>(args.get_int("seed", 1)));
+  data.shuffle(rng);
+  const auto [train, val] = data.stratified_split(0.9, rng);
+  std::printf("loaded %zu wafers (%zu train / %zu val)\n", data.size(),
+              train.size(), val.size());
+
+  Dataset train_aug = train;
+  if (!args.has("no-augment")) {
+    augment::AugmentOptions aopts;
+    aopts.target_per_class =
+        args.get_int("augment-target", static_cast<int>(train.size()) / 4);
+    aopts.cae.map_size = size;
+    augment::Augmentor augmentor(aopts);
+    train_aug = augmentor.augment_dataset(train, rng);
+    std::printf("augmented training set: %zu wafers\n", train_aug.size());
+  }
+
+  selective::SelectiveNet net({.map_size = size, .num_classes = kNumDefectTypes,
+                               .use_batchnorm = true},
+                              rng);
+  selective::SelectiveTrainer trainer(
+      {.epochs = args.get_int("epochs", 12),
+       .batch_size = args.get_int("batch", 32),
+       .learning_rate = args.get_double("lr", 2e-3),
+       .target_coverage = args.get_double("c0", 0.5),
+       .final_lr_fraction = 0.15,
+       .keep_best = true});
+  const auto log = trainer.train(net, train_aug, &val, rng);
+  std::printf("trained %d epochs in %.1f s; final loss %.4f\n",
+              static_cast<int>(log.epochs.size()), log.wall_seconds,
+              log.final_epoch().loss);
+  selective::save_model(args.get("model"), net);
+  std::printf("model written to %s\n", args.get("model").c_str());
+  return 0;
+}
+
+int cmd_evaluate(const Args& args) {
+  auto net = selective::load_model(args.get("model"));
+  const Dataset data = load_wafer_directory(
+      args.get("data"), {.target_size = net->options().map_size});
+  selective::SelectivePredictor predictor(
+      *net, static_cast<float>(args.get_double("threshold", 0.5)));
+  const auto preds = predictor.predict(data);
+  std::vector<int> labels;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    labels.push_back(static_cast<int>(data[i].label));
+  }
+  const auto report = eval::selective_report(preds, labels, kNumDefectTypes);
+  std::printf("%s", eval::render_selective_block(
+                        report, eval::defect_class_names(),
+                        args.get_double("threshold", 0.5))
+                        .c_str());
+  std::printf("full-coverage accuracy (ignoring rejects): %.1f%%\n",
+              100.0 * selective::full_accuracy(preds, labels));
+  return 0;
+}
+
+int cmd_classify(const Args& args) {
+  auto net = selective::load_model(args.get("model"));
+  WaferMap map = read_pgm(args.get("wafer"));
+  if (map.size() != net->options().map_size) {
+    map = resize_map(map, net->options().map_size);
+  }
+  selective::SelectivePredictor predictor(
+      *net, static_cast<float>(args.get_double("threshold", 0.5)));
+  const auto p = predictor.predict_one(map);
+  if (p.selected) {
+    std::printf("%s (g=%.3f, confidence=%.3f)\n",
+                to_string(defect_type_from_index(p.label)).c_str(), p.g,
+                p.confidence);
+  } else {
+    std::printf("ABSTAIN (g=%.3f below threshold; best guess %s at %.3f)\n",
+                p.g, to_string(defect_type_from_index(p.label)).c_str(),
+                p.confidence);
+  }
+  return 0;
+}
+
+int cmd_render(const Args& args) {
+  const WaferMap map = read_pgm(args.get("wafer"));
+  std::printf("%s", ascii_render(map).c_str());
+  std::printf("%d dies, %d failing (%.1f%%)\n", map.total_dies(),
+              map.fail_count(), 100.0 * map.fail_fraction());
+  return 0;
+}
+
+void usage() {
+  std::printf(
+      "usage: wm_tool <generate|train|evaluate|classify|render> [--flags]\n"
+      "see the header of tools/wm_tool.cpp for per-command flags\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    usage();
+    return 2;
+  }
+  const std::string cmd = argv[1];
+  try {
+    const Args args(argc, argv, 2);
+    if (cmd == "generate") return cmd_generate(args);
+    if (cmd == "train") return cmd_train(args);
+    if (cmd == "evaluate") return cmd_evaluate(args);
+    if (cmd == "classify") return cmd_classify(args);
+    if (cmd == "render") return cmd_render(args);
+    usage();
+    return 2;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
