@@ -2,6 +2,7 @@
 #include <benchmark/benchmark.h>
 
 #include "common/rng.hpp"
+#include "common/threadpool.hpp"
 #include "nn/layers/conv2d.hpp"
 #include "nn/loss/selective_loss.hpp"
 #include "selective/selective_net.hpp"
@@ -22,6 +23,54 @@ void BM_Conv2dForward(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 8);
 }
 BENCHMARK(BM_Conv2dForward)->Arg(24)->Arg(32);
+
+// Serial-vs-parallel batch fan-out: Args are {map size, WM_THREADS-equivalent}
+// (1 = the bit-reproducible serial path). Uses a wider batch so the chunk
+// split has work to distribute.
+void BM_Conv2dForwardThreads(benchmark::State& state) {
+  ThreadPool::configure_global(static_cast<std::size_t>(state.range(1)));
+  Rng rng(1);
+  nn::Conv2d conv({.in_channels = 16, .out_channels = 64, .kernel = 3,
+                   .stride = 1, .pad = 1},
+                  rng);
+  const Tensor x =
+      Tensor::normal(Shape{32, 16, state.range(0), state.range(0)}, rng);
+  for (auto _ : state) {
+    Tensor y = conv.forward(x, false);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 32);
+  ThreadPool::configure_global(0);
+}
+BENCHMARK(BM_Conv2dForwardThreads)
+    ->Args({24, 1})
+    ->Args({24, 2})
+    ->Args({24, 4})
+    ->UseRealTime();
+
+void BM_Conv2dBackwardThreads(benchmark::State& state) {
+  ThreadPool::configure_global(static_cast<std::size_t>(state.range(1)));
+  Rng rng(1);
+  nn::Conv2d conv({.in_channels = 16, .out_channels = 64, .kernel = 3,
+                   .stride = 1, .pad = 1},
+                  rng);
+  const std::int64_t s = state.range(0);
+  const Tensor x = Tensor::normal(Shape{32, 16, s, s}, rng);
+  const Tensor y = conv.forward(x, true);
+  const Tensor dy = Tensor::normal(y.shape(), rng);
+  for (auto _ : state) {
+    conv.zero_grad();
+    Tensor dx = conv.backward(dy);
+    benchmark::DoNotOptimize(dx.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 32);
+  ThreadPool::configure_global(0);
+}
+BENCHMARK(BM_Conv2dBackwardThreads)
+    ->Args({24, 1})
+    ->Args({24, 2})
+    ->Args({24, 4})
+    ->UseRealTime();
 
 void BM_SelectiveNetForward(benchmark::State& state) {
   Rng rng(2);

@@ -1,13 +1,28 @@
 // Micro benchmarks of the tensor substrate (GEMM, im2col, softmax).
+//
+// The GEMM benchmarks report a GFLOP/s counter (2*m*n*k flops per call) so
+// kernel changes can be compared directly. BM_GemmSeed pins the pre-tiling
+// blocked kernel as a baseline; BM_GemmThreads sweeps the pool size via
+// ThreadPool::configure_global to expose serial-vs-parallel scaling.
 #include <benchmark/benchmark.h>
 
 #include "common/rng.hpp"
+#include "common/threadpool.hpp"
 #include "tensor/gemm.hpp"
 #include "tensor/im2col.hpp"
 #include "tensor/tensor_ops.hpp"
 
 namespace wm {
 namespace {
+
+void set_gemm_counters(benchmark::State& state, std::int64_t m, std::int64_t n,
+                       std::int64_t k) {
+  state.SetItemsProcessed(state.iterations() * 2 * m * n * k);
+  state.counters["GFLOP/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * 2.0 * static_cast<double>(m) *
+          static_cast<double>(n) * static_cast<double>(k) * 1e-9,
+      benchmark::Counter::kIsRate);
+}
 
 void BM_Gemm(benchmark::State& state) {
   const std::int64_t n = state.range(0);
@@ -19,9 +34,49 @@ void BM_Gemm(benchmark::State& state) {
     sgemm(n, n, n, 1.0f, a.data(), b.data(), 0.0f, c.data());
     benchmark::DoNotOptimize(c.data());
   }
-  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+  set_gemm_counters(state, n, n, n);
 }
 BENCHMARK(BM_Gemm)->Arg(64)->Arg(128)->Arg(256)->Arg(512);
+
+// The pre-register-tiling blocked kernel, kept as a fixed baseline so the
+// packed micro-kernel's speedup stays visible in benchmark diffs.
+void BM_GemmSeed(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  Rng rng(1);
+  const Tensor a = Tensor::normal(Shape{n, n}, rng);
+  const Tensor b = Tensor::normal(Shape{n, n}, rng);
+  Tensor c(Shape{n, n});
+  for (auto _ : state) {
+    detail::sgemm_seed(n, n, n, 1.0f, a.data(), b.data(), 0.0f, c.data());
+    benchmark::DoNotOptimize(c.data());
+  }
+  set_gemm_counters(state, n, n, n);
+}
+BENCHMARK(BM_GemmSeed)->Arg(256)->Arg(512);
+
+// Serial-vs-parallel sweep: Args are {matrix size, WM_THREADS-equivalent}.
+// configure_global(1) forces the bit-reproducible serial path; larger values
+// add pool workers (oversubscribed on small hosts, which is still a useful
+// smoke test of the panel-split path).
+void BM_GemmThreads(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  ThreadPool::configure_global(static_cast<std::size_t>(state.range(1)));
+  Rng rng(1);
+  const Tensor a = Tensor::normal(Shape{n, n}, rng);
+  const Tensor b = Tensor::normal(Shape{n, n}, rng);
+  Tensor c(Shape{n, n});
+  for (auto _ : state) {
+    sgemm(n, n, n, 1.0f, a.data(), b.data(), 0.0f, c.data());
+    benchmark::DoNotOptimize(c.data());
+  }
+  set_gemm_counters(state, n, n, n);
+  ThreadPool::configure_global(0);  // restore WM_THREADS/auto default
+}
+BENCHMARK(BM_GemmThreads)
+    ->Args({512, 1})
+    ->Args({512, 2})
+    ->Args({512, 4})
+    ->UseRealTime();  // rate counters must use wall clock, not caller CPU time
 
 void BM_GemmTransposedA(benchmark::State& state) {
   const std::int64_t n = state.range(0);
@@ -33,9 +88,23 @@ void BM_GemmTransposedA(benchmark::State& state) {
     sgemm_at(n, n, n, 1.0f, a.data(), b.data(), 0.0f, c.data());
     benchmark::DoNotOptimize(c.data());
   }
-  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+  set_gemm_counters(state, n, n, n);
 }
 BENCHMARK(BM_GemmTransposedA)->Arg(128)->Arg(256);
+
+void BM_GemmTransposedB(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  Rng rng(5);
+  const Tensor a = Tensor::normal(Shape{n, n}, rng);
+  const Tensor b = Tensor::normal(Shape{n, n}, rng);
+  Tensor c(Shape{n, n});
+  for (auto _ : state) {
+    sgemm_bt(n, n, n, 1.0f, a.data(), b.data(), 0.0f, c.data());
+    benchmark::DoNotOptimize(c.data());
+  }
+  set_gemm_counters(state, n, n, n);
+}
+BENCHMARK(BM_GemmTransposedB)->Arg(128)->Arg(256);
 
 void BM_Im2Col(benchmark::State& state) {
   const std::int64_t s = state.range(0);

@@ -6,6 +6,7 @@
 #include "common/error.hpp"
 #include "common/logging.hpp"
 #include "common/rng.hpp"
+#include "common/threadpool.hpp"
 #include "wafermap/transforms.hpp"
 
 namespace wm::augment {
@@ -94,15 +95,39 @@ Dataset Augmentor::augment_class(const Dataset& class_samples, Rng& rng) const {
 
 Dataset Augmentor::augment_dataset(const Dataset& training, Rng& rng) const {
   Dataset merged = training;
+  // Collect the classes that actually need augmentation first so the
+  // parallel path can fork one child rng per class in a fixed order.
+  std::vector<Dataset> classes;
   for (DefectType type : all_defect_types()) {
     if (type == DefectType::kNone) continue;  // paper augments defects only
-    const Dataset cls = training.filter(type);
+    Dataset cls = training.filter(type);
     if (cls.empty()) continue;
     if (static_cast<int>(cls.size()) >= opts_.target_per_class) continue;
     log_info("augmenting ", to_string(type), ": ", cls.size(), " -> target ",
              opts_.target_per_class);
-    merged.append(augment_class(cls, rng));
+    classes.push_back(std::move(cls));
   }
+  if (classes.empty()) return merged;
+
+  if (ThreadPool::global().worker_count() == 0) {
+    // Serial path draws from the caller's rng directly — the exact
+    // pre-threading sequence, so WM_THREADS=1 reproduces historical runs.
+    for (const Dataset& cls : classes) merged.append(augment_class(cls, rng));
+    return merged;
+  }
+
+  // Parallel path: each class trains its own CAE and synthesises from its
+  // own forked rng, then results are appended in class order. The output is
+  // deterministic for a given seed (fork order is fixed) but draws a
+  // different stream than the serial path.
+  std::vector<Rng> rngs;
+  rngs.reserve(classes.size());
+  for (std::size_t i = 0; i < classes.size(); ++i) rngs.push_back(rng.fork());
+  std::vector<Dataset> results(classes.size());
+  ThreadPool::global().parallel_for(0, classes.size(), [&](std::size_t i) {
+    results[i] = augment_class(classes[i], rngs[i]);
+  });
+  for (Dataset& r : results) merged.append(std::move(r));
   return merged;
 }
 

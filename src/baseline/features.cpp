@@ -8,6 +8,7 @@
 #include "baseline/geometry.hpp"
 #include "baseline/radon.hpp"
 #include "common/error.hpp"
+#include "common/threadpool.hpp"
 
 namespace wm::baseline {
 
@@ -65,13 +66,15 @@ std::vector<double> extract_features(const WaferMap& map) {
 }
 
 FeatureMatrix extract_features(const Dataset& data) {
+  // Radon/geometry extraction is per-wafer independent; fan out across the
+  // pool with each wafer writing its own row.
   FeatureMatrix out;
-  out.rows.reserve(data.size());
-  out.labels.reserve(data.size());
-  for (std::size_t i = 0; i < data.size(); ++i) {
-    out.rows.push_back(extract_features(data[i].map));
-    out.labels.push_back(static_cast<int>(data[i].label));
-  }
+  out.rows.resize(data.size());
+  out.labels.resize(data.size());
+  ThreadPool::global().parallel_for(0, data.size(), [&](std::size_t i) {
+    out.rows[i] = extract_features(data[i].map);
+    out.labels[i] = static_cast<int>(data[i].label);
+  });
   return out;
 }
 

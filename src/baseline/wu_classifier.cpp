@@ -3,6 +3,7 @@
 #include "baseline/features.hpp"
 #include "common/error.hpp"
 #include "common/logging.hpp"
+#include "common/threadpool.hpp"
 
 namespace wm::baseline {
 
@@ -26,11 +27,12 @@ int WuClassifier::predict(const WaferMap& map) const {
 
 std::vector<int> WuClassifier::predict(const Dataset& data) const {
   WM_CHECK(trained(), "classifier not trained");
-  std::vector<int> out;
-  out.reserve(data.size());
-  for (std::size_t i = 0; i < data.size(); ++i) {
-    out.push_back(predict(data[i].map));
-  }
+  // Per-wafer prediction only reads the trained SVM/scaler, so wafers fan
+  // out across the pool writing disjoint slots.
+  std::vector<int> out(data.size());
+  ThreadPool::global().parallel_for(0, data.size(), [&](std::size_t i) {
+    out[i] = predict(data[i].map);
+  });
   return out;
 }
 

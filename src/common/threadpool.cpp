@@ -1,17 +1,48 @@
 #include "common/threadpool.hpp"
 
 #include <atomic>
+#include <cstdlib>
 #include <exception>
+#include <memory>
+#include <string>
 
 namespace wm {
 
-ThreadPool::ThreadPool(std::size_t threads) {
-  if (threads == 0) {
-    const unsigned hc = std::thread::hardware_concurrency();
-    threads = hc > 1 ? hc - 1 : 0;
+namespace {
+
+// Set for the lifetime of each worker thread; lets parallel_for detect a
+// nested call from inside one of its own workers (or any pool's worker —
+// nesting pools inside pools is equally deadlock-prone) and run inline.
+thread_local const ThreadPool* current_worker_pool = nullptr;
+
+std::unique_ptr<ThreadPool>& global_slot() {
+  static std::unique_ptr<ThreadPool> slot;
+  return slot;
+}
+
+std::mutex& global_mutex() {
+  static std::mutex m;
+  return m;
+}
+
+}  // namespace
+
+std::size_t ThreadPool::default_worker_count() {
+  if (const char* env = std::getenv("WM_THREADS")) {
+    char* end = nullptr;
+    const long parsed = std::strtol(env, &end, 10);
+    if (end != env && parsed >= 1) {
+      return static_cast<std::size_t>(parsed - 1);
+    }
   }
-  workers_.reserve(threads);
-  for (std::size_t i = 0; i < threads; ++i) {
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc > 1 ? hc - 1 : 0;
+}
+
+ThreadPool::ThreadPool(std::size_t workers) {
+  if (workers == kAutoWorkers) workers = default_worker_count();
+  workers_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
     workers_.emplace_back([this] { worker_loop(); });
   }
 }
@@ -26,6 +57,7 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::worker_loop() {
+  current_worker_pool = this;
   for (;;) {
     std::function<void()> task;
     {
@@ -39,16 +71,25 @@ void ThreadPool::worker_loop() {
   }
 }
 
-void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
-                              const std::function<void(std::size_t)>& fn) {
+bool ThreadPool::on_worker_thread() const {
+  return current_worker_pool != nullptr;
+}
+
+void ThreadPool::parallel_chunks(
+    std::size_t begin, std::size_t end,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& fn) {
   if (begin >= end) return;
   const std::size_t n = end - begin;
-  if (workers_.empty() || n == 1) {
-    for (std::size_t i = begin; i < end; ++i) fn(i);
+  // Serial fast path: no workers, a single chunk, or a nested call from a
+  // worker thread. Enqueueing from a worker and blocking on completion can
+  // deadlock (all workers stuck in the wait, nobody left to drain the
+  // queue), so nested calls degrade to inline execution.
+  if (workers_.empty() || n == 1 || on_worker_thread()) {
+    fn(begin, end, 0);
     return;
   }
 
-  const std::size_t chunks = std::min(n, workers_.size() + 1);
+  const std::size_t chunks = chunk_count(n);
   const std::size_t chunk_size = (n + chunks - 1) / chunks;
 
   std::atomic<std::size_t> remaining(chunks);
@@ -61,7 +102,7 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
     const std::size_t lo = begin + c * chunk_size;
     const std::size_t hi = std::min(end, lo + chunk_size);
     try {
-      for (std::size_t i = lo; i < hi; ++i) fn(i);
+      if (lo < hi) fn(lo, hi, c);
     } catch (...) {
       const std::lock_guard<std::mutex> lock(error_mutex);
       if (!first_error) first_error = std::current_exception();
@@ -88,9 +129,27 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
   if (first_error) std::rethrow_exception(first_error);
 }
 
+void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
+                              const std::function<void(std::size_t)>& fn) {
+  parallel_chunks(begin, end,
+                  [&fn](std::size_t lo, std::size_t hi, std::size_t /*slot*/) {
+                    for (std::size_t i = lo; i < hi; ++i) fn(i);
+                  });
+}
+
 ThreadPool& ThreadPool::global() {
-  static ThreadPool pool;
-  return pool;
+  const std::lock_guard<std::mutex> lock(global_mutex());
+  auto& slot = global_slot();
+  if (!slot) slot = std::make_unique<ThreadPool>();
+  return *slot;
+}
+
+void ThreadPool::configure_global(std::size_t total_threads) {
+  const std::lock_guard<std::mutex> lock(global_mutex());
+  auto& slot = global_slot();
+  slot.reset();  // join old workers before spawning replacements
+  slot = std::make_unique<ThreadPool>(
+      total_threads == 0 ? kAutoWorkers : total_threads - 1);
 }
 
 }  // namespace wm

@@ -6,8 +6,11 @@
 
 namespace wm::nn {
 
-Tensor ReLU::forward(const Tensor& input, bool /*training*/) {
-  input_ = input;
+// All activations gate their backward caches on `training` so eval-mode
+// forwards mutate no member state and are safe to run concurrently.
+
+Tensor ReLU::forward(const Tensor& input, bool training) {
+  if (training) input_ = input;
   Tensor out(input.shape());
   const float* in = input.data();
   float* po = out.data();
@@ -27,7 +30,7 @@ Tensor ReLU::backward(const Tensor& grad_output) {
   return grad;
 }
 
-Tensor Sigmoid::forward(const Tensor& input, bool /*training*/) {
+Tensor Sigmoid::forward(const Tensor& input, bool training) {
   Tensor out(input.shape());
   const float* in = input.data();
   float* po = out.data();
@@ -42,7 +45,7 @@ Tensor Sigmoid::forward(const Tensor& input, bool /*training*/) {
       po[i] = e / (1.0f + e);
     }
   }
-  output_ = out;
+  if (training) output_ = out;
   return out;
 }
 
@@ -57,13 +60,13 @@ Tensor Sigmoid::backward(const Tensor& grad_output) {
   return grad;
 }
 
-Tensor Tanh::forward(const Tensor& input, bool /*training*/) {
+Tensor Tanh::forward(const Tensor& input, bool training) {
   Tensor out(input.shape());
   const float* in = input.data();
   float* po = out.data();
   const std::int64_t n = input.numel();
   for (std::int64_t i = 0; i < n; ++i) po[i] = std::tanh(in[i]);
-  output_ = out;
+  if (training) output_ = out;
   return out;
 }
 

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "common/error.hpp"
+#include "common/threadpool.hpp"
 
 namespace wm::nn {
 
@@ -35,7 +36,12 @@ Tensor BatchNorm2d::forward(const Tensor& input, bool training) {
     trained_forward_ = true;
   }
 
-  for (std::int64_t ch = 0; ch < c; ++ch) {
+  // Channels are fully independent (stats, running buffers and output strides
+  // are all per-channel), so fanning out across channels is bit-identical to
+  // the serial loop for any thread count.
+  ThreadPool::global().parallel_for(0, static_cast<std::size_t>(c),
+                                    [&](std::size_t chv) {
+    const std::int64_t ch = static_cast<std::int64_t>(chv);
     float mean;
     float var;
     if (training) {
@@ -75,7 +81,7 @@ Tensor BatchNorm2d::forward(const Tensor& input, bool training) {
         o[s] = g * norm + b;
       }
     }
-  }
+  });
   return out;
 }
 
@@ -89,7 +95,11 @@ Tensor BatchNorm2d::backward(const Tensor& grad_output) {
   const std::int64_t per_channel = n * spatial;
 
   Tensor grad_input(grad_output.shape());
-  for (std::int64_t ch = 0; ch < c; ++ch) {
+  // Same per-channel independence as forward: dgamma/dbeta/grad_input writes
+  // touch only this channel's slots.
+  ThreadPool::global().parallel_for(0, static_cast<std::size_t>(c),
+                                    [&](std::size_t chv) {
+    const std::int64_t ch = static_cast<std::int64_t>(chv);
     // Accumulate dgamma, dbeta and the two reduction terms of the
     // batch-norm backward formula.
     double sum_dy = 0.0;
@@ -119,7 +129,7 @@ Tensor BatchNorm2d::backward(const Tensor& grad_output) {
                      xh[s] * mean_dy_xh);
       }
     }
-  }
+  });
   return grad_input;
 }
 

@@ -1,7 +1,11 @@
 // 2-D convolution over (N, C, H, W) batches, lowered to GEMM via im2col.
+//
+// The batch loop fans out across ThreadPool::global(); every chunk owns its
+// im2col scratch (and, in backward, its own dW/db accumulators), so forward
+// in eval mode is reentrant and the layer is safe to call concurrently from
+// the selective predictor. The input cache needed by backward is only
+// captured when training.
 #pragma once
-
-#include <vector>
 
 #include "nn/module.hpp"
 #include "tensor/im2col.hpp"
@@ -37,8 +41,7 @@ class Conv2d final : public Module {
   Conv2dOptions opts_;
   Parameter weight_;  // (OC, IC*K*K)
   Parameter bias_;    // (OC)
-  Tensor input_;      // cached (N, C, H, W)
-  std::vector<float> col_;  // scratch im2col buffer (one image)
+  Tensor input_;      // cached (N, C, H, W), training forward only
 };
 
 }  // namespace wm::nn

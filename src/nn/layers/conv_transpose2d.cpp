@@ -1,9 +1,11 @@
 #include "nn/layers/conv_transpose2d.hpp"
 
 #include <sstream>
+#include <vector>
 
 #include "common/error.hpp"
 #include "common/rng.hpp"
+#include "common/threadpool.hpp"
 #include "nn/init.hpp"
 #include "tensor/gemm.hpp"
 
@@ -36,11 +38,11 @@ ConvGeometry ConvTranspose2d::geometry(std::int64_t out_h, std::int64_t out_w) c
   return g;
 }
 
-Tensor ConvTranspose2d::forward(const Tensor& input, bool /*training*/) {
+Tensor ConvTranspose2d::forward(const Tensor& input, bool training) {
   WM_CHECK_SHAPE(input.rank() == 4 && input.dim(1) == opts_.in_channels,
                  "ConvTranspose2d expects (N, ", opts_.in_channels,
                  ", H, W), got ", input.shape().to_string());
-  input_ = input;
+  if (training) input_ = input;
   const std::int64_t n = input.dim(0);
   const std::int64_t h = input.dim(2);
   const std::int64_t w = input.dim(3);
@@ -54,24 +56,32 @@ Tensor ConvTranspose2d::forward(const Tensor& input, bool /*training*/) {
   const std::int64_t spatial = h * w;  // col_cols of g
   const std::int64_t in_image = opts_.in_channels * spatial;
   const std::int64_t out_image = opts_.out_channels * oh * ow;
+  const std::size_t col_size =
+      static_cast<std::size_t>(g.col_rows() * g.col_cols());
   Tensor out(Shape{n, opts_.out_channels, oh, ow});
-  col_.resize(static_cast<std::size_t>(g.col_rows() * g.col_cols()));
 
-  for (std::int64_t i = 0; i < n; ++i) {
-    // col (OC*K*K x spatial) = W^T (OC*K*K x IC) * X_i (IC x spatial)
-    sgemm_at(g.col_rows(), spatial, opts_.in_channels, 1.0f,
-             weight_.value.data(), input.data() + i * in_image, 0.0f,
-             col_.data());
-    float* oimg = out.data() + i * out_image;
-    // out image starts zeroed by Tensor ctor? `out` allocated once; zero per image.
-    for (std::int64_t z = 0; z < out_image; ++z) oimg[z] = 0.0f;
-    col2im(g, col_.data(), oimg);
-    const float* b = bias_.value.data();
-    for (std::int64_t oc = 0; oc < opts_.out_channels; ++oc) {
-      float* chan = oimg + oc * oh * ow;
-      for (std::int64_t s = 0; s < oh * ow; ++s) chan[s] += b[oc];
-    }
-  }
+  ThreadPool::global().parallel_chunks(
+      0, static_cast<std::size_t>(n),
+      [&](std::size_t lo, std::size_t hi, std::size_t /*slot*/) {
+        std::vector<float> col(col_size);
+        for (std::size_t ii = lo; ii < hi; ++ii) {
+          const std::int64_t i = static_cast<std::int64_t>(ii);
+          // col (OC*K*K x spatial) = W^T (OC*K*K x IC) * X_i (IC x spatial)
+          sgemm_at(g.col_rows(), spatial, opts_.in_channels, 1.0f,
+                   weight_.value.data(), input.data() + i * in_image, 0.0f,
+                   col.data());
+          float* oimg = out.data() + i * out_image;
+          // `out` is zeroed at construction, but this layer may run twice on
+          // the same tensor storage only if reused; keep the explicit clear.
+          for (std::int64_t z = 0; z < out_image; ++z) oimg[z] = 0.0f;
+          col2im(g, col.data(), oimg);
+          const float* b = bias_.value.data();
+          for (std::int64_t oc = 0; oc < opts_.out_channels; ++oc) {
+            float* chan = oimg + oc * oh * ow;
+            for (std::int64_t s = 0; s < oh * ow; ++s) chan[s] += b[oc];
+          }
+        }
+      });
   return out;
 }
 
@@ -92,27 +102,56 @@ Tensor ConvTranspose2d::backward(const Tensor& grad_output) {
   const std::int64_t out_image = opts_.out_channels * oh * ow;
 
   Tensor grad_input(input_.shape());
-  col_.resize(static_cast<std::size_t>(g.col_rows() * g.col_cols()));
+  const std::size_t col_size =
+      static_cast<std::size_t>(g.col_rows() * g.col_cols());
 
-  for (std::int64_t i = 0; i < n; ++i) {
-    const float* dy = grad_output.data() + i * out_image;
-    // col = im2col(dY_i) over the output geometry.
-    im2col(g, dy, col_.data());
-    // dX_i (IC x spatial) = W (IC x OC*K*K) * col (OC*K*K x spatial)
-    sgemm(opts_.in_channels, spatial, g.col_rows(), 1.0f, weight_.value.data(),
-          col_.data(), 0.0f, grad_input.data() + i * in_image);
-    // dW (IC x OC*K*K) += X_i (IC x spatial) * col^T (spatial x OC*K*K)
-    sgemm_bt(opts_.in_channels, g.col_rows(), spatial, 1.0f,
-             input_.data() + i * in_image, col_.data(), 1.0f,
-             weight_.grad.data());
-    // db += per-output-channel sums of dY
-    float* db = bias_.grad.data();
-    for (std::int64_t oc = 0; oc < opts_.out_channels; ++oc) {
-      const float* chan = dy + oc * oh * ow;
-      float acc = 0.0f;
-      for (std::int64_t s = 0; s < oh * ow; ++s) acc += chan[s];
-      db[oc] += acc;
-    }
+  // Per-chunk dW/db accumulators, reduced in slot order; slot 0 writes the
+  // parameter gradients directly so a single chunk keeps the serial
+  // accumulation order bit-for-bit (see Conv2d::backward).
+  ThreadPool& pool = ThreadPool::global();
+  const std::size_t chunks = pool.chunk_count(static_cast<std::size_t>(n));
+  const std::size_t wsize = static_cast<std::size_t>(weight_.grad.numel());
+  const std::size_t bsize = static_cast<std::size_t>(bias_.grad.numel());
+  std::vector<float> dw_slots(chunks > 1 ? (chunks - 1) * wsize : 0, 0.0f);
+  std::vector<float> db_slots(chunks > 1 ? (chunks - 1) * bsize : 0, 0.0f);
+
+  pool.parallel_chunks(
+      0, static_cast<std::size_t>(n),
+      [&](std::size_t lo, std::size_t hi, std::size_t slot) {
+        float* dw = slot == 0 ? weight_.grad.data()
+                              : dw_slots.data() + (slot - 1) * wsize;
+        float* db = slot == 0 ? bias_.grad.data()
+                              : db_slots.data() + (slot - 1) * bsize;
+        std::vector<float> col(col_size);
+        for (std::size_t ii = lo; ii < hi; ++ii) {
+          const std::int64_t i = static_cast<std::int64_t>(ii);
+          const float* dy = grad_output.data() + i * out_image;
+          // col = im2col(dY_i) over the output geometry.
+          im2col(g, dy, col.data());
+          // dX_i (IC x spatial) = W (IC x OC*K*K) * col (OC*K*K x spatial)
+          sgemm(opts_.in_channels, spatial, g.col_rows(), 1.0f,
+                weight_.value.data(), col.data(), 0.0f,
+                grad_input.data() + i * in_image);
+          // dW (IC x OC*K*K) += X_i (IC x spatial) * col^T (spatial x OC*K*K)
+          sgemm_bt(opts_.in_channels, g.col_rows(), spatial, 1.0f,
+                   input_.data() + i * in_image, col.data(), 1.0f, dw);
+          // db += per-output-channel sums of dY
+          for (std::int64_t oc = 0; oc < opts_.out_channels; ++oc) {
+            const float* chan = dy + oc * oh * ow;
+            float acc = 0.0f;
+            for (std::int64_t s = 0; s < oh * ow; ++s) acc += chan[s];
+            db[oc] += acc;
+          }
+        }
+      });
+
+  for (std::size_t slot = 1; slot < chunks; ++slot) {
+    const float* dw = dw_slots.data() + (slot - 1) * wsize;
+    const float* db = db_slots.data() + (slot - 1) * bsize;
+    float* wgrad = weight_.grad.data();
+    float* bgrad = bias_.grad.data();
+    for (std::size_t i = 0; i < wsize; ++i) wgrad[i] += dw[i];
+    for (std::size_t i = 0; i < bsize; ++i) bgrad[i] += db[i];
   }
   return grad_input;
 }

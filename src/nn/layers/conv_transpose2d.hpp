@@ -41,8 +41,7 @@ class ConvTranspose2d final : public Module {
   ConvTranspose2dOptions opts_;
   Parameter weight_;  // (IC, OC*K*K)
   Parameter bias_;    // (OC)
-  Tensor input_;
-  std::vector<float> col_;
+  Tensor input_;      // cached, training forward only
 };
 
 }  // namespace wm::nn

@@ -10,7 +10,10 @@ Dropout::Dropout(double p, Rng& rng) : p_(p), rng_(rng.fork()) {
 }
 
 Tensor Dropout::forward(const Tensor& input, bool training) {
-  if (!training || p_ == 0.0) {
+  // Eval-mode forward must not touch members — concurrent inference calls
+  // share this layer. Backward is only valid after a training forward.
+  if (!training) return input;
+  if (p_ == 0.0) {
     used_mask_ = false;
     return input;
   }

@@ -4,10 +4,10 @@
 
 namespace wm::nn {
 
-Tensor Flatten::forward(const Tensor& input, bool /*training*/) {
+Tensor Flatten::forward(const Tensor& input, bool training) {
   WM_CHECK_SHAPE(input.rank() >= 2, "Flatten needs rank >= 2, got ",
                  input.shape().to_string());
-  input_shape_ = input.shape();
+  if (training) input_shape_ = input.shape();
   const std::int64_t n = input.dim(0);
   const std::int64_t rest = n > 0 ? input.numel() / n : 0;
   return input.reshape(Shape{n, rest});

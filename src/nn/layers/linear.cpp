@@ -17,21 +17,17 @@ Linear::Linear(std::int64_t in_features, std::int64_t out_features, Rng& rng)
   he_normal(weight_.value, in_features, rng);
 }
 
-Tensor Linear::forward(const Tensor& input, bool /*training*/) {
+Tensor Linear::forward(const Tensor& input, bool training) {
   WM_CHECK_SHAPE(input.rank() == 2 && input.dim(1) == in_features_,
                  "Linear expects (N, ", in_features_, "), got ",
                  input.shape().to_string());
-  input_ = input;
+  if (training) input_ = input;
   const std::int64_t n = input.dim(0);
   Tensor out(Shape{n, out_features_});
-  // Y = X (N x in) * W^T (in x out)
-  sgemm_bt(n, out_features_, in_features_, 1.0f, input.data(),
-           weight_.value.data(), 0.0f, out.data());
-  const float* b = bias_.value.data();
-  for (std::int64_t i = 0; i < n; ++i) {
-    float* row = out.data() + i * out_features_;
-    for (std::int64_t j = 0; j < out_features_; ++j) row[j] += b[j];
-  }
+  // Y = X (N x in) * W^T (in x out), bias folded into the GEMM epilogue.
+  sgemm_bt_bias_cols(n, out_features_, in_features_, 1.0f, input.data(),
+                     weight_.value.data(), 0.0f, out.data(),
+                     bias_.value.data());
   return out;
 }
 

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "common/error.hpp"
+#include "common/threadpool.hpp"
 
 namespace wm::nn {
 
@@ -11,7 +12,7 @@ MaxPool2d::MaxPool2d(std::int64_t window) : window_(window) {
   WM_CHECK(window > 0, "pool window must be positive");
 }
 
-Tensor MaxPool2d::forward(const Tensor& input, bool /*training*/) {
+Tensor MaxPool2d::forward(const Tensor& input, bool training) {
   WM_CHECK_SHAPE(input.rank() == 4, "MaxPool2d expects (N,C,H,W), got ",
                  input.shape().to_string());
   const std::int64_t n = input.dim(0);
@@ -21,53 +22,71 @@ Tensor MaxPool2d::forward(const Tensor& input, bool /*training*/) {
   WM_CHECK_SHAPE(h % window_ == 0 && w % window_ == 0,
                  "MaxPool2d needs H, W divisible by ", window_, ", got ",
                  input.shape().to_string());
-  input_shape_ = input.shape();
   const std::int64_t oh = h / window_;
   const std::int64_t ow = w / window_;
 
   Tensor out(Shape{n, c, oh, ow});
-  argmax_.assign(static_cast<std::size_t>(out.numel()), 0);
+  // The argmax map is only needed by backward; eval-mode forward skips it so
+  // concurrent inference calls share the layer without mutating it.
+  if (training) {
+    input_shape_ = input.shape();
+    argmax_.assign(static_cast<std::size_t>(out.numel()), 0);
+  }
 
   const float* in = input.data();
   float* po = out.data();
-  std::int64_t out_idx = 0;
-  for (std::int64_t i = 0; i < n; ++i) {
-    for (std::int64_t ch = 0; ch < c; ++ch) {
-      const std::int64_t plane = (i * c + ch) * h * w;
-      for (std::int64_t y = 0; y < oh; ++y) {
-        for (std::int64_t x = 0; x < ow; ++x, ++out_idx) {
-          float best = -std::numeric_limits<float>::infinity();
-          std::int64_t best_idx = -1;
-          for (std::int64_t dy = 0; dy < window_; ++dy) {
-            const std::int64_t iy = y * window_ + dy;
-            for (std::int64_t dx = 0; dx < window_; ++dx) {
-              const std::int64_t ix = x * window_ + dx;
-              const std::int64_t idx = plane + iy * w + ix;
-              if (in[idx] > best) {
-                best = in[idx];
-                best_idx = idx;
+  const std::int64_t out_plane = oh * ow;
+  // Planes (one image x channel each) are independent; fan out across the
+  // pool. Output and argmax writes are disjoint per plane.
+  ThreadPool::global().parallel_for(
+      0, static_cast<std::size_t>(n * c), [&](std::size_t p) {
+        const std::int64_t plane = static_cast<std::int64_t>(p) * h * w;
+        std::int64_t out_idx = static_cast<std::int64_t>(p) * out_plane;
+        for (std::int64_t y = 0; y < oh; ++y) {
+          for (std::int64_t x = 0; x < ow; ++x, ++out_idx) {
+            float best = -std::numeric_limits<float>::infinity();
+            std::int64_t best_idx = -1;
+            for (std::int64_t dy = 0; dy < window_; ++dy) {
+              const std::int64_t iy = y * window_ + dy;
+              for (std::int64_t dx = 0; dx < window_; ++dx) {
+                const std::int64_t ix = x * window_ + dx;
+                const std::int64_t idx = plane + iy * w + ix;
+                if (in[idx] > best) {
+                  best = in[idx];
+                  best_idx = idx;
+                }
               }
             }
+            po[out_idx] = best;
+            if (training) {
+              argmax_[static_cast<std::size_t>(out_idx)] = best_idx;
+            }
           }
-          po[out_idx] = best;
-          argmax_[static_cast<std::size_t>(out_idx)] = best_idx;
         }
-      }
-    }
-  }
+      });
   return out;
 }
 
 Tensor MaxPool2d::backward(const Tensor& grad_output) {
   WM_CHECK_SHAPE(grad_output.numel() ==
                      static_cast<std::int64_t>(argmax_.size()),
-                 "MaxPool2d backward called before forward or shape mismatch");
+                 "MaxPool2d backward called before training forward or shape "
+                 "mismatch");
   Tensor grad_input(input_shape_);
   float* gi = grad_input.data();
   const float* go = grad_output.data();
-  for (std::size_t o = 0; o < argmax_.size(); ++o) {
-    gi[argmax_[o]] += go[static_cast<std::int64_t>(o)];
-  }
+  // Every output element's argmax lies inside its own input plane, so
+  // splitting on planes keeps the scatter writes disjoint.
+  const std::int64_t planes = input_shape_.dim(0) * input_shape_.dim(1);
+  const std::size_t per_plane = argmax_.size() / static_cast<std::size_t>(planes);
+  ThreadPool::global().parallel_for(
+      0, static_cast<std::size_t>(planes), [&](std::size_t p) {
+        const std::size_t lo = p * per_plane;
+        const std::size_t hi = lo + per_plane;
+        for (std::size_t o = lo; o < hi; ++o) {
+          gi[argmax_[o]] += go[static_cast<std::int64_t>(o)];
+        }
+      });
   return grad_input;
 }
 

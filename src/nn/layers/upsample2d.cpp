@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "common/error.hpp"
+#include "common/threadpool.hpp"
 
 namespace wm::nn {
 
@@ -10,10 +11,10 @@ Upsample2d::Upsample2d(std::int64_t factor) : factor_(factor) {
   WM_CHECK(factor > 0, "upsample factor must be positive");
 }
 
-Tensor Upsample2d::forward(const Tensor& input, bool /*training*/) {
+Tensor Upsample2d::forward(const Tensor& input, bool training) {
   WM_CHECK_SHAPE(input.rank() == 4, "Upsample2d expects (N,C,H,W), got ",
                  input.shape().to_string());
-  input_shape_ = input.shape();
+  if (training) input_shape_ = input.shape();
   const std::int64_t n = input.dim(0);
   const std::int64_t c = input.dim(1);
   const std::int64_t h = input.dim(2);
@@ -23,15 +24,17 @@ Tensor Upsample2d::forward(const Tensor& input, bool /*training*/) {
   Tensor out(Shape{n, c, oh, ow});
   const float* in = input.data();
   float* po = out.data();
-  for (std::int64_t plane = 0; plane < n * c; ++plane) {
-    const float* ip = in + plane * h * w;
-    float* op = po + plane * oh * ow;
-    for (std::int64_t y = 0; y < oh; ++y) {
-      const float* irow = ip + (y / factor_) * w;
-      float* orow = op + y * ow;
-      for (std::int64_t x = 0; x < ow; ++x) orow[x] = irow[x / factor_];
-    }
-  }
+  ThreadPool::global().parallel_for(
+      0, static_cast<std::size_t>(n * c), [&](std::size_t p) {
+        const std::int64_t plane = static_cast<std::int64_t>(p);
+        const float* ip = in + plane * h * w;
+        float* op = po + plane * oh * ow;
+        for (std::int64_t y = 0; y < oh; ++y) {
+          const float* irow = ip + (y / factor_) * w;
+          float* orow = op + y * ow;
+          for (std::int64_t x = 0; x < ow; ++x) orow[x] = irow[x / factor_];
+        }
+      });
   return out;
 }
 
@@ -51,15 +54,19 @@ Tensor Upsample2d::backward(const Tensor& grad_output) {
   float* gi = grad_input.data();
   const std::int64_t oh = h * factor_;
   const std::int64_t ow = w * factor_;
-  for (std::int64_t plane = 0; plane < n * c; ++plane) {
-    const float* gp = go + plane * oh * ow;
-    float* ip = gi + plane * h * w;
-    for (std::int64_t y = 0; y < oh; ++y) {
-      const float* grow = gp + y * ow;
-      float* irow = ip + (y / factor_) * w;
-      for (std::int64_t x = 0; x < ow; ++x) irow[x / factor_] += grow[x];
-    }
-  }
+  // Each plane scatters only into its own input plane, so the plane split
+  // keeps the += writes disjoint.
+  ThreadPool::global().parallel_for(
+      0, static_cast<std::size_t>(n * c), [&](std::size_t p) {
+        const std::int64_t plane = static_cast<std::int64_t>(p);
+        const float* gp = go + plane * oh * ow;
+        float* ip = gi + plane * h * w;
+        for (std::int64_t y = 0; y < oh; ++y) {
+          const float* grow = gp + y * ow;
+          float* irow = ip + (y / factor_) * w;
+          for (std::int64_t x = 0; x < ow; ++x) irow[x / factor_] += grow[x];
+        }
+      });
   return grad_input;
 }
 

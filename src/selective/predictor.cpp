@@ -1,8 +1,10 @@
 #include "selective/predictor.hpp"
 
+#include <algorithm>
 #include <numeric>
 
 #include "common/error.hpp"
+#include "common/threadpool.hpp"
 #include "tensor/tensor_ops.hpp"
 
 namespace wm::selective {
@@ -39,18 +41,23 @@ std::vector<SelectivePrediction> SelectivePredictor::predict(
 
 std::vector<SelectivePrediction> SelectivePredictor::predict(
     const Dataset& data) const {
-  std::vector<SelectivePrediction> all;
-  all.reserve(data.size());
-  std::vector<std::size_t> indices;
-  for (std::size_t start = 0; start < data.size();
-       start += static_cast<std::size_t>(eval_batch_)) {
-    const std::size_t end =
-        std::min(data.size(), start + static_cast<std::size_t>(eval_batch_));
-    indices.resize(end - start);
+  // Eval batches are independent (eval-mode forwards mutate no layer state
+  // and per-sample outputs don't depend on batch grouping), so fan the
+  // batches out across the pool; each one writes a disjoint slice of `all`.
+  // Batch composition is identical to the serial loop, so the results are
+  // bit-identical for any thread count.
+  std::vector<SelectivePrediction> all(data.size());
+  const std::size_t bs = static_cast<std::size_t>(eval_batch_);
+  const std::size_t n_batches = data.size() == 0 ? 0 : (data.size() + bs - 1) / bs;
+  ThreadPool::global().parallel_for(0, n_batches, [&](std::size_t b) {
+    const std::size_t start = b * bs;
+    const std::size_t end = std::min(data.size(), start + bs);
+    std::vector<std::size_t> indices(end - start);
     std::iota(indices.begin(), indices.end(), start);
     const auto chunk = predict(data.make_batch(indices));
-    all.insert(all.end(), chunk.begin(), chunk.end());
-  }
+    std::copy(chunk.begin(), chunk.end(), all.begin() +
+              static_cast<std::ptrdiff_t>(start));
+  });
   return all;
 }
 

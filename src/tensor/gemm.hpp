@@ -1,9 +1,17 @@
 // Single-precision GEMM kernels for the NN and SVM substrates.
 //
-// All matrices are dense row-major. The kernel is a cache-blocked i-k-j loop
-// (unit-stride innermost) that GCC auto-vectorises with FMA under -O3
-// -march=native; it reaches several GFLOP/s on one core, which is what the
-// training benchmarks are budgeted against.
+// All matrices are dense row-major. The implementation is a packed,
+// register-tiled kernel in the BLIS style: operand panels are packed into
+// contiguous micro-panels, and an MR x NR accumulator tile is kept in vector
+// registers across the K loop (GCC vector extensions, so the same source
+// compiles to AVX-512 / AVX2 / SSE / plain scalar code depending on the
+// target flags — see WM_NATIVE_ARCH in the top-level CMakeLists).
+//
+// Large products are split across ThreadPool::global() by row- or
+// column-panels. The split never changes the per-element accumulation order
+// over K, so results are bit-identical for every thread count (WM_THREADS=1
+// included). Nested calls (e.g. GEMM inside an already-parallel conv batch
+// loop) run serially on the calling worker.
 #pragma once
 
 #include <cstdint>
@@ -24,6 +32,28 @@ void sgemm_at(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
 /// C = alpha * A(MxK) * B^T (B is NxK row-major) + beta * C(MxN).
 void sgemm_bt(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
               const float* a, const float* b, float beta, float* c);
+
+/// sgemm with a fused epilogue adding bias[i] to every element of row i
+/// (conv forward: rows are output channels, bias is per-channel).
+void sgemm_bias_rows(std::int64_t m, std::int64_t n, std::int64_t k,
+                     float alpha, const float* a, const float* b, float beta,
+                     float* c, const float* bias);
+
+/// sgemm_bt with a fused epilogue adding bias[j] to every element of column j
+/// (linear forward: columns are output features).
+void sgemm_bt_bias_cols(std::int64_t m, std::int64_t n, std::int64_t k,
+                        float alpha, const float* a, const float* b, float beta,
+                        float* c, const float* bias);
+
+namespace detail {
+
+/// The pre-microkernel cache-blocked i-k-j kernel this repo shipped with.
+/// Kept (unthreaded, scalar) as the baseline for old-vs-new benchmark
+/// comparisons in bench_micro_tensor; not used by any layer.
+void sgemm_seed(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
+                const float* a, const float* b, float beta, float* c);
+
+}  // namespace detail
 
 /// Tensor convenience wrappers; shapes are validated.
 /// Returns A(MxK) x B(KxN).

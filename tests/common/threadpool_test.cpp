@@ -3,18 +3,22 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdlib>
 #include <numeric>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 namespace wm {
 namespace {
 
-TEST(ThreadPoolTest, ParallelForCoversAllIndicesSerial) {
-  ThreadPool pool(0);  // may be 0 workers on single-core host
-  std::vector<std::atomic<int>> hits(100);
+TEST(ThreadPoolTest, ZeroWorkersRunsInline) {
+  ThreadPool pool(0);  // explicitly serial: every index runs on the caller
+  EXPECT_EQ(pool.worker_count(), 0u);
+  EXPECT_EQ(pool.max_chunks(), 1u);
+  std::vector<int> hits(100, 0);  // plain ints: inline execution, no races
   pool.parallel_for(0, 100, [&](std::size_t i) { hits[i]++; });
-  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+  for (int h : hits) EXPECT_EQ(h, 1);
 }
 
 TEST(ThreadPoolTest, ParallelForCoversAllIndicesWithWorkers) {
@@ -59,10 +63,78 @@ TEST(ThreadPoolTest, ReusableAcrossCalls) {
   }
 }
 
+// Regression test: a parallel_for issued from inside a worker used to
+// deadlock (all workers blocked waiting on the inner loop's completion).
+// Nested calls must run inline on the worker instead.
+TEST(ThreadPoolTest, NestedParallelForRunsInline) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(64 * 16);
+  pool.parallel_for(0, 64, [&](std::size_t outer) {
+    pool.parallel_for(0, 16, [&](std::size_t inner) {
+      hits[outer * 16 + inner]++;
+    });
+  });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelChunksPartitionsRange) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.max_chunks(), 4u);
+  EXPECT_EQ(pool.chunk_count(2), 2u);   // never more chunks than items
+  EXPECT_EQ(pool.chunk_count(100), 4u);
+  std::vector<std::atomic<int>> hits(100);
+  std::vector<std::atomic<int>> slot_used(pool.max_chunks());
+  pool.parallel_chunks(0, 100,
+                       [&](std::size_t lo, std::size_t hi, std::size_t slot) {
+                         ASSERT_LT(slot, pool.max_chunks());
+                         slot_used[slot]++;
+                         for (std::size_t i = lo; i < hi; ++i) hits[i]++;
+                       });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+  for (auto& s : slot_used) EXPECT_LE(s.load(), 1);  // slots never shared
+}
+
+TEST(ThreadPoolTest, ParallelChunksSerialIsSingleChunk) {
+  ThreadPool pool(0);
+  int calls = 0;
+  pool.parallel_chunks(3, 40,
+                       [&](std::size_t lo, std::size_t hi, std::size_t slot) {
+                         ++calls;
+                         EXPECT_EQ(lo, 3u);
+                         EXPECT_EQ(hi, 40u);
+                         EXPECT_EQ(slot, 0u);
+                       });
+  EXPECT_EQ(calls, 1);
+}
+
 TEST(ThreadPoolTest, GlobalPoolSingleton) {
   ThreadPool& a = ThreadPool::global();
   ThreadPool& b = ThreadPool::global();
   EXPECT_EQ(&a, &b);
+}
+
+TEST(ThreadPoolTest, ConfigureGlobalSetsWorkerCount) {
+  ThreadPool::configure_global(1);  // WM_THREADS=1 equivalent: serial
+  EXPECT_EQ(ThreadPool::global().worker_count(), 0u);
+  ThreadPool::configure_global(3);  // caller + 2 workers
+  EXPECT_EQ(ThreadPool::global().worker_count(), 2u);
+  ThreadPool::configure_global(0);  // back to the WM_THREADS/auto default
+  EXPECT_EQ(ThreadPool::global().worker_count(),
+            ThreadPool::default_worker_count());
+}
+
+TEST(ThreadPoolTest, DefaultWorkerCountHonoursEnv) {
+  const char* saved = std::getenv("WM_THREADS");
+  const std::string saved_value = saved ? saved : "";
+  setenv("WM_THREADS", "1", 1);
+  EXPECT_EQ(ThreadPool::default_worker_count(), 0u);
+  setenv("WM_THREADS", "4", 1);
+  EXPECT_EQ(ThreadPool::default_worker_count(), 3u);
+  if (saved) {
+    setenv("WM_THREADS", saved_value.c_str(), 1);
+  } else {
+    unsetenv("WM_THREADS");
+  }
 }
 
 }  // namespace

@@ -2,8 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "common/error.hpp"
 #include "common/rng.hpp"
+#include "common/threadpool.hpp"
 #include "gradcheck.hpp"
 
 namespace wm::nn {
@@ -110,6 +113,41 @@ TEST(Conv2dTest, TranslationEquivariance) {
     for (std::int64_t c = 1; c < 6; ++c) {
       EXPECT_NEAR(y.at(0, 0, r, c), ys.at(0, 0, r, c + 1), 1e-6f);
     }
+  }
+}
+
+// The batch fan-out must not change results: forward partitions output
+// images whole (bit-exact), backward reduces per-chunk dW/db slots (float
+// tolerance vs the serial order).
+TEST(Conv2dTest, ParallelMatchesSerial) {
+  auto run = [](std::size_t total_threads, Tensor* dx, Tensor* dw,
+                Tensor* db) {
+    ThreadPool::configure_global(total_threads);
+    Rng rng(9);
+    Conv2d conv({.in_channels = 3, .out_channels = 8, .kernel = 3,
+                 .stride = 1, .pad = 1},
+                rng);
+    const Tensor x = Tensor::normal(Shape{9, 3, 10, 10}, rng);
+    const Tensor y = conv.forward(x, true);
+    Rng grng(10);
+    const Tensor dy = Tensor::normal(y.shape(), grng);
+    conv.zero_grad();
+    *dx = conv.backward(dy);
+    *dw = conv.parameters()[0]->grad;
+    *db = conv.parameters()[1]->grad;
+    ThreadPool::configure_global(0);
+    return y;
+  };
+  Tensor dx1, dw1, db1, dx4, dw4, db4;
+  const Tensor y1 = run(1, &dx1, &dw1, &db1);
+  const Tensor y4 = run(4, &dx4, &dw4, &db4);
+  for (std::int64_t i = 0; i < y1.numel(); ++i) ASSERT_EQ(y1[i], y4[i]);
+  for (std::int64_t i = 0; i < dx1.numel(); ++i) ASSERT_EQ(dx1[i], dx4[i]);
+  for (std::int64_t i = 0; i < dw1.numel(); ++i) {
+    ASSERT_NEAR(dw1[i], dw4[i], 1e-4f * (1.0f + std::abs(dw1[i])));
+  }
+  for (std::int64_t i = 0; i < db1.numel(); ++i) {
+    ASSERT_NEAR(db1[i], db4[i], 1e-4f * (1.0f + std::abs(db1[i])));
   }
 }
 

@@ -2,10 +2,14 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+#include <tuple>
+#include <utility>
 #include <vector>
 
 #include "common/error.hpp"
 #include "common/rng.hpp"
+#include "common/threadpool.hpp"
 #include "tensor/tensor.hpp"
 #include "tensor/tensor_ops.hpp"
 
@@ -111,6 +115,152 @@ TEST(GemmTest, AccumulateWithBetaOne) {
   std::vector<float> c = {1};
   sgemm(1, 1, 2, 1.0f, a.data(), b.data(), 1.0f, c.data());
   EXPECT_FLOAT_EQ(c[0], 8.0f);
+}
+
+/// Naive C = alpha * op(A) * op(B) + beta * C reference with double
+/// accumulation; row-major strides express the transposed variants.
+void reference_sgemm(std::int64_t m, std::int64_t n, std::int64_t k,
+                     float alpha, const float* a, std::int64_t a_row_stride,
+                     std::int64_t a_k_stride, const float* b,
+                     std::int64_t b_k_stride, std::int64_t b_col_stride,
+                     float beta, float* c) {
+  for (std::int64_t i = 0; i < m; ++i) {
+    for (std::int64_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (std::int64_t p = 0; p < k; ++p) {
+        acc += static_cast<double>(a[i * a_row_stride + p * a_k_stride]) *
+               b[p * b_k_stride + j * b_col_stride];
+      }
+      c[i * n + j] =
+          static_cast<float>(alpha * acc + static_cast<double>(beta) *
+                                               c[i * n + j]);
+    }
+  }
+}
+
+// Randomized equivalence sweep: odd/prime sizes straddling the register tile
+// and cache-block boundaries, with alpha/beta edge cases, for all three
+// packing variants of the tiled kernel.
+TEST(GemmTest, RandomizedVariantsMatchNaive) {
+  Rng rng(7);
+  const std::vector<std::tuple<int, int, int>> sizes = {
+      {1, 1, 1}, {2, 3, 1},  {5, 9, 13},   {8, 32, 16},
+      {9, 33, 17}, {31, 7, 65}, {47, 61, 193}, {129, 50, 37}};
+  const std::vector<std::pair<float, float>> coeffs = {
+      {1.0f, 0.0f}, {1.0f, 1.0f}, {2.0f, 0.5f}, {0.0f, 0.75f}};
+  for (const auto& [m, k, n] : sizes) {
+    const Tensor a = Tensor::normal(Shape{m, k}, rng);
+    const Tensor at = Tensor::normal(Shape{k, m}, rng);
+    const Tensor b = Tensor::normal(Shape{k, n}, rng);
+    const Tensor bt = Tensor::normal(Shape{n, k}, rng);
+    const Tensor c0 = Tensor::normal(Shape{m, n}, rng);
+    for (const auto& [alpha, beta] : coeffs) {
+      const std::string what = std::to_string(m) + "x" + std::to_string(k) +
+                               "x" + std::to_string(n) + " alpha=" +
+                               std::to_string(alpha) + " beta=" +
+                               std::to_string(beta);
+      Tensor got = c0;
+      Tensor want = c0;
+      sgemm(m, n, k, alpha, a.data(), b.data(), beta, got.data());
+      reference_sgemm(m, n, k, alpha, a.data(), k, 1, b.data(), n, 1, beta,
+                      want.data());
+      EXPECT_LT(max_abs_diff(got, want), 2e-3f) << "sgemm " << what;
+
+      got = c0;
+      want = c0;
+      sgemm_at(m, n, k, alpha, at.data(), b.data(), beta, got.data());
+      reference_sgemm(m, n, k, alpha, at.data(), 1, m, b.data(), n, 1, beta,
+                      want.data());
+      EXPECT_LT(max_abs_diff(got, want), 2e-3f) << "sgemm_at " << what;
+
+      got = c0;
+      want = c0;
+      sgemm_bt(m, n, k, alpha, a.data(), bt.data(), beta, got.data());
+      reference_sgemm(m, n, k, alpha, a.data(), k, 1, bt.data(), 1, k, beta,
+                      want.data());
+      EXPECT_LT(max_abs_diff(got, want), 2e-3f) << "sgemm_bt " << what;
+    }
+  }
+}
+
+TEST(GemmTest, BiasRowsEpilogue) {
+  Rng rng(8);
+  const std::int64_t m = 13, n = 37, k = 21;
+  const Tensor a = Tensor::normal(Shape{m, k}, rng);
+  const Tensor b = Tensor::normal(Shape{k, n}, rng);
+  const Tensor bias = Tensor::normal(Shape{m}, rng);
+  Tensor got(Shape{m, n});
+  sgemm_bias_rows(m, n, k, 1.0f, a.data(), b.data(), 0.0f, got.data(),
+                  bias.data());
+  Tensor want(Shape{m, n});
+  reference_sgemm(m, n, k, 1.0f, a.data(), k, 1, b.data(), n, 1, 0.0f,
+                  want.data());
+  for (std::int64_t i = 0; i < m; ++i) {
+    for (std::int64_t j = 0; j < n; ++j) want.at(i, j) += bias[i];
+  }
+  EXPECT_LT(max_abs_diff(got, want), 2e-3f);
+}
+
+TEST(GemmTest, BiasColsEpilogue) {
+  Rng rng(9);
+  const std::int64_t m = 19, n = 23, k = 40;
+  const Tensor a = Tensor::normal(Shape{m, k}, rng);
+  const Tensor bt = Tensor::normal(Shape{n, k}, rng);
+  const Tensor bias = Tensor::normal(Shape{n}, rng);
+  Tensor got(Shape{m, n});
+  sgemm_bt_bias_cols(m, n, k, 1.0f, a.data(), bt.data(), 0.0f, got.data(),
+                     bias.data());
+  Tensor want(Shape{m, n});
+  reference_sgemm(m, n, k, 1.0f, a.data(), k, 1, bt.data(), 1, k, 0.0f,
+                  want.data());
+  for (std::int64_t i = 0; i < m; ++i) {
+    for (std::int64_t j = 0; j < n; ++j) want.at(i, j) += bias[j];
+  }
+  EXPECT_LT(max_abs_diff(got, want), 2e-3f);
+}
+
+// Bias must be applied even when the product contributes nothing.
+TEST(GemmTest, BiasAppliedWhenAlphaZero) {
+  const std::vector<float> a = {5.0f, 5.0f};
+  const std::vector<float> b = {5.0f, 5.0f};
+  const std::vector<float> bias = {2.0f};
+  std::vector<float> c = {1.0f, 1.0f};
+  sgemm_bias_rows(1, 2, 1, 0.0f, a.data(), b.data(), 1.0f, c.data(),
+                  bias.data());
+  EXPECT_FLOAT_EQ(c[0], 3.0f);
+  EXPECT_FLOAT_EQ(c[1], 3.0f);
+}
+
+// The panel split only partitions output elements, so threaded results must
+// be bit-identical to the serial path, not merely close.
+TEST(GemmTest, ThreadedMatchesSerialBitExact) {
+  Rng rng(10);
+  const std::int64_t m = 301, n = 253, k = 407;  // large enough to split
+  const Tensor a = Tensor::normal(Shape{m, k}, rng);
+  const Tensor b = Tensor::normal(Shape{k, n}, rng);
+  Tensor serial(Shape{m, n});
+  Tensor threaded(Shape{m, n});
+  ThreadPool::configure_global(1);
+  sgemm(m, n, k, 1.0f, a.data(), b.data(), 0.0f, serial.data());
+  ThreadPool::configure_global(4);
+  sgemm(m, n, k, 1.0f, a.data(), b.data(), 0.0f, threaded.data());
+  ThreadPool::configure_global(0);
+  for (std::int64_t i = 0; i < serial.numel(); ++i) {
+    ASSERT_EQ(serial[i], threaded[i]) << "element " << i;
+  }
+}
+
+// The packed kernel must agree with the retired seed kernel it replaced.
+TEST(GemmTest, MatchesSeedKernel) {
+  Rng rng(11);
+  const std::int64_t m = 65, n = 129, k = 77;
+  const Tensor a = Tensor::normal(Shape{m, k}, rng);
+  const Tensor b = Tensor::normal(Shape{k, n}, rng);
+  Tensor got(Shape{m, n});
+  Tensor want(Shape{m, n});
+  sgemm(m, n, k, 1.0f, a.data(), b.data(), 0.0f, got.data());
+  detail::sgemm_seed(m, n, k, 1.0f, a.data(), b.data(), 0.0f, want.data());
+  EXPECT_LT(max_abs_diff(got, want), 2e-3f);
 }
 
 }  // namespace

@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Runs the tensor micro benchmarks and writes the JSON report that is checked
+# in at the repo root (BENCH_tensor.json), so kernel-level perf changes show
+# up in review diffs.
+#
+# Usage: tools/run_benchmarks.sh [build-dir] [output-json]
+set -euo pipefail
+
+build_dir="${1:-build}"
+out="${2:-BENCH_tensor.json}"
+bench="${build_dir}/bench/bench_micro_tensor"
+
+if [[ ! -x "${bench}" ]]; then
+  echo "error: ${bench} not found; build first:" >&2
+  echo "  cmake -B ${build_dir} -S . && cmake --build ${build_dir} -j" >&2
+  exit 1
+fi
+
+# The pinned Google Benchmark takes a bare number (seconds) here, not "0.2s".
+"${bench}" --benchmark_format=json --benchmark_min_time=0.2 >"${out}"
+echo "wrote ${out}"
