@@ -24,7 +24,7 @@ void report(const char* tag, selective::SelectivePredictor& predictor,
   for (std::size_t i = 0; i < data.size(); ++i) {
     labels.push_back(static_cast<int>(data[i].label));
   }
-  const auto preds = predictor.predict(data);
+  const auto preds = predict_dataset(predictor, data);
   std::printf("  %-22s coverage %5.1f%%   selective accuracy %5.1f%%\n", tag,
               100 * selective::coverage_of(preds),
               100 * selective::selective_accuracy(preds, labels));

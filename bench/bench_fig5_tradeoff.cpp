@@ -38,7 +38,7 @@ int main() {
     const float tau =
         c0 >= 1.0 ? 0.0f : eval::calibrated_threshold(config, *net, c0);
     selective::SelectivePredictor predictor(*net, tau);
-    const auto preds = predictor.predict(data.test);
+    const auto preds = predict_dataset(predictor, data.test);
     const double acc = selective::selective_accuracy(preds, labels);
     const double cov = selective::coverage_of(preds);
     csv.write_row_numeric({c0, acc, cov});

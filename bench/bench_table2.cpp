@@ -51,7 +51,7 @@ int main() {
     // set to the coverage budget c0 (Section IV-D deployment workflow).
     const float tau = eval::calibrated_threshold(config, *net, c0);
     selective::SelectivePredictor predictor(*net, tau);
-    const auto preds = predictor.predict(data.test);
+    const auto preds = predict_dataset(predictor, data.test);
     const auto report = eval::selective_report(preds, labels, kNumDefectTypes);
     std::printf("%s", eval::render_selective_block(report, names, c0).c_str());
     std::printf("(trained in %.1f s)\n\n", watch.seconds());

@@ -34,7 +34,7 @@ int main() {
   Stopwatch cnn_watch;
   auto net = eval::train_selective_model(config, data.train_aug, 1.0, rng);
   selective::SelectivePredictor predictor(*net, /*threshold=*/0.0f);
-  const auto preds = predictor.predict(data.test);
+  const auto preds = predict_dataset(predictor, data.test);
   std::vector<int> cnn_labels;
   for (const auto& p : preds) cnn_labels.push_back(p.label);
   const auto cnn_cm =

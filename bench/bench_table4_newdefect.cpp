@@ -43,7 +43,7 @@ int main() {
 
   // Original recall: ignore the reject option entirely.
   selective::SelectivePredictor full(*net, 0.0f);
-  const auto full_preds = full.predict(data.test);
+  const auto full_preds = predict_dataset(full, data.test);
   std::vector<int> full_labels;
   for (const auto& p : full_preds) full_labels.push_back(p.label);
   const auto full_cm =
@@ -64,7 +64,7 @@ int main() {
     return selective::calibrate_threshold(*net, calibration, 0.5);
   }();
   selective::SelectivePredictor sel(*net, tau);
-  const auto sel_preds = sel.predict(data.test);
+  const auto sel_preds = predict_dataset(sel, data.test);
   const auto report = eval::selective_report(sel_preds, labels, kNumDefectTypes);
 
   std::vector<double> orig_recall(kNumDefectTypes);

@@ -40,7 +40,7 @@ int main() {
 
   // 3. Classify the test set with the reject option.
   selective::SelectivePredictor predictor(net, /*threshold=*/0.5f);
-  const auto preds = predictor.predict(test);
+  const auto preds = predict_dataset(predictor, test);
   std::vector<int> labels;
   for (std::size_t i = 0; i < test.size(); ++i) {
     labels.push_back(static_cast<int>(test[i].label));

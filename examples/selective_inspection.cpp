@@ -49,7 +49,7 @@ int main() {
     const float tau =
         selective::calibrate_threshold(net, calibration, target_cov);
     selective::SelectivePredictor predictor(net, tau);
-    const auto preds = predictor.predict(test);
+    const auto preds = predict_dataset(predictor, test);
     const double cov = selective::coverage_of(preds);
     const double acc = selective::selective_accuracy(preds, labels);
     std::printf("%5.0f%%     %-11.3f %6.1f%%        %6.1f%%        %.1f%%\n",

@@ -1,0 +1,81 @@
+// Online inspection service: many fab stations stream single wafers into one
+// micro-batching inference engine (serve::InferenceEngine) wrapping the
+// selective CNN. Confident wafers are auto-labelled; low-g wafers are routed
+// to the engineer queue (the paper's Eq. 2 deployment story), and the engine
+// dynamically batches concurrent requests for throughput.
+//
+// Build & run:  ./build/examples/serve_demo
+// Runtime: well under a minute (reduced dataset and network).
+#include <atomic>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "selective/predictor.hpp"
+#include "selective/trainer.hpp"
+#include "serve/inference_engine.hpp"
+#include "wafermap/synth/generator.hpp"
+
+using namespace wm;
+
+int main() {
+  Rng rng(7);
+
+  // 1. Train a small selective classifier (as in examples/quickstart).
+  synth::DatasetSpec spec;
+  spec.map_size = 16;
+  spec.class_counts.fill(40);
+  Dataset data = synth::generate_dataset(spec, rng);
+  data.shuffle(rng);
+  const auto [train, stream_set] = data.stratified_split(0.8, rng);
+  selective::SelectiveNet net({.map_size = 16, .num_classes = 9,
+                               .conv1_filters = 16, .conv2_filters = 16,
+                               .conv3_filters = 16, .fc_units = 64,
+                               .use_batchnorm = true},
+                              rng);
+  selective::SelectiveTrainer trainer({.epochs = 10, .batch_size = 32,
+                                       .learning_rate = 2e-3,
+                                       .target_coverage = 0.7});
+  trainer.train(net, train, nullptr, rng);
+
+  // 2. Put the trained model behind the online engine. Any wm::Classifier
+  //    works here — swapping in the Wu SVM baseline is a one-line change.
+  selective::SelectivePredictor predictor(net, /*threshold=*/0.5f);
+  serve::InferenceEngine engine(predictor, {.max_batch = 16,
+                                            .max_delay_us = 2000,
+                                            .queue_capacity = 64});
+
+  // 3. Four stations submit wafers concurrently; each blocks on its own
+  //    result, the engine micro-batches across stations.
+  constexpr int kStations = 4;
+  std::atomic<int> auto_labelled{0};
+  std::atomic<int> to_engineers{0};
+  std::atomic<int> correct{0};
+  std::vector<std::thread> stations;
+  for (int s = 0; s < kStations; ++s) {
+    stations.emplace_back([&, s] {
+      for (std::size_t i = static_cast<std::size_t>(s);
+           i < stream_set.size(); i += kStations) {
+        const SelectivePrediction p = engine.predict(stream_set[i].map);
+        if (!p.selected) {
+          ++to_engineers;  // low g: route to manual inspection
+          continue;
+        }
+        ++auto_labelled;
+        correct += (p.label == static_cast<int>(stream_set[i].label));
+      }
+    });
+  }
+  for (auto& t : stations) t.join();
+  engine.shutdown();
+
+  std::printf("\nstreamed %zu wafers from %d stations\n", stream_set.size(),
+              kStations);
+  std::printf("auto-labelled: %d (%.1f%% correct)   routed to engineers: %d\n",
+              auto_labelled.load(),
+              auto_labelled > 0 ? 100.0 * correct / auto_labelled : 0.0,
+              to_engineers.load());
+  std::printf("\nengine counters:\n%s", engine.stats().to_string().c_str());
+  return 0;
+}

@@ -36,4 +36,16 @@ std::vector<int> WuClassifier::predict(const Dataset& data) const {
   return out;
 }
 
+std::vector<SelectivePrediction> WuClassifier::predict_batch(
+    std::span<const WaferMap> maps) const {
+  WM_CHECK(trained(), "classifier not trained");
+  std::vector<SelectivePrediction> out(maps.size());
+  ThreadPool::global().parallel_for(0, maps.size(), [&](std::size_t i) {
+    out[i].label = predict(maps[i]);
+    out[i].selected = true;
+    out[i].g = 1.0f;
+  });
+  return out;
+}
+
 }  // namespace wm::baseline

@@ -4,8 +4,11 @@
 // the human-in-the-loop relabelling step, exactly as the paper compares.
 #pragma once
 
+#include <span>
+
 #include "baseline/multiclass_svm.hpp"
 #include "baseline/scaler.hpp"
+#include "serve/classifier.hpp"
 #include "wafermap/dataset.hpp"
 
 namespace wm::baseline {
@@ -14,7 +17,7 @@ struct WuClassifierOptions {
   MulticlassSvmOptions svm;
 };
 
-class WuClassifier {
+class WuClassifier final : public Classifier {
  public:
   explicit WuClassifier(const WuClassifierOptions& opts = {});
 
@@ -27,6 +30,18 @@ class WuClassifier {
 
   /// Predicted class indices for a dataset (order preserved).
   std::vector<int> predict(const Dataset& data) const;
+
+  /// Classifier interface: the SVM has no reject option, so every wafer is
+  /// selected with g = 1 (confidence stays 0 — a hard one-vs-one vote
+  /// carries no probability calibration). This makes the baseline
+  /// interchangeable with the selective CNN behind the serving layer.
+  std::vector<SelectivePrediction> predict_batch(
+      std::span<const WaferMap> maps) const override;
+
+  /// Distinct labels seen at fit(); 0 before training.
+  int num_classes() const override {
+    return static_cast<int>(svm_.classes().size());
+  }
 
  private:
   WuClassifierOptions opts_;

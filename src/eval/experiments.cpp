@@ -115,9 +115,27 @@ Dataset make_calibration_set(const ExperimentConfig& config) {
 }
 
 float calibrated_threshold(const ExperimentConfig& config,
-                           selective::SelectiveNet& net, double coverage) {
+                           const selective::SelectiveNet& net,
+                           double coverage) {
   const Dataset calibration = make_calibration_set(config);
   return selective::calibrate_threshold(net, calibration, coverage);
+}
+
+ClassifierEval evaluate_classifier(const Classifier& classifier,
+                                   const Dataset& test) {
+  WM_CHECK(!test.empty(), "empty test set");
+  const auto preds = predict_dataset(classifier, test);
+  std::vector<int> labels;
+  labels.reserve(test.size());
+  for (std::size_t i = 0; i < test.size(); ++i) {
+    labels.push_back(static_cast<int>(test[i].label));
+  }
+  ClassifierEval out;
+  out.coverage = coverage_of(preds);
+  out.selective_acc = selective_accuracy(preds, labels);
+  out.full_acc = full_accuracy(preds, labels);
+  for (const auto& p : preds) out.abstained += !p.selected;
+  return out;
 }
 
 }  // namespace wm::eval

@@ -64,6 +64,20 @@ Dataset make_calibration_set(const ExperimentConfig& config);
 
 /// Threshold on g realising approximately `coverage` on the calibration set.
 float calibrated_threshold(const ExperimentConfig& config,
-                           selective::SelectiveNet& net, double coverage);
+                           const selective::SelectiveNet& net, double coverage);
+
+/// Headline numbers of one classifier on one labelled test set.
+struct ClassifierEval {
+  double coverage = 0.0;       // fraction of wafers auto-labelled
+  double selective_acc = 0.0;  // accuracy over the selected wafers
+  double full_acc = 0.0;       // accuracy ignoring the reject option
+  std::size_t abstained = 0;   // wafers routed to manual inspection
+};
+
+/// Runs any wm::Classifier — the selective CNN or the SVM baseline — over a
+/// labelled test set through the common interface and scores it. This is how
+/// experiment code compares the two without caring which model it holds.
+ClassifierEval evaluate_classifier(const Classifier& classifier,
+                                   const Dataset& test);
 
 }  // namespace wm::eval

@@ -7,14 +7,14 @@
 
 namespace wm::selective {
 
-float calibrate_threshold(SelectiveNet& net, const Dataset& validation,
+float calibrate_threshold(const SelectiveNet& net, const Dataset& validation,
                           double target_coverage, int eval_batch) {
   WM_CHECK(target_coverage > 0.0 && target_coverage <= 1.0,
            "target coverage out of (0,1]");
   WM_CHECK(!validation.empty(), "empty calibration set");
 
   SelectivePredictor predictor(net, /*threshold=*/0.0f, eval_batch);
-  const auto preds = predictor.predict(validation);
+  const auto preds = predict_dataset(predictor, validation);
   std::vector<float> gs(preds.size());
   for (std::size_t i = 0; i < preds.size(); ++i) gs[i] = preds[i].g;
   std::sort(gs.begin(), gs.end(), std::greater<float>());

@@ -11,7 +11,7 @@ namespace wm::selective {
 /// Returns the threshold tau such that selecting {g >= tau} on `validation`
 /// yields coverage closest to (and at least) `target_coverage` where
 /// achievable. target_coverage in (0, 1].
-float calibrate_threshold(SelectiveNet& net, const Dataset& validation,
+float calibrate_threshold(const SelectiveNet& net, const Dataset& validation,
                           double target_coverage, int eval_batch = 256);
 
 }  // namespace wm::selective

@@ -1,7 +1,8 @@
 #include "selective/predictor.hpp"
 
 #include <algorithm>
-#include <numeric>
+#include <cmath>
+#include <cstring>
 
 #include "common/error.hpp"
 #include "common/threadpool.hpp"
@@ -9,98 +10,60 @@
 
 namespace wm::selective {
 
-SelectivePredictor::SelectivePredictor(SelectiveNet& net, float threshold,
+SelectivePredictor::SelectivePredictor(const SelectiveNet& net, float threshold,
                                        int eval_batch)
     : net_(net), threshold_(threshold), eval_batch_(eval_batch) {
-  WM_CHECK(threshold >= 0.0f && threshold <= 1.0f, "threshold out of [0,1]");
+  WM_CHECK(!std::isnan(threshold) && threshold >= 0.0f && threshold <= 1.0f,
+           "threshold out of [0,1]");
   WM_CHECK(eval_batch > 0, "bad eval batch size");
 }
 
 void SelectivePredictor::set_threshold(float threshold) {
-  WM_CHECK(threshold >= 0.0f && threshold <= 1.0f, "threshold out of [0,1]");
+  WM_CHECK(!std::isnan(threshold) && threshold >= 0.0f && threshold <= 1.0f,
+           "threshold out of [0,1]");
   threshold_ = threshold;
 }
 
-std::vector<SelectivePrediction> SelectivePredictor::predict(
-    const Batch& batch) const {
-  const SelectiveOutput out = net_.forward(batch.images, /*training=*/false);
-  const Tensor probs = softmax_rows(out.logits);
-  const auto arg = argmax_rows(out.logits);
-  std::vector<SelectivePrediction> preds(arg.size());
-  const std::int64_t nc = out.logits.dim(1);
-  for (std::size_t i = 0; i < arg.size(); ++i) {
-    const float g = out.g[static_cast<std::int64_t>(i)];
-    preds[i].label = static_cast<int>(arg[i]);
-    preds[i].g = g;
-    preds[i].selected = g >= threshold_;
-    preds[i].confidence =
-        probs[static_cast<std::int64_t>(i) * nc + arg[i]];
-  }
-  return preds;
-}
-
-std::vector<SelectivePrediction> SelectivePredictor::predict(
-    const Dataset& data) const {
+std::vector<SelectivePrediction> SelectivePredictor::predict_batch(
+    std::span<const WaferMap> maps) const {
   // Eval batches are independent (eval-mode forwards mutate no layer state
   // and per-sample outputs don't depend on batch grouping), so fan the
   // batches out across the pool; each one writes a disjoint slice of `all`.
-  // Batch composition is identical to the serial loop, so the results are
-  // bit-identical for any thread count.
-  std::vector<SelectivePrediction> all(data.size());
+  // Batch composition depends only on eval_batch_, so the results are
+  // bit-identical for any thread count and any caller-side regrouping.
+  const int s = net_.options().map_size;
   const std::size_t bs = static_cast<std::size_t>(eval_batch_);
-  const std::size_t n_batches = data.size() == 0 ? 0 : (data.size() + bs - 1) / bs;
+  const std::size_t n_batches =
+      maps.empty() ? 0 : (maps.size() + bs - 1) / bs;
+  std::vector<SelectivePrediction> all(maps.size());
   ThreadPool::global().parallel_for(0, n_batches, [&](std::size_t b) {
     const std::size_t start = b * bs;
-    const std::size_t end = std::min(data.size(), start + bs);
-    std::vector<std::size_t> indices(end - start);
-    std::iota(indices.begin(), indices.end(), start);
-    const auto chunk = predict(data.make_batch(indices));
-    std::copy(chunk.begin(), chunk.end(), all.begin() +
-              static_cast<std::ptrdiff_t>(start));
+    const std::size_t end = std::min(maps.size(), start + bs);
+    const std::int64_t n = static_cast<std::int64_t>(end - start);
+    Tensor images(Shape{n, 1, s, s});
+    const std::int64_t image_elems = static_cast<std::int64_t>(s) * s;
+    for (std::int64_t k = 0; k < n; ++k) {
+      const WaferMap& map = maps[start + static_cast<std::size_t>(k)];
+      WM_CHECK_SHAPE(map.size() == s, "wafer size ", map.size(),
+                     " does not match the net's map size ", s);
+      const Tensor img = map.to_tensor();
+      std::memcpy(images.data() + k * image_elems, img.data(),
+                  static_cast<std::size_t>(image_elems) * sizeof(float));
+    }
+    const SelectiveOutput out = net_.infer(images);
+    const Tensor probs = softmax_rows(out.logits);
+    const auto arg = argmax_rows(out.logits);
+    const std::int64_t nc = out.logits.dim(1);
+    for (std::size_t i = 0; i < arg.size(); ++i) {
+      SelectivePrediction& p = all[start + i];
+      const float g = out.g[static_cast<std::int64_t>(i)];
+      p.label = static_cast<int>(arg[i]);
+      p.g = g;
+      p.selected = g >= threshold_;
+      p.confidence = probs[static_cast<std::int64_t>(i) * nc + arg[i]];
+    }
   });
   return all;
-}
-
-SelectivePrediction SelectivePredictor::predict_one(const WaferMap& map) const {
-  Batch batch;
-  const int s = map.size();
-  batch.images = map.to_tensor().reshape(Shape{1, 1, s, s});
-  batch.labels = {0};
-  batch.weights = {1.0f};
-  return predict(batch).front();
-}
-
-double coverage_of(const std::vector<SelectivePrediction>& preds) {
-  if (preds.empty()) return 0.0;
-  std::size_t n = 0;
-  for (const auto& p : preds) n += p.selected;
-  return static_cast<double>(n) / static_cast<double>(preds.size());
-}
-
-double selective_accuracy(const std::vector<SelectivePrediction>& preds,
-                          const std::vector<int>& labels) {
-  WM_CHECK(preds.size() == labels.size(), "prediction/label size mismatch");
-  std::size_t selected = 0;
-  std::size_t correct = 0;
-  for (std::size_t i = 0; i < preds.size(); ++i) {
-    if (!preds[i].selected) continue;
-    ++selected;
-    correct += (preds[i].label == labels[i]);
-  }
-  return selected == 0 ? 1.0
-                       : static_cast<double>(correct) /
-                             static_cast<double>(selected);
-}
-
-double full_accuracy(const std::vector<SelectivePrediction>& preds,
-                     const std::vector<int>& labels) {
-  WM_CHECK(preds.size() == labels.size(), "prediction/label size mismatch");
-  WM_CHECK(!preds.empty(), "empty prediction set");
-  std::size_t correct = 0;
-  for (std::size_t i = 0; i < preds.size(); ++i) {
-    correct += (preds[i].label == labels[i]);
-  }
-  return static_cast<double>(correct) / static_cast<double>(preds.size());
 }
 
 }  // namespace wm::selective

@@ -1,54 +1,47 @@
 // Inference wrapper implementing the selective model (f, g) of Eq. 2:
-// predict f(x) when g(x) >= threshold, abstain otherwise.
+// predict f(x) when g(x) >= threshold, abstain otherwise. Implements the
+// wm::Classifier interface so it is interchangeable with the SVM baseline
+// behind the serving layer.
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "selective/selective_net.hpp"
+#include "serve/classifier.hpp"
 #include "wafermap/dataset.hpp"
 
 namespace wm::selective {
 
-struct SelectivePrediction {
-  int label = -1;          // argmax of f (always filled, even when rejected)
-  bool selected = false;   // g >= threshold
-  float g = 0.0f;          // selection score
-  float confidence = 0.0f; // softmax probability of the predicted class
-};
+// The prediction struct and the metric helpers live in the shared classifier
+// vocabulary (serve/classifier.hpp); re-exported here so selective-learning
+// code can keep the wm::selective:: spelling.
+using wm::coverage_of;
+using wm::full_accuracy;
+using wm::selective_accuracy;
+using wm::SelectivePrediction;
 
-class SelectivePredictor {
+class SelectivePredictor final : public Classifier {
  public:
   /// threshold is the abstention cut on g; 0.5 matches the sigmoid decision
   /// boundary the head was trained with. Use calibrate_threshold() to hit a
-  /// specific coverage instead.
-  explicit SelectivePredictor(SelectiveNet& net, float threshold = 0.5f,
+  /// specific coverage instead. Eval-mode forwards are reentrant, so one
+  /// predictor (and one net) may serve concurrent predict_batch calls.
+  explicit SelectivePredictor(const SelectiveNet& net, float threshold = 0.5f,
                               int eval_batch = 256);
 
-  SelectivePrediction predict_one(const WaferMap& map) const;
+  std::vector<SelectivePrediction> predict_batch(
+      std::span<const WaferMap> maps) const override;
 
-  std::vector<SelectivePrediction> predict(const Dataset& data) const;
-  std::vector<SelectivePrediction> predict(const Batch& batch) const;
+  int num_classes() const override { return net_.options().num_classes; }
 
   float threshold() const { return threshold_; }
   void set_threshold(float threshold);
 
  private:
-  SelectiveNet& net_;
+  const SelectiveNet& net_;
   float threshold_;
   int eval_batch_;
 };
-
-/// Achieved coverage of a prediction set.
-double coverage_of(const std::vector<SelectivePrediction>& preds);
-
-/// Accuracy over the *selected* samples only (the paper's selective
-/// accuracy). Returns 1.0 when nothing is selected (zero risk by Eq. 7's
-/// convention of an empty selection).
-double selective_accuracy(const std::vector<SelectivePrediction>& preds,
-                          const std::vector<int>& labels);
-
-/// Accuracy over all samples, ignoring the reject option.
-double full_accuracy(const std::vector<SelectivePrediction>& preds,
-                     const std::vector<int>& labels);
 
 }  // namespace wm::selective

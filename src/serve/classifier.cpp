@@ -1,0 +1,52 @@
+#include "serve/classifier.hpp"
+
+#include "common/error.hpp"
+
+namespace wm {
+
+SelectivePrediction Classifier::predict_one(const WaferMap& map) const {
+  return predict_batch(std::span<const WaferMap>(&map, 1)).front();
+}
+
+std::vector<SelectivePrediction> predict_dataset(const Classifier& classifier,
+                                                 const Dataset& data) {
+  std::vector<WaferMap> maps;
+  maps.reserve(data.size());
+  for (std::size_t i = 0; i < data.size(); ++i) maps.push_back(data[i].map);
+  return classifier.predict_batch(maps);
+}
+
+double coverage_of(const std::vector<SelectivePrediction>& preds) {
+  if (preds.empty()) return 0.0;
+  std::size_t n = 0;
+  for (const auto& p : preds) n += p.selected;
+  return static_cast<double>(n) / static_cast<double>(preds.size());
+}
+
+double selective_accuracy(const std::vector<SelectivePrediction>& preds,
+                          const std::vector<int>& labels) {
+  WM_CHECK(preds.size() == labels.size(), "prediction/label size mismatch");
+  std::size_t selected = 0;
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < preds.size(); ++i) {
+    if (!preds[i].selected) continue;
+    ++selected;
+    correct += (preds[i].label == labels[i]);
+  }
+  return selected == 0 ? 1.0
+                       : static_cast<double>(correct) /
+                             static_cast<double>(selected);
+}
+
+double full_accuracy(const std::vector<SelectivePrediction>& preds,
+                     const std::vector<int>& labels) {
+  WM_CHECK(preds.size() == labels.size(), "prediction/label size mismatch");
+  WM_CHECK(!preds.empty(), "empty prediction set");
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < preds.size(); ++i) {
+    correct += (preds[i].label == labels[i]);
+  }
+  return static_cast<double>(correct) / static_cast<double>(preds.size());
+}
+
+}  // namespace wm

@@ -1,0 +1,68 @@
+// The unified inference vocabulary: every wafer classifier in the repo —
+// the selective CNN (Eq. 2) and the Wu et al. SVM baseline alike — is a
+// wm::Classifier that turns a span of wafer maps into SelectivePredictions.
+// Batch-first by design: predict_batch is the one virtual, predict_one is a
+// thin convenience on top, and the serving layer (serve/inference_engine)
+// micro-batches online traffic into predict_batch calls.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "wafermap/dataset.hpp"
+#include "wafermap/wafer_map.hpp"
+
+namespace wm {
+
+/// One classifier verdict on one wafer, in the paper's selective vocabulary
+/// (Eq. 2): the label prediction f(x), the selection score g(x), and whether
+/// g cleared the abstention threshold. Classifiers without a reject option
+/// (the SVM baseline) always select with g = 1.
+struct SelectivePrediction {
+  int label = -1;          // argmax of f (always filled, even when rejected)
+  bool selected = false;   // g >= threshold
+  float g = 0.0f;          // selection score
+  float confidence = 0.0f; // probability of the predicted class (0 when the
+                           // model has no probability calibration)
+};
+
+/// Abstract batch classifier over wafer maps.
+///
+/// Contract: predict_batch returns exactly maps.size() predictions, in input
+/// order, and is const + thread-safe (callable concurrently from multiple
+/// threads on one instance). Per-sample results must not depend on how the
+/// caller groups maps into batches — this is what lets the inference engine
+/// micro-batch requests from independent clients and still return the same
+/// bits a direct call would have produced.
+class Classifier {
+ public:
+  virtual ~Classifier() = default;
+
+  virtual std::vector<SelectivePrediction> predict_batch(
+      std::span<const WaferMap> maps) const = 0;
+
+  /// Number of classes the label index ranges over.
+  virtual int num_classes() const = 0;
+
+  /// Single-wafer convenience: predict_batch on a span of one.
+  SelectivePrediction predict_one(const WaferMap& map) const;
+};
+
+/// Runs a classifier over every sample of a dataset (order preserved).
+std::vector<SelectivePrediction> predict_dataset(const Classifier& classifier,
+                                                 const Dataset& data);
+
+/// Achieved coverage of a prediction set.
+double coverage_of(const std::vector<SelectivePrediction>& preds);
+
+/// Accuracy over the *selected* samples only (the paper's selective
+/// accuracy). Returns 1.0 when nothing is selected (zero risk by Eq. 7's
+/// convention of an empty selection).
+double selective_accuracy(const std::vector<SelectivePrediction>& preds,
+                          const std::vector<int>& labels);
+
+/// Accuracy over all samples, ignoring the reject option.
+double full_accuracy(const std::vector<SelectivePrediction>& preds,
+                     const std::vector<int>& labels);
+
+}  // namespace wm

@@ -1,0 +1,196 @@
+#include "serve/inference_engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace wm::serve {
+
+void LatencyHistogram::record(std::int64_t us) {
+  us = std::max<std::int64_t>(us, 0);
+  std::size_t b = 0;
+  while (b < kBoundsUs.size() && us > kBoundsUs[b]) ++b;
+  ++buckets_[b];
+  ++count_;
+  sum_us_ += us;
+  max_us_ = std::max(max_us_, us);
+}
+
+double LatencyHistogram::mean_us() const {
+  return count_ == 0 ? 0.0
+                     : static_cast<double>(sum_us_) /
+                           static_cast<double>(count_);
+}
+
+std::int64_t LatencyHistogram::quantile_us(double q) const {
+  if (count_ == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  const auto target = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(
+             std::ceil(q * static_cast<double>(count_))));
+  std::uint64_t cum = 0;
+  for (std::size_t b = 0; b < buckets_.size(); ++b) {
+    cum += buckets_[b];
+    if (cum >= target) {
+      // Never report a bound beyond the observed maximum (and the overflow
+      // bucket has no bound of its own).
+      return b < kBoundsUs.size() ? std::min(kBoundsUs[b], max_us_) : max_us_;
+    }
+  }
+  return max_us_;
+}
+
+std::string LatencyHistogram::to_string() const {
+  std::ostringstream os;
+  for (std::size_t b = 0; b < buckets_.size(); ++b) {
+    if (buckets_[b] == 0) continue;
+    if (b < kBoundsUs.size()) {
+      os << "  <= " << kBoundsUs[b] << " us: " << buckets_[b] << "\n";
+    } else {
+      os << "  >  " << kBoundsUs.back() << " us: " << buckets_[b] << "\n";
+    }
+  }
+  return os.str();
+}
+
+std::string EngineStats::to_string() const {
+  std::ostringstream os;
+  os << "requests:  " << requests << " (abstained " << abstained << ")\n";
+  os << "batches:   " << batches << " (mean size ";
+  os.precision(2);
+  os << std::fixed << mean_batch_size() << ", full " << full_flushes
+     << ", timer " << timer_flushes << ")\n";
+  os << "latency:   mean " << static_cast<std::int64_t>(latency.mean_us())
+     << " us, p50 <= " << latency.quantile_us(0.50) << " us, p95 <= "
+     << latency.quantile_us(0.95) << " us, p99 <= "
+     << latency.quantile_us(0.99) << " us\n";
+  os << latency.to_string();
+  return os.str();
+}
+
+InferenceEngine::InferenceEngine(const Classifier& classifier,
+                                 const EngineOptions& opts)
+    : classifier_(classifier), opts_(opts) {
+  WM_CHECK(opts.max_batch > 0, "max_batch must be positive");
+  WM_CHECK(opts.max_delay_us >= 0, "max_delay_us must be non-negative");
+  WM_CHECK(opts.queue_capacity > 0, "queue_capacity must be positive");
+  batcher_ = std::thread([this] { batcher_loop(); });
+}
+
+InferenceEngine::~InferenceEngine() { shutdown(); }
+
+std::future<SelectivePrediction> InferenceEngine::submit(WaferMap map) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  space_cv_.wait(lock, [&] {
+    return stopping_ || queue_.size() < opts_.queue_capacity;
+  });
+  WM_CHECK(!stopping_, "submit() on a shut-down engine");
+  queue_.push_back(Request{std::move(map), {}, Clock::now()});
+  std::future<SelectivePrediction> fut = queue_.back().promise.get_future();
+  lock.unlock();
+  queue_cv_.notify_one();
+  return fut;
+}
+
+SelectivePrediction InferenceEngine::predict(const WaferMap& map) {
+  return submit(map).get();
+}
+
+void InferenceEngine::shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  queue_cv_.notify_all();
+  space_cv_.notify_all();
+  // Serialise the join so concurrent shutdown()/destructor calls are safe.
+  std::lock_guard<std::mutex> join_lock(join_mutex_);
+  if (batcher_.joinable()) batcher_.join();
+}
+
+bool InferenceEngine::accepting() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return !stopping_;
+}
+
+std::size_t InferenceEngine::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
+EngineStats InferenceEngine::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+void InferenceEngine::batcher_loop() {
+  const auto max_batch = static_cast<std::size_t>(opts_.max_batch);
+  for (;;) {
+    std::vector<Request> batch;
+    bool full_flush = false;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      queue_cv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping and fully drained
+      if (!stopping_ && queue_.size() < max_batch && opts_.max_delay_us > 0) {
+        // Hold the window open for more requests, but no longer than
+        // max_delay_us past the oldest one already waiting.
+        const auto deadline =
+            queue_.front().enqueued +
+            std::chrono::microseconds(opts_.max_delay_us);
+        queue_cv_.wait_until(lock, deadline, [&] {
+          return stopping_ || queue_.size() >= max_batch;
+        });
+      }
+      const std::size_t take = std::min(queue_.size(), max_batch);
+      full_flush = take == max_batch;
+      batch.reserve(take);
+      for (std::size_t i = 0; i < take; ++i) {
+        batch.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+    }
+    space_cv_.notify_all();  // queue shrank: unblock producers
+
+    std::vector<WaferMap> maps;
+    maps.reserve(batch.size());
+    for (Request& r : batch) maps.push_back(std::move(r.map));
+    std::vector<SelectivePrediction> preds;
+    std::exception_ptr error;
+    try {
+      preds = classifier_.predict_batch(maps);
+      WM_CHECK(preds.size() == batch.size(),
+               "classifier broke the predict_batch contract: ", preds.size(),
+               " results for ", batch.size(), " maps");
+    } catch (...) {
+      error = std::current_exception();
+    }
+    const Clock::time_point done = Clock::now();
+
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++stats_.batches;
+      ++(full_flush ? stats_.full_flushes : stats_.timer_flushes);
+      for (std::size_t i = 0; i < batch.size(); ++i) {
+        ++stats_.requests;
+        if (!error) stats_.abstained += !preds[i].selected;
+        stats_.latency.record(
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                done - batch[i].enqueued)
+                .count());
+      }
+    }
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      if (error) {
+        batch[i].promise.set_exception(error);
+      } else {
+        batch[i].promise.set_value(preds[i]);
+      }
+    }
+  }
+}
+
+}  // namespace wm::serve

@@ -1,0 +1,155 @@
+// Online inference: a dynamic micro-batching engine in front of a
+// wm::Classifier.
+//
+// Many client threads submit() single wafer maps; requests land in a bounded
+// FIFO queue (submit blocks when the queue is full — backpressure instead of
+// unbounded memory growth) and a dedicated batcher thread flushes a
+// micro-batch to Classifier::predict_batch when either
+//
+//   * max_batch requests are waiting (throughput path), or
+//   * max_delay_us has elapsed since the *oldest* queued request arrived
+//     (latency bound for trickle traffic).
+//
+// Results come back through std::future<SelectivePrediction>. Because the
+// Classifier contract guarantees per-sample results independent of batch
+// composition, engine results are bit-identical to calling predict_batch
+// directly on the same wafers.
+//
+// Shutdown is drain-then-stop: shutdown() (and the destructor) rejects new
+// submissions, flushes everything already queued, then joins the batcher.
+#pragma once
+
+#include <array>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/classifier.hpp"
+#include "wafermap/wafer_map.hpp"
+
+namespace wm::serve {
+
+struct EngineOptions {
+  /// Flush as soon as this many requests are waiting.
+  int max_batch = 32;
+  /// Flush a partial batch once its oldest request has waited this long.
+  /// 0 flushes immediately (every batch is whatever had accumulated while
+  /// the previous forward ran).
+  std::int64_t max_delay_us = 2000;
+  /// submit() blocks while this many requests are already queued.
+  std::size_t queue_capacity = 256;
+};
+
+/// Log-spaced request latency histogram (microseconds, enqueue to result).
+class LatencyHistogram {
+ public:
+  void record(std::int64_t us);
+
+  std::uint64_t count() const { return count_; }
+  double mean_us() const;
+  /// Upper bucket bound containing the q-quantile, q in [0, 1]; the exact
+  /// observed maximum for the tail bucket. 0 when empty.
+  std::int64_t quantile_us(double q) const;
+
+  std::string to_string() const;
+
+ private:
+  // Bucket upper bounds: 1-2-5 decades from 50us to 5s, then overflow.
+  static constexpr std::array<std::int64_t, 15> kBoundsUs = {
+      50,     100,    200,     500,     1000,    2000,    5000,   10000,
+      20000,  50000,  100000,  200000,  500000,  1000000, 5000000};
+
+  std::array<std::uint64_t, kBoundsUs.size() + 1> buckets_{};
+  std::uint64_t count_ = 0;
+  std::int64_t sum_us_ = 0;
+  std::int64_t max_us_ = 0;
+};
+
+/// Counters since engine construction. A consistent snapshot is returned by
+/// InferenceEngine::stats().
+struct EngineStats {
+  std::uint64_t requests = 0;          // completed (futures fulfilled)
+  std::uint64_t batches = 0;           // predict_batch calls issued
+  std::uint64_t abstained = 0;         // results with selected == false
+  std::uint64_t full_flushes = 0;      // batches flushed at max_batch
+  std::uint64_t timer_flushes = 0;     // flushed by the delay timer / drain
+  LatencyHistogram latency;            // per-request enqueue -> result
+
+  double mean_batch_size() const {
+    return batches == 0 ? 0.0
+                        : static_cast<double>(requests) /
+                              static_cast<double>(batches);
+  }
+
+  /// Multi-line human-readable dump of every counter above.
+  std::string to_string() const;
+};
+
+class InferenceEngine {
+ public:
+  /// The classifier must outlive the engine and satisfy the Classifier
+  /// thread-safety contract. Starts the batcher thread immediately.
+  explicit InferenceEngine(const Classifier& classifier,
+                           const EngineOptions& opts = {});
+
+  /// Drains and stops (see shutdown()).
+  ~InferenceEngine();
+
+  InferenceEngine(const InferenceEngine&) = delete;
+  InferenceEngine& operator=(const InferenceEngine&) = delete;
+
+  /// Enqueues one wafer; blocks while the queue is at capacity. The future
+  /// resolves with the prediction, or with the classifier's exception if the
+  /// batch containing this wafer failed. Throws wm::Error after shutdown().
+  std::future<SelectivePrediction> submit(WaferMap map);
+
+  /// Blocking convenience: submit + wait.
+  SelectivePrediction predict(const WaferMap& map);
+
+  /// Stops accepting new requests, flushes everything already queued, then
+  /// joins the batcher thread. Idempotent.
+  void shutdown();
+
+  /// False once shutdown() has begun.
+  bool accepting() const;
+
+  /// Requests currently queued (excluding the batch in flight).
+  std::size_t queue_depth() const;
+
+  const EngineOptions& options() const { return opts_; }
+
+  /// Consistent snapshot of the counters.
+  EngineStats stats() const;
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  struct Request {
+    WaferMap map;
+    std::promise<SelectivePrediction> promise;
+    Clock::time_point enqueued;
+  };
+
+  void batcher_loop();
+
+  const Classifier& classifier_;
+  const EngineOptions opts_;
+
+  mutable std::mutex mutex_;
+  std::mutex join_mutex_;             // serialises shutdown()'s join
+  std::condition_variable queue_cv_;  // batcher waits: work available / stop
+  std::condition_variable space_cv_;  // producers wait: queue below capacity
+  std::deque<Request> queue_;
+  bool stopping_ = false;
+  EngineStats stats_;
+
+  std::thread batcher_;  // started last: everything above is initialised
+};
+
+}  // namespace wm::serve

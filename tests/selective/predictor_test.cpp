@@ -1,5 +1,8 @@
 #include "selective/predictor.hpp"
 
+#include <cmath>
+#include <limits>
+
 #include <gtest/gtest.h>
 
 #include "common/error.hpp"
@@ -23,12 +26,18 @@ Dataset small_dataset(std::uint64_t seed, int per_class = 6) {
   return synth::generate_dataset(spec, rng);
 }
 
+std::vector<WaferMap> maps_of(const Dataset& data) {
+  std::vector<WaferMap> maps;
+  for (std::size_t i = 0; i < data.size(); ++i) maps.push_back(data[i].map);
+  return maps;
+}
+
 TEST(PredictorTest, PredictionFieldsPopulated) {
   Rng rng(1);
   SelectiveNet net(tiny_net(), rng);
   const Dataset data = small_dataset(2);
   SelectivePredictor predictor(net, 0.5f);
-  const auto preds = predictor.predict(data);
+  const auto preds = predict_dataset(predictor, data);
   ASSERT_EQ(preds.size(), data.size());
   for (const auto& p : preds) {
     EXPECT_GE(p.label, 0);
@@ -46,7 +55,7 @@ TEST(PredictorTest, ThresholdZeroSelectsAll) {
   SelectiveNet net(tiny_net(), rng);
   const Dataset data = small_dataset(3);
   SelectivePredictor predictor(net, 0.0f);
-  EXPECT_DOUBLE_EQ(coverage_of(predictor.predict(data)), 1.0);
+  EXPECT_DOUBLE_EQ(coverage_of(predict_dataset(predictor, data)), 1.0);
 }
 
 TEST(PredictorTest, ThresholdOneSelectsNone) {
@@ -54,17 +63,17 @@ TEST(PredictorTest, ThresholdOneSelectsNone) {
   SelectiveNet net(tiny_net(), rng);
   const Dataset data = small_dataset(4);
   SelectivePredictor predictor(net, 1.0f);
-  EXPECT_DOUBLE_EQ(coverage_of(predictor.predict(data)), 0.0);
+  EXPECT_DOUBLE_EQ(coverage_of(predict_dataset(predictor, data)), 0.0);
 }
 
 TEST(PredictorTest, BatchedAndWholeSetAgree) {
   Rng rng(4);
   SelectiveNet net(tiny_net(), rng);
-  const Dataset data = small_dataset(5, 4);
+  const auto maps = maps_of(small_dataset(5, 4));
   SelectivePredictor small_batches(net, 0.5f, /*eval_batch=*/7);
   SelectivePredictor one_batch(net, 0.5f, /*eval_batch=*/4096);
-  const auto a = small_batches.predict(data);
-  const auto b = one_batch.predict(data);
+  const auto a = small_batches.predict_batch(maps);
+  const auto b = one_batch.predict_batch(maps);
   ASSERT_EQ(a.size(), b.size());
   for (std::size_t i = 0; i < a.size(); ++i) {
     EXPECT_EQ(a[i].label, b[i].label);
@@ -77,10 +86,24 @@ TEST(PredictorTest, PredictOneMatchesBatch) {
   SelectiveNet net(tiny_net(), rng);
   const Dataset data = small_dataset(6, 2);
   SelectivePredictor predictor(net, 0.5f);
-  const auto preds = predictor.predict(data);
+  const auto preds = predict_dataset(predictor, data);
   const auto single = predictor.predict_one(data[3].map);
   EXPECT_EQ(single.label, preds[3].label);
   EXPECT_NEAR(single.g, preds[3].g, 1e-6f);
+}
+
+TEST(PredictorTest, EmptySpanYieldsNoPredictions) {
+  Rng rng(5);
+  SelectiveNet net(tiny_net(), rng);
+  SelectivePredictor predictor(net, 0.5f);
+  EXPECT_TRUE(predictor.predict_batch({}).empty());
+}
+
+TEST(PredictorTest, RejectsMismatchedMapSize) {
+  Rng rng(5);
+  SelectiveNet net(tiny_net(), rng);  // 16x16 net
+  SelectivePredictor predictor(net, 0.5f);
+  EXPECT_THROW(predictor.predict_one(WaferMap(24)), ShapeError);
 }
 
 TEST(PredictorTest, MetricsComputedCorrectly) {
@@ -109,8 +132,13 @@ TEST(PredictorTest, RejectsBadArguments) {
   EXPECT_THROW(SelectivePredictor(net, -0.1f), InvalidArgument);
   EXPECT_THROW(SelectivePredictor(net, 1.1f), InvalidArgument);
   EXPECT_THROW(SelectivePredictor(net, 0.5f, 0), InvalidArgument);
+  EXPECT_THROW(SelectivePredictor(net, 0.5f, -3), InvalidArgument);
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  EXPECT_THROW(SelectivePredictor(net, nan), InvalidArgument);
   SelectivePredictor p(net);
   EXPECT_THROW(p.set_threshold(2.0f), InvalidArgument);
+  EXPECT_THROW(p.set_threshold(nan), InvalidArgument);
+  EXPECT_EQ(p.threshold(), 0.5f);  // unchanged by the rejected calls
   EXPECT_THROW(selective_accuracy({}, {0}), InvalidArgument);
 }
 
@@ -121,7 +149,7 @@ TEST(CalibrateTest, HitsRequestedCoverage) {
   for (double target : {0.2, 0.5, 0.9}) {
     const float tau = calibrate_threshold(net, data, target);
     SelectivePredictor predictor(net, tau);
-    const double cov = coverage_of(predictor.predict(data));
+    const double cov = coverage_of(predict_dataset(predictor, data));
     EXPECT_NEAR(cov, target, 0.06) << "target " << target;
     EXPECT_GE(cov, target - 1e-9) << "target " << target;
   }
@@ -133,7 +161,7 @@ TEST(CalibrateTest, FullCoverageThresholdSelectsEverything) {
   const Dataset data = small_dataset(9, 4);
   const float tau = calibrate_threshold(net, data, 1.0);
   SelectivePredictor predictor(net, tau);
-  EXPECT_DOUBLE_EQ(coverage_of(predictor.predict(data)), 1.0);
+  EXPECT_DOUBLE_EQ(coverage_of(predict_dataset(predictor, data)), 1.0);
 }
 
 TEST(CalibrateTest, RejectsBadInputs) {

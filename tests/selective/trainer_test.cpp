@@ -126,10 +126,10 @@ TEST(SelectiveIntegrationTest, RejectsIrreducibleRiskSamples) {
   const Dataset clean = synth::generate_dataset(clean_spec, rng);
   SelectivePredictor predictor(net);
   double g_clean = 0.0;
-  for (const auto& p : predictor.predict(clean)) g_clean += p.g;
+  for (const auto& p : predict_dataset(predictor, clean)) g_clean += p.g;
   g_clean /= static_cast<double>(clean.size());
   double g_amb = 0.0;
-  for (const auto& p : predictor.predict(ambiguous)) g_amb += p.g;
+  for (const auto& p : predict_dataset(predictor, ambiguous)) g_amb += p.g;
   g_amb /= static_cast<double>(ambiguous.size());
   EXPECT_GT(g_clean, g_amb + 0.05);
 }

@@ -1,0 +1,317 @@
+// Micro-batcher behaviour: flush triggers, backpressure, drain-then-stop,
+// stats, and bit-identical results vs. a direct predict_batch call.
+#include "serve/inference_engine.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "selective/predictor.hpp"
+#include "selective/selective_net.hpp"
+#include "wafermap/synth/generator.hpp"
+
+namespace wm::serve {
+namespace {
+
+using namespace std::chrono_literals;
+
+/// Deterministic stand-in classifier: label = fail_count of the wafer, never
+/// selects. An optional gate blocks inside predict_batch until release(),
+/// letting tests hold a batch in flight.
+class FakeClassifier final : public Classifier {
+ public:
+  explicit FakeClassifier(bool gated = false) : gated_(gated) {}
+
+  std::vector<SelectivePrediction> predict_batch(
+      std::span<const WaferMap> maps) const override {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      ++entered_;
+      entered_cv_.notify_all();
+      gate_cv_.wait(lock, [&] { return !gated_; });
+      batch_sizes_.push_back(maps.size());
+    }
+    std::vector<SelectivePrediction> out(maps.size());
+    for (std::size_t i = 0; i < maps.size(); ++i) {
+      out[i].label = maps[i].fail_count();
+      out[i].selected = false;
+      out[i].g = 0.25f;
+    }
+    return out;
+  }
+
+  int num_classes() const override { return 1 << 16; }
+
+  void release() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    gated_ = false;
+    gate_cv_.notify_all();
+  }
+
+  /// Blocks until predict_batch has been entered at least n times.
+  void wait_entered(int n) const {
+    std::unique_lock<std::mutex> lock(mutex_);
+    entered_cv_.wait(lock, [&] { return entered_ >= n; });
+  }
+
+  std::vector<std::size_t> batch_sizes() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return batch_sizes_;
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  mutable std::condition_variable gate_cv_;
+  mutable std::condition_variable entered_cv_;
+  mutable std::vector<std::size_t> batch_sizes_;
+  mutable int entered_ = 0;
+  bool gated_;
+};
+
+class ThrowingClassifier final : public Classifier {
+ public:
+  std::vector<SelectivePrediction> predict_batch(
+      std::span<const WaferMap>) const override {
+    throw InvalidArgument("deliberate failure");
+  }
+  int num_classes() const override { return 0; }
+};
+
+/// Wafers with distinct, deterministic fail counts.
+std::vector<WaferMap> test_maps(int n, int size = 12) {
+  std::vector<WaferMap> maps;
+  for (int i = 0; i < n; ++i) {
+    WaferMap map(size);
+    int to_fail = i + 1;
+    for (int r = 0; r < size && to_fail > 0; ++r) {
+      for (int c = 0; c < size && to_fail > 0; ++c) {
+        if (!map.on_wafer(r, c)) continue;
+        map.mark_fail(r, c);
+        --to_fail;
+      }
+    }
+    maps.push_back(map);
+  }
+  return maps;
+}
+
+TEST(InferenceEngineTest, FlushesWhenBatchFills) {
+  FakeClassifier clf;
+  InferenceEngine engine(clf, {.max_batch = 4,
+                               .max_delay_us = 1'000'000,
+                               .queue_capacity = 64});
+  const auto maps = test_maps(8);
+  std::vector<std::future<SelectivePrediction>> futures;
+  for (const auto& m : maps) futures.push_back(engine.submit(m));
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    EXPECT_EQ(futures[i].get().label, maps[i].fail_count());
+  }
+  const auto sizes = clf.batch_sizes();
+  ASSERT_EQ(sizes.size(), 2u);
+  EXPECT_EQ(sizes[0], 4u);
+  EXPECT_EQ(sizes[1], 4u);
+  const EngineStats stats = engine.stats();
+  EXPECT_EQ(stats.requests, 8u);
+  EXPECT_EQ(stats.batches, 2u);
+  EXPECT_EQ(stats.full_flushes, 2u);
+  EXPECT_EQ(stats.timer_flushes, 0u);
+  EXPECT_DOUBLE_EQ(stats.mean_batch_size(), 4.0);
+}
+
+TEST(InferenceEngineTest, FlushesOnTimerForPartialBatch) {
+  FakeClassifier clf;
+  InferenceEngine engine(clf, {.max_batch = 64,
+                               .max_delay_us = 20'000,
+                               .queue_capacity = 64});
+  const auto maps = test_maps(3);
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::future<SelectivePrediction>> futures;
+  for (const auto& m : maps) futures.push_back(engine.submit(m));
+  for (auto& f : futures) f.get();
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  // The window held open for the full delay before a partial flush.
+  EXPECT_GE(elapsed, 10ms);
+  const EngineStats stats = engine.stats();
+  EXPECT_EQ(stats.requests, 3u);
+  EXPECT_EQ(stats.full_flushes, 0u);  // 64 was never reached
+  EXPECT_GE(stats.timer_flushes, 1u);
+  EXPECT_EQ(stats.latency.count(), 3u);
+}
+
+TEST(InferenceEngineTest, ShutdownDrainsQueuedRequests) {
+  FakeClassifier clf;
+  InferenceEngine engine(clf, {.max_batch = 100,
+                               .max_delay_us = 10'000'000,
+                               .queue_capacity = 100});
+  const auto maps = test_maps(5);
+  std::vector<std::future<SelectivePrediction>> futures;
+  for (const auto& m : maps) futures.push_back(engine.submit(m));
+  engine.shutdown();  // must flush all 5 before stopping
+  EXPECT_FALSE(engine.accepting());
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    ASSERT_EQ(futures[i].wait_for(0s), std::future_status::ready);
+    EXPECT_EQ(futures[i].get().label, maps[i].fail_count());
+  }
+  EXPECT_EQ(engine.stats().requests, 5u);
+  EXPECT_THROW(engine.submit(maps[0]), Error);
+  engine.shutdown();  // idempotent
+}
+
+TEST(InferenceEngineTest, SubmitBlocksWhenQueueFull) {
+  FakeClassifier clf(/*gated=*/true);
+  InferenceEngine engine(clf, {.max_batch = 1,
+                               .max_delay_us = 0,
+                               .queue_capacity = 2});
+  const auto maps = test_maps(4);
+  std::vector<std::future<SelectivePrediction>> futures;
+  futures.push_back(engine.submit(maps[0]));
+  clf.wait_entered(1);  // first request is now held inside the classifier
+  futures.push_back(engine.submit(maps[1]));
+  futures.push_back(engine.submit(maps[2]));
+  EXPECT_EQ(engine.queue_depth(), 2u);  // at capacity
+
+  std::atomic<bool> fourth_submitted{false};
+  std::promise<std::future<SelectivePrediction>> fourth;
+  std::thread producer([&] {
+    fourth.set_value(engine.submit(maps[3]));  // must block on backpressure
+    fourth_submitted = true;
+  });
+  std::this_thread::sleep_for(50ms);
+  EXPECT_FALSE(fourth_submitted);  // still blocked while the queue is full
+
+  clf.release();
+  producer.join();
+  EXPECT_TRUE(fourth_submitted);
+  futures.push_back(fourth.get_future().get());
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    EXPECT_EQ(futures[i].get().label, maps[i].fail_count());
+  }
+  const EngineStats stats = engine.stats();
+  EXPECT_EQ(stats.requests, 4u);
+  EXPECT_EQ(stats.batches, 4u);  // max_batch = 1: one forward per request
+  EXPECT_EQ(stats.abstained, 4u);  // the fake never selects
+}
+
+TEST(InferenceEngineTest, ResultsBitMatchDirectPredictBatch) {
+  Rng rng(11);
+  selective::SelectiveNet net({.map_size = 16, .num_classes = 9,
+                               .conv1_filters = 8, .conv2_filters = 8,
+                               .conv3_filters = 8, .fc_units = 32},
+                              rng);
+  selective::SelectivePredictor predictor(net, 0.5f);
+
+  synth::DatasetSpec spec;
+  spec.map_size = 16;
+  spec.class_counts.fill(3);
+  Rng data_rng(12);
+  const Dataset data = synth::generate_dataset(spec, data_rng);
+  std::vector<WaferMap> maps;
+  for (std::size_t i = 0; i < data.size(); ++i) maps.push_back(data[i].map);
+
+  const auto direct = predictor.predict_batch(maps);
+
+  InferenceEngine engine(predictor, {.max_batch = 4,
+                                     .max_delay_us = 500,
+                                     .queue_capacity = 8});
+  std::vector<std::future<SelectivePrediction>> futures;
+  for (const auto& m : maps) futures.push_back(engine.submit(m));
+  for (std::size_t i = 0; i < maps.size(); ++i) {
+    const SelectivePrediction p = futures[i].get();
+    // Bit-identical, not approximately equal: micro-batch composition must
+    // not change per-sample results (the Classifier contract).
+    EXPECT_EQ(p.label, direct[i].label);
+    EXPECT_EQ(p.g, direct[i].g);
+    EXPECT_EQ(p.confidence, direct[i].confidence);
+    EXPECT_EQ(p.selected, direct[i].selected);
+  }
+}
+
+TEST(InferenceEngineTest, ManyProducersAllGetTheirOwnAnswer) {
+  FakeClassifier clf;
+  InferenceEngine engine(clf, {.max_batch = 8,
+                               .max_delay_us = 200,
+                               .queue_capacity = 16});
+  const auto maps = test_maps(48);
+  constexpr int kProducers = 6;
+  std::vector<std::thread> producers;
+  std::atomic<int> mismatches{0};
+  for (int t = 0; t < kProducers; ++t) {
+    producers.emplace_back([&, t] {
+      for (int i = t; i < static_cast<int>(maps.size()); i += kProducers) {
+        const SelectivePrediction p =
+            engine.predict(maps[static_cast<std::size_t>(i)]);
+        if (p.label != maps[static_cast<std::size_t>(i)].fail_count()) {
+          ++mismatches;
+        }
+      }
+    });
+  }
+  for (auto& p : producers) p.join();
+  EXPECT_EQ(mismatches, 0);
+  const EngineStats stats = engine.stats();
+  EXPECT_EQ(stats.requests, maps.size());
+  EXPECT_GE(stats.mean_batch_size(), 1.0);
+  EXPECT_LE(stats.mean_batch_size(), 8.0);
+}
+
+TEST(InferenceEngineTest, ClassifierExceptionPropagatesToFutures) {
+  ThrowingClassifier clf;
+  InferenceEngine engine(clf, {.max_batch = 2,
+                               .max_delay_us = 100,
+                               .queue_capacity = 8});
+  auto f1 = engine.submit(test_maps(1)[0]);
+  EXPECT_THROW(f1.get(), InvalidArgument);
+  // The engine survives a failing batch and keeps serving.
+  auto f2 = engine.submit(test_maps(1)[0]);
+  EXPECT_THROW(f2.get(), InvalidArgument);
+  EXPECT_TRUE(engine.accepting());
+  EXPECT_EQ(engine.stats().requests, 2u);
+}
+
+TEST(InferenceEngineTest, StatsSnapshotAndTextDump) {
+  FakeClassifier clf;
+  InferenceEngine engine(clf, {.max_batch = 4,
+                               .max_delay_us = 100,
+                               .queue_capacity = 8});
+  for (const auto& m : test_maps(9)) engine.predict(m);
+  const EngineStats stats = engine.stats();
+  EXPECT_EQ(stats.requests, 9u);
+  EXPECT_EQ(stats.abstained, 9u);
+  EXPECT_EQ(stats.latency.count(), 9u);
+  EXPECT_LE(stats.latency.quantile_us(0.50), stats.latency.quantile_us(0.95));
+  EXPECT_LE(stats.latency.quantile_us(0.95), stats.latency.quantile_us(0.99));
+  const std::string dump = stats.to_string();
+  EXPECT_NE(dump.find("requests:"), std::string::npos);
+  EXPECT_NE(dump.find("batches:"), std::string::npos);
+  EXPECT_NE(dump.find("latency:"), std::string::npos);
+}
+
+TEST(InferenceEngineTest, RejectsBadOptions) {
+  FakeClassifier clf;
+  EXPECT_THROW(InferenceEngine(clf, {.max_batch = 0}), InvalidArgument);
+  EXPECT_THROW(InferenceEngine(clf, {.max_batch = -2}), InvalidArgument);
+  EXPECT_THROW(InferenceEngine(clf, {.max_delay_us = -1}), InvalidArgument);
+  EXPECT_THROW(InferenceEngine(clf, {.queue_capacity = 0}), InvalidArgument);
+}
+
+TEST(LatencyHistogramTest, QuantilesAndMean) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.quantile_us(0.5), 0);
+  EXPECT_EQ(h.count(), 0u);
+  for (int i = 0; i < 90; ++i) h.record(80);     // -> bucket <= 100us
+  for (int i = 0; i < 10; ++i) h.record(40'000); // -> bucket <= 50ms
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_DOUBLE_EQ(h.mean_us(), (90.0 * 80 + 10.0 * 40'000) / 100.0);
+  EXPECT_EQ(h.quantile_us(0.50), 100);
+  EXPECT_EQ(h.quantile_us(0.95), 40'000);  // capped at the observed max
+  EXPECT_EQ(h.quantile_us(1.0), 40'000);
+}
+
+}  // namespace
+}  // namespace wm::serve

@@ -1,14 +1,17 @@
 #!/usr/bin/env bash
-# Runs the tensor micro benchmarks and writes the JSON report that is checked
-# in at the repo root (BENCH_tensor.json), so kernel-level perf changes show
-# up in review diffs.
+# Runs the tensor micro benchmarks and the serving benchmark, writing the JSON
+# reports that are checked in at the repo root (BENCH_tensor.json,
+# BENCH_serve.json), so kernel- and serving-level perf changes show up in
+# review diffs.
 #
-# Usage: tools/run_benchmarks.sh [build-dir] [output-json]
+# Usage: tools/run_benchmarks.sh [build-dir] [output-json] [serve-output-json]
 set -euo pipefail
 
 build_dir="${1:-build}"
 out="${2:-BENCH_tensor.json}"
+serve_out="${3:-BENCH_serve.json}"
 bench="${build_dir}/bench/bench_micro_tensor"
+serve_bench="${build_dir}/bench/bench_serve"
 
 if [[ ! -x "${bench}" ]]; then
   echo "error: ${bench} not found; build first:" >&2
@@ -19,3 +22,10 @@ fi
 # The pinned Google Benchmark takes a bare number (seconds) here, not "0.2s".
 "${bench}" --benchmark_format=json --benchmark_min_time=0.2 >"${out}"
 echo "wrote ${out}"
+
+if [[ -x "${serve_bench}" ]]; then
+  "${serve_bench}" --json >"${serve_out}"
+  echo "wrote ${serve_out}"
+else
+  echo "warning: ${serve_bench} not found; skipping ${serve_out}" >&2
+fi

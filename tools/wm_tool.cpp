@@ -141,7 +141,7 @@ int cmd_evaluate(const Args& args) {
       args.get("data"), {.target_size = net->options().map_size});
   selective::SelectivePredictor predictor(
       *net, static_cast<float>(args.get_double("threshold", 0.5)));
-  const auto preds = predictor.predict(data);
+  const auto preds = predict_dataset(predictor, data);
   std::vector<int> labels;
   for (std::size_t i = 0; i < data.size(); ++i) {
     labels.push_back(static_cast<int>(data[i].label));
