@@ -1,0 +1,80 @@
+// Micro benchmarks of the wm::obs instruments: the per-call cost of a
+// counter bump, gauge set, histogram record, registry lookup, and a trace
+// span with tracing off (the production default — must stay in the
+// single-digit-ns range so hot paths can remain instrumented) and on.
+#include <benchmark/benchmark.h>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace wm {
+namespace {
+
+void BM_CounterInc(benchmark::State& state) {
+  obs::Counter c;
+  for (auto _ : state) {
+    c.inc();
+  }
+  benchmark::DoNotOptimize(c.value());
+}
+BENCHMARK(BM_CounterInc);
+
+void BM_GaugeSet(benchmark::State& state) {
+  obs::Gauge g;
+  double v = 0.0;
+  for (auto _ : state) {
+    g.set(v);
+    v += 1.0;
+  }
+  benchmark::DoNotOptimize(g.value());
+}
+BENCHMARK(BM_GaugeSet);
+
+void BM_HistogramRecord(benchmark::State& state) {
+  obs::Histogram h(obs::Histogram::latency_bounds_us(), "us");
+  std::int64_t v = 0;
+  for (auto _ : state) {
+    h.record(v);
+    v = (v + 997) % 100000;
+  }
+  benchmark::DoNotOptimize(h.count());
+}
+BENCHMARK(BM_HistogramRecord);
+
+void BM_RegistryLookup(benchmark::State& state) {
+  obs::Registry r;
+  r.counter("wm_bench_lookup_total");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(&r.counter("wm_bench_lookup_total"));
+  }
+}
+BENCHMARK(BM_RegistryLookup);
+
+void BM_CounterIncViaMacro(benchmark::State& state) {
+  for (auto _ : state) {
+    WM_COUNTER_INC("wm_bench_macro_total", "macro-path counter");
+  }
+}
+BENCHMARK(BM_CounterIncViaMacro);
+
+void BM_SpanDisabled(benchmark::State& state) {
+  obs::set_trace_enabled(false);
+  for (auto _ : state) {
+    WM_TRACE_SCOPE("bench.disabled");
+  }
+}
+BENCHMARK(BM_SpanDisabled);
+
+void BM_SpanEnabled(benchmark::State& state) {
+  obs::set_trace_enabled(true);
+  obs::trace_clear();
+  for (auto _ : state) {
+    WM_TRACE_SCOPE("bench.enabled");
+  }
+  obs::set_trace_enabled(false);
+  obs::trace_clear();
+}
+BENCHMARK(BM_SpanEnabled);
+
+}  // namespace
+}  // namespace wm

@@ -6,12 +6,20 @@
 #include "augment/cae.hpp"
 #include "wafermap/dataset.hpp"
 
+namespace wm::obs {
+class RunLog;
+}
+
 namespace wm::augment {
 
 struct CaeTrainerOptions {
   int epochs = 30;
   int batch_size = 32;
   double learning_rate = 2e-3;
+  /// JSONL sink for per-epoch MSE and phase boundaries; defaults to
+  /// obs::run_log_global(). wm_augment_cae_* metrics are always published
+  /// to obs::Registry::global().
+  obs::RunLog* run_log = nullptr;
 };
 
 struct CaeTrainingLog {

@@ -1,8 +1,12 @@
 #include "common/logging.hpp"
 
+#include <chrono>
+#include <cstdio>
 #include <cstdlib>
-#include <iostream>
+#include <ctime>
 #include <mutex>
+
+#include "common/thread_id.hpp"
 
 namespace wm {
 
@@ -50,8 +54,29 @@ void set_log_level(LogLevel level) { level_ref() = level; }
 
 namespace detail {
 void log_emit(LogLevel level, const std::string& message) {
+  // Compose the whole line first and emit it with a single fwrite so lines
+  // from concurrent threads can never interleave mid-line.
+  using std::chrono::system_clock;
+  const auto now = system_clock::now();
+  const std::time_t secs = system_clock::to_time_t(now);
+  const int millis = static_cast<int>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          now.time_since_epoch())
+          .count() %
+      1000);
+  std::tm tm_buf{};
+  localtime_r(&secs, &tm_buf);
+  char prefix[64];
+  std::snprintf(prefix, sizeof(prefix), "[%02d:%02d:%02d.%03d] [%s] [t%02d] ",
+                tm_buf.tm_hour, tm_buf.tm_min, tm_buf.tm_sec, millis,
+                level_tag(level), this_thread_index());
+  std::string line;
+  line.reserve(sizeof(prefix) + message.size() + 1);
+  line += prefix;
+  line += message;
+  line += '\n';
   const std::lock_guard<std::mutex> lock(log_mutex());
-  std::cerr << "[" << level_tag(level) << "] " << message << "\n";
+  std::fwrite(line.data(), 1, line.size(), stderr);
 }
 }  // namespace detail
 

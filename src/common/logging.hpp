@@ -1,5 +1,10 @@
 // Minimal leveled logger writing to stderr.
 //
+// Each message becomes exactly one "[HH:MM:SS.mmm] [LEVEL] [tNN] ..." line
+// emitted with a single fwrite under a mutex, so lines from concurrent
+// threads never interleave mid-line (tNN is the small per-thread id from
+// common/thread_id.hpp, shared with the tracer's Perfetto tracks).
+//
 // The experiment binaries use this for progress lines (epoch losses, phase
 // boundaries); tests run with the level raised to Warn to stay quiet.
 #pragma once

@@ -1,0 +1,18 @@
+// Small dense per-thread ids, assigned in first-use order.
+//
+// Shared by the logger (line prefix) and the tracer (Perfetto track ids) so
+// one thread shows the same id everywhere. Unlike std::this_thread::get_id()
+// the value is a small int that is stable for the thread's lifetime.
+#pragma once
+
+#include <atomic>
+
+namespace wm {
+
+inline int this_thread_index() {
+  static std::atomic<int> next{0};
+  thread_local const int id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+}  // namespace wm

@@ -4,6 +4,8 @@
 #include <sstream>
 
 #include "common/error.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "common/threadpool.hpp"
 
 namespace wm::nn {
@@ -20,6 +22,8 @@ BatchNorm2d::BatchNorm2d(const BatchNorm2dOptions& opts)
 }
 
 Tensor BatchNorm2d::forward(const Tensor& input, bool training) {
+  WM_TRACE_SCOPE("batchnorm2d.fwd");
+  WM_COUNTER_INC("wm_nn_batchnorm2d_forward_total", "BatchNorm2d forward passes");
   WM_CHECK_SHAPE(input.rank() == 4 && input.dim(1) == opts_.channels,
                  "BatchNorm2d expects (N,", opts_.channels, ",H,W), got ",
                  input.shape().to_string());
@@ -86,6 +90,8 @@ Tensor BatchNorm2d::forward(const Tensor& input, bool training) {
 }
 
 Tensor BatchNorm2d::backward(const Tensor& grad_output) {
+  WM_TRACE_SCOPE("batchnorm2d.bwd");
+  WM_COUNTER_INC("wm_nn_batchnorm2d_backward_total", "BatchNorm2d backward passes");
   WM_CHECK(trained_forward_, "BatchNorm2d backward without training forward");
   WM_CHECK_SHAPE(grad_output.same_shape(normalized_),
                  "BatchNorm2d backward shape mismatch");

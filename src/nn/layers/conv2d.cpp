@@ -4,6 +4,8 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "common/rng.hpp"
 #include "common/threadpool.hpp"
 #include "nn/init.hpp"
@@ -32,6 +34,8 @@ ConvGeometry Conv2d::geometry(std::int64_t h, std::int64_t w) const {
 }
 
 Tensor Conv2d::forward(const Tensor& input, bool training) {
+  WM_TRACE_SCOPE("conv2d.fwd");
+  WM_COUNTER_INC("wm_nn_conv2d_forward_total", "Conv2d forward passes");
   WM_CHECK_SHAPE(input.rank() == 4 && input.dim(1) == opts_.in_channels,
                  "Conv2d expects (N, ", opts_.in_channels, ", H, W), got ",
                  input.shape().to_string());
@@ -65,6 +69,8 @@ Tensor Conv2d::forward(const Tensor& input, bool training) {
 }
 
 Tensor Conv2d::backward(const Tensor& grad_output) {
+  WM_TRACE_SCOPE("conv2d.bwd");
+  WM_COUNTER_INC("wm_nn_conv2d_backward_total", "Conv2d backward passes");
   const std::int64_t n = input_.dim(0);
   const ConvGeometry g = geometry(input_.dim(2), input_.dim(3));
   const std::int64_t oh = g.out_h();

@@ -4,6 +4,8 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "common/rng.hpp"
 #include "common/threadpool.hpp"
 #include "nn/init.hpp"
@@ -39,6 +41,8 @@ ConvGeometry ConvTranspose2d::geometry(std::int64_t out_h, std::int64_t out_w) c
 }
 
 Tensor ConvTranspose2d::forward(const Tensor& input, bool training) {
+  WM_TRACE_SCOPE("conv_transpose2d.fwd");
+  WM_COUNTER_INC("wm_nn_conv_transpose2d_forward_total", "ConvTranspose2d forward passes");
   WM_CHECK_SHAPE(input.rank() == 4 && input.dim(1) == opts_.in_channels,
                  "ConvTranspose2d expects (N, ", opts_.in_channels,
                  ", H, W), got ", input.shape().to_string());
@@ -86,6 +90,8 @@ Tensor ConvTranspose2d::forward(const Tensor& input, bool training) {
 }
 
 Tensor ConvTranspose2d::backward(const Tensor& grad_output) {
+  WM_TRACE_SCOPE("conv_transpose2d.bwd");
+  WM_COUNTER_INC("wm_nn_conv_transpose2d_backward_total", "ConvTranspose2d backward passes");
   const std::int64_t n = input_.dim(0);
   const std::int64_t h = input_.dim(2);
   const std::int64_t w = input_.dim(3);

@@ -3,6 +3,8 @@
 #include <sstream>
 
 #include "common/error.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "nn/init.hpp"
 #include "tensor/gemm.hpp"
 
@@ -18,6 +20,8 @@ Linear::Linear(std::int64_t in_features, std::int64_t out_features, Rng& rng)
 }
 
 Tensor Linear::forward(const Tensor& input, bool training) {
+  WM_TRACE_SCOPE("linear.fwd");
+  WM_COUNTER_INC("wm_nn_linear_forward_total", "Linear forward passes");
   WM_CHECK_SHAPE(input.rank() == 2 && input.dim(1) == in_features_,
                  "Linear expects (N, ", in_features_, "), got ",
                  input.shape().to_string());
@@ -32,6 +36,8 @@ Tensor Linear::forward(const Tensor& input, bool training) {
 }
 
 Tensor Linear::backward(const Tensor& grad_output) {
+  WM_TRACE_SCOPE("linear.bwd");
+  WM_COUNTER_INC("wm_nn_linear_backward_total", "Linear backward passes");
   const std::int64_t n = input_.dim(0);
   WM_CHECK_SHAPE(grad_output.rank() == 2 && grad_output.dim(0) == n &&
                      grad_output.dim(1) == out_features_,

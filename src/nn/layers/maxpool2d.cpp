@@ -4,6 +4,8 @@
 #include <sstream>
 
 #include "common/error.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "common/threadpool.hpp"
 
 namespace wm::nn {
@@ -13,6 +15,8 @@ MaxPool2d::MaxPool2d(std::int64_t window) : window_(window) {
 }
 
 Tensor MaxPool2d::forward(const Tensor& input, bool training) {
+  WM_TRACE_SCOPE("maxpool2d.fwd");
+  WM_COUNTER_INC("wm_nn_maxpool2d_forward_total", "MaxPool2d forward passes");
   WM_CHECK_SHAPE(input.rank() == 4, "MaxPool2d expects (N,C,H,W), got ",
                  input.shape().to_string());
   const std::int64_t n = input.dim(0);
@@ -68,6 +72,8 @@ Tensor MaxPool2d::forward(const Tensor& input, bool training) {
 }
 
 Tensor MaxPool2d::backward(const Tensor& grad_output) {
+  WM_TRACE_SCOPE("maxpool2d.bwd");
+  WM_COUNTER_INC("wm_nn_maxpool2d_backward_total", "MaxPool2d backward passes");
   WM_CHECK_SHAPE(grad_output.numel() ==
                      static_cast<std::int64_t>(argmax_.size()),
                  "MaxPool2d backward called before training forward or shape "

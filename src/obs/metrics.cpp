@@ -1,0 +1,254 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace wm::obs {
+
+namespace {
+
+bool valid_metric_name(const std::string& name) {
+  if (name.empty()) return false;
+  if (!(std::isalpha(static_cast<unsigned char>(name[0])) || name[0] == '_')) {
+    return false;
+  }
+  for (const char c : name) {
+    if (!(std::isalnum(static_cast<unsigned char>(c)) || c == '_')) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string format_double(double v) {
+  if (std::isnan(v)) return "NaN";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+// JSON has no NaN/Inf literals; emit null for them.
+std::string json_double(double v) {
+  if (std::isnan(v) || std::isinf(v)) return "null";
+  return format_double(v);
+}
+
+}  // namespace
+
+double HistogramSnapshot::mean() const {
+  return count == 0
+             ? 0.0
+             : static_cast<double>(sum) / static_cast<double>(count);
+}
+
+std::int64_t HistogramSnapshot::quantile(double q) const {
+  if (count == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  const auto target = std::max<std::uint64_t>(
+      1,
+      static_cast<std::uint64_t>(std::ceil(q * static_cast<double>(count))));
+  std::uint64_t cum = 0;
+  for (std::size_t b = 0; b < buckets.size(); ++b) {
+    cum += buckets[b];
+    if (cum >= target) {
+      // Never report a bound beyond the observed maximum (and the overflow
+      // bucket has no bound of its own).
+      return b < bounds.size() ? std::min(bounds[b], max) : max;
+    }
+  }
+  return max;
+}
+
+std::string HistogramSnapshot::to_string() const {
+  std::ostringstream os;
+  const std::string suffix = unit.empty() ? "" : " " + unit;
+  for (std::size_t b = 0; b < buckets.size(); ++b) {
+    if (buckets[b] == 0) continue;
+    if (b < bounds.size()) {
+      os << "  <= " << bounds[b] << suffix << ": " << buckets[b] << "\n";
+    } else {
+      os << "  >  " << bounds.back() << suffix << ": " << buckets[b] << "\n";
+    }
+  }
+  return os.str();
+}
+
+Histogram::Histogram(std::vector<std::int64_t> bounds, std::string unit)
+    : bounds_(std::move(bounds)),
+      unit_(std::move(unit)),
+      buckets_(bounds_.size() + 1) {
+  WM_CHECK(!bounds_.empty(), "histogram needs at least one bucket bound");
+  WM_CHECK(std::is_sorted(bounds_.begin(), bounds_.end()) &&
+               std::adjacent_find(bounds_.begin(), bounds_.end()) ==
+                   bounds_.end(),
+           "histogram bounds must be strictly ascending");
+}
+
+void Histogram::record(std::int64_t v) {
+  v = std::max<std::int64_t>(v, 0);
+  std::size_t b = 0;
+  while (b < bounds_.size() && v > bounds_[b]) ++b;
+  buckets_[b].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+  std::int64_t cur = max_.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !max_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+HistogramSnapshot Histogram::snapshot() const {
+  HistogramSnapshot s;
+  s.bounds = bounds_;
+  s.unit = unit_;
+  s.buckets.resize(buckets_.size());
+  for (std::size_t b = 0; b < buckets_.size(); ++b) {
+    s.buckets[b] = buckets_[b].load(std::memory_order_relaxed);
+  }
+  s.count = count_.load(std::memory_order_relaxed);
+  s.sum = sum_.load(std::memory_order_relaxed);
+  s.max = max_.load(std::memory_order_relaxed);
+  return s;
+}
+
+std::vector<std::int64_t> Histogram::latency_bounds_us() {
+  return {50,    100,   200,    500,    1000,    2000,    5000,   10000,
+          20000, 50000, 100000, 200000, 500000, 1000000, 5000000};
+}
+
+std::vector<std::int64_t> Histogram::size_bounds() {
+  return {1, 2, 4, 8, 16, 32, 64, 128, 256, 512};
+}
+
+void Registry::check_name_free(const std::string& name,
+                               const char* kind) const {
+  WM_CHECK(valid_metric_name(name), "bad metric name '", name,
+           "' (want [A-Za-z_][A-Za-z0-9_]*)");
+  const bool taken = (counters_.count(name) != 0 && kind != nullptr &&
+                      std::string(kind) != "counter") ||
+                     (gauges_.count(name) != 0 && kind != nullptr &&
+                      std::string(kind) != "gauge") ||
+                     (histograms_.count(name) != 0 && kind != nullptr &&
+                      std::string(kind) != "histogram");
+  WM_CHECK(!taken, "metric '", name, "' already registered as another kind");
+}
+
+Counter& Registry::counter(const std::string& name, const std::string& help) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  check_name_free(name, "counter");
+  auto& entry = counters_[name];
+  if (!entry.instrument) {
+    entry.instrument = std::make_unique<Counter>();
+    entry.help = help;
+  }
+  return *entry.instrument;
+}
+
+Gauge& Registry::gauge(const std::string& name, const std::string& help) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  check_name_free(name, "gauge");
+  auto& entry = gauges_[name];
+  if (!entry.instrument) {
+    entry.instrument = std::make_unique<Gauge>();
+    entry.help = help;
+  }
+  return *entry.instrument;
+}
+
+Histogram& Registry::histogram(const std::string& name,
+                               std::vector<std::int64_t> bounds,
+                               const std::string& unit,
+                               const std::string& help) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  check_name_free(name, "histogram");
+  auto& entry = histograms_[name];
+  if (!entry.instrument) {
+    entry.instrument =
+        std::make_unique<Histogram>(std::move(bounds), unit);
+    entry.help = help;
+  } else {
+    WM_CHECK(entry.instrument->bounds() == bounds, "histogram '", name,
+             "' re-registered with different bucket bounds");
+  }
+  return *entry.instrument;
+}
+
+std::string Registry::prometheus_text() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::ostringstream os;
+  for (const auto& [name, entry] : counters_) {
+    if (!entry.help.empty()) os << "# HELP " << name << " " << entry.help << "\n";
+    os << "# TYPE " << name << " counter\n";
+    os << name << " " << entry.instrument->value() << "\n";
+  }
+  for (const auto& [name, entry] : gauges_) {
+    if (!entry.help.empty()) os << "# HELP " << name << " " << entry.help << "\n";
+    os << "# TYPE " << name << " gauge\n";
+    os << name << " " << format_double(entry.instrument->value()) << "\n";
+  }
+  for (const auto& [name, entry] : histograms_) {
+    if (!entry.help.empty()) os << "# HELP " << name << " " << entry.help << "\n";
+    os << "# TYPE " << name << " histogram\n";
+    const HistogramSnapshot s = entry.instrument->snapshot();
+    std::uint64_t cum = 0;
+    for (std::size_t b = 0; b < s.bounds.size(); ++b) {
+      cum += s.buckets[b];
+      os << name << "_bucket{le=\"" << s.bounds[b] << "\"} " << cum << "\n";
+    }
+    os << name << "_bucket{le=\"+Inf\"} " << s.count << "\n";
+    os << name << "_sum " << s.sum << "\n";
+    os << name << "_count " << s.count << "\n";
+  }
+  return os.str();
+}
+
+std::string Registry::json_text() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::ostringstream os;
+  os << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, entry] : counters_) {
+    os << (first ? "" : ",") << "\"" << name << "\":"
+       << entry.instrument->value();
+    first = false;
+  }
+  os << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, entry] : gauges_) {
+    os << (first ? "" : ",") << "\"" << name << "\":"
+       << json_double(entry.instrument->value());
+    first = false;
+  }
+  os << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, entry] : histograms_) {
+    const HistogramSnapshot s = entry.instrument->snapshot();
+    os << (first ? "" : ",") << "\"" << name << "\":{\"bounds\":[";
+    for (std::size_t b = 0; b < s.bounds.size(); ++b) {
+      os << (b ? "," : "") << s.bounds[b];
+    }
+    os << "],\"buckets\":[";
+    for (std::size_t b = 0; b < s.buckets.size(); ++b) {
+      os << (b ? "," : "") << s.buckets[b];
+    }
+    os << "],\"count\":" << s.count << ",\"sum\":" << s.sum
+       << ",\"max\":" << s.max << "}";
+    first = false;
+  }
+  os << "}}";
+  return os.str();
+}
+
+Registry& Registry::global() {
+  // Leaked on purpose: hot paths cache references into this registry in
+  // function-local statics, and those must outlive every other static.
+  static Registry* registry = new Registry();
+  return *registry;
+}
+
+}  // namespace wm::obs

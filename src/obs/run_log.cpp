@@ -1,0 +1,144 @@
+#include "obs/run_log.hpp"
+
+#include <chrono>
+#include <cmath>
+#include <cstdlib>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace wm::obs {
+
+namespace {
+
+void append_json_string(std::string* out, const std::string& s) {
+  out->push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\n': *out += "\\n"; break;
+      case '\t': *out += "\\t"; break;
+      case '\r': *out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void append_json_number(std::string* out, double v) {
+  if (std::isnan(v) || std::isinf(v)) {
+    *out += "null";
+    return;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.10g", v);
+  *out += buf;
+}
+
+double unix_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+LogField::LogField(std::string key, double v)
+    : key_(std::move(key)), kind_(Kind::kNum), num_(v) {}
+LogField::LogField(std::string key, float v)
+    : LogField(std::move(key), static_cast<double>(v)) {}
+LogField::LogField(std::string key, int v)
+    : key_(std::move(key)), kind_(Kind::kInt), int_(v) {}
+LogField::LogField(std::string key, std::int64_t v)
+    : key_(std::move(key)), kind_(Kind::kInt), int_(v) {}
+LogField::LogField(std::string key, std::uint64_t v)
+    : key_(std::move(key)), kind_(Kind::kInt),
+      int_(static_cast<long long>(v)) {}
+LogField::LogField(std::string key, bool v)
+    : key_(std::move(key)), kind_(Kind::kBool), bool_(v) {}
+LogField::LogField(std::string key, std::string v)
+    : key_(std::move(key)), kind_(Kind::kStr), str_(std::move(v)) {}
+LogField::LogField(std::string key, const char* v)
+    : LogField(std::move(key), std::string(v)) {}
+
+RunLog::RunLog(const std::string& path) { reopen(path); }
+
+RunLog::~RunLog() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+void RunLog::reopen(const std::string& path) {
+  std::FILE* next = nullptr;
+  if (!path.empty()) {
+    next = std::fopen(path.c_str(), "a");
+    if (next == nullptr) throw IoError("cannot open run log " + path);
+  }
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (file_ != nullptr) std::fclose(file_);
+  file_ = next;
+  path_ = path;
+}
+
+bool RunLog::enabled() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return file_ != nullptr;
+}
+
+std::string RunLog::path() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return path_;
+}
+
+void RunLog::write(const std::string& event,
+                   const std::vector<LogField>& fields) {
+  std::string line;
+  line.reserve(64 + fields.size() * 24);
+  line += "{\"ts\":";
+  append_json_number(&line, unix_seconds());
+  line += ",\"event\":";
+  append_json_string(&line, event);
+  for (const LogField& f : fields) {
+    line.push_back(',');
+    append_json_string(&line, f.key_);
+    line.push_back(':');
+    switch (f.kind_) {
+      case LogField::Kind::kNum: append_json_number(&line, f.num_); break;
+      case LogField::Kind::kInt: line += std::to_string(f.int_); break;
+      case LogField::Kind::kBool: line += f.bool_ ? "true" : "false"; break;
+      case LogField::Kind::kStr: append_json_string(&line, f.str_); break;
+    }
+  }
+  line += "}\n";
+
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (file_ == nullptr) return;
+  std::fwrite(line.data(), 1, line.size(), file_);
+  std::fflush(file_);
+}
+
+RunLog& run_log_global() {
+  // Leaked on purpose (see Registry::global()). Initialised from WM_RUN_LOG.
+  static RunLog* log = [] {
+    auto* l = new RunLog();
+    if (const char* env = std::getenv("WM_RUN_LOG")) {
+      if (*env != '\0') l->reopen(env);
+    }
+    return l;
+  }();
+  return *log;
+}
+
+void set_run_log_path(const std::string& path) {
+  run_log_global().reopen(path);
+}
+
+}  // namespace wm::obs

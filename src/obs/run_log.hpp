@@ -1,0 +1,84 @@
+// wm::obs run log — append-only JSONL record of a training/serving run.
+//
+// Every line is one self-contained JSON object:
+//
+//   {"ts":1754400000.123,"event":"epoch","epoch":3,"loss":0.41,...}
+//
+// The trainers (selective::SelectiveTrainer, augment::train_cae) write their
+// per-epoch stats and learning-phase boundaries here when a log is supplied
+// through their options, or to the process-wide log configured by the
+// WM_RUN_LOG env var / set_run_log_path(). A default-constructed RunLog is a
+// null sink: write() is a no-op, so call sites never need to branch.
+//
+// Lines are composed in memory and emitted with a single fwrite under a
+// mutex, so concurrent writers cannot interleave mid-line.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace wm::obs {
+
+/// One typed key/value pair of a run-log line.
+class LogField {
+ public:
+  LogField(std::string key, double v);
+  LogField(std::string key, float v);
+  LogField(std::string key, int v);
+  LogField(std::string key, std::int64_t v);
+  LogField(std::string key, std::uint64_t v);  // also std::size_t on LP64
+  LogField(std::string key, bool v);
+  LogField(std::string key, std::string v);
+  LogField(std::string key, const char* v);
+
+ private:
+  friend class RunLog;
+  enum class Kind { kNum, kInt, kBool, kStr };
+
+  std::string key_;
+  Kind kind_;
+  double num_ = 0.0;
+  long long int_ = 0;
+  bool bool_ = false;
+  std::string str_;
+};
+
+class RunLog {
+ public:
+  /// Disabled sink; write() does nothing.
+  RunLog() = default;
+  /// Opens `path` for appending; throws wm::IoError on failure.
+  explicit RunLog(const std::string& path);
+  ~RunLog();
+
+  RunLog(const RunLog&) = delete;
+  RunLog& operator=(const RunLog&) = delete;
+
+  /// Re-points the log at a new file (closing any current one). An empty
+  /// path disables the log again.
+  void reopen(const std::string& path);
+
+  bool enabled() const;
+  std::string path() const;
+
+  /// Appends {"ts":...,"event":event,<fields>} as one line. Non-finite
+  /// numbers are written as null. No-op when disabled.
+  void write(const std::string& event, const std::vector<LogField>& fields);
+
+ private:
+  mutable std::mutex mutex_;
+  std::FILE* file_ = nullptr;
+  std::string path_;
+};
+
+/// Process-wide run log: disabled unless the WM_RUN_LOG env var names a path
+/// at first use, or set_run_log_path() is called. Never destroyed.
+RunLog& run_log_global();
+
+/// Points run_log_global() at `path` (empty disables it).
+void set_run_log_path(const std::string& path);
+
+}  // namespace wm::obs

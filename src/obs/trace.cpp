@@ -1,0 +1,233 @@
+#include "obs/trace.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/thread_id.hpp"
+
+namespace wm::obs {
+
+namespace detail {
+std::atomic<int> g_trace_state{-1};
+}  // namespace detail
+
+namespace {
+
+struct TraceEvent {
+  const char* name;
+  std::int64_t start_ns;
+  std::int64_t dur_ns;
+};
+
+struct ThreadBuffer {
+  std::mutex mutex;
+  int tid = 0;
+  std::size_t capacity = 0;
+  std::vector<TraceEvent> events;  // grows to capacity, then rings
+  std::size_t next = 0;            // oldest slot once the ring is full
+  std::uint64_t dropped = 0;       // events overwritten by wrap-around
+};
+
+struct TracerState {
+  std::mutex mutex;
+  // shared_ptr so buffers of exited threads survive until export.
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  std::int64_t base_ns = 0;  // export timestamps are relative to this
+  std::atomic<std::size_t> capacity{0};
+};
+
+std::size_t capacity_from_env() {
+  if (const char* env = std::getenv("WM_TRACE_BUFFER")) {
+    const long v = std::atol(env);
+    if (v > 0) return static_cast<std::size_t>(v);
+  }
+  return 65536;
+}
+
+std::int64_t steady_now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+TracerState& tracer() {
+  // Leaked on purpose: thread_local buffer owners may be destroyed after
+  // other statics, and export helpers must stay callable late.
+  static TracerState* state = [] {
+    auto* s = new TracerState();
+    s->base_ns = steady_now_ns();
+    s->capacity.store(capacity_from_env(), std::memory_order_relaxed);
+    return s;
+  }();
+  return *state;
+}
+
+ThreadBuffer& local_buffer() {
+  thread_local std::shared_ptr<ThreadBuffer> buf = [] {
+    TracerState& t = tracer();
+    auto b = std::make_shared<ThreadBuffer>();
+    b->tid = this_thread_index();
+    b->capacity = t.capacity.load(std::memory_order_relaxed);
+    const std::lock_guard<std::mutex> lock(t.mutex);
+    t.buffers.push_back(b);
+    return b;
+  }();
+  return *buf;
+}
+
+/// Copies a buffer's events oldest-first.
+void append_in_order(const ThreadBuffer& b, std::vector<TraceEvent>* out) {
+  if (b.events.size() < b.capacity || b.next == 0) {
+    out->insert(out->end(), b.events.begin(), b.events.end());
+    return;
+  }
+  out->insert(out->end(), b.events.begin() + static_cast<std::ptrdiff_t>(b.next),
+              b.events.end());
+  out->insert(out->end(), b.events.begin(),
+              b.events.begin() + static_cast<std::ptrdiff_t>(b.next));
+}
+
+void json_escape_into(std::ostringstream& os, const char* s) {
+  for (; *s; ++s) {
+    const char c = *s;
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      case '\r': os << "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+namespace detail {
+
+bool trace_init_from_env() {
+  const char* env = std::getenv("WM_TRACE");
+  std::string v = env == nullptr ? "" : env;
+  const bool on = !v.empty() && v != "0" && v != "off" && v != "false";
+  int expected = -1;
+  g_trace_state.compare_exchange_strong(expected, on ? 1 : 0);
+  return g_trace_state.load(std::memory_order_relaxed) != 0;
+}
+
+std::int64_t trace_now_ns() { return steady_now_ns(); }
+
+void trace_record(const char* name, std::int64_t start_ns,
+                  std::int64_t end_ns) {
+  ThreadBuffer& b = local_buffer();
+  const TraceEvent e{name, start_ns, end_ns - start_ns};
+  const std::lock_guard<std::mutex> lock(b.mutex);
+  if (b.events.size() < b.capacity) {
+    b.events.push_back(e);
+  } else if (b.capacity > 0) {
+    b.events[b.next] = e;  // overwrite the oldest event
+    b.next = (b.next + 1) % b.capacity;
+    ++b.dropped;
+  }
+}
+
+}  // namespace detail
+
+void set_trace_enabled(bool on) {
+  detail::g_trace_state.store(on ? 1 : 0, std::memory_order_relaxed);
+}
+
+void set_trace_buffer_capacity(std::size_t events) {
+  WM_CHECK(events > 0, "trace buffer capacity must be positive");
+  tracer().capacity.store(events, std::memory_order_relaxed);
+}
+
+std::size_t trace_event_count() {
+  TracerState& t = tracer();
+  const std::lock_guard<std::mutex> lock(t.mutex);
+  std::size_t n = 0;
+  for (const auto& b : t.buffers) {
+    const std::lock_guard<std::mutex> buffer_lock(b->mutex);
+    n += b->events.size();
+  }
+  return n;
+}
+
+std::uint64_t trace_dropped_count() {
+  TracerState& t = tracer();
+  const std::lock_guard<std::mutex> lock(t.mutex);
+  std::uint64_t n = 0;
+  for (const auto& b : t.buffers) {
+    const std::lock_guard<std::mutex> buffer_lock(b->mutex);
+    n += b->dropped;
+  }
+  return n;
+}
+
+void trace_clear() {
+  TracerState& t = tracer();
+  const std::lock_guard<std::mutex> lock(t.mutex);
+  for (const auto& b : t.buffers) {
+    const std::lock_guard<std::mutex> buffer_lock(b->mutex);
+    b->events.clear();
+    b->next = 0;
+    b->dropped = 0;
+  }
+}
+
+std::string trace_to_json() {
+  TracerState& t = tracer();
+  std::ostringstream os;
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,"
+        "\"args\":{\"name\":\"wm\"}}";
+
+  const std::lock_guard<std::mutex> lock(t.mutex);
+  for (const auto& b : t.buffers) {
+    const std::lock_guard<std::mutex> buffer_lock(b->mutex);
+    os << ",{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":"
+       << b->tid << ",\"args\":{\"name\":\"thread-" << b->tid << "\"}}";
+    std::vector<TraceEvent> ordered;
+    ordered.reserve(b->events.size());
+    append_in_order(*b, &ordered);
+    for (const TraceEvent& e : ordered) {
+      const double ts_us =
+          static_cast<double>(e.start_ns - t.base_ns) / 1000.0;
+      const double dur_us = static_cast<double>(e.dur_ns) / 1000.0;
+      char nums[96];
+      std::snprintf(nums, sizeof(nums), "\"ts\":%.3f,\"dur\":%.3f", ts_us,
+                    dur_us);
+      os << ",{\"name\":\"";
+      json_escape_into(os, e.name);
+      os << "\",\"cat\":\"wm\",\"ph\":\"X\",\"pid\":1,\"tid\":" << b->tid
+         << "," << nums << "}";
+    }
+  }
+  os << "]}";
+  return os.str();
+}
+
+void trace_write_json(const std::string& path) {
+  const std::string json = trace_to_json();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) throw IoError("cannot open trace file " + path);
+  const std::size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  const int rc = std::fclose(f);
+  if (written != json.size() || rc != 0) {
+    throw IoError("short write to trace file " + path);
+  }
+}
+
+}  // namespace wm::obs

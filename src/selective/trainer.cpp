@@ -9,6 +9,9 @@
 #include "common/stopwatch.hpp"
 #include "nn/loss/cross_entropy.hpp"
 #include "nn/optim/optimizer.hpp"
+#include "obs/metrics.hpp"
+#include "obs/run_log.hpp"
+#include "obs/trace.hpp"
 #include "tensor/tensor_ops.hpp"
 
 namespace wm::selective {
@@ -39,6 +42,31 @@ TrainingLog SelectiveTrainer::train(SelectiveNet& net, const Dataset& training,
                                     .alpha = opts_.alpha});
   nn::Adam optimizer(net.parameters(), {.lr = opts_.learning_rate});
 
+  obs::RunLog& run_log =
+      opts_.run_log != nullptr ? *opts_.run_log : obs::run_log_global();
+  obs::Registry& registry = obs::Registry::global();
+  obs::Counter& epochs_total = registry.counter(
+      "wm_train_epochs_total", "selective-trainer epochs completed");
+  obs::Gauge& loss_gauge =
+      registry.gauge("wm_train_loss", "last epoch mean training loss");
+  obs::Gauge& coverage_gauge = registry.gauge(
+      "wm_train_coverage", "last epoch empirical coverage (phi-hat)");
+  obs::Gauge& risk_gauge = registry.gauge(
+      "wm_train_selective_risk", "last epoch empirical selective risk");
+  obs::Gauge& val_acc_gauge = registry.gauge(
+      "wm_train_val_accuracy", "last epoch full-coverage validation accuracy");
+  obs::Gauge& lr_gauge =
+      registry.gauge("wm_train_lr", "current learning rate");
+  run_log.write("train_begin",
+                {{"epochs", opts_.epochs},
+                 {"batch_size", opts_.batch_size},
+                 {"learning_rate", opts_.learning_rate},
+                 {"target_coverage", opts_.target_coverage},
+                 {"lambda", opts_.lambda},
+                 {"alpha", opts_.alpha},
+                 {"mode", ce_only ? "ce" : "selective"},
+                 {"train_size", training.size()}});
+
   Stopwatch watch;
   TrainingLog log;
   float best_loss = std::numeric_limits<float>::infinity();
@@ -49,6 +77,7 @@ TrainingLog SelectiveTrainer::train(SelectiveNet& net, const Dataset& training,
   std::vector<Tensor> best_params;
   const double base_lr = opts_.learning_rate;
   for (int epoch = 0; epoch < opts_.epochs; ++epoch) {
+    WM_TRACE_SCOPE("train.epoch");
     if (opts_.final_lr_fraction < 1.0 && opts_.epochs > 1) {
       // Exponential schedule from base_lr down to base_lr * fraction.
       const double t = static_cast<double>(epoch) / (opts_.epochs - 1);
@@ -89,6 +118,7 @@ TrainingLog SelectiveTrainer::train(SelectiveNet& net, const Dataset& training,
     stats.coverage = static_cast<float>(epoch_cov / n);
     stats.selective_risk = static_cast<float>(epoch_risk / n);
     if (validation != nullptr && !validation->empty()) {
+      WM_TRACE_SCOPE("train.eval");
       stats.val_accuracy = static_cast<float>(argmax_accuracy(net, *validation));
       if (track_best && *stats.val_accuracy > best_val_acc) {
         best_val_acc = *stats.val_accuracy;
@@ -103,6 +133,21 @@ TrainingLog SelectiveTrainer::train(SelectiveNet& net, const Dataset& training,
              " cov=", stats.coverage,
              stats.val_accuracy ? " val_acc=" + std::to_string(*stats.val_accuracy)
                                 : "");
+    epochs_total.inc();
+    loss_gauge.set(stats.loss);
+    coverage_gauge.set(stats.coverage);
+    risk_gauge.set(stats.selective_risk);
+    lr_gauge.set(optimizer.options().lr);
+    if (stats.val_accuracy) val_acc_gauge.set(*stats.val_accuracy);
+    std::vector<obs::LogField> fields{{"epoch", epoch + 1},
+                                      {"loss", stats.loss},
+                                      {"coverage", stats.coverage},
+                                      {"selective_risk", stats.selective_risk},
+                                      {"lr", optimizer.options().lr}};
+    if (stats.val_accuracy) {
+      fields.emplace_back("val_accuracy", *stats.val_accuracy);
+    }
+    run_log.write("epoch", fields);
 
     if (opts_.patience > 0) {
       if (stats.loss < best_loss - opts_.min_improvement) {
@@ -110,6 +155,8 @@ TrainingLog SelectiveTrainer::train(SelectiveNet& net, const Dataset& training,
         stale_epochs = 0;
       } else if (++stale_epochs >= opts_.patience) {
         log_info("early stop at epoch ", epoch + 1);
+        run_log.write("early_stop", {{"epoch", epoch + 1},
+                                     {"best_loss", best_loss}});
         break;
       }
     }
@@ -121,8 +168,13 @@ TrainingLog SelectiveTrainer::train(SelectiveNet& net, const Dataset& training,
       params[i]->value = best_params[i];
     }
     log_info("restored best-validation parameters (val_acc=", best_val_acc, ")");
+    run_log.write("restore_best", {{"val_accuracy", best_val_acc}});
   }
   log.wall_seconds = watch.seconds();
+  run_log.write("train_end",
+                {{"epochs_run", static_cast<int>(log.epochs.size())},
+                 {"wall_seconds", log.wall_seconds},
+                 {"final_loss", log.final_epoch().loss}});
   return log;
 }
 

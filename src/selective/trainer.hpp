@@ -12,6 +12,10 @@
 #include "selective/selective_net.hpp"
 #include "wafermap/dataset.hpp"
 
+namespace wm::obs {
+class RunLog;
+}
+
 namespace wm::selective {
 
 struct TrainerOptions {
@@ -37,6 +41,11 @@ struct TrainerOptions {
   /// Restore the parameters of the best validation epoch after training
   /// (needs a validation set; ignored otherwise).
   bool keep_best = false;
+  /// JSONL sink for per-epoch stats and learning-phase boundaries. Defaults
+  /// to obs::run_log_global() (disabled unless WM_RUN_LOG is set). The same
+  /// quantities are also published as wm_train_* metrics in
+  /// obs::Registry::global() regardless of this setting.
+  obs::RunLog* run_log = nullptr;
 };
 
 struct EpochStats {

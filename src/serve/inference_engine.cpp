@@ -1,60 +1,13 @@
 #include "serve/inference_engine.hpp"
 
 #include <algorithm>
-#include <cmath>
 #include <sstream>
 #include <utility>
 
 #include "common/error.hpp"
+#include "obs/trace.hpp"
 
 namespace wm::serve {
-
-void LatencyHistogram::record(std::int64_t us) {
-  us = std::max<std::int64_t>(us, 0);
-  std::size_t b = 0;
-  while (b < kBoundsUs.size() && us > kBoundsUs[b]) ++b;
-  ++buckets_[b];
-  ++count_;
-  sum_us_ += us;
-  max_us_ = std::max(max_us_, us);
-}
-
-double LatencyHistogram::mean_us() const {
-  return count_ == 0 ? 0.0
-                     : static_cast<double>(sum_us_) /
-                           static_cast<double>(count_);
-}
-
-std::int64_t LatencyHistogram::quantile_us(double q) const {
-  if (count_ == 0) return 0;
-  q = std::clamp(q, 0.0, 1.0);
-  const auto target = std::max<std::uint64_t>(
-      1, static_cast<std::uint64_t>(
-             std::ceil(q * static_cast<double>(count_))));
-  std::uint64_t cum = 0;
-  for (std::size_t b = 0; b < buckets_.size(); ++b) {
-    cum += buckets_[b];
-    if (cum >= target) {
-      // Never report a bound beyond the observed maximum (and the overflow
-      // bucket has no bound of its own).
-      return b < kBoundsUs.size() ? std::min(kBoundsUs[b], max_us_) : max_us_;
-    }
-  }
-  return max_us_;
-}
-
-std::string LatencyHistogram::to_string() const {
-  std::ostringstream os;
-  for (std::size_t b = 0; b < buckets_.size(); ++b) {
-    if (buckets_[b] == 0) continue;
-    if (b < kBoundsUs.size()) {
-      os << "  <= " << kBoundsUs[b] << " us: " << buckets_[b] << "\n";
-    } else {
-      os << "  >  " << kBoundsUs.back() << " us: " << buckets_[b] << "\n";
-    }
-  }
-  return os.str();
-}
 
 std::string EngineStats::to_string() const {
   std::ostringstream os;
@@ -73,7 +26,28 @@ std::string EngineStats::to_string() const {
 
 InferenceEngine::InferenceEngine(const Classifier& classifier,
                                  const EngineOptions& opts)
-    : classifier_(classifier), opts_(opts) {
+    : classifier_(classifier),
+      opts_(opts),
+      metrics_(opts_.registry != nullptr ? *opts_.registry : own_metrics_),
+      requests_total_(metrics_.counter("wm_serve_requests_total",
+                                       "completed requests (futures fulfilled)")),
+      batches_total_(metrics_.counter("wm_serve_batches_total",
+                                      "predict_batch calls issued")),
+      abstained_total_(metrics_.counter("wm_serve_abstained_total",
+                                        "results with selected == false")),
+      full_flushes_total_(metrics_.counter("wm_serve_full_flushes_total",
+                                           "batches flushed at max_batch")),
+      timer_flushes_total_(metrics_.counter(
+          "wm_serve_timer_flushes_total", "batches flushed by timer / drain")),
+      queue_depth_gauge_(metrics_.gauge("wm_serve_queue_depth",
+                                        "requests queued, batch in flight excluded")),
+      batch_size_hist_(metrics_.histogram("wm_serve_batch_size",
+                                          obs::Histogram::size_bounds(), "",
+                                          "requests per flushed batch")),
+      latency_hist_(metrics_.histogram("wm_serve_request_latency_us",
+                                       obs::Histogram::latency_bounds_us(),
+                                       "us",
+                                       "per-request enqueue-to-result latency")) {
   WM_CHECK(opts.max_batch > 0, "max_batch must be positive");
   WM_CHECK(opts.max_delay_us >= 0, "max_delay_us must be non-negative");
   WM_CHECK(opts.queue_capacity > 0, "queue_capacity must be positive");
@@ -90,6 +64,7 @@ std::future<SelectivePrediction> InferenceEngine::submit(WaferMap map) {
   WM_CHECK(!stopping_, "submit() on a shut-down engine");
   queue_.push_back(Request{std::move(map), {}, Clock::now()});
   std::future<SelectivePrediction> fut = queue_.back().promise.get_future();
+  queue_depth_gauge_.set(static_cast<double>(queue_.size()));
   lock.unlock();
   queue_cv_.notify_one();
   return fut;
@@ -122,8 +97,22 @@ std::size_t InferenceEngine::queue_depth() const {
 }
 
 EngineStats InferenceEngine::stats() const {
+  // The batcher updates all instruments while holding mutex_, so reading
+  // them under the same lock yields a consistent snapshot (e.g. requests
+  // always equals latency.count()).
   std::lock_guard<std::mutex> lock(mutex_);
-  return stats_;
+  EngineStats s;
+  s.requests = requests_total_.value();
+  s.batches = batches_total_.value();
+  s.abstained = abstained_total_.value();
+  s.full_flushes = full_flushes_total_.value();
+  s.timer_flushes = timer_flushes_total_.value();
+  static_cast<obs::HistogramSnapshot&>(s.latency) = latency_hist_.snapshot();
+  return s;
+}
+
+std::string InferenceEngine::stats_text() const {
+  return metrics_.prometheus_text();
 }
 
 void InferenceEngine::batcher_loop() {
@@ -152,6 +141,7 @@ void InferenceEngine::batcher_loop() {
         batch.push_back(std::move(queue_.front()));
         queue_.pop_front();
       }
+      queue_depth_gauge_.set(static_cast<double>(queue_.size()));
     }
     space_cv_.notify_all();  // queue shrank: unblock producers
 
@@ -161,6 +151,7 @@ void InferenceEngine::batcher_loop() {
     std::vector<SelectivePrediction> preds;
     std::exception_ptr error;
     try {
+      WM_TRACE_SCOPE("serve.flush");
       preds = classifier_.predict_batch(maps);
       WM_CHECK(preds.size() == batch.size(),
                "classifier broke the predict_batch contract: ", preds.size(),
@@ -172,12 +163,13 @@ void InferenceEngine::batcher_loop() {
 
     {
       std::lock_guard<std::mutex> lock(mutex_);
-      ++stats_.batches;
-      ++(full_flush ? stats_.full_flushes : stats_.timer_flushes);
+      batches_total_.inc();
+      (full_flush ? full_flushes_total_ : timer_flushes_total_).inc();
+      batch_size_hist_.record(static_cast<std::int64_t>(batch.size()));
+      requests_total_.inc(batch.size());
       for (std::size_t i = 0; i < batch.size(); ++i) {
-        ++stats_.requests;
-        if (!error) stats_.abstained += !preds[i].selected;
-        stats_.latency.record(
+        if (!error) abstained_total_.inc(!preds[i].selected);
+        latency_hist_.record(
             std::chrono::duration_cast<std::chrono::microseconds>(
                 done - batch[i].enqueued)
                 .count());

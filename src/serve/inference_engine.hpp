@@ -15,11 +15,20 @@
 // composition, engine results are bit-identical to calling predict_batch
 // directly on the same wafers.
 //
+// Observability: the engine publishes its counters through wm::obs
+// instruments (wm_serve_requests_total, wm_serve_queue_depth,
+// wm_serve_batch_size, wm_serve_request_latency_us, ...) — by default into
+// an engine-private registry, or into one you pass via
+// EngineOptions::registry (e.g. &obs::Registry::global() to merge with
+// trainer metrics in a single dump). stats() returns a consistent
+// EngineStats snapshot as before; stats_text() renders the registry in
+// Prometheus exposition format. Each flush is traced as a "serve.flush"
+// span (see obs/trace.hpp).
+//
 // Shutdown is drain-then-stop: shutdown() (and the destructor) rejects new
 // submissions, flushes everything already queued, then joins the batcher.
 #pragma once
 
-#include <array>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
@@ -30,6 +39,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "serve/classifier.hpp"
 #include "wafermap/wafer_map.hpp"
 
@@ -44,31 +54,21 @@ struct EngineOptions {
   std::int64_t max_delay_us = 2000;
   /// submit() blocks while this many requests are already queued.
   std::size_t queue_capacity = 256;
+  /// Where the wm_serve_* instruments live. nullptr = an engine-private
+  /// registry (each engine gets its own counters). Point several engines at
+  /// one registry and they share (aggregate) the same instruments.
+  obs::Registry* registry = nullptr;
 };
 
-/// Log-spaced request latency histogram (microseconds, enqueue to result).
-class LatencyHistogram {
- public:
-  void record(std::int64_t us);
-
-  std::uint64_t count() const { return count_; }
-  double mean_us() const;
+/// Compatibility view of the request-latency distribution: an
+/// obs::HistogramSnapshot (the one shared histogram implementation) with
+/// the microsecond-suffixed accessors this header always had.
+struct LatencyHistogram : obs::HistogramSnapshot {
+  std::uint64_t count() const { return HistogramSnapshot::count; }
+  double mean_us() const { return mean(); }
   /// Upper bucket bound containing the q-quantile, q in [0, 1]; the exact
   /// observed maximum for the tail bucket. 0 when empty.
-  std::int64_t quantile_us(double q) const;
-
-  std::string to_string() const;
-
- private:
-  // Bucket upper bounds: 1-2-5 decades from 50us to 5s, then overflow.
-  static constexpr std::array<std::int64_t, 15> kBoundsUs = {
-      50,     100,    200,     500,     1000,    2000,    5000,   10000,
-      20000,  50000,  100000,  200000,  500000,  1000000, 5000000};
-
-  std::array<std::uint64_t, kBoundsUs.size() + 1> buckets_{};
-  std::uint64_t count_ = 0;
-  std::int64_t sum_us_ = 0;
-  std::int64_t max_us_ = 0;
+  std::int64_t quantile_us(double q) const { return quantile(q); }
 };
 
 /// Counters since engine construction. A consistent snapshot is returned by
@@ -127,6 +127,14 @@ class InferenceEngine {
   /// Consistent snapshot of the counters.
   EngineStats stats() const;
 
+  /// Prometheus exposition dump of the engine's registry (every wm_serve_*
+  /// instrument; plus whatever else lives there when a shared registry was
+  /// passed in EngineOptions).
+  std::string stats_text() const;
+
+  /// The registry holding this engine's instruments.
+  obs::Registry& metrics_registry() const { return metrics_; }
+
  private:
   using Clock = std::chrono::steady_clock;
 
@@ -141,13 +149,23 @@ class InferenceEngine {
   const Classifier& classifier_;
   const EngineOptions opts_;
 
+  mutable obs::Registry own_metrics_;  // used when opts_.registry == nullptr
+  obs::Registry& metrics_;
+  obs::Counter& requests_total_;
+  obs::Counter& batches_total_;
+  obs::Counter& abstained_total_;
+  obs::Counter& full_flushes_total_;
+  obs::Counter& timer_flushes_total_;
+  obs::Gauge& queue_depth_gauge_;
+  obs::Histogram& batch_size_hist_;
+  obs::Histogram& latency_hist_;
+
   mutable std::mutex mutex_;
   std::mutex join_mutex_;             // serialises shutdown()'s join
   std::condition_variable queue_cv_;  // batcher waits: work available / stop
   std::condition_variable space_cv_;  // producers wait: queue below capacity
   std::deque<Request> queue_;
   bool stopping_ = false;
-  EngineStats stats_;
 
   std::thread batcher_;  // started last: everything above is initialised
 };

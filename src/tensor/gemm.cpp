@@ -5,6 +5,8 @@
 
 #include "common/error.hpp"
 #include "common/threadpool.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "tensor/tensor.hpp"
 
 namespace wm {
@@ -195,6 +197,15 @@ void gemm_driver(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
                  std::int64_t b_k_stride, std::int64_t b_col_stride,
                  float beta, float* c, const float* bias_rows,
                  const float* bias_cols) {
+  WM_TRACE_SCOPE("gemm");
+  // Instrument refs are resolved once; afterwards this is two relaxed
+  // atomic adds per call.
+  static obs::Counter& calls = obs::Registry::global().counter(
+      "wm_tensor_gemm_calls_total", "GEMM invocations (all public variants)");
+  static obs::Counter& flop_count = obs::Registry::global().counter(
+      "wm_tensor_gemm_flops_total", "floating-point ops issued (2*M*N*K)");
+  calls.inc();
+  flop_count.inc(static_cast<std::uint64_t>(2 * m * n * k));
   if (m == 0 || n == 0) return;
   scale_c(m, n, beta, c);
   const bool no_product = alpha == 0.0f || k == 0;

@@ -1,0 +1,181 @@
+// wm::obs run log: JSONL line validity, typed fields, the null sink, and
+// the schema of trainer-emitted events.
+#include "obs/run_log.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "augment/cae.hpp"
+#include "augment/cae_trainer.hpp"
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "obs/json_check.hpp"
+#include "selective/trainer.hpp"
+#include "wafermap/synth/generator.hpp"
+
+namespace wm::obs {
+namespace {
+
+std::vector<std::string> read_lines(const std::string& path) {
+  std::ifstream in(path);
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty()) lines.push_back(line);
+  }
+  return lines;
+}
+
+std::string temp_path(const std::string& name) {
+  return ::testing::TempDir() + name;
+}
+
+TEST(RunLogTest, DefaultConstructedIsNullSink) {
+  RunLog log;
+  EXPECT_FALSE(log.enabled());
+  EXPECT_EQ(log.path(), "");
+  log.write("anything", {{"k", 1}});  // must not crash or write anywhere
+}
+
+TEST(RunLogTest, WritesOneValidJsonObjectPerLine) {
+  const std::string path = temp_path("wm_run_log_test.jsonl");
+  std::remove(path.c_str());
+  {
+    RunLog log(path);
+    EXPECT_TRUE(log.enabled());
+    EXPECT_EQ(log.path(), path);
+    log.write("begin", {{"run", "alpha \"quoted\"\n"}, {"threads", 4}});
+    log.write("step", {{"loss", 0.25}, {"done", false}, {"bad", std::nan("")}});
+    log.write("end", {{"count", std::uint64_t{12345678901234ull}}});
+  }
+  const std::vector<std::string> lines = read_lines(path);
+  std::remove(path.c_str());
+  ASSERT_EQ(lines.size(), 3u);
+
+  const testjson::Value l0 = testjson::parse(lines[0]);
+  EXPECT_TRUE(l0.at("ts").is_number());
+  EXPECT_EQ(l0.at("event").str(), "begin");
+  EXPECT_EQ(l0.at("run").str(), "alpha \"quoted\"\n");  // escapes round-trip
+  EXPECT_DOUBLE_EQ(l0.at("threads").num(), 4.0);
+
+  const testjson::Value l1 = testjson::parse(lines[1]);
+  EXPECT_DOUBLE_EQ(l1.at("loss").num(), 0.25);
+  EXPECT_FALSE(l1.at("done").boolean());
+  EXPECT_TRUE(l1.at("bad").is_null());  // NaN serialises as null
+
+  const testjson::Value l2 = testjson::parse(lines[2]);
+  EXPECT_DOUBLE_EQ(l2.at("count").num(), 12345678901234.0);
+}
+
+TEST(RunLogTest, ReopenRedirectsAndEmptyDisables) {
+  const std::string a = temp_path("wm_run_log_a.jsonl");
+  const std::string b = temp_path("wm_run_log_b.jsonl");
+  std::remove(a.c_str());
+  std::remove(b.c_str());
+  RunLog log(a);
+  log.write("one", {});
+  log.reopen(b);
+  log.write("two", {});
+  log.reopen("");
+  EXPECT_FALSE(log.enabled());
+  log.write("three", {});  // dropped
+  EXPECT_EQ(read_lines(a).size(), 1u);
+  EXPECT_EQ(read_lines(b).size(), 1u);
+  std::remove(a.c_str());
+  std::remove(b.c_str());
+}
+
+TEST(RunLogTest, ThrowsOnUnopenablePath) {
+  EXPECT_THROW(RunLog("/nonexistent_dir_xyz/run.jsonl"), IoError);
+}
+
+/// Easy 2-class dataset for a fast real training run.
+Dataset tiny_dataset(int per_class, std::uint64_t seed) {
+  Rng rng(seed);
+  synth::DatasetSpec spec;
+  spec.map_size = 16;
+  spec.class_counts[static_cast<std::size_t>(DefectType::kCenter)] = per_class;
+  spec.class_counts[static_cast<std::size_t>(DefectType::kNone)] = per_class;
+  return synth::generate_dataset(spec, rng);
+}
+
+TEST(RunLogSchemaTest, SelectiveTrainerEmitsBeginEpochsEnd) {
+  const std::string path = temp_path("wm_trainer_run_log.jsonl");
+  std::remove(path.c_str());
+  RunLog log(path);
+
+  Rng rng(11);
+  selective::SelectiveNet net(
+      {.map_size = 16, .num_classes = 9, .conv1_filters = 4,
+       .conv2_filters = 4, .conv3_filters = 4, .fc_units = 16},
+      rng);
+  Dataset train = tiny_dataset(8, 12);
+  train.shuffle(rng);
+  selective::SelectiveTrainer trainer({.epochs = 2, .batch_size = 8,
+                                       .learning_rate = 1e-3,
+                                       .target_coverage = 1.0,
+                                       .run_log = &log});
+  trainer.train(net, train, nullptr, rng);
+
+  const std::vector<std::string> lines = read_lines(path);
+  std::remove(path.c_str());
+  // train_begin + 2 epochs + train_end (no early stop on 2 epochs).
+  ASSERT_GE(lines.size(), 4u);
+
+  const testjson::Value begin = testjson::parse(lines.front());
+  EXPECT_EQ(begin.at("event").str(), "train_begin");
+  EXPECT_DOUBLE_EQ(begin.at("epochs").num(), 2.0);
+  EXPECT_EQ(begin.at("mode").str(), "ce");
+  EXPECT_TRUE(begin.at("train_size").is_number());
+
+  int epoch_lines = 0;
+  for (const std::string& line : lines) {
+    const testjson::Value v = testjson::parse(line);
+    EXPECT_TRUE(v.at("ts").is_number());
+    if (v.at("event").str() != "epoch") continue;
+    ++epoch_lines;
+    EXPECT_TRUE(v.at("epoch").is_number());
+    EXPECT_TRUE(v.at("loss").is_number());
+    EXPECT_TRUE(v.at("coverage").is_number());
+    EXPECT_TRUE(v.at("selective_risk").is_number());
+    EXPECT_TRUE(v.at("lr").is_number());
+  }
+  EXPECT_EQ(epoch_lines, 2);
+
+  const testjson::Value end = testjson::parse(lines.back());
+  EXPECT_EQ(end.at("event").str(), "train_end");
+  EXPECT_DOUBLE_EQ(end.at("epochs_run").num(), 2.0);
+  EXPECT_TRUE(end.at("wall_seconds").is_number());
+  EXPECT_TRUE(end.at("final_loss").is_number());
+}
+
+TEST(RunLogSchemaTest, CaeTrainerEmitsBeginEpochsEnd) {
+  const std::string path = temp_path("wm_cae_run_log.jsonl");
+  std::remove(path.c_str());
+  RunLog log(path);
+
+  Rng rng(21);
+  augment::ConvAutoencoder cae(
+      {.map_size = 16, .encoder_filters = {8, 4}, .kernel = 5}, rng);
+  const Dataset train = tiny_dataset(6, 22);
+  augment::train_cae(cae, train,
+                     {.epochs = 2, .batch_size = 6, .run_log = &log}, rng);
+
+  const std::vector<std::string> lines = read_lines(path);
+  std::remove(path.c_str());
+  ASSERT_EQ(lines.size(), 4u);  // begin + 2 epochs + end
+  EXPECT_EQ(testjson::parse(lines[0]).at("event").str(), "cae_train_begin");
+  const testjson::Value epoch = testjson::parse(lines[1]);
+  EXPECT_EQ(epoch.at("event").str(), "cae_epoch");
+  EXPECT_TRUE(epoch.at("mse").is_number());
+  EXPECT_EQ(testjson::parse(lines[3]).at("event").str(), "cae_train_end");
+}
+
+}  // namespace
+}  // namespace wm::obs

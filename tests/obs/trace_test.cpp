@@ -1,0 +1,131 @@
+// wm::obs tracing: the off-by-default gate, span recording, ring-buffer
+// wrap-around, and Chrome-trace JSON export well-formedness.
+#include "obs/trace.hpp"
+
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "obs/json_check.hpp"
+
+namespace wm::obs {
+namespace {
+
+/// Forces a known tracer state for each test; these tests share process-wide
+/// tracer state with everything else in the binary.
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    set_trace_enabled(false);
+    trace_clear();
+  }
+  void TearDown() override {
+    set_trace_enabled(false);
+    trace_clear();
+  }
+};
+
+TEST_F(TraceTest, DisabledSpansRecordNothing) {
+  ASSERT_FALSE(trace_enabled());
+  const std::size_t before = trace_event_count();
+  for (int i = 0; i < 100; ++i) {
+    WM_TRACE_SCOPE("should_not_appear");
+  }
+  EXPECT_EQ(trace_event_count(), before);
+}
+
+TEST_F(TraceTest, EnabledSpansAreRecordedAndCleared) {
+  set_trace_enabled(true);
+  {
+    WM_TRACE_SCOPE("outer");
+    WM_TRACE_SCOPE("inner");
+  }
+  EXPECT_EQ(trace_event_count(), 2u);
+  trace_clear();
+  EXPECT_EQ(trace_event_count(), 0u);
+}
+
+TEST_F(TraceTest, ExportIsValidChromeTraceJson) {
+  set_trace_enabled(true);
+  {
+    WM_TRACE_SCOPE("span_a");
+    WM_TRACE_SCOPE("span_b");
+  }
+  std::thread([] {
+    WM_TRACE_SCOPE("span_on_other_thread");
+  }).join();
+
+  const testjson::Value doc = testjson::parse(trace_to_json());
+  ASSERT_TRUE(doc.is_object());
+  ASSERT_TRUE(doc.at("traceEvents").is_array());
+  const testjson::Array& events = doc.at("traceEvents").arr();
+
+  int x_events = 0;
+  int metadata = 0;
+  bool saw_a = false, saw_b = false, saw_other = false;
+  for (const testjson::Value& e : events) {
+    ASSERT_TRUE(e.is_object());
+    const std::string ph = e.at("ph").str();
+    if (ph == "M") {
+      ++metadata;
+      continue;
+    }
+    ASSERT_EQ(ph, "X");
+    ++x_events;
+    // Every complete event carries the full Chrome-trace field set.
+    EXPECT_TRUE(e.at("name").is_string());
+    EXPECT_TRUE(e.at("pid").is_number());
+    EXPECT_TRUE(e.at("tid").is_number());
+    EXPECT_TRUE(e.at("ts").is_number());
+    ASSERT_TRUE(e.at("dur").is_number());
+    EXPECT_GE(e.at("dur").num(), 0.0);
+    const std::string& name = e.at("name").str();
+    saw_a = saw_a || name == "span_a";
+    saw_b = saw_b || name == "span_b";
+    saw_other = saw_other || name == "span_on_other_thread";
+  }
+  EXPECT_EQ(x_events, 3);
+  EXPECT_GE(metadata, 2);  // process_name + at least one thread_name
+  EXPECT_TRUE(saw_a);
+  EXPECT_TRUE(saw_b);
+  EXPECT_TRUE(saw_other);
+}
+
+TEST_F(TraceTest, RingBufferWrapsAndCountsDrops) {
+  set_trace_enabled(true);
+  const std::uint64_t dropped_before = trace_dropped_count();
+  // Capacity applies to buffers created afterwards, so spin up a new thread.
+  set_trace_buffer_capacity(8);
+  std::thread([] {
+    for (int i = 0; i < 20; ++i) {
+      WM_TRACE_SCOPE("wrap");
+    }
+  }).join();
+  set_trace_buffer_capacity(65536);
+  EXPECT_EQ(trace_dropped_count() - dropped_before, 12u);
+  // The ring still exports valid JSON after wrapping.
+  const testjson::Value doc = testjson::parse(trace_to_json());
+  EXPECT_TRUE(doc.at("traceEvents").is_array());
+}
+
+TEST_F(TraceTest, WriteJsonProducesLoadableFile) {
+  set_trace_enabled(true);
+  {
+    WM_TRACE_SCOPE("to_file");
+  }
+  const std::string path = ::testing::TempDir() + "wm_trace_test.json";
+  trace_write_json(path);
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::string content;
+  char buf[4096];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) content.append(buf, n);
+  std::fclose(f);
+  std::remove(path.c_str());
+  const testjson::Value doc = testjson::parse(content);
+  EXPECT_TRUE(doc.at("traceEvents").is_array());
+}
+
+}  // namespace
+}  // namespace wm::obs

@@ -301,16 +301,68 @@ TEST(InferenceEngineTest, RejectsBadOptions) {
 }
 
 TEST(LatencyHistogramTest, QuantilesAndMean) {
+  // LatencyHistogram is now a view over the shared obs::Histogram; record
+  // into one and snapshot it into the compat type.
+  obs::Histogram hist(obs::Histogram::latency_bounds_us(), "us");
   LatencyHistogram h;
+  static_cast<obs::HistogramSnapshot&>(h) = hist.snapshot();
   EXPECT_EQ(h.quantile_us(0.5), 0);
   EXPECT_EQ(h.count(), 0u);
-  for (int i = 0; i < 90; ++i) h.record(80);     // -> bucket <= 100us
-  for (int i = 0; i < 10; ++i) h.record(40'000); // -> bucket <= 50ms
+  for (int i = 0; i < 90; ++i) hist.record(80);     // -> bucket <= 100us
+  for (int i = 0; i < 10; ++i) hist.record(40'000); // -> bucket <= 50ms
+  static_cast<obs::HistogramSnapshot&>(h) = hist.snapshot();
   EXPECT_EQ(h.count(), 100u);
   EXPECT_DOUBLE_EQ(h.mean_us(), (90.0 * 80 + 10.0 * 40'000) / 100.0);
   EXPECT_EQ(h.quantile_us(0.50), 100);
   EXPECT_EQ(h.quantile_us(0.95), 40'000);  // capped at the observed max
   EXPECT_EQ(h.quantile_us(1.0), 40'000);
+}
+
+TEST(InferenceEngineTest, StatsTextExposesPrometheusMetrics) {
+  FakeClassifier clf;
+  InferenceEngine engine(clf, {.max_batch = 4, .max_delay_us = 0});
+  const WaferMap map = test_maps(1)[0];
+  for (int i = 0; i < 8; ++i) (void)engine.predict(map);
+  engine.shutdown();
+
+  const std::string text = engine.stats_text();
+  EXPECT_NE(text.find("# TYPE wm_serve_requests_total counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("wm_serve_requests_total 8"), std::string::npos);
+  EXPECT_NE(text.find("wm_serve_batch_size_count"), std::string::npos);
+  EXPECT_NE(text.find("wm_serve_request_latency_us_bucket"),
+            std::string::npos);
+  EXPECT_NE(text.find("wm_serve_queue_depth"), std::string::npos);
+}
+
+TEST(InferenceEngineTest, StatsMatchRegistryInstruments) {
+  FakeClassifier clf;
+  InferenceEngine engine(clf, {.max_batch = 2, .max_delay_us = 0});
+  const WaferMap map = test_maps(1)[0];
+  for (int i = 0; i < 6; ++i) (void)engine.predict(map);
+  engine.shutdown();
+
+  const EngineStats s = engine.stats();
+  obs::Registry& reg = engine.metrics_registry();
+  EXPECT_EQ(s.requests, reg.counter("wm_serve_requests_total", "").value());
+  EXPECT_EQ(s.batches, reg.counter("wm_serve_batches_total", "").value());
+  EXPECT_EQ(s.abstained, reg.counter("wm_serve_abstained_total", "").value());
+  EXPECT_EQ(s.full_flushes + s.timer_flushes, s.batches);
+  EXPECT_EQ(s.latency.count(), s.requests);
+}
+
+TEST(InferenceEngineTest, SharedRegistryAggregatesAcrossEngines) {
+  obs::Registry shared;
+  FakeClassifier clf;
+  const WaferMap map = test_maps(1)[0];
+  {
+    InferenceEngine a(clf, {.max_batch = 1, .registry = &shared});
+    InferenceEngine b(clf, {.max_batch = 1, .registry = &shared});
+    (void)a.predict(map);
+    (void)a.predict(map);
+    (void)b.predict(map);
+  }
+  EXPECT_EQ(shared.counter("wm_serve_requests_total", "").value(), 3u);
 }
 
 }  // namespace

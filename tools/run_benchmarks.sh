@@ -1,17 +1,20 @@
 #!/usr/bin/env bash
-# Runs the tensor micro benchmarks and the serving benchmark, writing the JSON
-# reports that are checked in at the repo root (BENCH_tensor.json,
-# BENCH_serve.json), so kernel- and serving-level perf changes show up in
+# Runs the tensor micro benchmarks, the serving benchmark, and the
+# observability-overhead benchmark, writing the JSON reports that are checked
+# in at the repo root (BENCH_tensor.json, BENCH_serve.json, BENCH_obs.json),
+# so kernel-, serving-, and instrumentation-level perf changes show up in
 # review diffs.
 #
-# Usage: tools/run_benchmarks.sh [build-dir] [output-json] [serve-output-json]
+# Usage: tools/run_benchmarks.sh [build-dir] [output-json] [serve-output-json] [obs-output-json]
 set -euo pipefail
 
 build_dir="${1:-build}"
 out="${2:-BENCH_tensor.json}"
 serve_out="${3:-BENCH_serve.json}"
+obs_out="${4:-BENCH_obs.json}"
 bench="${build_dir}/bench/bench_micro_tensor"
 serve_bench="${build_dir}/bench/bench_serve"
+obs_bench="${build_dir}/bench/bench_micro_obs"
 
 if [[ ! -x "${bench}" ]]; then
   echo "error: ${bench} not found; build first:" >&2
@@ -28,4 +31,14 @@ if [[ -x "${serve_bench}" ]]; then
   echo "wrote ${serve_out}"
 else
   echo "warning: ${serve_bench} not found; skipping ${serve_out}" >&2
+fi
+
+if [[ -x "${obs_bench}" ]]; then
+  # WM_TRACE deliberately unset: BM_SpanDisabled must measure the production
+  # default (tracing off), which the acceptance bar holds to < 10 ns/call.
+  env -u WM_TRACE "${obs_bench}" --benchmark_format=json \
+    --benchmark_min_time=0.2 >"${obs_out}"
+  echo "wrote ${obs_out}"
+else
+  echo "warning: ${obs_bench} not found; skipping ${obs_out}" >&2
 fi

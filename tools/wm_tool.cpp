@@ -19,6 +19,15 @@
 //
 //   wm_tool render --wafer FILE.pgm
 //       ASCII-render a wafer map.
+//
+// Observability flags, valid with every subcommand:
+//
+//   --metrics FILE   After the command, dump the global metrics registry to
+//                    FILE in Prometheus exposition format ("-" for stdout).
+//   --trace FILE     Enable scoped tracing (like WM_TRACE=1) and write a
+//                    Chrome/Perfetto trace to FILE on exit.
+//   --run-log FILE   Append per-epoch training events to FILE as JSONL
+//                    (same as the WM_RUN_LOG env var).
 #include <cstdio>
 #include <map>
 #include <string>
@@ -28,6 +37,9 @@
 #include "common/error.hpp"
 #include "common/rng.hpp"
 #include "eval/metrics.hpp"
+#include "obs/metrics.hpp"
+#include "obs/run_log.hpp"
+#include "obs/trace.hpp"
 #include "eval/tables.hpp"
 #include "selective/model_file.hpp"
 #include "selective/predictor.hpp"
@@ -188,7 +200,22 @@ int cmd_render(const Args& args) {
 void usage() {
   std::printf(
       "usage: wm_tool <generate|train|evaluate|classify|render> [--flags]\n"
+      "global flags: --metrics FILE  --trace FILE  --run-log FILE\n"
       "see the header of tools/wm_tool.cpp for per-command flags\n");
+}
+
+/// Writes the global registry's Prometheus dump to `path` ("-" = stdout).
+void dump_metrics(const std::string& path) {
+  const std::string text = obs::Registry::global().prometheus_text();
+  if (path == "-") {
+    std::printf("%s", text.c_str());
+    return;
+  }
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  WM_CHECK(f != nullptr, "cannot open metrics file ", path);
+  std::fwrite(text.data(), 1, text.size(), f);
+  std::fclose(f);
+  std::printf("metrics written to %s\n", path.c_str());
 }
 
 }  // namespace
@@ -201,13 +228,30 @@ int main(int argc, char** argv) {
   const std::string cmd = argv[1];
   try {
     const Args args(argc, argv, 2);
-    if (cmd == "generate") return cmd_generate(args);
-    if (cmd == "train") return cmd_train(args);
-    if (cmd == "evaluate") return cmd_evaluate(args);
-    if (cmd == "classify") return cmd_classify(args);
-    if (cmd == "render") return cmd_render(args);
-    usage();
-    return 2;
+    const std::string trace_path = args.get("trace", "");
+    if (!trace_path.empty()) obs::set_trace_enabled(true);
+    const std::string run_log_path = args.get("run-log", "");
+    if (!run_log_path.empty()) obs::set_run_log_path(run_log_path);
+
+    int rc = 2;
+    if (cmd == "generate") rc = cmd_generate(args);
+    else if (cmd == "train") rc = cmd_train(args);
+    else if (cmd == "evaluate") rc = cmd_evaluate(args);
+    else if (cmd == "classify") rc = cmd_classify(args);
+    else if (cmd == "render") rc = cmd_render(args);
+    else {
+      usage();
+      return 2;
+    }
+
+    if (!trace_path.empty()) {
+      obs::trace_write_json(trace_path);
+      std::printf("trace written to %s (open in https://ui.perfetto.dev)\n",
+                  trace_path.c_str());
+    }
+    const std::string metrics_path = args.get("metrics", "");
+    if (!metrics_path.empty()) dump_metrics(metrics_path);
+    return rc;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
