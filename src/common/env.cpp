@@ -1,0 +1,37 @@
+#include "common/env.hpp"
+
+#include <cerrno>
+#include <cstdlib>
+
+#include "common/logging.hpp"
+
+namespace wm {
+
+std::optional<std::int64_t> env_int(const char* name, std::int64_t min,
+                                    std::int64_t max) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr) return std::nullopt;
+  if (*raw == '\0') {
+    log_warn(name, " is set but empty; using the default");
+    return std::nullopt;
+  }
+  errno = 0;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(raw, &end, 10);
+  if (end == raw || *end != '\0') {
+    log_warn(name, "='", raw, "' is not an integer; using the default");
+    return std::nullopt;
+  }
+  if (errno == ERANGE) {
+    log_warn(name, "='", raw, "' overflows; using the default");
+    return std::nullopt;
+  }
+  if (parsed < min || parsed > max) {
+    log_warn(name, "='", raw, "' is outside [", min, ", ", max,
+             "]; using the default");
+    return std::nullopt;
+  }
+  return static_cast<std::int64_t>(parsed);
+}
+
+}  // namespace wm

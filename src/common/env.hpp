@@ -1,0 +1,23 @@
+// Hardened environment-variable parsing for the WM_* tuning knobs.
+//
+// The raw atoi/strtol idiom silently truncates overflowing values and
+// accepts trailing garbage ("8x" parses as 8), so a typo in WM_THREADS or
+// WM_TRACE_BUFFER could configure the process with a number the operator
+// never wrote. env_int() instead accepts only a complete integer within the
+// caller's documented range; anything else logs one warning naming the
+// variable and the reason, and the caller falls back to its default.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+namespace wm {
+
+/// Reads the environment variable `name` as a decimal integer in
+/// [min, max]. Returns std::nullopt when the variable is unset (silently)
+/// or when the value is malformed, has trailing characters, overflows, or
+/// falls outside the range (with one log_warn naming the problem).
+std::optional<std::int64_t> env_int(const char* name, std::int64_t min,
+                                    std::int64_t max);
+
+}  // namespace wm

@@ -1,10 +1,11 @@
 #include "common/threadpool.hpp"
 
 #include <atomic>
-#include <cstdlib>
 #include <exception>
 #include <memory>
 #include <string>
+
+#include "common/env.hpp"
 
 namespace wm {
 
@@ -28,12 +29,10 @@ std::mutex& global_mutex() {
 }  // namespace
 
 std::size_t ThreadPool::default_worker_count() {
-  if (const char* env = std::getenv("WM_THREADS")) {
-    char* end = nullptr;
-    const long parsed = std::strtol(env, &end, 10);
-    if (end != env && parsed >= 1) {
-      return static_cast<std::size_t>(parsed - 1);
-    }
+  // Hardened parse: "8x", "-3", or an overflowing value warns and falls
+  // back to auto instead of silently configuring a surprise thread count.
+  if (const auto threads = env_int("WM_THREADS", 1, 1 << 16)) {
+    return static_cast<std::size_t>(*threads - 1);
   }
   const unsigned hc = std::thread::hardware_concurrency();
   return hc > 1 ? hc - 1 : 0;

@@ -1,0 +1,273 @@
+#include "obs/http_exporter.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/env.hpp"
+#include "common/error.hpp"
+#include "common/logging.hpp"
+
+namespace wm::obs {
+
+namespace {
+
+// A request line plus headers comfortably fits; anything larger is abuse.
+constexpr std::size_t kMaxRequestBytes = 8192;
+
+void set_io_timeouts(int fd, int timeout_ms) {
+  timeval tv{};
+  tv.tv_sec = timeout_ms / 1000;
+  tv.tv_usec = (timeout_ms % 1000) * 1000;
+  (void)setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  (void)setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+}
+
+/// Writes all of `data`, retrying partial writes; false on error/timeout.
+bool write_all(int fd, const std::string& data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + off, data.size() - off,
+                             MSG_NOSIGNAL);
+    if (n <= 0) return false;
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+std::string make_response(int status, const char* reason,
+                          const std::string& content_type,
+                          const std::string& body) {
+  std::string out = "HTTP/1.1 " + std::to_string(status) + " " + reason +
+                    "\r\nContent-Type: " + content_type +
+                    "\r\nContent-Length: " + std::to_string(body.size()) +
+                    "\r\nConnection: close\r\n\r\n";
+  out += body;
+  return out;
+}
+
+/// Reads until the header terminator (headers are all we route on),
+/// returning false on timeout, error, or an oversized request.
+bool read_request_head(int fd, std::string* out) {
+  char buf[1024];
+  while (out->find("\r\n\r\n") == std::string::npos) {
+    if (out->size() > kMaxRequestBytes) return false;
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) return false;
+    out->append(buf, static_cast<std::size_t>(n));
+  }
+  return true;
+}
+
+}  // namespace
+
+HttpExporter::HttpExporter(const HttpExporterOptions& opts)
+    : opts_(opts),
+      registry_(opts.registry != nullptr ? *opts.registry
+                                         : Registry::global()),
+      requests_total_(registry_.counter("wm_http_requests_total",
+                                        "HTTP requests answered by the "
+                                        "metrics exporter")) {
+  WM_CHECK(opts_.port >= 0 && opts_.port <= 65535, "bad HTTP port ",
+           opts_.port);
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) throw IoError("http exporter: socket() failed");
+
+  const int one = 1;
+  (void)setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(opts_.port));
+  if (::inet_pton(AF_INET, opts_.bind_address.c_str(), &addr.sin_addr) != 1) {
+    ::close(listen_fd_);
+    throw IoError("http exporter: bad bind address " + opts_.bind_address);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const int err = errno;
+    ::close(listen_fd_);
+    throw IoError("http exporter: cannot bind " + opts_.bind_address + ":" +
+                  std::to_string(opts_.port) + " (" + std::strerror(err) +
+                  ")");
+  }
+  if (::listen(listen_fd_, 16) != 0) {
+    ::close(listen_fd_);
+    throw IoError("http exporter: listen() failed");
+  }
+
+  socklen_t len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) ==
+      0) {
+    port_ = static_cast<int>(ntohs(addr.sin_port));
+  }
+
+  if (::pipe(wake_pipe_) != 0) {
+    ::close(listen_fd_);
+    throw IoError("http exporter: pipe() failed");
+  }
+
+  listener_ = std::thread([this] { listener_loop(); });
+}
+
+HttpExporter::~HttpExporter() { stop(); }
+
+void HttpExporter::stop() {
+  if (!stopping_.exchange(true)) {
+    const char byte = 'q';
+    (void)!::write(wake_pipe_[1], &byte, 1);
+  }
+  const std::lock_guard<std::mutex> lock(join_mutex_);
+  if (listener_.joinable()) listener_.join();
+  // Close fds exactly once, after the listener can no longer touch them.
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  for (int& fd : wake_pipe_) {
+    if (fd >= 0) {
+      ::close(fd);
+      fd = -1;
+    }
+  }
+}
+
+bool HttpExporter::running() const { return !stopping_.load(); }
+
+std::uint64_t HttpExporter::requests_served() const {
+  return requests_total_.value();
+}
+
+std::optional<int> HttpExporter::port_from_env() {
+  if (const auto port = env_int("WM_HTTP_PORT", 1, 65535)) {
+    return static_cast<int>(*port);
+  }
+  return std::nullopt;
+}
+
+void HttpExporter::listener_loop() {
+  while (!stopping_.load()) {
+    pollfd fds[2];
+    fds[0] = {listen_fd_, POLLIN, 0};
+    fds[1] = {wake_pipe_[0], POLLIN, 0};
+    const int rc = ::poll(fds, 2, -1);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      return;
+    }
+    if ((fds[1].revents & POLLIN) != 0 || stopping_.load()) return;
+    if ((fds[0].revents & POLLIN) == 0) continue;
+
+    const int conn = ::accept(listen_fd_, nullptr, nullptr);
+    if (conn < 0) continue;
+    set_io_timeouts(conn, opts_.io_timeout_ms);
+    handle_connection(conn);
+    ::close(conn);
+  }
+}
+
+void HttpExporter::handle_connection(int fd) {
+  std::string head;
+  if (!read_request_head(fd, &head)) return;  // bad/slow client: just drop
+
+  requests_total_.inc();
+
+  // Request line: METHOD SP PATH SP VERSION.
+  const std::size_t line_end = head.find("\r\n");
+  const std::string line = head.substr(0, line_end);
+  const std::size_t sp1 = line.find(' ');
+  const std::size_t sp2 = line.find(' ', sp1 + 1);
+  if (sp1 == std::string::npos || sp2 == std::string::npos) {
+    (void)write_all(fd, make_response(400, "Bad Request", "text/plain",
+                                      "malformed request line\n"));
+    return;
+  }
+  const std::string method = line.substr(0, sp1);
+  std::string path = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  const std::size_t query = path.find('?');
+  if (query != std::string::npos) path.resize(query);  // ignore query string
+
+  if (method != "GET") {
+    (void)write_all(fd, make_response(405, "Method Not Allowed", "text/plain",
+                                      "only GET is supported\n"));
+    return;
+  }
+
+  std::string response;
+  try {
+    if (path == "/metrics") {
+      response = make_response(200, "OK",
+                               "text/plain; version=0.0.4; charset=utf-8",
+                               registry_.prometheus_text());
+    } else if (path == "/metrics.json") {
+      response =
+          make_response(200, "OK", "application/json", registry_.json_text());
+    } else if (path == "/healthz") {
+      const bool ok = !opts_.healthy || opts_.healthy();
+      response = ok ? make_response(200, "OK", "application/json",
+                                    "{\"status\":\"ok\"}\n")
+                    : make_response(503, "Service Unavailable",
+                                    "application/json",
+                                    "{\"status\":\"fail\"}\n");
+    } else if (path == "/stats" && opts_.stats_source) {
+      response = make_response(200, "OK", "text/plain; charset=utf-8",
+                               opts_.stats_source());
+    } else {
+      response = make_response(404, "Not Found", "text/plain",
+                               "unknown path " + path + "\n");
+    }
+  } catch (const std::exception& e) {
+    response = make_response(500, "Internal Server Error", "text/plain",
+                             std::string("exporter error: ") + e.what() +
+                                 "\n");
+  }
+  (void)write_all(fd, response);
+}
+
+std::string http_get_local(int port, const std::string& path,
+                           int timeout_ms) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw IoError("http_get_local: socket() failed");
+  set_io_timeouts(fd, timeout_ms);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  (void)::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    throw IoError("http_get_local: cannot connect to 127.0.0.1:" +
+                  std::to_string(port));
+  }
+
+  const std::string request = "GET " + path +
+                              " HTTP/1.1\r\nHost: 127.0.0.1\r\n"
+                              "Connection: close\r\n\r\n";
+  if (!write_all(fd, request)) {
+    ::close(fd);
+    throw IoError("http_get_local: send failed");
+  }
+
+  std::string response;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n < 0) {
+      ::close(fd);
+      throw IoError("http_get_local: recv failed");
+    }
+    if (n == 0) break;  // server closed: full response received
+    response.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+}  // namespace wm::obs

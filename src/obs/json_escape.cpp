@@ -1,0 +1,33 @@
+#include "obs/json_escape.hpp"
+
+#include <cstdio>
+
+namespace wm::obs {
+
+void append_json_escaped(std::string* out, std::string_view s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\n': *out += "\\n"; break;
+      case '\t': *out += "\\t"; break;
+      case '\r': *out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+}
+
+void append_json_string(std::string* out, std::string_view s) {
+  out->push_back('"');
+  append_json_escaped(out, s);
+  out->push_back('"');
+}
+
+}  // namespace wm::obs

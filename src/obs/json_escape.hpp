@@ -1,0 +1,18 @@
+// Single-pass JSON string escaping shared by every wm::obs emitter (run
+// log, trace export, HTTP exporter). One walk over the input handles quote,
+// backslash, and all control characters below 0x20, so a class name or path
+// containing '"' or '\n' can never produce malformed JSON output.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace wm::obs {
+
+/// Appends `s` to `*out` with JSON escapes applied (no surrounding quotes).
+void append_json_escaped(std::string* out, std::string_view s);
+
+/// Appends `s` as a complete JSON string literal, quotes included.
+void append_json_string(std::string* out, std::string_view s);
+
+}  // namespace wm::obs

@@ -1,6 +1,7 @@
 #include "obs/trace.hpp"
 
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
@@ -8,8 +9,10 @@
 #include <sstream>
 #include <vector>
 
+#include "common/env.hpp"
 #include "common/error.hpp"
 #include "common/thread_id.hpp"
+#include "obs/json_escape.hpp"
 
 namespace wm::obs {
 
@@ -22,7 +25,9 @@ namespace {
 struct TraceEvent {
   const char* name;
   std::int64_t start_ns;
-  std::int64_t dur_ns;
+  std::int64_t dur_ns;   // ignored for counter samples
+  double value = 0.0;    // counter samples only
+  bool is_counter = false;
 };
 
 struct ThreadBuffer {
@@ -43,9 +48,10 @@ struct TracerState {
 };
 
 std::size_t capacity_from_env() {
-  if (const char* env = std::getenv("WM_TRACE_BUFFER")) {
-    const long v = std::atol(env);
-    if (v > 0) return static_cast<std::size_t>(v);
+  // Hardened parse: garbage or an overflowing value warns and keeps the
+  // default instead of being silently truncated by atoi-style parsing.
+  if (const auto v = env_int("WM_TRACE_BUFFER", 1, std::int64_t{1} << 32)) {
+    return static_cast<std::size_t>(*v);
   }
   return 65536;
 }
@@ -93,27 +99,6 @@ void append_in_order(const ThreadBuffer& b, std::vector<TraceEvent>* out) {
               b.events.begin() + static_cast<std::ptrdiff_t>(b.next));
 }
 
-void json_escape_into(std::ostringstream& os, const char* s) {
-  for (; *s; ++s) {
-    const char c = *s;
-    switch (c) {
-      case '"': os << "\\\""; break;
-      case '\\': os << "\\\\"; break;
-      case '\n': os << "\\n"; break;
-      case '\t': os << "\\t"; break;
-      case '\r': os << "\\r"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          os << buf;
-        } else {
-          os << c;
-        }
-    }
-  }
-}
-
 }  // namespace
 
 namespace detail {
@@ -129,10 +114,10 @@ bool trace_init_from_env() {
 
 std::int64_t trace_now_ns() { return steady_now_ns(); }
 
-void trace_record(const char* name, std::int64_t start_ns,
-                  std::int64_t end_ns) {
+namespace {
+
+void push_event(const TraceEvent& e) {
   ThreadBuffer& b = local_buffer();
-  const TraceEvent e{name, start_ns, end_ns - start_ns};
   const std::lock_guard<std::mutex> lock(b.mutex);
   if (b.events.size() < b.capacity) {
     b.events.push_back(e);
@@ -141,6 +126,17 @@ void trace_record(const char* name, std::int64_t start_ns,
     b.next = (b.next + 1) % b.capacity;
     ++b.dropped;
   }
+}
+
+}  // namespace
+
+void trace_record(const char* name, std::int64_t start_ns,
+                  std::int64_t end_ns) {
+  push_event(TraceEvent{name, start_ns, end_ns - start_ns, 0.0, false});
+}
+
+void trace_record_counter(const char* name, std::int64_t ts_ns, double value) {
+  push_event(TraceEvent{name, ts_ns, 0, value, true});
 }
 
 }  // namespace detail
@@ -205,14 +201,28 @@ std::string trace_to_json() {
     for (const TraceEvent& e : ordered) {
       const double ts_us =
           static_cast<double>(e.start_ns - t.base_ns) / 1000.0;
-      const double dur_us = static_cast<double>(e.dur_ns) / 1000.0;
       char nums[96];
-      std::snprintf(nums, sizeof(nums), "\"ts\":%.3f,\"dur\":%.3f", ts_us,
-                    dur_us);
-      os << ",{\"name\":\"";
-      json_escape_into(os, e.name);
-      os << "\",\"cat\":\"wm\",\"ph\":\"X\",\"pid\":1,\"tid\":" << b->tid
-         << "," << nums << "}";
+      std::string name;
+      append_json_escaped(&name, e.name);
+      if (e.is_counter) {
+        // Counter sample: Perfetto renders consecutive "C" events with the
+        // same name as a stepped value track.
+        std::snprintf(nums, sizeof(nums), "\"ts\":%.3f", ts_us);
+        os << ",{\"name\":\"" << name
+           << "\",\"cat\":\"wm\",\"ph\":\"C\",\"pid\":1,\"tid\":" << b->tid
+           << "," << nums << ",\"args\":{\"value\":";
+        char val[32];
+        std::snprintf(val, sizeof(val), "%.6g",
+                      std::isfinite(e.value) ? e.value : 0.0);
+        os << val << "}}";
+      } else {
+        const double dur_us = static_cast<double>(e.dur_ns) / 1000.0;
+        std::snprintf(nums, sizeof(nums), "\"ts\":%.3f,\"dur\":%.3f", ts_us,
+                      dur_us);
+        os << ",{\"name\":\"" << name
+           << "\",\"cat\":\"wm\",\"ph\":\"X\",\"pid\":1,\"tid\":" << b->tid
+           << "," << nums << "}";
+      }
     }
   }
   os << "]}";

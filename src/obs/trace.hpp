@@ -35,6 +35,7 @@ bool trace_init_from_env();
 std::int64_t trace_now_ns();
 void trace_record(const char* name, std::int64_t start_ns,
                   std::int64_t end_ns);
+void trace_record_counter(const char* name, std::int64_t ts_ns, double value);
 }  // namespace detail
 
 /// Fast runtime gate; safe to call at any frequency from any thread.
@@ -45,6 +46,16 @@ inline bool trace_enabled() {
 
 /// Overrides the WM_TRACE env var from code.
 void set_trace_enabled(bool on);
+
+/// Samples a named counter track (Perfetto "C" event): queue depth,
+/// coverage, ... — values render as a stepped graph alongside the span
+/// tracks. Costs the same one-load gate as a disabled span when tracing is
+/// off. `name` must be a string literal (the ring stores the pointer).
+inline void trace_counter(const char* name, double value) {
+  if (trace_enabled()) {
+    detail::trace_record_counter(name, detail::trace_now_ns(), value);
+  }
+}
 
 /// Ring capacity (events) for thread buffers created after this call.
 /// Existing buffers keep their capacity. Also settable via WM_TRACE_BUFFER.

@@ -6,6 +6,7 @@
 
 #include "common/error.hpp"
 #include "obs/trace.hpp"
+#include "serve/monitor.hpp"
 
 namespace wm::serve {
 
@@ -65,6 +66,7 @@ std::future<SelectivePrediction> InferenceEngine::submit(WaferMap map) {
   queue_.push_back(Request{std::move(map), {}, Clock::now()});
   std::future<SelectivePrediction> fut = queue_.back().promise.get_future();
   queue_depth_gauge_.set(static_cast<double>(queue_.size()));
+  obs::trace_counter("serve.queue_depth", static_cast<double>(queue_.size()));
   lock.unlock();
   queue_cv_.notify_one();
   return fut;
@@ -142,6 +144,8 @@ void InferenceEngine::batcher_loop() {
         queue_.pop_front();
       }
       queue_depth_gauge_.set(static_cast<double>(queue_.size()));
+      obs::trace_counter("serve.queue_depth",
+                         static_cast<double>(queue_.size()));
     }
     space_cv_.notify_all();  // queue shrank: unblock producers
 
@@ -174,6 +178,11 @@ void InferenceEngine::batcher_loop() {
                 done - batch[i].enqueued)
                 .count());
       }
+    }
+    // Monitor before fulfilling the futures so a caller that polls the
+    // monitor right after .get() already sees its own prediction counted.
+    if (opts_.monitor != nullptr && !error) {
+      opts_.monitor->observe_batch(preds);
     }
     for (std::size_t i = 0; i < batch.size(); ++i) {
       if (error) {

@@ -45,6 +45,8 @@
 
 namespace wm::serve {
 
+class SelectiveMonitor;
+
 struct EngineOptions {
   /// Flush as soon as this many requests are waiting.
   int max_batch = 32;
@@ -58,6 +60,10 @@ struct EngineOptions {
   /// registry (each engine gets its own counters). Point several engines at
   /// one registry and they share (aggregate) the same instruments.
   obs::Registry* registry = nullptr;
+  /// Drift monitor fed every prediction the engine fulfils (after each
+  /// successful flush, in request order). Must outlive the engine; errored
+  /// batches are not observed. nullptr = no monitoring.
+  SelectiveMonitor* monitor = nullptr;
 };
 
 /// Compatibility view of the request-latency distribution: an

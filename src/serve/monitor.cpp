@@ -1,0 +1,259 @@
+#include "serve/monitor.hpp"
+
+#include <sstream>
+
+#include "common/error.hpp"
+#include "obs/trace.hpp"
+
+namespace wm::serve {
+
+namespace {
+
+obs::Registry& resolve_registry(const MonitorOptions& opts,
+                                obs::Registry& own) {
+  return opts.registry != nullptr ? *opts.registry : own;
+}
+
+obs::RunLog& resolve_run_log(const MonitorOptions& opts) {
+  return opts.run_log != nullptr ? *opts.run_log : obs::run_log_global();
+}
+
+}  // namespace
+
+std::string MonitorSnapshot::to_string() const {
+  std::ostringstream os;
+  os << "monitor: observations=" << observations << " (window " << window_fill
+     << "), outcomes=" << outcomes << " (window " << outcome_fill << ")\n";
+  os << "  coverage " << coverage << " (target " << target_coverage
+     << "), abstention " << abstention_rate << " (ewma " << abstention_ewma
+     << ")\n";
+  os << "  mean g " << mean_g << " (ewma " << g_ewma << "), selective risk "
+     << selective_risk << "\n";
+  os << "  alarm " << (alarm ? "ACTIVE" : "clear") << " (total fired "
+     << alarms_total << ")\n";
+  os << "  class mix:";
+  for (std::size_t c = 0; c < class_mix.size(); ++c) {
+    os << " " << c << ":" << class_mix[c];
+  }
+  os << "\n";
+  return os.str();
+}
+
+SelectiveMonitor::SelectiveMonitor(const MonitorOptions& opts)
+    : opts_(opts),
+      metrics_(resolve_registry(opts_, own_metrics_)),
+      run_log_(resolve_run_log(opts_)),
+      observations_total_(metrics_.counter(
+          "wm_monitor_observations_total",
+          "predictions observed by the selective monitor")),
+      outcomes_total_(metrics_.counter(
+          "wm_monitor_outcomes_total",
+          "ground-truth outcomes fed back to the selective monitor")),
+      alarms_total_(metrics_.counter("wm_monitor_alarms_total",
+                                     "drift alarms raised")),
+      coverage_gauge_(metrics_.gauge("wm_monitor_coverage",
+                                     "windowed selected fraction")),
+      abstention_gauge_(metrics_.gauge("wm_monitor_abstention_rate",
+                                       "windowed abstention (1 - coverage)")),
+      abstention_ewma_gauge_(metrics_.gauge(
+          "wm_monitor_abstention_ewma", "EWMA-smoothed abstention rate")),
+      mean_g_gauge_(metrics_.gauge("wm_monitor_mean_g",
+                                   "windowed mean selection score g(x)")),
+      risk_gauge_(metrics_.gauge(
+          "wm_monitor_selective_risk",
+          "windowed empirical error rate among selected predictions")),
+      alarm_gauge_(metrics_.gauge("wm_monitor_alarm",
+                                  "1 while a drift alarm is active")),
+      window_fill_gauge_(metrics_.gauge("wm_monitor_window_fill",
+                                        "observations in the sliding window")) {
+  WM_CHECK(opts_.window > 0, "monitor window must be positive");
+  WM_CHECK(opts_.ewma_alpha > 0.0 && opts_.ewma_alpha <= 1.0,
+           "ewma_alpha must be in (0, 1], got ", opts_.ewma_alpha);
+  WM_CHECK(opts_.target_coverage > 0.0 && opts_.target_coverage <= 1.0,
+           "target_coverage must be in (0, 1], got ", opts_.target_coverage);
+  WM_CHECK(opts_.coverage_tolerance > 0.0,
+           "coverage_tolerance must be positive");
+  WM_CHECK(opts_.clear_fraction > 0.0 && opts_.clear_fraction <= 1.0,
+           "clear_fraction must be in (0, 1], got ", opts_.clear_fraction);
+  WM_CHECK(opts_.num_classes > 0, "num_classes must be positive");
+
+  class_counts_.assign(static_cast<std::size_t>(opts_.num_classes), 0);
+  class_mix_gauges_.reserve(class_counts_.size());
+  for (int c = 0; c < opts_.num_classes; ++c) {
+    class_mix_gauges_.push_back(&metrics_.gauge(
+        "wm_monitor_class_mix_" + std::to_string(c),
+        "windowed fraction of predictions for class " + std::to_string(c)));
+  }
+}
+
+void SelectiveMonitor::observe(const SelectivePrediction& p) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+
+  window_.push_back(p);
+  if (p.selected) ++selected_in_window_;
+  g_sum_in_window_ += static_cast<double>(p.g);
+  if (p.label >= 0 && p.label < opts_.num_classes) {
+    ++class_counts_[static_cast<std::size_t>(p.label)];
+  }
+  if (window_.size() > opts_.window) {
+    const SelectivePrediction& old = window_.front();
+    if (old.selected) --selected_in_window_;
+    g_sum_in_window_ -= static_cast<double>(old.g);
+    if (old.label >= 0 && old.label < opts_.num_classes) {
+      --class_counts_[static_cast<std::size_t>(old.label)];
+    }
+    window_.pop_front();
+  }
+
+  const double abstained = p.selected ? 0.0 : 1.0;
+  if (!ewma_seeded_) {
+    abstention_ewma_ = abstained;
+    g_ewma_ = static_cast<double>(p.g);
+    ewma_seeded_ = true;
+  } else {
+    abstention_ewma_ += opts_.ewma_alpha * (abstained - abstention_ewma_);
+    g_ewma_ += opts_.ewma_alpha * (static_cast<double>(p.g) - g_ewma_);
+  }
+
+  observations_total_.inc();
+  refresh_locked();
+}
+
+void SelectiveMonitor::observe_batch(
+    std::span<const SelectivePrediction> preds) {
+  for (const SelectivePrediction& p : preds) observe(p);
+}
+
+void SelectiveMonitor::record_outcome(const SelectivePrediction& p,
+                                      int true_label) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+
+  const Outcome o{p.selected, p.label == true_label};
+  outcomes_.push_back(o);
+  if (o.selected) {
+    ++outcome_selected_;
+    if (!o.correct) ++outcome_errors_;
+  }
+  if (outcomes_.size() > opts_.window) {
+    const Outcome& old = outcomes_.front();
+    if (old.selected) {
+      --outcome_selected_;
+      if (!old.correct) --outcome_errors_;
+    }
+    outcomes_.pop_front();
+  }
+
+  outcomes_total_.inc();
+  refresh_locked();
+}
+
+void SelectiveMonitor::refresh_locked() {
+  const std::size_t n = window_.size();
+  const double coverage =
+      n == 0 ? 0.0
+             : static_cast<double>(selected_in_window_) /
+                   static_cast<double>(n);
+  const double mean_g =
+      n == 0 ? 0.0 : g_sum_in_window_ / static_cast<double>(n);
+  // Empty selection carries zero risk (the Eq. 7 convention eval uses too).
+  const double risk =
+      outcome_selected_ == 0
+          ? 0.0
+          : static_cast<double>(outcome_errors_) /
+                static_cast<double>(outcome_selected_);
+
+  coverage_gauge_.set(coverage);
+  abstention_gauge_.set(1.0 - coverage);
+  abstention_ewma_gauge_.set(abstention_ewma_);
+  mean_g_gauge_.set(mean_g);
+  risk_gauge_.set(risk);
+  window_fill_gauge_.set(static_cast<double>(n));
+  for (std::size_t c = 0; c < class_counts_.size(); ++c) {
+    class_mix_gauges_[c]->set(
+        n == 0 ? 0.0
+               : static_cast<double>(class_counts_[c]) /
+                     static_cast<double>(n));
+  }
+
+  obs::trace_counter("monitor.coverage", coverage);
+  obs::trace_counter("monitor.abstention_ewma", abstention_ewma_);
+  obs::trace_counter("monitor.selective_risk", risk);
+
+  // Alarm policy. Fire when a windowed statistic breaks its bound; clear
+  // with hysteresis so a value oscillating around the bound does not flap.
+  const double coverage_dev = coverage - opts_.target_coverage;
+  const bool coverage_ready = n >= opts_.min_observations;
+  const bool coverage_bad =
+      coverage_ready &&
+      (coverage_dev > opts_.coverage_tolerance ||
+       coverage_dev < -opts_.coverage_tolerance);
+  const bool risk_ready = outcome_selected_ >= opts_.min_outcomes;
+  const bool risk_bad = risk_ready && risk > opts_.risk_threshold;
+
+  if (!alarm_ && (coverage_bad || risk_bad)) {
+    alarm_ = true;
+    alarms_total_.inc();
+    alarm_gauge_.set(1.0);
+    run_log_.write(
+        "drift_alarm",
+        {{"cause", coverage_bad ? (risk_bad ? "coverage+risk" : "coverage")
+                                : "risk"},
+         {"coverage", coverage},
+         {"target_coverage", opts_.target_coverage},
+         {"coverage_tolerance", opts_.coverage_tolerance},
+         {"selective_risk", risk},
+         {"risk_threshold", opts_.risk_threshold},
+         {"abstention_ewma", abstention_ewma_},
+         {"window_fill", static_cast<std::uint64_t>(n)}});
+  } else if (alarm_) {
+    const double clear_cov_bound =
+        opts_.coverage_tolerance * opts_.clear_fraction;
+    const double clear_risk_bound = opts_.risk_threshold * opts_.clear_fraction;
+    const bool coverage_cleared =
+        !coverage_ready || (coverage_dev <= clear_cov_bound &&
+                            coverage_dev >= -clear_cov_bound);
+    const bool risk_cleared = !risk_ready || risk <= clear_risk_bound;
+    if (coverage_cleared && risk_cleared) {
+      alarm_ = false;
+      alarm_gauge_.set(0.0);
+      run_log_.write("drift_clear",
+                     {{"coverage", coverage},
+                      {"selective_risk", risk},
+                      {"window_fill", static_cast<std::uint64_t>(n)}});
+    }
+  }
+}
+
+MonitorSnapshot SelectiveMonitor::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  MonitorSnapshot s;
+  s.observations = observations_total_.value();
+  s.outcomes = outcomes_total_.value();
+  s.window_fill = window_.size();
+  s.outcome_fill = outcomes_.size();
+  const std::size_t n = window_.size();
+  s.coverage = n == 0 ? 0.0
+                      : static_cast<double>(selected_in_window_) /
+                            static_cast<double>(n);
+  s.abstention_rate = n == 0 ? 0.0 : 1.0 - s.coverage;
+  s.abstention_ewma = abstention_ewma_;
+  s.mean_g = n == 0 ? 0.0 : g_sum_in_window_ / static_cast<double>(n);
+  s.g_ewma = g_ewma_;
+  s.selective_risk =
+      outcome_selected_ == 0
+          ? 0.0
+          : static_cast<double>(outcome_errors_) /
+                static_cast<double>(outcome_selected_);
+  s.class_mix.resize(class_counts_.size());
+  for (std::size_t c = 0; c < class_counts_.size(); ++c) {
+    s.class_mix[c] = n == 0 ? 0.0
+                            : static_cast<double>(class_counts_[c]) /
+                                  static_cast<double>(n);
+  }
+  s.alarm = alarm_;
+  s.alarms_total = alarms_total_.value();
+  s.target_coverage = opts_.target_coverage;
+  return s;
+}
+
+}  // namespace wm::serve

@@ -1,0 +1,100 @@
+// Hardened WM_* env parsing: complete integers in range parse; garbage,
+// trailing characters, overflow, and out-of-range values fall back (with a
+// warning) instead of being silently truncated.
+#include "common/env.hpp"
+
+#include <cstdlib>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hpp"
+#include "common/threadpool.hpp"
+
+namespace wm {
+namespace {
+
+constexpr const char* kVar = "WM_ENV_TEST_VALUE";
+
+/// Sets kVar for one test and restores the pristine (unset) state after.
+class EnvIntTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    unsetenv(kVar);
+    saved_level_ = log_level();
+    set_log_level(LogLevel::Off);  // parse failures warn; keep tests quiet
+  }
+  void TearDown() override {
+    unsetenv(kVar);
+    set_log_level(saved_level_);
+  }
+
+  LogLevel saved_level_ = LogLevel::Info;
+};
+
+TEST_F(EnvIntTest, UnsetReturnsNullopt) {
+  EXPECT_EQ(env_int(kVar, 0, 100), std::nullopt);
+}
+
+TEST_F(EnvIntTest, ParsesCompleteIntegersInRange) {
+  setenv(kVar, "42", 1);
+  EXPECT_EQ(env_int(kVar, 0, 100), 42);
+  setenv(kVar, "-7", 1);
+  EXPECT_EQ(env_int(kVar, -10, 10), -7);
+  setenv(kVar, "0", 1);
+  EXPECT_EQ(env_int(kVar, 0, 0), 0);
+}
+
+TEST_F(EnvIntTest, AcceptsRangeEndpoints) {
+  setenv(kVar, "1", 1);
+  EXPECT_EQ(env_int(kVar, 1, 8), 1);
+  setenv(kVar, "8", 1);
+  EXPECT_EQ(env_int(kVar, 1, 8), 8);
+}
+
+TEST_F(EnvIntTest, RejectsMalformedValues) {
+  for (const char* bad : {"", "abc", "8x", "1.5", "0x10", "  ", "++1"}) {
+    setenv(kVar, bad, 1);
+    EXPECT_EQ(env_int(kVar, 0, 1000), std::nullopt) << "value: '" << bad << "'";
+  }
+}
+
+TEST_F(EnvIntTest, RejectsOverflow) {
+  // Far beyond int64; strtoll saturates with ERANGE, which must not leak
+  // through as a silently clamped value.
+  setenv(kVar, "99999999999999999999999", 1);
+  EXPECT_EQ(env_int(kVar, 0, 1'000'000), std::nullopt);
+  setenv(kVar, "-99999999999999999999999", 1);
+  EXPECT_EQ(env_int(kVar, -1'000'000, 0), std::nullopt);
+}
+
+TEST_F(EnvIntTest, RejectsOutOfRange) {
+  setenv(kVar, "101", 1);
+  EXPECT_EQ(env_int(kVar, 0, 100), std::nullopt);
+  setenv(kVar, "-1", 1);
+  EXPECT_EQ(env_int(kVar, 0, 100), std::nullopt);
+}
+
+/// WM_THREADS consumes env_int: bad values must mean "auto", not garbage.
+TEST_F(EnvIntTest, ThreadPoolFallsBackOnBadWmThreads) {
+  const char* saved = std::getenv("WM_THREADS");
+  const std::string saved_value = saved ? saved : "";
+  const unsigned hc = std::thread::hardware_concurrency();
+  const std::size_t auto_workers = hc > 1 ? hc - 1 : 0;
+  for (const char* bad : {"0", "-4", "8x", "notanumber",
+                          "99999999999999999999999"}) {
+    setenv("WM_THREADS", bad, 1);
+    EXPECT_EQ(ThreadPool::default_worker_count(), auto_workers)
+        << "WM_THREADS='" << bad << "'";
+  }
+  setenv("WM_THREADS", "6", 1);
+  EXPECT_EQ(ThreadPool::default_worker_count(), 5u);
+  if (saved) {
+    setenv("WM_THREADS", saved_value.c_str(), 1);
+  } else {
+    unsetenv("WM_THREADS");
+  }
+}
+
+}  // namespace
+}  // namespace wm

@@ -73,6 +73,29 @@ TEST(RunLogTest, WritesOneValidJsonObjectPerLine) {
   EXPECT_DOUBLE_EQ(l2.at("count").num(), 12345678901234.0);
 }
 
+TEST(RunLogTest, EveryControlCharacterSurvivesTheLine) {
+  // Class names, paths, and event payloads may carry any byte below 0x20
+  // (plus quotes and backslashes); none of them may break the JSONL framing
+  // or fail to round-trip through a JSON parser.
+  const std::string path = temp_path("wm_run_log_ctrl.jsonl");
+  std::remove(path.c_str());
+  std::string hostile = "q:\" b:\\ ";
+  for (char c = 1; c < 0x20; ++c) hostile.push_back(c);
+  {
+    RunLog log(path);
+    log.write("ctrl", {{"payload", hostile}, {hostile, 1}});
+    log.write(hostile, {});  // even the event name is escaped
+  }
+  const std::vector<std::string> lines = read_lines(path);
+  std::remove(path.c_str());
+  // "\n" inside the payload is escaped, so exactly two physical lines.
+  ASSERT_EQ(lines.size(), 2u);
+  const testjson::Value l0 = testjson::parse(lines[0]);
+  EXPECT_EQ(l0.at("payload").str(), hostile);
+  EXPECT_DOUBLE_EQ(l0.at(hostile).num(), 1.0);
+  EXPECT_EQ(testjson::parse(lines[1]).at("event").str(), hostile);
+}
+
 TEST(RunLogTest, ReopenRedirectsAndEmptyDisables) {
   const std::string a = temp_path("wm_run_log_a.jsonl");
   const std::string b = temp_path("wm_run_log_b.jsonl");

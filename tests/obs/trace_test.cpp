@@ -2,7 +2,9 @@
 // wrap-around, and Chrome-trace JSON export well-formedness.
 #include "obs/trace.hpp"
 
+#include <limits>
 #include <thread>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -89,6 +91,53 @@ TEST_F(TraceTest, ExportIsValidChromeTraceJson) {
   EXPECT_TRUE(saw_a);
   EXPECT_TRUE(saw_b);
   EXPECT_TRUE(saw_other);
+}
+
+TEST_F(TraceTest, CounterSamplesExportAsPerfettoCounterTrack) {
+  set_trace_enabled(true);
+  trace_counter("queue.depth", 3.0);
+  trace_counter("queue.depth", 7.5);
+  trace_counter("coverage", 0.625);
+  EXPECT_EQ(trace_event_count(), 3u);
+
+  const testjson::Value doc = testjson::parse(trace_to_json());
+  int c_events = 0;
+  std::vector<double> depth_values;
+  for (const testjson::Value& e : doc.at("traceEvents").arr()) {
+    if (e.at("ph").str() != "C") continue;
+    ++c_events;
+    // A counter event carries ts + args.value and no duration.
+    EXPECT_TRUE(e.at("ts").is_number());
+    ASSERT_TRUE(e.at("args").at("value").is_number());
+    if (e.at("name").str() == "queue.depth") {
+      depth_values.push_back(e.at("args").at("value").num());
+    } else {
+      EXPECT_EQ(e.at("name").str(), "coverage");
+      EXPECT_DOUBLE_EQ(e.at("args").at("value").num(), 0.625);
+    }
+  }
+  EXPECT_EQ(c_events, 3);
+  ASSERT_EQ(depth_values.size(), 2u);  // same-name samples stay ordered
+  EXPECT_DOUBLE_EQ(depth_values[0], 3.0);
+  EXPECT_DOUBLE_EQ(depth_values[1], 7.5);
+}
+
+TEST_F(TraceTest, DisabledCounterSamplesRecordNothing) {
+  ASSERT_FALSE(trace_enabled());
+  trace_counter("ignored", 1.0);
+  EXPECT_EQ(trace_event_count(), 0u);
+}
+
+TEST_F(TraceTest, NonFiniteCounterValuesExportAsZero) {
+  set_trace_enabled(true);
+  trace_counter("bad", std::numeric_limits<double>::quiet_NaN());
+  trace_counter("bad", std::numeric_limits<double>::infinity());
+  // The export must stay valid JSON ("nan"/"inf" are not JSON numbers).
+  const testjson::Value doc = testjson::parse(trace_to_json());
+  for (const testjson::Value& e : doc.at("traceEvents").arr()) {
+    if (e.at("ph").str() != "C") continue;
+    EXPECT_DOUBLE_EQ(e.at("args").at("value").num(), 0.0);
+  }
 }
 
 TEST_F(TraceTest, RingBufferWrapsAndCountsDrops) {

@@ -1,0 +1,150 @@
+#!/usr/bin/env python3
+"""Diff a fresh benchmark run against a checked-in baseline JSON.
+
+Understands both report formats in this repo:
+
+  * Google Benchmark JSON (BENCH_tensor.json, BENCH_obs.json): compares
+    cpu_time (real_time for */real_time benchmarks) per benchmark name;
+    lower is better.
+  * bench_serve's custom JSON (BENCH_serve.json): compares the headline
+    engine_vs_direct_best_ratio; higher is better.
+
+Only the named headline metrics gate the exit code — micro benchmarks are
+noisy and a full-matrix gate would flap. The default headline set per file
+covers the kernels and hot paths the ROADMAP tracks; override it with
+--metrics. A metric regresses when it is worse than baseline by more than
+--threshold (relative, default 0.15). Missing metrics fail loudly: a
+renamed benchmark must update the baseline, not silently drop the gate.
+
+Usage:
+  tools/bench_compare.py --baseline BENCH_tensor.json --fresh /tmp/t.json
+  tools/bench_compare.py --baseline BENCH_serve.json --fresh /tmp/s.json \
+      --threshold 0.25
+  tools/bench_compare.py ... --metrics BM_Gemm/256,BM_Im2Col/32
+"""
+
+import argparse
+import json
+import sys
+
+# Headline metrics gated by default, keyed by a name found in the baseline.
+# Google-benchmark entries name benchmarks; bench_serve entries name
+# top-level scalar fields.
+DEFAULT_HEADLINES = {
+    "google_benchmark": {
+        # tensor: the GEMM sizes the conv path actually hits, plus im2col.
+        "BM_Gemm/256",
+        "BM_Gemm/512",
+        "BM_GemmThreads/512/4/real_time",
+        "BM_Im2Col/32",
+        # obs: the disabled-path costs the instrumentation bar holds to.
+        "BM_SpanDisabled",
+        "BM_CounterInc",
+        "BM_GaugeSet",
+    },
+    "bench_serve": {
+        "engine_vs_direct_best_ratio",
+    },
+}
+
+# Metrics where larger is better (everything else: smaller is better).
+HIGHER_IS_BETTER = {"engine_vs_direct_best_ratio"}
+
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+def detect_format(doc):
+    if isinstance(doc, dict) and "benchmarks" in doc:
+        return "google_benchmark"
+    if isinstance(doc, dict) and doc.get("bench") == "bench_serve":
+        return "bench_serve"
+    raise SystemExit(f"unrecognised benchmark JSON (keys: {list(doc)[:6]})")
+
+
+def extract_metrics(doc, fmt):
+    """Flattens a report into {metric_name: float}."""
+    if fmt == "google_benchmark":
+        out = {}
+        for b in doc["benchmarks"]:
+            if b.get("run_type") == "aggregate":
+                continue
+            key = "real_time" if b["name"].endswith("/real_time") else "cpu_time"
+            out[b["name"]] = float(b[key])
+        return out
+    # bench_serve: every top-level number is a candidate metric.
+    return {k: float(v) for k, v in doc.items()
+            if isinstance(v, (int, float)) and not isinstance(v, bool)}
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--baseline", required=True,
+                    help="checked-in report (the reference)")
+    ap.add_argument("--fresh", required=True,
+                    help="report from the build under test")
+    ap.add_argument("--threshold", type=float, default=0.15,
+                    help="relative regression allowed (default 0.15)")
+    ap.add_argument("--metrics", default=None,
+                    help="comma-separated headline metrics "
+                         "(default: the built-in set present in the baseline)")
+    args = ap.parse_args()
+
+    baseline_doc = load(args.baseline)
+    fresh_doc = load(args.fresh)
+    fmt = detect_format(baseline_doc)
+    if detect_format(fresh_doc) != fmt:
+        raise SystemExit("baseline and fresh reports have different formats")
+
+    baseline = extract_metrics(baseline_doc, fmt)
+    fresh = extract_metrics(fresh_doc, fmt)
+
+    if args.metrics:
+        headlines = [m for m in args.metrics.split(",") if m]
+        missing_in_baseline = [m for m in headlines if m not in baseline]
+        if missing_in_baseline:
+            raise SystemExit(f"not in baseline: {missing_in_baseline}")
+    else:
+        # Built-in set, restricted to what the baseline actually reports so
+        # one script serves tensor and obs reports alike.
+        headlines = sorted(m for m in DEFAULT_HEADLINES[fmt] if m in baseline)
+    if not headlines:
+        raise SystemExit("no headline metrics to compare")
+
+    failures = []
+    print(f"{'metric':<40} {'baseline':>12} {'fresh':>12} {'delta':>8}")
+    for name in headlines:
+        if name not in fresh:
+            failures.append(f"{name}: missing from fresh report")
+            print(f"{name:<40} {baseline[name]:>12.4g} {'MISSING':>12}")
+            continue
+        base, new = baseline[name], fresh[name]
+        if base == 0:
+            delta = 0.0
+        elif name in HIGHER_IS_BETTER:
+            delta = (base - new) / base  # positive = got worse (smaller)
+        else:
+            delta = (new - base) / base  # positive = got worse (slower)
+        marker = ""
+        if delta > args.threshold:
+            failures.append(
+                f"{name}: {base:.4g} -> {new:.4g} "
+                f"({delta * 100:+.1f}% worse, limit {args.threshold * 100:.0f}%)")
+            marker = "  REGRESSED"
+        print(f"{name:<40} {base:>12.4g} {new:>12.4g} {delta * 100:>+7.1f}%"
+              f"{marker}")
+
+    if failures:
+        print(f"\n{len(failures)} headline regression(s):", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print(f"\nall {len(headlines)} headline metrics within "
+          f"{args.threshold * 100:.0f}% of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -6,7 +6,25 @@
 # review diffs.
 #
 # Usage: tools/run_benchmarks.sh [build-dir] [output-json] [serve-output-json] [obs-output-json]
+#        tools/run_benchmarks.sh --check [build-dir] [threshold]
+#
+# --check runs the same benchmarks into a temp directory and diffs the
+# headline metrics against the checked-in baselines with
+# tools/bench_compare.py, failing on a >threshold (default 0.15) regression.
 set -euo pipefail
+
+check_mode=0
+threshold=0.15
+if [[ "${1:-}" == "--check" ]]; then
+  check_mode=1
+  shift
+  build_dir="${1:-build}"
+  threshold="${2:-0.15}"
+  tmp_dir="$(mktemp -d)"
+  trap 'rm -rf "${tmp_dir}"' EXIT
+  set -- "${build_dir}" "${tmp_dir}/BENCH_tensor.json" \
+    "${tmp_dir}/BENCH_serve.json" "${tmp_dir}/BENCH_obs.json"
+fi
 
 build_dir="${1:-build}"
 out="${2:-BENCH_tensor.json}"
@@ -41,4 +59,20 @@ if [[ -x "${obs_bench}" ]]; then
   echo "wrote ${obs_out}"
 else
   echo "warning: ${obs_bench} not found; skipping ${obs_out}" >&2
+fi
+
+if [[ "${check_mode}" == 1 ]]; then
+  repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+  status=0
+  for pair in tensor serve obs; do
+    baseline="${repo_root}/BENCH_${pair}.json"
+    fresh="${tmp_dir}/BENCH_${pair}.json"
+    [[ -f "${fresh}" ]] || continue
+    echo
+    echo "== ${pair}: fresh vs checked-in baseline (threshold ${threshold}) =="
+    python3 "${repo_root}/tools/bench_compare.py" \
+      --baseline "${baseline}" --fresh "${fresh}" \
+      --threshold "${threshold}" || status=1
+  done
+  exit "${status}"
 fi

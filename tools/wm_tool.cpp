@@ -11,8 +11,12 @@
 //       self-describing model file.
 //
 //   wm_tool evaluate --data DIR --model FILE [--threshold T]
+//                    [--monitor-window N] [--c0 C]
 //       Per-class metrics, confusion matrix, coverage and selective
-//       accuracy of a trained model on a dataset directory.
+//       accuracy of a trained model on a dataset directory. With
+//       --monitor-window the predictions are also replayed through a
+//       serve::SelectiveMonitor (window N, target coverage --c0) and the
+//       streaming monitor's view is printed after the offline report.
 //
 //   wm_tool classify --model FILE --wafer FILE.pgm [--threshold T]
 //       Classify one wafer; prints the label or an abstention.
@@ -28,19 +32,27 @@
 //                    Chrome/Perfetto trace to FILE on exit.
 //   --run-log FILE   Append per-epoch training events to FILE as JSONL
 //                    (same as the WM_RUN_LOG env var).
+//   --http-port P    Serve the global registry over HTTP for the command's
+//                    duration: /metrics, /metrics.json, /healthz. Port 0
+//                    picks an ephemeral port; the WM_HTTP_PORT env var is
+//                    the fallback when the flag is absent.
 #include <cstdio>
 #include <map>
 #include <string>
 #include <vector>
 
+#include <memory>
+
 #include "augment/augmentor.hpp"
 #include "common/error.hpp"
 #include "common/rng.hpp"
 #include "eval/metrics.hpp"
+#include "obs/http_exporter.hpp"
 #include "obs/metrics.hpp"
 #include "obs/run_log.hpp"
 #include "obs/trace.hpp"
 #include "eval/tables.hpp"
+#include "serve/monitor.hpp"
 #include "selective/model_file.hpp"
 #include "selective/predictor.hpp"
 #include "selective/trainer.hpp"
@@ -165,6 +177,24 @@ int cmd_evaluate(const Args& args) {
                         .c_str());
   std::printf("full-coverage accuracy (ignoring rejects): %.1f%%\n",
               100.0 * selective::full_accuracy(preds, labels));
+
+  if (args.has("monitor-window")) {
+    // Replay the same predictions through the streaming monitor, as if the
+    // dataset had arrived as live traffic; its windowed view of the tail
+    // should agree with the offline report when the data is stationary.
+    serve::MonitorOptions mopts;
+    mopts.window = static_cast<std::size_t>(args.get_int("monitor-window", 512));
+    mopts.target_coverage = args.get_double("c0", 0.5);
+    mopts.registry = &obs::Registry::global();
+    serve::SelectiveMonitor monitor(mopts);
+    for (std::size_t i = 0; i < preds.size(); ++i) {
+      monitor.observe(preds[i]);
+      monitor.record_outcome(preds[i], labels[i]);
+    }
+    std::printf("\nstreaming monitor replay (window %zu, target c0 %.2f):\n%s",
+                mopts.window, mopts.target_coverage,
+                monitor.snapshot().to_string().c_str());
+  }
   return 0;
 }
 
@@ -200,7 +230,8 @@ int cmd_render(const Args& args) {
 void usage() {
   std::printf(
       "usage: wm_tool <generate|train|evaluate|classify|render> [--flags]\n"
-      "global flags: --metrics FILE  --trace FILE  --run-log FILE\n"
+      "global flags: --metrics FILE  --trace FILE  --run-log FILE"
+      "  --http-port P\n"
       "see the header of tools/wm_tool.cpp for per-command flags\n");
 }
 
@@ -232,6 +263,19 @@ int main(int argc, char** argv) {
     if (!trace_path.empty()) obs::set_trace_enabled(true);
     const std::string run_log_path = args.get("run-log", "");
     if (!run_log_path.empty()) obs::set_run_log_path(run_log_path);
+
+    // Live scrape surface for the command's duration: --http-port wins,
+    // WM_HTTP_PORT is the fallback, neither = no server.
+    std::unique_ptr<obs::HttpExporter> exporter;
+    std::optional<int> http_port;
+    if (args.has("http-port")) http_port = args.get_int("http-port", 0);
+    else http_port = obs::HttpExporter::port_from_env();
+    if (http_port) {
+      exporter = std::make_unique<obs::HttpExporter>(
+          obs::HttpExporterOptions{.port = *http_port});
+      std::printf("serving metrics on http://127.0.0.1:%d/metrics\n",
+                  exporter->port());
+    }
 
     int rc = 2;
     if (cmd == "generate") rc = cmd_generate(args);
