@@ -1,0 +1,258 @@
+#include "net/client.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <set>
+#include <utility>
+
+#include "common/error.hpp"
+#include "common/logging.hpp"
+
+namespace wm::net {
+
+namespace {
+
+constexpr std::size_t kReadChunk = 64 * 1024;
+
+}  // namespace
+
+Client::Client(const ClientOptions& opts)
+    : opts_(opts), jitter_state_(opts.backoff_seed ^ 0x9E3779B97F4A7C15ULL) {
+  WM_CHECK(opts_.port > 0 && opts_.port <= 65535, "bad client port ",
+           opts_.port);
+  WM_CHECK(opts_.max_connect_attempts > 0,
+           "max_connect_attempts must be positive");
+  WM_CHECK(opts_.backoff_jitter >= 0.0 && opts_.backoff_jitter < 1.0,
+           "backoff_jitter must be in [0, 1)");
+  io_ = std::thread([this] { io_loop(); });
+}
+
+Client::~Client() { close(); }
+
+std::future<CallResult> Client::predict_async(const WaferMap& map,
+                                              std::uint32_t deadline_ms) {
+  std::promise<CallResult> promise;
+  std::future<CallResult> fut = promise.get_future();
+
+  RequestFrame req;
+  req.deadline_ms = deadline_ms;
+  req.map = map;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) {
+      promise.set_value(CallResult{Status::kConnectionError, {}});
+      return fut;
+    }
+    req.request_id = next_id_++;
+    unsent_.push_back(Unsent{req.request_id, encode_request(req)});
+    promises_.emplace(req.request_id, std::move(promise));
+  }
+  wake_.wake();
+  return fut;
+}
+
+CallResult Client::predict(const WaferMap& map, std::uint32_t deadline_ms) {
+  return predict_async(map, deadline_ms).get();
+}
+
+void Client::close() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  wake_.wake();
+  const std::lock_guard<std::mutex> join_lock(join_mutex_);
+  if (io_.joinable()) io_.join();
+}
+
+std::size_t Client::inflight() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return promises_.size() - unsent_.size();
+}
+
+void Client::io_loop() {
+  for (;;) {
+    bool have_unsent = false;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (stopping_) {
+        fail_all_locked(Status::kConnectionError);
+        if (fd_ >= 0) {
+          ::close(fd_);
+          fd_ = -1;
+        }
+        connected_.store(false);
+        return;
+      }
+      have_unsent = !unsent_.empty();
+    }
+
+    if (fd_ < 0) {
+      if (!have_unsent) {
+        // Idle and disconnected: sleep until a call or close() arrives.
+        pollfd wfd{wake_.read_fd(), POLLIN, 0};
+        (void)::poll(&wfd, 1, -1);
+        wake_.drain();
+        continue;
+      }
+      if (!connect_with_backoff()) continue;
+    }
+
+    // Flush the unsent queue. A write failure breaks the connection; the
+    // half-written call fails (its bytes may have reached the server).
+    for (;;) {
+      Unsent u;
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (unsent_.empty()) break;
+        u = std::move(unsent_.front());
+        unsent_.pop_front();
+      }
+      if (!write_all(fd_, u.bytes.data(), u.bytes.size())) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        disconnect_locked();
+        break;
+      }
+    }
+    if (fd_ < 0) continue;
+
+    pollfd fds[2];
+    fds[0] = {fd_, POLLIN, 0};
+    fds[1] = {wake_.read_fd(), POLLIN, 0};
+    const int rc = ::poll(fds, 2, -1);
+    wake_.drain();
+    if (rc < 0 && errno != EINTR) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      disconnect_locked();
+      continue;
+    }
+    if ((fds[0].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
+
+    std::uint8_t buf[kReadChunk];
+    const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      std::lock_guard<std::mutex> lock(mutex_);
+      disconnect_locked();
+      continue;
+    }
+    in_.insert(in_.end(), buf, buf + n);
+
+    std::size_t offset = 0;
+    bool broken = false;
+    while (offset < in_.size()) {
+      const ParsedFrame frame =
+          try_parse_frame(in_.data() + offset, in_.size() - offset);
+      if (frame.status == DecodeStatus::kNeedMore) break;
+      if (frame.status == DecodeStatus::kBad ||
+          frame.type != FrameType::kResponse) {
+        log_warn("wm_net client: protocol error from server",
+                 frame.error.empty() ? "" : ": ", frame.error);
+        broken = true;
+        break;
+      }
+      offset += frame.consumed;
+      ResponseFrame resp;
+      try {
+        resp = decode_response_body(frame.request_id, frame.body,
+                                    frame.body_len);
+      } catch (const WireError& e) {
+        log_warn("wm_net client: bad response body: ", e.what());
+        broken = true;
+        break;
+      }
+      std::lock_guard<std::mutex> lock(mutex_);
+      const auto it = promises_.find(resp.request_id);
+      if (it != promises_.end()) {
+        it->second.set_value(CallResult{resp.status, resp.prediction});
+        promises_.erase(it);
+      }  // unknown id: a response to a call that already failed — ignore
+    }
+    in_.erase(in_.begin(), in_.begin() + static_cast<std::ptrdiff_t>(offset));
+    if (broken) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      disconnect_locked();
+    }
+  }
+}
+
+bool Client::connect_with_backoff() {
+  int delay_ms = opts_.backoff_initial_ms;
+  for (int attempt = 1;; ++attempt) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (stopping_) return false;
+    }
+    try {
+      fd_ = connect_tcp(opts_.host, opts_.port, opts_.io_timeout_ms);
+      set_nodelay(fd_);
+      connected_.store(true);
+      if (ever_connected_) reconnects_.fetch_add(1);
+      ever_connected_ = true;
+      return true;
+    } catch (const IoError& e) {
+      if (attempt >= opts_.max_connect_attempts) {
+        log_warn("wm_net client: giving up after ", attempt,
+                 " connect attempts: ", e.what());
+        std::lock_guard<std::mutex> lock(mutex_);
+        fail_all_locked(Status::kConnectionError);
+        return false;
+      }
+    }
+    // Exponential backoff with multiplicative jitter so a fleet of clients
+    // does not hammer a recovering server in lockstep.
+    jitter_state_ =
+        jitter_state_ * 6364136223846793005ULL + 1442695040888963407ULL;
+    const double u =
+        static_cast<double>(jitter_state_ >> 11) / 9007199254740992.0;
+    const double factor =
+        1.0 + opts_.backoff_jitter * (2.0 * u - 1.0);
+    const int jittered =
+        std::max(1, static_cast<int>(static_cast<double>(delay_ms) * factor));
+    if (!backoff_sleep(jittered)) return false;
+    delay_ms = std::min(delay_ms * 2, opts_.backoff_max_ms);
+  }
+}
+
+void Client::disconnect_locked() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  connected_.store(false);
+  in_.clear();
+  // Calls already on the wire can never be answered now; calls still queued
+  // locally survive and go out after the next successful (re)connect.
+  std::set<std::uint64_t> unsent_ids;
+  for (const Unsent& u : unsent_) unsent_ids.insert(u.id);
+  for (auto it = promises_.begin(); it != promises_.end();) {
+    if (unsent_ids.count(it->first) != 0) {
+      ++it;
+    } else {
+      it->second.set_value(CallResult{Status::kConnectionError, {}});
+      it = promises_.erase(it);
+    }
+  }
+}
+
+void Client::fail_all_locked(Status status) {
+  for (auto& [id, promise] : promises_) {
+    promise.set_value(CallResult{status, {}});
+  }
+  promises_.clear();
+  unsent_.clear();
+}
+
+bool Client::backoff_sleep(int ms) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_.wait_for(lock, std::chrono::milliseconds(ms),
+               [&] { return stopping_; });
+  return !stopping_;
+}
+
+}  // namespace wm::net

@@ -1,0 +1,144 @@
+// wm::net::Client — the caller side of the wm_net wire protocol.
+//
+// One Client owns one TCP connection plus a background IO thread, and
+// multiplexes any number of in-flight calls over it (request pipelining:
+// every frame carries a request id, responses may arrive out of order).
+//
+//   net::Client client({.port = server.port()});
+//   CallResult r = client.predict(map);                  // sync
+//   auto fut = client.predict_async(map, /*deadline_ms=*/50);  // async
+//   if (fut.get().status == net::Status::kTimeout) ...
+//
+// Every call resolves with a typed CallResult — the server's wire status
+// (OK / TIMEOUT / OVERLOADED / MALFORMED / SHUTTING_DOWN / INTERNAL_ERROR)
+// or the client-side kConnectionError when the transport failed — never an
+// exception for remote-side conditions.
+//
+// Connection management: the IO thread connects lazily on the first call
+// and reconnects after a broken connection with exponential backoff plus
+// jitter (backoff_initial_ms doubling up to backoff_max_ms, multiplied by
+// a uniform 1 ± backoff_jitter factor, so a fleet of clients does not
+// reconnect in lockstep). Requests that were never written survive a
+// reconnect and are sent afterwards; requests already on the wire when the
+// connection broke fail with kConnectionError (the server may or may not
+// have processed them — inference is idempotent, callers can simply
+// retry). After max_connect_attempts consecutive failures everything
+// queued fails with kConnectionError and the backoff resets for the next
+// call.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/socket_util.hpp"
+#include "net/wire.hpp"
+#include "wafermap/wafer_map.hpp"
+
+namespace wm::net {
+
+struct ClientOptions {
+  std::string host = "127.0.0.1";
+  int port = 0;  // required
+  int connect_timeout_ms = 2000;
+  int io_timeout_ms = 5000;
+  /// Consecutive failed connect attempts before queued calls fail.
+  int max_connect_attempts = 5;
+  /// First retry delay; doubles per attempt up to backoff_max_ms.
+  int backoff_initial_ms = 50;
+  int backoff_max_ms = 2000;
+  /// Uniform multiplicative jitter: each delay is scaled by a factor drawn
+  /// from [1 - jitter, 1 + jitter]. In [0, 1).
+  double backoff_jitter = 0.2;
+  /// Seed for the jitter stream (deterministic backoff in tests).
+  std::uint64_t backoff_seed = 1;
+};
+
+/// Outcome of one remote call.
+struct CallResult {
+  Status status = Status::kConnectionError;
+  SelectivePrediction prediction{};  // valid only when status == kOk
+
+  bool ok() const { return status == Status::kOk; }
+};
+
+class Client {
+ public:
+  /// Starts the IO thread; does NOT connect yet (the first call does).
+  explicit Client(const ClientOptions& opts);
+
+  /// Fails outstanding calls with kConnectionError and joins the IO thread.
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Enqueues one request. deadline_ms > 0 asks the server to answer
+  /// TIMEOUT when the engine cannot produce a result within that budget
+  /// (measured from server receipt); 0 = no deadline.
+  std::future<CallResult> predict_async(const WaferMap& map,
+                                        std::uint32_t deadline_ms = 0);
+
+  /// Blocking convenience: predict_async + wait.
+  CallResult predict(const WaferMap& map, std::uint32_t deadline_ms = 0);
+
+  /// Fails every outstanding call with kConnectionError, closes the
+  /// connection, joins the IO thread. Idempotent; calls after close()
+  /// resolve immediately with kConnectionError.
+  void close();
+
+  /// True while a TCP connection is established.
+  bool connected() const { return connected_.load(); }
+
+  /// Successful connections beyond the first (i.e. reconnects).
+  std::uint64_t reconnects() const { return reconnects_.load(); }
+
+  /// Calls written to the wire and still awaiting a response.
+  std::size_t inflight() const;
+
+  const ClientOptions& options() const { return opts_; }
+
+ private:
+  struct Unsent {
+    std::uint64_t id = 0;
+    std::vector<std::uint8_t> bytes;
+  };
+
+  void io_loop();
+  /// Establishes a connection with backoff; returns false when the client
+  /// is stopping or every attempt failed (queued calls were failed).
+  bool connect_with_backoff();
+  void disconnect_locked();  // caller holds mutex_
+  void fail_all_locked(Status status);
+  /// Interruptible sleep; returns false when woken by close().
+  bool backoff_sleep(int ms);
+
+  const ClientOptions opts_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;  // close() interrupts backoff sleeps
+  std::deque<Unsent> unsent_;
+  std::map<std::uint64_t, std::promise<CallResult>> promises_;  // by id
+  std::uint64_t next_id_ = 1;
+  bool stopping_ = false;
+
+  int fd_ = -1;  // owned by the IO thread once it starts
+  std::vector<std::uint8_t> in_;
+  std::atomic<bool> connected_{false};
+  std::atomic<std::uint64_t> reconnects_{0};
+  bool ever_connected_ = false;
+  std::uint64_t jitter_state_;
+
+  WakePipe wake_;
+  std::mutex join_mutex_;
+  std::thread io_;  // started last
+};
+
+}  // namespace wm::net

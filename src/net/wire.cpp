@@ -1,0 +1,236 @@
+#include "net/wire.hpp"
+
+#include <cstring>
+
+namespace wm::net {
+
+namespace {
+
+void put_u16(std::vector<std::uint8_t>* out, std::uint16_t v) {
+  out->push_back(static_cast<std::uint8_t>(v & 0xFF));
+  out->push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void put_u32(std::vector<std::uint8_t>* out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<std::uint8_t>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+void put_u64(std::vector<std::uint8_t>* out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<std::uint8_t>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+void put_f32(std::vector<std::uint8_t>* out, float v) {
+  std::uint32_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  put_u32(out, bits);
+}
+
+std::uint16_t get_u16(const std::uint8_t* p) {
+  return static_cast<std::uint16_t>(p[0] | (p[1] << 8));
+}
+
+std::uint32_t get_u32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+std::uint64_t get_u64(const std::uint8_t* p) {
+  return static_cast<std::uint64_t>(get_u32(p)) |
+         (static_cast<std::uint64_t>(get_u32(p + 4)) << 32);
+}
+
+float get_f32(const std::uint8_t* p) {
+  const std::uint32_t bits = get_u32(p);
+  float v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+void put_header(std::vector<std::uint8_t>* out, FrameType type,
+                std::uint64_t request_id, std::uint32_t body_len) {
+  out->insert(out->end(), kMagic, kMagic + 4);
+  out->push_back(kWireVersion);
+  out->push_back(static_cast<std::uint8_t>(type));
+  put_u16(out, 0);  // reserved
+  put_u64(out, request_id);
+  put_u32(out, body_len);
+}
+
+constexpr std::size_t kRequestFixedBytes = 6;    // deadline_ms + map_size
+constexpr std::size_t kResponseBodyBytes = 12;   // status..confidence
+
+std::size_t packed_bytes(int size) {
+  const std::size_t dies = static_cast<std::size_t>(size) * size;
+  return (dies + 3) / 4;
+}
+
+}  // namespace
+
+const char* to_string(Status s) {
+  switch (s) {
+    case Status::kOk: return "OK";
+    case Status::kTimeout: return "TIMEOUT";
+    case Status::kOverloaded: return "OVERLOADED";
+    case Status::kMalformed: return "MALFORMED";
+    case Status::kShuttingDown: return "SHUTTING_DOWN";
+    case Status::kInternal: return "INTERNAL_ERROR";
+    case Status::kConnectionError: return "CONNECTION_ERROR";
+  }
+  return "UNKNOWN";
+}
+
+std::vector<std::uint8_t> pack_wafer(const WaferMap& map) {
+  const int size = map.size();
+  std::vector<std::uint8_t> out(packed_bytes(size), 0);
+  std::size_t die = 0;
+  for (int r = 0; r < size; ++r) {
+    for (int c = 0; c < size; ++c, ++die) {
+      const auto v = static_cast<std::uint8_t>(map.at(r, c));
+      out[die / 4] |= static_cast<std::uint8_t>(v << (2 * (die % 4)));
+    }
+  }
+  return out;
+}
+
+WaferMap unpack_wafer(int size, const std::uint8_t* data, std::size_t len) {
+  // Lower bound matches WaferMap's own minimum so the constructor below can
+  // never throw anything but WireError for wire-sourced sizes.
+  if (size < 3 || size > kMaxWireMapSize) {
+    throw WireError("wire: bad wafer size " + std::to_string(size));
+  }
+  if (len != packed_bytes(size)) {
+    throw WireError("wire: packed wafer is " + std::to_string(len) +
+                    " bytes, expected " + std::to_string(packed_bytes(size)) +
+                    " for size " + std::to_string(size));
+  }
+  WaferMap map(size);
+  std::size_t die = 0;
+  for (int r = 0; r < size; ++r) {
+    for (int c = 0; c < size; ++c, ++die) {
+      const std::uint8_t v = (data[die / 4] >> (2 * (die % 4))) & 0x3;
+      if (v > 2) {
+        throw WireError("wire: invalid die value 3 at index " +
+                        std::to_string(die));
+      }
+      map.set(r, c, static_cast<Die>(v));
+    }
+  }
+  return map;
+}
+
+std::vector<std::uint8_t> encode_request(const RequestFrame& req) {
+  const std::vector<std::uint8_t> packed = pack_wafer(req.map);
+  const std::size_t body_len = kRequestFixedBytes + packed.size();
+  WM_CHECK(body_len <= kMaxBodyBytes, "wire: request body too large");
+  std::vector<std::uint8_t> out;
+  out.reserve(kHeaderBytes + body_len);
+  put_header(&out, FrameType::kRequest, req.request_id,
+             static_cast<std::uint32_t>(body_len));
+  put_u32(&out, req.deadline_ms);
+  put_u16(&out, static_cast<std::uint16_t>(req.map.size()));
+  out.insert(out.end(), packed.begin(), packed.end());
+  return out;
+}
+
+std::vector<std::uint8_t> encode_response(const ResponseFrame& resp) {
+  std::vector<std::uint8_t> out;
+  out.reserve(kHeaderBytes + kResponseBodyBytes);
+  put_header(&out, FrameType::kResponse, resp.request_id,
+             kResponseBodyBytes);
+  out.push_back(static_cast<std::uint8_t>(resp.status));
+  out.push_back(resp.prediction.selected ? 1 : 0);
+  put_u16(&out, static_cast<std::uint16_t>(resp.prediction.label));
+  put_f32(&out, resp.prediction.g);
+  put_f32(&out, resp.prediction.confidence);
+  return out;
+}
+
+ParsedFrame try_parse_frame(const std::uint8_t* data, std::size_t len) {
+  ParsedFrame out;
+  // The magic is checkable byte-by-byte before a full header arrives, so
+  // garbage is rejected as early as possible.
+  const std::size_t magic_avail = len < 4 ? len : 4;
+  if (std::memcmp(data, kMagic, magic_avail) != 0) {
+    out.status = DecodeStatus::kBad;
+    out.error = "bad magic";
+    return out;
+  }
+  if (len < kHeaderBytes) return out;  // kNeedMore
+  if (data[4] != kWireVersion) {
+    out.status = DecodeStatus::kBad;
+    out.error = "unsupported version " + std::to_string(data[4]);
+    return out;
+  }
+  const std::uint8_t type = data[5];
+  if (type != static_cast<std::uint8_t>(FrameType::kRequest) &&
+      type != static_cast<std::uint8_t>(FrameType::kResponse)) {
+    out.status = DecodeStatus::kBad;
+    out.error = "unknown frame type " + std::to_string(type);
+    return out;
+  }
+  if (get_u16(data + 6) != 0) {
+    out.status = DecodeStatus::kBad;
+    out.error = "non-zero reserved field";
+    return out;
+  }
+  const std::uint32_t body_len = get_u32(data + 16);
+  if (body_len > kMaxBodyBytes) {
+    out.status = DecodeStatus::kBad;
+    out.error = "body length " + std::to_string(body_len) + " exceeds cap " +
+                std::to_string(kMaxBodyBytes);
+    return out;
+  }
+  if (len < kHeaderBytes + body_len) return out;  // kNeedMore
+  out.status = DecodeStatus::kFrame;
+  out.consumed = kHeaderBytes + body_len;
+  out.type = static_cast<FrameType>(type);
+  out.request_id = get_u64(data + 8);
+  out.body = data + kHeaderBytes;
+  out.body_len = body_len;
+  return out;
+}
+
+RequestFrame decode_request_body(std::uint64_t request_id,
+                                 const std::uint8_t* body,
+                                 std::size_t body_len) {
+  if (body_len < kRequestFixedBytes) {
+    throw WireError("wire: request body truncated (" +
+                    std::to_string(body_len) + " bytes)");
+  }
+  RequestFrame req;
+  req.request_id = request_id;
+  req.deadline_ms = get_u32(body);
+  const int size = get_u16(body + 4);
+  req.map = unpack_wafer(size, body + kRequestFixedBytes,
+                         body_len - kRequestFixedBytes);
+  return req;
+}
+
+ResponseFrame decode_response_body(std::uint64_t request_id,
+                                   const std::uint8_t* body,
+                                   std::size_t body_len) {
+  if (body_len != kResponseBodyBytes) {
+    throw WireError("wire: response body is " + std::to_string(body_len) +
+                    " bytes, expected " + std::to_string(kResponseBodyBytes));
+  }
+  ResponseFrame resp;
+  resp.request_id = request_id;
+  const std::uint8_t status = body[0];
+  if (status > static_cast<std::uint8_t>(Status::kInternal)) {
+    throw WireError("wire: unknown status " + std::to_string(status));
+  }
+  resp.status = static_cast<Status>(status);
+  resp.prediction.selected = body[1] != 0;
+  resp.prediction.label = static_cast<std::int16_t>(get_u16(body + 2));
+  resp.prediction.g = get_f32(body + 4);
+  resp.prediction.confidence = get_f32(body + 8);
+  return resp;
+}
+
+}  // namespace wm::net

@@ -1,18 +1,15 @@
 #include "obs/http_exporter.hpp"
 
-#include <arpa/inet.h>
-#include <netinet/in.h>
-#include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
 #include <cerrno>
-#include <cstring>
 
 #include "common/env.hpp"
 #include "common/error.hpp"
 #include "common/logging.hpp"
+#include "net/socket_util.hpp"
 
 namespace wm::obs {
 
@@ -21,25 +18,8 @@ namespace {
 // A request line plus headers comfortably fits; anything larger is abuse.
 constexpr std::size_t kMaxRequestBytes = 8192;
 
-void set_io_timeouts(int fd, int timeout_ms) {
-  timeval tv{};
-  tv.tv_sec = timeout_ms / 1000;
-  tv.tv_usec = (timeout_ms % 1000) * 1000;
-  (void)setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
-  (void)setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
-}
-
-/// Writes all of `data`, retrying partial writes; false on error/timeout.
-bool write_all(int fd, const std::string& data) {
-  std::size_t off = 0;
-  while (off < data.size()) {
-    const ssize_t n = ::send(fd, data.data() + off, data.size() - off,
-                             MSG_NOSIGNAL);
-    if (n <= 0) return false;
-    off += static_cast<std::size_t>(n);
-  }
-  return true;
-}
+using net::set_io_timeouts;
+using net::write_all;
 
 std::string make_response(int status, const char* reason,
                           const std::string& content_type,
@@ -77,53 +57,16 @@ HttpExporter::HttpExporter(const HttpExporterOptions& opts)
   WM_CHECK(opts_.port >= 0 && opts_.port <= 65535, "bad HTTP port ",
            opts_.port);
 
-  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (listen_fd_ < 0) throw IoError("http exporter: socket() failed");
-
-  const int one = 1;
-  (void)setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(static_cast<std::uint16_t>(opts_.port));
-  if (::inet_pton(AF_INET, opts_.bind_address.c_str(), &addr.sin_addr) != 1) {
-    ::close(listen_fd_);
-    throw IoError("http exporter: bad bind address " + opts_.bind_address);
-  }
-  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
-      0) {
-    const int err = errno;
-    ::close(listen_fd_);
-    throw IoError("http exporter: cannot bind " + opts_.bind_address + ":" +
-                  std::to_string(opts_.port) + " (" + std::strerror(err) +
-                  ")");
-  }
-  if (::listen(listen_fd_, 16) != 0) {
-    ::close(listen_fd_);
-    throw IoError("http exporter: listen() failed");
-  }
-
-  socklen_t len = sizeof(addr);
-  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) ==
-      0) {
-    port_ = static_cast<int>(ntohs(addr.sin_port));
-  }
-
-  if (::pipe(wake_pipe_) != 0) {
-    ::close(listen_fd_);
-    throw IoError("http exporter: pipe() failed");
-  }
-
+  // One socket layer for the whole repo: the listener, timeouts, and wake
+  // pipe all come from net/socket_util (shared with net::Server).
+  listen_fd_ = net::listen_tcp(opts_.bind_address, opts_.port, 16, &port_);
   listener_ = std::thread([this] { listener_loop(); });
 }
 
 HttpExporter::~HttpExporter() { stop(); }
 
 void HttpExporter::stop() {
-  if (!stopping_.exchange(true)) {
-    const char byte = 'q';
-    (void)!::write(wake_pipe_[1], &byte, 1);
-  }
+  if (!stopping_.exchange(true)) wake_pipe_.wake();
   const std::lock_guard<std::mutex> lock(join_mutex_);
   if (listener_.joinable()) listener_.join();
   // Close fds exactly once, after the listener can no longer touch them.
@@ -131,12 +74,7 @@ void HttpExporter::stop() {
     ::close(listen_fd_);
     listen_fd_ = -1;
   }
-  for (int& fd : wake_pipe_) {
-    if (fd >= 0) {
-      ::close(fd);
-      fd = -1;
-    }
-  }
+  wake_pipe_.close();
 }
 
 bool HttpExporter::running() const { return !stopping_.load(); }
@@ -156,7 +94,7 @@ void HttpExporter::listener_loop() {
   while (!stopping_.load()) {
     pollfd fds[2];
     fds[0] = {listen_fd_, POLLIN, 0};
-    fds[1] = {wake_pipe_[0], POLLIN, 0};
+    fds[1] = {wake_pipe_.read_fd(), POLLIN, 0};
     const int rc = ::poll(fds, 2, -1);
     if (rc < 0) {
       if (errno == EINTR) continue;
@@ -233,19 +171,7 @@ void HttpExporter::handle_connection(int fd) {
 
 std::string http_get_local(int port, const std::string& path,
                            int timeout_ms) {
-  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd < 0) throw IoError("http_get_local: socket() failed");
-  set_io_timeouts(fd, timeout_ms);
-
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(static_cast<std::uint16_t>(port));
-  (void)::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
-  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
-    ::close(fd);
-    throw IoError("http_get_local: cannot connect to 127.0.0.1:" +
-                  std::to_string(port));
-  }
+  const int fd = net::connect_tcp("127.0.0.1", port, timeout_ms);
 
   const std::string request = "GET " + path +
                               " HTTP/1.1\r\nHost: 127.0.0.1\r\n"

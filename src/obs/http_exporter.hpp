@@ -38,6 +38,7 @@
 #include <string>
 #include <thread>
 
+#include "net/socket_util.hpp"
 #include "obs/metrics.hpp"
 
 namespace wm::obs {
@@ -100,7 +101,7 @@ class HttpExporter {
   Registry& registry_;
   Counter& requests_total_;
   int listen_fd_ = -1;
-  int wake_pipe_[2] = {-1, -1};  // stop() writes; poll loop wakes
+  net::WakePipe wake_pipe_;  // stop() wakes the poll loop
   int port_ = 0;
   std::atomic<bool> stopping_{false};
   std::mutex join_mutex_;  // serialises stop()'s join

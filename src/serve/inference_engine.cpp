@@ -12,7 +12,8 @@ namespace wm::serve {
 
 std::string EngineStats::to_string() const {
   std::ostringstream os;
-  os << "requests:  " << requests << " (abstained " << abstained << ")\n";
+  os << "requests:  " << requests << " (abstained " << abstained << ", shed "
+     << shed << ")\n";
   os << "batches:   " << batches << " (mean size ";
   os.precision(2);
   os << std::fixed << mean_batch_size() << ", full " << full_flushes
@@ -40,6 +41,8 @@ InferenceEngine::InferenceEngine(const Classifier& classifier,
                                            "batches flushed at max_batch")),
       timer_flushes_total_(metrics_.counter(
           "wm_serve_timer_flushes_total", "batches flushed by timer / drain")),
+      shed_total_(metrics_.counter("wm_serve_shed_total",
+                                   "try_submit() rejections (queue full)")),
       queue_depth_gauge_(metrics_.gauge("wm_serve_queue_depth",
                                         "requests queued, batch in flight excluded")),
       batch_size_hist_(metrics_.histogram("wm_serve_batch_size",
@@ -63,6 +66,23 @@ std::future<SelectivePrediction> InferenceEngine::submit(WaferMap map) {
     return stopping_ || queue_.size() < opts_.queue_capacity;
   });
   WM_CHECK(!stopping_, "submit() on a shut-down engine");
+  queue_.push_back(Request{std::move(map), {}, Clock::now()});
+  std::future<SelectivePrediction> fut = queue_.back().promise.get_future();
+  queue_depth_gauge_.set(static_cast<double>(queue_.size()));
+  obs::trace_counter("serve.queue_depth", static_cast<double>(queue_.size()));
+  lock.unlock();
+  queue_cv_.notify_one();
+  return fut;
+}
+
+std::optional<std::future<SelectivePrediction>> InferenceEngine::try_submit(
+    WaferMap map) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  WM_CHECK(!stopping_, "try_submit() on a shut-down engine");
+  if (queue_.size() >= opts_.queue_capacity) {
+    shed_total_.inc();
+    return std::nullopt;
+  }
   queue_.push_back(Request{std::move(map), {}, Clock::now()});
   std::future<SelectivePrediction> fut = queue_.back().promise.get_future();
   queue_depth_gauge_.set(static_cast<double>(queue_.size()));
@@ -109,6 +129,7 @@ EngineStats InferenceEngine::stats() const {
   s.abstained = abstained_total_.value();
   s.full_flushes = full_flushes_total_.value();
   s.timer_flushes = timer_flushes_total_.value();
+  s.shed = shed_total_.value();
   static_cast<obs::HistogramSnapshot&>(s.latency) = latency_hist_.snapshot();
   return s;
 }

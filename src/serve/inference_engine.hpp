@@ -35,6 +35,7 @@
 #include <deque>
 #include <future>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
@@ -85,6 +86,7 @@ struct EngineStats {
   std::uint64_t abstained = 0;         // results with selected == false
   std::uint64_t full_flushes = 0;      // batches flushed at max_batch
   std::uint64_t timer_flushes = 0;     // flushed by the delay timer / drain
+  std::uint64_t shed = 0;              // try_submit() rejections (queue full)
   LatencyHistogram latency;            // per-request enqueue -> result
 
   double mean_batch_size() const {
@@ -114,6 +116,12 @@ class InferenceEngine {
   /// resolves with the prediction, or with the classifier's exception if the
   /// batch containing this wafer failed. Throws wm::Error after shutdown().
   std::future<SelectivePrediction> submit(WaferMap map);
+
+  /// Non-blocking submit for load-shedding front-ends (net::Server): when
+  /// the queue is at capacity this returns std::nullopt immediately —
+  /// bumping wm_serve_shed_total — instead of blocking the producer.
+  /// Otherwise identical to submit(), including the throw after shutdown().
+  std::optional<std::future<SelectivePrediction>> try_submit(WaferMap map);
 
   /// Blocking convenience: submit + wait.
   SelectivePrediction predict(const WaferMap& map);
@@ -162,6 +170,7 @@ class InferenceEngine {
   obs::Counter& abstained_total_;
   obs::Counter& full_flushes_total_;
   obs::Counter& timer_flushes_total_;
+  obs::Counter& shed_total_;
   obs::Gauge& queue_depth_gauge_;
   obs::Histogram& batch_size_hist_;
   obs::Histogram& latency_hist_;

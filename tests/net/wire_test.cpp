@@ -1,0 +1,254 @@
+// Wire-format invariants: randomized encode/decode round-trips across every
+// defect class and several wafer sizes, plus adversarial frames (truncated,
+// oversized, corrupted) that must be rejected deterministically — never a
+// crash, never a misparse.
+#include "net/wire.hpp"
+
+#include <cstring>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "wafermap/synth/generator.hpp"
+
+namespace wm::net {
+namespace {
+
+WaferMap random_map(Rng& rng, int size) {
+  WaferMap map(size);
+  for (int r = 0; r < size; ++r) {
+    for (int c = 0; c < size; ++c) {
+      if (!map.on_wafer(r, c)) continue;
+      if (rng.uniform() < 0.3) map.mark_fail(r, c);
+    }
+  }
+  return map;
+}
+
+bool maps_equal(const WaferMap& a, const WaferMap& b) {
+  if (a.size() != b.size()) return false;
+  for (int r = 0; r < a.size(); ++r) {
+    for (int c = 0; c < a.size(); ++c) {
+      if (a.at(r, c) != b.at(r, c)) return false;
+    }
+  }
+  return true;
+}
+
+TEST(WireTest, PackUnpackRoundTripAcrossSizes) {
+  Rng rng(42);
+  for (int size : {3, 4, 7, 16, 24, 33, 64, 101}) {
+    for (int rep = 0; rep < 4; ++rep) {
+      const WaferMap map = random_map(rng, size);
+      const std::vector<std::uint8_t> packed = pack_wafer(map);
+      EXPECT_EQ(packed.size(),
+                (static_cast<std::size_t>(size) * size + 3) / 4);
+      const WaferMap back = unpack_wafer(size, packed.data(), packed.size());
+      EXPECT_TRUE(maps_equal(map, back)) << "size " << size;
+    }
+  }
+}
+
+TEST(WireTest, RequestRoundTripAcrossAllDefectClasses) {
+  // Real synthesized wafers from every one of the 9 classes, several sizes:
+  // the request frame must carry each one bit-exactly.
+  Rng rng(7);
+  for (int size : {16, 24, 33}) {
+    synth::DatasetSpec spec;
+    spec.map_size = size;
+    spec.class_counts.fill(3);
+    const Dataset data = synth::generate_dataset(spec, rng);
+    ASSERT_EQ(data.size(), 27u);
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      RequestFrame req;
+      req.request_id = 1000 * static_cast<std::uint64_t>(size) + i;
+      req.deadline_ms = static_cast<std::uint32_t>(rng.uniform_int(0, 10'000));
+      req.map = data[i].map;
+
+      const std::vector<std::uint8_t> bytes = encode_request(req);
+      const ParsedFrame frame = try_parse_frame(bytes.data(), bytes.size());
+      ASSERT_EQ(frame.status, DecodeStatus::kFrame);
+      EXPECT_EQ(frame.consumed, bytes.size());
+      EXPECT_EQ(frame.type, FrameType::kRequest);
+      EXPECT_EQ(frame.request_id, req.request_id);
+
+      const RequestFrame back =
+          decode_request_body(frame.request_id, frame.body, frame.body_len);
+      EXPECT_EQ(back.deadline_ms, req.deadline_ms);
+      EXPECT_TRUE(maps_equal(back.map, req.map));
+    }
+  }
+}
+
+TEST(WireTest, ResponseRoundTripIsBitExact) {
+  Rng rng(99);
+  for (int rep = 0; rep < 200; ++rep) {
+    ResponseFrame resp;
+    resp.request_id = rng.next_u64();
+    resp.status = static_cast<Status>(rng.uniform_int(0, 5));  // 0..5 on wire
+    resp.prediction.selected = rng.uniform() < 0.5;
+    resp.prediction.label = rng.uniform_int(0, 8);
+    // Raw bit patterns, including ugly ones: the wire carries IEEE-754 bits
+    // verbatim.
+    const std::uint32_t g_bits = static_cast<std::uint32_t>(rng.next_u64());
+    const std::uint32_t c_bits = static_cast<std::uint32_t>(rng.next_u64());
+    std::memcpy(&resp.prediction.g, &g_bits, sizeof(float));
+    std::memcpy(&resp.prediction.confidence, &c_bits, sizeof(float));
+
+    const std::vector<std::uint8_t> bytes = encode_response(resp);
+    const ParsedFrame frame = try_parse_frame(bytes.data(), bytes.size());
+    ASSERT_EQ(frame.status, DecodeStatus::kFrame);
+    EXPECT_EQ(frame.type, FrameType::kResponse);
+
+    const ResponseFrame back =
+        decode_response_body(frame.request_id, frame.body, frame.body_len);
+    EXPECT_EQ(back.request_id, resp.request_id);
+    EXPECT_EQ(back.status, resp.status);
+    EXPECT_EQ(back.prediction.selected, resp.prediction.selected);
+    EXPECT_EQ(back.prediction.label, resp.prediction.label);
+    EXPECT_EQ(std::memcmp(&back.prediction.g, &resp.prediction.g,
+                          sizeof(float)),
+              0);
+    EXPECT_EQ(std::memcmp(&back.prediction.confidence,
+                          &resp.prediction.confidence, sizeof(float)),
+              0);
+  }
+}
+
+TEST(WireTest, TruncatedFramesAreNeedMoreAtEveryPrefix) {
+  Rng rng(1);
+  RequestFrame req;
+  req.request_id = 5;
+  req.map = random_map(rng, 16);
+  const std::vector<std::uint8_t> bytes = encode_request(req);
+  // Every proper prefix must parse as kNeedMore — never kFrame, never kBad.
+  for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+    const ParsedFrame frame = try_parse_frame(bytes.data(), cut);
+    EXPECT_EQ(frame.status, DecodeStatus::kNeedMore) << "prefix " << cut;
+  }
+}
+
+TEST(WireTest, BadMagicRejectsImmediately) {
+  std::uint8_t buf[8] = {'H', 'T', 'T', 'P', 0, 0, 0, 0};
+  EXPECT_EQ(try_parse_frame(buf, 1).status, DecodeStatus::kBad);
+  EXPECT_EQ(try_parse_frame(buf, sizeof(buf)).status, DecodeStatus::kBad);
+}
+
+std::vector<std::uint8_t> valid_request_bytes() {
+  Rng rng(3);
+  RequestFrame req;
+  req.request_id = 9;
+  req.map = random_map(rng, 8);
+  return encode_request(req);
+}
+
+TEST(WireTest, BadVersionTypeReservedAreRejected) {
+  {
+    auto bytes = valid_request_bytes();
+    bytes[4] = 2;  // future version
+    const ParsedFrame f = try_parse_frame(bytes.data(), bytes.size());
+    EXPECT_EQ(f.status, DecodeStatus::kBad);
+    EXPECT_NE(f.error.find("version"), std::string::npos);
+  }
+  {
+    auto bytes = valid_request_bytes();
+    bytes[5] = 7;  // unknown frame type
+    EXPECT_EQ(try_parse_frame(bytes.data(), bytes.size()).status,
+              DecodeStatus::kBad);
+  }
+  {
+    auto bytes = valid_request_bytes();
+    bytes[6] = 1;  // reserved must be zero
+    EXPECT_EQ(try_parse_frame(bytes.data(), bytes.size()).status,
+              DecodeStatus::kBad);
+  }
+}
+
+TEST(WireTest, OversizedLengthPrefixIsRejectedNotBuffered) {
+  auto bytes = valid_request_bytes();
+  const std::uint32_t huge = kMaxBodyBytes + 1;
+  std::memcpy(bytes.data() + 16, &huge, sizeof(huge));  // little-endian host
+  const ParsedFrame f = try_parse_frame(bytes.data(), bytes.size());
+  EXPECT_EQ(f.status, DecodeStatus::kBad);
+  EXPECT_NE(f.error.find("exceeds cap"), std::string::npos);
+}
+
+TEST(WireTest, GarbagePayloadNeverCrashesTheParser) {
+  Rng rng(1234);
+  for (int rep = 0; rep < 500; ++rep) {
+    std::vector<std::uint8_t> buf(
+        static_cast<std::size_t>(rng.uniform_int(0, 63)) + 1);
+    for (auto& b : buf) {
+      b = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+    }
+    // Any outcome is fine; crashing or throwing is not.
+    const ParsedFrame f = try_parse_frame(buf.data(), buf.size());
+    if (f.status == DecodeStatus::kFrame) {
+      EXPECT_LE(f.consumed, buf.size());
+    }
+  }
+}
+
+TEST(WireTest, RequestBodyValidationThrowsWireError) {
+  // Truncated body.
+  const std::uint8_t tiny[3] = {0, 0, 0};
+  EXPECT_THROW(decode_request_body(1, tiny, sizeof(tiny)), WireError);
+
+  // map_size inconsistent with the byte count.
+  auto bytes = valid_request_bytes();
+  const ParsedFrame f = try_parse_frame(bytes.data(), bytes.size());
+  ASSERT_EQ(f.status, DecodeStatus::kFrame);
+  {
+    std::vector<std::uint8_t> body(f.body, f.body + f.body_len);
+    body[4] = 200;  // claims a 200-wide wafer; bytes are for size 8
+    EXPECT_THROW(decode_request_body(1, body.data(), body.size()), WireError);
+  }
+  // Sizes the protocol refuses outright (incl. below WaferMap's minimum,
+  // which must surface as WireError, not any other exception type).
+  {
+    std::vector<std::uint8_t> body(f.body, f.body + f.body_len);
+    body[4] = 1;
+    body[5] = 0;
+    EXPECT_THROW(decode_request_body(1, body.data(), body.size()), WireError);
+    body[4] = 0x02;
+    body[5] = 0x02;  // 514 > kMaxWireMapSize
+    EXPECT_THROW(decode_request_body(1, body.data(), body.size()), WireError);
+  }
+  // An invalid 2-bit die value (3).
+  {
+    std::vector<std::uint8_t> body(f.body, f.body + f.body_len);
+    body[6] = 0xFF;  // first four dies all 0b11
+    EXPECT_THROW(decode_request_body(1, body.data(), body.size()), WireError);
+  }
+}
+
+TEST(WireTest, ResponseBodyValidationThrowsWireError) {
+  ResponseFrame resp;
+  resp.request_id = 2;
+  resp.status = Status::kOk;
+  auto bytes = encode_response(resp);
+  const ParsedFrame f = try_parse_frame(bytes.data(), bytes.size());
+  ASSERT_EQ(f.status, DecodeStatus::kFrame);
+
+  EXPECT_THROW(decode_response_body(2, f.body, f.body_len - 1), WireError);
+
+  std::vector<std::uint8_t> body(f.body, f.body + f.body_len);
+  body[0] = 6;  // kConnectionError never travels on the wire
+  EXPECT_THROW(decode_response_body(2, body.data(), body.size()), WireError);
+  body[0] = 250;
+  EXPECT_THROW(decode_response_body(2, body.data(), body.size()), WireError);
+}
+
+TEST(WireTest, StatusNamesAreStable) {
+  EXPECT_STREQ(to_string(Status::kOk), "OK");
+  EXPECT_STREQ(to_string(Status::kTimeout), "TIMEOUT");
+  EXPECT_STREQ(to_string(Status::kOverloaded), "OVERLOADED");
+  EXPECT_STREQ(to_string(Status::kMalformed), "MALFORMED");
+  EXPECT_STREQ(to_string(Status::kShuttingDown), "SHUTTING_DOWN");
+  EXPECT_STREQ(to_string(Status::kInternal), "INTERNAL_ERROR");
+  EXPECT_STREQ(to_string(Status::kConnectionError), "CONNECTION_ERROR");
+}
+
+}  // namespace
+}  // namespace wm::net

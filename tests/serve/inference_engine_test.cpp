@@ -365,5 +365,48 @@ TEST(InferenceEngineTest, SharedRegistryAggregatesAcrossEngines) {
   EXPECT_EQ(shared.counter("wm_serve_requests_total", "").value(), 3u);
 }
 
+TEST(InferenceEngineTest, TrySubmitShedsInsteadOfBlocking) {
+  FakeClassifier clf(/*gated=*/true);
+  InferenceEngine engine(clf, {.max_batch = 1,
+                               .max_delay_us = 0,
+                               .queue_capacity = 2});
+  const auto maps = test_maps(4);
+  std::vector<std::future<SelectivePrediction>> futures;
+  futures.push_back(engine.submit(maps[0]));
+  clf.wait_entered(1);  // first request is now held inside the classifier
+  // Fill the queue through the non-blocking path.
+  auto f1 = engine.try_submit(maps[1]);
+  auto f2 = engine.try_submit(maps[2]);
+  ASSERT_TRUE(f1.has_value());
+  ASSERT_TRUE(f2.has_value());
+  EXPECT_EQ(engine.queue_depth(), 2u);  // at capacity
+
+  // The next try_submit must return immediately with nullopt, not block.
+  const auto start = std::chrono::steady_clock::now();
+  auto rejected = engine.try_submit(maps[3]);
+  EXPECT_FALSE(rejected.has_value());
+  EXPECT_LT(std::chrono::steady_clock::now() - start, 1s);
+  EXPECT_EQ(engine.stats().shed, 1u);
+  EXPECT_EQ(engine.metrics_registry().counter("wm_serve_shed_total", "")
+                .value(),
+            1u);
+
+  clf.release();
+  futures.push_back(std::move(*f1));
+  futures.push_back(std::move(*f2));
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    EXPECT_EQ(futures[i].get().label, maps[i].fail_count());
+  }
+  // Accepted try_submit requests completed; the shed one never counted.
+  EXPECT_EQ(engine.stats().requests, 3u);
+}
+
+TEST(InferenceEngineTest, TrySubmitThrowsAfterShutdown) {
+  FakeClassifier clf;
+  InferenceEngine engine(clf, {.max_batch = 1});
+  engine.shutdown();
+  EXPECT_THROW(engine.try_submit(test_maps(1)[0]), Error);
+}
+
 }  // namespace
 }  // namespace wm::serve

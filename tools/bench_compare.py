@@ -8,6 +8,9 @@ Understands both report formats in this repo:
     lower is better.
   * bench_serve's custom JSON (BENCH_serve.json): compares the headline
     engine_vs_direct_best_ratio; higher is better.
+  * loadgen's custom JSON (BENCH_net.json): compares the headline
+    remote_vs_engine_ratio (loopback TCP throughput as a fraction of the
+    in-process engine); higher is better.
 
 Only the named headline metrics gate the exit code — micro benchmarks are
 noisy and a full-matrix gate would flap. The default headline set per file
@@ -45,10 +48,13 @@ DEFAULT_HEADLINES = {
     "bench_serve": {
         "engine_vs_direct_best_ratio",
     },
+    "bench_net": {
+        "remote_vs_engine_ratio",
+    },
 }
 
 # Metrics where larger is better (everything else: smaller is better).
-HIGHER_IS_BETTER = {"engine_vs_direct_best_ratio"}
+HIGHER_IS_BETTER = {"engine_vs_direct_best_ratio", "remote_vs_engine_ratio"}
 
 
 def load(path):
@@ -59,8 +65,9 @@ def load(path):
 def detect_format(doc):
     if isinstance(doc, dict) and "benchmarks" in doc:
         return "google_benchmark"
-    if isinstance(doc, dict) and doc.get("bench") == "bench_serve":
-        return "bench_serve"
+    if isinstance(doc, dict) and doc.get("bench") in ("bench_serve",
+                                                      "bench_net"):
+        return doc["bench"]
     raise SystemExit(f"unrecognised benchmark JSON (keys: {list(doc)[:6]})")
 
 
@@ -74,7 +81,7 @@ def extract_metrics(doc, fmt):
             key = "real_time" if b["name"].endswith("/real_time") else "cpu_time"
             out[b["name"]] = float(b[key])
         return out
-    # bench_serve: every top-level number is a candidate metric.
+    # bench_serve / bench_net: every top-level number is a candidate metric.
     return {k: float(v) for k, v in doc.items()
             if isinstance(v, (int, float)) and not isinstance(v, bool)}
 

@@ -1,0 +1,477 @@
+// loadgen — load-generator harness for the wm_net remote serving stack.
+//
+// Self-contained by default: builds a small selective CNN, wraps it in a
+// serve::InferenceEngine and a net::Server on loopback inside this process,
+// then drives the server over real TCP with net::Clients. Three runs:
+//
+//   engine        in-process closed-loop baseline — the same offered
+//                 concurrency hammers InferenceEngine::predict directly
+//                 (no sockets), giving the ceiling the wire can be
+//                 compared against;
+//   remote-closed closed loop over TCP: C connections, each keeping a
+//                 pipelined window of W async calls in flight;
+//   remote-open   open loop over TCP at a target aggregate rate
+//                 (--qps, skipped when 0): sends are scheduled on a fixed
+//                 cadence regardless of responses, so queueing delay shows
+//                 up in the latency tail instead of silently throttling
+//                 the generator (no coordinated omission).
+//
+// The headline metric is remote_vs_engine_ratio: remote closed-loop
+// throughput over the in-process baseline at identical concurrency.
+// tools/run_benchmarks.sh captures `loadgen --json` as BENCH_net.json and
+// tools/bench_compare.py gates that ratio against the checked-in baseline.
+//
+// Flags:
+//   --connections N   client connections               (default 4)
+//   --window W        in-flight calls per connection   (default 8)
+//   --requests N      total requests per run           (default 2000)
+//   --qps Q           open-loop aggregate target rate  (default 0 = skip)
+//   --map S           wafer edge length                (default 32)
+//   --workers K       server worker threads            (default 2)
+//   --host H --port P drive an external wm_net server instead of the
+//                     in-process one (baseline + ratio are skipped)
+//   --json            machine-readable report on stdout
+//
+// Env: WM_BENCH_SCALE scales --requests like the other benches.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/config.hpp"
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "common/stopwatch.hpp"
+#include "net/client.hpp"
+#include "net/server.hpp"
+#include "selective/predictor.hpp"
+#include "selective/selective_net.hpp"
+#include "serve/inference_engine.hpp"
+#include "wafermap/synth/generator.hpp"
+
+using namespace wm;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct RunResult {
+  std::string mode;  // "engine" | "remote-closed" | "remote-open"
+  int connections = 0;
+  int window = 0;
+  double target_qps = 0.0;  // open loop only
+  std::size_t requests = 0;
+  std::size_t ok = 0;
+  std::size_t shed = 0;      // OVERLOADED responses
+  std::size_t timeout = 0;   // TIMEOUT responses
+  std::size_t errors = 0;    // everything else non-OK
+  double wall_s = 0.0;
+  double throughput_rps = 0.0;
+  std::int64_t p50_us = 0;
+  std::int64_t p95_us = 0;
+  std::int64_t p99_us = 0;
+};
+
+std::vector<WaferMap> make_stream(int map_size, int n) {
+  Rng rng(2026);
+  synth::DatasetSpec spec;
+  spec.map_size = map_size;
+  spec.class_counts.fill((n + kNumDefectTypes - 1) / kNumDefectTypes);
+  Dataset data = synth::generate_dataset(spec, rng);
+  data.shuffle(rng);
+  std::vector<WaferMap> maps;
+  for (std::size_t i = 0; i < data.size() && maps.size() < std::size_t(n); ++i)
+    maps.push_back(data[i].map);
+  return maps;
+}
+
+std::int64_t percentile(std::vector<std::int64_t>& sorted_us, double q) {
+  if (sorted_us.empty()) return 0;
+  const auto idx = static_cast<std::size_t>(
+      q * static_cast<double>(sorted_us.size() - 1) + 0.5);
+  return sorted_us[std::min(idx, sorted_us.size() - 1)];
+}
+
+void finish(RunResult& r, std::vector<std::int64_t>& latencies) {
+  std::sort(latencies.begin(), latencies.end());
+  r.p50_us = percentile(latencies, 0.50);
+  r.p95_us = percentile(latencies, 0.95);
+  r.p99_us = percentile(latencies, 0.99);
+  r.throughput_rps = r.wall_s > 0 ? static_cast<double>(r.requests) / r.wall_s
+                                  : 0.0;
+}
+
+void count_status(RunResult& r, net::Status s) {
+  switch (s) {
+    case net::Status::kOk: ++r.ok; break;
+    case net::Status::kOverloaded: ++r.shed; break;
+    case net::Status::kTimeout: ++r.timeout; break;
+    default: ++r.errors; break;
+  }
+}
+
+/// In-process ceiling: connections*window threads issue blocking
+/// engine.predict calls — same concurrency as the remote closed loop, no
+/// sockets or framing in the path.
+RunResult run_engine(serve::InferenceEngine& engine,
+                     const std::vector<WaferMap>& stream, int connections,
+                     int window, std::size_t total) {
+  RunResult r;
+  r.mode = "engine";
+  r.connections = connections;
+  r.window = window;
+  const int threads = connections * window;
+  const std::size_t per_thread = total / static_cast<std::size_t>(threads);
+  r.requests = per_thread * static_cast<std::size_t>(threads);
+
+  std::vector<std::vector<std::int64_t>> lat(
+      static_cast<std::size_t>(threads));
+  Stopwatch watch;
+  std::vector<std::thread> pool;
+  for (int t = 0; t < threads; ++t) {
+    pool.emplace_back([&, t] {
+      for (std::size_t i = 0; i < per_thread; ++i) {
+        const auto& map =
+            stream[(static_cast<std::size_t>(t) * per_thread + i) %
+                   stream.size()];
+        const Clock::time_point sent = Clock::now();
+        (void)engine.predict(map);
+        lat[static_cast<std::size_t>(t)].push_back(
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                Clock::now() - sent)
+                .count());
+      }
+    });
+  }
+  for (auto& th : pool) th.join();
+  r.wall_s = watch.seconds();
+  r.ok = r.requests;
+
+  std::vector<std::int64_t> all;
+  for (auto& v : lat) all.insert(all.end(), v.begin(), v.end());
+  finish(r, all);
+  return r;
+}
+
+/// One closed-loop connection: keep `window` async calls in flight, waiting
+/// on the oldest when the window is full.
+void closed_loop_conn(net::Client& client, const std::vector<WaferMap>& stream,
+                      std::size_t offset, std::size_t count, int window,
+                      std::vector<std::int64_t>& lat,
+                      std::map<net::Status, std::size_t>& statuses) {
+  std::deque<std::pair<Clock::time_point, std::future<net::CallResult>>>
+      inflight;
+  auto harvest = [&](bool block) {
+    while (!inflight.empty()) {
+      auto& [sent, fut] = inflight.front();
+      if (!block &&
+          fut.wait_for(std::chrono::seconds(0)) != std::future_status::ready) {
+        return;
+      }
+      const net::CallResult res = fut.get();
+      lat.push_back(std::chrono::duration_cast<std::chrono::microseconds>(
+                        Clock::now() - sent)
+                        .count());
+      ++statuses[res.status];
+      inflight.pop_front();
+    }
+  };
+  for (std::size_t i = 0; i < count; ++i) {
+    if (inflight.size() >= static_cast<std::size_t>(window)) {
+      auto& [sent, fut] = inflight.front();
+      const net::CallResult res = fut.get();
+      lat.push_back(std::chrono::duration_cast<std::chrono::microseconds>(
+                        Clock::now() - sent)
+                        .count());
+      ++statuses[res.status];
+      inflight.pop_front();
+    }
+    inflight.emplace_back(Clock::now(),
+                          client.predict_async(stream[(offset + i) %
+                                                      stream.size()]));
+    harvest(/*block=*/false);
+  }
+  harvest(/*block=*/true);
+}
+
+RunResult run_remote_closed(const std::string& host, int port,
+                            const std::vector<WaferMap>& stream,
+                            int connections, int window, std::size_t total) {
+  RunResult r;
+  r.mode = "remote-closed";
+  r.connections = connections;
+  r.window = window;
+  const std::size_t per_conn = total / static_cast<std::size_t>(connections);
+  r.requests = per_conn * static_cast<std::size_t>(connections);
+
+  std::vector<std::unique_ptr<net::Client>> clients;
+  for (int c = 0; c < connections; ++c) {
+    clients.push_back(std::make_unique<net::Client>(
+        net::ClientOptions{.host = host, .port = port}));
+  }
+  std::vector<std::vector<std::int64_t>> lat(
+      static_cast<std::size_t>(connections));
+  std::vector<std::map<net::Status, std::size_t>> statuses(
+      static_cast<std::size_t>(connections));
+
+  Stopwatch watch;
+  std::vector<std::thread> pool;
+  for (int c = 0; c < connections; ++c) {
+    pool.emplace_back([&, c] {
+      closed_loop_conn(*clients[static_cast<std::size_t>(c)], stream,
+                       static_cast<std::size_t>(c) * per_conn, per_conn,
+                       window, lat[static_cast<std::size_t>(c)],
+                       statuses[static_cast<std::size_t>(c)]);
+    });
+  }
+  for (auto& th : pool) th.join();
+  r.wall_s = watch.seconds();
+  for (auto& m : statuses) {
+    for (const auto& [status, n] : m) {
+      for (std::size_t i = 0; i < n; ++i) count_status(r, status);
+    }
+  }
+  std::vector<std::int64_t> all;
+  for (auto& v : lat) all.insert(all.end(), v.begin(), v.end());
+  finish(r, all);
+  return r;
+}
+
+RunResult run_remote_open(const std::string& host, int port,
+                          const std::vector<WaferMap>& stream, int connections,
+                          double qps, std::size_t total) {
+  RunResult r;
+  r.mode = "remote-open";
+  r.connections = connections;
+  r.target_qps = qps;
+  const std::size_t per_conn = total / static_cast<std::size_t>(connections);
+  r.requests = per_conn * static_cast<std::size_t>(connections);
+  const auto interval = std::chrono::nanoseconds(static_cast<std::int64_t>(
+      1e9 * static_cast<double>(connections) / qps));
+
+  std::vector<std::unique_ptr<net::Client>> clients;
+  for (int c = 0; c < connections; ++c) {
+    clients.push_back(std::make_unique<net::Client>(
+        net::ClientOptions{.host = host, .port = port}));
+  }
+  std::vector<std::vector<std::int64_t>> lat(
+      static_cast<std::size_t>(connections));
+  std::vector<std::map<net::Status, std::size_t>> statuses(
+      static_cast<std::size_t>(connections));
+
+  Stopwatch watch;
+  std::vector<std::thread> pool;
+  for (int c = 0; c < connections; ++c) {
+    pool.emplace_back([&, c] {
+      auto& client = *clients[static_cast<std::size_t>(c)];
+      auto& l = lat[static_cast<std::size_t>(c)];
+      auto& st = statuses[static_cast<std::size_t>(c)];
+      std::deque<std::pair<Clock::time_point, std::future<net::CallResult>>>
+          inflight;
+      const Clock::time_point start = Clock::now();
+      for (std::size_t i = 0; i < per_conn; ++i) {
+        // Latency is measured from the *scheduled* send time: a late send
+        // caused by a backed-up server counts against the server.
+        const Clock::time_point scheduled =
+            start + interval * static_cast<std::int64_t>(i);
+        std::this_thread::sleep_until(scheduled);
+        inflight.emplace_back(
+            scheduled,
+            client.predict_async(
+                stream[(static_cast<std::size_t>(c) * per_conn + i) %
+                       stream.size()]));
+        while (!inflight.empty() &&
+               inflight.front().second.wait_for(std::chrono::seconds(0)) ==
+                   std::future_status::ready) {
+          const net::CallResult res = inflight.front().second.get();
+          l.push_back(std::chrono::duration_cast<std::chrono::microseconds>(
+                          Clock::now() - inflight.front().first)
+                          .count());
+          ++st[res.status];
+          inflight.pop_front();
+        }
+      }
+      while (!inflight.empty()) {
+        const net::CallResult res = inflight.front().second.get();
+        l.push_back(std::chrono::duration_cast<std::chrono::microseconds>(
+                        Clock::now() - inflight.front().first)
+                        .count());
+        ++st[res.status];
+        inflight.pop_front();
+      }
+    });
+  }
+  for (auto& th : pool) th.join();
+  r.wall_s = watch.seconds();
+  for (auto& m : statuses) {
+    for (const auto& [status, n] : m) {
+      for (std::size_t i = 0; i < n; ++i) count_status(r, status);
+    }
+  }
+  std::vector<std::int64_t> all;
+  for (auto& v : lat) all.insert(all.end(), v.begin(), v.end());
+  finish(r, all);
+  return r;
+}
+
+void print_row(const RunResult& r) {
+  std::printf("%-13s c=%-2d w=%-2d %6zu req  %6.2f s  %8.1f req/s  "
+              "ok %zu shed %zu timeout %zu err %zu  p50/p95/p99 "
+              "%lld/%lld/%lld us\n",
+              r.mode.c_str(), r.connections, r.window, r.requests, r.wall_s,
+              r.throughput_rps, r.ok, r.shed, r.timeout, r.errors,
+              static_cast<long long>(r.p50_us),
+              static_cast<long long>(r.p95_us),
+              static_cast<long long>(r.p99_us));
+}
+
+void print_json(const std::vector<RunResult>& rows, int map_size,
+                double ratio) {
+  std::printf("{\n  \"bench\": \"bench_net\",\n");
+  std::printf("  \"map_size\": %d,\n", map_size);
+  std::printf("  \"remote_vs_engine_ratio\": %.3f,\n", ratio);
+  std::printf("  \"runs\": [\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const RunResult& r = rows[i];
+    std::printf(
+        "    {\"mode\": \"%s\", \"connections\": %d, \"window\": %d, "
+        "\"target_qps\": %.1f, \"requests\": %zu, \"ok\": %zu, "
+        "\"shed\": %zu, \"timeout\": %zu, \"errors\": %zu, "
+        "\"wall_s\": %.4f, \"throughput_rps\": %.2f, "
+        "\"p50_us\": %lld, \"p95_us\": %lld, \"p99_us\": %lld}%s\n",
+        r.mode.c_str(), r.connections, r.window, r.target_qps, r.requests,
+        r.ok, r.shed, r.timeout, r.errors, r.wall_s, r.throughput_rps,
+        static_cast<long long>(r.p50_us), static_cast<long long>(r.p95_us),
+        static_cast<long long>(r.p99_us), i + 1 < rows.size() ? "," : "");
+  }
+  std::printf("  ]\n}\n");
+}
+
+int get_flag(int argc, char** argv, const char* name, int fallback) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) return std::atoi(argv[i + 1]);
+  }
+  return fallback;
+}
+
+double get_flag_d(int argc, char** argv, const char* name, double fallback) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) return std::atof(argv[i + 1]);
+  }
+  return fallback;
+}
+
+std::string get_flag_s(int argc, char** argv, const char* name,
+                       const std::string& fallback) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) return argv[i + 1];
+  }
+  return fallback;
+}
+
+bool has_flag(int argc, char** argv, const char* name) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool json = has_flag(argc, argv, "--json");
+  const int connections = std::max(1, get_flag(argc, argv, "--connections", 4));
+  const int window = std::max(1, get_flag(argc, argv, "--window", 8));
+  const int map_size = get_flag(argc, argv, "--map", 32);
+  const int workers = std::max(1, get_flag(argc, argv, "--workers", 2));
+  const double qps = get_flag_d(argc, argv, "--qps", 0.0);
+  const std::size_t total = static_cast<std::size_t>(std::max(
+      connections * window,
+      static_cast<int>(get_flag(argc, argv, "--requests", 2000) *
+                       bench_scale())));
+  const std::string ext_host = get_flag_s(argc, argv, "--host", "127.0.0.1");
+  const int ext_port = get_flag(argc, argv, "--port", 0);
+
+  try {
+    const auto stream = make_stream(map_size, 256);
+
+    // The in-process stack (skipped when --port targets an external server).
+    std::unique_ptr<selective::SelectiveNet> net_model;
+    std::unique_ptr<selective::SelectivePredictor> predictor;
+    std::unique_ptr<serve::InferenceEngine> engine;
+    std::unique_ptr<net::Server> server;
+    int port = ext_port;
+    if (ext_port == 0) {
+      Rng rng(7);
+      net_model = std::make_unique<selective::SelectiveNet>(
+          selective::SelectiveNetOptions{.map_size = map_size,
+                                         .num_classes = kNumDefectTypes,
+                                         .use_batchnorm = true},
+          rng);
+      predictor = std::make_unique<selective::SelectivePredictor>(*net_model,
+                                                                  0.5f);
+      engine = std::make_unique<serve::InferenceEngine>(
+          *predictor,
+          serve::EngineOptions{
+              .max_batch = std::max(8, connections * window),
+              .max_delay_us = 1000,
+              .queue_capacity =
+                  static_cast<std::size_t>(4 * connections * window)});
+      server = std::make_unique<net::Server>(
+          *engine, net::ServerOptions{.workers = workers});
+      port = server->port();
+      predictor->predict_one(stream[0]);  // warm up allocators and the pool
+    }
+
+    if (!json) {
+      std::printf("loadgen: %dx%d maps, %d connections x window %d, "
+                  "%zu requests/run, server %s:%d%s\n\n",
+                  map_size, map_size, connections, window, total,
+                  ext_port == 0 ? "in-process 127.0.0.1" : ext_host.c_str(),
+                  port, ext_port == 0 ? "" : " (external)");
+    }
+
+    std::vector<RunResult> rows;
+    double engine_rps = 0.0;
+    if (engine != nullptr) {
+      rows.push_back(run_engine(*engine, stream, connections, window, total));
+      engine_rps = rows.back().throughput_rps;
+      if (!json) print_row(rows.back());
+    }
+
+    rows.push_back(run_remote_closed(ext_port == 0 ? "127.0.0.1" : ext_host,
+                                     port, stream, connections, window,
+                                     total));
+    const double remote_rps = rows.back().throughput_rps;
+    if (!json) print_row(rows.back());
+
+    if (qps > 0.0) {
+      rows.push_back(run_remote_open(ext_port == 0 ? "127.0.0.1" : ext_host,
+                                     port, stream, connections, qps, total));
+      if (!json) print_row(rows.back());
+    }
+
+    const double ratio = engine_rps > 0.0 ? remote_rps / engine_rps : 0.0;
+    if (json) {
+      print_json(rows, map_size, ratio);
+    } else if (engine_rps > 0.0) {
+      std::printf("\nremote closed-loop vs in-process engine: %.1f%% of "
+                  "%.1f req/s\n",
+                  100.0 * ratio, engine_rps);
+    }
+
+    if (server != nullptr) server->stop();
+    if (engine != nullptr) engine->shutdown();
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "loadgen error: %s\n", e.what());
+    return 1;
+  }
+}

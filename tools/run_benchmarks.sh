@@ -1,11 +1,12 @@
 #!/usr/bin/env bash
-# Runs the tensor micro benchmarks, the serving benchmark, and the
-# observability-overhead benchmark, writing the JSON reports that are checked
-# in at the repo root (BENCH_tensor.json, BENCH_serve.json, BENCH_obs.json),
-# so kernel-, serving-, and instrumentation-level perf changes show up in
-# review diffs.
+# Runs the tensor micro benchmarks, the serving benchmark, the
+# observability-overhead benchmark, and the remote-serving load generator,
+# writing the JSON reports that are checked in at the repo root
+# (BENCH_tensor.json, BENCH_serve.json, BENCH_obs.json, BENCH_net.json), so
+# kernel-, serving-, instrumentation-, and network-level perf changes show
+# up in review diffs.
 #
-# Usage: tools/run_benchmarks.sh [build-dir] [output-json] [serve-output-json] [obs-output-json]
+# Usage: tools/run_benchmarks.sh [build-dir] [output-json] [serve-output-json] [obs-output-json] [net-output-json]
 #        tools/run_benchmarks.sh --check [build-dir] [threshold]
 #
 # --check runs the same benchmarks into a temp directory and diffs the
@@ -23,16 +24,19 @@ if [[ "${1:-}" == "--check" ]]; then
   tmp_dir="$(mktemp -d)"
   trap 'rm -rf "${tmp_dir}"' EXIT
   set -- "${build_dir}" "${tmp_dir}/BENCH_tensor.json" \
-    "${tmp_dir}/BENCH_serve.json" "${tmp_dir}/BENCH_obs.json"
+    "${tmp_dir}/BENCH_serve.json" "${tmp_dir}/BENCH_obs.json" \
+    "${tmp_dir}/BENCH_net.json"
 fi
 
 build_dir="${1:-build}"
 out="${2:-BENCH_tensor.json}"
 serve_out="${3:-BENCH_serve.json}"
 obs_out="${4:-BENCH_obs.json}"
+net_out="${5:-BENCH_net.json}"
 bench="${build_dir}/bench/bench_micro_tensor"
 serve_bench="${build_dir}/bench/bench_serve"
 obs_bench="${build_dir}/bench/bench_micro_obs"
+loadgen="${build_dir}/tools/loadgen"
 
 if [[ ! -x "${bench}" ]]; then
   echo "error: ${bench} not found; build first:" >&2
@@ -61,10 +65,17 @@ else
   echo "warning: ${obs_bench} not found; skipping ${obs_out}" >&2
 fi
 
+if [[ -x "${loadgen}" ]]; then
+  "${loadgen}" --json >"${net_out}"
+  echo "wrote ${net_out}"
+else
+  echo "warning: ${loadgen} not found; skipping ${net_out}" >&2
+fi
+
 if [[ "${check_mode}" == 1 ]]; then
   repo_root="$(cd "$(dirname "$0")/.." && pwd)"
   status=0
-  for pair in tensor serve obs; do
+  for pair in tensor serve obs net; do
     baseline="${repo_root}/BENCH_${pair}.json"
     fresh="${tmp_dir}/BENCH_${pair}.json"
     [[ -f "${fresh}" ]] || continue

@@ -24,6 +24,14 @@
 //   wm_tool render --wafer FILE.pgm
 //       ASCII-render a wafer map.
 //
+//   wm_tool serve --model FILE [--port P] [--threshold T] [--max-batch N]
+//                 [--max-delay-us U] [--workers W] [--seconds S]
+//       Serve a trained model over the wm_net TCP wire protocol through the
+//       micro-batching engine (drive it with tools/loadgen or net::Client).
+//       --port falls back to the WM_SERVE_PORT env var, then to an
+//       ephemeral port; the accept backlog honours WM_SERVE_BACKLOG. Runs
+//       until SIGINT/SIGTERM, or exits on its own after --seconds S.
+//
 // Observability flags, valid with every subcommand:
 //
 //   --metrics FILE   After the command, dump the global metrics registry to
@@ -36,22 +44,27 @@
 //                    duration: /metrics, /metrics.json, /healthz. Port 0
 //                    picks an ephemeral port; the WM_HTTP_PORT env var is
 //                    the fallback when the flag is absent.
+#include <atomic>
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <map>
-#include <string>
-#include <vector>
-
 #include <memory>
+#include <string>
+#include <thread>
+#include <vector>
 
 #include "augment/augmentor.hpp"
 #include "common/error.hpp"
 #include "common/rng.hpp"
 #include "eval/metrics.hpp"
+#include "net/server.hpp"
 #include "obs/http_exporter.hpp"
 #include "obs/metrics.hpp"
 #include "obs/run_log.hpp"
 #include "obs/trace.hpp"
 #include "eval/tables.hpp"
+#include "serve/inference_engine.hpp"
 #include "serve/monitor.hpp"
 #include "selective/model_file.hpp"
 #include "selective/predictor.hpp"
@@ -219,6 +232,68 @@ int cmd_classify(const Args& args) {
   return 0;
 }
 
+std::atomic<bool> g_serve_stop{false};
+
+void serve_signal_handler(int) { g_serve_stop.store(true); }
+
+int cmd_serve(const Args& args) {
+  auto net_model = selective::load_model(args.get("model"));
+  selective::SelectivePredictor predictor(
+      *net_model, static_cast<float>(args.get_double("threshold", 0.5)));
+
+  serve::MonitorOptions mopts;
+  mopts.target_coverage = args.get_double("c0", 0.5);
+  mopts.registry = &obs::Registry::global();
+  serve::SelectiveMonitor monitor(mopts);
+
+  serve::InferenceEngine engine(
+      predictor,
+      {.max_batch = args.get_int("max-batch", 32),
+       .max_delay_us = args.get_int("max-delay-us", 2000),
+       .queue_capacity =
+           static_cast<std::size_t>(args.get_int("queue-capacity", 256)),
+       .registry = &obs::Registry::global(),
+       .monitor = &monitor});
+
+  net::ServerOptions sopts;
+  if (args.has("port")) {
+    sopts.port = args.get_int("port", 0);
+  } else {
+    sopts.port = net::Server::port_from_env().value_or(0);
+  }
+  sopts.backlog = net::Server::backlog_from_env().value_or(sopts.backlog);
+  sopts.workers = args.get_int("workers", 2);
+  net::Server server(engine, sopts);
+  std::printf("serving %s on tcp://127.0.0.1:%d "
+              "(map %d, tau %.2f, %d workers)\n",
+              args.get("model").c_str(), server.port(),
+              net_model->options().map_size, args.get_double("threshold", 0.5),
+              sopts.workers);
+
+  g_serve_stop.store(false);
+  std::signal(SIGINT, serve_signal_handler);
+  std::signal(SIGTERM, serve_signal_handler);
+  const int seconds = args.get_int("seconds", 0);
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::seconds(seconds > 0 ? seconds : 1);
+  while (!g_serve_stop.load()) {
+    if (seconds > 0 && std::chrono::steady_clock::now() >= deadline) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+
+  std::printf("draining: %llu received, %llu answered so far\n",
+              static_cast<unsigned long long>(server.requests_received()),
+              static_cast<unsigned long long>(server.responses_sent()));
+  server.stop();
+  engine.shutdown();
+  std::printf("%s", engine.stats().to_string().c_str());
+  std::printf("shed %llu, timeouts %llu; monitor:\n%s",
+              static_cast<unsigned long long>(server.shed()),
+              static_cast<unsigned long long>(server.timeouts()),
+              monitor.snapshot().to_string().c_str());
+  return 0;
+}
+
 int cmd_render(const Args& args) {
   const WaferMap map = read_pgm(args.get("wafer"));
   std::printf("%s", ascii_render(map).c_str());
@@ -229,7 +304,8 @@ int cmd_render(const Args& args) {
 
 void usage() {
   std::printf(
-      "usage: wm_tool <generate|train|evaluate|classify|render> [--flags]\n"
+      "usage: wm_tool <generate|train|evaluate|classify|render|serve>"
+      " [--flags]\n"
       "global flags: --metrics FILE  --trace FILE  --run-log FILE"
       "  --http-port P\n"
       "see the header of tools/wm_tool.cpp for per-command flags\n");
@@ -283,6 +359,7 @@ int main(int argc, char** argv) {
     else if (cmd == "evaluate") rc = cmd_evaluate(args);
     else if (cmd == "classify") rc = cmd_classify(args);
     else if (cmd == "render") rc = cmd_render(args);
+    else if (cmd == "serve") rc = cmd_serve(args);
     else {
       usage();
       return 2;
