@@ -1,0 +1,66 @@
+// Quantization vocabulary for the int8 inference fast path (DESIGN.md §12):
+// per-output-channel symmetric int8 weights with absmax calibration, dynamic
+// per-tensor unsigned-7-bit activations, and inference-time BatchNorm
+// folding. These feed the fused i8gemm kernels in tensor/i8gemm.hpp.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace wm::nn::quant {
+
+/// Per-output-channel symmetric int8 weights: row r of the original
+/// (rows x cols) float matrix satisfies w(r, k) ≈ scales[r] · q[r*cols + k]
+/// with q in [-127, 127]. row_sums carries Σ_k q(r, k), precomputed for the
+/// kernel's activation zero-point correction.
+struct QuantizedWeights {
+  std::int64_t rows = 0;
+  std::int64_t cols = 0;
+  std::vector<std::int8_t> q;
+  std::vector<float> scales;
+  std::vector<std::int32_t> row_sums;
+};
+
+/// Absmax calibration per output channel (= row): scale = absmax / 127
+/// (1 for an all-zero row), q = round(w / scale). Needs no calibration data.
+QuantizedWeights quantize_weights_per_channel(const Tensor& w);
+
+/// Reconstructs float weights; round-trip error is ≤ scale/2 per element.
+Tensor dequantize_weights(const QuantizedWeights& qw);
+
+/// Recomputes row_sums from q (model files store only q and scales).
+void refresh_row_sums(QuantizedWeights& qw);
+
+/// Dynamic per-tensor activation parameters: x ≈ scale · (q − zero_point),
+/// q in [0, 127]. The 7-bit range is the i8gemm saturation contract; the
+/// calibrated range is always widened to include 0, so the zero point
+/// represents real 0.0 exactly (ReLU outputs, conv padding taps).
+struct ActivationQuant {
+  float scale = 1.0f;
+  std::int32_t zero_point = 0;
+};
+
+/// Min/max calibration over n values (range widened to include 0; an
+/// all-zero tensor yields scale 1, zero point 0).
+ActivationQuant choose_activation_quant(const float* x, std::int64_t n);
+
+/// Quantizes n values with the given parameters (clamped to [0, 127]).
+void quantize_activations(const float* x, std::int64_t n,
+                          const ActivationQuant& aq, std::uint8_t* out);
+
+/// Folds an inference-mode BatchNorm (per-channel gamma, beta, running
+/// mean/var, eps) into the preceding conv's weights and bias — rows of
+/// `weight` are output channels — returning the adjusted (weight, bias).
+/// Classic pre-quantization step: the folded conv is exactly equivalent to
+/// conv→BN in eval mode, and the BN pass disappears from the hot path.
+std::pair<Tensor, Tensor> fold_batchnorm(const Tensor& weight,
+                                         const Tensor& bias,
+                                         const Tensor& gamma,
+                                         const Tensor& beta,
+                                         const Tensor& running_mean,
+                                         const Tensor& running_var, double eps);
+
+}  // namespace wm::nn::quant

@@ -1,4 +1,4 @@
-#include "selective/predictor.hpp"
+#include "selective/quant_predictor.hpp"
 
 #include <cmath>
 
@@ -7,21 +7,21 @@
 
 namespace wm::selective {
 
-SelectivePredictor::SelectivePredictor(const SelectiveNet& net, float threshold,
-                                       int eval_batch)
+QuantizedSelectivePredictor::QuantizedSelectivePredictor(
+    const QuantizedSelectiveNet& net, float threshold, int eval_batch)
     : net_(net), threshold_(threshold), eval_batch_(eval_batch) {
   WM_CHECK(!std::isnan(threshold) && threshold >= 0.0f && threshold <= 1.0f,
            "threshold out of [0,1]");
   WM_CHECK(eval_batch > 0, "bad eval batch size");
 }
 
-void SelectivePredictor::set_threshold(float threshold) {
+void QuantizedSelectivePredictor::set_threshold(float threshold) {
   WM_CHECK(!std::isnan(threshold) && threshold >= 0.0f && threshold <= 1.0f,
            "threshold out of [0,1]");
   threshold_ = threshold;
 }
 
-std::vector<SelectivePrediction> SelectivePredictor::predict_batch(
+std::vector<SelectivePrediction> QuantizedSelectivePredictor::predict_batch(
     std::span<const WaferMap> maps) const {
   return detail::predict_batched(
       [this](const Tensor& images) { return net_.infer(images); },

@@ -1,0 +1,40 @@
+// Selective prediction over the int8 net: the same (f, g, threshold)
+// semantics as SelectivePredictor, backed by QuantizedSelectiveNet. Drops
+// into everything that takes a wm::Classifier — the serving engine, the
+// drift monitor, wm_tool evaluate/classify/serve.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "selective/quant_net.hpp"
+#include "serve/classifier.hpp"
+#include "wafermap/dataset.hpp"
+
+namespace wm::selective {
+
+class QuantizedSelectivePredictor final : public Classifier {
+ public:
+  /// Same contract as SelectivePredictor: threshold cuts g, eval_batch
+  /// bounds per-forward memory. Thread-safe; per-sample results are
+  /// independent of batch composition (activation quantization is
+  /// per-sample, see nn/quant).
+  explicit QuantizedSelectivePredictor(const QuantizedSelectiveNet& net,
+                                       float threshold = 0.5f,
+                                       int eval_batch = 256);
+
+  std::vector<SelectivePrediction> predict_batch(
+      std::span<const WaferMap> maps) const override;
+
+  int num_classes() const override { return net_.options().num_classes; }
+
+  float threshold() const { return threshold_; }
+  void set_threshold(float threshold);
+
+ private:
+  const QuantizedSelectiveNet& net_;
+  float threshold_;
+  int eval_batch_;
+};
+
+}  // namespace wm::selective

@@ -24,12 +24,15 @@ class Tensor;
 void sgemm(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
            const float* a, const float* b, float beta, float* c);
 
-/// C = alpha * A^T(KxM stored MxK? no: A is KxM stored row-major) * B(KxN) + beta*C.
-/// Concretely: C(MxN) += alpha * sum_k A[k*m + i] * B[k*n + j].
+/// C = alpha * A^T * B + beta * C(MxN). A is stored (K x M) row-major, so
+/// A^T(i, p) = a[p * m + i]; B is (K x N) row-major.
+/// Concretely: C(i, j) += alpha * sum_p a[p * m + i] * b[p * n + j].
 void sgemm_at(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
               const float* a, const float* b, float beta, float* c);
 
-/// C = alpha * A(MxK) * B^T (B is NxK row-major) + beta * C(MxN).
+/// C = alpha * A * B^T + beta * C(MxN). A is (M x K) row-major; B is stored
+/// (N x K) row-major, so B^T(p, j) = b[j * k + p].
+/// Concretely: C(i, j) += alpha * sum_p a[i * k + p] * b[j * k + p].
 void sgemm_bt(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
               const float* a, const float* b, float beta, float* c);
 

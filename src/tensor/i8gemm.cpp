@@ -1,0 +1,344 @@
+#include "tensor/i8gemm.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/threadpool.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+#if defined(__AVX512VNNI__) || defined(__AVX2__)
+#include <immintrin.h>
+#endif
+
+namespace wm {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Micro-tile geometry. K always advances in groups of kKU = 4 bytes per
+// channel — the unit vpdpbusd consumes in one instruction and the
+// maddubs/madd pair consumes in two. All ISA paths share the packed layout,
+// and integer accumulation makes their results bit-identical.
+constexpr std::int64_t kKU = 4;
+
+#if defined(__AVX512VNNI__)
+constexpr std::int64_t kMR = 8;   // acc tile: 8x2 zmm (+2 B, +1 bcast) of 32
+constexpr std::int64_t kVL = 16;  // int32 lanes per vector
+#elif defined(__AVX2__)
+constexpr std::int64_t kMR = 6;   // acc tile: 6x2 ymm (+2 B, +1 bcast, +ones)
+constexpr std::int64_t kVL = 8;
+#else
+constexpr std::int64_t kMR = 4;   // scalar fallback: register-pressure free
+constexpr std::int64_t kVL = 4;
+#endif
+constexpr std::int64_t kNV = 2;
+constexpr std::int64_t kNR = kNV * kVL;
+
+// Cache blocking for M and N only. K is deliberately unblocked: the epilogue
+// is nonlinear (ReLU) and C is float, so partial-K spills would need an
+// int32 C pass; the layers this serves keep K small (≤ a few thousand), so
+// a kNR-column B micro-panel stays cache-resident across the ir loop anyway.
+constexpr std::int64_t kMC = kMR * 32;
+constexpr std::int64_t kNC = kNR * 16;
+
+// Overflow bound: |u8·s8| ≤ 127·127 per product, so int32 accumulation is
+// exact for k up to 2^31 / 127² (~133k) — far beyond any layer here.
+constexpr std::int64_t kMaxK = (std::int64_t{1} << 31) / (127 * 127);
+
+// Threading threshold, in MACs (the fp32 kernel's 8 MFLOP bar, halved).
+constexpr double kThreadMacs = 4.0e6;
+
+/// Packs an (mc x kc) block of the broadcast-side operand (k contiguous,
+/// rows row_stride apart) into kMR-row micro-panels with K in groups of
+/// kKU: block element (i, p) lands at panel[(g*kMR + i)*kKU + u] where
+/// p = g*kKU + u. Row and K tails are zero-padded — zero pairs with zero in
+/// the other operand, so padding never perturbs the integer accumulator.
+template <typename T>
+void pack_m_i8(std::int64_t mc, std::int64_t kc, const T* src,
+               std::int64_t row_stride, T* panel_base, std::int64_t groups) {
+  for (std::int64_t ir = 0; ir < mc; ir += kMR) {
+    const std::int64_t rows = std::min(kMR, mc - ir);
+    T* panel = panel_base + (ir / kMR) * kMR * groups * kKU;
+    for (std::int64_t g = 0; g < groups; ++g) {
+      for (std::int64_t i = 0; i < kMR; ++i) {
+        T* dst = panel + (g * kMR + i) * kKU;
+        const T* row = src + (ir + i) * row_stride + g * kKU;
+        for (std::int64_t u = 0; u < kKU; ++u) {
+          const std::int64_t p = g * kKU + u;
+          dst[u] = (i < rows && p < kc) ? row[u] : T(0);
+        }
+      }
+    }
+  }
+}
+
+/// Packs a (kc x nc) block of the vector-side operand into kNR-column
+/// micro-panels, K in groups of kKU: block element (p, j) — at
+/// src[p*k_stride + j*col_stride] — lands at
+/// panel[g*kNR*kKU + j*kKU + u]. Column and K tails are zero-padded.
+template <typename T>
+void pack_n_i8(std::int64_t kc, std::int64_t nc, const T* src,
+               std::int64_t k_stride, std::int64_t col_stride, T* panel_base,
+               std::int64_t groups) {
+  for (std::int64_t jr = 0; jr < nc; jr += kNR) {
+    const std::int64_t cols = std::min(kNR, nc - jr);
+    T* panel = panel_base + (jr / kNR) * kNR * groups * kKU;
+    for (std::int64_t g = 0; g < groups; ++g) {
+      T* dst = panel + g * kNR * kKU;
+      for (std::int64_t j = 0; j < kNR; ++j) {
+        for (std::int64_t u = 0; u < kKU; ++u) {
+          const std::int64_t p = g * kKU + u;
+          dst[j * kKU + u] = (j < cols && p < kc)
+                                 ? src[p * k_stride + (jr + j) * col_stride]
+                                 : T(0);
+        }
+      }
+    }
+  }
+}
+
+/// kMR x kNR int32 accumulator tile over `groups` K-groups of packed panels.
+/// UnsignedBroadcast states which operand holds the u8 activations: the
+/// broadcast (M-side) one for the linear-shaped product, the vector (N-side)
+/// one for the conv-shaped product — vpdpbusd/maddubs need to know, since
+/// their first source is unsigned and the second signed.
+template <bool UnsignedBroadcast, typename TA, typename TB>
+void micro_kernel_i8(std::int64_t groups, const TA* __restrict__ ap,
+                     const TB* __restrict__ bp, std::int32_t* __restrict__ tile) {
+#if defined(__AVX512VNNI__)
+  __m512i acc[kMR][kNV];
+  for (std::int64_t i = 0; i < kMR; ++i)
+    for (std::int64_t v = 0; v < kNV; ++v) acc[i][v] = _mm512_setzero_si512();
+  for (std::int64_t g = 0; g < groups; ++g) {
+    __m512i bv[kNV];
+    for (std::int64_t v = 0; v < kNV; ++v) {
+      bv[v] = _mm512_loadu_si512(bp + (g * kNR + v * kVL) * kKU);
+    }
+    for (std::int64_t i = 0; i < kMR; ++i) {
+      std::int32_t aw;
+      std::memcpy(&aw, ap + (g * kMR + i) * kKU, sizeof(aw));
+      const __m512i av = _mm512_set1_epi32(aw);
+      for (std::int64_t v = 0; v < kNV; ++v) {
+        acc[i][v] = UnsignedBroadcast
+                        ? _mm512_dpbusd_epi32(acc[i][v], av, bv[v])
+                        : _mm512_dpbusd_epi32(acc[i][v], bv[v], av);
+      }
+    }
+  }
+  for (std::int64_t i = 0; i < kMR; ++i)
+    for (std::int64_t v = 0; v < kNV; ++v)
+      _mm512_storeu_si512(tile + i * kNR + v * kVL, acc[i][v]);
+#elif defined(__AVX2__)
+  const __m256i ones = _mm256_set1_epi16(1);
+  __m256i acc[kMR][kNV];
+  for (std::int64_t i = 0; i < kMR; ++i)
+    for (std::int64_t v = 0; v < kNV; ++v) acc[i][v] = _mm256_setzero_si256();
+  for (std::int64_t g = 0; g < groups; ++g) {
+    __m256i bv[kNV];
+    for (std::int64_t v = 0; v < kNV; ++v) {
+      bv[v] = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(
+          bp + (g * kNR + v * kVL) * kKU));
+    }
+    for (std::int64_t i = 0; i < kMR; ++i) {
+      std::int32_t aw;
+      std::memcpy(&aw, ap + (g * kMR + i) * kKU, sizeof(aw));
+      const __m256i av = _mm256_set1_epi32(aw);
+      for (std::int64_t v = 0; v < kNV; ++v) {
+        // u8×s8 byte products summed pairwise into i16 (no saturation: the
+        // u8 side is ≤ 127 by the header contract), then pairwise again
+        // into i32 — the maddubs/madd 4-wide dot product.
+        const __m256i p16 = UnsignedBroadcast
+                                ? _mm256_maddubs_epi16(av, bv[v])
+                                : _mm256_maddubs_epi16(bv[v], av);
+        acc[i][v] = _mm256_add_epi32(acc[i][v], _mm256_madd_epi16(p16, ones));
+      }
+    }
+  }
+  for (std::int64_t i = 0; i < kMR; ++i)
+    for (std::int64_t v = 0; v < kNV; ++v)
+      _mm256_storeu_si256(
+          reinterpret_cast<__m256i*>(tile + i * kNR + v * kVL), acc[i][v]);
+#else
+  std::fill(tile, tile + kMR * kNR, 0);
+  for (std::int64_t g = 0; g < groups; ++g) {
+    const TB* brow = bp + g * kNR * kKU;
+    for (std::int64_t i = 0; i < kMR; ++i) {
+      const TA* agrp = ap + (g * kMR + i) * kKU;
+      std::int32_t* trow = tile + i * kNR;
+      for (std::int64_t j = 0; j < kNR; ++j) {
+        std::int32_t dot = 0;
+        for (std::int64_t u = 0; u < kKU; ++u) {
+          dot += static_cast<std::int32_t>(agrp[u]) *
+                 static_cast<std::int32_t>(brow[j * kKU + u]);
+        }
+        trow[j] += dot;
+      }
+    }
+  }
+#endif
+}
+
+/// Serial macro-kernel over C's [m0, m1) x [n0, n1): packs both operands,
+/// runs the micro-kernel and spills each tile through the float epilogue.
+/// ChannelsAreRows picks whether scales/sums/bias index C's rows or columns.
+/// Thread-safe: packing scratch is thread_local and concurrent calls write
+/// disjoint C ranges.
+template <bool UnsignedBroadcast, bool ChannelsAreRows, typename TA,
+          typename TB>
+void i8gemm_block(std::int64_t m0, std::int64_t m1, std::int64_t n0,
+                  std::int64_t n1, std::int64_t k, const TA* a,
+                  std::int64_t a_row_stride, const TB* b,
+                  std::int64_t b_k_stride, std::int64_t b_col_stride, float* c,
+                  std::int64_t ldc, const I8Epilogue& epi) {
+  thread_local std::vector<TA> ta;
+  thread_local std::vector<TB> tb;
+  alignas(64) std::int32_t tile[kMR * kNR];
+  const std::int64_t groups = (k + kKU - 1) / kKU;
+
+  for (std::int64_t jc = n0; jc < n1; jc += kNC) {
+    const std::int64_t nc = std::min(kNC, n1 - jc);
+    const std::int64_t nc_panels = (nc + kNR - 1) / kNR;
+    tb.resize(static_cast<std::size_t>(nc_panels * kNR * groups * kKU));
+    pack_n_i8(k, nc, b + jc * b_col_stride, b_k_stride, b_col_stride,
+              tb.data(), groups);
+    for (std::int64_t ic = m0; ic < m1; ic += kMC) {
+      const std::int64_t mc = std::min(kMC, m1 - ic);
+      const std::int64_t mc_panels = (mc + kMR - 1) / kMR;
+      ta.resize(static_cast<std::size_t>(mc_panels * kMR * groups * kKU));
+      pack_m_i8(mc, k, a + ic * a_row_stride, a_row_stride, ta.data(), groups);
+      for (std::int64_t jr = 0; jr < nc; jr += kNR) {
+        const TB* bp = tb.data() + (jr / kNR) * kNR * groups * kKU;
+        const std::int64_t cols = std::min(kNR, nc - jr);
+        for (std::int64_t ir = 0; ir < mc; ir += kMR) {
+          const TA* ap = ta.data() + (ir / kMR) * kMR * groups * kKU;
+          micro_kernel_i8<UnsignedBroadcast>(groups, ap, bp, tile);
+          const std::int64_t rows = std::min(kMR, mc - ir);
+          for (std::int64_t i = 0; i < rows; ++i) {
+            float* crow = c + (ic + ir + i) * ldc + jc + jr;
+            const std::int32_t* trow = tile + i * kNR;
+            if constexpr (ChannelsAreRows) {
+              const std::int64_t ch = ic + ir + i;
+              const float s = epi.channel_scales[ch] * epi.act_scale;
+              const std::int32_t corr =
+                  epi.act_zero_point *
+                  (epi.weight_row_sums != nullptr ? epi.weight_row_sums[ch]
+                                                  : 0);
+              const float add = epi.bias != nullptr ? epi.bias[ch] : 0.0f;
+              for (std::int64_t j = 0; j < cols; ++j) {
+                float v = static_cast<float>(trow[j] - corr) * s + add;
+                if (epi.relu && v < 0.0f) v = 0.0f;
+                crow[j] = v;
+              }
+            } else {
+              const std::int64_t row = ic + ir + i;
+              const float as = epi.act_row_scales != nullptr
+                                   ? epi.act_row_scales[row]
+                                   : epi.act_scale;
+              const std::int32_t azp = epi.act_row_zero_points != nullptr
+                                           ? epi.act_row_zero_points[row]
+                                           : epi.act_zero_point;
+              for (std::int64_t j = 0; j < cols; ++j) {
+                const std::int64_t ch = jc + jr + j;
+                const float s = epi.channel_scales[ch] * as;
+                const std::int32_t corr =
+                    azp * (epi.weight_row_sums != nullptr
+                               ? epi.weight_row_sums[ch]
+                               : 0);
+                const float add = epi.bias != nullptr ? epi.bias[ch] : 0.0f;
+                float v = static_cast<float>(trow[j] - corr) * s + add;
+                if (epi.relu && v < 0.0f) v = 0.0f;
+                crow[j] = v;
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+/// Entry point shared by both public variants. Splits large products across
+/// the global pool by row- or column-panels; the int32 accumulator makes
+/// any split bit-identical, and each C element's epilogue runs exactly once
+/// in one thread.
+template <bool UnsignedBroadcast, bool ChannelsAreRows, typename TA,
+          typename TB>
+void i8gemm_driver(std::int64_t m, std::int64_t n, std::int64_t k, const TA* a,
+                   std::int64_t a_row_stride, const TB* b,
+                   std::int64_t b_k_stride, std::int64_t b_col_stride, float* c,
+                   const I8Epilogue& epi) {
+  WM_TRACE_SCOPE("i8gemm");
+  static obs::Counter& calls = obs::Registry::global().counter(
+      "wm_tensor_i8gemm_calls_total", "int8 GEMM invocations (both variants)");
+  static obs::Counter& macs = obs::Registry::global().counter(
+      "wm_tensor_i8gemm_macs_total", "int8 multiply-accumulates issued (M*N*K)");
+  calls.inc();
+  macs.inc(static_cast<std::uint64_t>(m * n * k));
+  WM_CHECK(epi.channel_scales != nullptr, "i8gemm needs per-channel scales");
+  WM_CHECK((epi.act_zero_point == 0 && epi.act_row_zero_points == nullptr) ||
+               epi.weight_row_sums != nullptr,
+           "i8gemm zero-point correction needs precomputed weight row sums");
+  WM_CHECK(k <= kMaxK, "i8gemm k=", k, " exceeds the int32 overflow bound ",
+           kMaxK);
+  if constexpr (ChannelsAreRows) {
+    WM_CHECK(epi.act_row_scales == nullptr &&
+                 epi.act_row_zero_points == nullptr,
+             "per-row activation parameters only apply to the bt variant");
+  }
+  if (m == 0 || n == 0) return;
+
+  ThreadPool& pool = ThreadPool::global();
+  const double total_macs = static_cast<double>(m) * static_cast<double>(n) *
+                            static_cast<double>(k);
+  if (pool.worker_count() == 0 || total_macs < kThreadMacs) {
+    i8gemm_block<UnsignedBroadcast, ChannelsAreRows>(
+        0, m, 0, n, k, a, a_row_stride, b, b_k_stride, b_col_stride, c, n, epi);
+    return;
+  }
+  if (m >= n) {
+    const std::size_t panels = static_cast<std::size_t>((m + kMR - 1) / kMR);
+    pool.parallel_chunks(
+        0, panels, [&](std::size_t lo, std::size_t hi, std::size_t /*slot*/) {
+          i8gemm_block<UnsignedBroadcast, ChannelsAreRows>(
+              static_cast<std::int64_t>(lo) * kMR,
+              std::min(m, static_cast<std::int64_t>(hi) * kMR), 0, n, k, a,
+              a_row_stride, b, b_k_stride, b_col_stride, c, n, epi);
+        });
+  } else {
+    const std::size_t panels = static_cast<std::size_t>((n + kNR - 1) / kNR);
+    pool.parallel_chunks(
+        0, panels, [&](std::size_t lo, std::size_t hi, std::size_t /*slot*/) {
+          i8gemm_block<UnsignedBroadcast, ChannelsAreRows>(
+              0, m, static_cast<std::int64_t>(lo) * kNR,
+              std::min(n, static_cast<std::int64_t>(hi) * kNR), k, a,
+              a_row_stride, b, b_k_stride, b_col_stride, c, n, epi);
+        });
+  }
+}
+
+}  // namespace
+
+void i8gemm_bias_rows(std::int64_t m, std::int64_t n, std::int64_t k,
+                      const std::int8_t* a, const std::uint8_t* b, float* c,
+                      const I8Epilogue& epilogue) {
+  // Weights broadcast (signed), activations vectorised (unsigned); the
+  // im2col matrix B(p, j) = b[p * n + j].
+  i8gemm_driver</*UnsignedBroadcast=*/false, /*ChannelsAreRows=*/true>(
+      m, n, k, a, /*a_row_stride=*/k, b, /*b_k_stride=*/n,
+      /*b_col_stride=*/1, c, epilogue);
+}
+
+void i8gemm_bt_bias_cols(std::int64_t m, std::int64_t n, std::int64_t k,
+                         const std::uint8_t* a, const std::int8_t* b, float* c,
+                         const I8Epilogue& epilogue) {
+  // Activations broadcast (unsigned), weights vectorised (signed); B is
+  // stored (N x K) row-major, so B^T(p, j) = b[j * k + p].
+  i8gemm_driver</*UnsignedBroadcast=*/true, /*ChannelsAreRows=*/false>(
+      m, n, k, a, /*a_row_stride=*/k, b, /*b_k_stride=*/1,
+      /*b_col_stride=*/k, c, epilogue);
+}
+
+}  // namespace wm

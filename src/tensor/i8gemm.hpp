@@ -1,0 +1,67 @@
+// Quantized int8 GEMM kernels: the inference fast path beneath the
+// quantized NN layers (nn/quant). Sibling of the fp32 kernels in gemm.hpp.
+//
+// Data model (DESIGN.md §12): weights are symmetric per-output-channel
+// int8 (w ≈ s_c · w_q, w_q in [-127, 127]); activations are dynamic
+// per-tensor unsigned 7-bit (x ≈ s_a · (x_q − zp), x_q in [0, 127]). The
+// kernel accumulates u8×s8 products into int32 — exact integer arithmetic,
+// so results are bit-identical for every thread count and every ISA path —
+// and a fused float epilogue maps the accumulator straight to fp32:
+//
+//   C(i,j) = s_c(ch) · s_a · (acc(i,j) − zp · Σ_k w_q(ch,k)) + bias(ch)
+//
+// optionally clamped at zero (fused ReLU), where ch is the output channel
+// (the row of C for the conv-shaped variant, the column for the
+// linear-shaped one). The zp·Σw term is the standard zero-point correction;
+// Σ_k w_q is precomputed once at quantization time.
+//
+// The activation range [0, 127] (not [0, 255]) is a hard contract: it keeps
+// every u8×s8 pair sum inside int16, so the AVX2 path can use the
+// maddubs/madd idiom without saturation. The AVX-512 VNNI path fuses the
+// whole 4-wide dot product into one vpdpbusd; the portable fallback is
+// scalar. All three consume the same packed layout (K in groups of 4,
+// zero-padded) and produce identical bits.
+//
+// Threading mirrors sgemm: large products split across
+// ThreadPool::global() by row- or column-panels; int32 accumulation makes
+// the split trivially reproducible.
+#pragma once
+
+#include <cstdint>
+
+namespace wm {
+
+/// Parameters of the fused dequantize epilogue. `channel_scales` and
+/// `weight_row_sums` index the output channel: rows of C for
+/// i8gemm_bias_rows, columns of C for i8gemm_bt_bias_cols.
+struct I8Epilogue {
+  const float* channel_scales = nullptr;    // per-channel weight scale s_c
+  float act_scale = 1.0f;                   // activation scale s_a
+  std::int32_t act_zero_point = 0;          // activation zero point zp
+  const std::int32_t* weight_row_sums = nullptr;  // Σ_k w_q per channel
+  const float* bias = nullptr;              // per-channel float bias (or null)
+  bool relu = false;                        // clamp the output at zero
+  // Per-row activation parameters for i8gemm_bt_bias_cols, indexed by the
+  // row of C (= the sample). When set they override act_scale /
+  // act_zero_point, letting every sample of a batch carry its own dynamic
+  // quantization — which keeps per-sample results independent of batch
+  // composition, the wm::Classifier contract.
+  const float* act_row_scales = nullptr;
+  const std::int32_t* act_row_zero_points = nullptr;
+};
+
+/// Conv-shaped product: C(MxN) = epilogue(A · B) where A (MxK, row-major)
+/// holds int8 weights — rows are output channels — and B (KxN, row-major)
+/// holds u8 activations (the im2col matrix). C is written, not accumulated.
+void i8gemm_bias_rows(std::int64_t m, std::int64_t n, std::int64_t k,
+                      const std::int8_t* a, const std::uint8_t* b, float* c,
+                      const I8Epilogue& epilogue);
+
+/// Linear-shaped product: C(MxN) = epilogue(A · Bᵀ) where A (MxK, row-major)
+/// holds u8 activations and B (NxK, row-major) holds int8 weights — rows of
+/// B (= columns of C) are output channels. C is written, not accumulated.
+void i8gemm_bt_bias_cols(std::int64_t m, std::int64_t n, std::int64_t k,
+                         const std::uint8_t* a, const std::int8_t* b, float* c,
+                         const I8Epilogue& epilogue);
+
+}  // namespace wm

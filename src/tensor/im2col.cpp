@@ -15,32 +15,48 @@ void ConvGeometry::validate() const {
                  " p=", pad);
 }
 
-void im2col(const ConvGeometry& g, const float* image, float* col) {
+namespace {
+
+/// Shared expansion loop; `pad` is the value written for out-of-image taps
+/// (0.0f for float images, the activation zero point for u8 ones).
+template <typename T>
+void im2col_impl(const ConvGeometry& g, const T* image, T* col, T pad) {
   const std::int64_t oh = g.out_h();
   const std::int64_t ow = g.out_w();
   const std::int64_t hw = g.height * g.width;
   std::int64_t row = 0;
   for (std::int64_t c = 0; c < g.channels; ++c) {
-    const float* chan = image + c * hw;
+    const T* chan = image + c * hw;
     for (std::int64_t kh = 0; kh < g.kernel_h; ++kh) {
       for (std::int64_t kw = 0; kw < g.kernel_w; ++kw, ++row) {
-        float* out_row = col + row * (oh * ow);
+        T* out_row = col + row * (oh * ow);
         for (std::int64_t y = 0; y < oh; ++y) {
           const std::int64_t iy = y * g.stride + kh - g.pad;
-          float* out = out_row + y * ow;
+          T* out = out_row + y * ow;
           if (iy < 0 || iy >= g.height) {
-            for (std::int64_t x = 0; x < ow; ++x) out[x] = 0.0f;
+            for (std::int64_t x = 0; x < ow; ++x) out[x] = pad;
             continue;
           }
-          const float* in_row = chan + iy * g.width;
+          const T* in_row = chan + iy * g.width;
           for (std::int64_t x = 0; x < ow; ++x) {
             const std::int64_t ix = x * g.stride + kw - g.pad;
-            out[x] = (ix >= 0 && ix < g.width) ? in_row[ix] : 0.0f;
+            out[x] = (ix >= 0 && ix < g.width) ? in_row[ix] : pad;
           }
         }
       }
     }
   }
+}
+
+}  // namespace
+
+void im2col(const ConvGeometry& g, const float* image, float* col) {
+  im2col_impl(g, image, col, 0.0f);
+}
+
+void im2col_u8(const ConvGeometry& g, const std::uint8_t* image,
+               std::uint8_t* col, std::uint8_t pad) {
+  im2col_impl(g, image, col, pad);
 }
 
 void col2im(const ConvGeometry& g, const float* col, float* image) {

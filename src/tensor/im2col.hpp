@@ -34,6 +34,14 @@ struct ConvGeometry {
 /// (from padding) are written as 0.
 void im2col(const ConvGeometry& g, const float* image, float* col);
 
+/// im2col over a quantized u8 image (same layout). Out-of-image taps are
+/// written as `pad` — the activation zero point, which represents real 0.0
+/// exactly because the quantizer's range always includes zero (DESIGN.md
+/// §12). Moving 1/4 the bytes of the float expansion, this keeps the
+/// quantized conv's lowering cost proportional to its kernel speedup.
+void im2col_u8(const ConvGeometry& g, const std::uint8_t* image,
+               std::uint8_t* col, std::uint8_t pad);
+
 /// Accumulates col back into image-gradient (C,H,W). The caller must
 /// zero-initialise `image` (contributions from overlapping windows add).
 void col2im(const ConvGeometry& g, const float* col, float* image);

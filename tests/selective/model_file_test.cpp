@@ -2,8 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <cstdio>
 #include <fstream>
+#include <string>
+#include <vector>
 
 #include "common/error.hpp"
 #include "common/rng.hpp"
@@ -16,7 +20,10 @@ namespace {
 
 class ModelFileTest : public ::testing::Test {
  protected:
-  std::string path_ = "/tmp/wm_model_file_test.wsn";
+  // PID-unique path: ctest runs each test as its own process, possibly in
+  // parallel, so a fixed /tmp name would race between test processes.
+  std::string path_ = "/tmp/wm_model_file_test_" +
+                      std::to_string(::getpid()) + ".wsn";
   void TearDown() override { std::remove(path_.c_str()); }
 };
 
@@ -80,6 +87,74 @@ TEST_F(ModelFileTest, BadFilesThrow) {
   out << "garbage";
   out.close();
   EXPECT_THROW(load_model(path_), IoError);
+}
+
+TEST_F(ModelFileTest, UnknownFutureVersionRejectedWithClearError) {
+  std::ofstream out(path_, std::ios::binary);
+  out << "WSN9";
+  for (int i = 0; i < 64; ++i) out.put('\0');
+  out.close();
+  for (const auto& attempt : {0, 1, 2}) {
+    try {
+      if (attempt == 0) load_model(path_);
+      else if (attempt == 1) load_quantized_model(path_);
+      else probe_model_file(path_);
+      FAIL() << "WSN9 must be rejected (attempt " << attempt << ")";
+    } catch (const IoError& e) {
+      EXPECT_NE(std::string(e.what()).find("unsupported model file version"),
+                std::string::npos)
+          << e.what();
+      EXPECT_NE(std::string(e.what()).find("WSN9"), std::string::npos)
+          << e.what();
+    }
+  }
+}
+
+TEST_F(ModelFileTest, LoadersRejectTheOtherFormatWithGuidance) {
+  Rng rng(5);
+  SelectiveNet net({.map_size = 16, .num_classes = 9, .conv1_filters = 8,
+                    .conv2_filters = 8, .conv3_filters = 8, .fc_units = 32,
+                    .use_batchnorm = true},
+                   rng);
+  save_model(path_, net);
+  EXPECT_EQ(probe_model_file(path_), ModelFileKind::kFloat);
+  EXPECT_THROW(load_quantized_model(path_), IoError);
+
+  const QuantizedSelectiveNet qnet = quantize_selective_net(net);
+  save_quantized_model(path_, qnet);
+  EXPECT_EQ(probe_model_file(path_), ModelFileKind::kQuantized);
+  try {
+    load_model(path_);
+    FAIL() << "fp32 loader must reject a WSN2 file";
+  } catch (const IoError& e) {
+    // The error should steer the user to the right loader.
+    EXPECT_NE(std::string(e.what()).find("quantized"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST_F(ModelFileTest, TruncatedQuantizedFileThrows) {
+  Rng rng(6);
+  SelectiveNet net({.map_size = 16, .num_classes = 9, .conv1_filters = 8,
+                    .conv2_filters = 8, .conv3_filters = 8, .fc_units = 32,
+                    .use_batchnorm = false},
+                   rng);
+  const QuantizedSelectiveNet qnet = quantize_selective_net(net);
+  save_quantized_model(path_, qnet);
+  std::ifstream in(path_, std::ios::binary | std::ios::ate);
+  const std::streamsize full = in.tellg();
+  in.seekg(0);
+  std::vector<char> bytes(static_cast<std::size_t>(full));
+  in.read(bytes.data(), full);
+  in.close();
+  ASSERT_GT(full, 16);
+  // Cut at several depths: mid-header, mid-weights, mid-final-layer.
+  for (const std::streamsize cut : {std::streamsize{6}, full / 3, full - 7}) {
+    std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), cut);
+    out.close();
+    EXPECT_THROW(load_quantized_model(path_), IoError) << "cut at " << cut;
+  }
 }
 
 }  // namespace

@@ -1,0 +1,267 @@
+#include "tensor/i8gemm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <tuple>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "common/threadpool.hpp"
+
+namespace wm {
+namespace {
+
+std::vector<std::int8_t> random_s8(Rng& rng, std::int64_t n) {
+  std::vector<std::int8_t> v(static_cast<std::size_t>(n));
+  for (auto& x : v) x = static_cast<std::int8_t>(rng.uniform_int(-127, 127));
+  return v;
+}
+
+std::vector<std::uint8_t> random_u8(Rng& rng, std::int64_t n) {
+  std::vector<std::uint8_t> v(static_cast<std::size_t>(n));
+  for (auto& x : v) x = static_cast<std::uint8_t>(rng.uniform_int(0, 127));
+  return v;
+}
+
+std::vector<float> random_f32(Rng& rng, std::int64_t n) {
+  std::vector<float> v(static_cast<std::size_t>(n));
+  for (auto& x : v) x = static_cast<float>(rng.uniform(-1.0, 1.0));
+  return v;
+}
+
+/// Naive reference: exact int32 accumulation, then the same float epilogue
+/// the kernel applies — so kernel output must match to the last bit.
+std::vector<float> reference_bias_rows(std::int64_t m, std::int64_t n,
+                                       std::int64_t k, const std::int8_t* a,
+                                       const std::uint8_t* b,
+                                       const I8Epilogue& epi) {
+  std::vector<float> c(static_cast<std::size_t>(m * n));
+  for (std::int64_t i = 0; i < m; ++i) {
+    for (std::int64_t j = 0; j < n; ++j) {
+      std::int32_t acc = 0;
+      for (std::int64_t p = 0; p < k; ++p) {
+        acc += static_cast<std::int32_t>(a[i * k + p]) *
+               static_cast<std::int32_t>(b[p * n + j]);
+      }
+      const std::int32_t corr =
+          epi.act_zero_point *
+          (epi.weight_row_sums != nullptr ? epi.weight_row_sums[i] : 0);
+      // Mirror the kernel's float evaluation order exactly: the combined
+      // scale is formed first, then applied to the corrected accumulator.
+      const float s = epi.channel_scales[i] * epi.act_scale;
+      float v = static_cast<float>(acc - corr) * s +
+                (epi.bias != nullptr ? epi.bias[i] : 0.0f);
+      if (epi.relu && v < 0.0f) v = 0.0f;
+      c[static_cast<std::size_t>(i * n + j)] = v;
+    }
+  }
+  return c;
+}
+
+std::vector<float> reference_bt_bias_cols(std::int64_t m, std::int64_t n,
+                                          std::int64_t k, const std::uint8_t* a,
+                                          const std::int8_t* b,
+                                          const I8Epilogue& epi) {
+  std::vector<float> c(static_cast<std::size_t>(m * n));
+  for (std::int64_t i = 0; i < m; ++i) {
+    const float as = epi.act_row_scales != nullptr ? epi.act_row_scales[i]
+                                                   : epi.act_scale;
+    const std::int32_t azp = epi.act_row_zero_points != nullptr
+                                 ? epi.act_row_zero_points[i]
+                                 : epi.act_zero_point;
+    for (std::int64_t j = 0; j < n; ++j) {
+      std::int32_t acc = 0;
+      for (std::int64_t p = 0; p < k; ++p) {
+        acc += static_cast<std::int32_t>(a[i * k + p]) *
+               static_cast<std::int32_t>(b[j * k + p]);
+      }
+      const std::int32_t corr =
+          azp * (epi.weight_row_sums != nullptr ? epi.weight_row_sums[j] : 0);
+      const float s = epi.channel_scales[j] * as;
+      float v = static_cast<float>(acc - corr) * s +
+                (epi.bias != nullptr ? epi.bias[j] : 0.0f);
+      if (epi.relu && v < 0.0f) v = 0.0f;
+      c[static_cast<std::size_t>(i * n + j)] = v;
+    }
+  }
+  return c;
+}
+
+std::vector<std::int32_t> row_sums_of(const std::int8_t* w, std::int64_t rows,
+                                      std::int64_t cols) {
+  std::vector<std::int32_t> sums(static_cast<std::size_t>(rows), 0);
+  for (std::int64_t r = 0; r < rows; ++r) {
+    for (std::int64_t c = 0; c < cols; ++c) {
+      sums[static_cast<std::size_t>(r)] += w[r * cols + c];
+    }
+  }
+  return sums;
+}
+
+TEST(I8GemmTest, BiasRowsMatchesReferenceExactly) {
+  Rng rng(1);
+  for (const auto& [m, n, k] : std::vector<std::tuple<int, int, int>>{
+           {1, 1, 1}, {3, 5, 7}, {8, 16, 4}, {13, 33, 25},
+           {64, 100, 75}, {7, 256, 9}}) {
+    const auto a = random_s8(rng, static_cast<std::int64_t>(m) * k);
+    const auto b = random_u8(rng, static_cast<std::int64_t>(k) * n);
+    const auto scales = random_f32(rng, m);
+    const auto bias = random_f32(rng, m);
+    const auto sums = row_sums_of(a.data(), m, k);
+    I8Epilogue epi;
+    epi.channel_scales = scales.data();
+    epi.act_scale = 0.03f;
+    epi.act_zero_point = 17;
+    epi.weight_row_sums = sums.data();
+    epi.bias = bias.data();
+    std::vector<float> c(static_cast<std::size_t>(m) * n);
+    i8gemm_bias_rows(m, n, k, a.data(), b.data(), c.data(), epi);
+    const auto want = reference_bias_rows(m, n, k, a.data(), b.data(), epi);
+    for (std::size_t i = 0; i < c.size(); ++i) {
+      // The integer accumulation is exact; only the 3-op float epilogue can
+      // differ from the reference, by at most an ulp of FMA contraction.
+      ASSERT_NEAR(c[i], want[i], 1e-4f * (1.0f + std::fabs(want[i])))
+          << m << "x" << n << "x" << k << " @" << i;
+    }
+  }
+}
+
+TEST(I8GemmTest, BtBiasColsMatchesReferenceExactly) {
+  Rng rng(2);
+  for (const auto& [m, n, k] : std::vector<std::tuple<int, int, int>>{
+           {1, 1, 1}, {2, 9, 32}, {17, 31, 11}, {40, 64, 128}, {1, 256, 64}}) {
+    const auto a = random_u8(rng, static_cast<std::int64_t>(m) * k);
+    const auto b = random_s8(rng, static_cast<std::int64_t>(n) * k);
+    const auto scales = random_f32(rng, n);
+    const auto bias = random_f32(rng, n);
+    const auto sums = row_sums_of(b.data(), n, k);
+    I8Epilogue epi;
+    epi.channel_scales = scales.data();
+    epi.act_scale = 0.008f;
+    epi.act_zero_point = 5;
+    epi.weight_row_sums = sums.data();
+    epi.bias = bias.data();
+    epi.relu = true;
+    std::vector<float> c(static_cast<std::size_t>(m) * n);
+    i8gemm_bt_bias_cols(m, n, k, a.data(), b.data(), c.data(), epi);
+    const auto want = reference_bt_bias_cols(m, n, k, a.data(), b.data(), epi);
+    for (std::size_t i = 0; i < c.size(); ++i) {
+      ASSERT_NEAR(c[i], want[i], 1e-4f * (1.0f + std::fabs(want[i])))
+          << m << "x" << n << "x" << k << " @" << i;
+    }
+  }
+}
+
+TEST(I8GemmTest, PerRowActivationParamsApply) {
+  Rng rng(3);
+  const std::int64_t m = 9, n = 21, k = 47;
+  const auto a = random_u8(rng, m * k);
+  const auto b = random_s8(rng, n * k);
+  const auto scales = random_f32(rng, n);
+  const auto sums = row_sums_of(b.data(), n, k);
+  std::vector<float> row_scales(static_cast<std::size_t>(m));
+  std::vector<std::int32_t> row_zps(static_cast<std::size_t>(m));
+  for (std::int64_t i = 0; i < m; ++i) {
+    row_scales[static_cast<std::size_t>(i)] =
+        0.01f + 0.002f * static_cast<float>(i);
+    row_zps[static_cast<std::size_t>(i)] = static_cast<std::int32_t>(i * 3);
+  }
+  I8Epilogue epi;
+  epi.channel_scales = scales.data();
+  epi.weight_row_sums = sums.data();
+  epi.act_row_scales = row_scales.data();
+  epi.act_row_zero_points = row_zps.data();
+  std::vector<float> c(static_cast<std::size_t>(m * n));
+  i8gemm_bt_bias_cols(m, n, k, a.data(), b.data(), c.data(), epi);
+  const auto want = reference_bt_bias_cols(m, n, k, a.data(), b.data(), epi);
+  for (std::size_t i = 0; i < c.size(); ++i) ASSERT_EQ(c[i], want[i]);
+
+  // Per-row parameters must give the same bits as m separate one-row calls
+  // with the scalar parameters — that is the batch-independence guarantee.
+  for (std::int64_t i = 0; i < m; ++i) {
+    I8Epilogue single = epi;
+    single.act_row_scales = nullptr;
+    single.act_row_zero_points = nullptr;
+    single.act_scale = row_scales[static_cast<std::size_t>(i)];
+    single.act_zero_point = row_zps[static_cast<std::size_t>(i)];
+    std::vector<float> row(static_cast<std::size_t>(n));
+    i8gemm_bt_bias_cols(1, n, k, a.data() + i * k, b.data(), row.data(),
+                        single);
+    for (std::int64_t j = 0; j < n; ++j) {
+      ASSERT_EQ(row[static_cast<std::size_t>(j)],
+                c[static_cast<std::size_t>(i * n + j)]);
+    }
+  }
+}
+
+TEST(I8GemmTest, ReluClampsAtZero) {
+  // A single all-negative product with no bias must clamp to exactly 0.
+  const std::int8_t a[4] = {-50, -50, -50, -50};
+  const std::uint8_t b[4] = {100, 100, 100, 100};
+  const float scale = 0.01f;
+  const std::int32_t sums = -200;
+  I8Epilogue epi;
+  epi.channel_scales = &scale;
+  epi.weight_row_sums = &sums;
+  epi.relu = true;
+  float c = -1.0f;
+  i8gemm_bias_rows(1, 1, 4, a, b, &c, epi);
+  EXPECT_EQ(c, 0.0f);
+  epi.relu = false;
+  i8gemm_bias_rows(1, 1, 4, a, b, &c, epi);
+  EXPECT_EQ(c, -200.0f);  // 4 * (-50*100) * 0.01
+}
+
+TEST(I8GemmTest, BitIdenticalAcrossThreadCounts) {
+  // Large enough to cross the threading threshold; every worker count (and
+  // both panel-split directions) must produce the same bits.
+  Rng rng(4);
+  const std::int64_t m = 96, n = 512, k = 160;
+  const auto a = random_s8(rng, m * k);
+  const auto b = random_u8(rng, k * n);
+  const auto scales = random_f32(rng, m);
+  const auto bias = random_f32(rng, m);
+  const auto sums = row_sums_of(a.data(), m, k);
+  I8Epilogue epi;
+  epi.channel_scales = scales.data();
+  epi.act_scale = 0.02f;
+  epi.act_zero_point = 33;
+  epi.weight_row_sums = sums.data();
+  epi.bias = bias.data();
+  epi.relu = true;
+
+  std::vector<std::vector<float>> results;
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    ThreadPool::configure_global(threads);
+    std::vector<float> c(static_cast<std::size_t>(m * n));
+    i8gemm_bias_rows(m, n, k, a.data(), b.data(), c.data(), epi);
+    std::vector<float> ct(static_cast<std::size_t>(n * m));
+    // Column-panel split path: make n the dominant dimension.
+    i8gemm_bt_bias_cols(n, m, k, b.data(), a.data(), ct.data(), epi);
+    c.insert(c.end(), ct.begin(), ct.end());
+    results.push_back(std::move(c));
+  }
+  ThreadPool::configure_global(0);  // restore the default pool
+  ASSERT_EQ(results[0].size(), results[1].size());
+  for (std::size_t i = 0; i < results[0].size(); ++i) {
+    ASSERT_EQ(results[0][i], results[1][i]) << "diverged at " << i;
+  }
+}
+
+TEST(I8GemmTest, RejectsMissingScalesAndRowSums) {
+  const std::int8_t a[1] = {1};
+  const std::uint8_t b[1] = {1};
+  float c = 0.0f;
+  I8Epilogue epi;  // no channel_scales
+  EXPECT_THROW(i8gemm_bias_rows(1, 1, 1, a, b, &c, epi), Error);
+  const float scale = 1.0f;
+  epi.channel_scales = &scale;
+  epi.act_zero_point = 3;  // zero point without row sums
+  EXPECT_THROW(i8gemm_bias_rows(1, 1, 1, a, b, &c, epi), Error);
+}
+
+}  // namespace
+}  // namespace wm

@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
 # End-to-end smoke test of the wm_tool CLI: generate -> train -> evaluate ->
-# classify -> render on a throwaway dataset.
+# classify -> quantize -> quantized evaluate/classify -> render on a
+# throwaway dataset.
 set -euo pipefail
 
 WM_TOOL="$1"
@@ -21,10 +22,24 @@ export WM_LOG=warn
 "$WM_TOOL" classify --model "$WORK/m.wsn" --wafer "$WORK/data/wafer_0.pgm" \
   | grep -Eq "ABSTAIN|g="
 
+# Quantize the trained model; evaluate and classify must auto-detect the
+# int8 format and agree with the fp32 path on this tiny set.
+"$WM_TOOL" quantize --model "$WORK/m.wsn" --out "$WORK/m_int8.wsn" \
+  | grep -q "int8 weights"
+
+"$WM_TOOL" evaluate --data "$WORK/data" --model "$WORK/m_int8.wsn" \
+  | grep -q "quantized model"
+
+"$WM_TOOL" classify --model "$WORK/m_int8.wsn" \
+  --wafer "$WORK/data/wafer_0.pgm" | grep -Eq "ABSTAIN|g="
+
 "$WM_TOOL" render --wafer "$WORK/data/wafer_0.pgm" | grep -q "dies"
 
 # Unknown command and missing flags must fail cleanly.
 if "$WM_TOOL" bogus >/dev/null 2>&1; then exit 1; fi
 if "$WM_TOOL" classify --model "$WORK/m.wsn" >/dev/null 2>&1; then exit 1; fi
+# Quantizing an already-quantized file must be rejected, not double-applied.
+if "$WM_TOOL" quantize --model "$WORK/m_int8.wsn" --out "$WORK/m2.wsn" \
+  >/dev/null 2>&1; then exit 1; fi
 
 echo "wm_tool smoke OK"

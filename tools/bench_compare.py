@@ -11,6 +11,9 @@ Understands both report formats in this repo:
   * loadgen's custom JSON (BENCH_net.json): compares the headline
     remote_vs_engine_ratio (loopback TCP throughput as a fraction of the
     in-process engine); higher is better.
+  * bench_quant's custom JSON (BENCH_quant.json): compares the headline
+    quant_vs_fp32 (int8 fast-path throughput over the fp32 predictor);
+    higher is better.
 
 Only the named headline metrics gate the exit code — micro benchmarks are
 noisy and a full-matrix gate would flap. The default headline set per file
@@ -51,10 +54,14 @@ DEFAULT_HEADLINES = {
     "bench_net": {
         "remote_vs_engine_ratio",
     },
+    "bench_quant": {
+        "quant_vs_fp32",
+    },
 }
 
 # Metrics where larger is better (everything else: smaller is better).
-HIGHER_IS_BETTER = {"engine_vs_direct_best_ratio", "remote_vs_engine_ratio"}
+HIGHER_IS_BETTER = {"engine_vs_direct_best_ratio", "remote_vs_engine_ratio",
+                    "quant_vs_fp32"}
 
 
 def load(path):
@@ -66,7 +73,8 @@ def detect_format(doc):
     if isinstance(doc, dict) and "benchmarks" in doc:
         return "google_benchmark"
     if isinstance(doc, dict) and doc.get("bench") in ("bench_serve",
-                                                      "bench_net"):
+                                                      "bench_net",
+                                                      "bench_quant"):
         return doc["bench"]
     raise SystemExit(f"unrecognised benchmark JSON (keys: {list(doc)[:6]})")
 

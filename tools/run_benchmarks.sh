@@ -1,12 +1,13 @@
 #!/usr/bin/env bash
 # Runs the tensor micro benchmarks, the serving benchmark, the
-# observability-overhead benchmark, and the remote-serving load generator,
-# writing the JSON reports that are checked in at the repo root
-# (BENCH_tensor.json, BENCH_serve.json, BENCH_obs.json, BENCH_net.json), so
-# kernel-, serving-, instrumentation-, and network-level perf changes show
-# up in review diffs.
+# observability-overhead benchmark, the remote-serving load generator, and
+# the quantized-inference benchmark, writing the JSON reports that are
+# checked in at the repo root (BENCH_tensor.json, BENCH_serve.json,
+# BENCH_obs.json, BENCH_net.json, BENCH_quant.json), so kernel-, serving-,
+# instrumentation-, network-, and quantization-level perf changes show up
+# in review diffs.
 #
-# Usage: tools/run_benchmarks.sh [build-dir] [output-json] [serve-output-json] [obs-output-json] [net-output-json]
+# Usage: tools/run_benchmarks.sh [build-dir] [output-json] [serve-output-json] [obs-output-json] [net-output-json] [quant-output-json]
 #        tools/run_benchmarks.sh --check [build-dir] [threshold]
 #
 # --check runs the same benchmarks into a temp directory and diffs the
@@ -25,7 +26,7 @@ if [[ "${1:-}" == "--check" ]]; then
   trap 'rm -rf "${tmp_dir}"' EXIT
   set -- "${build_dir}" "${tmp_dir}/BENCH_tensor.json" \
     "${tmp_dir}/BENCH_serve.json" "${tmp_dir}/BENCH_obs.json" \
-    "${tmp_dir}/BENCH_net.json"
+    "${tmp_dir}/BENCH_net.json" "${tmp_dir}/BENCH_quant.json"
 fi
 
 build_dir="${1:-build}"
@@ -33,10 +34,12 @@ out="${2:-BENCH_tensor.json}"
 serve_out="${3:-BENCH_serve.json}"
 obs_out="${4:-BENCH_obs.json}"
 net_out="${5:-BENCH_net.json}"
+quant_out="${6:-BENCH_quant.json}"
 bench="${build_dir}/bench/bench_micro_tensor"
 serve_bench="${build_dir}/bench/bench_serve"
 obs_bench="${build_dir}/bench/bench_micro_obs"
 loadgen="${build_dir}/tools/loadgen"
+quant_bench="${build_dir}/bench/bench_quant"
 
 if [[ ! -x "${bench}" ]]; then
   echo "error: ${bench} not found; build first:" >&2
@@ -72,10 +75,17 @@ else
   echo "warning: ${loadgen} not found; skipping ${net_out}" >&2
 fi
 
+if [[ -x "${quant_bench}" ]]; then
+  "${quant_bench}" --json >"${quant_out}"
+  echo "wrote ${quant_out}"
+else
+  echo "warning: ${quant_bench} not found; skipping ${quant_out}" >&2
+fi
+
 if [[ "${check_mode}" == 1 ]]; then
   repo_root="$(cd "$(dirname "$0")/.." && pwd)"
   status=0
-  for pair in tensor serve obs net; do
+  for pair in tensor serve obs net quant; do
     baseline="${repo_root}/BENCH_${pair}.json"
     fresh="${tmp_dir}/BENCH_${pair}.json"
     [[ -f "${fresh}" ]] || continue

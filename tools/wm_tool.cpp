@@ -21,6 +21,12 @@
 //   wm_tool classify --model FILE --wafer FILE.pgm [--threshold T]
 //       Classify one wafer; prints the label or an abstention.
 //
+//   wm_tool quantize --model FILE --out FILE
+//       Convert an fp32 model file (WSN1) to the int8 quantized format
+//       (WSN2): BatchNorm folded, weights per-channel int8 (DESIGN.md §12).
+//       evaluate/classify/serve auto-detect the version, so the quantized
+//       artifact drops in wherever --model is accepted.
+//
 //   wm_tool render --wafer FILE.pgm
 //       ASCII-render a wafer map.
 //
@@ -48,6 +54,7 @@
 #include <chrono>
 #include <csignal>
 #include <cstdio>
+#include <fstream>
 #include <map>
 #include <memory>
 #include <string>
@@ -173,12 +180,14 @@ int cmd_train(const Args& args) {
 }
 
 int cmd_evaluate(const Args& args) {
-  auto net = selective::load_model(args.get("model"));
+  const auto model = selective::load_model_auto(
+      args.get("model"), static_cast<float>(args.get_double("threshold", 0.5)));
+  if (model.is_quantized()) {
+    std::printf("quantized model (int8 inference fast path)\n");
+  }
   const Dataset data = load_wafer_directory(
-      args.get("data"), {.target_size = net->options().map_size});
-  selective::SelectivePredictor predictor(
-      *net, static_cast<float>(args.get_double("threshold", 0.5)));
-  const auto preds = predict_dataset(predictor, data);
+      args.get("data"), {.target_size = model.map_size});
+  const auto preds = predict_dataset(*model.predictor, data);
   std::vector<int> labels;
   for (std::size_t i = 0; i < data.size(); ++i) {
     labels.push_back(static_cast<int>(data[i].label));
@@ -212,14 +221,13 @@ int cmd_evaluate(const Args& args) {
 }
 
 int cmd_classify(const Args& args) {
-  auto net = selective::load_model(args.get("model"));
+  const auto model = selective::load_model_auto(
+      args.get("model"), static_cast<float>(args.get_double("threshold", 0.5)));
   WaferMap map = read_pgm(args.get("wafer"));
-  if (map.size() != net->options().map_size) {
-    map = resize_map(map, net->options().map_size);
+  if (map.size() != model.map_size) {
+    map = resize_map(map, model.map_size);
   }
-  selective::SelectivePredictor predictor(
-      *net, static_cast<float>(args.get_double("threshold", 0.5)));
-  const auto p = predictor.predict_one(map);
+  const auto p = model.predictor->predict_one(map);
   if (p.selected) {
     std::printf("%s (g=%.3f, confidence=%.3f)\n",
                 to_string(defect_type_from_index(p.label)).c_str(), p.g,
@@ -237,9 +245,8 @@ std::atomic<bool> g_serve_stop{false};
 void serve_signal_handler(int) { g_serve_stop.store(true); }
 
 int cmd_serve(const Args& args) {
-  auto net_model = selective::load_model(args.get("model"));
-  selective::SelectivePredictor predictor(
-      *net_model, static_cast<float>(args.get_double("threshold", 0.5)));
+  const auto model = selective::load_model_auto(
+      args.get("model"), static_cast<float>(args.get_double("threshold", 0.5)));
 
   serve::MonitorOptions mopts;
   mopts.target_coverage = args.get_double("c0", 0.5);
@@ -247,7 +254,7 @@ int cmd_serve(const Args& args) {
   serve::SelectiveMonitor monitor(mopts);
 
   serve::InferenceEngine engine(
-      predictor,
+      *model.predictor,
       {.max_batch = args.get_int("max-batch", 32),
        .max_delay_us = args.get_int("max-delay-us", 2000),
        .queue_capacity =
@@ -264,10 +271,11 @@ int cmd_serve(const Args& args) {
   sopts.backlog = net::Server::backlog_from_env().value_or(sopts.backlog);
   sopts.workers = args.get_int("workers", 2);
   net::Server server(engine, sopts);
-  std::printf("serving %s on tcp://127.0.0.1:%d "
+  std::printf("serving %s%s on tcp://127.0.0.1:%d "
               "(map %d, tau %.2f, %d workers)\n",
-              args.get("model").c_str(), server.port(),
-              net_model->options().map_size, args.get_double("threshold", 0.5),
+              args.get("model").c_str(),
+              model.is_quantized() ? " [int8]" : "", server.port(),
+              model.map_size, args.get_double("threshold", 0.5),
               sopts.workers);
 
   g_serve_stop.store(false);
@@ -294,6 +302,23 @@ int cmd_serve(const Args& args) {
   return 0;
 }
 
+int cmd_quantize(const Args& args) {
+  const std::string in_path = args.get("model");
+  const std::string out_path = args.get("out");
+  auto net = selective::load_model(in_path);
+  const selective::QuantizedSelectiveNet qnet =
+      selective::quantize_selective_net(*net);
+  selective::save_quantized_model(out_path, qnet);
+  const auto size_of = [](const std::string& p) -> long {
+    std::ifstream f(p, std::ios::binary | std::ios::ate);
+    return f ? static_cast<long>(f.tellg()) : 0;
+  };
+  std::printf("quantized %s (%ld bytes) -> %s (%ld bytes, int8 weights)\n",
+              in_path.c_str(), size_of(in_path), out_path.c_str(),
+              size_of(out_path));
+  return 0;
+}
+
 int cmd_render(const Args& args) {
   const WaferMap map = read_pgm(args.get("wafer"));
   std::printf("%s", ascii_render(map).c_str());
@@ -304,7 +329,7 @@ int cmd_render(const Args& args) {
 
 void usage() {
   std::printf(
-      "usage: wm_tool <generate|train|evaluate|classify|render|serve>"
+      "usage: wm_tool <generate|train|evaluate|classify|quantize|render|serve>"
       " [--flags]\n"
       "global flags: --metrics FILE  --trace FILE  --run-log FILE"
       "  --http-port P\n"
@@ -358,6 +383,7 @@ int main(int argc, char** argv) {
     else if (cmd == "train") rc = cmd_train(args);
     else if (cmd == "evaluate") rc = cmd_evaluate(args);
     else if (cmd == "classify") rc = cmd_classify(args);
+    else if (cmd == "quantize") rc = cmd_quantize(args);
     else if (cmd == "render") rc = cmd_render(args);
     else if (cmd == "serve") rc = cmd_serve(args);
     else {
