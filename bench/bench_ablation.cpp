@@ -11,7 +11,7 @@
 #include "eval/experiments.hpp"
 #include "eval/metrics.hpp"
 #include "eval/tables.hpp"
-#include "selective/predictor.hpp"
+#include "selective/load_classifier.hpp"
 
 using namespace wm;
 
@@ -19,8 +19,8 @@ namespace {
 
 /// Mean recall over the defect (non-None) classes at full coverage.
 double defect_macro_recall(selective::SelectiveNet& net, const Dataset& test) {
-  selective::SelectivePredictor predictor(net, 0.0f);
-  const auto preds = predict_dataset(predictor, test);
+  const auto predictor = load_classifier(net, {.threshold = 0.0f});
+  const auto preds = predict_dataset(*predictor, test);
   std::vector<int> labels;
   std::vector<int> predicted;
   for (std::size_t i = 0; i < test.size(); ++i) {
@@ -91,8 +91,8 @@ int main() {
       variant.trainer.alpha = alpha;
       Rng rng(config.seed + 13);
       auto net = eval::train_selective_model(variant, data.train_aug, 0.5, rng);
-      selective::SelectivePredictor predictor(*net, 0.5f);
-      const auto preds = predict_dataset(predictor, data.test);
+      const auto predictor = load_classifier(*net, {.threshold = 0.5f});
+      const auto preds = predict_dataset(*predictor, data.test);
       std::printf("  alpha = %.2f -> accuracy %.3f, coverage %.3f\n", alpha,
                   selective::selective_accuracy(preds, labels),
                   selective::coverage_of(preds));
@@ -112,15 +112,15 @@ int main() {
     }
     Rng rng(config.seed + 17);
     auto sel_net = eval::train_selective_model(config, data.train_aug, 0.5, rng);
-    selective::SelectivePredictor sel_pred(*sel_net, 0.5f);
-    const auto sel_preds = predict_dataset(sel_pred, data.test);
+    const auto sel_pred = load_classifier(*sel_net, {.threshold = 0.5f});
+    const auto sel_preds = predict_dataset(*sel_pred, data.test);
     const double sel_cov = selective::coverage_of(sel_preds);
     const double sel_acc = selective::selective_accuracy(sel_preds, labels);
 
     Rng rng2(config.seed + 17);
     auto ce_net = eval::train_selective_model(config, data.train_aug, 1.0, rng2);
-    selective::SelectivePredictor ce_pred(*ce_net, 0.0f);
-    auto ce_preds = predict_dataset(ce_pred, data.test);
+    const auto ce_pred = load_classifier(*ce_net, {.threshold = 0.0f});
+    auto ce_preds = predict_dataset(*ce_pred, data.test);
     // Select the top sel_cov fraction by softmax confidence.
     std::vector<float> confidences;
     for (const auto& p : ce_preds) confidences.push_back(p.confidence);

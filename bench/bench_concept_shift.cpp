@@ -11,14 +11,14 @@
 #include "eval/experiments.hpp"
 #include "eval/metrics.hpp"
 #include "selective/calibrate.hpp"
-#include "selective/predictor.hpp"
+#include "selective/load_classifier.hpp"
 #include "wafermap/synth/generator.hpp"
 
 using namespace wm;
 
 namespace {
 
-void report(const char* tag, selective::SelectivePredictor& predictor,
+void report(const char* tag, const Classifier& predictor,
             const Dataset& data) {
   std::vector<int> labels;
   for (std::size_t i = 0; i < data.size(); ++i) {
@@ -56,7 +56,7 @@ int main() {
   const Dataset calibration = synth::generate_dataset(calib_spec, calib_rng);
   const float tau = selective::calibrate_threshold(*net, calibration, 0.5);
   std::printf("calibrated threshold tau = %.3f (50%% in-dist coverage)\n\n", tau);
-  selective::SelectivePredictor predictor(*net, tau);
+  const auto predictor = load_classifier(*net, {.threshold = tau});
 
   // Shifted-distribution test set: same classes and sizes, different
   // process corner (noisier background, weaker + smaller patterns).
@@ -69,8 +69,8 @@ int main() {
   const Dataset shifted = synth::generate_dataset(shifted_spec, shift_rng);
 
   std::printf("model trained at c0 = 0.5 on the nominal distribution:\n");
-  report("in-distribution test:", predictor, data.test);
-  report("shifted-distribution:", predictor, shifted);
+  report("in-distribution test:", *predictor, data.test);
+  report("shifted-distribution:", *predictor, shifted);
 
   std::printf("\npaper shape check: on shifted data the achieved coverage\n"
               "deviates sharply from the commissioned 50%% operating point\n"

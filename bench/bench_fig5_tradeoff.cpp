@@ -10,7 +10,7 @@
 #include "eval/metrics.hpp"
 #include "eval/risk_coverage.hpp"
 #include "eval/tables.hpp"
-#include "selective/predictor.hpp"
+#include "selective/load_classifier.hpp"
 
 using namespace wm;
 
@@ -37,8 +37,8 @@ int main() {
     // held-out in-distribution set.
     const float tau =
         c0 >= 1.0 ? 0.0f : eval::calibrated_threshold(config, *net, c0);
-    selective::SelectivePredictor predictor(*net, tau);
-    const auto preds = predict_dataset(predictor, data.test);
+    const auto predictor = load_classifier(*net, {.threshold = tau});
+    const auto preds = predict_dataset(*predictor, data.test);
     const double acc = selective::selective_accuracy(preds, labels);
     const double cov = selective::coverage_of(preds);
     csv.write_row_numeric({c0, acc, cov});

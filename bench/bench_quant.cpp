@@ -25,9 +25,8 @@
 #include "common/stopwatch.hpp"
 #include "common/threadpool.hpp"
 #include "selective/calibrate.hpp"
-#include "selective/predictor.hpp"
+#include "selective/load_classifier.hpp"
 #include "selective/quant_net.hpp"
-#include "selective/quant_predictor.hpp"
 #include "selective/trainer.hpp"
 #include "wafermap/synth/generator.hpp"
 
@@ -116,17 +115,17 @@ QualityResult measure_quality() {
 
   QualityResult q;
   q.threshold = selective::calibrate_threshold(net, train, 0.8);
-  selective::SelectivePredictor fp32(net, q.threshold);
+  const auto fp32 = load_classifier(net, {.threshold = q.threshold});
   const selective::QuantizedSelectiveNet qnet =
       selective::quantize_selective_net(net);
-  selective::QuantizedSelectivePredictor int8(qnet, q.threshold);
+  const auto int8 = load_classifier(qnet, {.threshold = q.threshold});
 
   std::vector<int> labels;
   for (std::size_t i = 0; i < eval.size(); ++i) {
     labels.push_back(static_cast<int>(eval[i].label));
   }
-  const auto pf = predict_dataset(fp32, eval);
-  const auto pq = predict_dataset(int8, eval);
+  const auto pf = predict_dataset(*fp32, eval);
+  const auto pq = predict_dataset(*int8, eval);
   q.accuracy_fp32 = full_accuracy(pf, labels);
   q.accuracy_int8 = full_accuracy(pq, labels);
   q.coverage_fp32 = coverage_of(pf);
@@ -175,8 +174,8 @@ int main(int argc, char** argv) {
   selective::SelectiveNet net(nopts, rng);
   const selective::QuantizedSelectiveNet qnet =
       selective::quantize_selective_net(net);
-  selective::SelectivePredictor fp32(net, 0.5f);
-  selective::QuantizedSelectivePredictor int8(qnet, 0.5f);
+  const auto fp32 = load_classifier(net, {.threshold = 0.5f});
+  const auto int8 = load_classifier(qnet, {.threshold = 0.5f});
   const auto stream = make_stream(map_size, wafers);
 
   if (!json) {
@@ -186,8 +185,8 @@ int main(int argc, char** argv) {
                 ThreadPool::global().max_chunks());
   }
 
-  const auto fp32_rows = time_predictor("fp32", fp32, stream, reps);
-  const auto int8_rows = time_predictor("int8", int8, stream, reps);
+  const auto fp32_rows = time_predictor("fp32", *fp32, stream, reps);
+  const auto int8_rows = time_predictor("int8", *int8, stream, reps);
   std::vector<RunResult> rows = fp32_rows;
   rows.insert(rows.end(), int8_rows.begin(), int8_rows.end());
   if (!json) {

@@ -22,7 +22,7 @@
 #include "common/rng.hpp"
 #include "common/stopwatch.hpp"
 #include "common/threadpool.hpp"
-#include "selective/predictor.hpp"
+#include "selective/load_classifier.hpp"
 #include "selective/selective_net.hpp"
 #include "serve/inference_engine.hpp"
 #include "wafermap/synth/generator.hpp"
@@ -78,7 +78,7 @@ double drive(const std::vector<WaferMap>& stream, int producers,
   return watch.seconds();
 }
 
-RunResult run_direct(const selective::SelectivePredictor& predictor,
+RunResult run_direct(const Classifier& predictor,
                      const std::vector<WaferMap>& stream, int producers,
                      int per_producer) {
   RunResult r;
@@ -91,7 +91,7 @@ RunResult run_direct(const selective::SelectivePredictor& predictor,
   return r;
 }
 
-RunResult run_engine(const selective::SelectivePredictor& predictor,
+RunResult run_engine(const Classifier& predictor,
                      const std::vector<WaferMap>& stream, int producers,
                      int per_producer, int max_batch,
                      std::int64_t max_delay_us) {
@@ -174,7 +174,7 @@ int main(int argc, char** argv) {
   selective::SelectiveNetOptions nopts;  // Table I at full width
   nopts.map_size = map_size;
   selective::SelectiveNet net(nopts, rng);
-  selective::SelectivePredictor predictor(net, 0.5f);
+  const auto predictor = load_classifier(net, {.threshold = 0.5f});
   const auto stream = make_stream(map_size, max_producers * per_producer);
 
   if (!json) {
@@ -184,12 +184,12 @@ int main(int argc, char** argv) {
                 ThreadPool::global().max_chunks());
   }
 
-  predictor.predict_one(stream[0]);  // warm up allocators and the pool
+  predictor->predict_one(stream[0]);  // warm up allocators and the pool
 
   std::vector<RunResult> rows;
   double direct_at_max = 0.0;
   for (int producers : {1, max_producers}) {
-    rows.push_back(run_direct(predictor, stream, producers, per_producer));
+    rows.push_back(run_direct(*predictor, stream, producers, per_producer));
     if (!json) print_row(rows.back());
     if (producers == max_producers) direct_at_max = rows.back().throughput_rps;
   }
@@ -198,7 +198,7 @@ int main(int argc, char** argv) {
   for (int max_batch : {8, 32}) {
     for (std::int64_t delay_us : {200, 2000, 10000}) {
       for (int producers : {1, max_producers}) {
-        rows.push_back(run_engine(predictor, stream, producers, per_producer,
+        rows.push_back(run_engine(*predictor, stream, producers, per_producer,
                                   max_batch, delay_us));
         if (!json) print_row(rows.back());
         if (producers == max_producers) {

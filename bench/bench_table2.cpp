@@ -9,6 +9,7 @@
 #include "common/rng.hpp"
 #include "common/stopwatch.hpp"
 #include "eval/experiments.hpp"
+#include "selective/load_classifier.hpp"
 #include "eval/metrics.hpp"
 #include "eval/tables.hpp"
 
@@ -50,8 +51,8 @@ int main() {
     // Operating point: threshold calibrated on a held-out in-distribution
     // set to the coverage budget c0 (Section IV-D deployment workflow).
     const float tau = eval::calibrated_threshold(config, *net, c0);
-    selective::SelectivePredictor predictor(*net, tau);
-    const auto preds = predict_dataset(predictor, data.test);
+    const auto predictor = load_classifier(*net, {.threshold = tau});
+    const auto preds = predict_dataset(*predictor, data.test);
     const auto report = eval::selective_report(preds, labels, kNumDefectTypes);
     std::printf("%s", eval::render_selective_block(report, names, c0).c_str());
     std::printf("(trained in %.1f s)\n\n", watch.seconds());

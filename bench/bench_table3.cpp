@@ -12,6 +12,7 @@
 #include "eval/experiments.hpp"
 #include "eval/metrics.hpp"
 #include "eval/tables.hpp"
+#include "selective/load_classifier.hpp"
 #include "selective/trainer.hpp"
 #include "tensor/tensor_ops.hpp"
 
@@ -33,8 +34,8 @@ int main() {
   Rng rng(config.seed);
   Stopwatch cnn_watch;
   auto net = eval::train_selective_model(config, data.train_aug, 1.0, rng);
-  selective::SelectivePredictor predictor(*net, /*threshold=*/0.0f);
-  const auto preds = predict_dataset(predictor, data.test);
+  const auto predictor = load_classifier(*net, {.threshold = 0.0f});
+  const auto preds = predict_dataset(*predictor, data.test);
   std::vector<int> cnn_labels;
   for (const auto& p : preds) cnn_labels.push_back(p.label);
   const auto cnn_cm =

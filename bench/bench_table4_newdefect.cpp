@@ -11,7 +11,7 @@
 #include "eval/metrics.hpp"
 #include "eval/tables.hpp"
 #include "selective/calibrate.hpp"
-#include "selective/predictor.hpp"
+#include "selective/load_classifier.hpp"
 
 using namespace wm;
 
@@ -42,8 +42,8 @@ int main() {
   auto net = eval::train_selective_model(config, data.train_aug, 0.5, rng);
 
   // Original recall: ignore the reject option entirely.
-  selective::SelectivePredictor full(*net, 0.0f);
-  const auto full_preds = predict_dataset(full, data.test);
+  const auto full = load_classifier(*net, {.threshold = 0.0f});
+  const auto full_preds = predict_dataset(*full, data.test);
   std::vector<int> full_labels;
   for (const auto& p : full_preds) full_labels.push_back(p.label);
   const auto full_cm =
@@ -63,8 +63,8 @@ int main() {
     const Dataset calibration = synth::generate_dataset(spec, calib_rng);
     return selective::calibrate_threshold(*net, calibration, 0.5);
   }();
-  selective::SelectivePredictor sel(*net, tau);
-  const auto sel_preds = predict_dataset(sel, data.test);
+  const auto sel = load_classifier(*net, {.threshold = tau});
+  const auto sel_preds = predict_dataset(*sel, data.test);
   const auto report = eval::selective_report(sel_preds, labels, kNumDefectTypes);
 
   std::vector<double> orig_recall(kNumDefectTypes);

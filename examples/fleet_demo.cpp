@@ -1,0 +1,301 @@
+// Fleet demo: the horizontal serving tier end-to-end in one process.
+//
+// Trains a small selective CNN, stands up THREE full serving replicas
+// (each: hot-swap wrapper + micro-batching engine + wm_net server +
+// /healthz exporter) and drives them through net::Router. Four scenarios,
+// each verified — CI runs this binary as the fleet smoke test and the exit
+// code is non-zero unless every one behaves:
+//
+//   1  fidelity   traffic spread over the fleet bit-matches the in-process
+//                 classifier, every replica takes a share;
+//   2  failover   a replica is killed while a burst is in flight: the
+//                 router ejects it and transparently re-dispatches — zero
+//                 requests lost, the eject shows up in the stats;
+//   3  rejoin     the killed replica restarts; the router's prober sees
+//                 /healthz answer 200 again and re-admits it;
+//   4  hot swap   every replica promotes the int8 quantized model while a
+//                 burst is mid-flight. Zero requests lost, zero
+//                 mixed-version responses (every response bit-matches
+//                 either the fp32 or the int8 canary bits, never a blend),
+//                 the wm_serve_model_version gauge flips to 2 on every
+//                 replica, and post-swap router responses bit-match the
+//                 canary predictions swap_to returned (blue/green
+//                 verification end-to-end through the wire).
+#include <chrono>
+#include <cstdio>
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "net/router.hpp"
+#include "net/server.hpp"
+#include "obs/http_exporter.hpp"
+#include "obs/metrics.hpp"
+#include "selective/calibrate.hpp"
+#include "selective/load_classifier.hpp"
+#include "selective/quant_net.hpp"
+#include "selective/trainer.hpp"
+#include "serve/hot_swap.hpp"
+#include "serve/inference_engine.hpp"
+#include "wafermap/synth/generator.hpp"
+
+using namespace wm;
+
+namespace {
+
+bool check(bool ok, const char* what) {
+  std::printf("  %-58s %s\n", what, ok ? "ok" : "FAILED");
+  return ok;
+}
+
+/// One serving replica, restartable on its original wire port. The exporter
+/// outlives down()/up() and reports 503 while the replica is dead, so the
+/// router's prober sees an honest unhealthy answer instead of a vanished
+/// endpoint.
+class Replica {
+ public:
+  explicit Replica(std::shared_ptr<const Classifier> initial)
+      : swap_(std::move(initial), {.registry = &registry_}) {
+    up();
+    wire_port_ = server_->port();
+    exporter_ = std::make_unique<obs::HttpExporter>(obs::HttpExporterOptions{
+        .registry = &registry_,
+        .healthy = [this] { return serving_; }});
+  }
+
+  ~Replica() { down(); }
+
+  void up() {
+    engine_ = std::make_unique<serve::InferenceEngine>(
+        swap_, serve::EngineOptions{.max_batch = 16, .max_delay_us = 500,
+                                    .queue_capacity = 256,
+                                    .registry = &registry_});
+    server_ = std::make_unique<net::Server>(
+        *engine_, net::ServerOptions{.port = wire_port_, .workers = 1});
+    serving_ = true;
+  }
+
+  void down() {
+    serving_ = false;
+    if (server_ != nullptr) {
+      server_->stop();
+      server_.reset();
+    }
+    if (engine_ != nullptr) {
+      engine_->shutdown();
+      engine_.reset();
+    }
+  }
+
+  std::vector<SelectivePrediction> swap_to(
+      std::shared_ptr<const Classifier> candidate,
+      std::span<const WaferMap> canaries, const std::string& label) {
+    return swap_.swap_to(std::move(candidate), canaries, label);
+  }
+
+  int wire_port() const { return wire_port_; }
+  int health_port() const { return exporter_->port(); }
+  std::uint64_t version() const { return swap_.version(); }
+  const obs::Registry& registry() const { return registry_; }
+
+ private:
+  obs::Registry registry_;
+  serve::SwappableClassifier swap_;
+  int wire_port_ = 0;
+  bool serving_ = false;
+  std::unique_ptr<serve::InferenceEngine> engine_;
+  std::unique_ptr<net::Server> server_;
+  std::unique_ptr<obs::HttpExporter> exporter_;
+};
+
+}  // namespace
+
+int main() {
+  // Train a small selective net; quantize it as the hot-swap candidate.
+  Rng rng(23);
+  synth::DatasetSpec spec;
+  spec.map_size = 16;
+  spec.class_counts.fill(20);
+  Dataset data = synth::generate_dataset(spec, rng);
+  data.shuffle(rng);
+  const auto [train, pool] = data.stratified_split(0.7, rng);
+
+  selective::SelectiveNet net_model({.map_size = 16, .num_classes = 9,
+                                     .conv1_filters = 8, .conv2_filters = 8,
+                                     .conv3_filters = 8, .fc_units = 32,
+                                     .use_batchnorm = true},
+                                    rng);
+  selective::SelectiveTrainer trainer({.epochs = 2, .batch_size = 32,
+                                       .learning_rate = 2e-3,
+                                       .target_coverage = 0.7});
+  trainer.train(net_model, train, nullptr, rng);
+  const float tau = selective::calibrate_threshold(net_model, pool, 0.7);
+  const selective::QuantizedSelectiveNet qnet =
+      selective::quantize_selective_net(net_model);
+
+  // Everything goes through the unified factory: the in-process reference,
+  // each replica's initial model, and the promotion candidate.
+  const auto reference = load_classifier(net_model, {.threshold = tau});
+  std::printf("trained 16x16 selective net, tau=%.4f\n", tau);
+
+  std::vector<WaferMap> traffic;
+  for (std::size_t i = 0; i < pool.size(); ++i) traffic.push_back(pool[i].map);
+  const std::vector<WaferMap> canaries(traffic.begin(), traffic.begin() + 6);
+
+  std::vector<std::unique_ptr<Replica>> replicas;
+  for (int i = 0; i < 3; ++i) {
+    replicas.push_back(std::make_unique<Replica>(
+        std::shared_ptr<const Classifier>(
+            load_classifier(net_model, {.threshold = tau}))));
+  }
+
+  net::RouterOptions ropts;
+  for (auto& r : replicas) {
+    ropts.replicas.push_back({.port = r->wire_port(),
+                              .health_port = r->health_port()});
+  }
+  ropts.health_interval_ms = 50;
+  net::Router router(ropts);
+  std::printf("router over 3 replicas: tcp ports %d/%d/%d\n\n",
+              replicas[0]->wire_port(), replicas[1]->wire_port(),
+              replicas[2]->wire_port());
+
+  bool all_ok = true;
+
+  // Scenario 1: fleet traffic bit-matches the in-process classifier.
+  {
+    std::printf("scenario 1: fidelity across the fleet\n");
+    const std::size_t n = std::min<std::size_t>(traffic.size(), 96);
+    const std::vector<WaferMap> slice(traffic.begin(),
+                                      traffic.begin() +
+                                          static_cast<std::ptrdiff_t>(n));
+    const auto direct = reference->predict_batch(slice);
+    std::vector<std::future<net::CallResult>> futs;
+    for (const auto& map : slice) futs.push_back(router.predict_async(map));
+    bool bits_match = true;
+    for (std::size_t i = 0; i < n; ++i) {
+      const net::CallResult r = futs[i].get();
+      bits_match = bits_match && r.ok() &&
+                   serve::bit_equal(r.prediction, direct[i]);
+    }
+    all_ok &= check(bits_match, "routed predictions bit-match in-process");
+    std::size_t replicas_used = 0;
+    for (const auto& s : router.stats()) replicas_used += s.dispatched > 0;
+    all_ok &= check(replicas_used == 3, "every replica served a share");
+  }
+
+  // Scenario 2: kill a replica while a burst is in flight — the router
+  // ejects it and re-dispatches; nothing is lost.
+  {
+    std::printf("scenario 2: replica failure mid-burst\n");
+    std::vector<std::future<net::CallResult>> futs;
+    for (int i = 0; i < 60; ++i) {
+      futs.push_back(router.predict_async(traffic[i % traffic.size()]));
+      if (i == 20) replicas[2]->down();
+    }
+    std::size_t ok = 0;
+    for (auto& f : futs) ok += f.get().ok();
+    std::printf("  60 requests with a replica dying at #20: %zu ok\n", ok);
+    all_ok &= check(ok == 60, "zero requests lost across the failure");
+    all_ok &= check(router.stats()[2].ejects >= 1,
+                    "the dead replica was ejected");
+    all_ok &= check(router.healthy_count() == 2, "fleet serves on 2 replicas");
+  }
+
+  // Scenario 3: the replica restarts and /healthz re-admits it.
+  {
+    std::printf("scenario 3: restart and health-gated rejoin\n");
+    replicas[2]->up();
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(10);
+    while (router.healthy_count() < 3 &&
+           std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    all_ok &= check(router.healthy_count() == 3,
+                    "prober re-admitted the replica via /healthz");
+    all_ok &= check(router.stats()[2].rejoins >= 1, "rejoin was counted");
+  }
+
+  // Scenario 4: promote the int8 model on every replica mid-burst.
+  {
+    std::printf("scenario 4: zero-downtime fp32 -> int8 hot swap\n");
+    const auto expected_v1 = reference->predict_batch(canaries);
+    std::vector<std::future<net::CallResult>> futs;
+    auto send_burst = [&](int n) {
+      for (int i = 0; i < n; ++i) {
+        futs.push_back(
+            router.predict_async(canaries[futs.size() % canaries.size()]));
+      }
+    };
+    send_burst(60);
+    // Let the fp32 burst drain so both versions demonstrably answer
+    // traffic; the engines never stop serving while the swap lands.
+    futs[59].wait();
+
+    std::vector<SelectivePrediction> expected_v2;
+    for (auto& r : replicas) {
+      expected_v2 = r->swap_to(
+          std::shared_ptr<const Classifier>(load_classifier(qnet)), canaries,
+          "int8-promotion");
+    }
+    send_burst(60);
+
+    std::size_t v1 = 0, v2 = 0, mixed = 0, lost = 0;
+    for (std::size_t i = 0; i < futs.size(); ++i) {
+      const net::CallResult r = futs[i].get();
+      if (!r.ok()) {
+        ++lost;
+        continue;
+      }
+      const auto& e1 = expected_v1[i % canaries.size()];
+      const auto& e2 = expected_v2[i % canaries.size()];
+      if (serve::bit_equal(r.prediction, e1)) {
+        ++v1;
+      } else if (serve::bit_equal(r.prediction, e2)) {
+        ++v2;
+      } else {
+        ++mixed;
+      }
+    }
+    std::printf("  120 requests across the swap: %zu fp32, %zu int8, "
+                "%zu mixed, %zu lost\n", v1, v2, mixed, lost);
+    all_ok &= check(lost == 0, "zero requests lost across the swap");
+    all_ok &= check(mixed == 0, "zero mixed-version responses");
+    all_ok &= check(v1 > 0, "pre-swap traffic served by the fp32 model");
+    all_ok &= check(v2 > 0, "post-swap traffic served by the int8 model");
+
+    bool gauges_flipped = true;
+    for (auto& r : replicas) {
+      gauges_flipped = gauges_flipped && r->version() == 2 &&
+                       r->registry().prometheus_text().find(
+                           "wm_serve_model_version 2") != std::string::npos;
+    }
+    all_ok &= check(gauges_flipped,
+                    "wm_serve_model_version gauge flipped on every replica");
+
+    // Blue/green verification: the canary bits swap_to promised are exactly
+    // what the fleet now emits over the wire.
+    bool canaries_match = true;
+    for (std::size_t i = 0; i < canaries.size(); ++i) {
+      const net::CallResult r = router.predict(canaries[i]);
+      canaries_match = canaries_match && r.ok() &&
+                       serve::bit_equal(r.prediction, expected_v2[i]);
+    }
+    all_ok &= check(canaries_match,
+                    "post-swap wire responses bit-match the canary bits");
+  }
+
+  router.close();
+  for (auto& r : replicas) r->down();
+
+  if (!all_ok) {
+    std::fprintf(stderr, "\nFAILED: at least one scenario misbehaved\n");
+    return 1;
+  }
+  std::printf("\nall scenarios behaved — fleet demo passed\n");
+  return 0;
+}

@@ -47,7 +47,7 @@
 #include "obs/run_log.hpp"
 #include "obs/trace.hpp"
 #include "selective/calibrate.hpp"
-#include "selective/predictor.hpp"
+#include "selective/load_classifier.hpp"
 #include "selective/trainer.hpp"
 #include "serve/inference_engine.hpp"
 #include "serve/monitor.hpp"
@@ -105,7 +105,7 @@ int main(int argc, char** argv) {
                                        .target_coverage = c0});
   trainer.train(net, train, nullptr, rng);
   const float tau = selective::calibrate_threshold(net, pool, c0);
-  selective::SelectivePredictor predictor(net, tau);
+  const auto predictor = load_classifier(net, {.threshold = tau});
   std::printf("calibrated threshold tau=%.4f for target coverage %.2f\n",
               tau, c0);
 
@@ -115,7 +115,7 @@ int main(int argc, char** argv) {
   std::vector<WaferMap> drifted;
   for (std::size_t i = 0; i < pool.size(); ++i) {
     in_dist.push_back(pool[i].map);
-    if (!predictor.predict_one(pool[i].map).selected) {
+    if (!predictor->predict_one(pool[i].map).selected) {
       drifted.push_back(pool[i].map);
     }
   }
@@ -137,7 +137,7 @@ int main(int argc, char** argv) {
   mopts.registry = &obs::Registry::global();
   serve::SelectiveMonitor monitor(mopts);
 
-  serve::InferenceEngine engine(predictor,
+  serve::InferenceEngine engine(*predictor,
                                 {.max_batch = 16,
                                  .max_delay_us = 1000,
                                  .queue_capacity = 128,

@@ -8,7 +8,7 @@
 #include <cstdio>
 
 #include "common/rng.hpp"
-#include "selective/predictor.hpp"
+#include "selective/load_classifier.hpp"
 #include "selective/trainer.hpp"
 #include "wafermap/synth/generator.hpp"
 
@@ -42,13 +42,13 @@ int main() {
   stream_spec.class_counts.fill(20);
   const Dataset stream = synth::generate_dataset(stream_spec, rng);
 
-  selective::SelectivePredictor predictor(net, 0.5f);
+  const auto predictor = load_classifier(net, {.threshold = 0.5f});
   int known_total = 0;
   int known_abstained = 0;
   int unseen_total = 0;
   int unseen_abstained = 0;
   for (std::size_t i = 0; i < stream.size(); ++i) {
-    const auto p = predictor.predict_one(stream[i].map);
+    const auto p = predictor->predict_one(stream[i].map);
     if (stream[i].label == unseen) {
       ++unseen_total;
       unseen_abstained += !p.selected;

@@ -22,7 +22,7 @@
 #include "obs/metrics.hpp"
 #include "obs/run_log.hpp"
 #include "obs/trace.hpp"
-#include "selective/predictor.hpp"
+#include "selective/load_classifier.hpp"
 #include "selective/trainer.hpp"
 #include "serve/inference_engine.hpp"
 #include "wafermap/synth/generator.hpp"
@@ -63,10 +63,10 @@ int main() {
 
   // 4. Serve from three client threads. Passing the global registry merges
   //    the wm_serve_* instruments into the same dump as the trainer's.
-  selective::SelectivePredictor predictor(net, /*threshold=*/0.5f);
+  const auto predictor = load_classifier(net, {.threshold = 0.5f});
   {
     serve::InferenceEngine engine(
-        predictor, {.max_batch = 16,
+        *predictor, {.max_batch = 16,
                     .max_delay_us = 2000,
                     .queue_capacity = 64,
                     .registry = &obs::Registry::global()});

@@ -6,7 +6,7 @@
 #include <cstdio>
 
 #include "common/rng.hpp"
-#include "selective/predictor.hpp"
+#include "selective/load_classifier.hpp"
 #include "selective/trainer.hpp"
 #include "wafermap/io_pgm.hpp"
 #include "wafermap/synth/generator.hpp"
@@ -39,21 +39,21 @@ int main() {
   trainer.train(net, train, &test, rng);
 
   // 3. Classify the test set with the reject option.
-  selective::SelectivePredictor predictor(net, /*threshold=*/0.5f);
-  const auto preds = predict_dataset(predictor, test);
+  const auto predictor = load_classifier(net, {.threshold = 0.5f});
+  const auto preds = predict_dataset(*predictor, test);
   std::vector<int> labels;
   for (std::size_t i = 0; i < test.size(); ++i) {
     labels.push_back(static_cast<int>(test[i].label));
   }
   std::printf("\nfull-coverage accuracy:   %.1f%%\n",
-              100.0 * selective::full_accuracy(preds, labels));
+              100.0 * full_accuracy(preds, labels));
   std::printf("selective accuracy:       %.1f%% at %.1f%% coverage\n",
-              100.0 * selective::selective_accuracy(preds, labels),
-              100.0 * selective::coverage_of(preds));
+              100.0 * selective_accuracy(preds, labels),
+              100.0 * coverage_of(preds));
 
   // 4. Look at one wafer in detail.
   const auto& sample = test[0];
-  const auto p = predictor.predict_one(sample.map);
+  const auto p = predictor->predict_one(sample.map);
   std::printf("\nexample wafer (true class %s):\n%s",
               to_string(sample.label).c_str(),
               ascii_render(sample.map).c_str());

@@ -39,7 +39,7 @@
 #include "net/socket_util.hpp"
 #include "net/wire.hpp"
 #include "selective/calibrate.hpp"
-#include "selective/predictor.hpp"
+#include "selective/load_classifier.hpp"
 #include "selective/trainer.hpp"
 #include "serve/inference_engine.hpp"
 #include "serve/monitor.hpp"
@@ -104,7 +104,7 @@ int main() {
                                        .target_coverage = 0.7});
   trainer.train(net_model, train, nullptr, rng);
   const float tau = selective::calibrate_threshold(net_model, pool, 0.7);
-  selective::SelectivePredictor predictor(net_model, tau);
+  const auto predictor = load_classifier(net_model, {.threshold = tau});
   std::printf("trained 16x16 selective net, tau=%.4f\n", tau);
 
   std::vector<WaferMap> traffic;
@@ -114,7 +114,7 @@ int main() {
   serve::MonitorOptions mopts;
   mopts.target_coverage = 0.7;
   serve::SelectiveMonitor monitor(mopts);
-  serve::InferenceEngine engine(predictor, {.max_batch = 16,
+  serve::InferenceEngine engine(*predictor, {.max_batch = 16,
                                             .max_delay_us = 1000,
                                             .queue_capacity = 128,
                                             .monitor = &monitor});
@@ -131,7 +131,7 @@ int main() {
     const std::vector<WaferMap> slice(traffic.begin(),
                                       traffic.begin() +
                                           static_cast<std::ptrdiff_t>(n));
-    const auto direct = predictor.predict_batch(slice);
+    const auto direct = predictor->predict_batch(slice);
     bool bits_match = true;
     std::size_t selected = 0;
     std::size_t abstained = 0;
@@ -160,7 +160,7 @@ int main() {
   // engine holds its batch window open for 2 s, far past the 50 ms budget.
   {
     std::printf("scenario 2: deadline enforcement\n");
-    serve::InferenceEngine slow_engine(predictor, {.max_batch = 64,
+    serve::InferenceEngine slow_engine(*predictor, {.max_batch = 64,
                                                    .max_delay_us = 2'000'000,
                                                    .queue_capacity = 4});
     net::Server slow_server(slow_engine, {.workers = 1});

@@ -8,7 +8,7 @@
 
 #include "common/rng.hpp"
 #include "selective/calibrate.hpp"
-#include "selective/predictor.hpp"
+#include "selective/load_classifier.hpp"
 #include "selective/trainer.hpp"
 #include "wafermap/synth/generator.hpp"
 
@@ -48,8 +48,8 @@ int main() {
     const double target_cov = 1.0 - budget;
     const float tau =
         selective::calibrate_threshold(net, calibration, target_cov);
-    selective::SelectivePredictor predictor(net, tau);
-    const auto preds = predict_dataset(predictor, test);
+    const auto predictor = load_classifier(net, {.threshold = tau});
+    const auto preds = predict_dataset(*predictor, test);
     const double cov = selective::coverage_of(preds);
     const double acc = selective::selective_accuracy(preds, labels);
     std::printf("%5.0f%%     %-11.3f %6.1f%%        %6.1f%%        %.1f%%\n",

@@ -12,7 +12,7 @@
 #include <vector>
 
 #include "common/rng.hpp"
-#include "selective/predictor.hpp"
+#include "selective/load_classifier.hpp"
 #include "selective/trainer.hpp"
 #include "serve/inference_engine.hpp"
 #include "wafermap/synth/generator.hpp"
@@ -41,8 +41,8 @@ int main() {
 
   // 2. Put the trained model behind the online engine. Any wm::Classifier
   //    works here — swapping in the Wu SVM baseline is a one-line change.
-  selective::SelectivePredictor predictor(net, /*threshold=*/0.5f);
-  serve::InferenceEngine engine(predictor, {.max_batch = 16,
+  const auto predictor = load_classifier(net, {.threshold = 0.5f});
+  serve::InferenceEngine engine(*predictor, {.max_batch = 16,
                                             .max_delay_us = 2000,
                                             .queue_capacity = 64});
 

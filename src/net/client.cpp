@@ -21,7 +21,9 @@ constexpr std::size_t kReadChunk = 64 * 1024;
 }  // namespace
 
 Client::Client(const ClientOptions& opts)
-    : opts_(opts), jitter_state_(opts.backoff_seed ^ 0x9E3779B97F4A7C15ULL) {
+    : opts_(opts),
+      backoff_delay_ms_(opts.backoff_initial_ms),
+      jitter_state_(opts.backoff_seed ^ 0x9E3779B97F4A7C15ULL) {
   WM_CHECK(opts_.port > 0 && opts_.port <= 65535, "bad client port ",
            opts_.port);
   WM_CHECK(opts_.max_connect_attempts > 0,
@@ -171,6 +173,10 @@ void Client::io_loop() {
       if (it != promises_.end()) {
         it->second.set_value(CallResult{resp.status, resp.prediction});
         promises_.erase(it);
+        // A completed round-trip is the real health signal (not a bare
+        // accept): only now does the reconnect escalation reset.
+        conn_productive_ = true;
+        backoff_delay_ms_.store(opts_.backoff_initial_ms);
       }  // unknown id: a response to a call that already failed — ignore
     }
     in_.erase(in_.begin(), in_.begin() + static_cast<std::ptrdiff_t>(offset));
@@ -182,7 +188,19 @@ void Client::io_loop() {
 }
 
 bool Client::connect_with_backoff() {
-  int delay_ms = opts_.backoff_initial_ms;
+  // The delay deliberately lives in backoff_delay_ms_, not a local: a
+  // successful connect does NOT reset it (a crash-looping server can accept
+  // and immediately drop — only a completed call proves health), so
+  // escalation carries across reconnect cycles until a response arrives.
+  if (ever_connected_ && !conn_productive_) {
+    // The previous connection died without completing a single call: pay the
+    // current delay BEFORE reconnecting, and escalate. Without this, a
+    // listener that accepts and immediately drops would be re-dialled in a
+    // tight loop (the handshake itself always succeeds).
+    const int delay_ms = backoff_delay_ms_.load();
+    if (!backoff_sleep(jittered_ms(delay_ms))) return false;
+    backoff_delay_ms_.store(std::min(delay_ms * 2, opts_.backoff_max_ms));
+  }
   for (int attempt = 1;; ++attempt) {
     {
       std::lock_guard<std::mutex> lock(mutex_);
@@ -194,6 +212,7 @@ bool Client::connect_with_backoff() {
       connected_.store(true);
       if (ever_connected_) reconnects_.fetch_add(1);
       ever_connected_ = true;
+      conn_productive_ = false;
       return true;
     } catch (const IoError& e) {
       if (attempt >= opts_.max_connect_attempts) {
@@ -201,22 +220,25 @@ bool Client::connect_with_backoff() {
                  " connect attempts: ", e.what());
         std::lock_guard<std::mutex> lock(mutex_);
         fail_all_locked(Status::kConnectionError);
+        backoff_delay_ms_.store(opts_.backoff_initial_ms);
         return false;
       }
     }
-    // Exponential backoff with multiplicative jitter so a fleet of clients
-    // does not hammer a recovering server in lockstep.
-    jitter_state_ =
-        jitter_state_ * 6364136223846793005ULL + 1442695040888963407ULL;
-    const double u =
-        static_cast<double>(jitter_state_ >> 11) / 9007199254740992.0;
-    const double factor =
-        1.0 + opts_.backoff_jitter * (2.0 * u - 1.0);
-    const int jittered =
-        std::max(1, static_cast<int>(static_cast<double>(delay_ms) * factor));
-    if (!backoff_sleep(jittered)) return false;
-    delay_ms = std::min(delay_ms * 2, opts_.backoff_max_ms);
+    const int delay_ms = backoff_delay_ms_.load();
+    if (!backoff_sleep(jittered_ms(delay_ms))) return false;
+    backoff_delay_ms_.store(std::min(delay_ms * 2, opts_.backoff_max_ms));
   }
+}
+
+int Client::jittered_ms(int delay_ms) {
+  // Exponential backoff with multiplicative jitter so a fleet of clients
+  // does not hammer a recovering server in lockstep.
+  jitter_state_ =
+      jitter_state_ * 6364136223846793005ULL + 1442695040888963407ULL;
+  const double u =
+      static_cast<double>(jitter_state_ >> 11) / 9007199254740992.0;
+  const double factor = 1.0 + opts_.backoff_jitter * (2.0 * u - 1.0);
+  return std::max(1, static_cast<int>(static_cast<double>(delay_ms) * factor));
 }
 
 void Client::disconnect_locked() {

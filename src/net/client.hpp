@@ -25,6 +25,13 @@
 // retry). After max_connect_attempts consecutive failures everything
 // queued fails with kConnectionError and the backoff resets for the next
 // call.
+//
+// The escalation state survives across reconnect cycles: the delay resets
+// only once a call actually COMPLETES (a response frame arrives), not on a
+// bare successful connect. A crash-looping server whose listener accepts
+// and immediately drops connections therefore still sees escalating delays
+// instead of a tight accept-disconnect loop at backoff_initial_ms
+// (current_backoff_ms() exposes the live delay for tests).
 #pragma once
 
 #include <atomic>
@@ -100,6 +107,12 @@ class Client {
   /// Successful connections beyond the first (i.e. reconnects).
   std::uint64_t reconnects() const { return reconnects_.load(); }
 
+  /// The delay the next failed connect attempt would sleep (pre-jitter).
+  /// Starts at backoff_initial_ms, doubles per failed attempt up to
+  /// backoff_max_ms, and resets only when a call completes or after a
+  /// give-up — connecting alone does not reset it.
+  int current_backoff_ms() const { return backoff_delay_ms_.load(); }
+
   /// Calls written to the wire and still awaiting a response.
   std::size_t inflight() const;
 
@@ -119,6 +132,8 @@ class Client {
   void fail_all_locked(Status status);
   /// Interruptible sleep; returns false when woken by close().
   bool backoff_sleep(int ms);
+  /// Applies the multiplicative jitter draw to a base delay (IO thread).
+  int jittered_ms(int delay_ms);
 
   const ClientOptions opts_;
 
@@ -133,6 +148,12 @@ class Client {
   std::vector<std::uint8_t> in_;
   std::atomic<bool> connected_{false};
   std::atomic<std::uint64_t> reconnects_{0};
+  /// Next pre-jitter reconnect delay; escalates across reconnect cycles,
+  /// reset by a completed call or a give-up (atomic: read by tests).
+  std::atomic<int> backoff_delay_ms_;
+  /// Did the current/last connection complete at least one call? Guards the
+  /// pre-reconnect penalty sleep (IO thread only).
+  bool conn_productive_ = true;
   bool ever_connected_ = false;
   std::uint64_t jitter_state_;
 

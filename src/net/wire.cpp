@@ -81,6 +81,7 @@ const char* to_string(Status s) {
     case Status::kShuttingDown: return "SHUTTING_DOWN";
     case Status::kInternal: return "INTERNAL_ERROR";
     case Status::kConnectionError: return "CONNECTION_ERROR";
+    case Status::kNoReplica: return "NO_REPLICA";
   }
   return "UNKNOWN";
 }

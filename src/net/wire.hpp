@@ -61,7 +61,8 @@ enum class FrameType : std::uint8_t {
 };
 
 /// Response status codes. Values <= kInternal travel on the wire;
-/// kConnectionError is client-side only (transport failure, no response).
+/// kConnectionError and kNoReplica are client-side only (transport failure
+/// / no healthy routing target — no server response was involved).
 enum class Status : std::uint8_t {
   kOk = 0,            // prediction fields are valid
   kTimeout = 1,       // the per-request deadline expired server-side
@@ -70,6 +71,7 @@ enum class Status : std::uint8_t {
   kShuttingDown = 4,  // server is draining; retry elsewhere/later
   kInternal = 5,      // classifier/engine failure
   kConnectionError = 6,
+  kNoReplica = 7,     // router: every replica is ejected
 };
 
 const char* to_string(Status s);

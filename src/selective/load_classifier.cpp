@@ -1,0 +1,88 @@
+#include "selective/load_classifier.hpp"
+
+#include <utility>
+
+#include "selective/model_file.hpp"
+#include "selective/predictor.hpp"
+#include "selective/quant_predictor.hpp"
+
+namespace wm {
+
+namespace {
+
+/// Owning-or-borrowing wrapper over the fp32 predictor. `owned` is null for
+/// the in-memory overload; the predictor always references the live net.
+class Fp32Classifier final : public LoadedClassifier {
+ public:
+  Fp32Classifier(std::unique_ptr<selective::SelectiveNet> owned,
+                 const selective::SelectiveNet& net,
+                 const ClassifierLoadOptions& opts)
+      : owned_(std::move(owned)),
+        predictor_(net, opts.threshold, opts.eval_batch),
+        map_size_(static_cast<int>(net.options().map_size)) {}
+
+  std::vector<SelectivePrediction> predict_batch(
+      std::span<const WaferMap> maps) const override {
+    return predictor_.predict_batch(maps);
+  }
+  int num_classes() const override { return predictor_.num_classes(); }
+  int map_size() const override { return map_size_; }
+  bool is_quantized() const override { return false; }
+  float threshold() const override { return predictor_.threshold(); }
+
+ private:
+  std::unique_ptr<selective::SelectiveNet> owned_;
+  selective::SelectivePredictor predictor_;
+  int map_size_;
+};
+
+class QuantClassifier final : public LoadedClassifier {
+ public:
+  QuantClassifier(std::unique_ptr<selective::QuantizedSelectiveNet> owned,
+                  const selective::QuantizedSelectiveNet& net,
+                  const ClassifierLoadOptions& opts)
+      : owned_(std::move(owned)),
+        predictor_(net, opts.threshold, opts.eval_batch),
+        map_size_(static_cast<int>(net.options().map_size)) {}
+
+  std::vector<SelectivePrediction> predict_batch(
+      std::span<const WaferMap> maps) const override {
+    return predictor_.predict_batch(maps);
+  }
+  int num_classes() const override { return predictor_.num_classes(); }
+  int map_size() const override { return map_size_; }
+  bool is_quantized() const override { return true; }
+  float threshold() const override { return predictor_.threshold(); }
+
+ private:
+  std::unique_ptr<selective::QuantizedSelectiveNet> owned_;
+  selective::QuantizedSelectivePredictor predictor_;
+  int map_size_;
+};
+
+}  // namespace
+
+std::unique_ptr<LoadedClassifier> load_classifier(
+    const std::string& path, const ClassifierLoadOptions& opts) {
+  if (selective::probe_model_file(path) == selective::ModelFileKind::kFloat) {
+    auto net = selective::load_model(path);
+    const selective::SelectiveNet& ref = *net;
+    return std::make_unique<Fp32Classifier>(std::move(net), ref, opts);
+  }
+  auto net = selective::load_quantized_model(path);
+  const selective::QuantizedSelectiveNet& ref = *net;
+  return std::make_unique<QuantClassifier>(std::move(net), ref, opts);
+}
+
+std::unique_ptr<LoadedClassifier> load_classifier(
+    const selective::SelectiveNet& net, const ClassifierLoadOptions& opts) {
+  return std::make_unique<Fp32Classifier>(nullptr, net, opts);
+}
+
+std::unique_ptr<LoadedClassifier> load_classifier(
+    const selective::QuantizedSelectiveNet& net,
+    const ClassifierLoadOptions& opts) {
+  return std::make_unique<QuantClassifier>(nullptr, net, opts);
+}
+
+}  // namespace wm

@@ -1,0 +1,70 @@
+// The unified classifier-loading API: one factory, wm::load_classifier,
+// behind which every construction path in the repo lives.
+//
+//   auto clf = wm::load_classifier("model.wsn", {.threshold = 0.7f});
+//   engine = serve::InferenceEngine(*clf, ...);
+//
+// The file overload probes the artifact version (WSN1 fp32 / WSN2 int8 via
+// selective::probe_model_file) and returns the matching implementation —
+// callers never dispatch on the format themselves. The in-memory overloads
+// wrap an already-constructed net (no file involved) behind the same
+// interface, so examples and benches that train a model in-process use the
+// identical vocabulary as the tools that load one from disk.
+//
+// The returned LoadedClassifier IS-A wm::Classifier (drop it into the
+// inference engine, the TCP server, the hot-swap wrapper, the router fleet)
+// and additionally reports the artifact metadata serving paths need:
+// the wafer edge the model expects, whether the int8 fast path is active,
+// and the abstention threshold it was built with.
+//
+// Direct construction of SelectivePredictor / QuantizedSelectivePredictor
+// in tools, examples and benches is deprecated in favour of this factory;
+// the concrete predictors remain public for library code and tests that
+// need the narrower types.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "selective/quant_net.hpp"
+#include "selective/selective_net.hpp"
+#include "serve/classifier.hpp"
+
+namespace wm {
+
+struct ClassifierLoadOptions {
+  /// Abstention cut on g (Eq. 2); 0.5 matches the trained sigmoid boundary.
+  float threshold = 0.5f;
+  /// Upper bound on the per-forward micro-batch inside the predictor.
+  int eval_batch = 256;
+};
+
+/// A Classifier that carries its backing model (owned when loaded from a
+/// file, borrowed for the in-memory overloads) plus artifact metadata.
+class LoadedClassifier : public Classifier {
+ public:
+  /// Wafer edge length the model was trained for (resize inputs to this).
+  virtual int map_size() const = 0;
+  /// True when the int8 (WSN2) fast path serves the predictions.
+  virtual bool is_quantized() const = 0;
+  /// The abstention threshold the classifier applies to g.
+  virtual float threshold() const = 0;
+};
+
+/// Loads a model file of either version (WSN1 fp32 / WSN2 quantized),
+/// dispatching on the header, and returns it behind the classifier
+/// interface. Throws wm::IoError on unreadable/truncated/unknown-version
+/// files; the error names the problem.
+std::unique_ptr<LoadedClassifier> load_classifier(
+    const std::string& path, const ClassifierLoadOptions& opts = {});
+
+/// Wraps an in-memory fp32 net (borrowed; must outlive the classifier).
+std::unique_ptr<LoadedClassifier> load_classifier(
+    const selective::SelectiveNet& net, const ClassifierLoadOptions& opts = {});
+
+/// Wraps an in-memory quantized net (borrowed; must outlive the classifier).
+std::unique_ptr<LoadedClassifier> load_classifier(
+    const selective::QuantizedSelectiveNet& net,
+    const ClassifierLoadOptions& opts = {});
+
+}  // namespace wm

@@ -1,0 +1,108 @@
+#include "serve/hot_swap.hpp"
+
+#include <cstring>
+#include <utility>
+
+#include "common/error.hpp"
+#include "common/logging.hpp"
+#include "obs/run_log.hpp"
+
+namespace wm::serve {
+
+bool bit_equal(const SelectivePrediction& a, const SelectivePrediction& b) {
+  return a.label == b.label && a.selected == b.selected &&
+         std::memcmp(&a.g, &b.g, sizeof(float)) == 0 &&
+         std::memcmp(&a.confidence, &b.confidence, sizeof(float)) == 0;
+}
+
+SwappableClassifier::SwappableClassifier(
+    std::shared_ptr<const Classifier> initial, const SwapOptions& opts)
+    : opts_(opts),
+      metrics_(opts_.registry != nullptr ? *opts_.registry : own_metrics_),
+      version_gauge_(metrics_.gauge("wm_serve_model_version",
+                                    "active model version (1 = initial)")),
+      swaps_total_(metrics_.counter("wm_serve_model_swaps_total",
+                                    "successful hot-swap promotions")),
+      current_(std::move(initial)) {
+  WM_CHECK(current_ != nullptr, "SwappableClassifier needs a classifier");
+  version_gauge_.set(1.0);
+}
+
+std::vector<SelectivePrediction> SwappableClassifier::predict_batch(
+    std::span<const WaferMap> maps) const {
+  // Pin one version for the whole batch; a concurrent swap_to affects only
+  // subsequent calls. The shared_ptr keeps a retired model alive until this
+  // batch (and any other still pinned on it) returns.
+  std::shared_ptr<const Classifier> pinned;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    pinned = current_;
+  }
+  return pinned->predict_batch(maps);
+}
+
+int SwappableClassifier::num_classes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return current_->num_classes();
+}
+
+std::vector<SelectivePrediction> SwappableClassifier::swap_to(
+    std::shared_ptr<const Classifier> candidate,
+    std::span<const WaferMap> canaries, const std::string& label) {
+  WM_CHECK(candidate != nullptr, "swap_to: null candidate");
+
+  // Canary verification runs entirely off the serving path: the incumbent
+  // keeps answering traffic, and nothing below throws after the promotion.
+  const int incumbent_classes = num_classes();
+  WM_CHECK(candidate->num_classes() == incumbent_classes,
+           "swap_to: candidate has ", candidate->num_classes(),
+           " classes, incumbent has ", incumbent_classes);
+
+  std::vector<SelectivePrediction> expected;
+  if (!canaries.empty()) {
+    expected = candidate->predict_batch(canaries);
+    WM_CHECK(expected.size() == canaries.size(),
+             "swap_to: candidate broke the predict_batch contract");
+    const std::vector<SelectivePrediction> again =
+        candidate->predict_batch(canaries);
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+      WM_CHECK(bit_equal(expected[i], again[i]),
+               "swap_to: candidate is non-deterministic on canary ", i,
+               "; refusing to promote");
+    }
+  }
+
+  std::uint64_t from = 0;
+  std::uint64_t to = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    from = version_;
+    to = ++version_;
+    current_ = std::move(candidate);
+  }
+  version_gauge_.set(static_cast<double>(to));
+  swaps_total_.inc();
+  obs::run_log_global().write(
+      "model_swap",
+      {{"name", opts_.name},
+       {"label", label},
+       {"from_version", from},
+       {"to_version", to},
+       {"canaries", static_cast<std::uint64_t>(canaries.size())}});
+  log_info("hot-swap: ", opts_.name, " v", from, " -> v", to,
+           label.empty() ? "" : " (", label, label.empty() ? "" : ")",
+           ", verified on ", canaries.size(), " canaries");
+  return expected;
+}
+
+std::uint64_t SwappableClassifier::version() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return version_;
+}
+
+std::shared_ptr<const Classifier> SwappableClassifier::current() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return current_;
+}
+
+}  // namespace wm::serve

@@ -1,0 +1,99 @@
+// Zero-downtime model hot-swap: a SwappableClassifier sits between the
+// InferenceEngine and the real model so new weights can be promoted while
+// traffic flows.
+//
+//   serve::SwappableClassifier swap(initial_classifier);
+//   serve::InferenceEngine engine(swap, ...);
+//   ...
+//   swap.swap_to(candidate, canaries);   // atomic, between engine batches
+//
+// Versioning contract (the "zero dropped or mixed-version in-flight
+// requests" guarantee):
+//
+//   * predict_batch pins the current version once per call, so every
+//     micro-batch the engine flushes is served end-to-end by exactly one
+//     model version — a swap can never split a batch across versions;
+//   * the engine's batcher issues predict_batch calls sequentially, so the
+//     promotion takes effect on the next batch boundary: requests queued
+//     before the swap are answered (by whichever version their batch
+//     pinned), never dropped;
+//   * swap_to verifies the candidate on a canary set first — two direct
+//     predict_batch passes must agree bit-for-bit (the determinism half of
+//     the Classifier contract that batching correctness rests on) and the
+//     class count must match the incumbent. A failed canary leaves the old
+//     version serving and throws; the returned canary predictions are the
+//     expected post-swap bits, so callers can bit-match end-to-end through
+//     the engine/server/router (blue/green verification).
+//
+// Observability: the wm_serve_model_version gauge tracks the active version
+// (starts at 1, +1 per promotion), wm_serve_model_swaps_total counts
+// promotions, and every promotion writes a "model_swap" run-log event with
+// the old/new version and the candidate label.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "serve/classifier.hpp"
+
+namespace wm::serve {
+
+struct SwapOptions {
+  /// Where wm_serve_model_version / wm_serve_model_swaps_total live.
+  /// nullptr = a wrapper-private registry.
+  obs::Registry* registry = nullptr;
+  /// Human-readable name for run-log events (e.g. the model path).
+  std::string name = "model";
+};
+
+class SwappableClassifier final : public Classifier {
+ public:
+  /// Starts serving `initial` as version 1. The shared_ptr keeps a retired
+  /// version alive until the last batch pinned on it finishes.
+  explicit SwappableClassifier(std::shared_ptr<const Classifier> initial,
+                               const SwapOptions& opts = {});
+
+  std::vector<SelectivePrediction> predict_batch(
+      std::span<const WaferMap> maps) const override;
+  int num_classes() const override;
+
+  /// Canary-verifies `candidate` (see header comment), then atomically
+  /// promotes it. Returns the candidate's canary predictions — the bits the
+  /// serving path must produce after the swap. Throws wm::Error when the
+  /// candidate is null, disagrees with itself on the canaries, or changes
+  /// the class count; the incumbent keeps serving in every failure case.
+  std::vector<SelectivePrediction> swap_to(
+      std::shared_ptr<const Classifier> candidate,
+      std::span<const WaferMap> canaries, const std::string& label = "");
+
+  /// Active model version: 1 for the initial classifier, +1 per swap.
+  std::uint64_t version() const;
+
+  /// The currently serving classifier (pinned; safe across a swap).
+  std::shared_ptr<const Classifier> current() const;
+
+  std::uint64_t swaps() const { return swaps_total_.value(); }
+
+ private:
+  const SwapOptions opts_;
+  mutable obs::Registry own_metrics_;  // used when opts_.registry == nullptr
+  obs::Registry& metrics_;
+  obs::Gauge& version_gauge_;
+  obs::Counter& swaps_total_;
+
+  mutable std::mutex mutex_;  // guards current_ + version_
+  std::shared_ptr<const Classifier> current_;
+  std::uint64_t version_ = 1;
+};
+
+/// True when two predictions are bit-identical (label, selection, and the
+/// raw IEEE-754 bits of g / confidence). The canary comparison — exact
+/// equality, not tolerance: remote serving already round-trips exact bits.
+bool bit_equal(const SelectivePrediction& a, const SelectivePrediction& b);
+
+}  // namespace wm::serve

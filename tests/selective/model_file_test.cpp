@@ -157,5 +157,27 @@ TEST_F(ModelFileTest, TruncatedQuantizedFileThrows) {
   }
 }
 
+TEST_F(ModelFileTest, ZeroByteFileThrowsOnProbeAndAutoLoad) {
+  { std::ofstream out(path_, std::ios::binary | std::ios::trunc); }
+  EXPECT_THROW(probe_model_file(path_), IoError);
+  EXPECT_THROW(load_model_auto(path_, 0.5f), IoError);
+}
+
+TEST_F(ModelFileTest, DirectoryPathThrowsNotCrashes) {
+  // A directory opens readably on POSIX but every read fails; both entry
+  // points must surface that as IoError, not garbage or a crash.
+  EXPECT_THROW(probe_model_file("/tmp"), IoError);
+  EXPECT_THROW(load_model_auto("/tmp", 0.5f), IoError);
+}
+
+TEST_F(ModelFileTest, FileShorterThanHeaderThrows) {
+  {
+    std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+    out.write("WS", 2);  // shorter than the magic+version header
+  }
+  EXPECT_THROW(probe_model_file(path_), IoError);
+  EXPECT_THROW(load_model_auto(path_, 0.5f), IoError);
+}
+
 }  // namespace
 }  // namespace wm::selective

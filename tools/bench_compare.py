@@ -53,6 +53,10 @@ DEFAULT_HEADLINES = {
     },
     "bench_net": {
         "remote_vs_engine_ratio",
+        # Fleet headline: router throughput over 3 replicas vs one replica
+        # at the same per-replica offered load (loadgen --fleet 3). The
+        # acceptance bar is >= 2.5x at comparable p99.
+        "fleet_vs_single_ratio",
     },
     "bench_quant": {
         "quant_vs_fp32",
@@ -61,7 +65,7 @@ DEFAULT_HEADLINES = {
 
 # Metrics where larger is better (everything else: smaller is better).
 HIGHER_IS_BETTER = {"engine_vs_direct_best_ratio", "remote_vs_engine_ratio",
-                    "quant_vs_fp32"}
+                    "fleet_vs_single_ratio", "quant_vs_fp32"}
 
 
 def load(path):

@@ -21,6 +21,27 @@
 // tools/run_benchmarks.sh captures `loadgen --json` as BENCH_net.json and
 // tools/bench_compare.py gates that ratio against the checked-in baseline.
 //
+// Fleet mode (--fleet M) additionally stands up M full serving replicas
+// in-process (each: own registry, hot-swap wrapper, micro-batching engine,
+// TCP server, /healthz exporter) and drives them through net::Router:
+//
+//   fleet-single  router over replica 0 only, per-replica closed-loop
+//                 concurrency (--fleet-window in-flight calls);
+//   fleet-closed  router over all M replicas at M x that concurrency —
+//                 the horizontal-capacity measurement.
+//
+// The replicas run delay-bound (--fleet-delay-us micro-batch flush, large
+// relative to compute), so a single replica's throughput is capped by the
+// batching window, not the CPU — which is what makes the fleet headline
+// fleet_vs_single_ratio an honest horizontal-scaling number (~M on a
+// healthy fleet) even on a small machine, at comparable p99. Chaos flags
+// exercise the failover story mid-run: --kill-replica takes the last
+// replica down at 1/3 progress and restarts it at 2/3 (the router ejects,
+// fails over, and re-admits it via /healthz); --swap-mid-run hot-swaps
+// every replica from fp32 to the int8 quantized model at 1/2 progress with
+// canary verification. Per-replica latency percentiles and eject/rejoin
+// counts land in the JSON report as "fleet_replicas".
+//
 // Flags:
 //   --connections N   client connections               (default 4)
 //   --window W        in-flight calls per connection   (default 8)
@@ -30,6 +51,11 @@
 //   --workers K       server worker threads            (default 2)
 //   --host H --port P drive an external wm_net server instead of the
 //                     in-process one (baseline + ratio are skipped)
+//   --fleet M         also run the M-replica router benchmark (0 = skip)
+//   --fleet-window W  in-flight calls per replica       (default 2)
+//   --fleet-delay-us U  replica micro-batch flush delay (default 12000)
+//   --kill-replica    kill + restart a replica mid-run (fleet mode)
+//   --swap-mid-run    hot-swap fp32 -> int8 mid-run    (fleet mode)
 //   --json            machine-readable report on stdout
 //
 // Env: WM_BENCH_SCALE scales --requests like the other benches.
@@ -50,9 +76,14 @@
 #include "common/rng.hpp"
 #include "common/stopwatch.hpp"
 #include "net/client.hpp"
+#include "net/router.hpp"
 #include "net/server.hpp"
-#include "selective/predictor.hpp"
+#include "obs/http_exporter.hpp"
+#include "obs/metrics.hpp"
+#include "selective/load_classifier.hpp"
+#include "selective/quant_net.hpp"
 #include "selective/selective_net.hpp"
+#include "serve/hot_swap.hpp"
 #include "serve/inference_engine.hpp"
 #include "wafermap/synth/generator.hpp"
 
@@ -321,6 +352,208 @@ RunResult run_remote_open(const std::string& host, int port,
   return r;
 }
 
+/// One in-process serving replica for fleet mode: its own registry, a
+/// hot-swap wrapper, a micro-batching engine, a TCP server, and a /healthz
+/// exporter. down()/up() model a crash + restart on the same wire port (the
+/// exporter stays alive and reports unhealthy while the replica is down, so
+/// the router's prober sees an honest 503 instead of a vanished endpoint).
+class FleetReplica {
+ public:
+  FleetReplica(std::shared_ptr<const Classifier> initial, int max_delay_us)
+      : swap_(std::move(initial), {.registry = &registry_}),
+        max_delay_us_(max_delay_us) {
+    up();
+    wire_port_ = server_->port();
+    exporter_ = std::make_unique<obs::HttpExporter>(obs::HttpExporterOptions{
+        .registry = &registry_,
+        .healthy = [this] { return serving_.load(); }});
+  }
+
+  ~FleetReplica() { down(); }
+
+  FleetReplica(const FleetReplica&) = delete;
+  FleetReplica& operator=(const FleetReplica&) = delete;
+
+  /// (Re)starts the engine + server; rebinds the original wire port after
+  /// the first call. The SwappableClassifier survives restarts, so a model
+  /// promoted while the replica was down serves as soon as it is back.
+  void up() {
+    if (serving_.load()) return;
+    engine_ = std::make_unique<serve::InferenceEngine>(
+        swap_, serve::EngineOptions{.max_batch = 32,
+                                    .max_delay_us = max_delay_us_,
+                                    .queue_capacity = 256,
+                                    .registry = &registry_});
+    server_ = std::make_unique<net::Server>(
+        *engine_, net::ServerOptions{.port = wire_port_, .workers = 1});
+    serving_.store(true);
+  }
+
+  /// Kills the replica: connections drop, in-flight calls fail over at the
+  /// router, /healthz flips to 503.
+  void down() {
+    serving_.store(false);
+    if (server_ != nullptr) {
+      server_->stop();
+      server_.reset();
+    }
+    if (engine_ != nullptr) {
+      engine_->shutdown();
+      engine_.reset();
+    }
+  }
+
+  void swap_model(std::shared_ptr<const Classifier> candidate,
+                  std::span<const WaferMap> canaries,
+                  const std::string& label) {
+    (void)swap_.swap_to(std::move(candidate), canaries, label);
+  }
+
+  int wire_port() const { return wire_port_; }
+  int health_port() const { return exporter_->port(); }
+  std::uint64_t model_version() const { return swap_.version(); }
+  std::uint64_t model_swaps() const { return swap_.swaps(); }
+
+ private:
+  obs::Registry registry_;
+  serve::SwappableClassifier swap_;
+  int max_delay_us_;
+  int wire_port_ = 0;  // 0 only before the first up()
+  std::atomic<bool> serving_{false};
+  std::unique_ptr<serve::InferenceEngine> engine_;
+  std::unique_ptr<net::Server> server_;
+  std::unique_ptr<obs::HttpExporter> exporter_;
+};
+
+/// Mid-run chaos for the fleet-closed run, keyed off completed-request
+/// progress: kill the last replica at 1/3, hot-swap every replica's model at
+/// 1/2, restart the killed replica at 2/3.
+struct FleetChaos {
+  std::vector<std::unique_ptr<FleetReplica>>* replicas = nullptr;
+  bool kill_replica = false;
+  bool swap_mid_run = false;
+  std::shared_ptr<const Classifier> candidate;  // int8 promotion target
+  std::vector<WaferMap> canaries;
+};
+
+/// Closed loop through the router: `threads` drivers, each keeping `window`
+/// async calls in flight — the fleet analogue of closed_loop_conn.
+RunResult run_fleet(net::Router& router, const std::vector<WaferMap>& stream,
+                    int threads, int window, std::size_t total,
+                    const std::string& mode, FleetChaos* chaos) {
+  RunResult r;
+  r.mode = mode;
+  r.connections = threads;
+  r.window = window;
+  const std::size_t per_thread = total / static_cast<std::size_t>(threads);
+  r.requests = per_thread * static_cast<std::size_t>(threads);
+
+  std::vector<std::vector<std::int64_t>> lat(static_cast<std::size_t>(threads));
+  std::vector<std::map<net::Status, std::size_t>> statuses(
+      static_cast<std::size_t>(threads));
+  std::atomic<std::size_t> done{0};
+
+  Stopwatch watch;
+  std::vector<std::thread> pool;
+  for (int t = 0; t < threads; ++t) {
+    pool.emplace_back([&, t] {
+      auto& l = lat[static_cast<std::size_t>(t)];
+      auto& st = statuses[static_cast<std::size_t>(t)];
+      std::deque<std::pair<Clock::time_point, std::future<net::CallResult>>>
+          inflight;
+      auto drain_front = [&] {
+        auto& [sent, fut] = inflight.front();
+        const net::CallResult res = fut.get();
+        l.push_back(std::chrono::duration_cast<std::chrono::microseconds>(
+                        Clock::now() - sent)
+                        .count());
+        ++st[res.status];
+        inflight.pop_front();
+        done.fetch_add(1, std::memory_order_relaxed);
+      };
+      for (std::size_t i = 0; i < per_thread; ++i) {
+        if (inflight.size() >= static_cast<std::size_t>(window)) drain_front();
+        inflight.emplace_back(
+            Clock::now(),
+            router.predict_async(
+                stream[(static_cast<std::size_t>(t) * per_thread + i) %
+                       stream.size()]));
+        while (!inflight.empty() &&
+               inflight.front().second.wait_for(std::chrono::seconds(0)) ==
+                   std::future_status::ready) {
+          drain_front();
+        }
+      }
+      while (!inflight.empty()) drain_front();
+    });
+  }
+
+  std::thread chaos_thread;
+  if (chaos != nullptr && (chaos->kill_replica || chaos->swap_mid_run)) {
+    chaos_thread = std::thread([&, chaos] {
+      const std::size_t kill_at = r.requests / 3;
+      const std::size_t swap_at = r.requests / 2;
+      const std::size_t restart_at = 2 * r.requests / 3;
+      bool killed = false, swapped = false, restarted = false;
+      auto& replicas = *chaos->replicas;
+      while (done.load() < r.requests) {
+        const std::size_t d = done.load();
+        if (chaos->kill_replica && !killed && d >= kill_at) {
+          replicas.back()->down();
+          killed = true;
+        }
+        if (chaos->swap_mid_run && !swapped && d >= swap_at) {
+          for (auto& rep : replicas) {
+            try {
+              rep->swap_model(chaos->candidate, chaos->canaries, "int8");
+            } catch (const std::exception& e) {
+              std::fprintf(stderr, "loadgen: mid-run swap failed: %s\n",
+                           e.what());
+            }
+          }
+          swapped = true;
+        }
+        if (chaos->kill_replica && !restarted && d >= restart_at) {
+          replicas.back()->up();
+          restarted = true;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+      // A fast run can drain before the restart threshold fires: never leave
+      // the fleet with a dead replica (the next run would inherit it).
+      if (killed && !restarted) replicas.back()->up();
+    });
+  }
+
+  for (auto& th : pool) th.join();
+  r.wall_s = watch.seconds();
+  if (chaos_thread.joinable()) chaos_thread.join();
+
+  for (auto& m : statuses) {
+    for (const auto& [status, n] : m) {
+      for (std::size_t i = 0; i < n; ++i) count_status(r, status);
+    }
+  }
+  std::vector<std::int64_t> all;
+  for (auto& v : lat) all.insert(all.end(), v.begin(), v.end());
+  finish(r, all);
+  return r;
+}
+
+/// Fleet headline block for the JSON report.
+struct FleetReport {
+  int fleet = 0;
+  double single_rps = 0.0;
+  double closed_rps = 0.0;
+  double ratio = 0.0;  // closed_rps / single_rps
+  bool kill_replica = false;
+  bool swap_mid_run = false;
+  std::uint64_t retries = 0;
+  std::uint64_t no_replica = 0;
+  std::uint64_t model_swaps = 0;  // sum over replicas
+  std::vector<net::Router::ReplicaStats> replicas;
+};
+
 void print_row(const RunResult& r) {
   std::printf("%-13s c=%-2d w=%-2d %6zu req  %6.2f s  %8.1f req/s  "
               "ok %zu shed %zu timeout %zu err %zu  p50/p95/p99 "
@@ -333,10 +566,46 @@ void print_row(const RunResult& r) {
 }
 
 void print_json(const std::vector<RunResult>& rows, int map_size,
-                double ratio) {
+                double ratio, const FleetReport* fleet) {
   std::printf("{\n  \"bench\": \"bench_net\",\n");
   std::printf("  \"map_size\": %d,\n", map_size);
   std::printf("  \"remote_vs_engine_ratio\": %.3f,\n", ratio);
+  if (fleet != nullptr) {
+    std::printf("  \"fleet\": %d,\n", fleet->fleet);
+    std::printf("  \"fleet_single_rps\": %.2f,\n", fleet->single_rps);
+    std::printf("  \"fleet_closed_rps\": %.2f,\n", fleet->closed_rps);
+    std::printf("  \"fleet_vs_single_ratio\": %.3f,\n", fleet->ratio);
+    std::printf("  \"fleet_kill_replica\": %s,\n",
+                fleet->kill_replica ? "true" : "false");
+    std::printf("  \"fleet_swap_mid_run\": %s,\n",
+                fleet->swap_mid_run ? "true" : "false");
+    std::printf("  \"fleet_retries\": %llu,\n",
+                static_cast<unsigned long long>(fleet->retries));
+    std::printf("  \"fleet_no_replica\": %llu,\n",
+                static_cast<unsigned long long>(fleet->no_replica));
+    std::printf("  \"fleet_model_swaps\": %llu,\n",
+                static_cast<unsigned long long>(fleet->model_swaps));
+    std::printf("  \"fleet_replicas\": [\n");
+    for (std::size_t i = 0; i < fleet->replicas.size(); ++i) {
+      const auto& rep = fleet->replicas[i];
+      std::printf(
+          "    {\"index\": %d, \"port\": %d, \"healthy\": %s, "
+          "\"dispatched\": %llu, \"ok\": %llu, \"transport_errors\": %llu, "
+          "\"ejects\": %llu, \"rejoins\": %llu, "
+          "\"p50_us\": %lld, \"p95_us\": %lld, \"p99_us\": %lld}%s\n",
+          rep.index, rep.port, rep.healthy ? "true" : "false",
+          static_cast<unsigned long long>(rep.dispatched),
+          static_cast<unsigned long long>(rep.ok),
+          static_cast<unsigned long long>(rep.transport_errors),
+          static_cast<unsigned long long>(rep.ejects),
+          static_cast<unsigned long long>(rep.rejoins),
+          static_cast<long long>(rep.latency.quantile(0.50)),
+          static_cast<long long>(rep.latency.quantile(0.95)),
+          static_cast<long long>(rep.latency.quantile(0.99)),
+          i + 1 < fleet->replicas.size() ? "," : "");
+    }
+    std::printf("  ],\n");
+  }
   std::printf("  \"runs\": [\n");
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const RunResult& r = rows[i];
@@ -398,13 +667,20 @@ int main(int argc, char** argv) {
                        bench_scale())));
   const std::string ext_host = get_flag_s(argc, argv, "--host", "127.0.0.1");
   const int ext_port = get_flag(argc, argv, "--port", 0);
+  const int fleet = std::max(0, get_flag(argc, argv, "--fleet", 0));
+  const int fleet_window = std::max(1, get_flag(argc, argv, "--fleet-window",
+                                                2));
+  const int fleet_delay_us =
+      std::max(0, get_flag(argc, argv, "--fleet-delay-us", 12000));
+  const bool kill_replica = has_flag(argc, argv, "--kill-replica");
+  const bool swap_mid_run = has_flag(argc, argv, "--swap-mid-run");
 
   try {
     const auto stream = make_stream(map_size, 256);
 
     // The in-process stack (skipped when --port targets an external server).
     std::unique_ptr<selective::SelectiveNet> net_model;
-    std::unique_ptr<selective::SelectivePredictor> predictor;
+    std::unique_ptr<LoadedClassifier> classifier;
     std::unique_ptr<serve::InferenceEngine> engine;
     std::unique_ptr<net::Server> server;
     int port = ext_port;
@@ -415,10 +691,9 @@ int main(int argc, char** argv) {
                                          .num_classes = kNumDefectTypes,
                                          .use_batchnorm = true},
           rng);
-      predictor = std::make_unique<selective::SelectivePredictor>(*net_model,
-                                                                  0.5f);
+      classifier = load_classifier(*net_model, {.threshold = 0.5f});
       engine = std::make_unique<serve::InferenceEngine>(
-          *predictor,
+          *classifier,
           serve::EngineOptions{
               .max_batch = std::max(8, connections * window),
               .max_delay_us = 1000,
@@ -427,7 +702,7 @@ int main(int argc, char** argv) {
       server = std::make_unique<net::Server>(
           *engine, net::ServerOptions{.workers = workers});
       port = server->port();
-      predictor->predict_one(stream[0]);  // warm up allocators and the pool
+      classifier->predict_one(stream[0]);  // warm up allocators and the pool
     }
 
     if (!json) {
@@ -458,17 +733,100 @@ int main(int argc, char** argv) {
       if (!json) print_row(rows.back());
     }
 
-    const double ratio = engine_rps > 0.0 ? remote_rps / engine_rps : 0.0;
-    if (json) {
-      print_json(rows, map_size, ratio);
-    } else if (engine_rps > 0.0) {
-      std::printf("\nremote closed-loop vs in-process engine: %.1f%% of "
-                  "%.1f req/s\n",
-                  100.0 * ratio, engine_rps);
-    }
-
+    // The single-server runs are done; free its stack before standing up
+    // the fleet so the replicas have the machine to themselves.
     if (server != nullptr) server->stop();
     if (engine != nullptr) engine->shutdown();
+    server.reset();
+    engine.reset();
+
+    FleetReport freport;
+    if (fleet > 0 && ext_port != 0) {
+      std::fprintf(stderr,
+                   "loadgen: --fleet needs the in-process stack; "
+                   "ignoring it with an external --port\n");
+    } else if (fleet > 0) {
+      // Every replica gets its own serving stack; they share the fp32 net
+      // (and, for --swap-mid-run, its int8 quantization) behind the unified
+      // classifier factory.
+      std::unique_ptr<selective::QuantizedSelectiveNet> qnet;
+      FleetChaos chaos{.kill_replica = kill_replica && fleet > 1,
+                       .swap_mid_run = swap_mid_run};
+      if (swap_mid_run) {
+        qnet = std::make_unique<selective::QuantizedSelectiveNet>(
+            selective::quantize_selective_net(*net_model));
+        chaos.candidate =
+            std::shared_ptr<const Classifier>(load_classifier(*qnet));
+        chaos.canaries = std::vector<WaferMap>(stream.begin(),
+                                               stream.begin() + 4);
+      }
+      std::vector<std::unique_ptr<FleetReplica>> replicas;
+      for (int i = 0; i < fleet; ++i) {
+        replicas.push_back(std::make_unique<FleetReplica>(
+            std::shared_ptr<const Classifier>(load_classifier(*net_model)),
+            fleet_delay_us));
+      }
+      chaos.replicas = &replicas;
+
+      // Baseline: the router in front of one replica at the per-replica
+      // closed-loop concurrency...
+      net::RouterOptions sopts;
+      sopts.replicas = {{.port = replicas[0]->wire_port(),
+                         .health_port = replicas[0]->health_port()}};
+      {
+        net::Router single(sopts);
+        rows.push_back(run_fleet(single, stream, 1, fleet_window, total,
+                                 "fleet-single", nullptr));
+        freport.single_rps = rows.back().throughput_rps;
+        if (!json) print_row(rows.back());
+      }
+
+      // ...then the whole fleet at M x that offered load. Chaos (kill /
+      // swap) only runs here — failover is a fleet property.
+      net::RouterOptions fopts;
+      for (auto& rep : replicas) {
+        fopts.replicas.push_back({.port = rep->wire_port(),
+                                  .health_port = rep->health_port()});
+      }
+      net::Router frouter(fopts);
+      rows.push_back(run_fleet(frouter, stream, fleet, fleet_window, total,
+                               "fleet-closed", &chaos));
+      freport.closed_rps = rows.back().throughput_rps;
+      if (!json) print_row(rows.back());
+
+      freport.fleet = fleet;
+      freport.ratio = freport.single_rps > 0.0
+                          ? freport.closed_rps / freport.single_rps
+                          : 0.0;
+      freport.kill_replica = chaos.kill_replica;
+      freport.swap_mid_run = chaos.swap_mid_run;
+      freport.retries = frouter.retries();
+      freport.no_replica = frouter.no_replica();
+      freport.replicas = frouter.stats();
+      for (auto& rep : replicas) freport.model_swaps += rep->model_swaps();
+      frouter.close();
+    }
+
+    const double ratio = engine_rps > 0.0 ? remote_rps / engine_rps : 0.0;
+    if (json) {
+      print_json(rows, map_size, ratio, freport.fleet > 0 ? &freport
+                                                          : nullptr);
+    } else {
+      if (engine_rps > 0.0) {
+        std::printf("\nremote closed-loop vs in-process engine: %.1f%% of "
+                    "%.1f req/s\n",
+                    100.0 * ratio, engine_rps);
+      }
+      if (freport.fleet > 0) {
+        std::printf("fleet(%d) vs single replica: %.2fx (%.1f vs %.1f "
+                    "req/s), retries %llu, no_replica %llu, swaps %llu\n",
+                    freport.fleet, freport.ratio, freport.closed_rps,
+                    freport.single_rps,
+                    static_cast<unsigned long long>(freport.retries),
+                    static_cast<unsigned long long>(freport.no_replica),
+                    static_cast<unsigned long long>(freport.model_swaps));
+      }
+    }
     return 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "loadgen error: %s\n", e.what());

@@ -69,7 +69,15 @@ else
 fi
 
 if [[ -x "${loadgen}" ]]; then
-  "${loadgen}" --json >"${net_out}"
+  # --fleet 3 adds the horizontal-serving runs. BENCH_net.json then carries,
+  # beyond the single-server fields: "fleet" (replica count),
+  # "fleet_single_rps" / "fleet_closed_rps" (router throughput over 1 vs all
+  # 3 replicas at the same per-replica offered load),
+  # "fleet_vs_single_ratio" (the gated headline, >= 2.5x expected),
+  # "fleet_retries" / "fleet_no_replica" / "fleet_model_swaps" (failover +
+  # hot-swap counters), and "fleet_replicas" (per-replica dispatched/ok/
+  # eject/rejoin counts and p50/p95/p99 latency).
+  "${loadgen}" --json --fleet 3 >"${net_out}"
   echo "wrote ${net_out}"
 else
   echo "warning: ${loadgen} not found; skipping ${net_out}" >&2

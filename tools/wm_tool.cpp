@@ -32,11 +32,24 @@
 //
 //   wm_tool serve --model FILE [--port P] [--threshold T] [--max-batch N]
 //                 [--max-delay-us U] [--workers W] [--seconds S]
+//                 [--model-watch [MS]]
 //       Serve a trained model over the wm_net TCP wire protocol through the
 //       micro-batching engine (drive it with tools/loadgen or net::Client).
-//       --port falls back to the WM_SERVE_PORT env var, then to an
-//       ephemeral port; the accept backlog honours WM_SERVE_BACKLOG. Runs
-//       until SIGINT/SIGTERM, or exits on its own after --seconds S.
+//       Every knob resolves through serve::ServerConfig with one precedence
+//       rule — explicit flag > WM_SERVE_* env var > default — so --port
+//       falls back to WM_SERVE_PORT then an ephemeral port, the backlog to
+//       WM_SERVE_BACKLOG, batching to WM_SERVE_MAX_BATCH /
+//       WM_SERVE_MAX_DELAY_US / WM_SERVE_QUEUE_CAPACITY. Runs until
+//       SIGINT/SIGTERM, or exits on its own after --seconds S.
+//
+//       --model-watch polls the model file's mtime (every MS milliseconds,
+//       default 2000) and hot-swaps new weights in with zero downtime: the
+//       candidate is loaded beside the incumbent, canary-verified
+//       (bit-match, serve::SwappableClassifier), and promoted atomically on
+//       a batch boundary. The wm_serve_model_version gauge tracks the
+//       active version; each promotion writes a "model_swap" run-log event.
+//       A failed reload (torn write, bad magic) logs a warning and keeps
+//       the incumbent serving.
 //
 // Observability flags, valid with every subcommand:
 //
@@ -50,6 +63,8 @@
 //                    duration: /metrics, /metrics.json, /healthz. Port 0
 //                    picks an ephemeral port; the WM_HTTP_PORT env var is
 //                    the fallback when the flag is absent.
+#include <sys/stat.h>
+
 #include <atomic>
 #include <chrono>
 #include <csignal>
@@ -63,6 +78,7 @@
 
 #include "augment/augmentor.hpp"
 #include "common/error.hpp"
+#include "common/logging.hpp"
 #include "common/rng.hpp"
 #include "eval/metrics.hpp"
 #include "net/server.hpp"
@@ -71,10 +87,12 @@
 #include "obs/run_log.hpp"
 #include "obs/trace.hpp"
 #include "eval/tables.hpp"
+#include "serve/hot_swap.hpp"
 #include "serve/inference_engine.hpp"
 #include "serve/monitor.hpp"
+#include "serve/server_config.hpp"
+#include "selective/load_classifier.hpp"
 #include "selective/model_file.hpp"
-#include "selective/predictor.hpp"
 #include "selective/trainer.hpp"
 #include "wafermap/io_pgm.hpp"
 #include "wafermap/resize.hpp"
@@ -180,14 +198,15 @@ int cmd_train(const Args& args) {
 }
 
 int cmd_evaluate(const Args& args) {
-  const auto model = selective::load_model_auto(
-      args.get("model"), static_cast<float>(args.get_double("threshold", 0.5)));
-  if (model.is_quantized()) {
+  const auto model = load_classifier(
+      args.get("model"),
+      {.threshold = static_cast<float>(args.get_double("threshold", 0.5))});
+  if (model->is_quantized()) {
     std::printf("quantized model (int8 inference fast path)\n");
   }
   const Dataset data = load_wafer_directory(
-      args.get("data"), {.target_size = model.map_size});
-  const auto preds = predict_dataset(*model.predictor, data);
+      args.get("data"), {.target_size = model->map_size()});
+  const auto preds = predict_dataset(*model, data);
   std::vector<int> labels;
   for (std::size_t i = 0; i < data.size(); ++i) {
     labels.push_back(static_cast<int>(data[i].label));
@@ -221,13 +240,14 @@ int cmd_evaluate(const Args& args) {
 }
 
 int cmd_classify(const Args& args) {
-  const auto model = selective::load_model_auto(
-      args.get("model"), static_cast<float>(args.get_double("threshold", 0.5)));
+  const auto model = load_classifier(
+      args.get("model"),
+      {.threshold = static_cast<float>(args.get_double("threshold", 0.5))});
   WaferMap map = read_pgm(args.get("wafer"));
-  if (map.size() != model.map_size) {
-    map = resize_map(map, model.map_size);
+  if (map.size() != model->map_size()) {
+    map = resize_map(map, model->map_size());
   }
-  const auto p = model.predictor->predict_one(map);
+  const auto p = model->predict_one(map);
   if (p.selected) {
     std::printf("%s (g=%.3f, confidence=%.3f)\n",
                 to_string(defect_type_from_index(p.label)).c_str(), p.g,
@@ -244,39 +264,82 @@ std::atomic<bool> g_serve_stop{false};
 
 void serve_signal_handler(int) { g_serve_stop.store(true); }
 
+/// Deterministic canary wafers for hot-swap verification: a handful of
+/// distinct fail patterns at the model's expected edge size.
+std::vector<WaferMap> swap_canaries(int map_size) {
+  std::vector<WaferMap> maps;
+  for (int i = 0; i < 4; ++i) {
+    WaferMap map(map_size);
+    int fails = (i + 1) * map_size / 2;
+    for (int r = 0; r < map_size && fails > 0; ++r) {
+      for (int c = 0; c < map_size && fails > 0; ++c) {
+        if (!map.on_wafer(r, c)) continue;
+        if ((r + c + i) % 3 == 0) {
+          map.mark_fail(r, c);
+          --fails;
+        }
+      }
+    }
+    maps.push_back(std::move(map));
+  }
+  return maps;
+}
+
+/// The model file's mtime, or 0 when unreadable.
+std::int64_t model_mtime(const std::string& path) {
+  struct stat st{};
+  if (::stat(path.c_str(), &st) != 0) return 0;
+  return static_cast<std::int64_t>(st.st_mtime);
+}
+
 int cmd_serve(const Args& args) {
-  const auto model = selective::load_model_auto(
-      args.get("model"), static_cast<float>(args.get_double("threshold", 0.5)));
+  const std::string model_path = args.get("model");
+  const float threshold =
+      static_cast<float>(args.get_double("threshold", 0.5));
+  std::shared_ptr<const LoadedClassifier> model =
+      load_classifier(model_path, {.threshold = threshold});
+  const int map_size = model->map_size();
+
+  // One aggregated config: explicit flags beat WM_SERVE_* / WM_HTTP_* env
+  // vars beat defaults (serve::ServerConfig).
+  serve::ServerConfig cfg;
+  if (args.has("port")) cfg.port = args.get_int("port", 0);
+  if (args.has("workers")) cfg.workers = args.get_int("workers", 2);
+  if (args.has("max-batch")) cfg.max_batch = args.get_int("max-batch", 32);
+  if (args.has("max-delay-us")) {
+    cfg.max_delay_us = args.get_int("max-delay-us", 2000);
+  }
+  if (args.has("queue-capacity")) {
+    cfg.queue_capacity =
+        static_cast<std::size_t>(args.get_int("queue-capacity", 256));
+  }
 
   serve::MonitorOptions mopts;
   mopts.target_coverage = args.get_double("c0", 0.5);
   mopts.registry = &obs::Registry::global();
   serve::SelectiveMonitor monitor(mopts);
 
+  // Hot-swap wrapper between the engine and the model so --model-watch can
+  // promote new weights with zero downtime.
+  serve::SwappableClassifier swappable(
+      model, {.registry = &obs::Registry::global(), .name = model_path});
   serve::InferenceEngine engine(
-      *model.predictor,
-      {.max_batch = args.get_int("max-batch", 32),
-       .max_delay_us = args.get_int("max-delay-us", 2000),
-       .queue_capacity =
-           static_cast<std::size_t>(args.get_int("queue-capacity", 256)),
-       .registry = &obs::Registry::global(),
-       .monitor = &monitor});
-
-  net::ServerOptions sopts;
-  if (args.has("port")) {
-    sopts.port = args.get_int("port", 0);
-  } else {
-    sopts.port = net::Server::port_from_env().value_or(0);
-  }
-  sopts.backlog = net::Server::backlog_from_env().value_or(sopts.backlog);
-  sopts.workers = args.get_int("workers", 2);
-  net::Server server(engine, sopts);
+      swappable, cfg.engine_options(&obs::Registry::global(), &monitor));
+  net::Server server(engine, cfg.server_options(&obs::Registry::global()));
   std::printf("serving %s%s on tcp://127.0.0.1:%d "
-              "(map %d, tau %.2f, %d workers)\n",
-              args.get("model").c_str(),
-              model.is_quantized() ? " [int8]" : "", server.port(),
-              model.map_size, args.get_double("threshold", 0.5),
-              sopts.workers);
+              "(map %d, tau %.2f, %d workers, version %llu)\n",
+              model_path.c_str(), model->is_quantized() ? " [int8]" : "",
+              server.port(), map_size, threshold, cfg.resolve().workers,
+              static_cast<unsigned long long>(swappable.version()));
+
+  const bool watch = args.has("model-watch");
+  const int watch_ms =
+      args.get("model-watch", "true") == "true"
+          ? 2000
+          : std::max(100, args.get_int("model-watch", 2000));
+  std::int64_t last_mtime = model_mtime(model_path);
+  const std::vector<WaferMap> canaries = swap_canaries(map_size);
+  auto last_check = std::chrono::steady_clock::now();
 
   g_serve_stop.store(false);
   std::signal(SIGINT, serve_signal_handler);
@@ -287,6 +350,29 @@ int cmd_serve(const Args& args) {
   while (!g_serve_stop.load()) {
     if (seconds > 0 && std::chrono::steady_clock::now() >= deadline) break;
     std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+    if (!watch) continue;
+    const auto now = std::chrono::steady_clock::now();
+    if (now - last_check < std::chrono::milliseconds(watch_ms)) continue;
+    last_check = now;
+    const std::int64_t mtime = model_mtime(model_path);
+    if (mtime == 0 || mtime == last_mtime) continue;
+    try {
+      std::shared_ptr<const LoadedClassifier> candidate =
+          load_classifier(model_path, {.threshold = threshold});
+      WM_CHECK(candidate->map_size() == map_size,
+               "model-watch: new weights expect map size ",
+               candidate->map_size(), ", serving ", map_size);
+      swappable.swap_to(candidate, canaries, model_path);
+      std::printf("hot-swapped %s%s -> version %llu\n", model_path.c_str(),
+                  candidate->is_quantized() ? " [int8]" : "",
+                  static_cast<unsigned long long>(swappable.version()));
+      last_mtime = mtime;
+    } catch (const std::exception& e) {
+      // Torn write or bad candidate: keep the incumbent, retry next tick.
+      log_warn("model-watch: reload failed, keeping version ",
+               swappable.version(), ": ", e.what());
+    }
   }
 
   std::printf("draining: %llu received, %llu answered so far\n",
