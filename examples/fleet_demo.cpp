@@ -20,20 +20,32 @@
 //                 the wm_serve_model_version gauge flips to 2 on every
 //                 replica, and post-swap router responses bit-match the
 //                 canary predictions swap_to returned (blue/green
-//                 verification end-to-end through the wire).
+//                 verification end-to-end through the wire);
+//   5  tracing    a sampled request through the router leaves one span per
+//                 role — router.request, client.call, server.request,
+//                 engine.compute — all tagged with the same trace id and
+//                 linked by one 's' -> 't'... -> 'f' flow chain in the
+//                 exported Perfetto JSON, and fresh trace ids never
+//                 collide.
 #include <chrono>
 #include <cstdio>
+#include <fstream>
 #include <future>
 #include <memory>
+#include <set>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/minijson.hpp"
 #include "common/rng.hpp"
 #include "net/router.hpp"
 #include "net/server.hpp"
 #include "obs/http_exporter.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "obs/trace_context.hpp"
 #include "selective/calibrate.hpp"
 #include "selective/load_classifier.hpp"
 #include "selective/quant_net.hpp"
@@ -57,8 +69,9 @@ bool check(bool ok, const char* what) {
 /// endpoint.
 class Replica {
  public:
-  explicit Replica(std::shared_ptr<const Classifier> initial)
-      : swap_(std::move(initial), {.registry = &registry_}) {
+  Replica(std::shared_ptr<const Classifier> initial, std::string name)
+      : name_(std::move(name)), swap_(std::move(initial),
+                                      {.registry = &registry_}) {
     up();
     wire_port_ = server_->port();
     exporter_ = std::make_unique<obs::HttpExporter>(obs::HttpExporterOptions{
@@ -74,7 +87,8 @@ class Replica {
                                     .queue_capacity = 256,
                                     .registry = &registry_});
     server_ = std::make_unique<net::Server>(
-        *engine_, net::ServerOptions{.port = wire_port_, .workers = 1});
+        *engine_, net::ServerOptions{.port = wire_port_, .workers = 1,
+                                     .name = name_});
     serving_ = true;
   }
 
@@ -102,6 +116,7 @@ class Replica {
   const obs::Registry& registry() const { return registry_; }
 
  private:
+  const std::string name_;
   obs::Registry registry_;
   serve::SwappableClassifier swap_;
   int wire_port_ = 0;
@@ -149,7 +164,8 @@ int main() {
   for (int i = 0; i < 3; ++i) {
     replicas.push_back(std::make_unique<Replica>(
         std::shared_ptr<const Classifier>(
-            load_classifier(net_model, {.threshold = tau}))));
+            load_classifier(net_model, {.threshold = tau})),
+        "replica" + std::to_string(i)));
   }
 
   net::RouterOptions ropts;
@@ -287,6 +303,72 @@ int main() {
     }
     all_ok &= check(canaries_match,
                     "post-swap wire responses bit-match the canary bits");
+  }
+
+  // Scenario 5: one sampled request leaves linked spans in every role.
+  {
+    std::printf("scenario 5: end-to-end distributed tracing\n");
+    obs::set_trace_enabled(true);
+    obs::set_trace_process_name("fleet_demo");
+
+    const obs::TraceContext ctx = obs::start_trace();
+    const obs::TraceContext other = obs::start_trace();
+    all_ok &= check(ctx.trace_id != 0 && other.trace_id != 0 &&
+                        ctx.trace_id != other.trace_id,
+                    "fresh trace ids are non-zero and unique");
+
+    const net::CallResult traced =
+        router.predict_async(traffic[0], 0, ctx).get();
+    const net::CallResult second =
+        router.predict_async(traffic[1], 0, other).get();
+    all_ok &= check(traced.ok() && second.ok(), "sampled requests answer OK");
+    all_ok &= check(traced.server.total_us > 0,
+                    "per-stage StageTiming rode back on the response");
+
+    const char* trace_path = "fleet_trace.json";
+    obs::trace_write_json(trace_path);
+    obs::set_trace_enabled(false);
+
+    // Re-read the export and assert the linkage the Perfetto UI would draw:
+    // every role's span tagged with ctx's id, plus exactly one s/f pair
+    // bracketing the 't' steps of the flow chain.
+    std::ifstream in(trace_path);
+    std::stringstream buf;
+    buf << in.rdbuf();
+    const minijson::Value doc = minijson::parse(buf.str());
+
+    char want[24];
+    std::snprintf(want, sizeof(want), "0x%llx",
+                  static_cast<unsigned long long>(ctx.trace_id));
+    std::set<std::string> roles;
+    std::size_t flow_s = 0, flow_t = 0, flow_f = 0;
+    for (const minijson::Value& ev : doc.at("traceEvents").arr()) {
+      if (!ev.is_object() || !ev.has("ph")) continue;
+      const std::string& ph = ev.at("ph").str();
+      if (ph == "X" && ev.has("args") && ev.at("args").has("trace_id") &&
+          ev.at("args").at("trace_id").str() == want) {
+        roles.insert(ev.at("name").str());
+      } else if ((ph == "s" || ph == "t" || ph == "f") &&
+                 ev.at("id").str() == want) {
+        if (ph == "s") ++flow_s;
+        if (ph == "t") ++flow_t;
+        if (ph == "f") ++flow_f;
+      }
+    }
+    all_ok &= check(roles.count("router.request") == 1,
+                    "router.request span carries the trace id");
+    all_ok &= check(roles.count("client.call") == 1,
+                    "client.call span carries the trace id");
+    all_ok &= check(roles.count("server.request") == 1,
+                    "server.request span carries the trace id");
+    all_ok &= check(roles.count("engine.compute") == 1,
+                    "engine.compute span carries the trace id");
+    all_ok &= check(flow_s == 1 && flow_f == 1,
+                    "exactly one s/f pair brackets the flow chain");
+    all_ok &= check(flow_t >= 2, "intermediate hops contribute 't' steps");
+    std::printf("  wrote %s: %zu roles, flow chain s=%zu t=%zu f=%zu "
+                "(open in https://ui.perfetto.dev)\n",
+                trace_path, roles.size(), flow_s, flow_t, flow_f);
   }
 
   router.close();

@@ -11,6 +11,7 @@
 
 #include "common/error.hpp"
 #include "common/logging.hpp"
+#include "obs/trace.hpp"
 
 namespace wm::net {
 
@@ -30,6 +31,11 @@ Client::Client(const ClientOptions& opts)
            "max_connect_attempts must be positive");
   WM_CHECK(opts_.backoff_jitter >= 0.0 && opts_.backoff_jitter < 1.0,
            "backoff_jitter must be in [0, 1)");
+  if (opts_.registry != nullptr) {
+    e2e_hist_ = &opts_.registry->histogram(
+        "wm_stage_client_e2e_us", obs::Histogram::latency_bounds_us(), "us",
+        "client call enqueue-to-completion latency (all statuses)");
+  }
   io_ = std::thread([this] { io_loop(); });
 }
 
@@ -37,21 +43,30 @@ Client::~Client() { close(); }
 
 std::future<CallResult> Client::predict_async(const WaferMap& map,
                                               std::uint32_t deadline_ms) {
-  std::promise<CallResult> promise;
-  std::future<CallResult> fut = promise.get_future();
+  return predict_async(map, deadline_ms, obs::TraceContext{});
+}
+
+std::future<CallResult> Client::predict_async(const WaferMap& map,
+                                              std::uint32_t deadline_ms,
+                                              obs::TraceContext trace) {
+  PendingCall pc;
+  pc.enqueue_ns = obs::trace_clock_ns();
+  pc.trace = trace;
+  std::future<CallResult> fut = pc.promise.get_future();
 
   RequestFrame req;
   req.deadline_ms = deadline_ms;
+  req.trace = trace;
   req.map = map;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     if (stopping_) {
-      promise.set_value(CallResult{Status::kConnectionError, {}});
+      complete_call(pc, CallResult{Status::kConnectionError, {}, {}, 1});
       return fut;
     }
     req.request_id = next_id_++;
     unsent_.push_back(Unsent{req.request_id, encode_request(req)});
-    promises_.emplace(req.request_id, std::move(promise));
+    promises_.emplace(req.request_id, std::move(pc));
   }
   wake_.wake();
   return fut;
@@ -78,6 +93,7 @@ std::size_t Client::inflight() const {
 }
 
 void Client::io_loop() {
+  obs::set_trace_thread_label(opts_.name + ".io");
   for (;;) {
     bool have_unsent = false;
     {
@@ -171,7 +187,8 @@ void Client::io_loop() {
       std::lock_guard<std::mutex> lock(mutex_);
       const auto it = promises_.find(resp.request_id);
       if (it != promises_.end()) {
-        it->second.set_value(CallResult{resp.status, resp.prediction});
+        complete_call(it->second,
+                      CallResult{resp.status, resp.prediction, resp.timing, 1});
         promises_.erase(it);
         // A completed round-trip is the real health signal (not a bare
         // accept): only now does the reconnect escalation reset.
@@ -256,18 +273,42 @@ void Client::disconnect_locked() {
     if (unsent_ids.count(it->first) != 0) {
       ++it;
     } else {
-      it->second.set_value(CallResult{Status::kConnectionError, {}});
+      complete_call(it->second, CallResult{Status::kConnectionError, {}, {}, 1});
       it = promises_.erase(it);
     }
   }
 }
 
 void Client::fail_all_locked(Status status) {
-  for (auto& [id, promise] : promises_) {
-    promise.set_value(CallResult{status, {}});
+  for (auto& [id, pc] : promises_) {
+    complete_call(pc, CallResult{status, {}, {}, 1});
   }
   promises_.clear();
   unsent_.clear();
+}
+
+void Client::complete_call(PendingCall& pc, CallResult result) {
+  const std::int64_t done_ns = obs::trace_clock_ns();
+  if (e2e_hist_ != nullptr) {
+    e2e_hist_->record(std::max<std::int64_t>(0, done_ns - pc.enqueue_ns) /
+                      1000);
+  }
+  if (pc.trace.active()) {
+    // The span is emitted whole at completion, so every path — response,
+    // disconnect, give-up, close() — closes it. An origin client
+    // (parent_span == 0) brackets the whole flow chain with the unique
+    // 's'/'f' pair; a mid-chain client (e.g. a router's per-replica
+    // client) contributes a 't' step instead.
+    obs::trace_span_at("client.call", pc.enqueue_ns, done_ns,
+                       pc.trace.trace_id);
+    if (pc.trace.parent_span == 0) {
+      obs::trace_flow('s', pc.trace.trace_id, pc.enqueue_ns);
+      obs::trace_flow('f', pc.trace.trace_id, done_ns);
+    } else {
+      obs::trace_flow('t', pc.trace.trace_id, (pc.enqueue_ns + done_ns) / 2);
+    }
+  }
+  pc.promise.set_value(result);
 }
 
 bool Client::backoff_sleep(int ms) {

@@ -32,6 +32,15 @@
 // and immediately drops connections therefore still sees escalating delays
 // instead of a tight accept-disconnect loop at backoff_initial_ms
 // (current_backoff_ms() exposes the live delay for tests).
+//
+// Distributed tracing: predict_async() takes an optional obs::TraceContext
+// that rides the WMWP v2 request to the server. Sampled calls emit a
+// "client.call" span (enqueue -> completion, tagged with the trace id)
+// bracketing the whole round trip, plus the 's' flow event that starts the
+// request's cross-process arrow chain and the 'f' event that ends it. The
+// span is emitted on EVERY completion path — response, disconnect,
+// connect give-up, close() — so no sampled call ever leaves an open span.
+// Every CallResult carries the server's per-stage StageTiming verbatim.
 #pragma once
 
 #include <atomic>
@@ -47,6 +56,7 @@
 
 #include "net/socket_util.hpp"
 #include "net/wire.hpp"
+#include "obs/metrics.hpp"
 #include "wafermap/wafer_map.hpp"
 
 namespace wm::net {
@@ -66,12 +76,23 @@ struct ClientOptions {
   double backoff_jitter = 0.2;
   /// Seed for the jitter stream (deterministic backoff in tests).
   std::uint64_t backoff_seed = 1;
+  /// Optional home for the wm_stage_client_e2e_us histogram (enqueue to
+  /// completion, all statuses). nullptr = no client-side stage metric.
+  obs::Registry* registry = nullptr;
+  /// Trace track label for the IO thread ("<name>.io").
+  std::string name = "client";
 };
 
 /// Outcome of one remote call.
 struct CallResult {
   Status status = Status::kConnectionError;
   SelectivePrediction prediction{};  // valid only when status == kOk
+  /// Server-side per-stage latency attribution, echoed off the response
+  /// frame (zeros when the call never completed remotely).
+  StageTiming server{};
+  /// Dispatch attempts consumed: 1 for a direct client call; the router
+  /// overwrites this with its failover attempt count.
+  int attempts = 1;
 
   bool ok() const { return status == Status::kOk; }
 };
@@ -89,9 +110,14 @@ class Client {
 
   /// Enqueues one request. deadline_ms > 0 asks the server to answer
   /// TIMEOUT when the engine cannot produce a result within that budget
-  /// (measured from server receipt); 0 = no deadline.
+  /// (measured from server receipt); 0 = no deadline. The traced overload
+  /// attaches a distributed-trace context carried to the server on the
+  /// wire (see the header comment).
   std::future<CallResult> predict_async(const WaferMap& map,
                                         std::uint32_t deadline_ms = 0);
+  std::future<CallResult> predict_async(const WaferMap& map,
+                                        std::uint32_t deadline_ms,
+                                        obs::TraceContext trace);
 
   /// Blocking convenience: predict_async + wait.
   CallResult predict(const WaferMap& map, std::uint32_t deadline_ms = 0);
@@ -124,12 +150,22 @@ class Client {
     std::vector<std::uint8_t> bytes;
   };
 
+  /// One call awaiting its result: the promise plus what the completion
+  /// paths need to close the call's span.
+  struct PendingCall {
+    std::promise<CallResult> promise;
+    std::int64_t enqueue_ns = 0;  // obs::trace_clock_ns() at predict_async
+    obs::TraceContext trace{};
+  };
+
   void io_loop();
   /// Establishes a connection with backoff; returns false when the client
   /// is stopping or every attempt failed (queued calls were failed).
   bool connect_with_backoff();
   void disconnect_locked();  // caller holds mutex_
   void fail_all_locked(Status status);
+  /// Fulfils one call: span + flow + stage histogram + promise.
+  void complete_call(PendingCall& pc, CallResult result);
   /// Interruptible sleep; returns false when woken by close().
   bool backoff_sleep(int ms);
   /// Applies the multiplicative jitter draw to a base delay (IO thread).
@@ -140,7 +176,7 @@ class Client {
   mutable std::mutex mutex_;
   std::condition_variable cv_;  // close() interrupts backoff sleeps
   std::deque<Unsent> unsent_;
-  std::map<std::uint64_t, std::promise<CallResult>> promises_;  // by id
+  std::map<std::uint64_t, PendingCall> promises_;  // by id
   std::uint64_t next_id_ = 1;
   bool stopping_ = false;
 
@@ -156,6 +192,7 @@ class Client {
   bool conn_productive_ = true;
   bool ever_connected_ = false;
   std::uint64_t jitter_state_;
+  obs::Histogram* e2e_hist_ = nullptr;  // set iff opts_.registry != nullptr
 
   WakePipe wake_;
   std::mutex join_mutex_;

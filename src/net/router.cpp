@@ -8,6 +8,8 @@
 
 #include "common/error.hpp"
 #include "common/logging.hpp"
+#include "obs/trace.hpp"
+#include "obs/trace_context.hpp"
 
 namespace wm::net {
 
@@ -74,8 +76,15 @@ Router::Router(const RouterOptions& opts)
       no_replica_total_(metrics_.counter(
           "wm_router_no_replica_total",
           "calls failed because every replica was ejected")),
+      probe_total_(metrics_.counter("wm_router_probe_total",
+                                    "/healthz probes issued")),
+      probe_fail_total_(metrics_.counter("wm_router_probe_fail_total",
+                                         "/healthz probes that failed")),
       healthy_gauge_(metrics_.gauge("wm_router_healthy_replicas",
                                     "replicas currently accepting traffic")),
+      dispatch_hist_(metrics_.histogram(
+          "wm_stage_router_dispatch_us", obs::Histogram::latency_bounds_us(),
+          "us", "router accept to first replica dispatch")),
       p2c_state_(opts.seed != 0 ? opts.seed : 1) {
   WM_CHECK(!opts_.replicas.empty(), "router: no replicas configured");
   WM_CHECK(opts_.eject_threshold >= 1, "router: eject_threshold must be >= 1");
@@ -108,14 +117,22 @@ Router::~Router() { close(); }
 
 std::future<CallResult> Router::predict_async(const WaferMap& map,
                                               std::uint32_t deadline_ms) {
+  return predict_async(map, deadline_ms, obs::TraceContext{});
+}
+
+std::future<CallResult> Router::predict_async(const WaferMap& map,
+                                              std::uint32_t deadline_ms,
+                                              obs::TraceContext trace) {
   auto call = std::make_unique<Call>();
   call->map = map;
   call->deadline_ms = deadline_ms;
+  call->trace = trace;
+  call->submit_ns = obs::trace_clock_ns();
   std::future<CallResult> fut = call->promise.get_future();
   {
     std::lock_guard<std::mutex> lock(mutex_);
     if (stopping_) {
-      call->promise.set_value({.status = Status::kConnectionError});
+      finish_call(*call, {.status = Status::kConnectionError});
       return fut;
     }
     requests_total_.inc();
@@ -175,20 +192,55 @@ void Router::dispatch_locked(std::unique_ptr<Call> call) {
   const std::size_t idx = pick_replica_locked();
   if (idx == replicas_.size()) {
     no_replica_total_.inc();
-    call->promise.set_value({.status = Status::kNoReplica});
+    finish_call(*call, {.status = Status::kNoReplica});
     return;
   }
   Replica& r = replicas_[idx];
   if (call->attempts > 0) retries_total_.inc();
   call->attempts += 1;
+  if (call->attempts == 1) {
+    dispatch_hist_.record(
+        std::max<std::int64_t>(0, obs::trace_clock_ns() - call->submit_ns) /
+        1000);
+  }
   r.outstanding += 1;
   r.dispatched += 1;
+  // The router is a hop, not the origin: stamping its own hop id into
+  // parent_span tells the replica client to emit a 't' flow step instead
+  // of a second 's'/'f' pair (the origin keeps the only s/f).
+  obs::TraceContext fwd = call->trace;
+  if (fwd.trace_id != 0 && fwd.parent_span == 0) {
+    fwd.parent_span = obs::new_trace_id();
+  }
   Inflight inf;
   inf.replica = idx;
   inf.dispatched = Clock::now();
-  inf.future = r.client->predict_async(call->map, call->deadline_ms);
+  inf.future = r.client->predict_async(call->map, call->deadline_ms, fwd);
   inf.call = std::move(call);
   inflight_.push_back(std::move(inf));
+}
+
+void Router::finish_call(Call& call, CallResult result) {
+  result.attempts = call.attempts;
+  if (call.trace.active()) {
+    // Emitted whole at fulfilment, so NO_REPLICA / failover-exhausted /
+    // close-time failures all close the span too. A router handed a fresh
+    // context (parent_span == 0) is the outermost hop and brackets the
+    // flow chain with the unique 's'/'f' pair; behind another hop it
+    // contributes a 't' step. (dispatch_locked stamps the forwarded copy,
+    // never call.trace, so this discrimination survives failover.)
+    const std::int64_t done_ns = obs::trace_clock_ns();
+    obs::trace_span_at("router.request", call.submit_ns, done_ns,
+                       call.trace.trace_id);
+    if (call.trace.parent_span == 0) {
+      obs::trace_flow('s', call.trace.trace_id, call.submit_ns);
+      obs::trace_flow('f', call.trace.trace_id, done_ns);
+    } else {
+      obs::trace_flow('t', call.trace.trace_id,
+                      (call.submit_ns + done_ns) / 2);
+    }
+  }
+  call.promise.set_value(result);
 }
 
 void Router::note_error_locked(std::size_t idx) {
@@ -220,6 +272,7 @@ std::size_t Router::healthy_count_locked() const {
 }
 
 void Router::dispatcher_loop() {
+  obs::set_trace_thread_label(opts_.name + ".dispatch");
   std::unique_lock<std::mutex> lock(mutex_);
   while (true) {
     // Drain new submissions.
@@ -251,11 +304,11 @@ void Router::dispatcher_loop() {
         if (!stopping_ && call->attempts < max_attempts_) {
           dispatch_locked(std::move(call));  // transparent failover
         } else {
-          call->promise.set_value(result);
+          finish_call(*call, result);
         }
       } else {
         note_ok_locked(idx);
-        call->promise.set_value(result);
+        finish_call(*call, result);
       }
     }
     if (stopping_) break;
@@ -269,12 +322,12 @@ void Router::dispatcher_loop() {
   }
   // Stopping: fail everything still queued or in flight.
   for (auto& call : queue_) {
-    call->promise.set_value({.status = Status::kConnectionError});
+    finish_call(*call, {.status = Status::kConnectionError});
   }
   queue_.clear();
   for (Inflight& inf : inflight_) {
     replicas_[inf.replica].outstanding -= 1;
-    inf.call->promise.set_value({.status = Status::kConnectionError});
+    finish_call(*inf.call, {.status = Status::kConnectionError});
   }
   inflight_.clear();
 }
@@ -307,8 +360,11 @@ void Router::prober_loop() {
     std::vector<std::size_t> passed;
     for (const std::size_t i : to_probe) {
       const ReplicaEndpoint ep = replicas_[i].endpoint;  // endpoint is const
+      probe_total_.inc();
       if (probe_healthz(ep.host, ep.health_port, opts_.health_timeout_ms)) {
         passed.push_back(i);
+      } else {
+        probe_fail_total_.inc();
       }
     }
     lock.lock();

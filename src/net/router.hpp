@@ -33,9 +33,21 @@
 //
 // Observability (RouterOptions::registry): wm_router_requests_total,
 // wm_router_retries_total, wm_router_ejects_total, wm_router_rejoins_total,
-// wm_router_no_replica_total, the wm_router_healthy_replicas gauge, and a
-// per-replica wm_router_replica<i>_latency_us histogram (dispatch-to-result
-// as the router observes it) behind ReplicaStats.
+// wm_router_no_replica_total, wm_router_probe_total /
+// wm_router_probe_fail_total (health-probe traffic), the
+// wm_router_healthy_replicas gauge, the wm_stage_router_dispatch_us
+// histogram (router accept to first replica dispatch), and a per-replica
+// wm_router_replica<i>_latency_us histogram (dispatch-to-result as the
+// router observes it) behind ReplicaStats.
+//
+// Distributed tracing: predict_async() accepts an obs::TraceContext; the
+// router stamps its own hop id into parent_span before forwarding, so the
+// per-replica client emits a 't' flow step (not a second 's'). A router
+// handed a fresh context (parent_span == 0) is the outermost hop and
+// itself emits the unique 's'/'f' pair bracketing the flow chain. Sampled
+// calls emit a "router.request" span (accept -> promise fulfilled, every
+// status incl. NO_REPLICA and close-time failures) and
+// CallResult::attempts reports the failover dispatches the call consumed.
 #pragma once
 
 #include <atomic>
@@ -87,6 +99,8 @@ struct RouterOptions {
   /// Where the wm_router_* instruments live. nullptr = a router-private
   /// registry.
   obs::Registry* registry = nullptr;
+  /// Trace track label for the dispatcher thread ("<name>.dispatch").
+  std::string name = "router";
   /// Template for the per-replica clients (host/port are overwritten; the
   /// backoff knobs and timeouts apply to every replica connection).
   ClientOptions client;
@@ -104,9 +118,14 @@ class Router {
 
   /// Routes one request. Resolves with the replica's response, with
   /// kConnectionError after max_attempts transport failures, or with
-  /// kNoReplica when no healthy replica exists at dispatch time.
+  /// kNoReplica when no healthy replica exists at dispatch time. The traced
+  /// overload forwards the context to the chosen replica (see the header
+  /// comment).
   std::future<CallResult> predict_async(const WaferMap& map,
                                         std::uint32_t deadline_ms = 0);
+  std::future<CallResult> predict_async(const WaferMap& map,
+                                        std::uint32_t deadline_ms,
+                                        obs::TraceContext trace);
 
   /// Blocking convenience: predict_async + wait.
   CallResult predict(const WaferMap& map, std::uint32_t deadline_ms = 0);
@@ -150,6 +169,8 @@ class Router {
     WaferMap map{3};
     std::uint32_t deadline_ms = 0;
     int attempts = 0;  // dispatches so far
+    obs::TraceContext trace{};
+    std::int64_t submit_ns = 0;  // obs::trace_clock_ns() at predict_async
     std::promise<CallResult> promise;
   };
 
@@ -187,6 +208,9 @@ class Router {
   void note_error_locked(std::size_t idx);
   void note_ok_locked(std::size_t idx);
   std::size_t healthy_count_locked() const;
+  /// Fulfils a call's promise: stamps CallResult::attempts, closes the
+  /// "router.request" span (every status), sets the value.
+  void finish_call(Call& call, CallResult result);
 
   const RouterOptions opts_;
   const int max_attempts_;
@@ -198,7 +222,10 @@ class Router {
   obs::Counter& ejects_total_;
   obs::Counter& rejoins_total_;
   obs::Counter& no_replica_total_;
+  obs::Counter& probe_total_;
+  obs::Counter& probe_fail_total_;
   obs::Gauge& healthy_gauge_;
+  obs::Histogram& dispatch_hist_;
 
   mutable std::mutex mutex_;
   std::condition_variable cv_;  // wakes dispatcher (new call / close)

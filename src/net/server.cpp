@@ -4,6 +4,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <utility>
@@ -24,6 +25,14 @@ using namespace std::chrono_literals;
 constexpr int kPendingPollMs = 1;
 
 constexpr std::size_t kReadChunk = 64 * 1024;
+
+/// Nanoseconds -> saturating uint32 microseconds (the wire StageTiming
+/// unit); negative deltas (clock re-reads across threads) clamp to 0.
+std::uint32_t sat_us(std::int64_t ns) {
+  if (ns <= 0) return 0;
+  const std::int64_t us = ns / 1000;
+  return us > 0xFFFFFFFFll ? 0xFFFFFFFFu : static_cast<std::uint32_t>(us);
+}
 
 }  // namespace
 
@@ -53,13 +62,21 @@ Server::Server(serve::InferenceEngine& engine, const ServerOptions& opts)
       latency_hist_(metrics_.histogram("wm_net_request_latency_us",
                                        obs::Histogram::latency_bounds_us(),
                                        "us",
-                                       "receipt-to-response-written latency")) {
+                                       "receipt-to-response-written latency")),
+      parse_hist_(metrics_.histogram("wm_stage_server_parse_us",
+                                     obs::Histogram::latency_bounds_us(), "us",
+                                     "frame decode + engine submit time")),
+      write_hist_(metrics_.histogram("wm_stage_server_write_us",
+                                     obs::Histogram::latency_bounds_us(), "us",
+                                     "response serialization + socket write "
+                                     "time")) {
   WM_CHECK(opts_.workers > 0, "workers must be positive");
   listen_fd_ = listen_tcp(opts_.bind_address, opts_.port, opts_.backlog,
                           &port_);
   workers_.reserve(static_cast<std::size_t>(opts_.workers));
   for (int i = 0; i < opts_.workers; ++i) {
     workers_.push_back(std::make_unique<Worker>());
+    workers_.back()->index = i;
   }
   for (auto& w : workers_) {
     w->thread = std::thread([this, worker = w.get()] { worker_loop(*worker); });
@@ -139,6 +156,8 @@ void Server::accept_loop() {
 }
 
 void Server::worker_loop(Worker& w) {
+  obs::set_trace_thread_label(opts_.name + ".worker" +
+                              std::to_string(w.index));
   std::vector<pollfd> fds;
   for (;;) {
     const bool draining = stopping_.load();
@@ -237,6 +256,7 @@ bool Server::handle_input(Conn& c) {
     Pending p;
     p.id = frame.request_id;
     p.received = Clock::now();
+    p.received_ns = obs::trace_clock_ns();
     requests_total_.inc();
 
     RequestFrame req;
@@ -244,22 +264,30 @@ bool Server::handle_input(Conn& c) {
       req = decode_request_body(frame.request_id, frame.body, frame.body_len);
     } catch (const WireError& e) {
       // The frame itself was well-delimited, so the stream stays usable:
-      // reject just this request.
+      // reject just this request. The trace context lives ahead of the
+      // wafer in the body, so even this response stays attributable — and
+      // its "server.request" span still closes (spans are emitted whole at
+      // response time).
+      if (const auto ctx = peek_request_trace(frame.body, frame.body_len)) {
+        p.trace = *ctx;
+      }
       malformed_total_.inc();
       log_warn("wm_net server: rejecting request ", frame.request_id, ": ",
                e.what());
       if (!send_response(c, p, Status::kMalformed, {})) return false;
       continue;
     }
+    p.trace = req.trace;
 
     if (req.deadline_ms > 0) {
       p.has_deadline = true;
       p.deadline = p.received + std::chrono::milliseconds(req.deadline_ms);
     }
 
+    p.timing = std::make_shared<serve::RequestTiming>();
     std::optional<std::future<SelectivePrediction>> fut;
     try {
-      fut = engine_.try_submit(std::move(req.map));
+      fut = engine_.try_submit(std::move(req.map), req.trace, p.timing);
     } catch (const Error&) {
       // Engine already shut down under us: answer rather than drop.
       if (!send_response(c, p, Status::kShuttingDown, {})) return false;
@@ -270,6 +298,9 @@ bool Server::handle_input(Conn& c) {
       if (!send_response(c, p, Status::kOverloaded, {})) return false;
       continue;
     }
+    parse_hist_.record(
+        std::max<std::int64_t>(0, (obs::trace_clock_ns() - p.received_ns)) /
+        1000);
     p.future = std::move(*fut);
     inflight_.fetch_add(1);
     c.pending.push_back(std::move(p));
@@ -320,12 +351,32 @@ bool Server::send_response(Conn& c, const Pending& p, Status status,
   resp.request_id = p.id;
   resp.status = status;
   resp.prediction = pred;
+  const std::int64_t write_start_ns = obs::trace_clock_ns();
+  resp.timing.total_us = sat_us(write_start_ns - p.received_ns);
+  if (status == Status::kOk && p.timing != nullptr) {
+    // The future was ready, so the engine's stores to *p.timing
+    // happened-before this read.
+    const serve::RequestTiming& t = *p.timing;
+    const std::int64_t picked_ns = std::max(t.wake_ns, t.enqueue_ns);
+    resp.timing.queue_us = sat_us(picked_ns - t.enqueue_ns);
+    resp.timing.batch_us = sat_us(t.formed_ns - picked_ns);
+    resp.timing.compute_us = sat_us(t.done_ns - t.formed_ns);
+  }
   const std::vector<std::uint8_t> bytes = encode_response(resp);
   if (!write_all(c.fd, bytes.data(), bytes.size())) return false;
   responses_total_.inc();
+  const std::int64_t done_ns = obs::trace_clock_ns();
+  write_hist_.record(sat_us(done_ns - write_start_ns));
   latency_hist_.record(std::chrono::duration_cast<std::chrono::microseconds>(
                            Clock::now() - p.received)
                            .count());
+  if (p.trace.active()) {
+    // Whole-hop span emitted retroactively (so TIMEOUT/MALFORMED close it
+    // too), with a flow step tying it into the request's arrow chain.
+    obs::trace_span_at("server.request", p.received_ns, done_ns,
+                       p.trace.trace_id);
+    obs::trace_flow('t', p.trace.trace_id, (p.received_ns + done_ns) / 2);
+  }
   return true;
 }
 

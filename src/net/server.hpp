@@ -36,6 +36,17 @@
 // request decode+submit runs under a "net.request" trace span. Drift
 // monitoring needs no extra wiring: remote traffic flows through the
 // engine, so an EngineOptions::monitor sees every remote prediction.
+//
+// Distributed tracing (WMWP v2): every request's TraceContext is peeked off
+// the body before full decode — even a MALFORMED body keeps its trace — and
+// forwarded into the engine; every response carries a StageTiming
+// (total always; engine queue/batch/compute when the result is OK) so
+// clients attribute latency per stage without sampling. Sampled requests
+// additionally emit a "server.request" span (tagged with the trace id,
+// with a 't' flow step binding it into the cross-process flow chain).
+// Per-stage histograms: wm_stage_server_parse_us, wm_stage_server_write_us.
+// Worker threads label their trace tracks "<name>.worker<i>" so a merged
+// fleet trace reads role-first.
 #pragma once
 
 #include <atomic>
@@ -70,6 +81,10 @@ struct ServerOptions {
   /// Where the wm_net_* instruments live. nullptr = the engine's registry,
   /// so one scrape covers the whole serving stack.
   obs::Registry* registry = nullptr;
+  /// Role label for trace exports: worker threads appear as
+  /// "<name>.worker<i>" tracks. Fleet launchers set "replica0", "replica1"
+  /// ... so merged traces identify the serving process at a glance.
+  std::string name = "server";
 };
 
 class Server {
@@ -123,8 +138,13 @@ class Server {
   struct Pending {
     std::uint64_t id = 0;
     Clock::time_point received;
-    Clock::time_point deadline;  // only meaningful when has_deadline
+    std::int64_t received_ns = 0;  // obs::trace_clock_ns() at receipt
+    Clock::time_point deadline;    // only meaningful when has_deadline
     bool has_deadline = false;
+    obs::TraceContext trace{};
+    /// Engine per-stage timestamps; shared because a TIMEOUT abandons the
+    /// future while the engine still writes these later.
+    std::shared_ptr<serve::RequestTiming> timing;
     std::future<SelectivePrediction> future;
   };
 
@@ -137,6 +157,7 @@ class Server {
 
   /// A worker thread plus the state it polls over.
   struct Worker {
+    int index = 0;  // for the trace thread label
     std::thread thread;
     WakePipe wake;
     std::mutex inbox_mutex;
@@ -168,6 +189,8 @@ class Server {
   obs::Gauge& connections_gauge_;
   obs::Gauge& inflight_gauge_;
   obs::Histogram& latency_hist_;
+  obs::Histogram& parse_hist_;
+  obs::Histogram& write_hist_;
 
   int listen_fd_ = -1;
   int port_ = 0;

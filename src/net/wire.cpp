@@ -62,8 +62,12 @@ void put_header(std::vector<std::uint8_t>* out, FrameType type,
   put_u32(out, body_len);
 }
 
-constexpr std::size_t kRequestFixedBytes = 6;    // deadline_ms + map_size
-constexpr std::size_t kResponseBodyBytes = 12;   // status..confidence
+// deadline_ms + trace_id + parent_span + flags + map_size
+constexpr std::size_t kRequestFixedBytes = 23;
+constexpr std::size_t kResponseBodyBytes = 28;  // status..confidence + timing
+
+// Request trace flags: bit 0 = sampled, all other bits reserved (rejected).
+constexpr std::uint8_t kTraceFlagSampled = 0x01;
 
 std::size_t packed_bytes(int size) {
   const std::size_t dies = static_cast<std::size_t>(size) * size;
@@ -134,6 +138,9 @@ std::vector<std::uint8_t> encode_request(const RequestFrame& req) {
   put_header(&out, FrameType::kRequest, req.request_id,
              static_cast<std::uint32_t>(body_len));
   put_u32(&out, req.deadline_ms);
+  put_u64(&out, req.trace.trace_id);
+  put_u64(&out, req.trace.parent_span);
+  out.push_back(req.trace.sampled ? kTraceFlagSampled : 0);
   put_u16(&out, static_cast<std::uint16_t>(req.map.size()));
   out.insert(out.end(), packed.begin(), packed.end());
   return out;
@@ -149,6 +156,10 @@ std::vector<std::uint8_t> encode_response(const ResponseFrame& resp) {
   put_u16(&out, static_cast<std::uint16_t>(resp.prediction.label));
   put_f32(&out, resp.prediction.g);
   put_f32(&out, resp.prediction.confidence);
+  put_u32(&out, resp.timing.queue_us);
+  put_u32(&out, resp.timing.batch_us);
+  put_u32(&out, resp.timing.compute_us);
+  put_u32(&out, resp.timing.total_us);
   return out;
 }
 
@@ -207,10 +218,27 @@ RequestFrame decode_request_body(std::uint64_t request_id,
   RequestFrame req;
   req.request_id = request_id;
   req.deadline_ms = get_u32(body);
-  const int size = get_u16(body + 4);
+  req.trace.trace_id = get_u64(body + 4);
+  req.trace.parent_span = get_u64(body + 12);
+  const std::uint8_t flags = body[20];
+  if ((flags & ~kTraceFlagSampled) != 0) {
+    throw WireError("wire: unknown trace flags " + std::to_string(flags));
+  }
+  req.trace.sampled = (flags & kTraceFlagSampled) != 0;
+  const int size = get_u16(body + 21);
   req.map = unpack_wafer(size, body + kRequestFixedBytes,
                          body_len - kRequestFixedBytes);
   return req;
+}
+
+std::optional<obs::TraceContext> peek_request_trace(const std::uint8_t* body,
+                                                    std::size_t body_len) {
+  if (body_len < kRequestFixedBytes) return std::nullopt;
+  obs::TraceContext ctx;
+  ctx.trace_id = get_u64(body + 4);
+  ctx.parent_span = get_u64(body + 12);
+  ctx.sampled = (body[20] & kTraceFlagSampled) != 0;
+  return ctx;
 }
 
 ResponseFrame decode_response_body(std::uint64_t request_id,
@@ -231,6 +259,10 @@ ResponseFrame decode_response_body(std::uint64_t request_id,
   resp.prediction.label = static_cast<std::int16_t>(get_u16(body + 2));
   resp.prediction.g = get_f32(body + 4);
   resp.prediction.confidence = get_f32(body + 8);
+  resp.timing.queue_us = get_u32(body + 12);
+  resp.timing.batch_us = get_u32(body + 16);
+  resp.timing.compute_us = get_u32(body + 20);
+  resp.timing.total_us = get_u32(body + 24);
   return resp;
 }
 

@@ -7,19 +7,31 @@
 //
 //   offset size field
 //   0      4    magic  "WMWP" (0x57 0x4D 0x57 0x50, byte order as written)
-//   4      1    version (kWireVersion = 1)
+//   4      1    version (kWireVersion = 2)
 //   5      1    frame type: 1 = request, 2 = response
 //   6      2    reserved, must be zero
 //   8      8    request id (echoed verbatim in the response)
 //   16     4    body length in bytes (hard-capped at kMaxBodyBytes)
 //
 // Request body:   u32 deadline_ms (0 = none, otherwise a relative budget the
-//                 server starts counting at receipt), u16 map_size, then the
-//                 wafer grid packed 2 bits per die (4 dies per byte,
-//                 LSB-first, row-major; die values 0/1/2, 3 is invalid).
+//                 server starts counting at receipt), u64 trace_id, u64
+//                 parent_span, u8 trace flags (bit 0 = sampled, the rest
+//                 must be zero), u16 map_size, then the wafer grid packed
+//                 2 bits per die (4 dies per byte, LSB-first, row-major;
+//                 die values 0/1/2, 3 is invalid).
 // Response body:  u8 status, u8 selected, i16 label, f32 g, f32 confidence
 //                 (floats as raw IEEE-754 bits, so a round-trip prediction
-//                 bit-matches the in-process result).
+//                 bit-matches the in-process result), then the server-side
+//                 stage timing: u32 queue_us, u32 batch_us, u32 compute_us,
+//                 u32 total_us (saturating microsecond durations; total is
+//                 receipt -> response write and is valid for every status,
+//                 the engine stages only for OK).
+//
+// v1 -> v2 (PR 8): the trace context was inserted into the request body and
+// StageTiming appended to the response body. The version byte guards both
+// directions — a v1 peer's frames fail try_parse_frame here with
+// "unsupported version", and v1 parsers reject our frames the same way, so
+// mixed-version fleets fail fast and cleanly instead of misparsing.
 //
 // Decoding is strict: wrong magic/version/type, a non-zero reserved field,
 // an oversized length prefix, or a body whose size disagrees with its
@@ -34,6 +46,7 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "obs/trace_context.hpp"
 #include "serve/classifier.hpp"
 #include "wafermap/wafer_map.hpp"
 
@@ -46,7 +59,7 @@ class WireError : public Error {
   explicit WireError(const std::string& what) : Error(what) {}
 };
 
-inline constexpr std::uint8_t kWireVersion = 1;
+inline constexpr std::uint8_t kWireVersion = 2;
 inline constexpr std::uint8_t kMagic[4] = {0x57, 0x4D, 0x57, 0x50};  // WMWP
 inline constexpr std::size_t kHeaderBytes = 20;
 /// Body cap: a 512x512 wafer packs to 64 KiB, leave generous headroom while
@@ -76,9 +89,21 @@ enum class Status : std::uint8_t {
 
 const char* to_string(Status s);
 
+/// Per-stage durations a server reports back with every response
+/// (microseconds, saturating at ~71 minutes per stage). total_us covers
+/// receipt -> response write for every status; the engine stages are zero
+/// unless the request reached compute.
+struct StageTiming {
+  std::uint32_t queue_us = 0;    // engine queue wait
+  std::uint32_t batch_us = 0;    // batch-formation (window) wait
+  std::uint32_t compute_us = 0;  // predict_batch share
+  std::uint32_t total_us = 0;    // server receipt -> response write
+};
+
 struct RequestFrame {
   std::uint64_t request_id = 0;
   std::uint32_t deadline_ms = 0;  // 0 = no deadline
+  obs::TraceContext trace{};      // trace_id 0 = untraced request
   WaferMap map{3};  // smallest valid wafer; overwritten by the decoder
 };
 
@@ -86,6 +111,7 @@ struct ResponseFrame {
   std::uint64_t request_id = 0;
   Status status = Status::kInternal;
   SelectivePrediction prediction{};
+  StageTiming timing{};
 };
 
 /// 2-bit packing of the wafer grid: size*size dies, 4 per byte, LSB-first.
@@ -131,5 +157,13 @@ RequestFrame decode_request_body(std::uint64_t request_id,
 ResponseFrame decode_response_body(std::uint64_t request_id,
                                    const std::uint8_t* body,
                                    std::size_t body_len);
+
+/// Extracts just the trace context from a request body, tolerating a body
+/// that decode_request_body would reject (bad wafer bytes): the context
+/// precedes the wafer, so even a MALFORMED response can carry the caller's
+/// trace id and close its span. nullopt if the body is too short to hold
+/// the fixed fields.
+std::optional<obs::TraceContext> peek_request_trace(const std::uint8_t* body,
+                                                    std::size_t body_len);
 
 }  // namespace wm::net

@@ -10,6 +10,7 @@
 #include "common/error.hpp"
 #include "common/logging.hpp"
 #include "net/socket_util.hpp"
+#include "obs/build_info.hpp"
 
 namespace wm::obs {
 
@@ -56,6 +57,9 @@ HttpExporter::HttpExporter(const HttpExporterOptions& opts)
                                         "metrics exporter")) {
   WM_CHECK(opts_.port >= 0 && opts_.port <= 65535, "bad HTTP port ",
            opts_.port);
+
+  // Every scrape surface identifies the binary behind it.
+  register_build_info(registry_);
 
   // One socket layer for the whole repo: the listener, timeouts, and wake
   // pipe all come from net/socket_util (shared with net::Server).

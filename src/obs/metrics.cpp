@@ -7,6 +7,7 @@
 #include <sstream>
 
 #include "common/error.hpp"
+#include "obs/json_escape.hpp"
 
 namespace wm::obs {
 
@@ -134,7 +135,9 @@ void Registry::check_name_free(const std::string& name,
                      (gauges_.count(name) != 0 && kind != nullptr &&
                       std::string(kind) != "gauge") ||
                      (histograms_.count(name) != 0 && kind != nullptr &&
-                      std::string(kind) != "histogram");
+                      std::string(kind) != "histogram") ||
+                     (infos_.count(name) != 0 && kind != nullptr &&
+                      std::string(kind) != "info");
   WM_CHECK(!taken, "metric '", name, "' already registered as another kind");
 }
 
@@ -178,6 +181,41 @@ Histogram& Registry::histogram(const std::string& name,
   return *entry.instrument;
 }
 
+void Registry::set_info(const std::string& name,
+                        std::vector<std::pair<std::string, std::string>> labels,
+                        const std::string& help) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  check_name_free(name, "info");
+  for (const auto& [key, value] : labels) {
+    WM_CHECK(valid_metric_name(key), "bad info label name '", key, "'");
+    (void)value;
+  }
+  InfoEntry& entry = infos_[name];
+  entry.labels = std::move(labels);
+  if (entry.help.empty()) entry.help = help;
+}
+
+namespace {
+
+// Prometheus label values escape backslash, quote, and newline.
+std::string escape_label_value(const std::string& v) {
+  std::string out;
+  out.reserve(v.size());
+  for (const char c : v) {
+    if (c == '\\' || c == '"') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
 std::string Registry::prometheus_text() const {
   const std::lock_guard<std::mutex> lock(mutex_);
   std::ostringstream os;
@@ -190,6 +228,18 @@ std::string Registry::prometheus_text() const {
     if (!entry.help.empty()) os << "# HELP " << name << " " << entry.help << "\n";
     os << "# TYPE " << name << " gauge\n";
     os << name << " " << format_double(entry.instrument->value()) << "\n";
+  }
+  for (const auto& [name, entry] : infos_) {
+    if (!entry.help.empty()) os << "# HELP " << name << " " << entry.help << "\n";
+    os << "# TYPE " << name << " gauge\n";
+    os << name << "{";
+    bool first = true;
+    for (const auto& [key, value] : entry.labels) {
+      os << (first ? "" : ",") << key << "=\"" << escape_label_value(value)
+         << "\"";
+      first = false;
+    }
+    os << "} 1\n";
   }
   for (const auto& [name, entry] : histograms_) {
     if (!entry.help.empty()) os << "# HELP " << name << " " << entry.help << "\n";
@@ -238,6 +288,21 @@ std::string Registry::json_text() const {
     }
     os << "],\"count\":" << s.count << ",\"sum\":" << s.sum
        << ",\"max\":" << s.max << "}";
+    first = false;
+  }
+  os << "},\"info\":{";
+  first = true;
+  for (const auto& [name, entry] : infos_) {
+    os << (first ? "" : ",") << "\"" << name << "\":{";
+    bool first_label = true;
+    for (const auto& [key, value] : entry.labels) {
+      std::string escaped;
+      append_json_escaped(&escaped, value.c_str());
+      os << (first_label ? "" : ",") << "\"" << key << "\":\"" << escaped
+         << "\"";
+      first_label = false;
+    }
+    os << "}";
     first = false;
   }
   os << "}}";

@@ -27,6 +27,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace wm::obs {
@@ -118,6 +119,13 @@ class Registry {
                        const std::string& unit = "",
                        const std::string& help = "");
 
+  /// Info-style metric: a constant 1 whose label pairs carry the payload
+  /// (Prometheus `name{key="value",...} 1` convention, e.g. wm_build_info).
+  /// Re-setting an existing name replaces its labels; label order is kept.
+  void set_info(const std::string& name,
+                std::vector<std::pair<std::string, std::string>> labels,
+                const std::string& help = "");
+
   /// Prometheus exposition format (counters, gauges, then histograms with
   /// cumulative buckets), names sorted within each kind.
   std::string prometheus_text() const;
@@ -137,10 +145,16 @@ class Registry {
 
   void check_name_free(const std::string& name, const char* kind) const;
 
+  struct InfoEntry {
+    std::vector<std::pair<std::string, std::string>> labels;
+    std::string help;
+  };
+
   mutable std::mutex mutex_;
   std::map<std::string, Entry<Counter>> counters_;
   std::map<std::string, Entry<Gauge>> gauges_;
   std::map<std::string, Entry<Histogram>> histograms_;
+  std::map<std::string, InfoEntry> infos_;
 };
 
 /// Bumps a counter in the global registry, resolving it once per call site

@@ -1,5 +1,7 @@
 #include "obs/trace.hpp"
 
+#include <unistd.h>
+
 #include <chrono>
 #include <cmath>
 #include <cstdio>
@@ -28,12 +30,16 @@ struct TraceEvent {
   std::int64_t dur_ns;   // ignored for counter samples
   double value = 0.0;    // counter samples only
   bool is_counter = false;
+  std::uint64_t trace_id = 0;  // distributed-request id; 0 = plain span
+  char flow_phase = 0;         // 's'/'t'/'f' = flow event (trace_id is the
+                               // flow id); 0 = span or counter
 };
 
 struct ThreadBuffer {
   std::mutex mutex;
   int tid = 0;
   std::size_t capacity = 0;
+  std::string label;               // exported thread_name when non-empty
   std::vector<TraceEvent> events;  // grows to capacity, then rings
   std::size_t next = 0;            // oldest slot once the ring is full
   std::uint64_t dropped = 0;       // events overwritten by wrap-around
@@ -45,6 +51,8 @@ struct TracerState {
   std::vector<std::shared_ptr<ThreadBuffer>> buffers;
   std::int64_t base_ns = 0;  // export timestamps are relative to this
   std::atomic<std::size_t> capacity{0};
+  int pid = 1;
+  std::string process_name = "wm";
 };
 
 std::size_t capacity_from_env() {
@@ -69,6 +77,7 @@ TracerState& tracer() {
     auto* s = new TracerState();
     s->base_ns = steady_now_ns();
     s->capacity.store(capacity_from_env(), std::memory_order_relaxed);
+    s->pid = static_cast<int>(::getpid());
     return s;
   }();
   return *state;
@@ -132,14 +141,37 @@ void push_event(const TraceEvent& e) {
 
 void trace_record(const char* name, std::int64_t start_ns,
                   std::int64_t end_ns) {
-  push_event(TraceEvent{name, start_ns, end_ns - start_ns, 0.0, false});
+  push_event(TraceEvent{name, start_ns, end_ns - start_ns, 0.0, false, 0, 0});
 }
 
 void trace_record_counter(const char* name, std::int64_t ts_ns, double value) {
-  push_event(TraceEvent{name, ts_ns, 0, value, true});
+  push_event(TraceEvent{name, ts_ns, 0, value, true, 0, 0});
+}
+
+void trace_record_span(const char* name, std::int64_t start_ns,
+                       std::int64_t end_ns, std::uint64_t trace_id) {
+  push_event(
+      TraceEvent{name, start_ns, end_ns - start_ns, 0.0, false, trace_id, 0});
+}
+
+void trace_record_flow(char phase, std::uint64_t flow_id,
+                       std::int64_t ts_ns) {
+  push_event(TraceEvent{"req", ts_ns, 0, 0.0, false, flow_id, phase});
 }
 
 }  // namespace detail
+
+void set_trace_process_name(const std::string& name) {
+  TracerState& t = tracer();
+  const std::lock_guard<std::mutex> lock(t.mutex);
+  t.process_name = name;
+}
+
+void set_trace_thread_label(const std::string& label) {
+  ThreadBuffer& b = local_buffer();
+  const std::lock_guard<std::mutex> lock(b.mutex);
+  b.label = label;
+}
 
 void set_trace_enabled(bool on) {
   detail::g_trace_state.store(on ? 1 : 0, std::memory_order_relaxed);
@@ -186,15 +218,32 @@ void trace_clear() {
 std::string trace_to_json() {
   TracerState& t = tracer();
   std::ostringstream os;
-  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
-  os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,"
-        "\"args\":{\"name\":\"wm\"}}";
 
   const std::lock_guard<std::mutex> lock(t.mutex);
+  const int pid = t.pid;
+  // baseNs lets trace-merge realign several processes' relative timestamps
+  // onto one CLOCK_MONOTONIC timeline (string: full ns precision survives
+  // JSON round-trips that would truncate a 2^53+ double).
+  os << "{\"displayTimeUnit\":\"ms\",\"otherData\":{\"baseNs\":\""
+     << t.base_ns << "\"},\"traceEvents\":[";
+  {
+    std::string pname;
+    append_json_escaped(&pname, t.process_name.c_str());
+    os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << pid
+       << ",\"args\":{\"name\":\"" << pname << "\"}}";
+  }
+
   for (const auto& b : t.buffers) {
     const std::lock_guard<std::mutex> buffer_lock(b->mutex);
-    os << ",{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":"
-       << b->tid << ",\"args\":{\"name\":\"thread-" << b->tid << "\"}}";
+    std::string tname;
+    if (b->label.empty()) {
+      tname = "thread-" + std::to_string(b->tid);
+    } else {
+      append_json_escaped(&tname, b->label.c_str());
+    }
+    os << ",{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":" << pid
+       << ",\"tid\":" << b->tid << ",\"args\":{\"name\":\"" << tname
+       << "\"}}";
     std::vector<TraceEvent> ordered;
     ordered.reserve(b->events.size());
     append_in_order(*b, &ordered);
@@ -209,19 +258,38 @@ std::string trace_to_json() {
         // same name as a stepped value track.
         std::snprintf(nums, sizeof(nums), "\"ts\":%.3f", ts_us);
         os << ",{\"name\":\"" << name
-           << "\",\"cat\":\"wm\",\"ph\":\"C\",\"pid\":1,\"tid\":" << b->tid
-           << "," << nums << ",\"args\":{\"value\":";
+           << "\",\"cat\":\"wm\",\"ph\":\"C\",\"pid\":" << pid
+           << ",\"tid\":" << b->tid << "," << nums << ",\"args\":{\"value\":";
         char val[32];
         std::snprintf(val, sizeof(val), "%.6g",
                       std::isfinite(e.value) ? e.value : 0.0);
         os << val << "}}";
+      } else if (e.flow_phase != 0) {
+        // Flow event: arrows between the slices enclosing each phase.
+        char id[24];
+        std::snprintf(id, sizeof(id), "0x%llx",
+                      static_cast<unsigned long long>(e.trace_id));
+        std::snprintf(nums, sizeof(nums), "\"ts\":%.3f", ts_us);
+        os << ",{\"name\":\"" << name
+           << "\",\"cat\":\"wm.flow\",\"ph\":\"" << e.flow_phase
+           << "\",\"id\":\"" << id << "\",\"pid\":" << pid
+           << ",\"tid\":" << b->tid << "," << nums;
+        if (e.flow_phase == 'f') os << ",\"bp\":\"e\"";
+        os << "}";
       } else {
         const double dur_us = static_cast<double>(e.dur_ns) / 1000.0;
         std::snprintf(nums, sizeof(nums), "\"ts\":%.3f,\"dur\":%.3f", ts_us,
                       dur_us);
         os << ",{\"name\":\"" << name
-           << "\",\"cat\":\"wm\",\"ph\":\"X\",\"pid\":1,\"tid\":" << b->tid
-           << "," << nums << "}";
+           << "\",\"cat\":\"wm\",\"ph\":\"X\",\"pid\":" << pid
+           << ",\"tid\":" << b->tid << "," << nums;
+        if (e.trace_id != 0) {
+          char id[24];
+          std::snprintf(id, sizeof(id), "0x%llx",
+                        static_cast<unsigned long long>(e.trace_id));
+          os << ",\"args\":{\"trace_id\":\"" << id << "\"}";
+        }
+        os << "}";
       }
     }
   }

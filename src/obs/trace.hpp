@@ -36,6 +36,9 @@ std::int64_t trace_now_ns();
 void trace_record(const char* name, std::int64_t start_ns,
                   std::int64_t end_ns);
 void trace_record_counter(const char* name, std::int64_t ts_ns, double value);
+void trace_record_span(const char* name, std::int64_t start_ns,
+                       std::int64_t end_ns, std::uint64_t trace_id);
+void trace_record_flow(char phase, std::uint64_t flow_id, std::int64_t ts_ns);
 }  // namespace detail
 
 /// Fast runtime gate; safe to call at any frequency from any thread.
@@ -56,6 +59,45 @@ inline void trace_counter(const char* name, double value) {
     detail::trace_record_counter(name, detail::trace_now_ns(), value);
   }
 }
+
+/// Timestamps on the span clock (CLOCK_MONOTONIC). Comparable across
+/// processes on one host, which is what makes merged multi-process traces
+/// line up (see trace_merge.hpp).
+inline std::int64_t trace_clock_ns() { return detail::trace_now_ns(); }
+
+/// Records a completed span with explicit timestamps — for request-shaped
+/// work whose start was observed on another thread or earlier in a queue.
+/// A non-zero `trace_id` is exported in the event args (hex) so spans of
+/// one distributed request can be grouped across processes. `name` must be
+/// a string literal.
+inline void trace_span_at(const char* name, std::int64_t start_ns,
+                          std::int64_t end_ns, std::uint64_t trace_id = 0) {
+  if (trace_enabled()) {
+    detail::trace_record_span(name, start_ns, end_ns, trace_id);
+  }
+}
+
+/// Perfetto flow event: phase 's' (start), 't' (step) or 'f' (end). Events
+/// sharing `flow_id` draw an arrow chain between the "X" slices enclosing
+/// them (same thread, ts inside the slice) — this is what visually links a
+/// request's client/router/server/engine spans across threads and, after
+/// trace-merge, across processes.
+inline void trace_flow(char phase, std::uint64_t flow_id,
+                       std::int64_t ts_ns) {
+  if (trace_enabled()) {
+    detail::trace_record_flow(phase, flow_id, ts_ns);
+  }
+}
+
+/// Names this process's track in the export (default "wm"). The exported
+/// pid is always the OS pid, so merged traces from several processes stay
+/// distinct.
+void set_trace_process_name(const std::string& name);
+
+/// Labels the calling thread's track in the export (default "thread-N").
+/// Servers label worker threads with their replica name so a merged fleet
+/// trace reads role-first.
+void set_trace_thread_label(const std::string& label);
 
 /// Ring capacity (events) for thread buffers created after this call.
 /// Existing buffers keep their capacity. Also settable via WM_TRACE_BUFFER.

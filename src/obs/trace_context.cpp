@@ -1,0 +1,45 @@
+#include "obs/trace_context.hpp"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+
+namespace wm::obs {
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t z) {
+  z += 0x9E3779B97F4A7C15ULL;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+std::atomic<std::uint64_t>& id_state() {
+  // Seeded once per process from pid + wall clock: two processes started in
+  // the same nanosecond still diverge on pid, and within a process the
+  // counter makes every draw distinct.
+  static std::atomic<std::uint64_t> state{
+      (static_cast<std::uint64_t>(::getpid()) << 32) ^
+      static_cast<std::uint64_t>(
+          std::chrono::steady_clock::now().time_since_epoch().count()) ^
+      0xD1B54A32D192ED03ULL};
+  return state;
+}
+
+}  // namespace
+
+std::uint64_t new_trace_id() {
+  std::uint64_t id = 0;
+  while (id == 0) {
+    id = splitmix64(id_state().fetch_add(1, std::memory_order_relaxed));
+  }
+  return id;
+}
+
+TraceContext start_trace(bool sampled) {
+  return TraceContext{new_trace_id(), 0, sampled};
+}
+
+}  // namespace wm::obs

@@ -1,0 +1,38 @@
+// Cross-process trace context — the identity a request carries end-to-end.
+//
+// A TraceContext travels with a request across every hop (client -> router
+// -> server -> engine) so each hop can emit spans tagged with the same
+// 64-bit trace id and stitch them together with Perfetto flow events. The
+// wire protocol (net/wire.hpp, WMWP v2) carries it verbatim; in-process
+// callers pass it through submit()/predict_async() overloads.
+//
+// Sampling is head-based and binary: the origin decides (sampled flag) and
+// every downstream hop honours that decision — a sampled request emits
+// spans at each hop, an unsampled one costs only the context copy.
+#pragma once
+
+#include <cstdint>
+
+namespace wm::obs {
+
+struct TraceContext {
+  /// 0 = no trace attached. Never 0 for contexts from start_trace().
+  std::uint64_t trace_id = 0;
+  /// Span id of the parent hop; 0 at the origin.
+  std::uint64_t parent_span = 0;
+  /// Head-based sampling decision; hops emit spans only when set.
+  bool sampled = false;
+
+  /// True when this request should produce spans at the current hop.
+  bool active() const { return trace_id != 0 && sampled; }
+};
+
+/// Process-unique, never-zero 64-bit id: splitmix64 over an atomic counter
+/// seeded from the pid and the clock, so concurrent generators and separate
+/// processes cannot collide in practice.
+std::uint64_t new_trace_id();
+
+/// Fresh root context (new trace id, no parent).
+TraceContext start_trace(bool sampled = true);
+
+}  // namespace wm::obs

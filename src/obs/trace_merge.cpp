@@ -1,0 +1,125 @@
+#include "obs/trace_merge.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <set>
+#include <stdexcept>
+
+#include "common/error.hpp"
+#include "common/minijson.hpp"
+
+namespace wm::obs {
+
+namespace {
+
+using minijson::Value;
+
+/// baseNs is written as a decimal string to survive JSON number precision;
+/// absent or unparsable means "no shift".
+long long doc_base_ns(const Value& doc) {
+  if (!doc.has("otherData")) return 0;
+  const Value& other = doc.at("otherData");
+  if (!other.has("baseNs")) return 0;
+  const Value& base = other.at("baseNs");
+  if (!base.is_string()) return 0;
+  char* end = nullptr;
+  const long long ns = std::strtoll(base.str().c_str(), &end, 10);
+  return (end != base.str().c_str() && *end == '\0') ? ns : 0;
+}
+
+int event_pid(const Value& event) {
+  return (event.has("pid") && event.at("pid").is_number())
+             ? static_cast<int>(event.at("pid").num())
+             : 0;
+}
+
+}  // namespace
+
+std::string merge_trace_json(const std::vector<std::string>& docs) {
+  std::vector<Value> parsed;
+  parsed.reserve(docs.size());
+  long long min_base = 0;
+  bool have_base = false;
+  for (const std::string& text : docs) {
+    Value doc = minijson::parse(text);
+    if (!doc.has("traceEvents") || !doc.at("traceEvents").is_array()) {
+      throw std::runtime_error("trace document has no traceEvents array");
+    }
+    const long long base = doc_base_ns(doc);
+    if (base != 0 && (!have_base || base < min_base)) {
+      min_base = base;
+      have_base = true;
+    }
+    parsed.push_back(std::move(doc));
+  }
+
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  std::set<int> used_pids;
+  int next_free_pid = 1000000;  // far above real pids; used on collision
+  bool first = true;
+  for (Value& doc : parsed) {
+    const long long base = doc_base_ns(doc);
+    const double shift_us =
+        base != 0 ? static_cast<double>(base - min_base) / 1000.0 : 0.0;
+
+    // One pid remap per file: if any of its pids were already claimed by an
+    // earlier file, move the whole file to a fresh pid so tracks stay
+    // separate (two unrelated runs may both report pid 1, say).
+    std::set<int> file_pids;
+    for (const Value& e : doc.at("traceEvents").arr()) {
+      if (e.is_object()) file_pids.insert(event_pid(e));
+    }
+    bool collide = false;
+    for (int pid : file_pids) {
+      if (used_pids.count(pid) > 0) collide = true;
+    }
+    const int remap_to = collide ? next_free_pid++ : 0;
+
+    for (const Value& e : doc.at("traceEvents").arr()) {
+      if (!e.is_object()) continue;
+      Value copy = e;
+      auto& obj = std::get<minijson::Object>(copy.v);
+      if (shift_us != 0.0) {
+        auto ts = obj.find("ts");
+        if (ts != obj.end() && ts->second.is_number()) {
+          ts->second = Value{ts->second.num() + shift_us};
+        }
+      }
+      if (remap_to != 0) obj["pid"] = Value{static_cast<double>(remap_to)};
+      used_pids.insert(event_pid(copy));
+      if (!first) out.push_back(',');
+      first = false;
+      out += minijson::dump(copy);
+    }
+  }
+  out += "]}";
+  return out;
+}
+
+void merge_trace_files(const std::vector<std::string>& in_paths,
+                       const std::string& out_path) {
+  std::vector<std::string> docs;
+  docs.reserve(in_paths.size());
+  for (const std::string& path : in_paths) {
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    if (f == nullptr) throw IoError("cannot open trace file " + path);
+    std::string text;
+    char buf[65536];
+    std::size_t n = 0;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+      text.append(buf, n);
+    }
+    std::fclose(f);
+    docs.push_back(std::move(text));
+  }
+  const std::string merged = merge_trace_json(docs);
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr) throw IoError("cannot open trace file " + out_path);
+  const std::size_t written = std::fwrite(merged.data(), 1, merged.size(), f);
+  const int rc = std::fclose(f);
+  if (written != merged.size() || rc != 0) {
+    throw IoError("short write to trace file " + out_path);
+  }
+}
+
+}  // namespace wm::obs

@@ -1,0 +1,27 @@
+// Merging per-process Chrome trace files onto one timeline.
+//
+// Every process exports spans with timestamps relative to its own tracer
+// start (`otherData.baseNs`, CLOCK_MONOTONIC). On a single host that clock
+// is shared, so realigning each file by (baseNs - min baseNs) puts all
+// processes on one consistent timeline; Perfetto then renders a distributed
+// request as slices hopping between process tracks, linked by flow events.
+//
+// Files lacking baseNs (foreign traces) merge with no shift. Colliding pids
+// between files are remapped so process tracks never fuse.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace wm::obs {
+
+/// Merges parsed trace documents (JSON text) into one; throws
+/// std::runtime_error on malformed input.
+std::string merge_trace_json(const std::vector<std::string>& docs);
+
+/// File-based convenience wrapper; throws wm::IoError on unreadable input
+/// or failed write.
+void merge_trace_files(const std::vector<std::string>& in_paths,
+                       const std::string& out_path);
+
+}  // namespace wm::obs

@@ -10,6 +10,18 @@
 
 namespace wm::serve {
 
+namespace {
+
+/// steady_clock epoch offset in ns — the same timeline as
+/// obs::trace_clock_ns(), so RequestTiming stamps align with trace spans.
+std::int64_t to_ns(std::chrono::steady_clock::time_point tp) {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             tp.time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
 std::string EngineStats::to_string() const {
   std::ostringstream os;
   os << "requests:  " << requests << " (abstained " << abstained << ", shed "
@@ -51,7 +63,16 @@ InferenceEngine::InferenceEngine(const Classifier& classifier,
       latency_hist_(metrics_.histogram("wm_serve_request_latency_us",
                                        obs::Histogram::latency_bounds_us(),
                                        "us",
-                                       "per-request enqueue-to-result latency")) {
+                                       "per-request enqueue-to-result latency")),
+      stage_queue_hist_(metrics_.histogram(
+          "wm_stage_queue_wait_us", obs::Histogram::latency_bounds_us(), "us",
+          "engine stage: enqueue to batcher pickup")),
+      stage_batch_hist_(metrics_.histogram(
+          "wm_stage_batch_wait_us", obs::Histogram::latency_bounds_us(), "us",
+          "engine stage: batch-formation window wait")),
+      stage_compute_hist_(metrics_.histogram(
+          "wm_stage_compute_us", obs::Histogram::latency_bounds_us(), "us",
+          "engine stage: predict_batch compute")) {
   WM_CHECK(opts.max_batch > 0, "max_batch must be positive");
   WM_CHECK(opts.max_delay_us >= 0, "max_delay_us must be non-negative");
   WM_CHECK(opts.queue_capacity > 0, "queue_capacity must be positive");
@@ -61,12 +82,21 @@ InferenceEngine::InferenceEngine(const Classifier& classifier,
 InferenceEngine::~InferenceEngine() { shutdown(); }
 
 std::future<SelectivePrediction> InferenceEngine::submit(WaferMap map) {
+  return submit(std::move(map), obs::TraceContext{}, nullptr);
+}
+
+std::future<SelectivePrediction> InferenceEngine::submit(
+    WaferMap map, obs::TraceContext trace,
+    std::shared_ptr<RequestTiming> timing) {
   std::unique_lock<std::mutex> lock(mutex_);
   space_cv_.wait(lock, [&] {
     return stopping_ || queue_.size() < opts_.queue_capacity;
   });
   WM_CHECK(!stopping_, "submit() on a shut-down engine");
-  queue_.push_back(Request{std::move(map), {}, Clock::now()});
+  const Clock::time_point now = Clock::now();
+  if (timing) timing->enqueue_ns = to_ns(now);
+  queue_.push_back(
+      Request{std::move(map), {}, now, trace, std::move(timing)});
   std::future<SelectivePrediction> fut = queue_.back().promise.get_future();
   queue_depth_gauge_.set(static_cast<double>(queue_.size()));
   obs::trace_counter("serve.queue_depth", static_cast<double>(queue_.size()));
@@ -77,13 +107,22 @@ std::future<SelectivePrediction> InferenceEngine::submit(WaferMap map) {
 
 std::optional<std::future<SelectivePrediction>> InferenceEngine::try_submit(
     WaferMap map) {
+  return try_submit(std::move(map), obs::TraceContext{}, nullptr);
+}
+
+std::optional<std::future<SelectivePrediction>> InferenceEngine::try_submit(
+    WaferMap map, obs::TraceContext trace,
+    std::shared_ptr<RequestTiming> timing) {
   std::unique_lock<std::mutex> lock(mutex_);
   WM_CHECK(!stopping_, "try_submit() on a shut-down engine");
   if (queue_.size() >= opts_.queue_capacity) {
     shed_total_.inc();
     return std::nullopt;
   }
-  queue_.push_back(Request{std::move(map), {}, Clock::now()});
+  const Clock::time_point now = Clock::now();
+  if (timing) timing->enqueue_ns = to_ns(now);
+  queue_.push_back(
+      Request{std::move(map), {}, now, trace, std::move(timing)});
   std::future<SelectivePrediction> fut = queue_.back().promise.get_future();
   queue_depth_gauge_.set(static_cast<double>(queue_.size()));
   obs::trace_counter("serve.queue_depth", static_cast<double>(queue_.size()));
@@ -143,10 +182,13 @@ void InferenceEngine::batcher_loop() {
   for (;;) {
     std::vector<Request> batch;
     bool full_flush = false;
+    std::int64_t wake_ns = 0;
+    std::int64_t formed_ns = 0;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       queue_cv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
       if (queue_.empty()) return;  // stopping and fully drained
+      wake_ns = to_ns(Clock::now());
       if (!stopping_ && queue_.size() < max_batch && opts_.max_delay_us > 0) {
         // Hold the window open for more requests, but no longer than
         // max_delay_us past the oldest one already waiting.
@@ -157,6 +199,7 @@ void InferenceEngine::batcher_loop() {
           return stopping_ || queue_.size() >= max_batch;
         });
       }
+      formed_ns = to_ns(Clock::now());
       const std::size_t take = std::min(queue_.size(), max_batch);
       full_flush = take == max_batch;
       batch.reserve(take);
@@ -185,6 +228,7 @@ void InferenceEngine::batcher_loop() {
       error = std::current_exception();
     }
     const Clock::time_point done = Clock::now();
+    const std::int64_t done_ns = to_ns(done);
 
     {
       std::lock_guard<std::mutex> lock(mutex_);
@@ -198,14 +242,48 @@ void InferenceEngine::batcher_loop() {
             std::chrono::duration_cast<std::chrono::microseconds>(
                 done - batch[i].enqueued)
                 .count());
+        // Per-stage attribution. A request that arrived during the window
+        // wait has enqueue > wake: its queue wait is 0 and its batch wait
+        // starts at its own enqueue.
+        const std::int64_t enq_ns = to_ns(batch[i].enqueued);
+        const std::int64_t picked_ns = std::max(wake_ns, enq_ns);
+        stage_queue_hist_.record((picked_ns - enq_ns) / 1000);
+        stage_batch_hist_.record(
+            std::max<std::int64_t>(formed_ns - picked_ns, 0) / 1000);
+        stage_compute_hist_.record((done_ns - formed_ns) / 1000);
       }
     }
     // Monitor before fulfilling the futures so a caller that polls the
     // monitor right after .get() already sees its own prediction counted.
     if (opts_.monitor != nullptr && !error) {
-      opts_.monitor->observe_batch(preds);
+      bool any_trace = false;
+      for (const Request& r : batch) any_trace |= r.trace.trace_id != 0;
+      if (any_trace) {
+        for (std::size_t i = 0; i < batch.size(); ++i) {
+          opts_.monitor->observe(preds[i], batch[i].trace.trace_id);
+        }
+      } else {
+        opts_.monitor->observe_batch(preds);
+      }
     }
     for (std::size_t i = 0; i < batch.size(); ++i) {
+      // Publish stage timestamps before set_value: the future's readiness
+      // is the release/acquire edge a remote front-end reads them through.
+      const std::int64_t enq_ns = to_ns(batch[i].enqueued);
+      const std::int64_t picked_ns = std::max(wake_ns, enq_ns);
+      if (batch[i].timing) {
+        batch[i].timing->wake_ns = picked_ns;
+        batch[i].timing->formed_ns = std::max(formed_ns, picked_ns);
+        batch[i].timing->done_ns = done_ns;
+      }
+      if (batch[i].trace.active()) {
+        const std::uint64_t id = batch[i].trace.trace_id;
+        obs::trace_span_at("engine.queue", enq_ns, picked_ns, id);
+        obs::trace_span_at("engine.batch", picked_ns,
+                           std::max(formed_ns, picked_ns), id);
+        obs::trace_span_at("engine.compute", formed_ns, done_ns, id);
+        obs::trace_flow('t', id, (formed_ns + done_ns) / 2);
+      }
       if (error) {
         batch[i].promise.set_exception(error);
       } else {

@@ -34,6 +34,7 @@
 #include <cstdint>
 #include <deque>
 #include <future>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
@@ -41,6 +42,7 @@
 #include <vector>
 
 #include "obs/metrics.hpp"
+#include "obs/trace_context.hpp"
 #include "serve/classifier.hpp"
 #include "wafermap/wafer_map.hpp"
 
@@ -65,6 +67,18 @@ struct EngineOptions {
   /// successful flush, in request order). Must outlive the engine; errored
   /// batches are not observed. nullptr = no monitoring.
   SelectiveMonitor* monitor = nullptr;
+};
+
+/// Per-request engine timestamps (obs::trace_clock_ns() values), written by
+/// the batcher thread and published to the submitter through the future's
+/// happens-before — read them only once the request's future is ready.
+/// Held by shared_ptr because net::Server abandons timed-out futures while
+/// the engine still completes them later.
+struct RequestTiming {
+  std::int64_t enqueue_ns = 0;  // set at submit
+  std::int64_t wake_ns = 0;     // batcher cycle that took the request began
+  std::int64_t formed_ns = 0;   // batch closed; compute started
+  std::int64_t done_ns = 0;     // predict_batch returned
 };
 
 /// Compatibility view of the request-latency distribution: an
@@ -115,13 +129,24 @@ class InferenceEngine {
   /// Enqueues one wafer; blocks while the queue is at capacity. The future
   /// resolves with the prediction, or with the classifier's exception if the
   /// batch containing this wafer failed. Throws wm::Error after shutdown().
+  ///
+  /// The traced overload attaches a distributed-trace context (spans are
+  /// emitted per stage when trace.active()) and optionally a RequestTiming
+  /// the batcher fills with per-stage timestamps for every request,
+  /// sampled or not.
   std::future<SelectivePrediction> submit(WaferMap map);
+  std::future<SelectivePrediction> submit(
+      WaferMap map, obs::TraceContext trace,
+      std::shared_ptr<RequestTiming> timing = nullptr);
 
   /// Non-blocking submit for load-shedding front-ends (net::Server): when
   /// the queue is at capacity this returns std::nullopt immediately —
   /// bumping wm_serve_shed_total — instead of blocking the producer.
   /// Otherwise identical to submit(), including the throw after shutdown().
   std::optional<std::future<SelectivePrediction>> try_submit(WaferMap map);
+  std::optional<std::future<SelectivePrediction>> try_submit(
+      WaferMap map, obs::TraceContext trace,
+      std::shared_ptr<RequestTiming> timing = nullptr);
 
   /// Blocking convenience: submit + wait.
   SelectivePrediction predict(const WaferMap& map);
@@ -156,6 +181,8 @@ class InferenceEngine {
     WaferMap map;
     std::promise<SelectivePrediction> promise;
     Clock::time_point enqueued;
+    obs::TraceContext trace{};
+    std::shared_ptr<RequestTiming> timing;  // usually null (in-process path)
   };
 
   void batcher_loop();
@@ -174,6 +201,9 @@ class InferenceEngine {
   obs::Gauge& queue_depth_gauge_;
   obs::Histogram& batch_size_hist_;
   obs::Histogram& latency_hist_;
+  obs::Histogram& stage_queue_hist_;
+  obs::Histogram& stage_batch_hist_;
+  obs::Histogram& stage_compute_hist_;
 
   mutable std::mutex mutex_;
   std::mutex join_mutex_;             // serialises shutdown()'s join

@@ -1,5 +1,6 @@
 #include "serve/monitor.hpp"
 
+#include <cstdio>
 #include <sstream>
 
 #include "common/error.hpp"
@@ -87,7 +88,22 @@ SelectiveMonitor::SelectiveMonitor(const MonitorOptions& opts)
 }
 
 void SelectiveMonitor::observe(const SelectivePrediction& p) {
+  observe(p, 0);
+}
+
+void SelectiveMonitor::observe(const SelectivePrediction& p,
+                               std::uint64_t trace_id) {
   const std::lock_guard<std::mutex> lock(mutex_);
+
+  if (trace_id != 0 && !p.selected) {
+    // A handful of exemplars is enough for an operator to jump from the
+    // alarm straight to concrete requests in the merged trace.
+    constexpr std::size_t kMaxExemplars = 16;
+    recent_abstained_traces_.push_back(trace_id);
+    if (recent_abstained_traces_.size() > kMaxExemplars) {
+      recent_abstained_traces_.pop_front();
+    }
+  }
 
   window_.push_back(p);
   if (p.selected) ++selected_in_window_;
@@ -194,6 +210,16 @@ void SelectiveMonitor::refresh_locked() {
     alarm_ = true;
     alarms_total_.inc();
     alarm_gauge_.set(1.0);
+    // Exemplar trace ids (hex, space-separated) tie the alarm to concrete
+    // requests findable in a merged distributed trace.
+    std::string exemplars;
+    for (const std::uint64_t id : recent_abstained_traces_) {
+      char buf[24];
+      std::snprintf(buf, sizeof(buf), "0x%llx",
+                    static_cast<unsigned long long>(id));
+      if (!exemplars.empty()) exemplars.push_back(' ');
+      exemplars += buf;
+    }
     run_log_.write(
         "drift_alarm",
         {{"cause", coverage_bad ? (risk_bad ? "coverage+risk" : "coverage")
@@ -204,7 +230,8 @@ void SelectiveMonitor::refresh_locked() {
          {"selective_risk", risk},
          {"risk_threshold", opts_.risk_threshold},
          {"abstention_ewma", abstention_ewma_},
-         {"window_fill", static_cast<std::uint64_t>(n)}});
+         {"window_fill", static_cast<std::uint64_t>(n)},
+         {"abstained_trace_ids", exemplars}});
   } else if (alarm_) {
     const double clear_cov_bound =
         opts_.coverage_tolerance * opts_.clear_fraction;
@@ -222,6 +249,11 @@ void SelectiveMonitor::refresh_locked() {
                       {"window_fill", static_cast<std::uint64_t>(n)}});
     }
   }
+}
+
+std::vector<std::uint64_t> SelectiveMonitor::recent_abstained_traces() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return {recent_abstained_traces_.begin(), recent_abstained_traces_.end()};
 }
 
 MonitorSnapshot SelectiveMonitor::snapshot() const {

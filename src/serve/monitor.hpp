@@ -106,9 +106,17 @@ class SelectiveMonitor {
   SelectiveMonitor& operator=(const SelectiveMonitor&) = delete;
 
   /// Feeds one prediction into the windows, updates the gauges and counter
-  /// tracks, and re-evaluates the alarm.
+  /// tracks, and re-evaluates the alarm. The trace-id overload additionally
+  /// remembers the ids of recently abstained traced requests (a small ring)
+  /// so a drift_alarm event names concrete exemplar requests an operator
+  /// can pull out of the merged trace; trace_id 0 behaves like the plain
+  /// overload.
   void observe(const SelectivePrediction& p);
+  void observe(const SelectivePrediction& p, std::uint64_t trace_id);
   void observe_batch(std::span<const SelectivePrediction> preds);
+
+  /// Trace ids of recently observed abstained requests, oldest first.
+  std::vector<std::uint64_t> recent_abstained_traces() const;
 
   /// Ground-truth feedback: the prediction as served plus the later-arriving
   /// true label. Drives the windowed empirical selective risk.
@@ -150,6 +158,7 @@ class SelectiveMonitor {
 
   mutable std::mutex mutex_;
   std::deque<SelectivePrediction> window_;
+  std::deque<std::uint64_t> recent_abstained_traces_;  // bounded exemplars
   std::deque<Outcome> outcomes_;
   std::size_t selected_in_window_ = 0;
   double g_sum_in_window_ = 0.0;

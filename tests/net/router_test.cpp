@@ -9,8 +9,11 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdio>
 #include <future>
 #include <memory>
+#include <set>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -20,6 +23,9 @@
 #include "net/server.hpp"
 #include "net/socket_util.hpp"
 #include "obs/http_exporter.hpp"
+#include "obs/json_check.hpp"
+#include "obs/trace.hpp"
+#include "obs/trace_context.hpp"
 #include "serve/inference_engine.hpp"
 
 namespace wm::net {
@@ -261,6 +267,120 @@ TEST(RouterTest, CloseFailsOutstandingAndIsIdempotent) {
 
 TEST(RouterTest, RejectsEmptyFleet) {
   EXPECT_THROW(Router({.replicas = {}}), Error);
+}
+
+TEST(RouterTest, ProbeCountersTrackHealthzTraffic) {
+  std::atomic<bool> replica_up{true};
+  obs::Registry health_registry;
+  obs::HttpExporter exporter(
+      {.registry = &health_registry,
+       .healthy = [&] { return replica_up.load(); }});
+
+  auto replica = std::make_unique<Replica>();
+  const int port = replica->server.port();
+  obs::Registry registry;
+  Router router({.replicas = {{.port = port,
+                               .health_port = exporter.port()}},
+                 .health_interval_ms = 10,
+                 .registry = &registry,
+                 .client = fast_client()});
+  ASSERT_EQ(router.predict(test_map()).status, Status::kOk);
+
+  const auto probes = [&] {
+    return registry.counter("wm_router_probe_total", "").value();
+  };
+  const auto failed = [&] {
+    return registry.counter("wm_router_probe_fail_total", "").value();
+  };
+  // Healthy fleet: the prober only probes EJECTED replicas.
+  EXPECT_EQ(probes(), 0u);
+
+  // Kill the replica with /healthz answering 503: every probe now issues
+  // AND fails, and both counters advance together.
+  replica_up.store(false);
+  replica.reset();
+  ASSERT_EQ(router.predict(test_map()).status, Status::kConnectionError);
+  ASSERT_EQ(router.healthy_count(), 0u);
+  // probe_total increments before each probe and probe_fail after it
+  // completes, so wait on the trailing counter.
+  const auto deadline = std::chrono::steady_clock::now() + 10s;
+  while (failed() < 3 && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(5ms);
+  }
+  EXPECT_GE(probes(), 3u);
+  EXPECT_GE(failed(), 3u);
+  EXPECT_LE(failed(), probes());
+
+  // Recovery: probes keep issuing but stop failing once /healthz is 200.
+  replica = std::make_unique<Replica>(0.75f, port);
+  replica_up.store(true);
+  while (router.healthy_count() == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(5ms);
+  }
+  ASSERT_EQ(router.healthy_count(), 1u);
+  EXPECT_GT(probes(), failed());  // at least the rejoin probe succeeded
+}
+
+TEST(RouterTest, AttemptsReportFailoverDispatches) {
+  Replica live;
+  Router router({.replicas = {{.port = dead_port()},
+                              {.port = live.server.port()}},
+                 .client = fast_client()});
+  // First call may land on the dead replica and fail over; attempts counts
+  // every dispatch the call consumed.
+  const CallResult r = router.predict_async(test_map(), 0).get();
+  ASSERT_EQ(r.status, Status::kOk);
+  EXPECT_GE(r.attempts, 1);
+  EXPECT_LE(r.attempts, 2);
+
+  // With only the live replica left, calls settle at exactly one attempt.
+  const CallResult r2 = router.predict_async(test_map(), 0).get();
+  ASSERT_EQ(r2.status, Status::kOk);
+  EXPECT_EQ(r2.attempts, 1);
+}
+
+TEST(RouterTest, RouterIsTheOriginHopWhenHandedAFreshContext) {
+  obs::trace_clear();
+  obs::set_trace_enabled(true);
+  Replica a;
+  Router router({.replicas = {{.port = a.server.port()}}});
+
+  const obs::TraceContext ctx = obs::start_trace();
+  const CallResult r = router.predict_async(test_map(), 0, ctx).get();
+  ASSERT_EQ(r.status, Status::kOk);
+  router.close();
+  obs::set_trace_enabled(false);
+
+  char want[24];
+  std::snprintf(want, sizeof(want), "0x%llx",
+                static_cast<unsigned long long>(ctx.trace_id));
+  std::set<std::string> spans;
+  int flow_s = 0, flow_t = 0, flow_f = 0;
+  const testjson::Value doc = testjson::parse(obs::trace_to_json());
+  for (const testjson::Value& e : doc.at("traceEvents").arr()) {
+    const std::string& ph = e.at("ph").str();
+    if (ph == "X" && e.has("args") && e.at("args").has("trace_id") &&
+        e.at("args").at("trace_id").str() == want) {
+      spans.insert(e.at("name").str());
+    } else if ((ph == "s" || ph == "t" || ph == "f") &&
+               e.at("id").str() == want) {
+      flow_s += ph == "s";
+      flow_t += ph == "t";
+      flow_f += ph == "f";
+    }
+  }
+  obs::trace_clear();
+
+  // The router received parent_span == 0, so IT brackets the chain with the
+  // unique s/f pair; its per-replica client (stamped hop id) contributes a
+  // 't' step instead of a second 's'.
+  EXPECT_EQ(spans.count("router.request"), 1u);
+  EXPECT_EQ(spans.count("client.call"), 1u);
+  EXPECT_EQ(spans.count("server.request"), 1u);
+  EXPECT_EQ(flow_s, 1);
+  EXPECT_EQ(flow_f, 1);
+  EXPECT_GE(flow_t, 2);  // client + server (+ engine)
 }
 
 // --- client backoff regression -------------------------------------------

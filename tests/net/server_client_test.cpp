@@ -9,9 +9,12 @@
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <cstdio>
 #include <cstdlib>
 #include <future>
 #include <mutex>
+#include <set>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -20,6 +23,9 @@
 #include "net/client.hpp"
 #include "net/socket_util.hpp"
 #include "net/wire.hpp"
+#include "obs/json_check.hpp"
+#include "obs/trace.hpp"
+#include "obs/trace_context.hpp"
 #include "serve/inference_engine.hpp"
 
 namespace wm::net {
@@ -230,7 +236,7 @@ TEST(NetServerTest, CorruptBodyAnsweredMalformedConnectionSurvives) {
   req.request_id = 42;
   req.map = test_maps(1)[0];
   std::vector<std::uint8_t> bytes = encode_request(req);
-  bytes[kHeaderBytes + 6] = 0xFF;  // four invalid dies in the payload
+  bytes[kHeaderBytes + 23] = 0xFF;  // four invalid dies in the payload
   ASSERT_TRUE(write_all(fd, bytes.data(), bytes.size()));
 
   // Read one full response frame off the raw socket.
@@ -399,6 +405,179 @@ TEST(NetSocketUtilTest, WakePipeWakesAndDrains) {
   pipe.drain();  // must not block even after multiple wakes
   pipe.drain();  // or when already empty
   EXPECT_GE(pipe.read_fd(), 0);
+}
+
+/// Scoped tracer enable + clean slate; the tracer is process-global state
+/// shared with every other test in this binary.
+class NetTracingTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    obs::trace_clear();
+    obs::set_trace_enabled(true);
+  }
+  void TearDown() override {
+    obs::set_trace_enabled(false);
+    obs::trace_clear();
+  }
+
+  /// Spans tagged with `id` in the current export, by name; also counts the
+  /// trace's flow events into s/t/f.
+  struct TraceView {
+    std::set<std::string> spans;
+    int s = 0, t = 0, f = 0;
+  };
+  static TraceView view_for(std::uint64_t id) {
+    char want[24];
+    std::snprintf(want, sizeof(want), "0x%llx",
+                  static_cast<unsigned long long>(id));
+    TraceView v;
+    const testjson::Value doc = testjson::parse(obs::trace_to_json());
+    for (const testjson::Value& e : doc.at("traceEvents").arr()) {
+      const std::string& ph = e.at("ph").str();
+      if (ph == "X" && e.has("args") && e.at("args").has("trace_id") &&
+          e.at("args").at("trace_id").str() == want) {
+        v.spans.insert(e.at("name").str());
+      } else if ((ph == "s" || ph == "t" || ph == "f") &&
+                 e.at("id").str() == want) {
+        v.s += ph == "s";
+        v.t += ph == "t";
+        v.f += ph == "f";
+      }
+    }
+    return v;
+  }
+};
+
+TEST_F(NetTracingTest, SampledRoundTripLinksClientServerEngineSpans) {
+  FakeClassifier clf;
+  serve::InferenceEngine engine(clf, {.max_batch = 4, .max_delay_us = 0});
+  Server server(engine, {.workers = 1, .name = "srv"});
+  Client client({.port = server.port(), .name = "cli"});
+
+  const obs::TraceContext ctx = obs::start_trace();
+  const CallResult r = client.predict_async(test_maps(1)[0], 0, ctx).get();
+  ASSERT_EQ(r.status, Status::kOk);
+  // Per-stage attribution rides back on every response, sampled or not.
+  EXPECT_GT(r.server.total_us, 0u);
+  EXPECT_GE(r.server.total_us,
+            r.server.queue_us + r.server.batch_us + r.server.compute_us);
+
+  const TraceView v = view_for(ctx.trace_id);
+  EXPECT_EQ(v.spans.count("client.call"), 1u);
+  EXPECT_EQ(v.spans.count("server.request"), 1u);
+  EXPECT_EQ(v.spans.count("engine.compute"), 1u);
+  // The direct client is the origin hop: exactly one s/f pair, with the
+  // server and engine contributing 't' steps in between.
+  EXPECT_EQ(v.s, 1);
+  EXPECT_EQ(v.f, 1);
+  EXPECT_GE(v.t, 2);
+}
+
+TEST_F(NetTracingTest, ConcurrentSampledCallsKeepDistinctTraceIds) {
+  FakeClassifier clf;
+  serve::InferenceEngine engine(clf, {.max_batch = 8, .max_delay_us = 500,
+                                      .queue_capacity = 64});
+  Server server(engine, {.workers = 2});
+  Client client({.port = server.port()});
+
+  const auto maps = test_maps(8);
+  std::vector<obs::TraceContext> ctxs;
+  std::vector<std::future<CallResult>> futs;
+  for (const auto& map : maps) {
+    ctxs.push_back(obs::start_trace());
+    futs.push_back(client.predict_async(map, 0, ctxs.back()));
+  }
+  for (auto& f : futs) ASSERT_EQ(f.get().status, Status::kOk);
+
+  std::set<std::uint64_t> ids;
+  for (const auto& ctx : ctxs) {
+    EXPECT_TRUE(ids.insert(ctx.trace_id).second);
+    const TraceView v = view_for(ctx.trace_id);
+    // Every request's spans stay attributed to its own id, even when the
+    // calls interleave inside one batch.
+    EXPECT_EQ(v.spans.count("client.call"), 1u);
+    EXPECT_EQ(v.spans.count("server.request"), 1u);
+    EXPECT_EQ(v.s, 1);
+    EXPECT_EQ(v.f, 1);
+  }
+}
+
+TEST_F(NetTracingTest, MalformedRequestStillClosesItsSpan) {
+  FakeClassifier clf;
+  serve::InferenceEngine engine(clf, {.max_batch = 4, .max_delay_us = 0});
+  Server server(engine, {.workers = 1});
+
+  // Hand-corrupt a traced request's wafer payload: the body fails decode,
+  // but the trace context sits ahead of the wafer, so the MALFORMED
+  // response must still close a "server.request" span under this id.
+  const obs::TraceContext ctx = obs::start_trace();
+  RequestFrame req;
+  req.request_id = 7;
+  req.trace = ctx;
+  req.map = test_maps(1)[0];
+  std::vector<std::uint8_t> bytes = encode_request(req);
+  bytes[kHeaderBytes + 23] = 0xFF;  // invalid dies in the payload
+
+  const int fd = connect_tcp("127.0.0.1", server.port(), 2000);
+  ASSERT_TRUE(write_all(fd, bytes.data(), bytes.size()));
+  std::vector<std::uint8_t> in;
+  std::uint8_t buf[256];
+  ParsedFrame frame;
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    ASSERT_GT(n, 0);
+    in.insert(in.end(), buf, buf + n);
+    frame = try_parse_frame(in.data(), in.size());
+    ASSERT_NE(frame.status, DecodeStatus::kBad);
+    if (frame.status == DecodeStatus::kFrame) break;
+  }
+  ::close(fd);
+  const ResponseFrame resp =
+      decode_response_body(frame.request_id, frame.body, frame.body_len);
+  EXPECT_EQ(resp.status, Status::kMalformed);
+  EXPECT_GT(resp.timing.total_us, 0u);
+
+  const TraceView v = view_for(ctx.trace_id);
+  EXPECT_EQ(v.spans.count("server.request"), 1u);
+  EXPECT_EQ(v.t, 1);
+}
+
+TEST_F(NetTracingTest, TimedOutRequestStillClosesBothSpans) {
+  FakeClassifier clf(/*gated=*/true);
+  serve::InferenceEngine engine(clf, {.max_batch = 1, .max_delay_us = 0});
+  Server server(engine, {.workers = 1});
+  Client client({.port = server.port()});
+
+  const obs::TraceContext ctx = obs::start_trace();
+  const CallResult r =
+      client.predict_async(test_maps(1)[0], /*deadline_ms=*/30, ctx).get();
+  EXPECT_EQ(r.status, Status::kTimeout);
+  clf.release();
+
+  // The engine is still grinding, but both hop spans around the timeout
+  // are already closed — no sampled call leaves an open span.
+  const TraceView v = view_for(ctx.trace_id);
+  EXPECT_EQ(v.spans.count("client.call"), 1u);
+  EXPECT_EQ(v.spans.count("server.request"), 1u);
+  EXPECT_EQ(v.s, 1);
+  EXPECT_EQ(v.f, 1);
+}
+
+TEST_F(NetTracingTest, UnsampledContextEmitsNoSpans) {
+  FakeClassifier clf;
+  serve::InferenceEngine engine(clf, {.max_batch = 4, .max_delay_us = 0});
+  Server server(engine, {.workers = 1});
+  Client client({.port = server.port()});
+
+  // sampled=false travels the wire but must not emit on either side.
+  const obs::TraceContext ctx = obs::start_trace(/*sampled=*/false);
+  const CallResult r = client.predict_async(test_maps(1)[0], 0, ctx).get();
+  ASSERT_EQ(r.status, Status::kOk);
+  EXPECT_GT(r.server.total_us, 0u);  // stage timing still rides back
+
+  const TraceView v = view_for(ctx.trace_id);
+  EXPECT_TRUE(v.spans.empty());
+  EXPECT_EQ(v.s + v.t + v.f, 0);
 }
 
 }  // namespace

@@ -64,6 +64,9 @@ TEST(WireTest, RequestRoundTripAcrossAllDefectClasses) {
       RequestFrame req;
       req.request_id = 1000 * static_cast<std::uint64_t>(size) + i;
       req.deadline_ms = static_cast<std::uint32_t>(rng.uniform_int(0, 10'000));
+      req.trace.trace_id = rng.next_u64();
+      req.trace.parent_span = rng.next_u64();
+      req.trace.sampled = (i % 2) == 0;
       req.map = data[i].map;
 
       const std::vector<std::uint8_t> bytes = encode_request(req);
@@ -76,6 +79,9 @@ TEST(WireTest, RequestRoundTripAcrossAllDefectClasses) {
       const RequestFrame back =
           decode_request_body(frame.request_id, frame.body, frame.body_len);
       EXPECT_EQ(back.deadline_ms, req.deadline_ms);
+      EXPECT_EQ(back.trace.trace_id, req.trace.trace_id);
+      EXPECT_EQ(back.trace.parent_span, req.trace.parent_span);
+      EXPECT_EQ(back.trace.sampled, req.trace.sampled);
       EXPECT_TRUE(maps_equal(back.map, req.map));
     }
   }
@@ -95,6 +101,10 @@ TEST(WireTest, ResponseRoundTripIsBitExact) {
     const std::uint32_t c_bits = static_cast<std::uint32_t>(rng.next_u64());
     std::memcpy(&resp.prediction.g, &g_bits, sizeof(float));
     std::memcpy(&resp.prediction.confidence, &c_bits, sizeof(float));
+    resp.timing.queue_us = static_cast<std::uint32_t>(rng.next_u64());
+    resp.timing.batch_us = static_cast<std::uint32_t>(rng.next_u64());
+    resp.timing.compute_us = static_cast<std::uint32_t>(rng.next_u64());
+    resp.timing.total_us = static_cast<std::uint32_t>(rng.next_u64());
 
     const std::vector<std::uint8_t> bytes = encode_response(resp);
     const ParsedFrame frame = try_parse_frame(bytes.data(), bytes.size());
@@ -113,7 +123,43 @@ TEST(WireTest, ResponseRoundTripIsBitExact) {
     EXPECT_EQ(std::memcmp(&back.prediction.confidence,
                           &resp.prediction.confidence, sizeof(float)),
               0);
+    EXPECT_EQ(back.timing.queue_us, resp.timing.queue_us);
+    EXPECT_EQ(back.timing.batch_us, resp.timing.batch_us);
+    EXPECT_EQ(back.timing.compute_us, resp.timing.compute_us);
+    EXPECT_EQ(back.timing.total_us, resp.timing.total_us);
   }
+}
+
+TEST(WireTest, PeekRequestTraceReadsContextWithoutFullDecode) {
+  Rng rng(17);
+  RequestFrame req;
+  req.request_id = 77;
+  req.trace.trace_id = 0xDEADBEEFCAFE1234ULL;
+  req.trace.parent_span = 0x1122334455667788ULL;
+  req.trace.sampled = true;
+  req.map = random_map(rng, 8);
+  const std::vector<std::uint8_t> bytes = encode_request(req);
+  const ParsedFrame f = try_parse_frame(bytes.data(), bytes.size());
+  ASSERT_EQ(f.status, DecodeStatus::kFrame);
+
+  // Whole body: context extracted.
+  auto ctx = peek_request_trace(f.body, f.body_len);
+  ASSERT_TRUE(ctx.has_value());
+  EXPECT_EQ(ctx->trace_id, req.trace.trace_id);
+  EXPECT_EQ(ctx->parent_span, req.trace.parent_span);
+  EXPECT_TRUE(ctx->sampled);
+
+  // A body whose *wafer* is corrupt still yields the context — this is what
+  // lets a MALFORMED response stay attributable to its trace.
+  std::vector<std::uint8_t> body(f.body, f.body + f.body_len);
+  body[23] = 0xFF;
+  EXPECT_THROW(decode_request_body(77, body.data(), body.size()), WireError);
+  ctx = peek_request_trace(body.data(), body.size());
+  ASSERT_TRUE(ctx.has_value());
+  EXPECT_EQ(ctx->trace_id, req.trace.trace_id);
+
+  // Too short to even hold the fixed prefix: no context, no throw.
+  EXPECT_FALSE(peek_request_trace(body.data(), 10).has_value());
 }
 
 TEST(WireTest, TruncatedFramesAreNeedMoreAtEveryPrefix) {
@@ -146,10 +192,19 @@ std::vector<std::uint8_t> valid_request_bytes() {
 TEST(WireTest, BadVersionTypeReservedAreRejected) {
   {
     auto bytes = valid_request_bytes();
-    bytes[4] = 2;  // future version
+    bytes[4] = kWireVersion + 1;  // future version
     const ParsedFrame f = try_parse_frame(bytes.data(), bytes.size());
     EXPECT_EQ(f.status, DecodeStatus::kBad);
     EXPECT_NE(f.error.find("version"), std::string::npos);
+  }
+  {
+    // A v1 peer (pre-trace-context layout) must be rejected at the header,
+    // before its differently-shaped body could ever be misparsed.
+    auto bytes = valid_request_bytes();
+    bytes[4] = 1;
+    const ParsedFrame f = try_parse_frame(bytes.data(), bytes.size());
+    EXPECT_EQ(f.status, DecodeStatus::kBad);
+    EXPECT_NE(f.error.find("unsupported version 1"), std::string::npos);
   }
   {
     auto bytes = valid_request_bytes();
@@ -195,30 +250,36 @@ TEST(WireTest, RequestBodyValidationThrowsWireError) {
   const std::uint8_t tiny[3] = {0, 0, 0};
   EXPECT_THROW(decode_request_body(1, tiny, sizeof(tiny)), WireError);
 
-  // map_size inconsistent with the byte count.
+  // map_size (offset 21 in the v2 body) inconsistent with the byte count.
   auto bytes = valid_request_bytes();
   const ParsedFrame f = try_parse_frame(bytes.data(), bytes.size());
   ASSERT_EQ(f.status, DecodeStatus::kFrame);
   {
     std::vector<std::uint8_t> body(f.body, f.body + f.body_len);
-    body[4] = 200;  // claims a 200-wide wafer; bytes are for size 8
+    body[21] = 200;  // claims a 200-wide wafer; bytes are for size 8
     EXPECT_THROW(decode_request_body(1, body.data(), body.size()), WireError);
   }
   // Sizes the protocol refuses outright (incl. below WaferMap's minimum,
   // which must surface as WireError, not any other exception type).
   {
     std::vector<std::uint8_t> body(f.body, f.body + f.body_len);
-    body[4] = 1;
-    body[5] = 0;
+    body[21] = 1;
+    body[22] = 0;
     EXPECT_THROW(decode_request_body(1, body.data(), body.size()), WireError);
-    body[4] = 0x02;
-    body[5] = 0x02;  // 514 > kMaxWireMapSize
+    body[21] = 0x02;
+    body[22] = 0x02;  // 514 > kMaxWireMapSize
     EXPECT_THROW(decode_request_body(1, body.data(), body.size()), WireError);
   }
   // An invalid 2-bit die value (3).
   {
     std::vector<std::uint8_t> body(f.body, f.body + f.body_len);
-    body[6] = 0xFF;  // first four dies all 0b11
+    body[23] = 0xFF;  // first four dies all 0b11
+    EXPECT_THROW(decode_request_body(1, body.data(), body.size()), WireError);
+  }
+  // Unknown trace-flag bits (offset 20) are rejected, reserved for v3+.
+  {
+    std::vector<std::uint8_t> body(f.body, f.body + f.body_len);
+    body[20] = 0x82;
     EXPECT_THROW(decode_request_body(1, body.data(), body.size()), WireError);
   }
 }

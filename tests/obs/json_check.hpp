@@ -1,231 +1,10 @@
-// Minimal strict JSON parser for validating wm::obs exporter output in
-// tests. Parses a full document into a small DOM; throws std::runtime_error
-// on any syntax violation, trailing garbage, or bad lookup, which gtest
-// surfaces as a test failure.
+// Historical home of the test JSON parser. The implementation moved to
+// src/common/minijson.hpp so runtime code (wm_tool trace-merge) can reuse
+// it; tests keep their wm::testjson spelling via this alias.
 #pragma once
 
-#include <cctype>
-#include <cstdlib>
-#include <map>
-#include <stdexcept>
-#include <string>
-#include <variant>
-#include <vector>
+#include "common/minijson.hpp"
 
-namespace wm::testjson {
-
-struct Value;
-using Array = std::vector<Value>;
-using Object = std::map<std::string, Value>;
-
-struct Value {
-  std::variant<std::nullptr_t, bool, double, std::string, Array, Object> v;
-
-  bool is_null() const { return std::holds_alternative<std::nullptr_t>(v); }
-  bool is_number() const { return std::holds_alternative<double>(v); }
-  bool is_string() const { return std::holds_alternative<std::string>(v); }
-  bool is_array() const { return std::holds_alternative<Array>(v); }
-  bool is_object() const { return std::holds_alternative<Object>(v); }
-
-  double num() const { return std::get<double>(v); }
-  bool boolean() const { return std::get<bool>(v); }
-  const std::string& str() const { return std::get<std::string>(v); }
-  const Array& arr() const { return std::get<Array>(v); }
-  const Object& obj() const { return std::get<Object>(v); }
-
-  bool has(const std::string& key) const {
-    return is_object() && obj().count(key) > 0;
-  }
-  const Value& at(const std::string& key) const {
-    const Object& o = obj();
-    auto it = o.find(key);
-    if (it == o.end()) throw std::runtime_error("missing key: " + key);
-    return it->second;
-  }
-};
-
-namespace detail {
-
-class Parser {
- public:
-  explicit Parser(const std::string& text) : s_(text) {}
-
-  Value parse_document() {
-    Value v = parse_value();
-    skip_ws();
-    if (pos_ != s_.size()) fail("trailing characters after document");
-    return v;
-  }
-
- private:
-  [[noreturn]] void fail(const std::string& why) const {
-    throw std::runtime_error("JSON parse error at byte " +
-                             std::to_string(pos_) + ": " + why);
-  }
-
-  void skip_ws() {
-    while (pos_ < s_.size() &&
-           (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' ||
-            s_[pos_] == '\r')) {
-      ++pos_;
-    }
-  }
-
-  char peek() {
-    if (pos_ >= s_.size()) fail("unexpected end of input");
-    return s_[pos_];
-  }
-
-  void expect(char c) {
-    if (peek() != c) fail(std::string("expected '") + c + "'");
-    ++pos_;
-  }
-
-  bool consume_literal(const char* lit) {
-    std::size_t n = 0;
-    while (lit[n] != '\0') ++n;
-    if (s_.compare(pos_, n, lit) != 0) return false;
-    pos_ += n;
-    return true;
-  }
-
-  Value parse_value() {
-    skip_ws();
-    switch (peek()) {
-      case '{':
-        return parse_object();
-      case '[':
-        return parse_array();
-      case '"':
-        return Value{parse_string()};
-      case 't':
-        if (!consume_literal("true")) fail("bad literal");
-        return Value{true};
-      case 'f':
-        if (!consume_literal("false")) fail("bad literal");
-        return Value{false};
-      case 'n':
-        if (!consume_literal("null")) fail("bad literal");
-        return Value{nullptr};
-      default:
-        return parse_number();
-    }
-  }
-
-  Value parse_object() {
-    expect('{');
-    Object out;
-    skip_ws();
-    if (peek() == '}') {
-      ++pos_;
-      return Value{std::move(out)};
-    }
-    for (;;) {
-      skip_ws();
-      std::string key = parse_string();
-      skip_ws();
-      expect(':');
-      out[std::move(key)] = parse_value();
-      skip_ws();
-      if (peek() == ',') {
-        ++pos_;
-        continue;
-      }
-      expect('}');
-      return Value{std::move(out)};
-    }
-  }
-
-  Value parse_array() {
-    expect('[');
-    Array out;
-    skip_ws();
-    if (peek() == ']') {
-      ++pos_;
-      return Value{std::move(out)};
-    }
-    for (;;) {
-      out.push_back(parse_value());
-      skip_ws();
-      if (peek() == ',') {
-        ++pos_;
-        continue;
-      }
-      expect(']');
-      return Value{std::move(out)};
-    }
-  }
-
-  std::string parse_string() {
-    expect('"');
-    std::string out;
-    for (;;) {
-      if (pos_ >= s_.size()) fail("unterminated string");
-      char c = s_[pos_++];
-      if (c == '"') return out;
-      if (static_cast<unsigned char>(c) < 0x20) fail("raw control character");
-      if (c != '\\') {
-        out.push_back(c);
-        continue;
-      }
-      if (pos_ >= s_.size()) fail("dangling escape");
-      char e = s_[pos_++];
-      switch (e) {
-        case '"': out.push_back('"'); break;
-        case '\\': out.push_back('\\'); break;
-        case '/': out.push_back('/'); break;
-        case 'b': out.push_back('\b'); break;
-        case 'f': out.push_back('\f'); break;
-        case 'n': out.push_back('\n'); break;
-        case 'r': out.push_back('\r'); break;
-        case 't': out.push_back('\t'); break;
-        case 'u': {
-          if (pos_ + 4 > s_.size()) fail("short \\u escape");
-          unsigned code = 0;
-          for (int i = 0; i < 4; ++i) {
-            char h = s_[pos_++];
-            code <<= 4;
-            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
-            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
-            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
-            else fail("bad \\u escape digit");
-          }
-          // Tests only produce ASCII escapes; anything else is kept as '?'.
-          out.push_back(code < 0x80 ? static_cast<char>(code) : '?');
-          break;
-        }
-        default:
-          fail("bad escape");
-      }
-    }
-  }
-
-  Value parse_number() {
-    const std::size_t start = pos_;
-    if (peek() == '-') ++pos_;
-    if (!std::isdigit(static_cast<unsigned char>(peek()))) fail("bad number");
-    while (pos_ < s_.size() &&
-           (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
-            s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
-            s_[pos_] == '+' || s_[pos_] == '-')) {
-      ++pos_;
-    }
-    const std::string tok = s_.substr(start, pos_ - start);
-    char* end = nullptr;
-    const double d = std::strtod(tok.c_str(), &end);
-    if (end != tok.c_str() + tok.size()) fail("bad number: " + tok);
-    return Value{d};
-  }
-
-  const std::string& s_;
-  std::size_t pos_ = 0;
-};
-
-}  // namespace detail
-
-/// Parses `text` as one JSON document; throws std::runtime_error if invalid.
-inline Value parse(const std::string& text) {
-  return detail::Parser(text).parse_document();
-}
-
-}  // namespace wm::testjson
+namespace wm {
+namespace testjson = ::wm::minijson;
+}  // namespace wm

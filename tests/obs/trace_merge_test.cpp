@@ -1,0 +1,105 @@
+// wm::obs::merge_trace_json — realigning per-process trace files onto one
+// timeline (baseNs shift), pid-collision remapping, and error handling.
+#include "obs/trace_merge.hpp"
+
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/json_check.hpp"
+
+namespace wm::obs {
+namespace {
+
+std::string doc_with(const std::string& base_ns, int pid, double ts_us,
+                     const std::string& name) {
+  std::string out = "{\"displayTimeUnit\":\"ms\",";
+  if (!base_ns.empty()) {
+    out += "\"otherData\":{\"baseNs\":\"" + base_ns + "\"},";
+  }
+  out += "\"traceEvents\":[{\"name\":\"" + name +
+         "\",\"cat\":\"wm\",\"ph\":\"X\",\"pid\":" + std::to_string(pid) +
+         ",\"tid\":0,\"ts\":" + std::to_string(ts_us) + ",\"dur\":5}]}";
+  return out;
+}
+
+TEST(TraceMerge, RealignsTimestampsByBaseNs) {
+  // Process B started 2 ms after A on the shared monotonic clock; after the
+  // merge B's events must sit 2000 us later so "simultaneous" is true.
+  const std::string a = doc_with("1000000000", 11, 100.0, "a_span");
+  const std::string b = doc_with("1002000000", 12, 100.0, "b_span");
+  const testjson::Value doc = testjson::parse(merge_trace_json({a, b}));
+
+  double a_ts = -1.0, b_ts = -1.0;
+  for (const testjson::Value& e : doc.at("traceEvents").arr()) {
+    if (e.at("name").str() == "a_span") a_ts = e.at("ts").num();
+    if (e.at("name").str() == "b_span") b_ts = e.at("ts").num();
+  }
+  EXPECT_DOUBLE_EQ(a_ts, 100.0);
+  EXPECT_DOUBLE_EQ(b_ts, 2100.0);
+}
+
+TEST(TraceMerge, CollidingPidsAreRemappedApart) {
+  // Two files both claim pid 7: the later file moves wholesale to a fresh
+  // pid so the Perfetto process tracks never fuse.
+  const std::string a = doc_with("", 7, 1.0, "first");
+  const std::string b = doc_with("", 7, 2.0, "second");
+  const testjson::Value doc = testjson::parse(merge_trace_json({a, b}));
+
+  std::set<double> pids;
+  for (const testjson::Value& e : doc.at("traceEvents").arr()) {
+    pids.insert(e.at("pid").num());
+  }
+  EXPECT_EQ(pids.size(), 2u);
+  EXPECT_EQ(pids.count(7.0), 1u);
+}
+
+TEST(TraceMerge, DistinctPidsAndForeignDocsPassThroughUnchanged) {
+  // No baseNs (a foreign trace) and no pid collision: nothing shifts.
+  const std::string a = doc_with("", 1, 10.0, "one");
+  const std::string b = doc_with("", 2, 20.0, "two");
+  const testjson::Value doc = testjson::parse(merge_trace_json({a, b}));
+
+  for (const testjson::Value& e : doc.at("traceEvents").arr()) {
+    if (e.at("name").str() == "one") {
+      EXPECT_DOUBLE_EQ(e.at("pid").num(), 1.0);
+      EXPECT_DOUBLE_EQ(e.at("ts").num(), 10.0);
+    } else {
+      EXPECT_DOUBLE_EQ(e.at("pid").num(), 2.0);
+      EXPECT_DOUBLE_EQ(e.at("ts").num(), 20.0);
+    }
+  }
+}
+
+TEST(TraceMerge, FlowEventIdsSurviveTheMerge) {
+  // Flow linkage is what makes a distributed request legible; the 's'/'f'
+  // ids must come through byte-identical even when pids are remapped.
+  const std::string a =
+      "{\"otherData\":{\"baseNs\":\"5000\"},\"traceEvents\":["
+      "{\"name\":\"req\",\"cat\":\"wm.flow\",\"ph\":\"s\",\"id\":\"0xbeef\","
+      "\"pid\":3,\"tid\":0,\"ts\":1.0}]}";
+  const std::string b =
+      "{\"otherData\":{\"baseNs\":\"5000\"},\"traceEvents\":["
+      "{\"name\":\"req\",\"cat\":\"wm.flow\",\"ph\":\"f\",\"bp\":\"e\","
+      "\"id\":\"0xbeef\",\"pid\":3,\"tid\":0,\"ts\":9.0}]}";
+  const testjson::Value doc = testjson::parse(merge_trace_json({a, b}));
+
+  int flows = 0;
+  for (const testjson::Value& e : doc.at("traceEvents").arr()) {
+    EXPECT_EQ(e.at("id").str(), "0xbeef");
+    ++flows;
+  }
+  EXPECT_EQ(flows, 2);
+}
+
+TEST(TraceMerge, MalformedInputThrows) {
+  EXPECT_THROW(merge_trace_json({"not json"}), std::runtime_error);
+  EXPECT_THROW(merge_trace_json({"{\"noTraceEvents\":1}"}),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace wm::obs

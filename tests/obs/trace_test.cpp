@@ -1,14 +1,18 @@
 // wm::obs tracing: the off-by-default gate, span recording, ring-buffer
-// wrap-around, and Chrome-trace JSON export well-formedness.
+// wrap-around, Chrome-trace JSON export well-formedness, and the
+// distributed-tracing primitives (retro spans, flow events, trace ids).
 #include "obs/trace.hpp"
 
+#include <algorithm>
 #include <limits>
+#include <set>
 #include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
 
 #include "obs/json_check.hpp"
+#include "obs/trace_context.hpp"
 
 namespace wm::obs {
 namespace {
@@ -174,6 +178,127 @@ TEST_F(TraceTest, WriteJsonProducesLoadableFile) {
   std::remove(path.c_str());
   const testjson::Value doc = testjson::parse(content);
   EXPECT_TRUE(doc.at("traceEvents").is_array());
+}
+
+TEST_F(TraceTest, ConcurrentRingWrapsStillExportValidJson) {
+  set_trace_enabled(true);
+  // Tiny rings force every thread to wrap dozens of times while the spans,
+  // flows and counters interleave; the export must stay parseable and the
+  // drop accounting exact regardless of where each ring's write head is.
+  set_trace_buffer_capacity(16);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([t] {
+      set_trace_thread_label("wrapper" + std::to_string(t));
+      for (int i = 0; i < 200; ++i) {
+        const std::int64_t now = trace_clock_ns();
+        trace_span_at("wrap_span", now - 1000, now,
+                      static_cast<std::uint64_t>(t * 1000 + i + 1));
+        trace_flow('t', static_cast<std::uint64_t>(t * 1000 + i + 1), now);
+        trace_counter("wrap_counter", static_cast<double>(i));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  set_trace_buffer_capacity(65536);
+
+  const testjson::Value doc = testjson::parse(trace_to_json());
+  ASSERT_TRUE(doc.at("traceEvents").is_array());
+  std::size_t payload = 0;
+  for (const testjson::Value& e : doc.at("traceEvents").arr()) {
+    ASSERT_TRUE(e.is_object());
+    const std::string& ph = e.at("ph").str();
+    if (ph == "M") continue;
+    ASSERT_TRUE(ph == "X" || ph == "C" || ph == "t") << ph;
+    ++payload;
+  }
+  // 4 rings x 16 slots worth of events survive (the newest ones).
+  EXPECT_GT(payload, 0u);
+  EXPECT_LE(payload, 4u * 16u);
+}
+
+TEST_F(TraceTest, RetroSpansAndFlowsCarryTheTraceId) {
+  set_trace_enabled(true);
+  const std::int64_t start = trace_clock_ns();
+  const std::int64_t end = start + 5'000'000;
+  trace_span_at("hop.work", start, end, 0xABCDEF);
+  trace_flow('s', 0xABCDEF, start);
+  trace_flow('f', 0xABCDEF, end);
+
+  bool saw_span = false, saw_s = false, saw_f = false;
+  const testjson::Value doc = testjson::parse(trace_to_json());
+  for (const testjson::Value& e : doc.at("traceEvents").arr()) {
+    const std::string& ph = e.at("ph").str();
+    if (ph == "X" && e.at("name").str() == "hop.work") {
+      saw_span = true;
+      EXPECT_EQ(e.at("args").at("trace_id").str(), "0xabcdef");
+      EXPECT_NEAR(e.at("dur").num(), 5000.0, 1.0);  // us
+    } else if (ph == "s") {
+      saw_s = true;
+      EXPECT_EQ(e.at("id").str(), "0xabcdef");
+    } else if (ph == "f") {
+      saw_f = true;
+      EXPECT_EQ(e.at("id").str(), "0xabcdef");
+      // Binding point "enclosing slice" is what makes Perfetto attach the
+      // arrow end to the span the event sits inside.
+      EXPECT_EQ(e.at("bp").str(), "e");
+    }
+  }
+  EXPECT_TRUE(saw_span);
+  EXPECT_TRUE(saw_s);
+  EXPECT_TRUE(saw_f);
+}
+
+TEST_F(TraceTest, ThreadLabelBecomesTheTrackName) {
+  set_trace_enabled(true);
+  std::thread([] {
+    set_trace_thread_label("replica7.worker3");
+    const std::int64_t now = trace_clock_ns();
+    trace_span_at("labelled", now - 10, now, 1);
+  }).join();
+
+  bool saw_label = false;
+  const testjson::Value doc = testjson::parse(trace_to_json());
+  for (const testjson::Value& e : doc.at("traceEvents").arr()) {
+    if (e.at("ph").str() == "M" && e.at("name").str() == "thread_name" &&
+        e.at("args").at("name").str() == "replica7.worker3") {
+      saw_label = true;
+    }
+  }
+  EXPECT_TRUE(saw_label);
+}
+
+TEST_F(TraceTest, TraceIdsAreUniqueAcrossThreads) {
+  // 8 threads x 500 draws: ids must never be zero and never collide — each
+  // id names one distributed request in merged multi-process traces.
+  std::vector<std::vector<std::uint64_t>> per_thread(8);
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < per_thread.size(); ++t) {
+    threads.emplace_back([&per_thread, t] {
+      for (int i = 0; i < 500; ++i) {
+        const TraceContext ctx = start_trace();
+        EXPECT_TRUE(ctx.sampled);
+        EXPECT_TRUE(ctx.active());
+        per_thread[t].push_back(ctx.trace_id);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  std::set<std::uint64_t> all;
+  for (const auto& ids : per_thread) {
+    for (const std::uint64_t id : ids) {
+      EXPECT_NE(id, 0u);
+      EXPECT_TRUE(all.insert(id).second) << "duplicate trace id " << id;
+    }
+  }
+  EXPECT_EQ(all.size(), 8u * 500u);
+}
+
+TEST_F(TraceTest, UnsampledContextsAreInactive) {
+  const TraceContext off = start_trace(/*sampled=*/false);
+  EXPECT_NE(off.trace_id, 0u);
+  EXPECT_FALSE(off.active());
+  EXPECT_FALSE(TraceContext{}.active());
 }
 
 }  // namespace

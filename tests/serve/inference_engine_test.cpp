@@ -408,5 +408,46 @@ TEST(InferenceEngineTest, TrySubmitThrowsAfterShutdown) {
   EXPECT_THROW(engine.try_submit(test_maps(1)[0]), Error);
 }
 
+TEST(InferenceEngineTest, RequestTimingStampsAreMonotonic) {
+  FakeClassifier clf;
+  InferenceEngine engine(clf, {.max_batch = 2, .max_delay_us = 200});
+  const auto maps = test_maps(2);
+  auto t0 = std::make_shared<RequestTiming>();
+  auto t1 = std::make_shared<RequestTiming>();
+  auto f0 = engine.submit(maps[0], {}, t0);
+  auto f1 = engine.submit(maps[1], {}, t1);
+  f0.get();
+  f1.get();
+  // The future's readiness publishes the batcher's stores: every stamp set,
+  // in pipeline order (queue -> picked into a batch -> formed -> done).
+  for (const auto& t : {t0, t1}) {
+    EXPECT_GT(t->enqueue_ns, 0);
+    EXPECT_GE(t->wake_ns, 0);
+    EXPECT_GE(t->formed_ns, t->enqueue_ns);
+    EXPECT_GE(t->done_ns, t->formed_ns);
+  }
+}
+
+TEST(InferenceEngineTest, StageHistogramsRecordPerRequest) {
+  obs::Registry registry;
+  FakeClassifier clf;
+  InferenceEngine engine(clf, {.max_batch = 4, .max_delay_us = 200,
+                               .registry = &registry});
+  const auto maps = test_maps(6);
+  std::vector<std::future<SelectivePrediction>> futs;
+  for (const auto& map : maps) futs.push_back(engine.submit(map));
+  for (auto& f : futs) f.get();
+
+  // One sample per completed request in each wm_stage_* histogram.
+  for (const char* name :
+       {"wm_stage_queue_wait_us", "wm_stage_batch_wait_us",
+        "wm_stage_compute_us"}) {
+    const auto snap =
+        registry.histogram(name, obs::Histogram::latency_bounds_us())
+            .snapshot();
+    EXPECT_EQ(snap.count, maps.size()) << name;
+  }
+}
+
 }  // namespace
 }  // namespace wm::serve

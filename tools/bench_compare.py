@@ -57,6 +57,10 @@ DEFAULT_HEADLINES = {
         # at the same per-replica offered load (loadgen --fleet 3). The
         # acceptance bar is >= 2.5x at comparable p99.
         "fleet_vs_single_ratio",
+        # Tracing headline: closed-loop throughput with tracing on (1/N
+        # sampled) over the identical untraced run. The acceptance bar is
+        # >= 0.98 (tracing-disabled fast path costs <= ~2%).
+        "tracing_overhead_ratio",
     },
     "bench_quant": {
         "quant_vs_fp32",
@@ -65,7 +69,8 @@ DEFAULT_HEADLINES = {
 
 # Metrics where larger is better (everything else: smaller is better).
 HIGHER_IS_BETTER = {"engine_vs_direct_best_ratio", "remote_vs_engine_ratio",
-                    "fleet_vs_single_ratio", "quant_vs_fp32"}
+                    "fleet_vs_single_ratio", "tracing_overhead_ratio",
+                    "quant_vs_fp32"}
 
 
 def load(path):

@@ -56,7 +56,21 @@
 //   --fleet-delay-us U  replica micro-batch flush delay (default 12000)
 //   --kill-replica    kill + restart a replica mid-run (fleet mode)
 //   --swap-mid-run    hot-swap fp32 -> int8 mid-run    (fleet mode)
+//   --trace-sample N  trace every Nth request in the remote-traced run
+//                     (default 16; the run itself always happens against
+//                     the in-process stack — its throughput over the
+//                     untraced closed loop is the tracing_overhead_ratio
+//                     headline)
+//   --trace-out FILE  write this process's Perfetto trace JSON after the
+//                     traced run (merge with server-side traces via
+//                     `wm_tool trace-merge`)
+//   --slow-log FILE   JSONL exemplar log of the top-10 slowest requests
+//                     (trace id, per-stage breakdown, selective decision)
 //   --json            machine-readable report on stdout
+//
+// Every response carries the server's StageTiming (WMWP v2), so the
+// per-stage latency table (queue / batch / compute / server total) is
+// attributed from ALL closed-loop requests, sampled or not.
 //
 // Env: WM_BENCH_SCALE scales --requests like the other benches.
 #include <algorithm>
@@ -80,6 +94,9 @@
 #include "net/server.hpp"
 #include "obs/http_exporter.hpp"
 #include "obs/metrics.hpp"
+#include "obs/run_log.hpp"
+#include "obs/trace.hpp"
+#include "obs/trace_context.hpp"
 #include "selective/load_classifier.hpp"
 #include "selective/quant_net.hpp"
 #include "selective/selective_net.hpp"
@@ -105,9 +122,54 @@ struct RunResult {
   std::size_t errors = 0;    // everything else non-OK
   double wall_s = 0.0;
   double throughput_rps = 0.0;
+  /// Open loop only: the send rate actually achieved over the send window.
+  /// Falls below target_qps when the generator cannot keep its cadence
+  /// (oversubscribed machine) — reported so a too-slow generator is visible
+  /// instead of silently weakening the offered load.
+  double achieved_qps = 0.0;
   std::int64_t p50_us = 0;
   std::int64_t p95_us = 0;
   std::int64_t p99_us = 0;
+};
+
+/// Mean per-stage latency attribution across OK responses (StageTiming is
+/// carried on every WMWP v2 response).
+struct StageAgg {
+  std::uint64_t n = 0;
+  std::uint64_t queue_us = 0;
+  std::uint64_t batch_us = 0;
+  std::uint64_t compute_us = 0;
+  std::uint64_t total_us = 0;
+
+  void add(const net::StageTiming& t) {
+    ++n;
+    queue_us += t.queue_us;
+    batch_us += t.batch_us;
+    compute_us += t.compute_us;
+    total_us += t.total_us;
+  }
+  void merge(const StageAgg& o) {
+    n += o.n;
+    queue_us += o.queue_us;
+    batch_us += o.batch_us;
+    compute_us += o.compute_us;
+    total_us += o.total_us;
+  }
+  double mean(std::uint64_t sum) const {
+    return n == 0 ? 0.0 : static_cast<double>(sum) / static_cast<double>(n);
+  }
+};
+
+/// Slow-request exemplar candidate (kept per call, top-k written to the
+/// --slow-log JSONL).
+struct CallRecord {
+  std::int64_t e2e_us = 0;
+  std::uint64_t trace_id = 0;
+  net::Status status = net::Status::kOk;
+  net::StageTiming stage{};
+  float g = 0.0f;
+  bool selected = false;
+  int label = -1;
 };
 
 std::vector<WaferMap> make_stream(int map_size, int n) {
@@ -191,42 +253,64 @@ RunResult run_engine(serve::InferenceEngine& engine,
   return r;
 }
 
+/// One inflight closed-loop slot: send time + future + the sampled trace id
+/// (0 when the call is untraced).
+struct InflightCall {
+  Clock::time_point sent;
+  std::uint64_t trace_id = 0;
+  std::future<net::CallResult> future;
+};
+
 /// One closed-loop connection: keep `window` async calls in flight, waiting
-/// on the oldest when the window is full.
+/// on the oldest when the window is full. trace_sample > 0 sends every Nth
+/// call with a fresh sampled TraceContext; every harvested OK response
+/// contributes its StageTiming to `stages`, and every call leaves a
+/// CallRecord in `records` when that sink is non-null.
 void closed_loop_conn(net::Client& client, const std::vector<WaferMap>& stream,
                       std::size_t offset, std::size_t count, int window,
-                      std::vector<std::int64_t>& lat,
-                      std::map<net::Status, std::size_t>& statuses) {
-  std::deque<std::pair<Clock::time_point, std::future<net::CallResult>>>
-      inflight;
+                      int trace_sample, std::vector<std::int64_t>& lat,
+                      std::map<net::Status, std::size_t>& statuses,
+                      StageAgg& stages, std::vector<CallRecord>* records) {
+  std::deque<InflightCall> inflight;
+  auto drain_front = [&] {
+    InflightCall& call = inflight.front();
+    const net::CallResult res = call.future.get();
+    const std::int64_t e2e_us =
+        std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                              call.sent)
+            .count();
+    lat.push_back(e2e_us);
+    ++statuses[res.status];
+    if (res.status == net::Status::kOk) stages.add(res.server);
+    if (records != nullptr) {
+      records->push_back(CallRecord{e2e_us, call.trace_id, res.status,
+                                    res.server, res.prediction.g,
+                                    res.prediction.selected,
+                                    res.prediction.label});
+    }
+    inflight.pop_front();
+  };
   auto harvest = [&](bool block) {
     while (!inflight.empty()) {
-      auto& [sent, fut] = inflight.front();
-      if (!block &&
-          fut.wait_for(std::chrono::seconds(0)) != std::future_status::ready) {
+      if (!block && inflight.front().future.wait_for(std::chrono::seconds(
+                        0)) != std::future_status::ready) {
         return;
       }
-      const net::CallResult res = fut.get();
-      lat.push_back(std::chrono::duration_cast<std::chrono::microseconds>(
-                        Clock::now() - sent)
-                        .count());
-      ++statuses[res.status];
-      inflight.pop_front();
+      drain_front();
     }
   };
   for (std::size_t i = 0; i < count; ++i) {
-    if (inflight.size() >= static_cast<std::size_t>(window)) {
-      auto& [sent, fut] = inflight.front();
-      const net::CallResult res = fut.get();
-      lat.push_back(std::chrono::duration_cast<std::chrono::microseconds>(
-                        Clock::now() - sent)
-                        .count());
-      ++statuses[res.status];
-      inflight.pop_front();
+    if (inflight.size() >= static_cast<std::size_t>(window)) drain_front();
+    obs::TraceContext ctx;
+    if (trace_sample > 0 && i % static_cast<std::size_t>(trace_sample) == 0) {
+      ctx = obs::start_trace();
     }
-    inflight.emplace_back(Clock::now(),
-                          client.predict_async(stream[(offset + i) %
-                                                      stream.size()]));
+    InflightCall call;
+    call.sent = Clock::now();
+    call.trace_id = ctx.trace_id;
+    call.future = client.predict_async(stream[(offset + i) % stream.size()],
+                                       /*deadline_ms=*/0, ctx);
+    inflight.push_back(std::move(call));
     harvest(/*block=*/false);
   }
   harvest(/*block=*/true);
@@ -234,9 +318,12 @@ void closed_loop_conn(net::Client& client, const std::vector<WaferMap>& stream,
 
 RunResult run_remote_closed(const std::string& host, int port,
                             const std::vector<WaferMap>& stream,
-                            int connections, int window, std::size_t total) {
+                            int connections, int window, std::size_t total,
+                            const std::string& mode, int trace_sample,
+                            StageAgg* stages_out,
+                            std::vector<CallRecord>* records_out) {
   RunResult r;
-  r.mode = "remote-closed";
+  r.mode = mode;
   r.connections = connections;
   r.window = window;
   const std::size_t per_conn = total / static_cast<std::size_t>(connections);
@@ -251,6 +338,9 @@ RunResult run_remote_closed(const std::string& host, int port,
       static_cast<std::size_t>(connections));
   std::vector<std::map<net::Status, std::size_t>> statuses(
       static_cast<std::size_t>(connections));
+  std::vector<StageAgg> stages(static_cast<std::size_t>(connections));
+  std::vector<std::vector<CallRecord>> records(
+      static_cast<std::size_t>(connections));
 
   Stopwatch watch;
   std::vector<std::thread> pool;
@@ -258,8 +348,12 @@ RunResult run_remote_closed(const std::string& host, int port,
     pool.emplace_back([&, c] {
       closed_loop_conn(*clients[static_cast<std::size_t>(c)], stream,
                        static_cast<std::size_t>(c) * per_conn, per_conn,
-                       window, lat[static_cast<std::size_t>(c)],
-                       statuses[static_cast<std::size_t>(c)]);
+                       window, trace_sample, lat[static_cast<std::size_t>(c)],
+                       statuses[static_cast<std::size_t>(c)],
+                       stages[static_cast<std::size_t>(c)],
+                       records_out != nullptr
+                           ? &records[static_cast<std::size_t>(c)]
+                           : nullptr);
     });
   }
   for (auto& th : pool) th.join();
@@ -267,6 +361,14 @@ RunResult run_remote_closed(const std::string& host, int port,
   for (auto& m : statuses) {
     for (const auto& [status, n] : m) {
       for (std::size_t i = 0; i < n; ++i) count_status(r, status);
+    }
+  }
+  if (stages_out != nullptr) {
+    for (const StageAgg& s : stages) stages_out->merge(s);
+  }
+  if (records_out != nullptr) {
+    for (auto& v : records) {
+      records_out->insert(records_out->end(), v.begin(), v.end());
     }
   }
   std::vector<std::int64_t> all;
@@ -296,6 +398,10 @@ RunResult run_remote_open(const std::string& host, int port,
       static_cast<std::size_t>(connections));
   std::vector<std::map<net::Status, std::size_t>> statuses(
       static_cast<std::size_t>(connections));
+  // Per-thread wall time of the send loop (first to last send issued): the
+  // achieved send rate exposes a generator that could not hold its cadence.
+  std::vector<double> send_window_s(static_cast<std::size_t>(connections),
+                                    0.0);
 
   Stopwatch watch;
   std::vector<std::thread> pool;
@@ -307,6 +413,7 @@ RunResult run_remote_open(const std::string& host, int port,
       std::deque<std::pair<Clock::time_point, std::future<net::CallResult>>>
           inflight;
       const Clock::time_point start = Clock::now();
+      Clock::time_point last_send = start;
       for (std::size_t i = 0; i < per_conn; ++i) {
         // Latency is measured from the *scheduled* send time: a late send
         // caused by a backed-up server counts against the server.
@@ -318,6 +425,7 @@ RunResult run_remote_open(const std::string& host, int port,
             client.predict_async(
                 stream[(static_cast<std::size_t>(c) * per_conn + i) %
                        stream.size()]));
+        last_send = Clock::now();
         while (!inflight.empty() &&
                inflight.front().second.wait_for(std::chrono::seconds(0)) ==
                    std::future_status::ready) {
@@ -337,6 +445,8 @@ RunResult run_remote_open(const std::string& host, int port,
         ++st[res.status];
         inflight.pop_front();
       }
+      send_window_s[static_cast<std::size_t>(c)] =
+          std::chrono::duration<double>(last_send - start).count();
     });
   }
   for (auto& th : pool) th.join();
@@ -346,6 +456,13 @@ RunResult run_remote_open(const std::string& host, int port,
       for (std::size_t i = 0; i < n; ++i) count_status(r, status);
     }
   }
+  // Configured vs achieved: the longest per-thread send window bounds the
+  // aggregate rate actually offered.
+  const double max_window_s =
+      *std::max_element(send_window_s.begin(), send_window_s.end());
+  r.achieved_qps = max_window_s > 0.0
+                       ? static_cast<double>(r.requests) / max_window_s
+                       : 0.0;
   std::vector<std::int64_t> all;
   for (auto& v : lat) all.insert(all.end(), v.begin(), v.end());
   finish(r, all);
@@ -563,13 +680,64 @@ void print_row(const RunResult& r) {
               static_cast<long long>(r.p50_us),
               static_cast<long long>(r.p95_us),
               static_cast<long long>(r.p99_us));
+  if (r.target_qps > 0.0) {
+    std::printf("              open loop: target %.0f qps, achieved %.0f "
+                "qps\n",
+                r.target_qps, r.achieved_qps);
+  }
+}
+
+/// Writes the top-10 slowest calls as "slow_request" JSONL events: the
+/// per-stage breakdown plus the selective decision, keyed by trace id (hex;
+/// "0x0" for unsampled calls) so an operator can jump from an exemplar to
+/// the merged Perfetto trace.
+void write_slow_log(const std::string& path, std::vector<CallRecord> records) {
+  constexpr std::size_t kTopK = 10;
+  std::sort(records.begin(), records.end(),
+            [](const CallRecord& a, const CallRecord& b) {
+              return a.e2e_us > b.e2e_us;
+            });
+  if (records.size() > kTopK) records.resize(kTopK);
+  obs::RunLog log(path);
+  for (const CallRecord& rec : records) {
+    char id_hex[24];
+    std::snprintf(id_hex, sizeof(id_hex), "0x%llx",
+                  static_cast<unsigned long long>(rec.trace_id));
+    log.write("slow_request",
+              {{"trace_id", id_hex},
+               {"status", net::to_string(rec.status)},
+               {"e2e_us", rec.e2e_us},
+               {"queue_us", static_cast<std::uint64_t>(rec.stage.queue_us)},
+               {"batch_us", static_cast<std::uint64_t>(rec.stage.batch_us)},
+               {"compute_us",
+                static_cast<std::uint64_t>(rec.stage.compute_us)},
+               {"server_total_us",
+                static_cast<std::uint64_t>(rec.stage.total_us)},
+               {"g", rec.g},
+               {"selected", rec.selected},
+               {"abstained", !rec.selected},
+               {"label", rec.label}});
+  }
 }
 
 void print_json(const std::vector<RunResult>& rows, int map_size,
-                double ratio, const FleetReport* fleet) {
+                double ratio, double tracing_ratio, const StageAgg* stages,
+                const FleetReport* fleet) {
   std::printf("{\n  \"bench\": \"bench_net\",\n");
   std::printf("  \"map_size\": %d,\n", map_size);
   std::printf("  \"remote_vs_engine_ratio\": %.3f,\n", ratio);
+  std::printf("  \"tracing_overhead_ratio\": %.3f,\n", tracing_ratio);
+  if (stages != nullptr && stages->n > 0) {
+    // Nested on purpose: bench_compare only harvests top-level numbers, so
+    // the attribution means stay informational, not gated.
+    std::printf("  \"stages\": {\"ok_responses\": %llu, "
+                "\"queue_us_mean\": %.1f, \"batch_us_mean\": %.1f, "
+                "\"compute_us_mean\": %.1f, \"server_total_us_mean\": %.1f},\n",
+                static_cast<unsigned long long>(stages->n),
+                stages->mean(stages->queue_us), stages->mean(stages->batch_us),
+                stages->mean(stages->compute_us),
+                stages->mean(stages->total_us));
+  }
   if (fleet != nullptr) {
     std::printf("  \"fleet\": %d,\n", fleet->fleet);
     std::printf("  \"fleet_single_rps\": %.2f,\n", fleet->single_rps);
@@ -611,14 +779,15 @@ void print_json(const std::vector<RunResult>& rows, int map_size,
     const RunResult& r = rows[i];
     std::printf(
         "    {\"mode\": \"%s\", \"connections\": %d, \"window\": %d, "
-        "\"target_qps\": %.1f, \"requests\": %zu, \"ok\": %zu, "
-        "\"shed\": %zu, \"timeout\": %zu, \"errors\": %zu, "
+        "\"target_qps\": %.1f, \"achieved_qps\": %.1f, \"requests\": %zu, "
+        "\"ok\": %zu, \"shed\": %zu, \"timeout\": %zu, \"errors\": %zu, "
         "\"wall_s\": %.4f, \"throughput_rps\": %.2f, "
         "\"p50_us\": %lld, \"p95_us\": %lld, \"p99_us\": %lld}%s\n",
-        r.mode.c_str(), r.connections, r.window, r.target_qps, r.requests,
-        r.ok, r.shed, r.timeout, r.errors, r.wall_s, r.throughput_rps,
-        static_cast<long long>(r.p50_us), static_cast<long long>(r.p95_us),
-        static_cast<long long>(r.p99_us), i + 1 < rows.size() ? "," : "");
+        r.mode.c_str(), r.connections, r.window, r.target_qps,
+        r.achieved_qps, r.requests, r.ok, r.shed, r.timeout, r.errors,
+        r.wall_s, r.throughput_rps, static_cast<long long>(r.p50_us),
+        static_cast<long long>(r.p95_us), static_cast<long long>(r.p99_us),
+        i + 1 < rows.size() ? "," : "");
   }
   std::printf("  ]\n}\n");
 }
@@ -674,6 +843,10 @@ int main(int argc, char** argv) {
       std::max(0, get_flag(argc, argv, "--fleet-delay-us", 12000));
   const bool kill_replica = has_flag(argc, argv, "--kill-replica");
   const bool swap_mid_run = has_flag(argc, argv, "--swap-mid-run");
+  const int trace_sample =
+      std::max(1, get_flag(argc, argv, "--trace-sample", 16));
+  const std::string trace_out = get_flag_s(argc, argv, "--trace-out", "");
+  const std::string slow_log = get_flag_s(argc, argv, "--slow-log", "");
 
   try {
     const auto stream = make_stream(map_size, 256);
@@ -721,11 +894,36 @@ int main(int argc, char** argv) {
       if (!json) print_row(rows.back());
     }
 
-    rows.push_back(run_remote_closed(ext_port == 0 ? "127.0.0.1" : ext_host,
-                                     port, stream, connections, window,
-                                     total));
+    StageAgg stages;
+    std::vector<CallRecord> records;
+    rows.push_back(run_remote_closed(
+        ext_port == 0 ? "127.0.0.1" : ext_host, port, stream, connections,
+        window, total, "remote-closed", /*trace_sample=*/0, &stages,
+        slow_log.empty() ? nullptr : &records));
     const double remote_rps = rows.back().throughput_rps;
     if (!json) print_row(rows.back());
+
+    // Tracing-overhead headline: the identical closed loop again, with
+    // tracing globally ON and every --trace-sample'th request sampled. The
+    // ratio against the untraced run above is what bench_compare gates
+    // (>= 0.98 means the tracing path costs <= ~2%).
+    double tracing_ratio = 0.0;
+    if (ext_port == 0) {
+      obs::set_trace_enabled(true);
+      obs::set_trace_process_name("loadgen");
+      rows.push_back(run_remote_closed("127.0.0.1", port, stream, connections,
+                                       window, total, "remote-traced",
+                                       trace_sample, &stages,
+                                       slow_log.empty() ? nullptr : &records));
+      tracing_ratio = remote_rps > 0.0
+                          ? rows.back().throughput_rps / remote_rps
+                          : 0.0;
+      if (!json) print_row(rows.back());
+      if (!trace_out.empty()) obs::trace_write_json(trace_out);
+      obs::set_trace_enabled(false);
+    }
+
+    if (!slow_log.empty()) write_slow_log(slow_log, std::move(records));
 
     if (qps > 0.0) {
       rows.push_back(run_remote_open(ext_port == 0 ? "127.0.0.1" : ext_host,
@@ -809,13 +1007,26 @@ int main(int argc, char** argv) {
 
     const double ratio = engine_rps > 0.0 ? remote_rps / engine_rps : 0.0;
     if (json) {
-      print_json(rows, map_size, ratio, freport.fleet > 0 ? &freport
-                                                          : nullptr);
+      print_json(rows, map_size, ratio, tracing_ratio, &stages,
+                 freport.fleet > 0 ? &freport : nullptr);
     } else {
       if (engine_rps > 0.0) {
         std::printf("\nremote closed-loop vs in-process engine: %.1f%% of "
                     "%.1f req/s\n",
                     100.0 * ratio, engine_rps);
+      }
+      if (tracing_ratio > 0.0) {
+        std::printf("tracing on (1/%d sampled) vs off: %.1f%% throughput\n",
+                    trace_sample, 100.0 * tracing_ratio);
+      }
+      if (stages.n > 0) {
+        std::printf("per-stage attribution over %llu OK responses (us, "
+                    "mean): queue %.1f | batch %.1f | compute %.1f | "
+                    "server total %.1f\n",
+                    static_cast<unsigned long long>(stages.n),
+                    stages.mean(stages.queue_us), stages.mean(stages.batch_us),
+                    stages.mean(stages.compute_us),
+                    stages.mean(stages.total_us));
       }
       if (freport.fleet > 0) {
         std::printf("fleet(%d) vs single replica: %.2fx (%.1f vs %.1f "

@@ -30,6 +30,13 @@
 //   wm_tool render --wafer FILE.pgm
 //       ASCII-render a wafer map.
 //
+//   wm_tool trace-merge --out FILE IN.json [IN.json...]
+//       Merge per-process Perfetto trace files onto one timeline: each
+//       input is realigned by its otherData.baseNs (shared CLOCK_MONOTONIC
+//       on one host) and colliding pids are remapped, so a distributed
+//       request renders as slices hopping between process tracks linked by
+//       flow arrows. Open the output in https://ui.perfetto.dev.
+//
 //   wm_tool serve --model FILE [--port P] [--threshold T] [--max-batch N]
 //                 [--max-delay-us U] [--workers W] [--seconds S]
 //                 [--model-watch [MS]]
@@ -86,6 +93,7 @@
 #include "obs/metrics.hpp"
 #include "obs/run_log.hpp"
 #include "obs/trace.hpp"
+#include "obs/trace_merge.hpp"
 #include "eval/tables.hpp"
 #include "serve/hot_swap.hpp"
 #include "serve/inference_engine.hpp"
@@ -413,10 +421,35 @@ int cmd_render(const Args& args) {
   return 0;
 }
 
+/// trace-merge parses argv by hand: unlike every other subcommand it takes
+/// positional arguments (the input files), which Args rejects.
+int cmd_trace_merge(int argc, char** argv) {
+  std::string out_path;
+  std::vector<std::string> inputs;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--out") {
+      WM_CHECK(i + 1 < argc, "--out needs a file argument");
+      out_path = argv[++i];
+    } else if (arg.rfind("--", 0) == 0) {
+      throw Error("trace-merge: unknown flag " + arg);
+    } else {
+      inputs.push_back(arg);
+    }
+  }
+  WM_CHECK(!out_path.empty(), "trace-merge: --out FILE is required");
+  WM_CHECK(!inputs.empty(), "trace-merge: at least one input trace needed");
+  obs::merge_trace_files(inputs, out_path);
+  std::printf("merged %zu trace file%s -> %s "
+              "(open in https://ui.perfetto.dev)\n",
+              inputs.size(), inputs.size() == 1 ? "" : "s", out_path.c_str());
+  return 0;
+}
+
 void usage() {
   std::printf(
-      "usage: wm_tool <generate|train|evaluate|classify|quantize|render|serve>"
-      " [--flags]\n"
+      "usage: wm_tool <generate|train|evaluate|classify|quantize|render"
+      "|serve|trace-merge> [--flags]\n"
       "global flags: --metrics FILE  --trace FILE  --run-log FILE"
       "  --http-port P\n"
       "see the header of tools/wm_tool.cpp for per-command flags\n");
@@ -445,6 +478,7 @@ int main(int argc, char** argv) {
   }
   const std::string cmd = argv[1];
   try {
+    if (cmd == "trace-merge") return cmd_trace_merge(argc, argv);
     const Args args(argc, argv, 2);
     const std::string trace_path = args.get("trace", "");
     if (!trace_path.empty()) obs::set_trace_enabled(true);
