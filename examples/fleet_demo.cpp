@@ -26,7 +26,19 @@
 //                 engine.compute — all tagged with the same trace id and
 //                 linked by one 's' -> 't'... -> 'f' flow chain in the
 //                 exported Perfetto JSON, and fresh trace ids never
-//                 collide.
+//                 collide;
+//   6  collector  the fleet observability plane: an obs::Collector scrapes
+//                 all three replicas and its merged latency histogram is
+//                 *exactly* the union of the per-replica snapshots it
+//                 parsed (bucket-wise identical, so fleet p50/p95/p99 are
+//                 exact, not approximations); a provoked latency SLO fires
+//                 its burn-rate alarm under traffic and clears
+//                 hysteretically after traffic stops, with slo_burn /
+//                 slo_clear events verified in the run log; killing one
+//                 replica's exporter mid-flight flips its `up`, the fleet
+//                 view stays merged-correct over the survivors, and the
+//                 revived exporter is re-admitted.
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <fstream>
@@ -42,8 +54,10 @@
 #include "common/rng.hpp"
 #include "net/router.hpp"
 #include "net/server.hpp"
+#include "obs/collector.hpp"
 #include "obs/http_exporter.hpp"
 #include "obs/metrics.hpp"
+#include "obs/run_log.hpp"
 #include "obs/trace.hpp"
 #include "obs/trace_context.hpp"
 #include "selective/calibrate.hpp"
@@ -63,6 +77,44 @@ bool check(bool ok, const char* what) {
   return ok;
 }
 
+/// The union latency histogram recomputed from the per-replica snapshots
+/// the collector itself parsed — the independent reference the merged
+/// fleet view must equal bucket-for-bucket.
+obs::HistogramSnapshot union_latency(const obs::FleetAggregate& agg) {
+  obs::HistogramSnapshot u;
+  for (const auto& [target, dump] : agg.per_target) {
+    const obs::HistogramSnapshot s =
+        dump.histograms.at("wm_net_request_latency_us").to_snapshot();
+    if (u.buckets.empty()) {
+      u = s;
+      continue;
+    }
+    for (std::size_t i = 0; i < s.buckets.size(); ++i) {
+      u.buckets[i] += s.buckets[i];
+    }
+    u.count += s.count;
+    u.sum += s.sum;
+    u.max = std::max(u.max, s.max);
+  }
+  return u;
+}
+
+/// Merged-vs-union exactness: identical layouts merge bucket-wise, so the
+/// fleet histogram (and every quantile read off it) must be EQUAL, not
+/// merely close.
+bool merge_is_exact(const obs::FleetAggregate& agg) {
+  const auto it = agg.histograms.find("wm_net_request_latency_us");
+  if (it == agg.histograms.end()) return false;
+  const obs::HistogramSnapshot& merged = it->second;
+  const obs::HistogramSnapshot u = union_latency(agg);
+  bool ok = merged.bounds == u.bounds && merged.buckets == u.buckets &&
+            merged.count == u.count && merged.sum == u.sum;
+  for (const double q : {0.5, 0.9, 0.95, 0.99, 1.0}) {
+    ok = ok && merged.quantile(q) == u.quantile(q);
+  }
+  return ok;
+}
+
 /// One serving replica, restartable on its original wire port. The exporter
 /// outlives down()/up() and reports 503 while the replica is dead, so the
 /// router's prober sees an honest unhealthy answer instead of a vanished
@@ -77,6 +129,7 @@ class Replica {
     exporter_ = std::make_unique<obs::HttpExporter>(obs::HttpExporterOptions{
         .registry = &registry_,
         .healthy = [this] { return serving_; }});
+    health_port_ = exporter_->port();
   }
 
   ~Replica() { down(); }
@@ -110,8 +163,20 @@ class Replica {
     return swap_.swap_to(std::move(candidate), canaries, label);
   }
 
+  /// Scenario 6 only: kill / rebind just the observability exporter. From
+  /// the fleet collector's viewpoint this is a vanished scrape target (a
+  /// crashed process) — distinct from down(), whose surviving exporter
+  /// answers the router's prober with an honest 503.
+  void exporter_kill() { exporter_.reset(); }
+  void exporter_restart() {
+    exporter_ = std::make_unique<obs::HttpExporter>(obs::HttpExporterOptions{
+        .port = health_port_,
+        .registry = &registry_,
+        .healthy = [this] { return serving_; }});
+  }
+
   int wire_port() const { return wire_port_; }
-  int health_port() const { return exporter_->port(); }
+  int health_port() const { return health_port_; }
   std::uint64_t version() const { return swap_.version(); }
   const obs::Registry& registry() const { return registry_; }
 
@@ -120,6 +185,7 @@ class Replica {
   obs::Registry registry_;
   serve::SwappableClassifier swap_;
   int wire_port_ = 0;
+  int health_port_ = 0;
   bool serving_ = false;
   std::unique_ptr<serve::InferenceEngine> engine_;
   std::unique_ptr<net::Server> server_;
@@ -369,6 +435,106 @@ int main() {
     std::printf("  wrote %s: %zu roles, flow chain s=%zu t=%zu f=%zu "
                 "(open in https://ui.perfetto.dev)\n",
                 trace_path, roles.size(), flow_s, flow_t, flow_f);
+  }
+
+  // Scenario 6: the observability plane over the live fleet.
+  {
+    std::printf("scenario 6: fleet collector, exact merge, SLO burn\n");
+    const char* events_path = "fleet_slo_events.jsonl";
+    std::remove(events_path);
+    obs::RunLog slo_log(events_path);
+
+    // Default rules, with the latency objective provoked to 1us — any
+    // traffic at all violates it, so the burn-rate alarm demonstrably
+    // fires (and, once traffic stops, demonstrably clears).
+    std::vector<obs::SloRule> rules = obs::SloEngine::default_rules();
+    for (obs::SloRule& rule : rules) {
+      if (rule.kind == obs::SloKind::kLatencyP99) {
+        rule.latency_threshold_us = 1;
+        rule.fast_window = 2;
+        rule.slow_window = 4;
+        rule.fire_count = 2;
+        rule.clear_count = 2;
+      }
+    }
+    obs::CollectorOptions copts;
+    for (auto& r : replicas) {
+      copts.targets.push_back("127.0.0.1:" +
+                              std::to_string(r->health_port()));
+    }
+    copts.start_thread = false;  // deterministic: we tick it ourselves
+    copts.scrape_timeout_ms = 1000;
+    copts.store.staleness_ms = 60'000;
+    copts.slo_rules = std::move(rules);
+    copts.run_log = &slo_log;
+    obs::Collector collector(copts);
+
+    collector.scrape_once();
+    const obs::FleetAggregate first = collector.aggregate();
+    all_ok &= check(first.targets_up == 3, "collector scraped 3/3 targets up");
+    all_ok &= check(merge_is_exact(first),
+                    "fleet histogram == union of per-replica snapshots");
+
+    // Drive traffic between ticks until the provoked latency SLO fires.
+    const auto latency_firing = [&] {
+      for (const obs::SloStatus& s : collector.slo_status()) {
+        if (s.kind == obs::SloKind::kLatencyP99) return s.firing;
+      }
+      return false;
+    };
+    for (int tick = 0; tick < 30 && !latency_firing(); ++tick) {
+      std::vector<std::future<net::CallResult>> futs;
+      for (int i = 0; i < 40; ++i) {
+        futs.push_back(router.predict_async(traffic[i % traffic.size()]));
+      }
+      for (auto& f : futs) (void)f.get();
+      collector.scrape_once();
+    }
+    all_ok &= check(latency_firing(), "provoked latency SLO fired under load");
+
+    // Hysteresis: the alarm survives the first quiet tick, then clears.
+    collector.scrape_once();
+    all_ok &= check(latency_firing(), "alarm holds through one quiet tick");
+    for (int tick = 0; tick < 30 && latency_firing(); ++tick) {
+      collector.scrape_once();
+    }
+    all_ok &= check(!latency_firing(), "alarm cleared after traffic stopped");
+
+    // The burn and the clear both left their run-log events.
+    std::ifstream events_in(events_path);
+    std::stringstream events_buf;
+    events_buf << events_in.rdbuf();
+    const std::string events = events_buf.str();
+    all_ok &= check(events.find("\"event\":\"slo_burn\"") !=
+                        std::string::npos,
+                    "slo_burn event in the run log");
+    all_ok &= check(events.find("\"event\":\"slo_clear\"") !=
+                        std::string::npos,
+                    "slo_clear event in the run log");
+
+    // Kill one replica's exporter: its `up` flips, and the fleet view
+    // stays exactly merged over the two survivors.
+    replicas[1]->exporter_kill();
+    collector.scrape_once();
+    const obs::FleetAggregate degraded = collector.aggregate();
+    all_ok &= check(degraded.targets_up == 2,
+                    "up dropped when a replica's exporter died");
+    all_ok &= check(
+        !degraded.health.at(copts.targets[1]).up &&
+            degraded.per_target.count(copts.targets[1]) == 0,
+        "the dead target is excluded from the merge");
+    all_ok &= check(merge_is_exact(degraded),
+                    "survivors' fleet histogram still exactly merged");
+
+    // Revive: the collector re-admits the target on the next round.
+    replicas[1]->exporter_restart();
+    collector.scrape_once();
+    const obs::FleetAggregate revived = collector.aggregate();
+    all_ok &= check(revived.targets_up == 3 &&
+                        revived.health.at(copts.targets[1]).up_transitions >=
+                            3,
+                    "revived exporter re-admitted, transitions counted");
+    std::printf("  wrote %s (slo_burn/slo_clear events)\n", events_path);
   }
 
   router.close();

@@ -1,0 +1,388 @@
+#include "obs/collector.hpp"
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "obs/json_escape.hpp"
+#include "obs/prom_parse.hpp"
+
+namespace wm::obs {
+
+namespace {
+
+std::string json_num(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+std::string json_str(const std::string& s) {
+  std::string out = "\"";
+  append_json_escaped(&out, s.c_str());
+  out += "\"";
+  return out;
+}
+
+/// "HTTP/1.1 200 ..." header check + body extraction.
+std::string body_of_200(const std::string& response, const std::string& who) {
+  const std::size_t head_end = response.find("\r\n\r\n");
+  if (head_end == std::string::npos) {
+    throw IoError("scrape " + who + ": truncated HTTP response");
+  }
+  const std::size_t sp = response.find(' ');
+  if (sp == std::string::npos ||
+      response.compare(sp + 1, 4, "200 ") != 0) {
+    throw IoError("scrape " + who + ": non-200 response");
+  }
+  return response.substr(head_end + 4);
+}
+
+std::string format_ms(double ms) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2f", ms);
+  return buf;
+}
+
+std::string format_us_human(std::int64_t us) {
+  char buf[32];
+  if (us >= 1'000'000) {
+    std::snprintf(buf, sizeof(buf), "%.2fs", static_cast<double>(us) / 1e6);
+  } else if (us >= 1000) {
+    std::snprintf(buf, sizeof(buf), "%.1fms", static_cast<double>(us) / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%ldus", static_cast<long>(us));
+  }
+  return buf;
+}
+
+}  // namespace
+
+std::pair<std::string, int> parse_scrape_target(const std::string& spec) {
+  std::string host = "127.0.0.1";
+  std::string port_str = spec;
+  const std::size_t colon = spec.rfind(':');
+  if (colon != std::string::npos) {
+    if (colon > 0) host = spec.substr(0, colon);
+    port_str = spec.substr(colon + 1);
+  }
+  WM_CHECK(!port_str.empty(), "scrape target '", spec, "' has no port");
+  char* end = nullptr;
+  const long port = std::strtol(port_str.c_str(), &end, 10);
+  WM_CHECK(end == port_str.c_str() + port_str.size() && port >= 1 &&
+               port <= 65535,
+           "scrape target '", spec, "' has a bad port");
+  return {host, static_cast<int>(port)};
+}
+
+Collector::Collector(CollectorOptions opts)
+    : opts_(std::move(opts)),
+      metrics_(opts_.registry != nullptr ? *opts_.registry : own_metrics_),
+      scrapes_total_(metrics_.counter("wm_collector_scrapes_total",
+                                      "scrape attempts across all targets")),
+      scrape_failures_total_(
+          metrics_.counter("wm_collector_scrape_failures_total",
+                           "scrapes that failed (down target, timeout, "
+                           "parse error)")),
+      rounds_total_(metrics_.counter("wm_collector_rounds_total",
+                                     "completed scrape rounds")),
+      targets_up_gauge_(metrics_.gauge("wm_collector_targets_up",
+                                       "targets up and fresh at the last "
+                                       "aggregation")),
+      targets_total_gauge_(metrics_.gauge("wm_collector_targets_total",
+                                          "targets known to the collector")),
+      scrape_duration_us_(metrics_.histogram("wm_collector_scrape_duration_us",
+                                             Histogram::latency_bounds_us(),
+                                             "us",
+                                             "wall time of one successful "
+                                             "target scrape")),
+      store_(opts_.store),
+      slo_(opts_.slo_rules.empty() ? SloEngine::default_rules()
+                                   : opts_.slo_rules,
+            SloEngineOptions{&metrics_, opts_.run_log}) {
+  WM_CHECK(!opts_.targets.empty(), "collector needs at least one target");
+  WM_CHECK(opts_.interval_ms > 0, "collector interval must be positive");
+  for (const std::string& t : opts_.targets) {
+    (void)parse_scrape_target(t);  // validate up front
+  }
+  targets_total_gauge_.set(static_cast<double>(opts_.targets.size()));
+
+  if (opts_.exporter_port >= 0) {
+    HttpExporterOptions eopts;
+    eopts.port = opts_.exporter_port;
+    eopts.registry = &metrics_;
+    eopts.routes = {
+        {"/fleet", "application/json", [this] { return fleet_json(); }},
+        {"/dashboard", "text/plain; charset=utf-8",
+         [this] { return dashboard_text(); }},
+    };
+    exporter_ = std::make_unique<HttpExporter>(eopts);
+  }
+  if (opts_.start_thread) {
+    thread_ = std::thread([this] { loop(); });
+  }
+}
+
+Collector::~Collector() { stop(); }
+
+void Collector::stop() {
+  {
+    const std::lock_guard<std::mutex> lock(loop_mutex_);
+    if (stopping_.exchange(true)) {
+      // Already stopped; still make join/exporter-stop idempotent below.
+    }
+  }
+  loop_cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  if (exporter_) exporter_->stop();
+}
+
+std::int64_t Collector::now_ms() const {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void Collector::loop() {
+  while (!stopping_.load()) {
+    scrape_once();
+    std::unique_lock<std::mutex> lock(loop_mutex_);
+    loop_cv_.wait_for(lock, std::chrono::milliseconds(opts_.interval_ms),
+                      [this] { return stopping_.load(); });
+  }
+}
+
+void Collector::scrape_target(const std::string& target, std::int64_t t_ms) {
+  scrapes_total_.inc();
+  const auto [host, port] = parse_scrape_target(target);
+  const auto t0 = std::chrono::steady_clock::now();
+  try {
+    const std::string response =
+        http_get(host, port, "/metrics", opts_.scrape_timeout_ms);
+    const std::string body = body_of_200(response, target);
+    // Parse fully *before* touching the store: a replica dying mid-transfer
+    // throws here and contributes nothing, instead of a half-scrape.
+    const PromDump dump = parse_prometheus_text(body);
+    const double dur_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - t0)
+            .count();
+    scrape_duration_us_.record(static_cast<std::int64_t>(dur_ms * 1000.0));
+    const std::lock_guard<std::mutex> lock(mutex_);
+    store_.observe(target, t_ms, dur_ms, dump);
+  } catch (const std::exception&) {
+    scrape_failures_total_.inc();
+    const std::lock_guard<std::mutex> lock(mutex_);
+    store_.observe_failure(target, t_ms);
+  }
+}
+
+void Collector::scrape_once() {
+  const std::int64_t t_ms = now_ms();
+  for (const std::string& target : opts_.targets) {
+    if (stopping_.load()) return;
+    scrape_target(target, t_ms);
+  }
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const FleetAggregate agg = store_.aggregate(now_ms());
+  slo_.evaluate(agg);
+  targets_up_gauge_.set(static_cast<double>(agg.targets_up));
+  targets_total_gauge_.set(static_cast<double>(agg.targets_total));
+  rounds_total_.inc();
+  rounds_.fetch_add(1);
+}
+
+FleetAggregate Collector::aggregate() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return store_.aggregate(now_ms());
+}
+
+std::vector<SloStatus> Collector::slo_status() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return slo_.status();
+}
+
+int Collector::exporter_port() const {
+  return exporter_ ? exporter_->port() : -1;
+}
+
+std::string Collector::fleet_json() const {
+  FleetAggregate agg;
+  std::vector<SloStatus> slo;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    agg = store_.aggregate(now_ms());
+    slo = slo_.status();
+  }
+
+  std::ostringstream os;
+  os << "{\"at_ms\":" << agg.at_ms << ",\"rounds\":" << rounds_.load()
+     << ",\"targets_total\":" << agg.targets_total
+     << ",\"targets_up\":" << agg.targets_up;
+
+  os << ",\"targets\":{";
+  bool first = true;
+  for (const auto& [name, h] : agg.health) {
+    os << (first ? "" : ",") << json_str(name) << ":{\"up\":"
+       << (h.up ? "true" : "false") << ",\"scrapes\":" << h.scrapes
+       << ",\"failures\":" << h.failures
+       << ",\"up_transitions\":" << h.up_transitions
+       << ",\"counter_resets\":" << h.counter_resets << ",\"staleness_ms\":"
+       << (h.ever_scraped ? agg.at_ms - h.last_success_ms : -1)
+       << ",\"scrape_duration_ms\":" << json_num(h.last_scrape_duration_ms)
+       << "}";
+    first = false;
+  }
+  os << "}";
+
+  os << ",\"counters\":{";
+  first = true;
+  for (const auto& [name, v] : agg.counters) {
+    os << (first ? "" : ",") << json_str(name) << ":" << json_num(v);
+    first = false;
+  }
+  os << "},\"counter_rates\":{";
+  first = true;
+  for (const auto& [name, v] : agg.counter_rates) {
+    os << (first ? "" : ",") << json_str(name) << ":" << json_num(v);
+    first = false;
+  }
+  os << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, s] : agg.gauges) {
+    os << (first ? "" : ",") << json_str(name) << ":{\"min\":"
+       << json_num(s.min) << ",\"mean\":" << json_num(s.mean)
+       << ",\"max\":" << json_num(s.max) << ",\"n\":" << s.n << "}";
+    first = false;
+  }
+  os << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : agg.histograms) {
+    os << (first ? "" : ",") << json_str(name) << ":{\"count\":" << h.count
+       << ",\"sum\":" << h.sum << ",\"mean\":" << json_num(h.mean())
+       << ",\"p50\":" << h.quantile(0.50) << ",\"p95\":" << h.quantile(0.95)
+       << ",\"p99\":" << h.quantile(0.99) << ",\"max\":" << h.max << "}";
+    first = false;
+  }
+  os << "}";
+
+  // The exact per-target inputs the merge above was computed from; CI
+  // asserts Σ these counts == the merged count.
+  os << ",\"per_target_histogram_counts\":{";
+  first = true;
+  for (const auto& [hname, merged] : agg.histograms) {
+    (void)merged;
+    os << (first ? "" : ",") << json_str(hname) << ":{";
+    bool tfirst = true;
+    for (const auto& [tname, dump] : agg.per_target) {
+      const auto it = dump.histograms.find(hname);
+      if (it == dump.histograms.end()) continue;
+      os << (tfirst ? "" : ",") << json_str(tname) << ":" << it->second.count;
+      tfirst = false;
+    }
+    os << "}";
+    first = false;
+  }
+  os << "}";
+
+  os << ",\"mismatched_histograms\":[";
+  for (std::size_t i = 0; i < agg.mismatched_histograms.size(); ++i) {
+    os << (i ? "," : "") << json_str(agg.mismatched_histograms[i]);
+  }
+  os << "]";
+
+  os << ",\"slo\":[";
+  for (std::size_t i = 0; i < slo.size(); ++i) {
+    const SloStatus& s = slo[i];
+    os << (i ? "," : "") << "{\"rule\":" << json_str(s.name) << ",\"kind\":"
+       << json_str(slo_kind_name(s.kind)) << ",\"objective\":"
+       << json_num(s.objective) << ",\"burn_fast\":" << json_num(s.burn_fast)
+       << ",\"burn_slow\":" << json_num(s.burn_slow) << ",\"firing\":"
+       << (s.firing ? "true" : "false") << ",\"fires\":" << s.fires
+       << ",\"clears\":" << s.clears << "}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+std::string Collector::dashboard_text() const {
+  FleetAggregate agg;
+  std::vector<SloStatus> slo;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    agg = store_.aggregate(now_ms());
+    slo = slo_.status();
+  }
+
+  std::ostringstream os;
+  os << "wm fleet collector — " << agg.targets_up << "/" << agg.targets_total
+     << " targets up, round " << rounds_.load() << "\n\n";
+
+  os << "targets:\n";
+  for (const auto& [name, h] : agg.health) {
+    os << "  " << name << "  " << (h.up ? "UP  " : "DOWN") << "  scrapes "
+       << h.scrapes << "  failures " << h.failures << "  transitions "
+       << h.up_transitions << "  resets " << h.counter_resets;
+    if (h.ever_scraped) {
+      os << "  stale " << (agg.at_ms - h.last_success_ms) << "ms  dur "
+         << format_ms(h.last_scrape_duration_ms) << "ms";
+    }
+    os << "\n";
+  }
+
+  if (!agg.counter_rates.empty()) {
+    os << "\nfleet rates (/s over "
+       << store_.options().rate_window_ms / 1000 << "s):\n";
+    for (const auto& [name, rate] : agg.counter_rates) {
+      const auto total = agg.counters.find(name);
+      os << "  " << name << "  " << format_ms(rate) << "/s  (total "
+         << (total != agg.counters.end() ? json_num(total->second) : "0")
+         << ")\n";
+    }
+  }
+
+  if (!agg.gauges.empty()) {
+    os << "\nfleet gauges (min / mean / max over " << agg.targets_up
+       << " targets):\n";
+    for (const auto& [name, s] : agg.gauges) {
+      os << "  " << name << "  " << json_num(s.min) << " / "
+         << json_num(s.mean) << " / " << json_num(s.max) << "\n";
+    }
+  }
+
+  if (!agg.histograms.empty()) {
+    os << "\nfleet latency (bucket-merged, exact):\n";
+    for (const auto& [name, h] : agg.histograms) {
+      os << "  " << name << "  n=" << h.count << "  p50 "
+         << format_us_human(h.quantile(0.50)) << "  p95 "
+         << format_us_human(h.quantile(0.95)) << "  p99 "
+         << format_us_human(h.quantile(0.99)) << "  max "
+         << format_us_human(h.max) << "\n";
+    }
+  }
+
+  if (!agg.mismatched_histograms.empty()) {
+    os << "\nrefused to merge (bucket layout mismatch):\n";
+    for (const std::string& name : agg.mismatched_histograms) {
+      os << "  " << name << "\n";
+    }
+  }
+
+  os << "\nSLO burn rates:\n";
+  for (const SloStatus& s : slo) {
+    char line[160];
+    std::snprintf(line, sizeof(line),
+                  "  %-16s %-15s obj %-8g fast %-8.3f slow %-8.3f %s\n",
+                  s.name.c_str(), slo_kind_name(s.kind), s.objective,
+                  s.burn_fast, s.burn_slow,
+                  s.firing ? "FIRING" : "ok");
+    os << line;
+  }
+  return os.str();
+}
+
+}  // namespace wm::obs

@@ -1,0 +1,135 @@
+// wm::obs fleet collector — the central observability plane.
+//
+// One Collector scrapes every replica's HTTP exporter (/metrics) on an
+// interval, parses the exposition text back into typed samples
+// (obs/prom_parse), stores the history in a TimeSeriesStore (counter-reset
+// correction, per-target up/staleness/scrape-duration), merges the latest
+// samples into a FleetAggregate — exact bucket-wise histogram merges, so
+// fleet p50/p95/p99 are as trustworthy as any single replica's — and runs
+// the SloEngine's burn-rate rules over the merged view every tick.
+//
+// The collector is itself observable: it owns a registry with
+// wm_collector_* instruments and (optionally) its own HttpExporter serving
+//
+//   GET /metrics    the collector's registry (wm_collector_*, wm_slo_*)
+//   GET /fleet      the merged fleet view as JSON: per-target health,
+//                   summed counters + windowed rates, gauge min/mean/max,
+//                   merged histogram quantiles, SLO burn status
+//   GET /dashboard  the same as a plain-text panel for humans
+//
+// A scrape failure (refused connection, timeout, mid-transfer death, parse
+// error) marks the target down for that round and never blocks the loop
+// beyond scrape_timeout_ms; samples from a half-read response are discarded
+// wholesale, so a dying replica cannot mis-attribute data into the store.
+//
+// Construction with start_thread=false gives a passive collector driven by
+// explicit scrape_once() calls — deterministic for tests; the fleet demo
+// and `wm_tool collect` run the background loop.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "obs/http_exporter.hpp"
+#include "obs/metrics.hpp"
+#include "obs/run_log.hpp"
+#include "obs/slo.hpp"
+#include "obs/timeseries.hpp"
+
+namespace wm::obs {
+
+struct CollectorOptions {
+  /// Scrape targets, "host:port" ("port" alone means 127.0.0.1).
+  std::vector<std::string> targets;
+  /// Scrape + SLO-evaluation interval.
+  int interval_ms = 1000;
+  /// Per-target HTTP timeout; a stuck replica costs at most this per round.
+  int scrape_timeout_ms = 2000;
+  /// Ring capacity / staleness horizon / rate window of the store.
+  TimeSeriesStoreOptions store;
+  /// SLO rules; empty = SloEngine::default_rules().
+  std::vector<SloRule> slo_rules;
+  /// Registry for wm_collector_* and wm_slo_* instruments. nullptr = a
+  /// collector-private registry (what the collector's exporter serves).
+  Registry* registry = nullptr;
+  /// Sink for slo_burn/slo_clear events; nullptr = run_log_global().
+  RunLog* run_log = nullptr;
+  /// >= 0: serve /metrics + /fleet + /dashboard on this port (0 picks an
+  /// ephemeral one, see exporter_port()). -1: no exporter.
+  int exporter_port = -1;
+  /// false = no background loop; drive with scrape_once() (tests).
+  bool start_thread = true;
+};
+
+class Collector {
+ public:
+  explicit Collector(CollectorOptions opts);
+  ~Collector();
+
+  Collector(const Collector&) = delete;
+  Collector& operator=(const Collector&) = delete;
+
+  /// Stops the scrape loop and the exporter. Idempotent.
+  void stop();
+
+  /// One synchronous pass: scrape every target, fold into the store,
+  /// re-evaluate SLOs. The background loop calls exactly this.
+  void scrape_once();
+
+  /// Merged fleet view as of now (thread-safe snapshot).
+  FleetAggregate aggregate() const;
+  std::vector<SloStatus> slo_status() const;
+
+  /// The /fleet JSON body and /dashboard text, computed from one
+  /// self-consistent aggregate each call.
+  std::string fleet_json() const;
+  std::string dashboard_text() const;
+
+  /// Completed scrape rounds (all targets attempted once per round).
+  std::uint64_t rounds() const { return rounds_.load(); }
+
+  /// The collector's own exporter port; -1 when disabled.
+  int exporter_port() const;
+
+  Registry& metrics_registry() const { return metrics_; }
+  const CollectorOptions& options() const { return opts_; }
+
+ private:
+  void loop();
+  void scrape_target(const std::string& target, std::int64_t t_ms);
+  std::int64_t now_ms() const;
+
+  const CollectorOptions opts_;
+  mutable Registry own_metrics_;
+  Registry& metrics_;
+  Counter& scrapes_total_;
+  Counter& scrape_failures_total_;
+  Counter& rounds_total_;
+  Gauge& targets_up_gauge_;
+  Gauge& targets_total_gauge_;
+  Histogram& scrape_duration_us_;
+
+  mutable std::mutex mutex_;  // guards store_ and slo_
+  TimeSeriesStore store_;
+  SloEngine slo_;
+
+  std::atomic<std::uint64_t> rounds_{0};
+  std::atomic<bool> stopping_{false};
+  std::mutex loop_mutex_;
+  std::condition_variable loop_cv_;
+  std::unique_ptr<HttpExporter> exporter_;  // after state: destroyed first
+  std::thread thread_;
+};
+
+/// Splits "host:port" (host optional, default loopback); throws
+/// wm::InvalidArgument on a malformed spec.
+std::pair<std::string, int> parse_scrape_target(const std::string& spec);
+
+}  // namespace wm::obs

@@ -162,8 +162,20 @@ void HttpExporter::handle_connection(int fd) {
       response = make_response(200, "OK", "text/plain; charset=utf-8",
                                opts_.stats_source());
     } else {
-      response = make_response(404, "Not Found", "text/plain",
-                               "unknown path " + path + "\n");
+      const HttpRoute* route = nullptr;
+      for (const HttpRoute& r : opts_.routes) {
+        if (r.path == path && r.handler) {
+          route = &r;
+          break;
+        }
+      }
+      if (route != nullptr) {
+        response =
+            make_response(200, "OK", route->content_type, route->handler());
+      } else {
+        response = make_response(404, "Not Found", "text/plain",
+                                 "unknown path " + path + "\n");
+      }
     }
   } catch (const std::exception& e) {
     response = make_response(500, "Internal Server Error", "text/plain",
@@ -173,16 +185,17 @@ void HttpExporter::handle_connection(int fd) {
   (void)write_all(fd, response);
 }
 
-std::string http_get_local(int port, const std::string& path,
-                           int timeout_ms) {
-  const int fd = net::connect_tcp("127.0.0.1", port, timeout_ms);
+std::string http_get(const std::string& host, int port,
+                     const std::string& path, int timeout_ms) {
+  const int fd = net::connect_tcp(host, port, timeout_ms);
+  set_io_timeouts(fd, timeout_ms);
 
-  const std::string request = "GET " + path +
-                              " HTTP/1.1\r\nHost: 127.0.0.1\r\n"
-                              "Connection: close\r\n\r\n";
+  const std::string request = "GET " + path + " HTTP/1.1\r\nHost: " + host +
+                              "\r\nConnection: close\r\n\r\n";
   if (!write_all(fd, request)) {
     ::close(fd);
-    throw IoError("http_get_local: send failed");
+    throw IoError("http_get: send failed to " + host + ":" +
+                  std::to_string(port));
   }
 
   std::string response;
@@ -191,13 +204,19 @@ std::string http_get_local(int port, const std::string& path,
     const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
     if (n < 0) {
       ::close(fd);
-      throw IoError("http_get_local: recv failed");
+      throw IoError("http_get: recv failed from " + host + ":" +
+                    std::to_string(port));
     }
     if (n == 0) break;  // server closed: full response received
     response.append(buf, static_cast<std::size_t>(n));
   }
   ::close(fd);
   return response;
+}
+
+std::string http_get_local(int port, const std::string& path,
+                           int timeout_ms) {
+  return http_get("127.0.0.1", port, path, timeout_ms);
 }
 
 }  // namespace wm::obs

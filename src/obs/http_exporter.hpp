@@ -37,11 +37,21 @@
 #include <optional>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "net/socket_util.hpp"
 #include "obs/metrics.hpp"
 
 namespace wm::obs {
+
+/// One extra GET endpoint served by an exporter (consulted before the 404
+/// fallback; built-in paths win on collision). The handler runs on the
+/// listener thread — keep it quick, exceptions become a 500.
+struct HttpRoute {
+  std::string path;          // exact match, e.g. "/fleet"
+  std::string content_type;  // e.g. "application/json"
+  std::function<std::string()> handler;
+};
 
 struct HttpExporterOptions {
   /// TCP port to listen on; 0 binds an ephemeral port (see port()).
@@ -56,6 +66,9 @@ struct HttpExporterOptions {
   std::function<std::string()> stats_source = nullptr;
   /// Health probe behind /healthz; default = always healthy.
   std::function<bool()> healthy = nullptr;
+  /// Additional GET endpoints (the collector mounts /fleet and /dashboard
+  /// this way).
+  std::vector<HttpRoute> routes;
   /// Per-socket receive/send timeout.
   int io_timeout_ms = 2000;
 };
@@ -108,9 +121,13 @@ class HttpExporter {
   std::thread listener_;   // started last in the constructor
 };
 
-/// Blocking loopback GET against 127.0.0.1:port; returns the raw HTTP
-/// response (status line, headers, body). Test/demo helper — throws
-/// wm::IoError on connect/IO failure.
+/// Blocking GET against host:port; returns the raw HTTP response (status
+/// line, headers, body). The collector's scrape primitive — throws
+/// wm::IoError on connect/IO failure or timeout.
+std::string http_get(const std::string& host, int port,
+                     const std::string& path, int timeout_ms = 2000);
+
+/// Loopback convenience wrapper around http_get().
 std::string http_get_local(int port, const std::string& path,
                            int timeout_ms = 2000);
 

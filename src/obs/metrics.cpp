@@ -55,12 +55,20 @@ std::int64_t HistogramSnapshot::quantile(double q) const {
       static_cast<std::uint64_t>(std::ceil(q * static_cast<double>(count))));
   std::uint64_t cum = 0;
   for (std::size_t b = 0; b < buckets.size(); ++b) {
-    cum += buckets[b];
-    if (cum >= target) {
-      // Never report a bound beyond the observed maximum (and the overflow
-      // bucket has no bound of its own).
-      return b < bounds.size() ? std::min(bounds[b], max) : max;
+    if (cum + buckets[b] >= target) {
+      // The overflow bucket has no upper bound; the observed maximum is the
+      // only honest answer there.
+      if (b >= bounds.size()) return max;
+      const double hi = static_cast<double>(bounds[b]);
+      const double lo = b == 0 ? 0.0 : static_cast<double>(bounds[b - 1]);
+      const double frac = static_cast<double>(target - cum) /
+                          static_cast<double>(buckets[b]);
+      const double v =
+          lo <= 0.0 ? hi * frac : lo * std::pow(hi / lo, frac);
+      // Never report a value beyond the observed maximum.
+      return std::min<std::int64_t>(std::llround(v), max);
     }
+    cum += buckets[b];
   }
   return max;
 }
@@ -214,23 +222,40 @@ std::string escape_label_value(const std::string& v) {
   return out;
 }
 
+// HELP text escapes backslash and newline (exposition format rule); a help
+// string with an embedded newline must not break the line-oriented format.
+std::string escape_help(const std::string& v) {
+  std::string out;
+  out.reserve(v.size());
+  for (const char c : v) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
 }  // namespace
 
 std::string Registry::prometheus_text() const {
   const std::lock_guard<std::mutex> lock(mutex_);
   std::ostringstream os;
   for (const auto& [name, entry] : counters_) {
-    if (!entry.help.empty()) os << "# HELP " << name << " " << entry.help << "\n";
+    if (!entry.help.empty()) os << "# HELP " << name << " " << escape_help(entry.help) << "\n";
     os << "# TYPE " << name << " counter\n";
     os << name << " " << entry.instrument->value() << "\n";
   }
   for (const auto& [name, entry] : gauges_) {
-    if (!entry.help.empty()) os << "# HELP " << name << " " << entry.help << "\n";
+    if (!entry.help.empty()) os << "# HELP " << name << " " << escape_help(entry.help) << "\n";
     os << "# TYPE " << name << " gauge\n";
     os << name << " " << format_double(entry.instrument->value()) << "\n";
   }
   for (const auto& [name, entry] : infos_) {
-    if (!entry.help.empty()) os << "# HELP " << name << " " << entry.help << "\n";
+    if (!entry.help.empty()) os << "# HELP " << name << " " << escape_help(entry.help) << "\n";
     os << "# TYPE " << name << " gauge\n";
     os << name << "{";
     bool first = true;
@@ -242,7 +267,7 @@ std::string Registry::prometheus_text() const {
     os << "} 1\n";
   }
   for (const auto& [name, entry] : histograms_) {
-    if (!entry.help.empty()) os << "# HELP " << name << " " << entry.help << "\n";
+    if (!entry.help.empty()) os << "# HELP " << name << " " << escape_help(entry.help) << "\n";
     os << "# TYPE " << name << " histogram\n";
     const HistogramSnapshot s = entry.instrument->snapshot();
     std::uint64_t cum = 0;

@@ -67,8 +67,13 @@ struct HistogramSnapshot {
   std::string unit;  // printed after values in to_string(), e.g. "us"
 
   double mean() const;
-  /// Upper bucket bound containing the q-quantile, q in [0, 1]; the exact
-  /// observed maximum for the tail bucket. 0 when empty.
+  /// q-quantile estimate, q in [0, 1]; 0 when empty. The target rank is
+  /// located in its bucket and the value is interpolated *geometrically*
+  /// between the bucket's bounds (log-bucketed schemes spread mass
+  /// log-uniformly, so lo*(hi/lo)^frac is the natural mid-bucket estimate;
+  /// the first bucket, whose lower bound is 0, interpolates linearly).
+  /// Never exceeds the observed maximum; ranks landing in the overflow
+  /// bucket report that maximum.
   std::int64_t quantile(double q) const;
   /// One "  <= bound unit: count" line per non-empty bucket.
   std::string to_string() const;

@@ -1,0 +1,397 @@
+#include "obs/prom_parse.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace wm::obs {
+
+namespace {
+
+// Mirrors the formatter in metrics.cpp so a parsed gauge re-exports to the
+// same bytes ("%.17g" round-trips any double through text exactly).
+std::string format_double(double v) {
+  if (std::isnan(v)) return "NaN";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+[[noreturn]] void fail(std::size_t line_no, const std::string& line,
+                       const std::string& why) {
+  throw Error("prometheus parse error at line " + std::to_string(line_no) +
+              " (" + why + "): " + line);
+}
+
+// Inverse of metrics.cpp escape_help: \\ -> backslash, \n -> newline.
+std::string unescape_help(std::size_t line_no, const std::string& line,
+                          const std::string& v) {
+  std::string out;
+  out.reserve(v.size());
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (v[i] != '\\') {
+      out.push_back(v[i]);
+      continue;
+    }
+    if (i + 1 >= v.size()) fail(line_no, line, "dangling backslash in HELP");
+    ++i;
+    if (v[i] == '\\') {
+      out.push_back('\\');
+    } else if (v[i] == 'n') {
+      out.push_back('\n');
+    } else {
+      fail(line_no, line, "bad HELP escape");
+    }
+  }
+  return out;
+}
+
+// Inverse of metrics.cpp escape_label_value: \\, \", \n.
+std::string unescape_label_value(std::size_t line_no, const std::string& line,
+                                 const std::string& v) {
+  std::string out;
+  out.reserve(v.size());
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (v[i] != '\\') {
+      out.push_back(v[i]);
+      continue;
+    }
+    if (i + 1 >= v.size()) fail(line_no, line, "dangling backslash in label");
+    ++i;
+    if (v[i] == '\\' || v[i] == '"') {
+      out.push_back(v[i]);
+    } else if (v[i] == 'n') {
+      out.push_back('\n');
+    } else {
+      fail(line_no, line, "bad label escape");
+    }
+  }
+  return out;
+}
+
+std::uint64_t parse_u64(std::size_t line_no, const std::string& line,
+                        const std::string& s) {
+  if (s.empty()) fail(line_no, line, "empty integer");
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long v = std::strtoull(s.c_str(), &end, 10);
+  if (errno != 0 || end != s.c_str() + s.size() || s[0] == '-') {
+    fail(line_no, line, "bad unsigned integer '" + s + "'");
+  }
+  return static_cast<std::uint64_t>(v);
+}
+
+std::int64_t parse_i64(std::size_t line_no, const std::string& line,
+                       const std::string& s) {
+  if (s.empty()) fail(line_no, line, "empty integer");
+  char* end = nullptr;
+  errno = 0;
+  const long long v = std::strtoll(s.c_str(), &end, 10);
+  if (errno != 0 || end != s.c_str() + s.size()) {
+    fail(line_no, line, "bad integer '" + s + "'");
+  }
+  return static_cast<std::int64_t>(v);
+}
+
+double parse_f64(std::size_t line_no, const std::string& line,
+                 const std::string& s) {
+  if (s.empty()) fail(line_no, line, "empty number");
+  char* end = nullptr;
+  errno = 0;
+  const double v = std::strtod(s.c_str(), &end);
+  if (end != s.c_str() + s.size()) {
+    fail(line_no, line, "bad number '" + s + "'");
+  }
+  return v;
+}
+
+// Splits `name{k="v",...}` into labels; `rest` starts just after '{'.
+std::vector<std::pair<std::string, std::string>> parse_labels(
+    std::size_t line_no, const std::string& line, const std::string& body) {
+  std::vector<std::pair<std::string, std::string>> labels;
+  std::size_t i = 0;
+  while (i < body.size()) {
+    const std::size_t eq = body.find('=', i);
+    if (eq == std::string::npos || eq + 1 >= body.size() || body[eq + 1] != '"') {
+      fail(line_no, line, "expected key=\"value\" label");
+    }
+    const std::string key = body.substr(i, eq - i);
+    // Find the closing quote, honoring backslash escapes.
+    std::size_t j = eq + 2;
+    std::string raw;
+    while (j < body.size() && body[j] != '"') {
+      if (body[j] == '\\') {
+        if (j + 1 >= body.size()) fail(line_no, line, "dangling backslash");
+        raw.push_back(body[j]);
+        raw.push_back(body[j + 1]);
+        j += 2;
+      } else {
+        raw.push_back(body[j]);
+        ++j;
+      }
+    }
+    if (j >= body.size()) fail(line_no, line, "unterminated label value");
+    labels.emplace_back(key, unescape_label_value(line_no, line, raw));
+    ++j;  // past the closing quote
+    if (j < body.size()) {
+      if (body[j] != ',') fail(line_no, line, "expected ',' between labels");
+      ++j;
+    }
+    i = j;
+  }
+  return labels;
+}
+
+}  // namespace
+
+HistogramSnapshot PromHistogram::to_snapshot() const {
+  HistogramSnapshot s;
+  s.bounds = bounds;
+  s.buckets.resize(bounds.size() + 1);
+  std::uint64_t prev = 0;
+  for (std::size_t b = 0; b < cumulative.size(); ++b) {
+    s.buckets[b] = cumulative[b] - prev;
+    prev = cumulative[b];
+  }
+  s.buckets.back() = count - prev;  // overflow (+Inf minus last finite)
+  s.count = count;
+  s.sum = sum;
+  // Exposition text drops the true observed max; the top finite bound is the
+  // tightest recoverable stand-in once anything landed above it.
+  s.max = bounds.empty() ? 0 : bounds.back();
+  return s;
+}
+
+PromDump parse_prometheus_text(const std::string& text) {
+  PromDump dump;
+
+  enum class Kind { kNone, kCounter, kGauge, kHistogram };
+  Kind kind = Kind::kNone;
+  std::string current;       // metric name from the active # TYPE line
+  std::string pending_help;  // HELP seen for `current` before its TYPE
+  std::string help_name;
+  PromHistogram* hist = nullptr;
+
+  std::size_t line_no = 0;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t eol = text.find('\n', pos);
+    if (eol == std::string::npos) eol = text.size();
+    const std::string line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    ++line_no;
+    if (line.empty()) continue;
+
+    if (line.rfind("# HELP ", 0) == 0) {
+      const std::size_t sp = line.find(' ', 7);
+      if (sp == std::string::npos) fail(line_no, line, "HELP without text");
+      help_name = line.substr(7, sp - 7);
+      pending_help = unescape_help(line_no, line, line.substr(sp + 1));
+      continue;
+    }
+    if (line.rfind("# TYPE ", 0) == 0) {
+      const std::size_t sp = line.find(' ', 7);
+      if (sp == std::string::npos) fail(line_no, line, "TYPE without kind");
+      current = line.substr(7, sp - 7);
+      const std::string k = line.substr(sp + 1);
+      const std::string help =
+          help_name == current ? pending_help : std::string();
+      pending_help.clear();
+      help_name.clear();
+      hist = nullptr;
+      if (k == "counter") {
+        kind = Kind::kCounter;
+        dump.counters[current].help = help;
+      } else if (k == "gauge") {
+        // Plain gauge vs info resolves at the sample line; stash the help.
+        kind = Kind::kGauge;
+        pending_help = help;
+        help_name = current;
+      } else if (k == "histogram") {
+        kind = Kind::kHistogram;
+        hist = &dump.histograms[current];
+        hist->help = help;
+      } else {
+        fail(line_no, line, "unknown TYPE kind '" + k + "'");
+      }
+      continue;
+    }
+    if (line[0] == '#') continue;  // other comments are legal, ignored
+
+    // Sample line: name[{labels}] value
+    std::size_t name_end = line.find_first_of("{ ");
+    if (name_end == std::string::npos) fail(line_no, line, "no value");
+    const std::string name = line.substr(0, name_end);
+
+    switch (kind) {
+      case Kind::kNone:
+        fail(line_no, line, "sample before any # TYPE");
+      case Kind::kCounter: {
+        if (name != current) fail(line_no, line, "name mismatch vs TYPE");
+        if (line[name_end] != ' ') fail(line_no, line, "labeled counter");
+        dump.counters[current].value =
+            parse_u64(line_no, line, line.substr(name_end + 1));
+        break;
+      }
+      case Kind::kGauge: {
+        if (name != current) fail(line_no, line, "name mismatch vs TYPE");
+        const std::string help = help_name == current ? pending_help : "";
+        if (line[name_end] == '{') {
+          // Info metric: name{k="v",...} 1
+          const std::size_t close = line.rfind('}');
+          if (close == std::string::npos || close < name_end) {
+            fail(line_no, line, "unterminated label set");
+          }
+          if (line.substr(close) != "} 1") {
+            fail(line_no, line, "info sample must be '} 1'");
+          }
+          auto& info = dump.infos[current];
+          info.labels = parse_labels(
+              line_no, line, line.substr(name_end + 1, close - name_end - 1));
+          info.help = help;
+        } else {
+          auto& g = dump.gauges[current];
+          g.value = parse_f64(line_no, line, line.substr(name_end + 1));
+          g.help = help;
+        }
+        break;
+      }
+      case Kind::kHistogram: {
+        if (hist == nullptr) fail(line_no, line, "bucket outside histogram");
+        if (name == current + "_bucket") {
+          if (line[name_end] != '{') fail(line_no, line, "bucket needs le");
+          const std::size_t close = line.find('}', name_end);
+          if (close == std::string::npos) {
+            fail(line_no, line, "unterminated bucket labels");
+          }
+          const auto labels = parse_labels(
+              line_no, line, line.substr(name_end + 1, close - name_end - 1));
+          if (labels.size() != 1 || labels[0].first != "le") {
+            fail(line_no, line, "bucket must have exactly le");
+          }
+          if (close + 2 > line.size() || line[close + 1] != ' ') {
+            fail(line_no, line, "bucket without count");
+          }
+          const std::uint64_t cum =
+              parse_u64(line_no, line, line.substr(close + 2));
+          if (labels[0].second == "+Inf") {
+            hist->count = cum;
+          } else {
+            const std::int64_t bound =
+                parse_i64(line_no, line, labels[0].second);
+            if (!hist->bounds.empty() && bound <= hist->bounds.back()) {
+              fail(line_no, line, "bucket bounds not ascending");
+            }
+            if (!hist->cumulative.empty() && cum < hist->cumulative.back()) {
+              fail(line_no, line, "bucket counts not cumulative");
+            }
+            hist->bounds.push_back(bound);
+            hist->cumulative.push_back(cum);
+          }
+        } else if (name == current + "_sum") {
+          if (line[name_end] != ' ') fail(line_no, line, "labeled _sum");
+          hist->sum = parse_i64(line_no, line, line.substr(name_end + 1));
+        } else if (name == current + "_count") {
+          if (line[name_end] != ' ') fail(line_no, line, "labeled _count");
+          const std::uint64_t c =
+              parse_u64(line_no, line, line.substr(name_end + 1));
+          if (c != hist->count) {
+            fail(line_no, line, "_count disagrees with +Inf bucket");
+          }
+          if (!hist->cumulative.empty() && hist->cumulative.back() > c) {
+            fail(line_no, line, "cumulative buckets exceed _count");
+          }
+        } else {
+          fail(line_no, line, "unexpected histogram sample '" + name + "'");
+        }
+        break;
+      }
+    }
+  }
+  return dump;
+}
+
+namespace {
+
+// Mirrors metrics.cpp escape_label_value / escape_help exactly.
+std::string escape_label_value(const std::string& v) {
+  std::string out;
+  out.reserve(v.size());
+  for (const char c : v) {
+    if (c == '\\' || c == '"') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string escape_help(const std::string& v) {
+  std::string out;
+  out.reserve(v.size());
+  for (const char c : v) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+void emit_help(std::ostringstream& os, const std::string& name,
+               const std::string& help) {
+  if (!help.empty()) os << "# HELP " << name << " " << escape_help(help) << "\n";
+}
+
+}  // namespace
+
+std::string to_prometheus_text(const PromDump& dump) {
+  std::ostringstream os;
+  for (const auto& [name, sample] : dump.counters) {
+    emit_help(os, name, sample.help);
+    os << "# TYPE " << name << " counter\n";
+    os << name << " " << sample.value << "\n";
+  }
+  for (const auto& [name, sample] : dump.gauges) {
+    emit_help(os, name, sample.help);
+    os << "# TYPE " << name << " gauge\n";
+    os << name << " " << format_double(sample.value) << "\n";
+  }
+  for (const auto& [name, sample] : dump.infos) {
+    emit_help(os, name, sample.help);
+    os << "# TYPE " << name << " gauge\n";
+    os << name << "{";
+    bool first = true;
+    for (const auto& [key, value] : sample.labels) {
+      os << (first ? "" : ",") << key << "=\"" << escape_label_value(value)
+         << "\"";
+      first = false;
+    }
+    os << "} 1\n";
+  }
+  for (const auto& [name, h] : dump.histograms) {
+    emit_help(os, name, h.help);
+    os << "# TYPE " << name << " histogram\n";
+    for (std::size_t b = 0; b < h.bounds.size(); ++b) {
+      os << name << "_bucket{le=\"" << h.bounds[b] << "\"} " << h.cumulative[b]
+         << "\n";
+    }
+    os << name << "_bucket{le=\"+Inf\"} " << h.count << "\n";
+    os << name << "_sum " << h.sum << "\n";
+    os << name << "_count " << h.count << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace wm::obs

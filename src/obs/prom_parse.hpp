@@ -1,0 +1,85 @@
+// wm::obs Prometheus exposition parser — the read side of
+// Registry::prometheus_text().
+//
+// The fleet collector scrapes every replica's HTTP exporter and needs the
+// samples back as *typed* values, not text: counters as integers it can
+// rate, gauges as doubles it can min/mean/max, histograms as bucket vectors
+// it can merge bucket-wise across replicas. This parser understands exactly
+// the dialect our Registry emits (# HELP / # TYPE headers; counter, gauge,
+// info-style labeled gauge, histogram with cumulative le buckets) and is a
+// strict inverse of it: for any Registry output,
+//
+//   to_prometheus_text(parse_prometheus_text(text)) == text
+//
+// bit-exactly (gauges re-format through the same %.17g path, HELP escaping
+// round-trips, per-kind name ordering matches the Registry's sorted maps).
+// The round-trip is tested, so the exporter and the collector cannot drift
+// apart silently.
+//
+// Malformed input throws wm::Error naming the offending line — a collector
+// never stores half-parsed garbage; the scrape fails and the target is
+// marked down instead.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace wm::obs {
+
+/// One parsed histogram: cumulative le-bucket counts exactly as exposed.
+struct PromHistogram {
+  std::vector<std::int64_t> bounds;       // finite le bounds, ascending
+  std::vector<std::uint64_t> cumulative;  // same size as bounds
+  std::uint64_t count = 0;                // the +Inf bucket / _count line
+  std::int64_t sum = 0;
+  std::string help;
+
+  /// De-cumulated HistogramSnapshot (per-bucket counts, overflow = count -
+  /// last cumulative). The exposition format does not carry the observed
+  /// maximum, so `max` degrades to the top finite bound when any sample
+  /// overflowed it — tail quantiles then follow the Prometheus convention
+  /// of reporting the highest bound.
+  HistogramSnapshot to_snapshot() const;
+};
+
+/// One scrape's worth of typed samples, keyed by metric name within kind.
+struct PromDump {
+  struct CounterSample {
+    std::uint64_t value = 0;
+    std::string help;
+  };
+  struct GaugeSample {
+    double value = 0.0;
+    std::string help;
+  };
+  struct InfoSample {
+    std::vector<std::pair<std::string, std::string>> labels;  // order kept
+    std::string help;
+  };
+
+  std::map<std::string, CounterSample> counters;
+  std::map<std::string, GaugeSample> gauges;
+  std::map<std::string, InfoSample> infos;
+  std::map<std::string, PromHistogram> histograms;
+
+  bool empty() const {
+    return counters.empty() && gauges.empty() && infos.empty() &&
+           histograms.empty();
+  }
+};
+
+/// Parses Registry-dialect exposition text; throws wm::Error (with a line
+/// number) on anything malformed — unknown TYPE kinds, bucket lines outside
+/// a histogram, non-numeric values, unsorted bounds.
+PromDump parse_prometheus_text(const std::string& text);
+
+/// Re-emits a dump in Registry::prometheus_text() order and formatting:
+/// counters, gauges, infos, histograms, names sorted within each kind.
+std::string to_prometheus_text(const PromDump& dump);
+
+}  // namespace wm::obs

@@ -1,0 +1,287 @@
+#include "obs/slo.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "obs/trace.hpp"
+
+namespace wm::obs {
+
+namespace {
+
+// Per-kind Perfetto counter tracks; trace_counter() stores the pointer, so
+// these must be string literals, keyed by kind rather than rule name.
+const char* burn_track(SloKind kind) {
+  switch (kind) {
+    case SloKind::kAvailability:
+      return "slo.availability.burn";
+    case SloKind::kLatencyP99:
+      return "slo.latency_p99.burn";
+    case SloKind::kRiskCeiling:
+      return "slo.risk_ceiling.burn";
+    case SloKind::kCoverageFloor:
+      return "slo.coverage_floor.burn";
+  }
+  return "slo.unknown.burn";
+}
+
+bool is_budget_kind(SloKind kind) {
+  return kind == SloKind::kAvailability || kind == SloKind::kLatencyP99;
+}
+
+void cap(std::deque<double>& d, std::size_t n) {
+  while (d.size() > n) d.pop_front();
+}
+
+}  // namespace
+
+const char* slo_kind_name(SloKind kind) {
+  switch (kind) {
+    case SloKind::kAvailability:
+      return "availability";
+    case SloKind::kLatencyP99:
+      return "latency_p99";
+    case SloKind::kRiskCeiling:
+      return "risk_ceiling";
+    case SloKind::kCoverageFloor:
+      return "coverage_floor";
+  }
+  return "unknown";
+}
+
+SloEngine::SloEngine(std::vector<SloRule> rules, SloEngineOptions opts)
+    : rules_(std::move(rules)),
+      metrics_(opts.registry != nullptr ? *opts.registry : own_metrics_),
+      run_log_(opts.run_log != nullptr ? *opts.run_log : run_log_global()),
+      fires_total_(metrics_.counter("wm_slo_fires_total",
+                                    "SLO burn alarms fired")),
+      clears_total_(metrics_.counter("wm_slo_clears_total",
+                                     "SLO burn alarms cleared")) {
+  states_.resize(rules_.size());
+  for (std::size_t i = 0; i < rules_.size(); ++i) {
+    const SloRule& r = rules_[i];
+    WM_CHECK(!r.name.empty(), "SLO rule needs a name");
+    if (is_budget_kind(r.kind)) {
+      WM_CHECK(r.objective > 0.0 && r.objective < 1.0,
+               "SLO objective must leave a non-zero error budget, got ",
+               r.objective);
+    } else {
+      WM_CHECK(r.objective > 0.0, "SLO bound must be positive, got ",
+               r.objective);
+      WM_CHECK(!r.gauge.empty(), "gauge-kind SLO rule '", r.name,
+               "' needs a source gauge");
+    }
+    WM_CHECK(r.fast_window >= 1 && r.slow_window >= r.fast_window,
+             "SLO windows must satisfy 1 <= fast <= slow");
+    WM_CHECK(r.fire_burn > 0.0 && r.fire_count >= 1 && r.clear_count >= 1 &&
+                 r.clear_fraction > 0.0 && r.clear_fraction <= 1.0,
+             "bad SLO alerting thresholds for rule '", r.name, "'");
+    RuleState& st = states_[i];
+    const std::string base = "wm_slo_" + r.name;
+    st.burn_fast_gauge = &metrics_.gauge(
+        base + "_burn_fast", "fast-window burn rate (1.0 = on budget)");
+    st.burn_slow_gauge =
+        &metrics_.gauge(base + "_burn_slow", "slow-window burn rate");
+    st.firing_gauge =
+        &metrics_.gauge(base + "_firing", "1 while the burn alarm is active");
+  }
+}
+
+double SloEngine::burn_over(const SloRule& rule, const RuleState& st,
+                            std::size_t window) const {
+  if (is_budget_kind(rule.kind)) {
+    if (st.total.size() < 2) return 0.0;
+    const std::size_t back =
+        std::min(window, st.total.size() - 1);  // delta across `back` ticks
+    const std::size_t i0 = st.total.size() - 1 - back;
+    const double d_total = st.total.back() - st.total[i0];
+    if (d_total <= 0.0) return 0.0;
+    const double d_bad = std::max(0.0, st.bad.back() - st.bad[i0]);
+    const double bad_frac = d_bad / d_total;
+    return bad_frac / (1.0 - rule.objective);
+  }
+  // Gauge rules: mean of the valid samples in the window (NaN = the gauge
+  // was absent that tick, e.g. the whole fleet was down).
+  double sum = 0.0;
+  std::size_t n = 0;
+  const std::size_t take = std::min(window, st.value.size());
+  for (std::size_t i = st.value.size() - take; i < st.value.size(); ++i) {
+    if (std::isnan(st.value[i])) continue;
+    sum += st.value[i];
+    ++n;
+  }
+  if (n == 0) return 0.0;
+  const double mean = sum / static_cast<double>(n);
+  if (rule.kind == SloKind::kRiskCeiling) return mean / rule.objective;
+  // Coverage floor: burn grows as coverage falls below the floor.
+  return rule.objective / std::max(mean, 1e-9);
+}
+
+void SloEngine::evaluate(const FleetAggregate& agg) {
+  for (std::size_t i = 0; i < rules_.size(); ++i) {
+    const SloRule& rule = rules_[i];
+    RuleState& st = states_[i];
+    ++st.ticks;
+
+    switch (rule.kind) {
+      case SloKind::kAvailability: {
+        double bad = 0.0;
+        for (const std::string& name : rule.bad_counters) {
+          const auto it = agg.counters.find(name);
+          if (it != agg.counters.end()) bad += it->second;
+        }
+        const auto tot = agg.counters.find(rule.total_counter);
+        // No live targets: repeat the previous cumulative point so the
+        // window sees zero delta instead of a fake reset.
+        if (tot == agg.counters.end()) {
+          st.bad.push_back(st.bad.empty() ? 0.0 : st.bad.back());
+          st.total.push_back(st.total.empty() ? 0.0 : st.total.back());
+        } else {
+          st.bad.push_back(bad);
+          st.total.push_back(tot->second);
+        }
+        break;
+      }
+      case SloKind::kLatencyP99: {
+        const auto it = agg.histograms.find(rule.histogram);
+        if (it == agg.histograms.end()) {
+          st.bad.push_back(st.bad.empty() ? 0.0 : st.bad.back());
+          st.total.push_back(st.total.empty() ? 0.0 : st.total.back());
+          break;
+        }
+        const HistogramSnapshot& h = it->second;
+        std::uint64_t within = 0;
+        for (std::size_t b = 0; b < h.bounds.size(); ++b) {
+          if (h.bounds[b] > rule.latency_threshold_us) break;
+          within += h.buckets[b];
+        }
+        st.bad.push_back(static_cast<double>(h.count - within));
+        st.total.push_back(static_cast<double>(h.count));
+        break;
+      }
+      case SloKind::kRiskCeiling:
+      case SloKind::kCoverageFloor: {
+        const auto it = agg.gauges.find(rule.gauge);
+        st.value.push_back(it == agg.gauges.end()
+                               ? std::nan("")
+                               : it->second.mean);
+        break;
+      }
+    }
+    cap(st.bad, rule.slow_window + 1);
+    cap(st.total, rule.slow_window + 1);
+    cap(st.value, rule.slow_window + 1);
+
+    st.burn_fast = burn_over(rule, st, rule.fast_window);
+    st.burn_slow = burn_over(rule, st, rule.slow_window);
+    st.burn_fast_gauge->set(st.burn_fast);
+    st.burn_slow_gauge->set(st.burn_slow);
+    trace_counter(burn_track(rule.kind), st.burn_fast);
+
+    const bool over =
+        st.burn_fast > rule.fire_burn && st.burn_slow > rule.fire_burn;
+    const double clear_at = rule.clear_fraction * rule.fire_burn;
+    const bool under = st.burn_fast < clear_at && st.burn_slow < clear_at;
+
+    if (!st.firing) {
+      st.over_streak = over ? st.over_streak + 1 : 0;
+      if (st.over_streak >= rule.fire_count) {
+        st.firing = true;
+        st.over_streak = 0;
+        st.under_streak = 0;
+        ++st.fires;
+        fires_total_.inc();
+        run_log_.write("slo_burn",
+                       {{"rule", rule.name},
+                        {"kind", slo_kind_name(rule.kind)},
+                        {"objective", rule.objective},
+                        {"burn_fast", st.burn_fast},
+                        {"burn_slow", st.burn_slow},
+                        {"targets_up", static_cast<std::int64_t>(
+                                           agg.targets_up)}});
+      }
+    } else {
+      st.under_streak = under ? st.under_streak + 1 : 0;
+      if (st.under_streak >= rule.clear_count) {
+        st.firing = false;
+        st.over_streak = 0;
+        st.under_streak = 0;
+        ++st.clears;
+        clears_total_.inc();
+        run_log_.write("slo_clear",
+                       {{"rule", rule.name},
+                        {"kind", slo_kind_name(rule.kind)},
+                        {"burn_fast", st.burn_fast},
+                        {"burn_slow", st.burn_slow}});
+      }
+    }
+    st.firing_gauge->set(st.firing ? 1.0 : 0.0);
+  }
+}
+
+std::vector<SloStatus> SloEngine::status() const {
+  std::vector<SloStatus> out;
+  out.reserve(rules_.size());
+  for (std::size_t i = 0; i < rules_.size(); ++i) {
+    const RuleState& st = states_[i];
+    SloStatus s;
+    s.name = rules_[i].name;
+    s.kind = rules_[i].kind;
+    s.objective = rules_[i].objective;
+    s.burn_fast = st.burn_fast;
+    s.burn_slow = st.burn_slow;
+    s.firing = st.firing;
+    s.fires = st.fires;
+    s.clears = st.clears;
+    s.ticks = st.ticks;
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+bool SloEngine::any_firing() const {
+  for (const RuleState& st : states_) {
+    if (st.firing) return true;
+  }
+  return false;
+}
+
+std::vector<SloRule> SloEngine::default_rules(double risk_ceiling,
+                                              double coverage_floor) {
+  std::vector<SloRule> rules;
+  {
+    SloRule r;
+    r.name = "availability";
+    r.kind = SloKind::kAvailability;
+    r.objective = 0.999;
+    rules.push_back(std::move(r));
+  }
+  {
+    SloRule r;
+    r.name = "latency_p99";
+    r.kind = SloKind::kLatencyP99;
+    r.objective = 0.99;
+    r.latency_threshold_us = 50'000;
+    rules.push_back(std::move(r));
+  }
+  {
+    SloRule r;
+    r.name = "selective_risk";
+    r.kind = SloKind::kRiskCeiling;
+    r.objective = risk_ceiling;
+    r.gauge = "wm_monitor_selective_risk";
+    rules.push_back(std::move(r));
+  }
+  {
+    SloRule r;
+    r.name = "coverage";
+    r.kind = SloKind::kCoverageFloor;
+    r.objective = coverage_floor;
+    r.gauge = "wm_monitor_coverage";
+    rules.push_back(std::move(r));
+  }
+  return rules;
+}
+
+}  // namespace wm::obs

@@ -1,0 +1,268 @@
+// obs/collector: end-to-end scrape -> parse -> store -> aggregate over real
+// HTTP exporters, including targets that die mid-scrape, exporters facing
+// slow/partial readers, and SelectiveMonitor gauges surviving aggregation.
+#include "obs/collector.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "net/socket_util.hpp"
+#include "obs/http_exporter.hpp"
+#include "obs/json_check.hpp"
+#include "obs/metrics.hpp"
+#include "serve/monitor.hpp"
+
+namespace wm::obs {
+namespace {
+
+CollectorOptions passive(std::vector<std::string> targets) {
+  CollectorOptions opts;
+  opts.targets = std::move(targets);
+  opts.start_thread = false;
+  opts.scrape_timeout_ms = 500;
+  opts.store.staleness_ms = 60'000;  // manual ticks: never stale in-test
+  return opts;
+}
+
+TEST(CollectorTest, ScrapesAggregatesAndServesFleetJson) {
+  Registry ra, rb;
+  ra.counter("wm_net_requests_total").inc(100);
+  rb.counter("wm_net_requests_total").inc(40);
+  ra.gauge("wm_monitor_coverage").set(0.6);
+  rb.gauge("wm_monitor_coverage").set(0.4);
+  Histogram& ha = ra.histogram("wm_net_request_latency_us",
+                               Histogram::latency_bounds_us(), "us");
+  Histogram& hb = rb.histogram("wm_net_request_latency_us",
+                               Histogram::latency_bounds_us(), "us");
+  for (int i = 0; i < 30; ++i) ha.record(100 + i);
+  for (int i = 0; i < 20; ++i) hb.record(10'000 + i);
+
+  HttpExporter ea({.registry = &ra});
+  HttpExporter eb({.registry = &rb});
+  CollectorOptions opts = passive({"127.0.0.1:" + std::to_string(ea.port()),
+                                  "127.0.0.1:" + std::to_string(eb.port())});
+  opts.exporter_port = 0;  // serve /fleet on an ephemeral port
+  Collector collector(opts);
+  collector.scrape_once();
+
+  const FleetAggregate agg = collector.aggregate();
+  EXPECT_EQ(agg.targets_up, 2);
+  EXPECT_DOUBLE_EQ(agg.counters.at("wm_net_requests_total"), 140.0);
+  const GaugeStats& cov = agg.gauges.at("wm_monitor_coverage");
+  EXPECT_DOUBLE_EQ(cov.min, 0.4);
+  EXPECT_DOUBLE_EQ(cov.max, 0.6);
+  EXPECT_NEAR(cov.mean, 0.5, 1e-12);
+  EXPECT_EQ(agg.histograms.at("wm_net_request_latency_us").count, 50u);
+
+  // /fleet JSON is served and self-consistent: merged histogram count equals
+  // the sum of the per-target counts reported in the same response.
+  const std::string response =
+      http_get_local(collector.exporter_port(), "/fleet");
+  const std::size_t body_at = response.find("\r\n\r\n");
+  ASSERT_NE(body_at, std::string::npos);
+  const minijson::Value fleet =
+      minijson::parse(response.substr(body_at + 4));
+  EXPECT_EQ(fleet.at("targets_up").num(), 2.0);
+  const minijson::Value& hist =
+      fleet.at("histograms").at("wm_net_request_latency_us");
+  double per_target_sum = 0;
+  for (const auto& [target, count] :
+       fleet.at("per_target_histogram_counts")
+           .at("wm_net_request_latency_us")
+           .obj()) {
+    (void)target;
+    per_target_sum += count.num();
+  }
+  EXPECT_EQ(hist.at("count").num(), per_target_sum);
+  EXPECT_EQ(hist.at("count").num(), 50.0);
+
+  // Dashboard renders without throwing and mentions both states.
+  const std::string dash = collector.dashboard_text();
+  EXPECT_NE(dash.find("targets up"), std::string::npos);
+  EXPECT_NE(dash.find("wm_net_request_latency_us"), std::string::npos);
+}
+
+TEST(CollectorTest, DeadTargetFlipsUpAndRevives) {
+  Registry r;
+  r.counter("wm_net_requests_total").inc(5);
+  auto exporter = std::make_unique<HttpExporter>(
+      HttpExporterOptions{.registry = &r});
+  const int port = exporter->port();
+  Collector collector(passive({"127.0.0.1:" + std::to_string(port)}));
+  collector.scrape_once();
+  EXPECT_TRUE(collector.aggregate().health.begin()->second.up);
+
+  exporter.reset();  // replica dies
+  collector.scrape_once();
+  {
+    const FleetAggregate agg = collector.aggregate();
+    EXPECT_FALSE(agg.health.begin()->second.up);
+    EXPECT_EQ(agg.targets_up, 0);
+    EXPECT_EQ(agg.counters.count("wm_net_requests_total"), 0u);
+  }
+
+  // Revive on the same port: up flips back, transitions recorded.
+  exporter = std::make_unique<HttpExporter>(
+      HttpExporterOptions{.port = port, .registry = &r});
+  collector.scrape_once();
+  const FleetAggregate agg = collector.aggregate();
+  EXPECT_TRUE(agg.health.begin()->second.up);
+  EXPECT_EQ(agg.health.begin()->second.up_transitions, 3u);
+  EXPECT_DOUBLE_EQ(agg.counters.at("wm_net_requests_total"), 5.0);
+}
+
+// A target that accepts, sends a deliberately partial response, and slams
+// the connection — the collector must record it down and keep none of the
+// half-scrape, without hanging.
+TEST(CollectorTest, MidScrapeDeathIsAFailureNotAHang) {
+  int port = 0;
+  const int listen_fd = net::listen_tcp("127.0.0.1", 0, 4, &port);
+  std::atomic<bool> stop{false};
+  std::thread fake([&] {
+    while (!stop.load()) {
+      const int conn = ::accept(listen_fd, nullptr, nullptr);
+      if (conn < 0) break;
+      char buf[1024];
+      (void)::recv(conn, buf, sizeof(buf), 0);
+      const std::string partial =
+          "HTTP/1.1 200 OK\r\nContent-Type: text/plain\r\n\r\n"
+          "# TYPE wm_truncated_total counter\nwm_trunc";  // cut mid-line
+      (void)::send(conn, partial.data(), partial.size(), MSG_NOSIGNAL);
+      ::close(conn);  // mid-body death
+    }
+  });
+
+  Collector collector(passive({"127.0.0.1:" + std::to_string(port)}));
+  const auto t0 = std::chrono::steady_clock::now();
+  collector.scrape_once();
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::milliseconds>(elapsed)
+                .count(),
+            2000);  // bounded by the scrape timeout, no hang
+
+  const FleetAggregate agg = collector.aggregate();
+  EXPECT_EQ(agg.targets_up, 0);
+  EXPECT_FALSE(agg.health.begin()->second.up);
+  // Nothing from the torn response was attributed to the store.
+  EXPECT_TRUE(agg.counters.empty());
+  EXPECT_EQ(collector.metrics_registry()
+                .counter("wm_collector_scrape_failures_total")
+                .value(),
+            1u);
+
+  stop.store(true);
+  ::shutdown(listen_fd, SHUT_RDWR);
+  ::close(listen_fd);
+  fake.join();
+}
+
+// The exporter side of the same coin: a scraper that reads one byte at a
+// time (slow reader) still gets the full exposition; one that stalls after
+// the request is dropped by the io timeout without wedging the exporter.
+TEST(HttpExporterRobustnessTest, SlowAndPartialReaders) {
+  Registry r;
+  r.counter("wm_slowread_total").inc(9);
+  HttpExporter exporter({.registry = &r, .io_timeout_ms = 300});
+
+  // Slow reader: drain the response a byte at a time.
+  {
+    const int fd = net::connect_tcp("127.0.0.1", exporter.port(), 1000);
+    const std::string req =
+        "GET /metrics HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n";
+    ASSERT_TRUE(net::write_all(fd, req));
+    std::string response;
+    char c = 0;
+    while (::recv(fd, &c, 1, 0) == 1) {
+      response.push_back(c);
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
+    ::close(fd);
+    EXPECT_NE(response.find("wm_slowread_total 9"), std::string::npos);
+  }
+
+  // Partial writer: sends half a request line then stalls. The exporter's
+  // receive timeout must reclaim the listener thread.
+  {
+    const int fd = net::connect_tcp("127.0.0.1", exporter.port(), 1000);
+    ASSERT_TRUE(net::write_all(fd, std::string("GET /met")));
+    std::this_thread::sleep_for(std::chrono::milliseconds(400));
+    // The exporter must still answer fresh scrapes afterwards.
+    const std::string ok = http_get_local(exporter.port(), "/metrics", 2000);
+    EXPECT_NE(ok.find("wm_slowread_total 9"), std::string::npos);
+    ::close(fd);
+  }
+}
+
+// A single-replica fleet must reproduce SelectiveMonitor's gauges exactly:
+// aggregation (min = mean = max) is the identity for one target.
+TEST(CollectorTest, MonitorGaugesSurviveSingleReplicaAggregation) {
+  Registry r;
+  serve::MonitorOptions mopts;
+  mopts.registry = &r;
+  mopts.target_coverage = 0.5;
+  serve::SelectiveMonitor monitor(mopts);
+  for (int i = 0; i < 100; ++i) {
+    SelectivePrediction p;
+    p.label = i % 9;
+    p.selected = i % 4 != 0;  // coverage 0.75
+    p.g = p.selected ? 0.9f : 0.1f;
+    monitor.observe(p);
+  }
+  const serve::MonitorSnapshot snap = monitor.snapshot();
+
+  HttpExporter exporter({.registry = &r});
+  Collector collector(
+      passive({"127.0.0.1:" + std::to_string(exporter.port())}));
+  collector.scrape_once();
+  const FleetAggregate agg = collector.aggregate();
+
+  const GaugeStats& cov = agg.gauges.at("wm_monitor_coverage");
+  EXPECT_DOUBLE_EQ(cov.min, snap.coverage);
+  EXPECT_DOUBLE_EQ(cov.mean, snap.coverage);
+  EXPECT_DOUBLE_EQ(cov.max, snap.coverage);
+  const GaugeStats& risk = agg.gauges.at("wm_monitor_selective_risk");
+  EXPECT_DOUBLE_EQ(risk.mean, snap.selective_risk);
+  const GaugeStats& alarm = agg.gauges.at("wm_monitor_alarm");
+  EXPECT_DOUBLE_EQ(alarm.mean, snap.alarm ? 1.0 : 0.0);
+}
+
+TEST(CollectorTest, BackgroundLoopScrapesOnItsOwn) {
+  Registry r;
+  r.counter("wm_bg_total").inc(1);
+  HttpExporter exporter({.registry = &r});
+  CollectorOptions opts;
+  opts.targets = {"127.0.0.1:" + std::to_string(exporter.port())};
+  opts.interval_ms = 20;
+  opts.scrape_timeout_ms = 500;
+  Collector collector(opts);
+  for (int i = 0; i < 200 && collector.rounds() < 3; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_GE(collector.rounds(), 3u);
+  collector.stop();
+  const std::uint64_t after = collector.rounds();
+  std::this_thread::sleep_for(std::chrono::milliseconds(60));
+  EXPECT_EQ(collector.rounds(), after);  // loop actually stopped
+}
+
+TEST(CollectorTest, RejectsBadTargets) {
+  EXPECT_THROW(Collector(passive({})), InvalidArgument);
+  EXPECT_THROW(Collector(passive({"localhost:notaport"})), InvalidArgument);
+  EXPECT_THROW(Collector(passive({"127.0.0.1:"})), InvalidArgument);
+  EXPECT_EQ(parse_scrape_target("9090").second, 9090);
+  EXPECT_EQ(parse_scrape_target("10.0.0.2:80").first, "10.0.0.2");
+}
+
+}  // namespace
+}  // namespace wm::obs

@@ -2,6 +2,8 @@
 // formats, and exact sums under concurrent updates.
 #include "obs/metrics.hpp"
 
+#include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <string>
 #include <thread>
@@ -62,9 +64,40 @@ TEST(HistogramTest, QuantileAndMean) {
   for (int i = 0; i < 10; ++i) h.record(40'000);
   s = h.snapshot();
   EXPECT_DOUBLE_EQ(s.mean(), (90.0 * 80 + 10.0 * 40'000) / 100.0);
-  EXPECT_EQ(s.quantile(0.50), 100);
-  EXPECT_EQ(s.quantile(0.95), 40'000);  // tail capped at the observed max
-  EXPECT_EQ(s.quantile(1.0), 40'000);
+  // Geometric interpolation within the log buckets: rank 50 sits 5/9 into
+  // the (50, 100] bucket -> 50*2^(5/9) ~= 73; rank 95 sits halfway into
+  // (20000, 50000] -> 20000*sqrt(2.5) ~= 31623.
+  EXPECT_EQ(s.quantile(0.50), 73);
+  EXPECT_EQ(s.quantile(0.95), 31'623);
+  EXPECT_EQ(s.quantile(1.0), 40'000);  // capped at the observed max
+}
+
+TEST(HistogramTest, QuantileGeometricInterpolationAccuracy) {
+  // A log-uniform distribution is the scheme's best case: geometric
+  // interpolation should land near the exact quantiles, while snapping to
+  // bucket bounds (the old behaviour) errs by up to the bucket ratio (2.5x
+  // on the 1-2-5 grid). Spread samples log-uniformly over [100us, 1s].
+  Histogram h(Histogram::latency_bounds_us(), "us");
+  constexpr int kN = 10'000;
+  std::vector<std::int64_t> values;
+  values.reserve(kN);
+  for (int i = 0; i < kN; ++i) {
+    const double u = (i + 0.5) / kN;
+    values.push_back(
+        static_cast<std::int64_t>(std::llround(100.0 * std::pow(1e4, u))));
+  }
+  for (const std::int64_t v : values) h.record(v);
+  const HistogramSnapshot s = h.snapshot();
+  std::sort(values.begin(), values.end());
+  for (const double q : {0.10, 0.25, 0.50, 0.90, 0.95, 0.99}) {
+    const std::int64_t exact =
+        values[static_cast<std::size_t>(std::ceil(q * kN)) - 1];
+    const std::int64_t est = s.quantile(q);
+    // Within 6% of the exact quantile everywhere on the grid.
+    EXPECT_NEAR(static_cast<double>(est), static_cast<double>(exact),
+                0.06 * static_cast<double>(exact))
+        << "q=" << q;
+  }
 }
 
 TEST(HistogramTest, RejectsBadBounds) {

@@ -1,0 +1,149 @@
+// obs/prom_parse: the exposition parser must be a strict, bit-exact inverse
+// of Registry::prometheus_text() — the collector's correctness rests on it.
+#include "obs/prom_parse.hpp"
+
+#include <cmath>
+#include <limits>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "obs/metrics.hpp"
+
+namespace wm::obs {
+namespace {
+
+Registry& populated_registry(Registry& r) {
+  r.counter("wm_a_total", "things counted").inc(42);
+  r.counter("wm_no_help_total").inc(7);
+  r.gauge("wm_level", "current level").set(2.5);
+  r.gauge("wm_precise").set(0.1);  // needs all 17 digits to round-trip
+  r.gauge("wm_nan_gauge").set(std::numeric_limits<double>::quiet_NaN());
+  r.gauge("wm_inf_gauge").set(std::numeric_limits<double>::infinity());
+  r.set_info("wm_build_like",
+             {{"version", "v1.2"}, {"weird", "a\"b\\c\nd"}},
+             "help with\nnewline and back\\slash");
+  Histogram& h =
+      r.histogram("wm_lat_us", Histogram::latency_bounds_us(), "us", "lat");
+  h.record(80);
+  h.record(80);
+  h.record(40'000);
+  h.record(9'000'000);  // overflow bucket
+  Histogram& empty =
+      r.histogram("wm_empty_us", {10, 100}, "us", "never recorded");
+  (void)empty;
+  return r;
+}
+
+TEST(PromParseTest, RoundTripIsBitExact) {
+  Registry r;
+  const std::string text = populated_registry(r).prometheus_text();
+  const PromDump dump = parse_prometheus_text(text);
+  EXPECT_EQ(to_prometheus_text(dump), text);
+  // And a second trip through the parser is a fixed point.
+  EXPECT_EQ(to_prometheus_text(parse_prometheus_text(to_prometheus_text(dump))),
+            text);
+}
+
+TEST(PromParseTest, TypedValuesSurviveTheTrip) {
+  Registry r;
+  const PromDump dump =
+      parse_prometheus_text(populated_registry(r).prometheus_text());
+
+  ASSERT_EQ(dump.counters.count("wm_a_total"), 1u);
+  EXPECT_EQ(dump.counters.at("wm_a_total").value, 42u);
+  EXPECT_EQ(dump.counters.at("wm_a_total").help, "things counted");
+  EXPECT_EQ(dump.counters.at("wm_no_help_total").help, "");
+
+  EXPECT_DOUBLE_EQ(dump.gauges.at("wm_level").value, 2.5);
+  EXPECT_DOUBLE_EQ(dump.gauges.at("wm_precise").value, 0.1);
+  EXPECT_TRUE(std::isnan(dump.gauges.at("wm_nan_gauge").value));
+  EXPECT_TRUE(std::isinf(dump.gauges.at("wm_inf_gauge").value));
+
+  ASSERT_EQ(dump.infos.count("wm_build_like"), 1u);
+  const auto& labels = dump.infos.at("wm_build_like").labels;
+  ASSERT_EQ(labels.size(), 2u);
+  EXPECT_EQ(labels[0].first, "version");
+  EXPECT_EQ(labels[0].second, "v1.2");
+  EXPECT_EQ(labels[1].second, "a\"b\\c\nd");  // escapes undone
+  EXPECT_EQ(dump.infos.at("wm_build_like").help,
+            "help with\nnewline and back\\slash");
+
+  ASSERT_EQ(dump.histograms.count("wm_lat_us"), 1u);
+  const PromHistogram& h = dump.histograms.at("wm_lat_us");
+  EXPECT_EQ(h.bounds, Histogram::latency_bounds_us());
+  EXPECT_EQ(h.count, 4u);
+  EXPECT_EQ(h.sum, 80 + 80 + 40'000 + 9'000'000);
+  EXPECT_EQ(dump.histograms.at("wm_empty_us").count, 0u);
+}
+
+TEST(PromParseTest, ToSnapshotDecumulates) {
+  Registry r;
+  const PromDump dump =
+      parse_prometheus_text(populated_registry(r).prometheus_text());
+  const HistogramSnapshot s = dump.histograms.at("wm_lat_us").to_snapshot();
+  ASSERT_EQ(s.buckets.size(), s.bounds.size() + 1);
+  // Two 80us samples in (50,100], one 40ms in (20000,50000], one overflow.
+  EXPECT_EQ(s.buckets[1], 2u);
+  EXPECT_EQ(s.buckets[9], 1u);
+  EXPECT_EQ(s.buckets.back(), 1u);
+  EXPECT_EQ(s.count, 4u);
+  std::uint64_t total = 0;
+  for (const std::uint64_t b : s.buckets) total += b;
+  EXPECT_EQ(total, s.count);
+  // max is unrecoverable from text; degrades to the top finite bound.
+  EXPECT_EQ(s.max, Histogram::latency_bounds_us().back());
+}
+
+TEST(PromParseTest, EmptyInputIsEmptyDump) {
+  EXPECT_TRUE(parse_prometheus_text("").empty());
+  EXPECT_TRUE(parse_prometheus_text("\n\n# just a comment\n").empty());
+}
+
+TEST(PromParseTest, MalformedInputThrows) {
+  EXPECT_THROW(parse_prometheus_text("wm_orphan 5\n"), Error);  // no TYPE
+  EXPECT_THROW(parse_prometheus_text("# TYPE wm_x summary\nwm_x 1\n"), Error);
+  EXPECT_THROW(parse_prometheus_text("# TYPE wm_x counter\nwm_x abc\n"),
+               Error);
+  EXPECT_THROW(parse_prometheus_text("# TYPE wm_x counter\nwm_y 1\n"), Error);
+  EXPECT_THROW(
+      parse_prometheus_text("# TYPE wm_h histogram\n"
+                            "wm_h_bucket{le=\"100\"} 5\n"
+                            "wm_h_bucket{le=\"50\"} 6\n"),  // bounds go down
+      Error);
+  EXPECT_THROW(
+      parse_prometheus_text("# TYPE wm_h histogram\n"
+                            "wm_h_bucket{le=\"50\"} 5\n"
+                            "wm_h_bucket{le=\"100\"} 3\n"),  // not cumulative
+      Error);
+  EXPECT_THROW(
+      parse_prometheus_text("# TYPE wm_h histogram\n"
+                            "wm_h_bucket{le=\"+Inf\"} 2\n"
+                            "wm_h_sum 10\nwm_h_count 3\n"),  // count mismatch
+      Error);
+  // Truncation mid-line (a replica dying mid-send) must throw, not yield a
+  // silently partial dump.
+  Registry r;
+  const std::string text = populated_registry(r).prometheus_text();
+  EXPECT_THROW(parse_prometheus_text(text.substr(0, text.size() / 2) + "xx"),
+               Error);
+}
+
+TEST(PromParseTest, LiveExporterDialect) {
+  // The registry shapes actually scraped in production: engine + monitor
+  // metrics all round-trip.
+  Registry r;
+  r.counter("wm_net_requests_total").inc(123);
+  r.counter("wm_net_shed_total").inc(1);
+  r.gauge("wm_monitor_coverage").set(0.5);
+  r.gauge("wm_monitor_selective_risk").set(0.0125);
+  Histogram& h = r.histogram("wm_net_request_latency_us",
+                             Histogram::latency_bounds_us(), "us");
+  for (int i = 0; i < 100; ++i) h.record(100 * i);
+  const std::string text = r.prometheus_text();
+  EXPECT_EQ(to_prometheus_text(parse_prometheus_text(text)), text);
+}
+
+}  // namespace
+}  // namespace wm::obs

@@ -1,0 +1,251 @@
+// obs/slo: burn-rate math over the fleet aggregate and the exceed-to-fire /
+// hysteretic-clear alarm discipline (mirrors SelectiveMonitor's behaviour).
+#include "obs/slo.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "obs/metrics.hpp"
+#include "obs/run_log.hpp"
+#include "obs/timeseries.hpp"
+
+namespace wm::obs {
+namespace {
+
+FleetAggregate agg_with_counters(double bad, double total) {
+  FleetAggregate agg;
+  agg.targets_up = agg.targets_total = 1;
+  agg.counters["wm_net_requests_total"] = total;
+  agg.counters["wm_net_shed_total"] = bad;
+  return agg;
+}
+
+SloRule availability_rule() {
+  SloRule r;
+  r.name = "avail";
+  r.kind = SloKind::kAvailability;
+  r.objective = 0.99;  // 1% budget
+  r.fast_window = 2;
+  r.slow_window = 4;
+  r.fire_burn = 1.0;
+  r.fire_count = 2;
+  r.clear_fraction = 0.5;
+  r.clear_count = 2;
+  return r;
+}
+
+TEST(SloEngineTest, BurnRateMathOnAvailability) {
+  Registry reg;
+  RunLog null_log;
+  SloEngine slo({availability_rule()}, {&reg, &null_log});
+  // 1000 requests per tick, 5% of them bad: burn = 0.05 / 0.01 = 5.
+  double bad = 0, total = 0;
+  for (int i = 0; i < 5; ++i) {
+    bad += 50;
+    total += 1000;
+    slo.evaluate(agg_with_counters(bad, total));
+  }
+  const SloStatus s = slo.status()[0];
+  EXPECT_NEAR(s.burn_fast, 5.0, 1e-9);
+  EXPECT_NEAR(s.burn_slow, 5.0, 1e-9);
+  EXPECT_TRUE(s.firing);  // over budget on both windows long enough
+  EXPECT_NEAR(reg.gauge("wm_slo_avail_burn_fast").value(), 5.0, 1e-9);
+  EXPECT_DOUBLE_EQ(reg.gauge("wm_slo_avail_firing").value(), 1.0);
+}
+
+TEST(SloEngineTest, FireNeedsConsecutiveTicksAndBothWindows) {
+  Registry reg;
+  RunLog null_log;
+  SloRule rule = availability_rule();
+  rule.fast_window = 1;  // reacts (and decays) within one tick
+  SloEngine slo({rule}, {&reg, &null_log});
+  // One bad tick between good ones never fires (fire_count = 2 and the
+  // fast window drops back under the threshold immediately).
+  slo.evaluate(agg_with_counters(0, 1000));
+  slo.evaluate(agg_with_counters(100, 2000));  // burn spikes
+  EXPECT_FALSE(slo.status()[0].firing);
+  slo.evaluate(agg_with_counters(100, 3000));  // clean again
+  slo.evaluate(agg_with_counters(100, 4000));
+  EXPECT_FALSE(slo.status()[0].firing);
+  EXPECT_EQ(slo.status()[0].fires, 0u);
+}
+
+TEST(SloEngineTest, HysteresisFiresThenClears) {
+  Registry reg;
+  RunLog null_log;
+  SloEngine slo({availability_rule()}, {&reg, &null_log});
+  double bad = 0, total = 0;
+  // Burn hard: fire.
+  for (int i = 0; i < 4; ++i) {
+    bad += 100;
+    total += 1000;
+    slo.evaluate(agg_with_counters(bad, total));
+  }
+  ASSERT_TRUE(slo.status()[0].firing);
+  EXPECT_EQ(slo.status()[0].fires, 1u);
+  // Recover: zero new errors. The windows still remember the burn, so the
+  // alarm must hold through the first clean tick (hysteresis), then clear.
+  total += 1000;
+  slo.evaluate(agg_with_counters(bad, total));
+  EXPECT_TRUE(slo.status()[0].firing);
+  for (int i = 0; i < 7; ++i) {
+    total += 1000;
+    slo.evaluate(agg_with_counters(bad, total));
+  }
+  EXPECT_FALSE(slo.status()[0].firing);
+  EXPECT_EQ(slo.status()[0].clears, 1u);
+  EXPECT_DOUBLE_EQ(reg.gauge("wm_slo_avail_firing").value(), 0.0);
+  EXPECT_EQ(reg.counter("wm_slo_fires_total").value(), 1u);
+  EXPECT_EQ(reg.counter("wm_slo_clears_total").value(), 1u);
+}
+
+TEST(SloEngineTest, LatencyRuleCountsBucketsAboveThreshold) {
+  Registry reg;
+  RunLog null_log;
+  SloRule r;
+  r.name = "lat";
+  r.kind = SloKind::kLatencyP99;
+  r.objective = 0.9;  // 10% budget
+  r.latency_threshold_us = 1000;
+  r.fast_window = 1;
+  r.slow_window = 2;
+  r.fire_count = 1;
+  SloEngine slo({r}, {&reg, &null_log});
+
+  Registry source;
+  Histogram& h =
+      source.histogram("wm_net_request_latency_us", {100, 1000, 10'000}, "us");
+  FleetAggregate agg;
+  agg.targets_up = agg.targets_total = 1;
+  auto feed = [&] {
+    agg.histograms.clear();
+    agg.histograms.emplace("wm_net_request_latency_us", h.snapshot());
+    slo.evaluate(agg);
+  };
+  feed();  // empty baseline
+  // 80 fast, 20 slow: 20% over threshold, burn = 0.2/0.1 = 2.
+  for (int i = 0; i < 80; ++i) h.record(50);
+  for (int i = 0; i < 20; ++i) h.record(5000);
+  feed();
+  EXPECT_NEAR(slo.status()[0].burn_fast, 2.0, 1e-9);
+  EXPECT_TRUE(slo.status()[0].firing);
+}
+
+TEST(SloEngineTest, GaugeRulesRiskCeilingAndCoverageFloor) {
+  Registry reg;
+  RunLog null_log;
+  SloRule risk;
+  risk.name = "risk";
+  risk.kind = SloKind::kRiskCeiling;
+  risk.objective = 0.05;
+  risk.gauge = "wm_monitor_selective_risk";
+  risk.fast_window = 1;
+  risk.slow_window = 1;
+  risk.fire_count = 1;
+  SloRule cov;
+  cov.name = "cov";
+  cov.kind = SloKind::kCoverageFloor;
+  cov.objective = 0.4;
+  cov.gauge = "wm_monitor_coverage";
+  cov.fast_window = 1;
+  cov.slow_window = 1;
+  cov.fire_count = 1;
+  SloEngine slo({risk, cov}, {&reg, &null_log});
+
+  FleetAggregate agg;
+  agg.targets_up = agg.targets_total = 1;
+  agg.gauges["wm_monitor_selective_risk"] = {0.02, 0.02, 0.02, 1};
+  agg.gauges["wm_monitor_coverage"] = {0.8, 0.8, 0.8, 1};
+  slo.evaluate(agg);
+  EXPECT_NEAR(slo.status()[0].burn_fast, 0.4, 1e-9);  // 0.02 / 0.05
+  EXPECT_NEAR(slo.status()[1].burn_fast, 0.5, 1e-9);  // 0.4 / 0.8
+  EXPECT_FALSE(slo.status()[0].firing);
+  EXPECT_FALSE(slo.status()[1].firing);
+
+  agg.gauges["wm_monitor_selective_risk"] = {0.2, 0.2, 0.2, 1};
+  agg.gauges["wm_monitor_coverage"] = {0.1, 0.1, 0.1, 1};
+  slo.evaluate(agg);
+  EXPECT_NEAR(slo.status()[0].burn_fast, 4.0, 1e-9);
+  EXPECT_NEAR(slo.status()[1].burn_fast, 4.0, 1e-9);
+  EXPECT_TRUE(slo.status()[0].firing);
+  EXPECT_TRUE(slo.status()[1].firing);
+}
+
+TEST(SloEngineTest, MissingGaugeIsNotAViolation) {
+  Registry reg;
+  RunLog null_log;
+  SloRule cov;
+  cov.name = "cov";
+  cov.kind = SloKind::kCoverageFloor;
+  cov.objective = 0.4;
+  cov.gauge = "wm_monitor_coverage";
+  cov.fast_window = 1;
+  cov.slow_window = 1;
+  cov.fire_count = 1;
+  SloEngine slo({cov}, {&reg, &null_log});
+  FleetAggregate empty;  // whole fleet down: no gauge at all
+  slo.evaluate(empty);
+  slo.evaluate(empty);
+  EXPECT_DOUBLE_EQ(slo.status()[0].burn_fast, 0.0);
+  EXPECT_FALSE(slo.status()[0].firing);
+}
+
+TEST(SloEngineTest, RunLogEventsOnFireAndClear) {
+  const std::string path =
+      ::testing::TempDir() + "/slo_events_test.jsonl";
+  std::remove(path.c_str());
+  {
+    Registry reg;
+    RunLog log(path);
+    SloEngine slo({availability_rule()}, {&reg, &log});
+    double bad = 0, total = 0;
+    for (int i = 0; i < 4; ++i) {
+      bad += 100;
+      total += 1000;
+      slo.evaluate(agg_with_counters(bad, total));
+    }
+    for (int i = 0; i < 8; ++i) {
+      total += 1000;
+      slo.evaluate(agg_with_counters(bad, total));
+    }
+  }
+  std::ifstream in(path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const std::string events = ss.str();
+  EXPECT_NE(events.find("\"event\":\"slo_burn\""), std::string::npos);
+  EXPECT_NE(events.find("\"event\":\"slo_clear\""), std::string::npos);
+  EXPECT_NE(events.find("\"rule\":\"avail\""), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(SloEngineTest, DefaultRulesValidate) {
+  Registry reg;
+  RunLog null_log;
+  SloEngine slo(SloEngine::default_rules(), {&reg, &null_log});
+  ASSERT_EQ(slo.rules().size(), 4u);
+  FleetAggregate empty;
+  slo.evaluate(empty);  // tolerates a fully-down fleet
+  EXPECT_FALSE(slo.any_firing());
+}
+
+TEST(SloEngineTest, RejectsBadRules) {
+  Registry reg;
+  RunLog null_log;
+  SloRule r = availability_rule();
+  r.objective = 1.0;  // zero budget
+  EXPECT_THROW(SloEngine({r}, {&reg, &null_log}), InvalidArgument);
+  SloRule g;
+  g.name = "g";
+  g.kind = SloKind::kRiskCeiling;
+  g.objective = 0.05;  // but no gauge
+  EXPECT_THROW(SloEngine({g}, {&reg, &null_log}), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace wm::obs

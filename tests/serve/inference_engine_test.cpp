@@ -313,9 +313,11 @@ TEST(LatencyHistogramTest, QuantilesAndMean) {
   static_cast<obs::HistogramSnapshot&>(h) = hist.snapshot();
   EXPECT_EQ(h.count(), 100u);
   EXPECT_DOUBLE_EQ(h.mean_us(), (90.0 * 80 + 10.0 * 40'000) / 100.0);
-  EXPECT_EQ(h.quantile_us(0.50), 100);
-  EXPECT_EQ(h.quantile_us(0.95), 40'000);  // capped at the observed max
-  EXPECT_EQ(h.quantile_us(1.0), 40'000);
+  // Geometric interpolation inside the log buckets (see
+  // HistogramSnapshot::quantile): 50*2^(5/9) ~= 73, 20000*sqrt(2.5) ~= 31623.
+  EXPECT_EQ(h.quantile_us(0.50), 73);
+  EXPECT_EQ(h.quantile_us(0.95), 31'623);
+  EXPECT_EQ(h.quantile_us(1.0), 40'000);  // capped at the observed max
 }
 
 TEST(InferenceEngineTest, StatsTextExposesPrometheusMetrics) {

@@ -61,6 +61,11 @@ DEFAULT_HEADLINES = {
         # sampled) over the identical untraced run. The acceptance bar is
         # >= 0.98 (tracing-disabled fast path costs <= ~2%).
         "tracing_overhead_ratio",
+        # Collector headline: fleet closed-loop throughput with the
+        # obs::Collector scraping every replica + evaluating SLO rules,
+        # over the identical uncollected run. The acceptance bar is
+        # >= 0.98 (the observability plane costs <= ~2%).
+        "collector_overhead_ratio",
     },
     "bench_quant": {
         "quant_vs_fp32",
@@ -70,7 +75,7 @@ DEFAULT_HEADLINES = {
 # Metrics where larger is better (everything else: smaller is better).
 HIGHER_IS_BETTER = {"engine_vs_direct_best_ratio", "remote_vs_engine_ratio",
                     "fleet_vs_single_ratio", "tracing_overhead_ratio",
-                    "quant_vs_fp32"}
+                    "collector_overhead_ratio", "quant_vs_fp32"}
 
 
 def load(path):

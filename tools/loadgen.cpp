@@ -28,17 +28,26 @@
 //   fleet-single  router over replica 0 only, per-replica closed-loop
 //                 concurrency (--fleet-window in-flight calls);
 //   fleet-closed  router over all M replicas at M x that concurrency —
-//                 the horizontal-capacity measurement.
+//                 the horizontal-capacity measurement;
+//   fleet-collected  the identical fleet closed loop again, now with an
+//                 obs::Collector scraping every replica's exporter each
+//                 --collector-interval-ms and running the SLO burn-rate
+//                 rules over the merged view. Its throughput over the
+//                 uncollected fleet-closed run is the
+//                 collector_overhead_ratio headline (gated >= 0.98: the
+//                 whole observability plane must cost <= ~2%).
 //
 // The replicas run delay-bound (--fleet-delay-us micro-batch flush, large
 // relative to compute), so a single replica's throughput is capped by the
 // batching window, not the CPU — which is what makes the fleet headline
 // fleet_vs_single_ratio an honest horizontal-scaling number (~M on a
 // healthy fleet) even on a small machine, at comparable p99. Chaos flags
-// exercise the failover story mid-run: --kill-replica takes the last
-// replica down at 1/3 progress and restarts it at 2/3 (the router ejects,
-// fails over, and re-admits it via /healthz); --swap-mid-run hot-swaps
-// every replica from fp32 to the int8 quantized model at 1/2 progress with
+// exercise the failover story mid-run, during the *collected* run so the
+// collector sees it too: --kill-replica takes the last replica down at 1/3
+// progress — wire port, exporter and all, so the collector's `up` flips —
+// and restarts it at 2/3 (the router ejects, fails over, re-admits it via
+// /healthz; the collector re-marks it up); --swap-mid-run hot-swaps every
+// replica from fp32 to the int8 quantized model at 1/2 progress with
 // canary verification. Per-replica latency percentiles and eject/rejoin
 // counts land in the JSON report as "fleet_replicas".
 //
@@ -56,6 +65,15 @@
 //   --fleet-delay-us U  replica micro-batch flush delay (default 12000)
 //   --kill-replica    kill + restart a replica mid-run (fleet mode)
 //   --swap-mid-run    hot-swap fp32 -> int8 mid-run    (fleet mode)
+//   --collector-port P        the collector's own exporter port for the
+//                             fleet-collected run (/fleet, /dashboard,
+//                             /metrics; default 0 = ephemeral)
+//   --collector-interval-ms M scrape + SLO tick interval (default 100)
+//   --slo-p99-us U    override the latency SLO threshold (default 0 keeps
+//                     SloEngine::default_rules(); a tiny value like 1
+//                     provokes a burn-rate alarm under any traffic — CI
+//                     uses it to assert the slo_burn/slo_clear run-log
+//                     events fire end-to-end)
 //   --trace-sample N  trace every Nth request in the remote-traced run
 //                     (default 16; the run itself always happens against
 //                     the in-process stack — its throughput over the
@@ -92,6 +110,7 @@
 #include "net/client.hpp"
 #include "net/router.hpp"
 #include "net/server.hpp"
+#include "obs/collector.hpp"
 #include "obs/http_exporter.hpp"
 #include "obs/metrics.hpp"
 #include "obs/run_log.hpp"
@@ -471,9 +490,12 @@ RunResult run_remote_open(const std::string& host, int port,
 
 /// One in-process serving replica for fleet mode: its own registry, a
 /// hot-swap wrapper, a micro-batching engine, a TCP server, and a /healthz
-/// exporter. down()/up() model a crash + restart on the same wire port (the
-/// exporter stays alive and reports unhealthy while the replica is down, so
-/// the router's prober sees an honest 503 instead of a vanished endpoint).
+/// + /metrics exporter. down()/up() model a whole-process crash + restart
+/// on the same ports: the exporter dies with the replica (the router's
+/// prober and the fleet collector both see a vanished endpoint, eject the
+/// replica, and re-admit it after up() rebinds). The registry survives the
+/// restart — like a warm-restarted process the counters resume, and a
+/// genuine reset is the collector's counter-reset rule's job to absorb.
 class FleetReplica {
  public:
   FleetReplica(std::shared_ptr<const Classifier> initial, int max_delay_us)
@@ -481,9 +503,7 @@ class FleetReplica {
         max_delay_us_(max_delay_us) {
     up();
     wire_port_ = server_->port();
-    exporter_ = std::make_unique<obs::HttpExporter>(obs::HttpExporterOptions{
-        .registry = &registry_,
-        .healthy = [this] { return serving_.load(); }});
+    health_port_ = exporter_->port();
   }
 
   ~FleetReplica() { down(); }
@@ -491,9 +511,10 @@ class FleetReplica {
   FleetReplica(const FleetReplica&) = delete;
   FleetReplica& operator=(const FleetReplica&) = delete;
 
-  /// (Re)starts the engine + server; rebinds the original wire port after
-  /// the first call. The SwappableClassifier survives restarts, so a model
-  /// promoted while the replica was down serves as soon as it is back.
+  /// (Re)starts the engine + server + exporter; rebinds the original wire
+  /// and health ports after the first call. The SwappableClassifier
+  /// survives restarts, so a model promoted while the replica was down
+  /// serves as soon as it is back.
   void up() {
     if (serving_.load()) return;
     engine_ = std::make_unique<serve::InferenceEngine>(
@@ -503,11 +524,16 @@ class FleetReplica {
                                     .registry = &registry_});
     server_ = std::make_unique<net::Server>(
         *engine_, net::ServerOptions{.port = wire_port_, .workers = 1});
+    exporter_ = std::make_unique<obs::HttpExporter>(obs::HttpExporterOptions{
+        .port = health_port_,
+        .registry = &registry_,
+        .healthy = [this] { return serving_.load(); }});
     serving_.store(true);
   }
 
   /// Kills the replica: connections drop, in-flight calls fail over at the
-  /// router, /healthz flips to 503.
+  /// router, the health/metrics exporter vanishes (the collector marks the
+  /// target down).
   void down() {
     serving_.store(false);
     if (server_ != nullptr) {
@@ -518,6 +544,7 @@ class FleetReplica {
       engine_->shutdown();
       engine_.reset();
     }
+    exporter_.reset();
   }
 
   void swap_model(std::shared_ptr<const Classifier> candidate,
@@ -527,7 +554,7 @@ class FleetReplica {
   }
 
   int wire_port() const { return wire_port_; }
-  int health_port() const { return exporter_->port(); }
+  int health_port() const { return health_port_; }
   std::uint64_t model_version() const { return swap_.version(); }
   std::uint64_t model_swaps() const { return swap_.swaps(); }
 
@@ -535,7 +562,8 @@ class FleetReplica {
   obs::Registry registry_;
   serve::SwappableClassifier swap_;
   int max_delay_us_;
-  int wire_port_ = 0;  // 0 only before the first up()
+  int wire_port_ = 0;    // 0 only before the first up()
+  int health_port_ = 0;  // likewise
   std::atomic<bool> serving_{false};
   std::unique_ptr<serve::InferenceEngine> engine_;
   std::unique_ptr<net::Server> server_;
@@ -663,6 +691,15 @@ struct FleetReport {
   double single_rps = 0.0;
   double closed_rps = 0.0;
   double ratio = 0.0;  // closed_rps / single_rps
+  double collected_rps = 0.0;
+  double collector_overhead_ratio = 0.0;  // collected_rps / closed_rps
+  std::uint64_t collector_rounds = 0;
+  int collector_targets_up = 0;  // at the end of the collected run
+  /// Sum of per-target up<->down edges (first successful scrape counts as
+  /// one): M on a quiet fleet, M + 2 after one kill + revive.
+  std::uint64_t collector_up_transitions = 0;
+  std::uint64_t slo_fires = 0;
+  std::uint64_t slo_clears = 0;
   bool kill_replica = false;
   bool swap_mid_run = false;
   std::uint64_t retries = 0;
@@ -743,6 +780,20 @@ void print_json(const std::vector<RunResult>& rows, int map_size,
     std::printf("  \"fleet_single_rps\": %.2f,\n", fleet->single_rps);
     std::printf("  \"fleet_closed_rps\": %.2f,\n", fleet->closed_rps);
     std::printf("  \"fleet_vs_single_ratio\": %.3f,\n", fleet->ratio);
+    std::printf("  \"fleet_collected_rps\": %.2f,\n", fleet->collected_rps);
+    std::printf("  \"collector_overhead_ratio\": %.3f,\n",
+                fleet->collector_overhead_ratio);
+    std::printf("  \"collector_rounds\": %llu,\n",
+                static_cast<unsigned long long>(fleet->collector_rounds));
+    std::printf("  \"collector_targets_up\": %d,\n",
+                fleet->collector_targets_up);
+    std::printf("  \"collector_up_transitions\": %llu,\n",
+                static_cast<unsigned long long>(
+                    fleet->collector_up_transitions));
+    std::printf("  \"collector_slo_fires\": %llu,\n",
+                static_cast<unsigned long long>(fleet->slo_fires));
+    std::printf("  \"collector_slo_clears\": %llu,\n",
+                static_cast<unsigned long long>(fleet->slo_clears));
     std::printf("  \"fleet_kill_replica\": %s,\n",
                 fleet->kill_replica ? "true" : "false");
     std::printf("  \"fleet_swap_mid_run\": %s,\n",
@@ -843,6 +894,11 @@ int main(int argc, char** argv) {
       std::max(0, get_flag(argc, argv, "--fleet-delay-us", 12000));
   const bool kill_replica = has_flag(argc, argv, "--kill-replica");
   const bool swap_mid_run = has_flag(argc, argv, "--swap-mid-run");
+  const int collector_port =
+      std::max(0, get_flag(argc, argv, "--collector-port", 0));
+  const int collector_interval_ms =
+      std::max(10, get_flag(argc, argv, "--collector-interval-ms", 100));
+  const int slo_p99_us = std::max(0, get_flag(argc, argv, "--slo-p99-us", 0));
   const int trace_sample =
       std::max(1, get_flag(argc, argv, "--trace-sample", 16));
   const std::string trace_out = get_flag_s(argc, argv, "--trace-out", "");
@@ -979,8 +1035,8 @@ int main(int argc, char** argv) {
         if (!json) print_row(rows.back());
       }
 
-      // ...then the whole fleet at M x that offered load. Chaos (kill /
-      // swap) only runs here — failover is a fleet property.
+      // ...then the whole fleet at M x that offered load, uncollected —
+      // the denominator of the collector-overhead headline.
       net::RouterOptions fopts;
       for (auto& rep : replicas) {
         fopts.replicas.push_back({.port = rep->wire_port(),
@@ -988,9 +1044,74 @@ int main(int argc, char** argv) {
       }
       net::Router frouter(fopts);
       rows.push_back(run_fleet(frouter, stream, fleet, fleet_window, total,
-                               "fleet-closed", &chaos));
+                               "fleet-closed", nullptr));
       freport.closed_rps = rows.back().throughput_rps;
       if (!json) print_row(rows.back());
+
+      // The identical run once more with the observability plane live: a
+      // collector scraping every replica each interval and evaluating the
+      // SLO rules over the merged view. Chaos (kill / swap) runs here so
+      // the collector witnesses the failover it exists to observe.
+      {
+        std::vector<obs::SloRule> rules = obs::SloEngine::default_rules();
+        if (slo_p99_us > 0) {
+          // Provocation mode: an absurdly low latency objective that any
+          // traffic violates, tuned to fire (and later clear) within a
+          // short run — CI asserts the slo_burn/slo_clear events appear.
+          for (obs::SloRule& rule : rules) {
+            if (rule.kind == obs::SloKind::kLatencyP99) {
+              rule.latency_threshold_us = slo_p99_us;
+              rule.fast_window = 2;
+              rule.slow_window = 4;
+              rule.fire_count = 2;
+              rule.clear_count = 2;
+            }
+          }
+        }
+        obs::CollectorOptions copts;
+        for (auto& rep : replicas) {
+          copts.targets.push_back("127.0.0.1:" +
+                                  std::to_string(rep->health_port()));
+        }
+        copts.interval_ms = collector_interval_ms;
+        copts.scrape_timeout_ms = 1000;
+        copts.slo_rules = std::move(rules);
+        copts.exporter_port = collector_port;
+        obs::Collector collector(copts);
+
+        rows.push_back(run_fleet(frouter, stream, fleet, fleet_window, total,
+                                 "fleet-collected", &chaos));
+        freport.collected_rps = rows.back().throughput_rps;
+        if (!json) print_row(rows.back());
+        freport.collector_overhead_ratio =
+            freport.closed_rps > 0.0
+                ? freport.collected_rps / freport.closed_rps
+                : 0.0;
+
+        // Traffic is done: let the burn windows drain so a provoked alarm
+        // also demonstrates the hysteretic clear before we shut down.
+        for (int i = 0; i < 40; ++i) {
+          bool firing = false;
+          for (const obs::SloStatus& s : collector.slo_status()) {
+            firing = firing || s.firing;
+            if (s.fires > s.clears) firing = true;
+          }
+          if (!firing) break;
+          std::this_thread::sleep_for(
+              std::chrono::milliseconds(collector_interval_ms));
+        }
+        for (const obs::SloStatus& s : collector.slo_status()) {
+          freport.slo_fires += s.fires;
+          freport.slo_clears += s.clears;
+        }
+        freport.collector_rounds = collector.rounds();
+        const obs::FleetAggregate final_agg = collector.aggregate();
+        freport.collector_targets_up = final_agg.targets_up;
+        for (const auto& [target, health] : final_agg.health) {
+          freport.collector_up_transitions += health.up_transitions;
+        }
+        collector.stop();
+      }
 
       freport.fleet = fleet;
       freport.ratio = freport.single_rps > 0.0
@@ -1036,6 +1157,14 @@ int main(int argc, char** argv) {
                     static_cast<unsigned long long>(freport.retries),
                     static_cast<unsigned long long>(freport.no_replica),
                     static_cast<unsigned long long>(freport.model_swaps));
+        std::printf("collected fleet vs uncollected: %.1f%% throughput "
+                    "(%llu scrape rounds, %d/%d up at end, slo fires %llu "
+                    "clears %llu)\n",
+                    100.0 * freport.collector_overhead_ratio,
+                    static_cast<unsigned long long>(freport.collector_rounds),
+                    freport.collector_targets_up, freport.fleet,
+                    static_cast<unsigned long long>(freport.slo_fires),
+                    static_cast<unsigned long long>(freport.slo_clears));
       }
     }
     return 0;

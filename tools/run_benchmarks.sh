@@ -74,6 +74,10 @@ if [[ -x "${loadgen}" ]]; then
   # "fleet_single_rps" / "fleet_closed_rps" (router throughput over 1 vs all
   # 3 replicas at the same per-replica offered load),
   # "fleet_vs_single_ratio" (the gated headline, >= 2.5x expected),
+  # "fleet_collected_rps" / "collector_overhead_ratio" (the identical fleet
+  # run with the obs::Collector scraping every replica — the ratio is the
+  # gated cost of the whole observability plane, >= 0.98 expected; no chaos
+  # flags here, so both runs are like-for-like),
   # "fleet_retries" / "fleet_no_replica" / "fleet_model_swaps" (failover +
   # hot-swap counters), and "fleet_replicas" (per-replica dispatched/ok/
   # eject/rejoin counts and p50/p95/p99 latency).

@@ -37,6 +37,21 @@
 //       request renders as slices hopping between process tracks linked by
 //       flow arrows. Open the output in https://ui.perfetto.dev.
 //
+//   wm_tool collect HOST:PORT [HOST:PORT...] [--port P] [--interval-ms MS]
+//                   [--seconds S]
+//       Run the fleet collector against a set of replica exporters: scrape
+//       every target each interval, merge counters/gauges/histograms into
+//       the fleet view, and evaluate the default SLO burn-rate rules
+//       (DESIGN.md §15). Serves the merged view on its own exporter
+//       (--port, 0 = ephemeral): /fleet (JSON), /dashboard (plain text),
+//       /metrics (wm_collector_* + wm_slo_*). Runs until SIGINT/SIGTERM or
+//       --seconds, then prints a final dashboard.
+//
+//   wm_tool scrape HOST:PORT [--delta-ms MS]
+//       One-shot debugging scrape: fetch /metrics twice, MS apart (default
+//       1000), parse both expositions, and pretty-print typed values with
+//       per-second rate deltas for the counters and histogram counts.
+//
 //   wm_tool serve --model FILE [--port P] [--threshold T] [--max-batch N]
 //                 [--max-delay-us U] [--workers W] [--seconds S]
 //                 [--model-watch [MS]]
@@ -72,6 +87,7 @@
 //                    the fallback when the flag is absent.
 #include <sys/stat.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <csignal>
@@ -89,8 +105,10 @@
 #include "common/rng.hpp"
 #include "eval/metrics.hpp"
 #include "net/server.hpp"
+#include "obs/collector.hpp"
 #include "obs/http_exporter.hpp"
 #include "obs/metrics.hpp"
+#include "obs/prom_parse.hpp"
 #include "obs/run_log.hpp"
 #include "obs/trace.hpp"
 #include "obs/trace_merge.hpp"
@@ -446,10 +464,144 @@ int cmd_trace_merge(int argc, char** argv) {
   return 0;
 }
 
+/// collect takes positional scrape targets, so it too parses argv by hand.
+int cmd_collect(int argc, char** argv) {
+  obs::CollectorOptions opts;
+  opts.exporter_port = 0;
+  int seconds = 0;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto int_flag = [&](const char* name) {
+      WM_CHECK(i + 1 < argc, name, " needs a value");
+      return std::stoi(argv[++i]);
+    };
+    if (arg == "--port") opts.exporter_port = int_flag("--port");
+    else if (arg == "--interval-ms") opts.interval_ms = int_flag("--interval-ms");
+    else if (arg == "--seconds") seconds = int_flag("--seconds");
+    else if (arg.rfind("--", 0) == 0) throw Error("collect: unknown flag " + arg);
+    else opts.targets.push_back(arg);
+  }
+  WM_CHECK(!opts.targets.empty(),
+           "collect: at least one host:port target needed");
+  obs::Collector collector(opts);
+  std::printf("collecting %zu target%s every %d ms; "
+              "http://127.0.0.1:%d/{fleet,dashboard,metrics}\n",
+              opts.targets.size(), opts.targets.size() == 1 ? "" : "s",
+              opts.interval_ms, collector.exporter_port());
+
+  g_serve_stop.store(false);
+  std::signal(SIGINT, serve_signal_handler);
+  std::signal(SIGTERM, serve_signal_handler);
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::seconds(seconds > 0 ? seconds : 1);
+  while (!g_serve_stop.load()) {
+    if (seconds > 0 && std::chrono::steady_clock::now() >= deadline) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  collector.stop();
+  std::printf("%s", collector.dashboard_text().c_str());
+  const std::vector<obs::SloStatus> slos = collector.slo_status();
+  return std::any_of(slos.begin(), slos.end(),
+                     [](const obs::SloStatus& s) { return s.firing; })
+             ? 3
+             : 0;
+}
+
+/// Fetches /metrics from one exporter and returns the parsed body; throws
+/// on a non-200 status or malformed exposition.
+obs::PromDump scrape_target_once(const std::string& host, int port) {
+  const std::string response = obs::http_get(host, port, "/metrics");
+  const std::size_t space = response.find(' ');
+  WM_CHECK(space != std::string::npos &&
+               response.compare(space, 5, " 200 ") == 0,
+           "scrape: ", host, ":", port, " answered non-200");
+  const std::size_t body_at = response.find("\r\n\r\n");
+  WM_CHECK(body_at != std::string::npos, "scrape: malformed HTTP response");
+  return obs::parse_prometheus_text(response.substr(body_at + 4));
+}
+
+int cmd_scrape(int argc, char** argv) {
+  std::string target;
+  int delta_ms = 1000;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--delta-ms") {
+      WM_CHECK(i + 1 < argc, "--delta-ms needs a value");
+      delta_ms = std::stoi(argv[++i]);
+    } else if (arg.rfind("--", 0) == 0) {
+      throw Error("scrape: unknown flag " + arg);
+    } else {
+      WM_CHECK(target.empty(), "scrape: exactly one host:port target");
+      target = arg;
+    }
+  }
+  WM_CHECK(!target.empty(), "scrape: host:port target needed");
+  const auto [host, port] = obs::parse_scrape_target(target);
+
+  const obs::PromDump first = scrape_target_once(host, port);
+  std::this_thread::sleep_for(std::chrono::milliseconds(delta_ms));
+  const obs::PromDump second = scrape_target_once(host, port);
+  const double dt_s = delta_ms / 1000.0;
+
+  std::printf("scraped %s:%d twice, %d ms apart\n\n", host.c_str(), port,
+              delta_ms);
+  if (!second.counters.empty()) {
+    std::printf("%-44s %14s %12s\n", "counters", "total", "rate/s");
+    for (const auto& [name, sample] : second.counters) {
+      const auto it = first.counters.find(name);
+      // A counter below its first reading restarted in between; the delta
+      // since the reset is the honest rate numerator (collector reset rule).
+      const std::uint64_t base =
+          it != first.counters.end() && it->second.value <= sample.value
+              ? it->second.value
+              : 0;
+      std::printf("%-44s %14llu %12.1f\n", name.c_str(),
+                  static_cast<unsigned long long>(sample.value),
+                  static_cast<double>(sample.value - base) / dt_s);
+    }
+  }
+  if (!second.gauges.empty()) {
+    std::printf("\n%-44s %14s\n", "gauges", "value");
+    for (const auto& [name, sample] : second.gauges) {
+      std::printf("%-44s %14g\n", name.c_str(), sample.value);
+    }
+  }
+  if (!second.infos.empty()) {
+    std::printf("\ninfo\n");
+    for (const auto& [name, sample] : second.infos) {
+      std::printf("  %s{", name.c_str());
+      for (std::size_t i = 0; i < sample.labels.size(); ++i) {
+        std::printf("%s%s=\"%s\"", i ? "," : "", sample.labels[i].first.c_str(),
+                    sample.labels[i].second.c_str());
+      }
+      std::printf("}\n");
+    }
+  }
+  if (!second.histograms.empty()) {
+    std::printf("\n%-44s %10s %9s %8s %8s %8s %8s\n", "histograms", "count",
+                "rate/s", "mean", "p50", "p95", "p99");
+    for (const auto& [name, hist] : second.histograms) {
+      const obs::HistogramSnapshot s = hist.to_snapshot();
+      const auto it = first.histograms.find(name);
+      const std::uint64_t base =
+          it != first.histograms.end() && it->second.count <= hist.count
+              ? it->second.count
+              : 0;
+      std::printf("%-44s %10llu %9.1f %8.1f %8lld %8lld %8lld\n", name.c_str(),
+                  static_cast<unsigned long long>(s.count),
+                  static_cast<double>(hist.count - base) / dt_s, s.mean(),
+                  static_cast<long long>(s.quantile(0.5)),
+                  static_cast<long long>(s.quantile(0.95)),
+                  static_cast<long long>(s.quantile(0.99)));
+    }
+  }
+  return 0;
+}
+
 void usage() {
   std::printf(
       "usage: wm_tool <generate|train|evaluate|classify|quantize|render"
-      "|serve|trace-merge> [--flags]\n"
+      "|serve|trace-merge|collect|scrape> [--flags]\n"
       "global flags: --metrics FILE  --trace FILE  --run-log FILE"
       "  --http-port P\n"
       "see the header of tools/wm_tool.cpp for per-command flags\n");
@@ -479,6 +631,8 @@ int main(int argc, char** argv) {
   const std::string cmd = argv[1];
   try {
     if (cmd == "trace-merge") return cmd_trace_merge(argc, argv);
+    if (cmd == "collect") return cmd_collect(argc, argv);
+    if (cmd == "scrape") return cmd_scrape(argc, argv);
     const Args args(argc, argv, 2);
     const std::string trace_path = args.get("trace", "");
     if (!trace_path.empty()) obs::set_trace_enabled(true);
