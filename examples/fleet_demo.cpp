@@ -41,6 +41,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <future>
 #include <memory>
@@ -194,7 +195,16 @@ class Replica {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  // --out-dir DIR: where the demo's artifacts (fleet_trace.json,
+  // fleet_slo_events.jsonl) land; default is the working directory.
+  std::string out_dir = ".";
+  for (int i = 1; i + 1 < argc; i += 2) {
+    if (std::strcmp(argv[i], "--out-dir") == 0) out_dir = argv[i + 1];
+  }
+  const std::string trace_out = out_dir + "/fleet_trace.json";
+  const std::string events_out = out_dir + "/fleet_slo_events.jsonl";
+
   // Train a small selective net; quantize it as the hot-swap candidate.
   Rng rng(23);
   synth::DatasetSpec spec;
@@ -391,7 +401,7 @@ int main() {
     all_ok &= check(traced.server.total_us > 0,
                     "per-stage StageTiming rode back on the response");
 
-    const char* trace_path = "fleet_trace.json";
+    const char* trace_path = trace_out.c_str();
     obs::trace_write_json(trace_path);
     obs::set_trace_enabled(false);
 
@@ -440,7 +450,7 @@ int main() {
   // Scenario 6: the observability plane over the live fleet.
   {
     std::printf("scenario 6: fleet collector, exact merge, SLO burn\n");
-    const char* events_path = "fleet_slo_events.jsonl";
+    const char* events_path = events_out.c_str();
     std::remove(events_path);
     obs::RunLog slo_log(events_path);
 

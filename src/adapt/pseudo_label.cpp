@@ -1,0 +1,131 @@
+#include "adapt/pseudo_label.hpp"
+
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "obs/trace.hpp"
+
+namespace wm::adapt {
+
+namespace {
+
+/// Eval-mode latent codes for every sample of `data`, one flattened row per
+/// sample, encoded in micro-batches.
+std::vector<std::vector<float>> encode_all(augment::ConvAutoencoder& cae,
+                                           const Dataset& data) {
+  constexpr std::size_t kBatch = 64;
+  std::vector<std::vector<float>> codes;
+  codes.reserve(data.size());
+  std::vector<std::size_t> indices;
+  for (std::size_t start = 0; start < data.size(); start += kBatch) {
+    const std::size_t end = std::min(data.size(), start + kBatch);
+    indices.resize(end - start);
+    std::iota(indices.begin(), indices.end(), start);
+    const Batch batch = data.make_batch(indices);
+    const Tensor z = cae.encode(batch.images);
+    const std::int64_t per_sample = z.numel() / z.dim(0);
+    for (std::int64_t i = 0; i < z.dim(0); ++i) {
+      const float* row = z.data() + i * per_sample;
+      codes.emplace_back(row, row + per_sample);
+    }
+  }
+  return codes;
+}
+
+double squared_distance(const std::vector<float>& a,
+                        const std::vector<float>& b) {
+  double d = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double diff = static_cast<double>(a[i]) - static_cast<double>(b[i]);
+    d += diff * diff;
+  }
+  return d;
+}
+
+}  // namespace
+
+PseudoLabelResult pseudo_label(const Dataset& labeled,
+                               const std::vector<WaferMap>& unlabeled,
+                               const PseudoLabelOptions& opts, Rng& rng) {
+  WM_CHECK(!labeled.empty(),
+           "pseudo_label: no labeled samples to fit centroids from");
+  WM_CHECK(opts.num_classes > 0, "pseudo_label: bad num_classes");
+  WM_TRACE_SCOPE("adapt.pseudo_label");
+
+  // The CAE trains on everything — reconstruction is unsupervised, and the
+  // unlabeled wafers are exactly the distribution we want the latent space
+  // to represent.
+  Dataset combined = labeled;
+  for (const WaferMap& map : unlabeled) {
+    WM_CHECK(map.size() == opts.cae.map_size,
+             "pseudo_label: wafer size ", map.size(), " != CAE map_size ",
+             opts.cae.map_size);
+    combined.add(Sample{map, DefectType::kNone, 1.0f, false});
+  }
+  augment::ConvAutoencoder cae(opts.cae, rng);
+  const augment::CaeTrainingLog cae_log =
+      augment::train_cae(cae, combined, opts.cae_training, rng);
+
+  PseudoLabelResult result;
+  result.cae_final_loss = cae_log.final_loss();
+
+  // Per-class latent centroids from the labeled subset.
+  const std::vector<std::vector<float>> labeled_codes =
+      encode_all(cae, labeled);
+  const std::size_t latent_dim = labeled_codes.front().size();
+  std::vector<std::vector<double>> sums(
+      static_cast<std::size_t>(opts.num_classes),
+      std::vector<double>(latent_dim, 0.0));
+  std::vector<std::size_t> counts(static_cast<std::size_t>(opts.num_classes),
+                                  0);
+  for (std::size_t i = 0; i < labeled.size(); ++i) {
+    const int c = static_cast<int>(labeled[i].label);
+    WM_CHECK(c >= 0 && c < opts.num_classes, "pseudo_label: label ", c,
+             " outside [0, ", opts.num_classes, ")");
+    for (std::size_t d = 0; d < latent_dim; ++d) {
+      sums[static_cast<std::size_t>(c)][d] +=
+          static_cast<double>(labeled_codes[i][d]);
+    }
+    ++counts[static_cast<std::size_t>(c)];
+  }
+  std::vector<std::vector<float>> centroids(
+      static_cast<std::size_t>(opts.num_classes));
+  for (std::size_t c = 0; c < counts.size(); ++c) {
+    if (counts[c] == 0) continue;
+    centroids[c].resize(latent_dim);
+    for (std::size_t d = 0; d < latent_dim; ++d) {
+      centroids[c][d] =
+          static_cast<float>(sums[c][d] / static_cast<double>(counts[c]));
+    }
+    ++result.classes_with_centroids;
+  }
+
+  if (unlabeled.empty()) return result;
+
+  Dataset unlabeled_ds;
+  for (const WaferMap& map : unlabeled) {
+    unlabeled_ds.add(Sample{map, DefectType::kNone, 1.0f, false});
+  }
+  const std::vector<std::vector<float>> codes = encode_all(cae, unlabeled_ds);
+  result.labels.assign(unlabeled.size(), -1);
+  for (std::size_t i = 0; i < codes.size(); ++i) {
+    double best = std::numeric_limits<double>::infinity();
+    int best_class = -1;
+    for (std::size_t c = 0; c < centroids.size(); ++c) {
+      if (centroids[c].empty()) continue;
+      const double d = squared_distance(codes[i], centroids[c]);
+      if (d < best) {
+        best = d;
+        best_class = static_cast<int>(c);
+      }
+    }
+    result.labels[i] = best_class;
+    result.assigned += best_class >= 0;
+  }
+  return result;
+}
+
+}  // namespace wm::adapt

@@ -1,0 +1,49 @@
+// CAE latent-space nearest-centroid pseudo-labeling (arXiv 2311.12840).
+//
+// Stage-2 fine-tuning wants labels for the buffered traffic, but ground
+// truth only exists for the fraction an operator fed back through
+// record_outcome(). Following the semi-supervised latent-vector approach,
+// the remainder is labeled geometrically: train one convolutional
+// auto-encoder on ALL buffered wafers (reconstruction needs no labels),
+// compute one latent centroid per class from the labeled subset, and assign
+// each unlabeled wafer the class of its nearest centroid (squared L2 over
+// the flattened latent code). Classes with no labeled representative get no
+// centroid; wafers nearest to nothing stay unlabeled (label -1) rather than
+// receiving a guess from an unrepresented class.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "augment/cae.hpp"
+#include "augment/cae_trainer.hpp"
+#include "wafermap/dataset.hpp"
+
+namespace wm::adapt {
+
+struct PseudoLabelOptions {
+  /// CAE architecture; map_size must match the wafers.
+  augment::CaeOptions cae;
+  /// CAE training schedule (unsupervised, over labeled + unlabeled).
+  augment::CaeTrainerOptions cae_training;
+  int num_classes = 9;
+};
+
+struct PseudoLabelResult {
+  /// Per unlabeled input: assigned class, or -1 when no centroid existed.
+  std::vector<int> labels;
+  std::size_t assigned = 0;
+  /// Classes that had at least one labeled sample (centroid count).
+  std::size_t classes_with_centroids = 0;
+  float cae_final_loss = 0.0f;
+};
+
+/// Trains a CAE on labeled+unlabeled, fits per-class centroids from
+/// `labeled`, and nearest-centroid-assigns every wafer in `unlabeled`.
+/// Throws wm::Error when `labeled` is empty (no centroid can exist) or the
+/// map sizes disagree. `unlabeled` may be empty (result has no labels).
+PseudoLabelResult pseudo_label(const Dataset& labeled,
+                               const std::vector<WaferMap>& unlabeled,
+                               const PseudoLabelOptions& opts, Rng& rng);
+
+}  // namespace wm::adapt

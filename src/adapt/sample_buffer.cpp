@@ -1,0 +1,73 @@
+#include "adapt/sample_buffer.hpp"
+
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace wm::adapt {
+
+SampleBuffer::SampleBuffer(std::size_t capacity) : capacity_(capacity) {
+  WM_CHECK(capacity_ > 0, "sample buffer capacity must be positive");
+}
+
+void SampleBuffer::push(Entry e) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  entries_.push_back(std::move(e));
+  if (entries_.back().label >= 0) ++labeled_;
+  ++total_;
+  if (entries_.size() > capacity_) {
+    if (entries_.front().label >= 0) --labeled_;
+    entries_.pop_front();
+  }
+}
+
+void SampleBuffer::on_sample(const WaferMap& map,
+                             const SelectivePrediction& pred) {
+  push(Entry{map, pred, -1});
+}
+
+void SampleBuffer::record_outcome(const WaferMap& map,
+                                  const SelectivePrediction& pred,
+                                  int true_label) {
+  WM_CHECK(true_label >= 0, "record_outcome: negative label");
+  push(Entry{map, pred, true_label});
+}
+
+std::vector<SampleBuffer::Entry> SampleBuffer::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return {entries_.begin(), entries_.end()};
+}
+
+std::vector<float> SampleBuffer::recent_g(std::size_t n) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const std::size_t take = std::min(n, entries_.size());
+  std::vector<float> gs;
+  gs.reserve(take);
+  for (std::size_t i = entries_.size() - take; i < entries_.size(); ++i) {
+    gs.push_back(entries_[i].pred.g);
+  }
+  return gs;
+}
+
+std::size_t SampleBuffer::size() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+std::size_t SampleBuffer::labeled_count() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return labeled_;
+}
+
+std::uint64_t SampleBuffer::total_pushed() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return total_;
+}
+
+void SampleBuffer::clear() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  entries_.clear();
+  labeled_ = 0;
+}
+
+}  // namespace wm::adapt

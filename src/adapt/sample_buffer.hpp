@@ -1,0 +1,79 @@
+// adapt::SampleBuffer — the sliding window of served traffic the adaptation
+// loop acts on.
+//
+// Plugs into the engine as its serve::SampleTap: every fulfilled (wafer,
+// prediction) pair lands here as an unlabeled entry. Ground-truth feedback
+// (the same labels an operator feeds SelectiveMonitor::record_outcome)
+// additionally lands as a labeled entry via record_outcome(). A bounded
+// deque keeps the newest `capacity` entries — old traffic predates the
+// drift the controller is reacting to, so it ages out.
+//
+// The two consumers:
+//   * stage 1 (threshold re-fit) reads recent_g() — the newest g-scores —
+//     and hands them to selective::refit_threshold;
+//   * stage 2 (fine-tune) reads snapshot() — labeled entries become the
+//     ground-truth core of the fine-tune set, unlabeled ones are
+//     pseudo-labeled via the CAE latent space (see pseudo_label.hpp).
+//
+// Thread-safe: on_sample runs on the engine batcher thread while the
+// controller worker reads snapshots.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+#include "serve/sample_tap.hpp"
+
+namespace wm::adapt {
+
+class SampleBuffer final : public serve::SampleTap {
+ public:
+  struct Entry {
+    WaferMap map;
+    SelectivePrediction pred;
+    int label = -1;  // ground-truth class; -1 = unlabeled
+  };
+
+  explicit SampleBuffer(std::size_t capacity);
+
+  /// serve::SampleTap: one served request, no ground truth (yet). Copies the
+  /// wafer (the engine's reference dies with the call).
+  void on_sample(const WaferMap& map, const SelectivePrediction& pred) override;
+
+  /// Ground-truth feedback: the prediction as served plus the true label.
+  /// Pushed as a separate labeled entry (labels arrive long after the tap
+  /// saw the request; matching entries by content would cost a window scan
+  /// per outcome on the feedback path).
+  void record_outcome(const WaferMap& map, const SelectivePrediction& pred,
+                      int true_label);
+
+  /// Copy of the current window, oldest first.
+  std::vector<Entry> snapshot() const;
+
+  /// g-scores of the newest min(n, size()) entries, oldest first.
+  std::vector<float> recent_g(std::size_t n) const;
+
+  std::size_t capacity() const { return capacity_; }
+  std::size_t size() const;
+  std::size_t labeled_count() const;
+  /// Lifetime entries pushed (never decreases; drives "enough new traffic
+  /// since the alarm" decisions).
+  std::uint64_t total_pushed() const;
+
+  /// Drops every entry. The controller clears after a stage-2 swap: buffered
+  /// g-scores came from the retired model and would poison the next re-fit.
+  void clear();
+
+ private:
+  void push(Entry e);
+
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::deque<Entry> entries_;
+  std::size_t labeled_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace wm::adapt

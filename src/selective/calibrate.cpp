@@ -2,21 +2,19 @@
 
 #include <algorithm>
 #include <cmath>
+#include <vector>
 
 #include "common/error.hpp"
 
 namespace wm::selective {
 
-float calibrate_threshold(const SelectiveNet& net, const Dataset& validation,
-                          double target_coverage, int eval_batch) {
+float refit_threshold(std::span<const float> g_scores,
+                      double target_coverage) {
   WM_CHECK(target_coverage > 0.0 && target_coverage <= 1.0,
            "target coverage out of (0,1]");
-  WM_CHECK(!validation.empty(), "empty calibration set");
+  WM_CHECK(!g_scores.empty(), "refit_threshold: empty score window");
 
-  SelectivePredictor predictor(net, /*threshold=*/0.0f, eval_batch);
-  const auto preds = predict_dataset(predictor, validation);
-  std::vector<float> gs(preds.size());
-  for (std::size_t i = 0; i < preds.size(); ++i) gs[i] = preds[i].g;
+  std::vector<float> gs(g_scores.begin(), g_scores.end());
   std::sort(gs.begin(), gs.end(), std::greater<float>());
 
   // Selecting the k highest-g samples gives coverage k/N; pick k for the
@@ -27,8 +25,25 @@ float calibrate_threshold(const SelectiveNet& net, const Dataset& validation,
   k = std::clamp<std::size_t>(k, 1, n);
   const float kth = gs[k - 1];
   // Nudge below the k-th value; clamp into [0,1].
-  const float tau = std::clamp(kth - 1e-6f, 0.0f, 1.0f);
-  return tau;
+  return std::clamp(kth - 1e-6f, 0.0f, 1.0f);
+}
+
+double coverage_at(std::span<const float> g_scores, float tau) {
+  if (g_scores.empty()) return 0.0;
+  std::size_t selected = 0;
+  for (const float g : g_scores) selected += g >= tau;
+  return static_cast<double>(selected) / static_cast<double>(g_scores.size());
+}
+
+float calibrate_threshold(const SelectiveNet& net, const Dataset& validation,
+                          double target_coverage, int eval_batch) {
+  WM_CHECK(!validation.empty(), "empty calibration set");
+
+  SelectivePredictor predictor(net, /*threshold=*/0.0f, eval_batch);
+  const auto preds = predict_dataset(predictor, validation);
+  std::vector<float> gs(preds.size());
+  for (std::size_t i = 0; i < preds.size(); ++i) gs[i] = preds[i].g;
+  return refit_threshold(gs, target_coverage);
 }
 
 }  // namespace wm::selective

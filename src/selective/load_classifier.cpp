@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "common/error.hpp"
 #include "selective/model_file.hpp"
 #include "selective/predictor.hpp"
 #include "selective/quant_predictor.hpp"
@@ -77,6 +78,14 @@ std::unique_ptr<LoadedClassifier> load_classifier(
 std::unique_ptr<LoadedClassifier> load_classifier(
     const selective::SelectiveNet& net, const ClassifierLoadOptions& opts) {
   return std::make_unique<Fp32Classifier>(nullptr, net, opts);
+}
+
+std::unique_ptr<LoadedClassifier> load_classifier(
+    std::unique_ptr<selective::SelectiveNet> net,
+    const ClassifierLoadOptions& opts) {
+  WM_CHECK(net != nullptr, "load_classifier: null net");
+  const selective::SelectiveNet& ref = *net;
+  return std::make_unique<Fp32Classifier>(std::move(net), ref, opts);
 }
 
 std::unique_ptr<LoadedClassifier> load_classifier(

@@ -62,6 +62,14 @@ std::unique_ptr<LoadedClassifier> load_classifier(
 std::unique_ptr<LoadedClassifier> load_classifier(
     const selective::SelectiveNet& net, const ClassifierLoadOptions& opts = {});
 
+/// Takes ownership of an in-memory fp32 net — the classifier carries the
+/// model for its whole lifetime. The drift-adaptation path builds hot-swap
+/// candidates this way: a fine-tuned clone goes in, a self-contained
+/// shared_ptr<const Classifier> comes out of swap_to's hands.
+std::unique_ptr<LoadedClassifier> load_classifier(
+    std::unique_ptr<selective::SelectiveNet> net,
+    const ClassifierLoadOptions& opts = {});
+
 /// Wraps an in-memory quantized net (borrowed; must outlive the classifier).
 std::unique_ptr<LoadedClassifier> load_classifier(
     const selective::QuantizedSelectiveNet& net,

@@ -92,6 +92,29 @@ std::vector<Tensor*> SelectiveNet::buffers() {
   return out;
 }
 
+std::unique_ptr<SelectiveNet> SelectiveNet::clone() const {
+  // The fresh net's random init is immediately overwritten, so any seed
+  // works; Tensor assignment is a deep value copy.
+  Rng scratch(0);
+  auto copy = std::make_unique<SelectiveNet>(opts_, scratch);
+  // parameters()/buffers() lack const qualifiers only because training
+  // mutates through them; enumeration itself touches nothing.
+  SelectiveNet& self = const_cast<SelectiveNet&>(*this);
+  const std::vector<nn::Parameter*> src = self.parameters();
+  const std::vector<nn::Parameter*> dst = copy->parameters();
+  WM_ASSERT(src.size() == dst.size(), "clone parameter count mismatch");
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    dst[i]->value = src[i]->value;
+  }
+  const std::vector<Tensor*> src_buf = self.buffers();
+  const std::vector<Tensor*> dst_buf = copy->buffers();
+  WM_ASSERT(src_buf.size() == dst_buf.size(), "clone buffer count mismatch");
+  for (std::size_t i = 0; i < src_buf.size(); ++i) {
+    *dst_buf[i] = *src_buf[i];
+  }
+  return copy;
+}
+
 std::int64_t SelectiveNet::parameter_count() {
   return nn::parameter_count(parameters());
 }

@@ -10,6 +10,7 @@
 //   selection head g:  FC(256 -> 1) -> sigmoid
 #pragma once
 
+#include <memory>
 #include <vector>
 
 #include "nn/sequential.hpp"
@@ -64,6 +65,12 @@ class SelectiveNet {
 
   /// Persistent non-parameter state (BatchNorm running statistics).
   std::vector<Tensor*> buffers();
+
+  /// Deep copy: same architecture, parameter values, and buffer state
+  /// (BatchNorm running statistics). The drift-adaptation path fine-tunes a
+  /// clone so the incumbent keeps serving unchanged until the candidate
+  /// passes canary verification.
+  std::unique_ptr<SelectiveNet> clone() const;
 
   const SelectiveNetOptions& options() const { return opts_; }
 

@@ -178,6 +178,26 @@ TrainingLog SelectiveTrainer::train(SelectiveNet& net, const Dataset& training,
   return log;
 }
 
+TrainingLog SelectiveTrainer::fine_tune(SelectiveNet& net,
+                                        const Dataset& recent,
+                                        Rng& rng) const {
+  WM_CHECK(!recent.empty(), "cannot fine-tune on empty dataset");
+  obs::RunLog& run_log =
+      opts_.run_log != nullptr ? *opts_.run_log : obs::run_log_global();
+  run_log.write("fine_tune_begin",
+                {{"samples", recent.size()},
+                 {"epochs", opts_.epochs},
+                 {"learning_rate", opts_.learning_rate},
+                 {"target_coverage", opts_.target_coverage}});
+  TrainingLog log = train(net, recent, /*validation=*/nullptr, rng);
+  run_log.write("fine_tune_end",
+                {{"epochs_run", static_cast<int>(log.epochs.size())},
+                 {"wall_seconds", log.wall_seconds},
+                 {"final_loss", log.final_epoch().loss},
+                 {"final_coverage", log.final_epoch().coverage}});
+  return log;
+}
+
 double argmax_accuracy(SelectiveNet& net, const Dataset& data, int eval_batch) {
   WM_CHECK(!data.empty(), "accuracy on empty dataset");
   WM_CHECK(eval_batch > 0, "bad eval batch size");

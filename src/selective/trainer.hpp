@@ -71,6 +71,15 @@ class SelectiveTrainer {
   TrainingLog train(SelectiveNet& net, const Dataset& training,
                     const Dataset* validation, Rng& rng) const;
 
+  /// Incremental fit: continues training an already-trained net on a small
+  /// recent-sample set — the drift-adaptation stage-2 path. Same loop as
+  /// train() (use few epochs and a reduced learning rate in the options to
+  /// nudge rather than re-learn), bracketed by fine_tune_begin/fine_tune_end
+  /// run-log events so adaptation-driven updates are distinguishable from
+  /// offline training in the run history.
+  TrainingLog fine_tune(SelectiveNet& net, const Dataset& recent,
+                        Rng& rng) const;
+
   const TrainerOptions& options() const { return opts_; }
 
  private:

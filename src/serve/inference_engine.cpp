@@ -7,6 +7,7 @@
 #include "common/error.hpp"
 #include "obs/trace.hpp"
 #include "serve/monitor.hpp"
+#include "serve/sample_tap.hpp"
 
 namespace wm::serve {
 
@@ -264,6 +265,14 @@ void InferenceEngine::batcher_loop() {
         }
       } else {
         opts_.monitor->observe_batch(preds);
+      }
+    }
+    // Sample tap after the monitor: a tap consumer reacting to a monitor
+    // alarm already finds the triggering wafer in its buffer. The maps
+    // vector still owns every wafer (moved out of the requests above).
+    if (opts_.sample_tap != nullptr && !error) {
+      for (std::size_t i = 0; i < batch.size(); ++i) {
+        opts_.sample_tap->on_sample(maps[i], preds[i]);
       }
     }
     for (std::size_t i = 0; i < batch.size(); ++i) {

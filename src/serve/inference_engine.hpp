@@ -49,6 +49,7 @@
 namespace wm::serve {
 
 class SelectiveMonitor;
+class SampleTap;
 
 struct EngineOptions {
   /// Flush as soon as this many requests are waiting.
@@ -67,6 +68,12 @@ struct EngineOptions {
   /// successful flush, in request order). Must outlive the engine; errored
   /// batches are not observed. nullptr = no monitoring.
   SelectiveMonitor* monitor = nullptr;
+  /// Sample tap fed every (wafer, prediction) pair the engine fulfils —
+  /// same cadence and ordering as the monitor feed, right after it. Must
+  /// outlive the engine; errored batches are not tapped. The adaptation
+  /// layer's sliding sample buffer plugs in here (see serve/sample_tap.hpp).
+  /// nullptr = no tap.
+  SampleTap* sample_tap = nullptr;
 };
 
 /// Per-request engine timestamps (obs::trace_clock_ns() values), written by

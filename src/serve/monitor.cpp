@@ -93,46 +93,52 @@ void SelectiveMonitor::observe(const SelectivePrediction& p) {
 
 void SelectiveMonitor::observe(const SelectivePrediction& p,
                                std::uint64_t trace_id) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  Transition transition = Transition::kNone;
+  MonitorSnapshot snap;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
 
-  if (trace_id != 0 && !p.selected) {
-    // A handful of exemplars is enough for an operator to jump from the
-    // alarm straight to concrete requests in the merged trace.
-    constexpr std::size_t kMaxExemplars = 16;
-    recent_abstained_traces_.push_back(trace_id);
-    if (recent_abstained_traces_.size() > kMaxExemplars) {
-      recent_abstained_traces_.pop_front();
+    if (trace_id != 0 && !p.selected) {
+      // A handful of exemplars is enough for an operator to jump from the
+      // alarm straight to concrete requests in the merged trace.
+      constexpr std::size_t kMaxExemplars = 16;
+      recent_abstained_traces_.push_back(trace_id);
+      if (recent_abstained_traces_.size() > kMaxExemplars) {
+        recent_abstained_traces_.pop_front();
+      }
     }
-  }
 
-  window_.push_back(p);
-  if (p.selected) ++selected_in_window_;
-  g_sum_in_window_ += static_cast<double>(p.g);
-  if (p.label >= 0 && p.label < opts_.num_classes) {
-    ++class_counts_[static_cast<std::size_t>(p.label)];
-  }
-  if (window_.size() > opts_.window) {
-    const SelectivePrediction& old = window_.front();
-    if (old.selected) --selected_in_window_;
-    g_sum_in_window_ -= static_cast<double>(old.g);
-    if (old.label >= 0 && old.label < opts_.num_classes) {
-      --class_counts_[static_cast<std::size_t>(old.label)];
+    window_.push_back(p);
+    if (p.selected) ++selected_in_window_;
+    g_sum_in_window_ += static_cast<double>(p.g);
+    if (p.label >= 0 && p.label < opts_.num_classes) {
+      ++class_counts_[static_cast<std::size_t>(p.label)];
     }
-    window_.pop_front();
-  }
+    if (window_.size() > opts_.window) {
+      const SelectivePrediction& old = window_.front();
+      if (old.selected) --selected_in_window_;
+      g_sum_in_window_ -= static_cast<double>(old.g);
+      if (old.label >= 0 && old.label < opts_.num_classes) {
+        --class_counts_[static_cast<std::size_t>(old.label)];
+      }
+      window_.pop_front();
+    }
 
-  const double abstained = p.selected ? 0.0 : 1.0;
-  if (!ewma_seeded_) {
-    abstention_ewma_ = abstained;
-    g_ewma_ = static_cast<double>(p.g);
-    ewma_seeded_ = true;
-  } else {
-    abstention_ewma_ += opts_.ewma_alpha * (abstained - abstention_ewma_);
-    g_ewma_ += opts_.ewma_alpha * (static_cast<double>(p.g) - g_ewma_);
-  }
+    const double abstained = p.selected ? 0.0 : 1.0;
+    if (!ewma_seeded_) {
+      abstention_ewma_ = abstained;
+      g_ewma_ = static_cast<double>(p.g);
+      ewma_seeded_ = true;
+    } else {
+      abstention_ewma_ += opts_.ewma_alpha * (abstained - abstention_ewma_);
+      g_ewma_ += opts_.ewma_alpha * (static_cast<double>(p.g) - g_ewma_);
+    }
 
-  observations_total_.inc();
-  refresh_locked();
+    observations_total_.inc();
+    transition = refresh_locked();
+    if (transition != Transition::kNone) snap = snapshot_locked();
+  }
+  dispatch(transition, snap);
 }
 
 void SelectiveMonitor::observe_batch(
@@ -142,28 +148,73 @@ void SelectiveMonitor::observe_batch(
 
 void SelectiveMonitor::record_outcome(const SelectivePrediction& p,
                                       int true_label) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  Transition transition = Transition::kNone;
+  MonitorSnapshot snap;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
 
-  const Outcome o{p.selected, p.label == true_label};
-  outcomes_.push_back(o);
-  if (o.selected) {
-    ++outcome_selected_;
-    if (!o.correct) ++outcome_errors_;
-  }
-  if (outcomes_.size() > opts_.window) {
-    const Outcome& old = outcomes_.front();
-    if (old.selected) {
-      --outcome_selected_;
-      if (!old.correct) --outcome_errors_;
+    const Outcome o{p.selected, p.label == true_label};
+    outcomes_.push_back(o);
+    if (o.selected) {
+      ++outcome_selected_;
+      if (!o.correct) ++outcome_errors_;
     }
-    outcomes_.pop_front();
-  }
+    if (outcomes_.size() > opts_.window) {
+      const Outcome& old = outcomes_.front();
+      if (old.selected) {
+        --outcome_selected_;
+        if (!old.correct) --outcome_errors_;
+      }
+      outcomes_.pop_front();
+    }
 
-  outcomes_total_.inc();
-  refresh_locked();
+    outcomes_total_.inc();
+    transition = refresh_locked();
+    if (transition != Transition::kNone) snap = snapshot_locked();
+  }
+  dispatch(transition, snap);
 }
 
-void SelectiveMonitor::refresh_locked() {
+std::uint64_t SelectiveMonitor::on_alarm(AlarmCallback cb) {
+  const std::lock_guard<std::mutex> lock(callback_mutex_);
+  const std::uint64_t id = next_callback_id_++;
+  callbacks_.push_back({id, /*on_fire=*/true, std::move(cb)});
+  return id;
+}
+
+std::uint64_t SelectiveMonitor::on_clear(AlarmCallback cb) {
+  const std::lock_guard<std::mutex> lock(callback_mutex_);
+  const std::uint64_t id = next_callback_id_++;
+  callbacks_.push_back({id, /*on_fire=*/false, std::move(cb)});
+  return id;
+}
+
+void SelectiveMonitor::remove_callback(std::uint64_t id) {
+  const std::lock_guard<std::mutex> lock(callback_mutex_);
+  for (std::size_t i = 0; i < callbacks_.size(); ++i) {
+    if (callbacks_[i].id == id) {
+      callbacks_.erase(callbacks_.begin() + static_cast<std::ptrdiff_t>(i));
+      return;
+    }
+  }
+}
+
+void SelectiveMonitor::dispatch(Transition t, const MonitorSnapshot& snap) {
+  if (t == Transition::kNone) return;
+  const bool fired = t == Transition::kFired;
+  // Copy the matching callbacks so a callback may register/remove hooks
+  // (even itself) without invalidating the iteration.
+  std::vector<AlarmCallback> to_run;
+  {
+    const std::lock_guard<std::mutex> lock(callback_mutex_);
+    for (const Registration& r : callbacks_) {
+      if (r.on_fire == fired) to_run.push_back(r.cb);
+    }
+  }
+  for (const AlarmCallback& cb : to_run) cb(snap);
+}
+
+SelectiveMonitor::Transition SelectiveMonitor::refresh_locked() {
   const std::size_t n = window_.size();
   const double coverage =
       n == 0 ? 0.0
@@ -232,6 +283,7 @@ void SelectiveMonitor::refresh_locked() {
          {"abstention_ewma", abstention_ewma_},
          {"window_fill", static_cast<std::uint64_t>(n)},
          {"abstained_trace_ids", exemplars}});
+    return Transition::kFired;
   } else if (alarm_) {
     const double clear_cov_bound =
         opts_.coverage_tolerance * opts_.clear_fraction;
@@ -247,8 +299,10 @@ void SelectiveMonitor::refresh_locked() {
                      {{"coverage", coverage},
                       {"selective_risk", risk},
                       {"window_fill", static_cast<std::uint64_t>(n)}});
+      return Transition::kCleared;
     }
   }
+  return Transition::kNone;
 }
 
 std::vector<std::uint64_t> SelectiveMonitor::recent_abstained_traces() const {
@@ -258,6 +312,10 @@ std::vector<std::uint64_t> SelectiveMonitor::recent_abstained_traces() const {
 
 MonitorSnapshot SelectiveMonitor::snapshot() const {
   const std::lock_guard<std::mutex> lock(mutex_);
+  return snapshot_locked();
+}
+
+MonitorSnapshot SelectiveMonitor::snapshot_locked() const {
   MonitorSnapshot s;
   s.observations = observations_total_.value();
   s.outcomes = outcomes_total_.value();

@@ -35,6 +35,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <mutex>
 #include <span>
 #include <string>
@@ -122,6 +123,20 @@ class SelectiveMonitor {
   /// true label. Drives the windowed empirical selective risk.
   void record_outcome(const SelectivePrediction& p, int true_label);
 
+  /// Push-style alarm hooks: the registered callback runs exactly once per
+  /// hysteresis transition (fire for on_alarm, clear for on_clear), with a
+  /// snapshot taken at the transition. Callbacks are invoked on the thread
+  /// that drove the transition (usually the engine batcher) but OUTSIDE the
+  /// monitor's data lock, so a callback may call snapshot()/observe() or do
+  /// real work — though serving-path callers should stay cheap and hand off
+  /// (the adaptation controller just flips a flag and notifies its worker).
+  /// Returns a registration id for remove_callback(); the callback must stay
+  /// valid until removed or the monitor is destroyed.
+  using AlarmCallback = std::function<void(const MonitorSnapshot&)>;
+  std::uint64_t on_alarm(AlarmCallback cb);
+  std::uint64_t on_clear(AlarmCallback cb);
+  void remove_callback(std::uint64_t id);
+
   MonitorSnapshot snapshot() const;
 
   const MonitorOptions& options() const { return opts_; }
@@ -135,9 +150,20 @@ class SelectiveMonitor {
     bool correct;
   };
 
+  /// What refresh_locked() did to the alarm state this update.
+  enum class Transition { kNone, kFired, kCleared };
+
   /// Recomputes windowed stats, publishes gauges/counters, fires or clears
-  /// the alarm. Caller holds mutex_.
-  void refresh_locked();
+  /// the alarm. Caller holds mutex_. Returns the alarm transition so the
+  /// caller can dispatch registered callbacks after releasing the lock.
+  Transition refresh_locked();
+
+  /// snapshot() body. Caller holds mutex_.
+  MonitorSnapshot snapshot_locked() const;
+
+  /// Copies the matching callbacks (under callback_mutex_) and invokes them.
+  /// Must be called WITHOUT mutex_ held.
+  void dispatch(Transition t, const MonitorSnapshot& snap);
 
   const MonitorOptions opts_;
 
@@ -169,6 +195,18 @@ class SelectiveMonitor {
   double g_ewma_ = 0.0;
   bool ewma_seeded_ = false;
   bool alarm_ = false;
+
+  // Callback registry. A separate mutex so a callback body may re-enter the
+  // monitor (snapshot(), observe()) without deadlocking, and registration
+  // never contends with the observe() hot path.
+  struct Registration {
+    std::uint64_t id;
+    bool on_fire;  // true: runs on kFired; false: runs on kCleared
+    AlarmCallback cb;
+  };
+  mutable std::mutex callback_mutex_;
+  std::vector<Registration> callbacks_;
+  std::uint64_t next_callback_id_ = 1;
 };
 
 }  // namespace wm::serve

@@ -1,0 +1,34 @@
+// Engine-side sample tap: the hook the adaptation layer hangs its sliding
+// sample buffer on.
+//
+// The SelectiveMonitor sees only predictions (coverage/risk statistics); the
+// drift-adaptation loop additionally needs the wafers themselves — re-fitting
+// the abstention threshold wants the recent g-score distribution, and
+// stage-2 fine-tuning wants the actual abstained/misclassified maps. Rather
+// than buffering inside the engine, EngineOptions::sample_tap lets any
+// consumer observe every (wafer, prediction) pair the batcher fulfils.
+//
+// Contract: on_sample() is called from the batcher thread, after the monitor
+// feed and before the request futures resolve, once per request of every
+// successful flush (errored batches are not tapped), in request order. The
+// map reference is only valid for the duration of the call — copy what you
+// keep. Implementations must be cheap and must not throw; heavy work (CAE
+// training, fine-tuning) belongs on the consumer's own thread.
+#pragma once
+
+#include "serve/classifier.hpp"
+#include "wafermap/wafer_map.hpp"
+
+namespace wm::serve {
+
+class SampleTap {
+ public:
+  virtual ~SampleTap() = default;
+
+  /// One fulfilled request: the wafer as submitted and the prediction the
+  /// engine returned for it.
+  virtual void on_sample(const WaferMap& map,
+                         const SelectivePrediction& pred) = 0;
+};
+
+}  // namespace wm::serve

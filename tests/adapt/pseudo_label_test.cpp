@@ -1,0 +1,108 @@
+// CAE latent nearest-centroid pseudo-labeling: structural guarantees the
+// retrain path depends on — one verdict per unlabeled wafer, assignments
+// only to classes that have a labeled representative (a centroid), and
+// deterministic output for a fixed seed.
+#include "adapt/pseudo_label.hpp"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "wafermap/synth/generator.hpp"
+
+namespace wm::adapt {
+namespace {
+
+PseudoLabelOptions fast_options() {
+  PseudoLabelOptions opts;
+  opts.cae.map_size = 16;
+  opts.cae_training.epochs = 2;
+  opts.num_classes = 9;
+  return opts;
+}
+
+/// A labeled two-class set plus unlabeled wafers drawn from the same two
+/// classes (the realistic drift-buffer shape: partial ground truth).
+struct TwoClassFixture {
+  Dataset labeled;
+  std::vector<WaferMap> unlabeled;
+  int class_a = static_cast<int>(DefectType::kCenter);
+  int class_b = static_cast<int>(DefectType::kEdgeRing);
+
+  explicit TwoClassFixture(Rng& rng) {
+    synth::DatasetSpec spec;
+    spec.map_size = 16;
+    spec.class_counts.fill(0);
+    spec.class_counts[static_cast<std::size_t>(class_a)] = 12;
+    spec.class_counts[static_cast<std::size_t>(class_b)] = 12;
+    Dataset data = synth::generate_dataset(spec, rng);
+    data.shuffle(rng);
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      if (i % 2 == 0) {
+        labeled.add(data[i]);
+      } else {
+        unlabeled.push_back(data[i].map);
+      }
+    }
+  }
+};
+
+TEST(PseudoLabelTest, RequiresLabeledSamples) {
+  Rng rng(11);
+  const Dataset empty;
+  const std::vector<WaferMap> unlabeled = {WaferMap(16)};
+  EXPECT_THROW(pseudo_label(empty, unlabeled, fast_options(), rng), Error);
+}
+
+TEST(PseudoLabelTest, AssignsOnlyClassesWithCentroids) {
+  Rng rng(11);
+  TwoClassFixture fx(rng);
+  const PseudoLabelResult result =
+      pseudo_label(fx.labeled, fx.unlabeled, fast_options(), rng);
+
+  ASSERT_EQ(result.labels.size(), fx.unlabeled.size());
+  EXPECT_EQ(result.classes_with_centroids, 2u);
+  // Every wafer got a verdict (two centroids exist, so nothing stays -1),
+  // and verdicts only name the two represented classes.
+  EXPECT_EQ(result.assigned, fx.unlabeled.size());
+  for (const int label : result.labels) {
+    EXPECT_TRUE(label == fx.class_a || label == fx.class_b)
+        << "assigned class " << label << " has no labeled representative";
+  }
+  // Both centroids actually attract: a one-sided assignment would mean the
+  // latent space collapsed.
+  const std::set<int> used(result.labels.begin(), result.labels.end());
+  EXPECT_EQ(used.size(), 2u);
+}
+
+TEST(PseudoLabelTest, NoUnlabeledIsANoop) {
+  Rng rng(11);
+  TwoClassFixture fx(rng);
+  const std::vector<WaferMap> none;
+  const PseudoLabelResult result =
+      pseudo_label(fx.labeled, none, fast_options(), rng);
+  EXPECT_TRUE(result.labels.empty());
+  EXPECT_EQ(result.assigned, 0u);
+  EXPECT_EQ(result.classes_with_centroids, 2u);
+}
+
+TEST(PseudoLabelTest, DeterministicForAFixedSeed) {
+  Rng rng_a(7);
+  TwoClassFixture fx_a(rng_a);
+  const PseudoLabelResult first =
+      pseudo_label(fx_a.labeled, fx_a.unlabeled, fast_options(), rng_a);
+
+  Rng rng_b(7);
+  TwoClassFixture fx_b(rng_b);
+  const PseudoLabelResult second =
+      pseudo_label(fx_b.labeled, fx_b.unlabeled, fast_options(), rng_b);
+
+  EXPECT_EQ(first.labels, second.labels);
+  EXPECT_EQ(first.assigned, second.assigned);
+  EXPECT_FLOAT_EQ(first.cae_final_loss, second.cae_final_loss);
+}
+
+}  // namespace
+}  // namespace wm::adapt

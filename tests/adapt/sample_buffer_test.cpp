@@ -1,0 +1,127 @@
+// SampleBuffer: bounded eviction, labeled bookkeeping across eviction,
+// recent_g ordering, snapshot ordering, and thread-safety under a concurrent
+// tap + reader (the engine batcher vs. the controller worker).
+#include "adapt/sample_buffer.hpp"
+
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "wafermap/wafer_map.hpp"
+
+namespace wm::adapt {
+namespace {
+
+SelectivePrediction pred(float g, bool selected = true, int label = 0) {
+  SelectivePrediction p;
+  p.label = label;
+  p.selected = selected;
+  p.g = g;
+  p.confidence = g;
+  return p;
+}
+
+WaferMap map_with(int fails) {
+  WaferMap map(12);
+  for (int i = 0; i < fails; ++i) map.mark_fail(6, 1 + i % 10);
+  return map;
+}
+
+TEST(SampleBufferTest, RejectsZeroCapacity) {
+  EXPECT_THROW(SampleBuffer(0), Error);
+}
+
+TEST(SampleBufferTest, TapAppendsUnlabeledEntries) {
+  SampleBuffer buf(8);
+  buf.on_sample(map_with(1), pred(0.3f));
+  buf.on_sample(map_with(2), pred(0.7f));
+  EXPECT_EQ(buf.size(), 2u);
+  EXPECT_EQ(buf.labeled_count(), 0u);
+  EXPECT_EQ(buf.total_pushed(), 2u);
+  const std::vector<SampleBuffer::Entry> entries = buf.snapshot();
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[0].label, -1);
+  EXPECT_FLOAT_EQ(entries[0].pred.g, 0.3f);  // oldest first
+  EXPECT_FLOAT_EQ(entries[1].pred.g, 0.7f);
+}
+
+TEST(SampleBufferTest, RecordOutcomeIsALabeledEntry) {
+  SampleBuffer buf(8);
+  buf.record_outcome(map_with(1), pred(0.5f), 3);
+  EXPECT_EQ(buf.size(), 1u);
+  EXPECT_EQ(buf.labeled_count(), 1u);
+  EXPECT_EQ(buf.snapshot()[0].label, 3);
+}
+
+TEST(SampleBufferTest, EvictionKeepsTheNewestAndTheLabeledCount) {
+  SampleBuffer buf(4);
+  // 2 labeled then 4 unlabeled: the labeled pair must evict first
+  // (oldest-first) and the labeled count must follow them out.
+  buf.record_outcome(map_with(1), pred(0.1f), 1);
+  buf.record_outcome(map_with(2), pred(0.2f), 2);
+  for (int i = 0; i < 4; ++i) {
+    buf.on_sample(map_with(3 + i), pred(0.3f + 0.1f * i));
+  }
+  EXPECT_EQ(buf.size(), 4u);
+  EXPECT_EQ(buf.labeled_count(), 0u);
+  EXPECT_EQ(buf.total_pushed(), 6u);  // lifetime, not windowed
+  const auto entries = buf.snapshot();
+  EXPECT_FLOAT_EQ(entries.front().pred.g, 0.3f);
+  EXPECT_FLOAT_EQ(entries.back().pred.g, 0.6f);
+}
+
+TEST(SampleBufferTest, RecentGReturnsTheNewestOldestFirst) {
+  SampleBuffer buf(8);
+  for (int i = 0; i < 6; ++i) {
+    buf.on_sample(map_with(i + 1), pred(0.1f * static_cast<float>(i)));
+  }
+  const std::vector<float> g3 = buf.recent_g(3);
+  ASSERT_EQ(g3.size(), 3u);
+  EXPECT_FLOAT_EQ(g3[0], 0.3f);
+  EXPECT_FLOAT_EQ(g3[1], 0.4f);
+  EXPECT_FLOAT_EQ(g3[2], 0.5f);
+  // Asking for more than is buffered returns everything.
+  EXPECT_EQ(buf.recent_g(100).size(), 6u);
+}
+
+TEST(SampleBufferTest, ClearEmptiesTheWindowButNotTheLifetimeCount) {
+  SampleBuffer buf(8);
+  buf.on_sample(map_with(1), pred(0.5f));
+  buf.record_outcome(map_with(2), pred(0.6f), 4);
+  buf.clear();
+  EXPECT_EQ(buf.size(), 0u);
+  EXPECT_EQ(buf.labeled_count(), 0u);
+  EXPECT_EQ(buf.total_pushed(), 2u);
+  EXPECT_TRUE(buf.snapshot().empty());
+  EXPECT_TRUE(buf.recent_g(8).empty());
+}
+
+TEST(SampleBufferTest, ConcurrentTapAndReaderStayConsistent) {
+  SampleBuffer buf(64);
+  std::thread tap([&] {
+    for (int i = 0; i < 2000; ++i) {
+      buf.on_sample(map_with(1 + i % 8), pred(0.5f));
+      if (i % 3 == 0) buf.record_outcome(map_with(2), pred(0.6f), 1);
+    }
+  });
+  for (int i = 0; i < 200; ++i) {
+    const auto entries = buf.snapshot();
+    EXPECT_LE(entries.size(), 64u);
+    std::size_t labeled = 0;
+    for (const auto& e : entries) labeled += e.label >= 0;
+    EXPECT_LE(buf.recent_g(32).size(), 32u);
+    (void)labeled;
+  }
+  tap.join();
+  EXPECT_EQ(buf.size(), 64u);
+  EXPECT_EQ(buf.total_pushed(), 2000u + 667u);
+  // The windowed labeled count must agree with a fresh snapshot exactly.
+  std::size_t labeled = 0;
+  for (const auto& e : buf.snapshot()) labeled += e.label >= 0;
+  EXPECT_EQ(buf.labeled_count(), labeled);
+}
+
+}  // namespace
+}  // namespace wm::adapt

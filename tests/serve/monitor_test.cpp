@@ -331,5 +331,116 @@ TEST(SelectiveMonitorTest, EngineFeedsEveryFulfilledPrediction) {
   EXPECT_EQ(s.window_fill, 20u);
 }
 
+TEST(SelectiveMonitorTest, CallbacksFireExactlyOncePerTransition) {
+  MonitorOptions opts = quiet_options();
+  opts.window = 8;
+  opts.target_coverage = 1.0;
+  opts.coverage_tolerance = 0.25;  // fire below 0.75
+  opts.clear_fraction = 0.5;       // clear at deviation <= 0.125
+  opts.min_observations = 8;
+  SelectiveMonitor monitor(opts);
+
+  int fires = 0;
+  int clears = 0;
+  std::vector<double> fire_coverages;
+  (void)monitor.on_alarm([&](const MonitorSnapshot& s) {
+    ++fires;
+    fire_coverages.push_back(s.coverage);
+    EXPECT_TRUE(s.alarm);  // the snapshot is taken AT the transition
+  });
+  (void)monitor.on_clear([&](const MonitorSnapshot& s) {
+    ++clears;
+    EXPECT_FALSE(s.alarm);
+  });
+
+  // Drive into alarm: the fire callback runs once at the crossing, then
+  // never again while the alarm stays latched — no matter how many more
+  // violating observations arrive.
+  for (int i = 0; i < 6; ++i) monitor.observe(pred(0, true, 0.9f));
+  for (int i = 0; i < 3; ++i) monitor.observe(pred(0, false, 0.1f));
+  EXPECT_EQ(fires, 1);
+  EXPECT_EQ(clears, 0);
+  for (int i = 0; i < 16; ++i) monitor.observe(pred(0, false, 0.1f));
+  EXPECT_EQ(fires, 1) << "latched alarm must not re-fire the callback";
+
+  // Recover past the hysteresis bound: exactly one clear.
+  for (int i = 0; i < 16; ++i) monitor.observe(pred(0, true, 0.9f));
+  EXPECT_EQ(clears, 1);
+  EXPECT_EQ(fires, 1);
+
+  // A second full cycle fires and clears exactly once more.
+  for (int i = 0; i < 16; ++i) monitor.observe(pred(0, false, 0.1f));
+  for (int i = 0; i < 16; ++i) monitor.observe(pred(0, true, 0.9f));
+  EXPECT_EQ(fires, 2);
+  EXPECT_EQ(clears, 2);
+  ASSERT_EQ(fire_coverages.size(), 2u);
+  EXPECT_LT(fire_coverages[0], 0.75);
+}
+
+TEST(SelectiveMonitorTest, RemovedCallbackNeverRuns) {
+  MonitorOptions opts = quiet_options();
+  opts.window = 8;
+  opts.target_coverage = 1.0;
+  opts.coverage_tolerance = 0.25;
+  opts.min_observations = 8;
+  SelectiveMonitor monitor(opts);
+
+  int kept = 0;
+  int removed = 0;
+  (void)monitor.on_alarm([&](const MonitorSnapshot&) { ++kept; });
+  const std::uint64_t id =
+      monitor.on_alarm([&](const MonitorSnapshot&) { ++removed; });
+  monitor.remove_callback(id);
+
+  for (int i = 0; i < 16; ++i) monitor.observe(pred(0, false, 0.1f));
+  EXPECT_EQ(kept, 1);
+  EXPECT_EQ(removed, 0);
+  // Removing an unknown id is a harmless no-op.
+  monitor.remove_callback(999999);
+}
+
+TEST(SelectiveMonitorTest, CallbackMayReenterTheMonitor) {
+  // The dispatch contract: callbacks run OUTSIDE the data lock, so a
+  // callback is allowed to call snapshot() (or even observe()) without
+  // deadlocking — the adaptation controller's on_alarm does exactly that.
+  MonitorOptions opts = quiet_options();
+  opts.window = 8;
+  opts.target_coverage = 1.0;
+  opts.coverage_tolerance = 0.25;
+  opts.min_observations = 8;
+  SelectiveMonitor monitor(opts);
+
+  bool reentered = false;
+  (void)monitor.on_alarm([&](const MonitorSnapshot& s) {
+    const MonitorSnapshot again = monitor.snapshot();
+    EXPECT_EQ(again.observations, s.observations);
+    reentered = true;
+  });
+  for (int i = 0; i < 16; ++i) monitor.observe(pred(0, false, 0.1f));
+  EXPECT_TRUE(reentered);
+}
+
+TEST(SelectiveMonitorTest, RiskTransitionAlsoDrivesCallbacks) {
+  MonitorOptions opts = quiet_options();
+  opts.window = 16;
+  opts.target_coverage = 0.5;
+  opts.coverage_tolerance = 1.0;  // coverage alarm effectively off
+  opts.risk_threshold = 0.5;
+  opts.min_observations = 1;
+  opts.min_outcomes = 4;
+  SelectiveMonitor monitor(opts);
+
+  int fires = 0;
+  (void)monitor.on_alarm([&](const MonitorSnapshot& s) {
+    ++fires;
+    EXPECT_GT(s.selective_risk, 0.5);
+  });
+  // record_outcome drives the same refresh path as observe().
+  for (int i = 0; i < 4; ++i) monitor.record_outcome(pred(0, true, 0.9f), 1);
+  EXPECT_EQ(fires, 1);
+  for (int i = 0; i < 4; ++i) monitor.record_outcome(pred(0, true, 0.9f), 1);
+  EXPECT_EQ(fires, 1) << "latched risk alarm must not re-fire";
+}
+
 }  // namespace
 }  // namespace wm::serve

@@ -84,6 +84,8 @@
 //                     `wm_tool trace-merge`)
 //   --slow-log FILE   JSONL exemplar log of the top-10 slowest requests
 //                     (trace id, per-stage breakdown, selective decision)
+//   --out-dir DIR     prefix for every relative file artifact above
+//                     (--trace-out, --slow-log); absolute paths win
 //   --json            machine-readable report on stdout
 //
 // Every response carries the server's StageTiming (WMWP v2), so the
@@ -901,8 +903,18 @@ int main(int argc, char** argv) {
   const int slo_p99_us = std::max(0, get_flag(argc, argv, "--slo-p99-us", 0));
   const int trace_sample =
       std::max(1, get_flag(argc, argv, "--trace-sample", 16));
-  const std::string trace_out = get_flag_s(argc, argv, "--trace-out", "");
-  const std::string slow_log = get_flag_s(argc, argv, "--slow-log", "");
+  // --out-dir prefixes every file artifact (--trace-out, --slow-log) so a
+  // CI job can point the whole run at a scratch directory with one flag;
+  // absolute paths pass through untouched.
+  const std::string out_dir = get_flag_s(argc, argv, "--out-dir", "");
+  const auto in_out_dir = [&](std::string path) {
+    if (path.empty() || out_dir.empty() || path.front() == '/') return path;
+    return out_dir + "/" + path;
+  };
+  const std::string trace_out =
+      in_out_dir(get_flag_s(argc, argv, "--trace-out", ""));
+  const std::string slow_log =
+      in_out_dir(get_flag_s(argc, argv, "--slow-log", ""));
 
   try {
     const auto stream = make_stream(map_size, 256);

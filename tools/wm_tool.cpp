@@ -11,12 +11,16 @@
 //       self-describing model file.
 //
 //   wm_tool evaluate --data DIR --model FILE [--threshold T]
-//                    [--monitor-window N] [--c0 C]
+//                    [--monitor-window N] [--refit-window N] [--c0 C]
 //       Per-class metrics, confusion matrix, coverage and selective
 //       accuracy of a trained model on a dataset directory. With
 //       --monitor-window the predictions are also replayed through a
 //       serve::SelectiveMonitor (window N, target coverage --c0) and the
-//       streaming monitor's view is printed after the offline report.
+//       streaming monitor's view is printed after the offline report. With
+//       --refit-window the adaptation loop's stage-1 threshold re-fit is
+//       dry-run offline on the newest N g-scores: the report shows the
+//       pre/post-fit threshold and the coverage each achieves, i.e. what
+//       `serve --adapt` would do to this traffic without touching a model.
 //
 //   wm_tool classify --model FILE --wafer FILE.pgm [--threshold T]
 //       Classify one wafer; prints the label or an abstention.
@@ -73,6 +77,16 @@
 //       A failed reload (torn write, bad magic) logs a warning and keeps
 //       the incumbent serving.
 //
+//       --adapt attaches the closed-loop drift-adaptation controller
+//       (DESIGN.md §16): SelectiveMonitor alarms trigger a staged response —
+//       re-fit the abstention threshold on recent traffic first; escalate
+//       to a CAE-assisted fine-tune of the (fp32) model when re-fitting
+//       cannot clear the alarm — promoted through the same canary-verified
+//       hot-swap path. Quantized artifacts run recalibrate-only. Knobs
+//       (each also a WM_ADAPT_* env var): --adapt-cooldown-ms,
+//       --adapt-eval-ms, --adapt-epochs, --adapt-buffer,
+//       --adapt-min-samples, --adapt-augment-target.
+//
 // Observability flags, valid with every subcommand:
 //
 //   --metrics FILE   After the command, dump the global metrics registry to
@@ -99,6 +113,7 @@
 #include <thread>
 #include <vector>
 
+#include "adapt/controller.hpp"
 #include "augment/augmentor.hpp"
 #include "common/error.hpp"
 #include "common/logging.hpp"
@@ -117,6 +132,7 @@
 #include "serve/inference_engine.hpp"
 #include "serve/monitor.hpp"
 #include "serve/server_config.hpp"
+#include "selective/calibrate.hpp"
 #include "selective/load_classifier.hpp"
 #include "selective/model_file.hpp"
 #include "selective/trainer.hpp"
@@ -245,6 +261,27 @@ int cmd_evaluate(const Args& args) {
   std::printf("full-coverage accuracy (ignoring rejects): %.1f%%\n",
               100.0 * selective::full_accuracy(preds, labels));
 
+  if (args.has("refit-window")) {
+    // Offline dry-run of the adaptation loop's stage 1: re-fit the
+    // abstention threshold on the newest N g-scores — exactly what
+    // adapt::AdaptationController does against its live sample buffer — and
+    // report the pre/post operating point without touching any model.
+    const std::size_t window = static_cast<std::size_t>(
+        std::max(1, args.get_int("refit-window", 256)));
+    const double c0 = args.get_double("c0", 0.5);
+    std::vector<float> gs;
+    const std::size_t first = preds.size() > window ? preds.size() - window : 0;
+    for (std::size_t i = first; i < preds.size(); ++i) gs.push_back(preds[i].g);
+    const float old_tau = static_cast<float>(args.get_double("threshold", 0.5));
+    const float new_tau = selective::refit_threshold(gs, c0);
+    std::printf("\nthreshold re-fit dry-run (newest %zu g-scores, target c0 "
+                "%.2f):\n"
+                "  pre-fit  tau %.4f -> coverage %.3f\n"
+                "  post-fit tau %.4f -> coverage %.3f\n",
+                gs.size(), c0, old_tau, selective::coverage_at(gs, old_tau),
+                new_tau, selective::coverage_at(gs, new_tau));
+  }
+
   if (args.has("monitor-window")) {
     // Replay the same predictions through the streaming monitor, as if the
     // dataset had arrived as live traffic; its windowed view of the tail
@@ -349,8 +386,62 @@ int cmd_serve(const Args& args) {
   // promote new weights with zero downtime.
   serve::SwappableClassifier swappable(
       model, {.registry = &obs::Registry::global(), .name = model_path});
-  serve::InferenceEngine engine(
-      swappable, cfg.engine_options(&obs::Registry::global(), &monitor));
+
+  // --adapt closes the loop: drift alarms drive threshold re-fits (and,
+  // given an fp32 model, fine-tunes) that promote through the same swap
+  // path --model-watch uses. Knobs resolve flag > WM_ADAPT_* env > default.
+  std::unique_ptr<selective::SelectiveNet> adapt_net;
+  std::unique_ptr<adapt::AdaptationController> controller;
+  if (args.has("adapt")) {
+    adapt::AdaptConfig acfg;
+    if (args.has("adapt-cooldown-ms")) {
+      acfg.cooldown_ms = args.get_int("adapt-cooldown-ms", 5000);
+    }
+    if (args.has("adapt-eval-ms")) {
+      acfg.eval_ms = args.get_int("adapt-eval-ms", 2000);
+    }
+    if (args.has("adapt-epochs")) {
+      acfg.fine_tune_epochs = args.get_int("adapt-epochs", 4);
+    }
+    if (args.has("adapt-buffer")) {
+      acfg.buffer_capacity =
+          static_cast<std::size_t>(args.get_int("adapt-buffer", 1024));
+    }
+    if (args.has("adapt-min-samples")) {
+      acfg.min_samples =
+          static_cast<std::size_t>(args.get_int("adapt-min-samples", 64));
+    }
+    if (args.has("adapt-augment-target")) {
+      acfg.augment_target = args.get_int("adapt-augment-target", 0);
+    }
+    // Stage 2 needs fp32 weights to clone + fine-tune; a quantized artifact
+    // runs the loop recalibrate-only (the controller logs the skipped
+    // escalation as adapt_skip reason=no_net).
+    if (!model->is_quantized()) {
+      adapt_net = selective::load_model(model_path);
+    } else {
+      std::printf("adapt: quantized model — stage 2 (fine-tune) disabled, "
+                  "threshold re-fit only\n");
+    }
+    controller = std::make_unique<adapt::AdaptationController>(
+        acfg,
+        adapt::AdaptHooks{
+            .monitor = &monitor,
+            .swappable = &swappable,
+            .make_with_threshold =
+                [model_path](float t) {
+                  return std::shared_ptr<const Classifier>(
+                      load_classifier(model_path, {.threshold = t}));
+                },
+            .net = adapt_net.get(),
+            .canaries = swap_canaries(map_size),
+            .registry = &obs::Registry::global()});
+  }
+
+  serve::EngineOptions eopts =
+      cfg.engine_options(&obs::Registry::global(), &monitor);
+  if (controller != nullptr) eopts.sample_tap = &controller->buffer();
+  serve::InferenceEngine engine(swappable, eopts);
   net::Server server(engine, cfg.server_options(&obs::Registry::global()));
   std::printf("serving %s%s on tcp://127.0.0.1:%d "
               "(map %d, tau %.2f, %d workers, version %llu)\n",
@@ -411,6 +502,16 @@ int cmd_serve(const Args& args) {
               static_cast<unsigned long long>(server.shed()),
               static_cast<unsigned long long>(server.timeouts()),
               monitor.snapshot().to_string().c_str());
+  if (controller != nullptr) {
+    const adapt::AdaptStatus as = controller->status();
+    std::printf("adapt: state %s, %llu alarm(s), %llu recalibration(s), "
+                "%llu retrain(s), %llu rollback(s), last threshold %.4f\n",
+                adapt::to_string(as.state),
+                static_cast<unsigned long long>(as.alarms),
+                static_cast<unsigned long long>(as.recalibrations),
+                static_cast<unsigned long long>(as.retrains),
+                static_cast<unsigned long long>(as.rollbacks), as.threshold);
+  }
   return 0;
 }
 
