@@ -85,8 +85,6 @@ AdaptationController::AdaptationController(const AdaptConfig& config,
            "AdaptationController needs a make_with_threshold hook");
 
   state_gauge_.set(0.0);
-  // An alarm may predate the controller; start the episode immediately.
-  alarm_active_ = hooks_.monitor->snapshot().alarm;
 
   alarm_cb_id_ = hooks_.monitor->on_alarm([this](
                                               const serve::MonitorSnapshot& s) {
@@ -111,6 +109,17 @@ AdaptationController::AdaptationController(const AdaptConfig& config,
         }
         cv_.notify_all();
       });
+
+  // An alarm may predate the controller; start the episode immediately.
+  // Callbacks are registered FIRST, then the snapshot is read under the
+  // controller mutex: a transition in between lands through the callback
+  // (delivery is serialized behind the monitor's dispatch lock and a
+  // snapshot is always at least as fresh as any dispatched transition), so
+  // no fire or clear can be lost in the gap.
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (hooks_.monitor->snapshot().alarm) alarm_active_ = true;
+  }
 
   worker_ = std::thread([this] { worker_loop(); });
 }
@@ -161,7 +170,31 @@ void AdaptationController::worker_loop() {
 
     const int stage = episode_stage_;
     lock.unlock();
-    const bool acted = stage == 0 ? do_recalibrate() : do_retrain();
+    bool acted = false;
+    try {
+      acted = stage == 0 ? do_recalibrate() : do_retrain();
+    } catch (const std::exception& e) {
+      // The loop must never take the process down. Anything in a stage can
+      // throw on the worker thread — make_with_threshold re-reading a torn
+      // model file, a size-mismatched wafer fed through record_outcome
+      // tripping a shape check in the CAE/fine-tune path — and an escaping
+      // exception here would std::terminate the whole serving process.
+      // Treat it like any other non-action: log, count, retry after the
+      // cooldown on fresher buffer contents.
+      skips_total_.inc();
+      run_log_.write("adapt_error",
+                     {{"stage", stage == 0 ? "recalibrate" : "retrain"},
+                      {"error", e.what()}});
+      log_error("adapt: ", stage == 0 ? "recalibrate" : "retrain",
+                " failed: ", e.what());
+    } catch (...) {
+      skips_total_.inc();
+      run_log_.write("adapt_error",
+                     {{"stage", stage == 0 ? "recalibrate" : "retrain"},
+                      {"error", "unknown exception"}});
+      log_error("adapt: ", stage == 0 ? "recalibrate" : "retrain",
+                " failed: unknown exception");
+    }
     lock.lock();
     if (stop_) break;
 

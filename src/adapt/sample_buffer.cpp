@@ -3,8 +3,18 @@
 #include <utility>
 
 #include "common/error.hpp"
+#include "wafermap/defect_types.hpp"
 
 namespace wm::adapt {
+
+namespace {
+
+bool same_pred(const SelectivePrediction& a, const SelectivePrediction& b) {
+  return a.label == b.label && a.selected == b.selected && a.g == b.g &&
+         a.confidence == b.confidence;
+}
+
+}  // namespace
 
 SampleBuffer::SampleBuffer(std::size_t capacity) : capacity_(capacity) {
   WM_CHECK(capacity_ > 0, "sample buffer capacity must be positive");
@@ -29,7 +39,28 @@ void SampleBuffer::on_sample(const WaferMap& map,
 void SampleBuffer::record_outcome(const WaferMap& map,
                                   const SelectivePrediction& pred,
                                   int true_label) {
-  WM_CHECK(true_label >= 0, "record_outcome: negative label");
+  // Validate on the caller's thread: defect_type_from_index would otherwise
+  // throw much later on the controller's worker, mid-fine-tune.
+  WM_CHECK(true_label >= 0 && true_label < kNumDefectTypes,
+           "record_outcome: label out of range [0, ", kNumDefectTypes,
+           "): ", true_label);
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    // The engine tap usually buffered this wafer already as an unlabeled
+    // entry; upgrade that entry in place. Appending a duplicate instead
+    // would train stage 2 on the same wafer twice — once with ground truth,
+    // once with a possibly contradicting CAE pseudo-label — and double-count
+    // labeled traffic in recent_g(). Newest-first: labels trail their
+    // predictions, so the match is near the back.
+    for (auto it = entries_.rbegin(); it != entries_.rend(); ++it) {
+      if (it->label < 0 && same_pred(it->pred, pred) && it->map == map) {
+        it->label = true_label;
+        ++labeled_;
+        return;
+      }
+    }
+  }
+  // Already evicted (or never served through the tap): a fresh labeled entry.
   push(Entry{map, pred, true_label});
 }
 

@@ -43,9 +43,12 @@ class SampleBuffer final : public serve::SampleTap {
   void on_sample(const WaferMap& map, const SelectivePrediction& pred) override;
 
   /// Ground-truth feedback: the prediction as served plus the true label.
-  /// Pushed as a separate labeled entry (labels arrive long after the tap
-  /// saw the request; matching entries by content would cost a window scan
-  /// per outcome on the feedback path).
+  /// Upgrades the (newest) matching unlabeled tap entry in place, so the
+  /// same wafer never sits in the window twice — once labeled, once awaiting
+  /// a pseudo-label that could contradict the truth. Falls back to appending
+  /// a fresh labeled entry when the tap entry has already been evicted (or
+  /// the wafer never passed through the tap). Throws on a label outside
+  /// [0, kNumDefectTypes).
   void record_outcome(const WaferMap& map, const SelectivePrediction& pred,
                       int true_label);
 
@@ -59,7 +62,8 @@ class SampleBuffer final : public serve::SampleTap {
   std::size_t size() const;
   std::size_t labeled_count() const;
   /// Lifetime entries pushed (never decreases; drives "enough new traffic
-  /// since the alarm" decisions).
+  /// since the alarm" decisions). In-place label upgrades do not count —
+  /// the tap already counted that wafer.
   std::uint64_t total_pushed() const;
 
   /// Drops every entry. The controller clears after a stage-2 swap: buffered

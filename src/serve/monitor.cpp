@@ -93,6 +93,9 @@ void SelectiveMonitor::observe(const SelectivePrediction& p) {
 
 void SelectiveMonitor::observe(const SelectivePrediction& p,
                                std::uint64_t trace_id) {
+  // Taken across update + dispatch so concurrent observe()/record_outcome()
+  // threads deliver alarm transitions in the order they happened.
+  const std::lock_guard<std::recursive_mutex> dispatch_lock(dispatch_mutex_);
   Transition transition = Transition::kNone;
   MonitorSnapshot snap;
   {
@@ -148,6 +151,7 @@ void SelectiveMonitor::observe_batch(
 
 void SelectiveMonitor::record_outcome(const SelectivePrediction& p,
                                       int true_label) {
+  const std::lock_guard<std::recursive_mutex> dispatch_lock(dispatch_mutex_);
   Transition transition = Transition::kNone;
   MonitorSnapshot snap;
   {
@@ -190,6 +194,11 @@ std::uint64_t SelectiveMonitor::on_clear(AlarmCallback cb) {
 }
 
 void SelectiveMonitor::remove_callback(std::uint64_t id) {
+  // Barrier against in-flight delivery: once dispatch_mutex_ is held no
+  // invocation copied before this removal can still be running, so the
+  // caller may destroy the callback's captures the moment we return.
+  // Recursive, so a callback removing itself does not self-deadlock.
+  const std::lock_guard<std::recursive_mutex> dispatch_lock(dispatch_mutex_);
   const std::lock_guard<std::mutex> lock(callback_mutex_);
   for (std::size_t i = 0; i < callbacks_.size(); ++i) {
     if (callbacks_[i].id == id) {

@@ -130,8 +130,15 @@ class SelectiveMonitor {
   /// monitor's data lock, so a callback may call snapshot()/observe() or do
   /// real work — though serving-path callers should stay cheap and hand off
   /// (the adaptation controller just flips a flag and notifies its worker).
+  /// Delivery is serialized IN TRANSITION ORDER across threads: a fire and
+  /// the clear that follows it (e.g. observe() on the batcher thread vs.
+  /// record_outcome() on a feedback thread) can never reach the callbacks
+  /// reordered, so a subscriber mirroring the alarm state stays consistent.
   /// Returns a registration id for remove_callback(); the callback must stay
-  /// valid until removed or the monitor is destroyed.
+  /// valid until removed or the monitor is destroyed. remove_callback()
+  /// blocks until any in-flight invocation returns, so after it returns the
+  /// callback will never run again and its captures may be destroyed (a
+  /// callback may still remove itself — same-thread re-entry is allowed).
   using AlarmCallback = std::function<void(const MonitorSnapshot&)>;
   std::uint64_t on_alarm(AlarmCallback cb);
   std::uint64_t on_clear(AlarmCallback cb);
@@ -162,7 +169,7 @@ class SelectiveMonitor {
   MonitorSnapshot snapshot_locked() const;
 
   /// Copies the matching callbacks (under callback_mutex_) and invokes them.
-  /// Must be called WITHOUT mutex_ held.
+  /// Must be called WITHOUT mutex_ held and WITH dispatch_mutex_ held.
   void dispatch(Transition t, const MonitorSnapshot& snap);
 
   const MonitorOptions opts_;
@@ -195,6 +202,16 @@ class SelectiveMonitor {
   double g_ewma_ = 0.0;
   bool ewma_seeded_ = false;
   bool alarm_ = false;
+
+  // Dispatch serialization. Held (recursively, so callbacks may re-enter
+  // observe()/record_outcome() or remove themselves) around every
+  // update + callback delivery: without it, refresh_locked() could compute
+  // kFired on one thread and kCleared on another, then deliver them in the
+  // opposite order once mutex_ is released — leaving a state-mirroring
+  // subscriber permanently wrong. remove_callback() also takes it, which is
+  // what makes removal a barrier against in-flight invocations. Ordering:
+  // dispatch_mutex_ -> mutex_ / callback_mutex_, never the reverse.
+  mutable std::recursive_mutex dispatch_mutex_;
 
   // Callback registry. A separate mutex so a callback body may re-enter the
   // monitor (snapshot(), observe()) without deadlocking, and registration

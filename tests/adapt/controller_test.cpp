@@ -6,12 +6,16 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdio>
+#include <fstream>
 #include <memory>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "common/error.hpp"
 #include "common/rng.hpp"
 #include "obs/run_log.hpp"
 #include "selective/calibrate.hpp"
@@ -352,6 +356,86 @@ TEST(AdaptationControllerTest, NoNetMeansRecalibrateOnlyLoop) {
   ASSERT_TRUE(wait_for([&] { return controller.status().recalibrations >= 2; }));
   EXPECT_EQ(controller.status().retrains, 0u);
   EXPECT_EQ(controller.status().rollbacks, 0u);
+}
+
+TEST(AdaptationControllerTest, ThrowingStageNeverKillsTheWorker) {
+  // make_with_threshold re-reads model state that can be mid-write in real
+  // deployments (wm_tool serve reloads the model file); an exception
+  // escaping the worker thread would std::terminate the whole serving
+  // process. The loop must log adapt_error, survive, and succeed on a
+  // later pass once the hook recovers.
+  serve::SelectiveMonitor monitor(test_monitor_options());
+  serve::SwappableClassifier swappable(std::make_shared<FakeClassifier>());
+  const std::string log_path =
+      ::testing::TempDir() + "wm_adapt_error_test.jsonl";
+  std::remove(log_path.c_str());
+  obs::RunLog log(log_path);
+
+  std::atomic<int> calls{0};
+  {
+    AdaptationController controller(
+        fast_config(),
+        {.monitor = &monitor,
+         .swappable = &swappable,
+         .make_with_threshold =
+             [&](float t) -> std::shared_ptr<const Classifier> {
+               if (calls.fetch_add(1) < 2) {
+                 throw Error("model file torn mid-write");
+               }
+               return std::make_shared<FakeClassifier>(t);
+             },
+         .run_log = &log});
+    for (int i = 0; i < 12; ++i) {
+      controller.buffer().on_sample(small_map(i), pred(0, false, 0.3f));
+    }
+
+    drive_alarm(monitor);
+    ASSERT_TRUE(
+        wait_for([&] { return controller.status().recalibrations >= 1; }))
+        << "worker never recovered from the throwing hook";
+    EXPECT_GE(calls.load(), 3);
+    EXPECT_GE(controller.status().skips, 2u);  // the throws count as skips
+    EXPECT_GE(swappable.version(), 2u);  // the recovered pass really swapped
+  }
+
+  std::ifstream in(log_path);
+  std::string line;
+  int errors = 0;
+  while (std::getline(in, line)) {
+    if (line.find("\"event\":\"adapt_error\"") != std::string::npos) {
+      ++errors;
+      EXPECT_NE(line.find("torn mid-write"), std::string::npos);
+    }
+  }
+  std::remove(log_path.c_str());
+  EXPECT_EQ(errors, 2);
+}
+
+TEST(AdaptationControllerTest, RecordOutcomeUpgradesTheTapEntry) {
+  serve::MonitorOptions mopts = test_monitor_options();
+  mopts.min_observations = 1000;  // keep alarms out of this test
+  serve::SelectiveMonitor monitor(mopts);
+  serve::SwappableClassifier swappable(std::make_shared<FakeClassifier>());
+  AdaptationController controller(
+      fast_config(),
+      {.monitor = &monitor,
+       .swappable = &swappable,
+       .make_with_threshold = [](float t) {
+         return std::shared_ptr<const Classifier>(
+             std::make_shared<FakeClassifier>(t));
+       }});
+
+  // The serving path taps the wafer; the later ground-truth feedback must
+  // upgrade that entry, not add a second copy of the same wafer.
+  const WaferMap map = small_map(1);
+  const SelectivePrediction served = pred(2, true, 0.9f);
+  controller.buffer().on_sample(map, served);
+  controller.record_outcome(map, served, 2);
+  EXPECT_EQ(controller.buffer().size(), 1u);
+  EXPECT_EQ(controller.buffer().labeled_count(), 1u);
+  // Out-of-range labels are rejected on the caller's thread, before they
+  // can reach the worker mid-fine-tune.
+  EXPECT_THROW(controller.record_outcome(map, served, 9), Error);
 }
 
 TEST(AdaptationControllerTest, DestructionUnderActiveAlarmIsClean) {

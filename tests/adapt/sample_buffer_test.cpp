@@ -55,6 +55,63 @@ TEST(SampleBufferTest, RecordOutcomeIsALabeledEntry) {
   EXPECT_EQ(buf.snapshot()[0].label, 3);
 }
 
+TEST(SampleBufferTest, RecordOutcomeRejectsOutOfRangeLabels) {
+  SampleBuffer buf(8);
+  EXPECT_THROW(buf.record_outcome(map_with(1), pred(0.5f), -1), Error);
+  EXPECT_THROW(buf.record_outcome(map_with(1), pred(0.5f), 9), Error);
+  EXPECT_EQ(buf.size(), 0u);
+  buf.record_outcome(map_with(1), pred(0.5f), 8);  // top of the range is fine
+  EXPECT_EQ(buf.size(), 1u);
+}
+
+TEST(SampleBufferTest, RecordOutcomeUpgradesTheMatchingTapEntry) {
+  SampleBuffer buf(8);
+  buf.on_sample(map_with(1), pred(0.3f));
+  buf.on_sample(map_with(2), pred(0.7f));
+  // Feedback for the first wafer: the tap entry is upgraded in place, not
+  // duplicated — the window must never hold the same wafer both labeled
+  // and awaiting a pseudo-label.
+  buf.record_outcome(map_with(1), pred(0.3f), 4);
+  EXPECT_EQ(buf.size(), 2u);
+  EXPECT_EQ(buf.labeled_count(), 1u);
+  EXPECT_EQ(buf.total_pushed(), 2u);  // an upgrade is not new traffic
+  const auto entries = buf.snapshot();
+  EXPECT_EQ(entries[0].label, 4);
+  EXPECT_EQ(entries[1].label, -1);
+}
+
+TEST(SampleBufferTest, RecordOutcomeUpgradesTheNewestMatchOnly) {
+  SampleBuffer buf(8);
+  // Two identical served wafers: only the newest is upgraded; the older one
+  // remains distinct (unlabeled) traffic.
+  buf.on_sample(map_with(3), pred(0.5f));
+  buf.on_sample(map_with(3), pred(0.5f));
+  buf.record_outcome(map_with(3), pred(0.5f), 2);
+  EXPECT_EQ(buf.size(), 2u);
+  EXPECT_EQ(buf.labeled_count(), 1u);
+  const auto entries = buf.snapshot();
+  EXPECT_EQ(entries[0].label, -1);
+  EXPECT_EQ(entries[1].label, 2);
+  // A second outcome for the same wafer upgrades the remaining tap entry
+  // (labeled entries never match again).
+  buf.record_outcome(map_with(3), pred(0.5f), 2);
+  EXPECT_EQ(buf.size(), 2u);
+  EXPECT_EQ(buf.labeled_count(), 2u);
+}
+
+TEST(SampleBufferTest, RecordOutcomeAppendsWhenNoTapEntryMatches) {
+  SampleBuffer buf(8);
+  buf.on_sample(map_with(1), pred(0.3f));
+  // Same wafer, different prediction (e.g. the tap entry was evicted and a
+  // re-served wafer scored differently): must append, not mislabel.
+  buf.record_outcome(map_with(1), pred(0.9f), 5);
+  // Same prediction, different wafer: must also append.
+  buf.record_outcome(map_with(7), pred(0.3f), 6);
+  EXPECT_EQ(buf.size(), 3u);
+  EXPECT_EQ(buf.labeled_count(), 2u);
+  EXPECT_EQ(buf.snapshot()[0].label, -1);
+}
+
 TEST(SampleBufferTest, EvictionKeepsTheNewestAndTheLabeledCount) {
   SampleBuffer buf(4);
   // 2 labeled then 4 unlabeled: the labeled pair must evict first

@@ -3,6 +3,8 @@
 // selective risk with the eval-layer metrics, and the engine hookup.
 #include "serve/monitor.hpp"
 
+#include <atomic>
+#include <chrono>
 #include <cmath>
 #include <fstream>
 #include <thread>
@@ -399,6 +401,60 @@ TEST(SelectiveMonitorTest, RemovedCallbackNeverRuns) {
   monitor.remove_callback(999999);
 }
 
+TEST(SelectiveMonitorTest, RemoveCallbackWaitsForInFlightDispatch) {
+  // The removal contract: after remove_callback() returns, the callback can
+  // never be running (or run again), so its captures may be destroyed. A
+  // removal racing an in-flight dispatch must block until the callback
+  // returns — otherwise ~AdaptationController could free state a
+  // batcher-thread alarm callback is still touching.
+  MonitorOptions opts = quiet_options();
+  opts.window = 8;
+  opts.target_coverage = 1.0;
+  opts.coverage_tolerance = 0.25;
+  opts.min_observations = 8;
+  SelectiveMonitor monitor(opts);
+
+  std::atomic<bool> in_callback{false};
+  std::atomic<bool> callback_done{false};
+  const std::uint64_t id = monitor.on_alarm([&](const MonitorSnapshot&) {
+    in_callback = true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    callback_done = true;
+  });
+
+  std::thread driver([&] {
+    for (int i = 0; i < 16; ++i) monitor.observe(pred(0, false, 0.1f));
+  });
+  while (!in_callback) std::this_thread::yield();
+  monitor.remove_callback(id);
+  EXPECT_TRUE(callback_done)
+      << "remove_callback returned while the callback was still running";
+  driver.join();
+}
+
+TEST(SelectiveMonitorTest, CallbackMayRemoveItself) {
+  MonitorOptions opts = quiet_options();
+  opts.window = 8;
+  opts.target_coverage = 1.0;
+  opts.coverage_tolerance = 0.25;
+  opts.clear_fraction = 0.5;
+  opts.min_observations = 8;
+  SelectiveMonitor monitor(opts);
+
+  int fires = 0;
+  std::uint64_t id = 0;
+  id = monitor.on_alarm([&](const MonitorSnapshot&) {
+    ++fires;
+    monitor.remove_callback(id);  // same-thread re-entry must not deadlock
+  });
+
+  // Two full fire cycles: the self-removed callback sees only the first.
+  for (int i = 0; i < 16; ++i) monitor.observe(pred(0, false, 0.1f));
+  for (int i = 0; i < 16; ++i) monitor.observe(pred(0, true, 0.9f));
+  for (int i = 0; i < 16; ++i) monitor.observe(pred(0, false, 0.1f));
+  EXPECT_EQ(fires, 1);
+}
+
 TEST(SelectiveMonitorTest, CallbackMayReenterTheMonitor) {
   // The dispatch contract: callbacks run OUTSIDE the data lock, so a
   // callback is allowed to call snapshot() (or even observe()) without
@@ -414,6 +470,8 @@ TEST(SelectiveMonitorTest, CallbackMayReenterTheMonitor) {
   (void)monitor.on_alarm([&](const MonitorSnapshot& s) {
     const MonitorSnapshot again = monitor.snapshot();
     EXPECT_EQ(again.observations, s.observations);
+    // observe() re-enters the dispatch path itself (recursive lock).
+    monitor.observe(pred(0, true, 0.9f));
     reentered = true;
   });
   for (int i = 0; i < 16; ++i) monitor.observe(pred(0, false, 0.1f));
